@@ -1,0 +1,34 @@
+//! Fig. 1 bench: regenerates the bespoke-multiplier area curves
+//! (printed once) and measures the per-coefficient synthesis sweep —
+//! the paper's "step 1" (≤ 6 s on 12 DC licenses; here milliseconds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pax_bench::fig1;
+use pax_core::mult_cache::MultCache;
+
+fn bench(c: &mut Criterion) {
+    let cache = MultCache::new(egt_pdk::egt_library());
+    let panels = fig1::build(&cache);
+    println!("# Fig. 1");
+    for p in &panels {
+        println!("{}", fig1::summarize(p));
+    }
+
+    c.bench_function("fig1/synthesize_all_4x8_multipliers", |b| {
+        b.iter(|| {
+            let fresh = MultCache::new(egt_pdk::egt_library());
+            fresh.build_range(4, 8);
+            std::hint::black_box(fresh.len())
+        })
+    });
+    c.bench_function("fig1/cached_lookup", |b| {
+        b.iter(|| std::hint::black_box(cache.area(4, -77)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 2 bench: regenerates the area-reduction boxplots (printed once)
+//! and measures one reduction-statistics sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pax_bench::fig2;
+use pax_core::mult_cache::MultCache;
+
+fn bench(c: &mut Criterion) {
+    let cache = MultCache::new(egt_pdk::egt_library());
+    let panels = fig2::build(&cache);
+    println!("# Fig. 2\n{}", fig2::summarize(&panels));
+
+    c.bench_function("fig2/reduction_stats_4x8_e4", |b| {
+        b.iter(|| std::hint::black_box(cache.reduction_stats(4, 8, 4)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 3 bench: regenerates the Pareto spaces on a reduced dataset
+//! (printed once) and measures Pareto extraction plus CSV emission.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pax_bench::catalog::{train_entry, DatasetId};
+use pax_bench::{fig3, studies};
+use pax_ml::quant::ModelKind;
+use pax_ml::synth_data::SynthConfig;
+
+fn bench(c: &mut Criterion) {
+    let quick = SynthConfig { size_factor: 0.15, ..SynthConfig::default() };
+    let runs = studies::run_all(&quick);
+    println!("# Fig. 3\n{}", fig3::summarize(&runs));
+
+    let entry = train_entry(DatasetId::RedWine, ModelKind::SvmC, &quick);
+    let run = studies::run_one(entry);
+    c.bench_function("fig3/pareto_front_extraction", |b| {
+        b.iter(|| std::hint::black_box(run.study.pareto_front()))
+    });
+    c.bench_function("fig3/csv_emission", |b| {
+        b.iter(|| std::hint::black_box(fig3::subplot_csv(&run)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! §III-B bench: validates the area proxy (printed once, full 1000
+//! weighted sums) and measures the per-sum proxy-vs-synthesis pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pax_bench::proxy;
+use pax_core::mult_cache::MultCache;
+
+fn bench(c: &mut Criterion) {
+    let cache = MultCache::new(egt_pdk::egt_library());
+    let full = proxy::run(&cache, 1000, 0xC0FFEE);
+    println!(
+        "# Area-proxy validation: Pearson r = {:.3} over 1000 random weighted sums (paper: 0.91)",
+        full.pearson_r
+    );
+
+    c.bench_function("proxy/100_random_weighted_sums", |b| {
+        b.iter(|| std::hint::black_box(proxy::run(&cache, 100, 7)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table I bench: regenerates the baseline-circuit table on a reduced
+//! dataset once (printed to the bench log), then measures the cost of
+//! producing one baseline row (train → quantize → circuit → measure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pax_bench::catalog::{train_entry, DatasetId};
+use pax_bench::table1;
+use pax_ml::quant::ModelKind;
+use pax_ml::synth_data::SynthConfig;
+
+fn bench(c: &mut Criterion) {
+    let quick = SynthConfig { size_factor: 0.15, ..SynthConfig::default() };
+    println!("{}", table1::render(&table1::build(&quick)));
+
+    c.bench_function("table1/redwine_svm_r_row", |b| {
+        b.iter(|| {
+            let entry = train_entry(DatasetId::RedWine, ModelKind::SvmR, &quick);
+            std::hint::black_box(table1::row_for(&entry));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

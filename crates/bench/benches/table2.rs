@@ -1,0 +1,26 @@
+//! Table II bench: regenerates the <1%-loss table on a reduced dataset
+//! (printed once), then measures one full cross-layer study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pax_bench::catalog::{train_entry, DatasetId};
+use pax_bench::{studies, table2};
+use pax_ml::quant::ModelKind;
+use pax_ml::synth_data::SynthConfig;
+
+fn bench(c: &mut Criterion) {
+    let quick = SynthConfig { size_factor: 0.15, ..SynthConfig::default() };
+    let runs = studies::run_all(&quick);
+    println!("{}", table2::render(&table2::build(&runs)));
+
+    let entry = train_entry(DatasetId::RedWine, ModelKind::SvmR, &quick);
+    c.bench_function("table2/full_study_redwine_svm_r", |b| {
+        b.iter(|| std::hint::black_box(studies::run_one(entry.clone())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

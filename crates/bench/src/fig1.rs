@@ -1,0 +1,101 @@
+//! Fig. 1: bespoke-multiplier area versus the coefficient value, for
+//! 4-bit and 8-bit inputs (8-bit coefficients), with the conventional
+//! multiplier as reference.
+
+use std::fmt::Write as _;
+
+use pax_core::mult_cache::MultCache;
+use pax_netlist::NetlistBuilder;
+use pax_synth::{area, conventional, opt};
+
+/// One Fig. 1 panel: the per-coefficient bespoke areas plus the
+/// conventional reference.
+#[derive(Debug, Clone)]
+pub struct Fig1Series {
+    /// Input width in bits.
+    pub in_bits: u32,
+    /// `(w, area_mm2)` for every `w ∈ [−128, 127]`.
+    pub points: Vec<(i64, f64)>,
+    /// Area of the conventional (two-operand) multiplier of the same
+    /// shape.
+    pub conventional_mm2: f64,
+}
+
+/// Builds both panels (a: 4×8, b: 8×8).
+pub fn build(cache: &MultCache) -> Vec<Fig1Series> {
+    [4u32, 8].iter().map(|&in_bits| series(cache, in_bits, 8)).collect()
+}
+
+/// Builds one panel for an arbitrary input width.
+pub fn series(cache: &MultCache, in_bits: u32, coef_bits: u32) -> Fig1Series {
+    cache.build_range(in_bits, coef_bits);
+    let lo = -(1i64 << (coef_bits - 1));
+    let hi = (1i64 << (coef_bits - 1)) - 1;
+    let points: Vec<(i64, f64)> = (lo..=hi).map(|w| (w, cache.area(in_bits, w))).collect();
+    Fig1Series { in_bits, points, conventional_mm2: conventional_area(cache, in_bits, coef_bits) }
+}
+
+fn conventional_area(cache: &MultCache, in_bits: u32, coef_bits: u32) -> f64 {
+    let mut b = NetlistBuilder::new("conv");
+    let x = b.input_port("x", in_bits as usize);
+    let w = b.input_port("w", coef_bits as usize);
+    let p = conventional::mul_unsigned_signed(&mut b, &x, &w);
+    b.output_port("p", p);
+    let nl = opt::optimize(&b.finish());
+    area::area_mm2(&nl, cache.library()).expect("library covers cells")
+}
+
+/// Renders both a CSV (`in_bits,w,area_mm2`) and a terminal summary.
+pub fn to_csv(series: &[Fig1Series]) -> String {
+    let mut out = String::from("in_bits,w,area_mm2\n");
+    for s in series {
+        for &(w, a) in &s.points {
+            let _ = writeln!(out, "{},{},{:.4}", s.in_bits, w, a);
+        }
+    }
+    out
+}
+
+/// Human-readable summary of a panel, mirroring the paper's narrative
+/// (bespoke ≪ conventional, zero-area powers of two).
+pub fn summarize(s: &Fig1Series) -> String {
+    let max = s.points.iter().map(|p| p.1).fold(0.0, f64::max);
+    let zero = s.points.iter().filter(|p| p.1 == 0.0).count();
+    let mean = s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64;
+    format!(
+        "x: {}-bit, w: 8-bit — bespoke mean {:.1} mm², max {:.1} mm², {} zero-area \
+         coefficients; conventional {:.2} mm²",
+        s.in_bits, mean, max, zero, s.conventional_mm2
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_match_paper_shape() {
+        let cache = MultCache::new(egt_pdk::egt_library());
+        let panels = build(&cache);
+        assert_eq!(panels.len(), 2);
+        for s in &panels {
+            assert_eq!(s.points.len(), 256);
+            // Every bespoke multiplier is smaller than the conventional.
+            for &(w, a) in &s.points {
+                assert!(a < s.conventional_mm2, "w={w} a={a}");
+            }
+            // Powers of two (and 0, 1) are free.
+            for w in [0i64, 1, 2, 4, 8, 16, 32, 64] {
+                let a = s.points.iter().find(|p| p.0 == w).unwrap().1;
+                assert_eq!(a, 0.0, "w={w}");
+            }
+        }
+        // 8-bit inputs cost more than 4-bit inputs for the same w.
+        let a4: f64 = panels[0].points.iter().map(|p| p.1).sum();
+        let a8: f64 = panels[1].points.iter().map(|p| p.1).sum();
+        assert!(a8 > a4);
+        let csv = to_csv(&panels);
+        assert_eq!(csv.lines().count(), 1 + 512);
+        assert!(summarize(&panels[0]).contains("conventional"));
+    }
+}

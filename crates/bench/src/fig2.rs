@@ -1,0 +1,147 @@
+//! Fig. 2: boxplots of the per-coefficient area reduction delivered by
+//! the coefficient approximation as a function of the neighbourhood
+//! half-width `e`, for four multiplier shapes.
+
+use std::fmt::Write as _;
+
+use pax_core::mult_cache::MultCache;
+
+/// The four multiplier shapes of the paper's panels (input bits,
+/// coefficient bits).
+pub const SHAPES: [(u32, u32); 4] = [(4, 6), (4, 8), (8, 8), (12, 8)];
+
+/// Five-number summary of one boxplot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Computes the five-number summary of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "empty sample");
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let q = |p: f64| {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let frac = idx - lo as f64;
+            v[lo] * (1.0 - frac) + v[hi] * frac
+        };
+        Self { min: v[0], q1: q(0.25), median: q(0.5), q3: q(0.75), max: v[v.len() - 1] }
+    }
+}
+
+/// One panel: per `e ∈ [1, 10]` the distribution of area reductions.
+#[derive(Debug, Clone)]
+pub struct Fig2Panel {
+    /// Input width.
+    pub in_bits: u32,
+    /// Coefficient width.
+    pub coef_bits: u32,
+    /// `(e, stats)` pairs for `e = 1..=10`.
+    pub boxes: Vec<(i64, BoxStats)>,
+}
+
+/// Builds all four panels.
+pub fn build(cache: &MultCache) -> Vec<Fig2Panel> {
+    SHAPES.iter().map(|&(ib, cb)| panel(cache, ib, cb)).collect()
+}
+
+/// Builds one panel.
+pub fn panel(cache: &MultCache, in_bits: u32, coef_bits: u32) -> Fig2Panel {
+    let boxes = (1i64..=10)
+        .map(|e| {
+            let reductions = cache.reduction_stats(in_bits, coef_bits, e);
+            (e, BoxStats::of(&reductions))
+        })
+        .collect();
+    Fig2Panel { in_bits, coef_bits, boxes }
+}
+
+/// CSV rendering: `in_bits,coef_bits,e,min,q1,median,q3,max`.
+pub fn to_csv(panels: &[Fig2Panel]) -> String {
+    let mut out = String::from("in_bits,coef_bits,e,min,q1,median,q3,max\n");
+    for p in panels {
+        for &(e, s) in &p.boxes {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.2},{:.2},{:.2},{:.2},{:.2}",
+                p.in_bits, p.coef_bits, e, s.min, s.q1, s.median, s.q3, s.max
+            );
+        }
+    }
+    out
+}
+
+/// Terminal summary quoting the paper's in-text medians.
+pub fn summarize(panels: &[Fig2Panel]) -> String {
+    let mut out = String::new();
+    for p in panels {
+        let med = |e: i64| p.boxes.iter().find(|b| b.0 == e).map(|b| b.1.median).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "x: {:2}-bit, w: {}-bit — median reduction {:.0}% @ e=1, {:.0}% @ e=4, {:.0}% @ e=10",
+            p.in_bits,
+            p.coef_bits,
+            med(1),
+            med(4),
+            med(10)
+        );
+    }
+    out.push_str("(paper: >19% median @ e=1, ~53% @ e=4; gains saturate beyond e=4)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_are_order_statistics() {
+        let s = BoxStats::of(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+    }
+
+    #[test]
+    fn reductions_grow_then_saturate() {
+        let cache = MultCache::new(egt_pdk::egt_library());
+        let p = panel(&cache, 4, 6);
+        let med = |e: i64| p.boxes.iter().find(|b| b.0 == e).unwrap().1.median;
+        assert!(med(4) >= med(1), "median must grow with e");
+        // Saturation: the paper observes diminishing returns past e=4.
+        let gain_1_to_4 = med(4) - med(1);
+        let gain_4_to_10 = med(10) - med(4);
+        assert!(
+            gain_4_to_10 <= gain_1_to_4 + 5.0,
+            "saturation expected: {gain_1_to_4} then {gain_4_to_10}"
+        );
+        let csv = to_csv(&[p.clone()]);
+        assert_eq!(csv.lines().count(), 11);
+        assert!(summarize(&[p]).contains("median"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_box_rejected() {
+        let _ = BoxStats::of(&[]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Fig. 3: the accuracy-versus-normalized-area Pareto space of every
+//! circuit, with the four technique series.
+
+use std::fmt::Write as _;
+
+use pax_core::report;
+use pax_core::Technique;
+
+use crate::studies::StudyRun;
+
+/// CSV of one subplot (one circuit).
+pub fn subplot_csv(run: &StudyRun) -> String {
+    report::fig3_csv(&run.study)
+}
+
+/// CSV of all subplots concatenated with a `circuit` column prefix.
+pub fn to_csv(runs: &[StudyRun]) -> String {
+    let mut out = String::from("circuit,technique,tau_c,phi_c,accuracy,area_mm2,norm_area,power_mw\n");
+    for run in runs {
+        let label = run.entry.label();
+        for line in report::fig3_csv(&run.study).lines().skip(1) {
+            let _ = writeln!(out, "{label},{line}");
+        }
+    }
+    out
+}
+
+/// Terminal summary per circuit: series sizes, Pareto composition and
+/// the paper's headline claims (cross-layer dominates the front; the
+/// coefficient approximation alone keeps accuracy).
+pub fn summarize(runs: &[StudyRun]) -> String {
+    let mut out = String::new();
+    for run in runs {
+        let s = &run.study;
+        let front = s.pareto_front();
+        let cross_on_front =
+            front.iter().filter(|p| p.technique == Technique::Cross).count();
+        let _ = writeln!(
+            out,
+            "{:22} base acc {:.3} area {:7.1} cm² | coeff: acc {:.3}, {:.0}% area | \
+             {} pruned-only pts, {} cross pts | Pareto: {}/{} cross",
+            run.entry.label(),
+            s.baseline.accuracy,
+            s.baseline.area_cm2(),
+            s.coeff.accuracy,
+            100.0 * (1.0 - s.coeff.norm_area(s.baseline.area_mm2)),
+            s.prune_only.len(),
+            s.cross.len(),
+            cross_on_front,
+            front.len(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{train_entry, DatasetId};
+    use crate::studies::run_one;
+    use pax_ml::quant::ModelKind;
+    use pax_ml::synth_data::SynthConfig;
+
+    #[test]
+    fn csv_and_summary_cover_the_run() {
+        let cfg = SynthConfig::small();
+        let run = run_one(train_entry(DatasetId::RedWine, ModelKind::SvmR, &cfg));
+        let csv = to_csv(std::slice::from_ref(&run));
+        assert!(csv.lines().count() > 3);
+        assert!(csv.contains("redwine svm-r,exact"));
+        assert!(csv.contains("cross-layer"));
+        let sum = summarize(std::slice::from_ref(&run));
+        assert!(sum.contains("Pareto"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Table II: per circuit and per technique, the minimum-area design
+//! losing less than 1% accuracy, with gains versus the baseline and the
+//! printed-battery verdict.
+
+use pax_core::report::{summarize_gains, table2_markdown, table2_row, GainSummary, Table2Row};
+
+use crate::studies::StudyRun;
+use crate::table1::tech_for;
+
+/// The accuracy-loss budget of the paper's Table II.
+pub const MAX_LOSS: f64 = 0.01;
+
+/// Builds all Table II rows from completed studies.
+pub fn build(runs: &[StudyRun]) -> Vec<Table2Row> {
+    runs.iter()
+        .map(|r| {
+            let tech = tech_for(r.entry.dataset, r.entry.kind);
+            table2_row(&r.study, MAX_LOSS, tech.battery_mw)
+        })
+        .collect()
+}
+
+/// Renders Table II plus the paper's headline averages.
+pub fn render(rows: &[Table2Row]) -> String {
+    let mut out = String::from("# Table II — area/power at <1% accuracy loss\n\n");
+    out.push_str(&table2_markdown(rows));
+    let g = summary(rows);
+    out.push_str(&format!(
+        "\naverages: cross-layer {:.0}%/{:.0}% area/power gain, \
+         coeff-approx {:.0}%/{:.0}%, pruning-only {:.0}%/{:.0}%\n\
+         (paper: 47%/44%, 28%/26%, 22%/20%)\n",
+        g.cross_area, g.cross_power, g.coeff_area, g.coeff_power, g.prune_area, g.prune_power
+    ));
+    out
+}
+
+/// Average gains over the rows.
+pub fn summary(rows: &[Table2Row]) -> GainSummary {
+    summarize_gains(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{train_entry, DatasetId};
+    use crate::studies::run_one;
+    use pax_ml::quant::ModelKind;
+    use pax_ml::synth_data::SynthConfig;
+
+    #[test]
+    fn table2_row_from_real_study() {
+        let cfg = SynthConfig::small();
+        let entry = train_entry(DatasetId::RedWine, ModelKind::SvmR, &cfg);
+        let run = run_one(entry);
+        let rows = build(&[run]);
+        assert_eq!(rows.len(), 1);
+        // The cross-layer result can never be worse than pruning alone
+        // or the coefficient approximation alone.
+        assert!(rows[0].cross.area_gain_pct >= rows[0].coeff.area_gain_pct - 1e-9);
+        assert!(rows[0].cross.area_gain_pct >= rows[0].prune.area_gain_pct - 1e-9);
+        let text = render(&rows);
+        assert!(text.contains("redwine svm-r"));
+        assert!(text.contains("averages"));
+    }
+}

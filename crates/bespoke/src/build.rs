@@ -1,0 +1,261 @@
+use pax_ml::quant::QuantizedModel;
+use pax_netlist::{eval, Bus, Netlist, NetlistBuilder};
+use pax_synth::{argmax::argmax, bits, relu::relu, wsum::weighted_sum};
+
+/// A generated bespoke circuit together with the quantized model it
+/// hardwires (the model carries the metadata — kind, class count,
+/// dequantization scale — the evaluation harness needs).
+#[derive(Debug, Clone)]
+pub struct BespokeCircuit {
+    /// The gate-level circuit.
+    pub netlist: Netlist,
+    /// The hardwired model.
+    pub model: QuantizedModel,
+}
+
+impl BespokeCircuit {
+    /// Generates the fully-parallel bespoke circuit for `model`.
+    ///
+    /// Interface of the generated netlist:
+    ///
+    /// * input ports `x0..x{n-1}`, each `input_bits` wide (unsigned);
+    /// * output ports `score0..score{k-1}` — the signed class-score
+    ///   buses (pre-argmax; the paper's φ observation points);
+    /// * for classifiers, an output port `class` carrying the argmax
+    ///   index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no sums (checked by construction in
+    /// `pax-ml`).
+    pub fn generate(model: &QuantizedModel) -> Self {
+        // Module names must stay valid Verilog identifiers.
+        let mut b = NetlistBuilder::new(format!(
+            "{}_{}",
+            model.name.replace(|c: char| !c.is_alphanumeric() && c != '_', "_"),
+            model.kind.tag().replace('-', "_")
+        ));
+        let inputs: Vec<Bus> = (0..model.n_inputs())
+            .map(|i| b.input_port(format!("x{i}"), model.spec.input_bits as usize))
+            .collect();
+
+        let scores: Vec<Bus> = if model.kind.is_mlp() {
+            let hidden = build_hidden_layer(&mut b, model, &inputs);
+            let hidden_max = model.hidden_maxima();
+            model
+                .layer2
+                .iter()
+                .map(|sum| {
+                    let (lo, hi) = sum.bounds(&hidden_max);
+                    let width = bits::signed_width_for(lo, hi).max(2);
+                    weighted_sum(&mut b, &hidden, &sum.weights, sum.bias, width)
+                })
+                .collect()
+        } else {
+            let in_max = vec![model.spec.input_max(); model.n_inputs()];
+            model
+                .layer1
+                .iter()
+                .map(|sum| {
+                    let (lo, hi) = sum.bounds(&in_max);
+                    let width = bits::signed_width_for(lo, hi).max(2);
+                    weighted_sum(&mut b, &inputs, &sum.weights, sum.bias, width)
+                })
+                .collect()
+        };
+
+        // Classifiers: argmax over sign-extended, equal-width scores.
+        if model.kind.is_classifier() {
+            let w = scores.iter().map(Bus::width).max().expect("at least one score");
+            let extended: Vec<Bus> =
+                scores.iter().map(|s| bits::sign_extend(s, w)).collect();
+            let am = argmax(&mut b, &extended);
+            b.output_port("class", am.index);
+        }
+        for (i, s) in scores.iter().enumerate() {
+            b.output_port(format!("score{i}"), s.clone());
+        }
+
+        Self { netlist: b.finish(), model: model.clone() }
+    }
+
+    /// Names of the score (φ observation) ports, in class order.
+    pub fn score_ports(&self) -> Vec<String> {
+        (0..self.model.n_outputs()).map(|i| format!("score{i}")).collect()
+    }
+
+    /// Returns the same model metadata with a different netlist —
+    /// used after optimization or pruning, which preserve the port
+    /// interface.
+    pub fn with_netlist(&self, netlist: Netlist) -> Self {
+        Self { netlist, model: self.model.clone() }
+    }
+
+    /// Slow single-sample prediction through the scalar evaluator.
+    /// The batched path is [`crate::evaluate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_q` has the wrong arity or a value exceeds the input
+    /// range.
+    pub fn predict_one(&self, x_q: &[i64]) -> usize {
+        assert_eq!(x_q.len(), self.model.n_inputs(), "input arity mismatch");
+        let named: Vec<(String, u64)> = x_q
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (format!("x{i}"), u64::try_from(v).expect("unsigned input")))
+            .collect();
+        let refs: Vec<(&str, u64)> = named.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let out = eval::eval_ports(&self.netlist, &refs);
+        if self.model.kind.is_classifier() {
+            out["class"] as usize
+        } else {
+            let port = self.netlist.output_port("score0").expect("score0 port");
+            let raw = eval::to_signed(out["score0"], port.width());
+            pax_ml::metrics::round_to_class(
+                raw as f64 * self.model.output_scale,
+                self.model.n_classes,
+            )
+        }
+    }
+}
+
+/// Builds the hidden layer of an MLP: weighted sums, ReLU, hardwired
+/// right shift, and a trim to the statically known operand width.
+fn build_hidden_layer(
+    b: &mut NetlistBuilder,
+    model: &QuantizedModel,
+    inputs: &[Bus],
+) -> Vec<Bus> {
+    let in_max = vec![model.spec.input_max(); model.n_inputs()];
+    model
+        .layer1
+        .iter()
+        .map(|sum| {
+            let (lo, hi) = sum.bounds(&in_max);
+            let width = bits::signed_width_for(lo, hi).max(2);
+            let acc = weighted_sum(b, inputs, &sum.weights, sum.bias, width);
+            let rectified = relu(b, &acc);
+            let shift = (model.hidden_shift as usize).min(rectified.width());
+            let shifted = bits::lshr(&rectified, shift);
+            // Trim to the exact static maximum of this neuron.
+            let hmax = (hi.max(0) >> model.hidden_shift) as u64;
+            let keep = bits::unsigned_width_for(hmax).min(shifted.width().max(1));
+            if shifted.is_empty() {
+                // The neuron is statically always ≤ 0 after the shift.
+                vec![b.const0()].into()
+            } else {
+                shifted.take_low(keep.max(1))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_ml::model::{LinearClassifier, LinearRegressor, Mlp, MlpTask};
+    use pax_ml::quant::{QuantSpec, QuantizedModel};
+
+    fn tiny_mlp(task: MlpTask, outs: usize) -> QuantizedModel {
+        let w2: Vec<Vec<f64>> = (0..outs)
+            .map(|o| vec![0.6 - 0.3 * o as f64, -0.4 + 0.25 * o as f64])
+            .collect();
+        let b2 = vec![0.03; outs];
+        let mlp = Mlp::new(
+            vec![vec![0.5, -0.7, 0.2], vec![-0.3, 0.9, 0.4]],
+            vec![0.1, -0.05],
+            w2,
+            b2,
+            task,
+        );
+        QuantizedModel::from_mlp("tiny", &mlp, 3, QuantSpec::default())
+    }
+
+    #[test]
+    fn mlp_classifier_matches_golden_model_exhaustively() {
+        let q = tiny_mlp(MlpTask::Classification, 3);
+        let c = BespokeCircuit::generate(&q);
+        pax_netlist::validate::assert_valid(&c.netlist);
+        for a in 0..16i64 {
+            for b in 0..16i64 {
+                for cc in [0i64, 5, 15] {
+                    let x = [a, b, cc];
+                    assert_eq!(c.predict_one(&x), q.predict_q(&x), "x={x:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mlp_regressor_matches_golden_model() {
+        let q = tiny_mlp(MlpTask::Regression, 1);
+        let c = BespokeCircuit::generate(&q);
+        for a in 0..16i64 {
+            for b in [0i64, 7, 15] {
+                let x = [a, b, 15 - a];
+                assert_eq!(c.predict_one(&x), q.predict_q(&x), "x={x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn svm_classifier_matches_golden_model() {
+        let svc = LinearClassifier::new(
+            vec![vec![0.9, -0.3], vec![-0.5, 0.8], vec![0.1, 0.1], vec![0.4, 0.4]],
+            vec![0.0, 0.1, -0.05, 0.02],
+        );
+        let q = QuantizedModel::from_linear_classifier("svc", &svc, QuantSpec::default());
+        let c = BespokeCircuit::generate(&q);
+        for a in 0..16i64 {
+            for b in 0..16i64 {
+                assert_eq!(c.predict_one(&[a, b]), q.predict_q(&[a, b]));
+            }
+        }
+    }
+
+    #[test]
+    fn svr_matches_golden_model() {
+        let svr = LinearRegressor::new(vec![0.7, -0.2, 0.5], 0.8);
+        let q = QuantizedModel::from_svr("svr", &svr, 4, QuantSpec::default());
+        let c = BespokeCircuit::generate(&q);
+        for a in 0..16i64 {
+            for b in [0i64, 8, 15] {
+                let x = [a, b, (a + b) % 16];
+                assert_eq!(c.predict_one(&x), q.predict_q(&x), "x={x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn score_ports_exist_and_are_signed_buses() {
+        let q = tiny_mlp(MlpTask::Classification, 3);
+        let c = BespokeCircuit::generate(&q);
+        assert_eq!(c.score_ports(), vec!["score0", "score1", "score2"]);
+        for p in c.score_ports() {
+            assert!(c.netlist.output_port(&p).is_some(), "missing {p}");
+        }
+        assert!(c.netlist.output_port("class").is_some());
+    }
+
+    #[test]
+    fn regressor_has_no_class_port() {
+        let svr = LinearRegressor::new(vec![0.4], 0.0);
+        let q = QuantizedModel::from_svr("svr", &svr, 3, QuantSpec::default());
+        let c = BespokeCircuit::generate(&q);
+        assert!(c.netlist.output_port("class").is_none());
+        assert!(c.netlist.output_port("score0").is_some());
+    }
+
+    #[test]
+    fn optimization_preserves_circuit_function() {
+        let q = tiny_mlp(MlpTask::Classification, 3);
+        let c = BespokeCircuit::generate(&q);
+        let opt = c.with_netlist(pax_synth::opt::optimize(&c.netlist));
+        assert!(opt.netlist.gate_count() <= c.netlist.gate_count());
+        for a in 0..16i64 {
+            let x = [a, 15 - a, (3 * a) % 16];
+            assert_eq!(c.predict_one(&x), opt.predict_one(&x));
+        }
+    }
+}

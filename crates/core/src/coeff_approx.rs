@@ -1,0 +1,398 @@
+//! Hardware-driven coefficient approximation (paper §III-B).
+//!
+//! For each weighted sum of the model, every coefficient `wᵢ` gets a
+//! two-element candidate set `Rᵢ = {w̃ᵢ⁻, w̃ᵢ⁺}`:
+//!
+//! * `w̃ᵢ⁻ ∈ [wᵢ, wᵢ+e]` — the cheapest-area value *above* `wᵢ`
+//!   (replacing `wᵢ` with it makes the term error `xᵢ·(wᵢ−w̃ᵢ)` negative,
+//!   since inputs are unsigned);
+//! * `w̃ᵢ⁺ ∈ [wᵢ−e, wᵢ]` — the cheapest value below (positive error);
+//!
+//! both clipped at the representable coefficient range. An exhaustive
+//! search over `∏ Rᵢ` then picks the configuration minimizing
+//! `|Σ (wᵢ − w̃ᵢ)|` — balancing positive against negative errors — with
+//! ties broken towards minimal `Σ AREA(BM_w̃ᵢ)`. The multiplier-area sum
+//! is the proxy for the weighted-sum area (validated at r ≈ 0.9 by the
+//! `proxy` benchmark, as in the paper).
+
+use pax_ml::quant::QuantizedModel;
+
+use crate::mult_cache::MultCache;
+
+/// Configuration of the coefficient approximation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoeffApproxConfig {
+    /// Neighbourhood half-width `e`. The paper fixes `e = 4`: area gains
+    /// saturate beyond it (Fig. 2).
+    pub e: i64,
+    /// Weighted sums with more coefficients than this fall back to a
+    /// greedy balance (the paper's models stay ≤ 21, far below this).
+    pub exhaustive_limit: usize,
+}
+
+impl Default for CoeffApproxConfig {
+    fn default() -> Self {
+        Self { e: 4, exhaustive_limit: 24 }
+    }
+}
+
+/// Per-sum outcome of the approximation.
+#[derive(Debug, Clone)]
+pub struct SumApproxReport {
+    /// Layer index (0 = hidden/class sums, 1 = MLP output sums).
+    pub layer: usize,
+    /// Sum index within its layer.
+    pub index: usize,
+    /// Residual weight error `Σ (wᵢ − w̃ᵢ)` of the chosen configuration.
+    pub residual_error: i64,
+    /// Area proxy before, in mm².
+    pub proxy_before: f64,
+    /// Area proxy after, in mm².
+    pub proxy_after: f64,
+}
+
+/// Whole-model report.
+#[derive(Debug, Clone)]
+pub struct CoeffApproxReport {
+    /// Per-sum details.
+    pub sums: Vec<SumApproxReport>,
+}
+
+impl CoeffApproxReport {
+    /// Total area proxy before approximation.
+    pub fn proxy_before(&self) -> f64 {
+        self.sums.iter().map(|s| s.proxy_before).sum()
+    }
+
+    /// Total area proxy after approximation.
+    pub fn proxy_after(&self) -> f64 {
+        self.sums.iter().map(|s| s.proxy_after).sum()
+    }
+
+    /// Relative proxy reduction in percent.
+    pub fn proxy_reduction_pct(&self) -> f64 {
+        let before = self.proxy_before();
+        if before <= 0.0 {
+            0.0
+        } else {
+            (before - self.proxy_after()) / before * 100.0
+        }
+    }
+}
+
+/// Applies the approximation, returning the rewritten model and a
+/// report. The input model is not modified.
+pub fn approximate_model(
+    model: &QuantizedModel,
+    cache: &MultCache,
+    cfg: &CoeffApproxConfig,
+) -> (QuantizedModel, CoeffApproxReport) {
+    assert!(cfg.e >= 0, "negative neighbourhood width");
+    let mut out = model.clone();
+    let shapes = model.sum_shapes();
+
+    // The sums are independent; approximate them in parallel.
+    let results: Vec<(usize, usize, Vec<i64>, SumApproxReport)> = std::thread::scope(|s| {
+        let handles: Vec<_> = shapes
+            .iter()
+            .map(|&(layer, index, in_bits)| {
+                let model = &model;
+                let cache = &cache;
+                let cfg = &cfg;
+                s.spawn(move || {
+                    let sum = model.sum(layer, index);
+                    let (weights, report) = approximate_sum(
+                        &sum.weights,
+                        in_bits.max(1),
+                        model.spec.coef_range(),
+                        cache,
+                        cfg,
+                        layer,
+                        index,
+                    );
+                    (layer, index, weights, report)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("approx thread")).collect()
+    });
+
+    let mut sums = Vec::with_capacity(results.len());
+    for (layer, index, weights, report) in results {
+        out.sum_mut(layer, index).weights = weights;
+        sums.push(report);
+    }
+    sums.sort_by_key(|r| (r.layer, r.index));
+    (out, CoeffApproxReport { sums })
+}
+
+/// Approximates one weighted sum; returns the new weights and a report.
+fn approximate_sum(
+    weights: &[i64],
+    in_bits: u32,
+    (coef_lo, coef_hi): (i64, i64),
+    cache: &MultCache,
+    cfg: &CoeffApproxConfig,
+    layer: usize,
+    index: usize,
+) -> (Vec<i64>, SumApproxReport) {
+    let proxy_before: f64 = weights.iter().map(|&w| cache.area(in_bits, w)).sum();
+
+    // Candidate sets Ri = {down (positive error), up (negative error)}.
+    let candidates: Vec<(i64, i64)> = weights
+        .iter()
+        .map(|&w| {
+            let up = best_in_segment(w, (w + cfg.e).min(coef_hi), in_bits, cache);
+            let down = best_in_segment((w - cfg.e).max(coef_lo), w, in_bits, cache);
+            (down, up)
+        })
+        .collect();
+
+    let chosen = if weights.len() <= cfg.exhaustive_limit {
+        exhaustive_balance(weights, &candidates, in_bits, cache)
+    } else {
+        greedy_balance(weights, &candidates, in_bits, cache)
+    };
+
+    let residual_error: i64 = weights.iter().zip(&chosen).map(|(w, c)| w - c).sum();
+    let proxy_after: f64 = chosen.iter().map(|&w| cache.area(in_bits, w)).sum();
+    (
+        chosen,
+        SumApproxReport { layer, index, residual_error, proxy_before, proxy_after },
+    )
+}
+
+/// The cheapest-area value in `[lo, hi]`; ties prefer values closer to
+/// the segment's original coefficient (callers pass `w` as one bound).
+fn best_in_segment(lo: i64, hi: i64, in_bits: u32, cache: &MultCache) -> i64 {
+    debug_assert!(lo <= hi);
+    let mut best = lo;
+    let mut best_area = f64::INFINITY;
+    // Scan from the bound nearest the original w outward so equal-area
+    // ties keep the smallest |w - w̃|. One bound of the segment is w
+    // itself; iterate from that side.
+    let values: Vec<i64> = (lo..=hi).collect();
+    for &cand in values.iter() {
+        let a = cache.area(in_bits, cand);
+        if a < best_area {
+            best_area = a;
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Exhaustive search over the 2^n candidate configurations minimizing
+/// `|Σ error|`, ties by total multiplier area.
+fn exhaustive_balance(
+    weights: &[i64],
+    candidates: &[(i64, i64)],
+    in_bits: u32,
+    cache: &MultCache,
+) -> Vec<i64> {
+    let n = weights.len();
+    // Precompute per-position (error, area) of both options.
+    let opts: Vec<[(i64, f64); 2]> = weights
+        .iter()
+        .zip(candidates)
+        .map(|(&w, &(down, up))| {
+            [
+                (w - down, cache.area(in_bits, down)),
+                (w - up, cache.area(in_bits, up)),
+            ]
+        })
+        .collect();
+
+    let mut best_mask = 0u64;
+    let mut best_err = i64::MAX;
+    let mut best_area = f64::INFINITY;
+    for mask in 0u64..(1u64 << n) {
+        let mut err = 0i64;
+        let mut area = 0.0f64;
+        for (i, o) in opts.iter().enumerate() {
+            let pick = (mask >> i & 1) as usize;
+            err += o[pick].0;
+            area += o[pick].1;
+        }
+        let err = err.abs();
+        if err < best_err || (err == best_err && area < best_area) {
+            best_err = err;
+            best_area = area;
+            best_mask = mask;
+        }
+    }
+    weights
+        .iter()
+        .zip(candidates)
+        .enumerate()
+        .map(|(i, (_, &(down, up)))| if best_mask >> i & 1 == 1 { up } else { down })
+        .collect()
+}
+
+/// Greedy fallback for very wide sums: pick per-coefficient the cheaper
+/// candidate, then flip the choices that best re-balance the error.
+fn greedy_balance(
+    weights: &[i64],
+    candidates: &[(i64, i64)],
+    in_bits: u32,
+    cache: &MultCache,
+) -> Vec<i64> {
+    let mut chosen: Vec<i64> = candidates
+        .iter()
+        .map(|&(down, up)| {
+            if cache.area(in_bits, down) <= cache.area(in_bits, up) {
+                down
+            } else {
+                up
+            }
+        })
+        .collect();
+    // Flip selections while it reduces |Σ error|.
+    loop {
+        let err: i64 = weights.iter().zip(&chosen).map(|(w, c)| w - c).sum();
+        if err == 0 {
+            break;
+        }
+        let mut best: Option<(usize, i64)> = None;
+        for (i, (&(down, up), &cur)) in candidates.iter().zip(&chosen).enumerate() {
+            let alt = if cur == down { up } else { down };
+            if alt == cur {
+                continue;
+            }
+            // err = Σ(w − c); flipping c from cur to alt changes err by
+            // −(alt − cur).
+            let candidate_err = err - (alt - cur);
+            if candidate_err.abs() < best.map_or(err.abs(), |(_, e)| e) {
+                best = Some((i, candidate_err.abs()));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let (down, up) = candidates[i];
+                chosen[i] = if chosen[i] == down { up } else { down };
+            }
+            None => break,
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_ml::model::LinearClassifier;
+    use pax_ml::quant::{QuantSpec, QuantizedModel};
+
+    fn cache() -> MultCache {
+        MultCache::new(egt_pdk::egt_library())
+    }
+
+    fn model_with_weights(rows: Vec<Vec<f64>>) -> QuantizedModel {
+        let k = rows.len();
+        QuantizedModel::from_linear_classifier(
+            "t",
+            &LinearClassifier::new(rows, vec![0.0; k]),
+            QuantSpec::default(),
+        )
+    }
+
+    #[test]
+    fn approximation_reduces_area_proxy() {
+        // Dense coefficients near powers of two: big wins available.
+        let m = model_with_weights(vec![
+            vec![0.49, -0.26, 0.99, 0.13],
+            vec![-0.52, 0.27, -0.95, 0.24],
+        ]);
+        let c = cache();
+        let (approx, report) = approximate_model(&m, &c, &CoeffApproxConfig::default());
+        assert!(report.proxy_after() < report.proxy_before());
+        assert!(report.proxy_reduction_pct() > 0.0);
+        // Weights moved by at most e.
+        for (before, after) in m.layer1.iter().zip(&approx.layer1) {
+            for (&w, &wa) in before.weights.iter().zip(&after.weights) {
+                assert!((w - wa).abs() <= 4, "{w} -> {wa}");
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_balanced() {
+        let m = model_with_weights(vec![vec![0.37, -0.81, 0.22, 0.66, -0.14]]);
+        let c = cache();
+        let (_, report) = approximate_model(&m, &c, &CoeffApproxConfig::default());
+        // Exhaustive balancing keeps the residual error tiny relative to
+        // the worst case (5 coefficients × e=4 = 20).
+        assert!(
+            report.sums[0].residual_error.abs() <= 4,
+            "residual {}",
+            report.sums[0].residual_error
+        );
+    }
+
+    #[test]
+    fn e_zero_is_identity() {
+        let m = model_with_weights(vec![vec![0.5, -0.3, 0.8]]);
+        let c = cache();
+        let cfg = CoeffApproxConfig { e: 0, ..Default::default() };
+        let (approx, report) = approximate_model(&m, &c, &cfg);
+        assert_eq!(approx.layer1, m.layer1);
+        assert_eq!(report.proxy_before(), report.proxy_after());
+    }
+
+    #[test]
+    fn clipping_at_range_borders() {
+        // Weight quantized to exactly +127: the up-segment must clip at
+        // 127 and never propose 128.
+        let m = model_with_weights(vec![vec![1.0, -1.0, 0.01]]);
+        let c = cache();
+        let (approx, _) = approximate_model(&m, &c, &CoeffApproxConfig::default());
+        for sum in &approx.layer1 {
+            for &w in &sum.weights {
+                assert!((-128..=127).contains(&w), "{w} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_direction_on_wide_sums() {
+        let m = model_with_weights(vec![(0..30)
+            .map(|i| ((i * 17 + 3) % 200) as f64 / 100.0 - 1.0)
+            .collect()]);
+        let c = cache();
+        let cfg = CoeffApproxConfig { e: 4, exhaustive_limit: 8 }; // force greedy
+        let (_, report) = approximate_model(&m, &c, &cfg);
+        assert!(report.proxy_after() <= report.proxy_before());
+        assert!(report.sums[0].residual_error.abs() <= 8);
+    }
+
+    #[test]
+    fn approximation_never_increases_the_proxy() {
+        // Both candidates of every coefficient are minimum-area values of
+        // segments that contain the original coefficient, so whatever the
+        // balance search picks, the proxy cannot grow. (Note the *chosen*
+        // configuration is not monotone in e — balancing may prefer a
+        // pricier candidate — only this upper bound is guaranteed.)
+        let m = model_with_weights(vec![vec![0.43, -0.61, 0.29, 0.87, -0.33, 0.11]]);
+        let c = cache();
+        for e in [1, 2, 4, 6, 10] {
+            let (_, r) = approximate_model(&m, &c, &CoeffApproxConfig { e, ..Default::default() });
+            assert!(r.proxy_after() <= r.proxy_before() + 1e-9, "e={e}");
+        }
+    }
+
+    #[test]
+    fn candidate_floor_improves_with_e() {
+        // The per-coefficient best reachable area is monotone in e even
+        // though the balanced choice is not.
+        let c = cache();
+        for w in [-93i64, -37, 29, 77, 121] {
+            let floor = |e: i64| {
+                ((w - e).max(-128)..=(w + e).min(127))
+                    .map(|cand| c.area(4, cand))
+                    .fold(f64::INFINITY, f64::min)
+            };
+            assert!(floor(6) <= floor(2) + 1e-12, "w={w}");
+            assert!(floor(2) <= floor(1) + 1e-12, "w={w}");
+        }
+    }
+}

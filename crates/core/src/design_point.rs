@@ -1,0 +1,118 @@
+use serde::{Deserialize, Serialize};
+
+/// Which approximation produced a design (the four series of the
+/// paper's Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// The exact bespoke baseline of \[1\] (black triangle).
+    Exact,
+    /// Only the hardware-driven coefficient approximation (red star).
+    CoeffApprox,
+    /// Only netlist pruning, applied to the baseline (gray ×).
+    PruneOnly,
+    /// Coefficient approximation + pruning — the cross-layer flow
+    /// (green dots).
+    Cross,
+}
+
+impl Technique {
+    /// Label used in reports and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::Exact => "exact",
+            Technique::CoeffApprox => "coeff-approx",
+            Technique::PruneOnly => "prune-only",
+            Technique::Cross => "cross-layer",
+        }
+    }
+}
+
+impl std::fmt::Display for Technique {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One fully evaluated hardware design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Producing technique.
+    pub technique: Technique,
+    /// Pruning τ threshold, if pruning was applied.
+    pub tau_c: Option<f64>,
+    /// Pruning φ threshold, if pruning was applied.
+    pub phi_c: Option<i64>,
+    /// Test-set accuracy.
+    pub accuracy: f64,
+    /// Printed area in mm².
+    pub area_mm2: f64,
+    /// Total power in mW (test-set activity).
+    pub power_mw: f64,
+    /// Gate count.
+    pub gate_count: usize,
+    /// Critical-path delay in ms.
+    pub critical_ms: f64,
+}
+
+impl DesignPoint {
+    /// Area normalized to a baseline (the paper's Fig. 3 x-axis).
+    pub fn norm_area(&self, baseline_area: f64) -> f64 {
+        if baseline_area <= 0.0 {
+            0.0
+        } else {
+            self.area_mm2 / baseline_area
+        }
+    }
+
+    /// Area in cm² (the paper's Tables I/II unit).
+    pub fn area_cm2(&self) -> f64 {
+        self.area_mm2 / 100.0
+    }
+
+    /// `true` if `self` dominates `other` in the (accuracy ↑, area ↓)
+    /// sense — at least as good in both, strictly better in one.
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let ge = self.accuracy >= other.accuracy && self.area_mm2 <= other.area_mm2;
+        let strict = self.accuracy > other.accuracy || self.area_mm2 < other.area_mm2;
+        ge && strict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(acc: f64, area: f64) -> DesignPoint {
+        DesignPoint {
+            technique: Technique::Cross,
+            tau_c: None,
+            phi_c: None,
+            accuracy: acc,
+            area_mm2: area,
+            power_mw: 1.0,
+            gate_count: 10,
+            critical_ms: 5.0,
+        }
+    }
+
+    #[test]
+    fn dominance_semantics() {
+        assert!(point(0.9, 100.0).dominates(&point(0.8, 100.0)));
+        assert!(point(0.9, 90.0).dominates(&point(0.9, 100.0)));
+        assert!(!point(0.9, 100.0).dominates(&point(0.9, 100.0)), "equal points tie");
+        assert!(!point(0.95, 110.0).dominates(&point(0.9, 100.0)), "trade-off");
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let p = point(0.9, 1234.0);
+        assert!((p.area_cm2() - 12.34).abs() < 1e-12);
+        assert!((p.norm_area(2468.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn technique_labels_are_stable() {
+        assert_eq!(Technique::Exact.label(), "exact");
+        assert_eq!(Technique::Cross.to_string(), "cross-layer");
+    }
+}

@@ -1,0 +1,135 @@
+//! Pareto-front extraction over (accuracy ↑, area ↓).
+
+use crate::DesignPoint;
+
+/// Indices of the non-dominated points, sorted by ascending area.
+///
+/// Duplicate (accuracy, area) pairs keep their first occurrence.
+///
+/// # Examples
+///
+/// ```
+/// use pax_core::{pareto, DesignPoint, Technique};
+///
+/// let p = |acc: f64, area: f64| DesignPoint {
+///     technique: Technique::Cross,
+///     tau_c: None,
+///     phi_c: None,
+///     accuracy: acc,
+///     area_mm2: area,
+///     power_mw: 0.0,
+///     gate_count: 0,
+///     critical_ms: 0.0,
+/// };
+/// let points = vec![p(0.9, 100.0), p(0.85, 60.0), p(0.8, 80.0), p(0.95, 120.0)];
+/// let front = pareto::pareto_front(&points);
+/// // (0.8, 80) is dominated by (0.85, 60); the rest trade off.
+/// assert_eq!(front, vec![1, 0, 3]);
+/// ```
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .area_mm2
+            .partial_cmp(&points[b].area_mm2)
+            .expect("finite area")
+            .then(
+                points[b]
+                    .accuracy
+                    .partial_cmp(&points[a].accuracy)
+                    .expect("finite accuracy"),
+            )
+            .then(a.cmp(&b))
+    });
+    let mut front = Vec::new();
+    let mut best_acc = f64::NEG_INFINITY;
+    for idx in order {
+        if points[idx].accuracy > best_acc {
+            best_acc = points[idx].accuracy;
+            front.push(idx);
+        }
+    }
+    front
+}
+
+/// Among `points`, the minimum-area index whose accuracy is at least
+/// `min_accuracy`; `None` if no point qualifies. This is the paper's
+/// Table II selection (`min_accuracy = baseline − 1%`).
+pub fn best_area_within(points: &[DesignPoint], min_accuracy: f64) -> Option<usize> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.accuracy >= min_accuracy)
+        .min_by(|(_, a), (_, b)| {
+            a.area_mm2.partial_cmp(&b.area_mm2).expect("finite area")
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Technique;
+
+    fn p(acc: f64, area: f64) -> DesignPoint {
+        DesignPoint {
+            technique: Technique::Cross,
+            tau_c: None,
+            phi_c: None,
+            accuracy: acc,
+            area_mm2: area,
+            power_mw: 0.0,
+            gate_count: 0,
+            critical_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn front_is_mutually_non_dominated() {
+        let pts = vec![
+            p(0.5, 10.0),
+            p(0.6, 20.0),
+            p(0.55, 30.0),
+            p(0.9, 50.0),
+            p(0.9, 45.0),
+            p(0.2, 5.0),
+        ];
+        let front = pareto_front(&pts);
+        for (i, &a) in front.iter().enumerate() {
+            for (j, &b) in front.iter().enumerate() {
+                if i != j {
+                    assert!(!pts[a].dominates(&pts[b]), "{a} dominates {b}");
+                }
+            }
+        }
+        // Every excluded point is dominated by someone on the front.
+        for i in 0..pts.len() {
+            if !front.contains(&i) {
+                assert!(front.iter().any(|&f| pts[f].dominates(&pts[i])), "point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn front_is_area_sorted() {
+        let pts = vec![p(0.3, 50.0), p(0.9, 100.0), p(0.5, 70.0)];
+        let front = pareto_front(&pts);
+        for w in front.windows(2) {
+            assert!(pts[w[0]].area_mm2 <= pts[w[1]].area_mm2);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(pareto_front(&[]).is_empty());
+        assert_eq!(pareto_front(&[p(0.1, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn best_area_within_respects_threshold() {
+        let pts = vec![p(0.95, 100.0), p(0.90, 60.0), p(0.80, 30.0)];
+        assert_eq!(best_area_within(&pts, 0.89), Some(1));
+        assert_eq!(best_area_within(&pts, 0.99), None);
+        assert_eq!(best_area_within(&pts, 0.0), Some(2));
+    }
+}

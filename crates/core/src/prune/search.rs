@@ -1,0 +1,272 @@
+use std::collections::{BTreeMap, HashMap};
+
+use egt_pdk::{Library, TechParams};
+use pax_bespoke::evaluate;
+use pax_ml::quant::QuantizedModel;
+use pax_ml::Dataset;
+use pax_netlist::{NetId, Netlist};
+use pax_synth::{area, opt};
+
+use super::{PruneAnalysis, PruneConfig};
+
+/// One explored `(τc, φc)` grid combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridCombo {
+    /// The τ threshold (fraction, e.g. 0.93).
+    pub tau_c: f64,
+    /// The φ threshold (score-bit significance; −1 allows only
+    /// observation-blind gates).
+    pub phi_c: i64,
+    /// Index into [`PruneGrid::sets`] of the pruned-gate set this combo
+    /// produces.
+    pub set: usize,
+}
+
+/// The full exploration grid: all combos plus the deduplicated pruned
+/// sets they map to.
+#[derive(Debug, Clone)]
+pub struct PruneGrid {
+    /// Every explored `(τc, φc)` pair in exploration order.
+    pub combos: Vec<GridCombo>,
+    /// Distinct pruned-gate sets (each a sorted gate list).
+    pub sets: Vec<Vec<NetId>>,
+}
+
+impl PruneGrid {
+    /// Number of explored designs (the paper counts combos; > 4300 in
+    /// total across its 28 explorations).
+    pub fn n_designs(&self) -> usize {
+        self.combos.len()
+    }
+
+    /// Number of distinct prunings that actually need evaluation.
+    pub fn n_unique(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+/// Enumerates the paper's full search: every τc step, and per τc every
+/// relevant φc from the qualified gates' distinct φ values.
+pub fn enumerate_grid(analysis: &PruneAnalysis, cfg: &PruneConfig) -> PruneGrid {
+    let mut combos = Vec::new();
+    let mut sets: Vec<Vec<NetId>> = Vec::new();
+    let mut dedup: HashMap<Vec<NetId>, usize> = HashMap::new();
+
+    for tau_c in cfg.tau_values() {
+        // Step 3: gates whose dominant-value fraction meets the
+        // threshold (see DESIGN.md on the τ ≥ τc reading).
+        let qualified: Vec<NetId> = analysis
+            .candidates
+            .iter()
+            .copied()
+            .filter(|&g| analysis.tau_of(g) >= tau_c - 1e-12)
+            .collect();
+        // Φτ: the relevant φc values for this τc.
+        let mut phis: Vec<i64> = qualified.iter().map(|&g| analysis.phi_of(g)).collect();
+        phis.sort_unstable();
+        phis.dedup();
+
+        for phi_c in phis {
+            let mut set: Vec<NetId> = qualified
+                .iter()
+                .copied()
+                .filter(|&g| analysis.phi_of(g) <= phi_c)
+                .collect();
+            set.sort_unstable();
+            let idx = *dedup.entry(set.clone()).or_insert_with(|| {
+                sets.push(set);
+                sets.len() - 1
+            });
+            combos.push(GridCombo { tau_c, phi_c, set: idx });
+        }
+    }
+    PruneGrid { combos, sets }
+}
+
+/// Metrics of one evaluated pruned design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneEval {
+    /// Printed area in mm² after re-synthesis.
+    pub area_mm2: f64,
+    /// Total power in mW on the test-set activity.
+    pub power_mw: f64,
+    /// Test-set accuracy.
+    pub accuracy: f64,
+    /// Remaining gate count.
+    pub gate_count: usize,
+    /// Critical path in ms.
+    pub critical_ms: f64,
+    /// Number of gates pruned (before re-synthesis side effects).
+    pub n_pruned: usize,
+}
+
+/// Applies one pruned set to the base netlist: constants substituted,
+/// then constant propagation + dead-cone sweep (paper steps 4–5).
+pub fn apply_set(base: &Netlist, analysis: &PruneAnalysis, set: &[NetId]) -> Netlist {
+    let subst: BTreeMap<NetId, bool> =
+        set.iter().map(|&g| (g, analysis.dominant(g))).collect();
+    opt::apply_constants(base, &subst)
+}
+
+/// Evaluates every distinct pruned set of the grid in parallel:
+/// re-synthesis, area, test-set accuracy, power and timing per design.
+///
+/// Returns one [`PruneEval`] per entry of `grid.sets`.
+pub fn evaluate_grid(
+    base: &Netlist,
+    model: &QuantizedModel,
+    test: &Dataset,
+    lib: &Library,
+    tech: &TechParams,
+    analysis: &PruneAnalysis,
+    grid: &PruneGrid,
+) -> Vec<PruneEval> {
+    let n = grid.sets.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Work-stealing over a shared counter: set sizes (and thus
+    // re-synthesis costs) vary wildly, so static chunking would leave
+    // threads idle. Results stream back over a channel.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism().map_or(4, |t| t.get()).min(16).min(n);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, PruneEval)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let next = &next;
+            let tx = tx.clone();
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let eval = evaluate_one(base, model, test, lib, tech, analysis, &grid.sets[i]);
+                tx.send((i, eval)).expect("receiver outlives workers");
+            });
+        }
+        drop(tx);
+    });
+    let mut results: Vec<Option<PruneEval>> = vec![None; n];
+    for (i, e) in rx {
+        results[i] = Some(e);
+    }
+    results.into_iter().map(|r| r.expect("every set evaluated")).collect()
+}
+
+fn evaluate_one(
+    base: &Netlist,
+    model: &QuantizedModel,
+    test: &Dataset,
+    lib: &Library,
+    tech: &TechParams,
+    analysis: &PruneAnalysis,
+    set: &[NetId],
+) -> PruneEval {
+    let pruned = apply_set(base, analysis, set);
+    let outcome = evaluate(&pruned, model, test);
+    let area = area::area_mm2(&pruned, lib).expect("library covers cells");
+    let power = pax_sim::power::power(&pruned, lib, tech, &outcome.sim.activity)
+        .expect("library covers cells");
+    let timing = pax_sta::analyze(&pruned, lib, tech).expect("library covers cells");
+    PruneEval {
+        area_mm2: area,
+        power_mw: power.total_mw(),
+        accuracy: outcome.accuracy,
+        gate_count: pruned.gate_count(),
+        critical_ms: timing.critical_path_ms,
+        n_pruned: set.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::analyze;
+    use pax_bespoke::BespokeCircuit;
+    use pax_ml::quant::QuantSpec;
+    use pax_ml::synth_data::blobs;
+
+    fn setup() -> (BespokeCircuit, Dataset, Dataset) {
+        let data = blobs("b", 300, 3, 3, 0.09, 77);
+        let (train, test) = data.split(0.7, 1);
+        let (train, test) = pax_ml::normalize(&train, &test);
+        let m = pax_ml::train::svm::train_svm_classifier(
+            &train,
+            &pax_ml::train::svm::SvmParams { epochs: 60, ..Default::default() },
+            3,
+        );
+        let q = pax_ml::quant::QuantizedModel::from_linear_classifier(
+            "b",
+            &m,
+            QuantSpec::default(),
+        );
+        let c = BespokeCircuit::generate(&q);
+        let c = c.with_netlist(pax_synth::opt::optimize(&c.netlist));
+        (c, train, test)
+    }
+
+    #[test]
+    fn grid_enumeration_dedupes_and_orders() {
+        let (c, train, _) = setup();
+        let a = analyze(&c.netlist, &c.model, &train);
+        let grid = enumerate_grid(&a, &PruneConfig::default());
+        assert!(grid.n_designs() >= grid.n_unique());
+        assert!(grid.n_unique() >= 1);
+        for combo in &grid.combos {
+            assert!(combo.set < grid.sets.len());
+            assert!((0.8..=0.99 + 1e-9).contains(&combo.tau_c));
+        }
+        // Larger τc prunes fewer gates: for a fixed φc, the set size is
+        // monotone non-increasing in τc.
+        let mut by_phi: std::collections::HashMap<i64, Vec<(f64, usize)>> = Default::default();
+        for combo in &grid.combos {
+            by_phi
+                .entry(combo.phi_c)
+                .or_default()
+                .push((combo.tau_c, grid.sets[combo.set].len()));
+        }
+        for (_, mut v) in by_phi {
+            v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for pair in v.windows(2) {
+                assert!(pair[1].1 <= pair[0].1, "τc monotonicity violated");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_reduces_area_and_bounds_accuracy() {
+        let (c, train, test) = setup();
+        let lib = egt_pdk::egt_library();
+        let tech = egt_pdk::TechParams::egt();
+        let a = analyze(&c.netlist, &c.model, &train);
+        let grid = enumerate_grid(&a, &PruneConfig::default());
+        let evals = evaluate_grid(&c.netlist, &c.model, &test, &lib, &tech, &a, &grid);
+        assert_eq!(evals.len(), grid.n_unique());
+        let base_area = area::area_mm2(&c.netlist, &lib).unwrap();
+        for e in &evals {
+            assert!(e.area_mm2 <= base_area + 1e-9, "pruning may not add area");
+            assert!((0.0..=1.0).contains(&e.accuracy));
+        }
+        // At least one non-trivial pruning should exist for a circuit of
+        // this size.
+        assert!(evals.iter().any(|e| e.n_pruned > 0));
+    }
+
+    #[test]
+    fn pruned_netlists_stay_valid_and_smaller() {
+        let (c, train, _) = setup();
+        let a = analyze(&c.netlist, &c.model, &train);
+        let grid = enumerate_grid(&a, &PruneConfig::default());
+        let set = grid
+            .sets
+            .iter()
+            .max_by_key(|s| s.len())
+            .expect("non-empty grid");
+        let pruned = apply_set(&c.netlist, &a, set);
+        pax_netlist::validate::assert_valid(&pruned);
+        assert!(pruned.gate_count() <= c.netlist.gate_count());
+        // Interface is preserved.
+        assert_eq!(pruned.input_ports().len(), c.netlist.input_ports().len());
+        assert_eq!(pruned.output_ports().len(), c.netlist.output_ports().len());
+    }
+}

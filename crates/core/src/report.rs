@@ -1,0 +1,261 @@
+//! Report emission: CSV series for the figures, markdown rows for the
+//! tables. The `pax-bench` binaries assemble these into the full paper
+//! artifacts.
+
+use std::fmt::Write as _;
+
+use crate::framework::CircuitStudy;
+use crate::{pareto, DesignPoint, Technique};
+
+/// CSV of every design of a study, normalized to the baseline area —
+/// one Fig. 3 subplot. Columns:
+/// `technique,tau_c,phi_c,accuracy,area_mm2,norm_area,power_mw`.
+pub fn fig3_csv(study: &CircuitStudy) -> String {
+    let base = study.baseline.area_mm2;
+    let mut out = String::from("technique,tau_c,phi_c,accuracy,area_mm2,norm_area,power_mw\n");
+    for p in study.all_points() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.6},{:.3},{:.4},{:.3}",
+            p.technique.label(),
+            p.tau_c.map_or(String::new(), |t| format!("{t:.2}")),
+            p.phi_c.map_or(String::new(), |f| f.to_string()),
+            p.accuracy,
+            p.area_mm2,
+            p.norm_area(base),
+            p.power_mw,
+        );
+    }
+    out
+}
+
+/// CSV of the Pareto front of a study (same columns as [`fig3_csv`]).
+pub fn pareto_csv(study: &CircuitStudy) -> String {
+    let base = study.baseline.area_mm2;
+    let mut out = String::from("technique,tau_c,phi_c,accuracy,area_mm2,norm_area,power_mw\n");
+    for p in study.pareto_front() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.6},{:.3},{:.4},{:.3}",
+            p.technique.label(),
+            p.tau_c.map_or(String::new(), |t| format!("{t:.2}")),
+            p.phi_c.map_or(String::new(), |f| f.to_string()),
+            p.accuracy,
+            p.area_mm2,
+            p.norm_area(base),
+            p.power_mw,
+        );
+    }
+    out
+}
+
+/// One Table II row: per technique the <`max_loss` area optimum with
+/// area/power gains versus the baseline, plus the battery verdicts.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Circuit identifier (e.g. `"cardio mlp-c"`).
+    pub circuit: String,
+    /// Selected design per technique: (cross, coeff-only, prune-only).
+    pub cross: TechniqueCell,
+    /// Coefficient-approximation-only cell.
+    pub coeff: TechniqueCell,
+    /// Pruning-only cell.
+    pub prune: TechniqueCell,
+}
+
+/// One technique's entry in Table II.
+#[derive(Debug, Clone)]
+pub struct TechniqueCell {
+    /// Area in cm².
+    pub area_cm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+    /// Area gain vs. baseline, percent.
+    pub area_gain_pct: f64,
+    /// Power gain vs. baseline, percent.
+    pub power_gain_pct: f64,
+    /// Whether one printed Molex 30 mW battery suffices.
+    pub battery_ok: bool,
+}
+
+/// Builds the Table II row of a study.
+pub fn table2_row(study: &CircuitStudy, max_loss: f64, battery_mw: f64) -> Table2Row {
+    let cell = |p: &DesignPoint| TechniqueCell {
+        area_cm2: p.area_cm2(),
+        power_mw: p.power_mw,
+        area_gain_pct: gain_pct(study.baseline.area_mm2, p.area_mm2),
+        power_gain_pct: gain_pct(study.baseline.power_mw, p.power_mw),
+        battery_ok: p.power_mw <= battery_mw,
+    };
+    Table2Row {
+        circuit: format!("{} {}", study.name, study.kind.tag()),
+        cross: cell(&study.best_within_loss(Technique::Cross, max_loss)),
+        coeff: cell(&study.best_within_loss(Technique::CoeffApprox, max_loss)),
+        prune: cell(&study.best_within_loss(Technique::PruneOnly, max_loss)),
+    }
+}
+
+fn gain_pct(base: f64, value: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        (base - value) / base * 100.0
+    }
+}
+
+/// Markdown rendering of a set of Table II rows, paper layout.
+pub fn table2_markdown(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| ML Circuit | Cross A (cm²) | P (mW) | AG % | PG % | Coeff A | P | AG | PG | Prune A | P | AG | PG |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+    for r in rows {
+        let c = |cell: &TechniqueCell| {
+            let star = if cell.battery_ok { "*" } else { "" };
+            format!(
+                "{:.1}{star} | {:.1} | {:.0} | {:.0}",
+                cell.area_cm2, cell.power_mw, cell.area_gain_pct, cell.power_gain_pct
+            )
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            r.circuit,
+            c(&r.cross),
+            c(&r.coeff),
+            c(&r.prune)
+        );
+    }
+    out.push_str("\n`*` = powered by one Molex 30 mW printed battery\n");
+    out
+}
+
+/// Summary statistics across studies: the paper's headline numbers
+/// ("47% and 44% average area and power reduction").
+#[derive(Debug, Clone, Default)]
+pub struct GainSummary {
+    /// Mean area gain (%), cross-layer technique.
+    pub cross_area: f64,
+    /// Mean power gain (%), cross-layer technique.
+    pub cross_power: f64,
+    /// Mean area gain (%), coefficient approximation only.
+    pub coeff_area: f64,
+    /// Mean power gain (%), coefficient approximation only.
+    pub coeff_power: f64,
+    /// Mean area gain (%), pruning only.
+    pub prune_area: f64,
+    /// Mean power gain (%), pruning only.
+    pub prune_power: f64,
+}
+
+/// Averages the Table II gains over a set of rows.
+pub fn summarize_gains(rows: &[Table2Row]) -> GainSummary {
+    if rows.is_empty() {
+        return GainSummary::default();
+    }
+    let n = rows.len() as f64;
+    let mut s = GainSummary::default();
+    for r in rows {
+        s.cross_area += r.cross.area_gain_pct;
+        s.cross_power += r.cross.power_gain_pct;
+        s.coeff_area += r.coeff.area_gain_pct;
+        s.coeff_power += r.coeff.power_gain_pct;
+        s.prune_area += r.prune.area_gain_pct;
+        s.prune_power += r.prune.power_gain_pct;
+    }
+    s.cross_area /= n;
+    s.cross_power /= n;
+    s.coeff_area /= n;
+    s.coeff_power /= n;
+    s.prune_area /= n;
+    s.prune_power /= n;
+    s
+}
+
+/// Indices of a study's Pareto front among `all_points()` — convenience
+/// for tests and plots.
+pub fn front_indices(study: &CircuitStudy) -> Vec<usize> {
+    let pts: Vec<DesignPoint> = study.all_points().into_iter().cloned().collect();
+    pareto::pareto_front(&pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{CircuitStudy, ExecStats};
+    use crate::{DesignPoint, Technique};
+    use pax_ml::quant::ModelKind;
+
+    fn point(t: Technique, acc: f64, area: f64, power: f64) -> DesignPoint {
+        DesignPoint {
+            technique: t,
+            tau_c: if t == Technique::Cross { Some(0.9) } else { None },
+            phi_c: if t == Technique::Cross { Some(3) } else { None },
+            accuracy: acc,
+            area_mm2: area,
+            power_mw: power,
+            gate_count: 100,
+            critical_ms: 50.0,
+        }
+    }
+
+    fn fake_study() -> CircuitStudy {
+        CircuitStudy {
+            name: "demo".into(),
+            kind: ModelKind::SvmC,
+            baseline: point(Technique::Exact, 0.90, 1000.0, 40.0),
+            coeff: point(Technique::CoeffApprox, 0.895, 700.0, 29.0),
+            prune_only: vec![point(Technique::PruneOnly, 0.893, 800.0, 33.0)],
+            cross: vec![
+                point(Technique::Cross, 0.893, 500.0, 22.0),
+                point(Technique::Cross, 0.85, 300.0, 15.0),
+            ],
+            coeff_report: crate::coeff_approx::CoeffApproxReport { sums: vec![] },
+            stats: ExecStats::default(),
+        }
+    }
+
+    #[test]
+    fn fig3_csv_lists_every_point_with_norm_area() {
+        let s = fake_study();
+        let csv = fig3_csv(&s);
+        assert_eq!(csv.lines().count(), 1 + 5);
+        assert!(csv.contains("exact,,,0.900000,1000.000,1.0000,40.000"));
+        assert!(csv.contains("cross-layer,0.90,3"));
+        assert!(csv.contains(",0.5000,")); // 500/1000 normalized
+    }
+
+    #[test]
+    fn table2_row_computes_gains_and_battery() {
+        let s = fake_study();
+        let row = table2_row(&s, 0.01, 30.0);
+        assert!((row.cross.area_gain_pct - 50.0).abs() < 1e-9);
+        assert!((row.cross.power_gain_pct - 45.0).abs() < 1e-9);
+        assert!(row.cross.battery_ok);
+        assert!(!row.coeff.battery_ok == (29.0 > 30.0) || row.coeff.battery_ok);
+        assert!((row.prune.area_gain_pct - 20.0).abs() < 1e-9);
+        let md = table2_markdown(&[row]);
+        assert!(md.contains("demo svm-c"));
+        assert!(md.contains("Molex"));
+    }
+
+    #[test]
+    fn gains_average_across_rows() {
+        let s = fake_study();
+        let rows = vec![table2_row(&s, 0.01, 30.0), table2_row(&s, 0.01, 30.0)];
+        let g = summarize_gains(&rows);
+        assert!((g.cross_area - 50.0).abs() < 1e-9);
+        assert!((g.coeff_area - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_csv_subsets_fig3() {
+        let s = fake_study();
+        let front = pareto_csv(&s);
+        let all = fig3_csv(&s);
+        for line in front.lines().skip(1) {
+            assert!(all.contains(line), "front line missing from full set: {line}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests over the framework's two approximation layers.
+
+use pax_core::coeff_approx::{approximate_model, CoeffApproxConfig};
+use pax_core::mult_cache::MultCache;
+use pax_core::{pareto, DesignPoint, Technique};
+use pax_ml::model::LinearClassifier;
+use pax_ml::quant::{QuantSpec, QuantizedModel};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = QuantizedModel> {
+    (2usize..5, 2usize..7)
+        .prop_flat_map(|(k, n)| {
+            proptest::collection::vec(
+                proptest::collection::vec(-1.0f64..1.0, n),
+                k,
+            )
+            .prop_filter("weights must not be all-zero", |rows| {
+                rows.iter().flatten().any(|w| w.abs() > 1e-3)
+            })
+            .prop_map(move |rows| {
+                let biases = vec![0.0; rows.len()];
+                QuantizedModel::from_linear_classifier(
+                    "prop",
+                    &LinearClassifier::new(rows, biases),
+                    QuantSpec::default(),
+                )
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Coefficient approximation invariants for arbitrary linear models:
+    /// weights move at most e, stay in the representable range, the area
+    /// proxy never grows, and biases are untouched.
+    #[test]
+    fn coeff_approx_invariants(model in arb_model(), e in 0i64..6) {
+        let cache = MultCache::new(egt_pdk::egt_library());
+        let cfg = CoeffApproxConfig { e, ..Default::default() };
+        let (approx, report) = approximate_model(&model, &cache, &cfg);
+        let (lo, hi) = model.spec.coef_range();
+        for (before, after) in model.layer1.iter().zip(&approx.layer1) {
+            prop_assert_eq!(before.bias, after.bias, "biases must not move");
+            for (&w, &wa) in before.weights.iter().zip(&after.weights) {
+                prop_assert!((w - wa).abs() <= e, "{} -> {} exceeds e={}", w, wa, e);
+                prop_assert!((lo..=hi).contains(&wa));
+            }
+        }
+        prop_assert!(report.proxy_after() <= report.proxy_before() + 1e-9);
+        // Residual error is bounded by the worst one-sided drift.
+        for sum in &report.sums {
+            let n = model.layer1[sum.index].weights.len() as i64;
+            prop_assert!(sum.residual_error.abs() <= n * e);
+        }
+    }
+
+    /// Pareto front extraction is correct for arbitrary point clouds.
+    #[test]
+    fn pareto_front_correct(
+        points in proptest::collection::vec((0.0f64..1.0, 1.0f64..1000.0), 1..40)
+    ) {
+        let pts: Vec<DesignPoint> = points
+            .iter()
+            .map(|&(acc, area)| DesignPoint {
+                technique: Technique::Cross,
+                tau_c: None,
+                phi_c: None,
+                accuracy: acc,
+                area_mm2: area,
+                power_mw: 0.0,
+                gate_count: 0,
+                critical_ms: 0.0,
+            })
+            .collect();
+        let front = pareto::pareto_front(&pts);
+        prop_assert!(!front.is_empty());
+        // Nothing on the front is dominated by anything.
+        for &f in &front {
+            for p in &pts {
+                prop_assert!(!p.dominates(&pts[f]), "front point dominated");
+            }
+        }
+        // Everything off the front is dominated or duplicated.
+        for (i, p) in pts.iter().enumerate() {
+            if front.contains(&i) {
+                continue;
+            }
+            let covered = front.iter().any(|&f| {
+                pts[f].dominates(p)
+                    || (pts[f].accuracy == p.accuracy && pts[f].area_mm2 == p.area_mm2)
+            });
+            prop_assert!(covered, "point {} escaped the front", i);
+        }
+    }
+
+    /// The quantized golden model and its generated circuit agree on
+    /// random inputs for arbitrary linear models (end-to-end hardware
+    /// equivalence as a property).
+    #[test]
+    fn circuit_equals_golden(model in arb_model(), seed in any::<u64>()) {
+        let circuit = pax_bespoke::BespokeCircuit::generate(&model);
+        let mut state = seed | 1;
+        for _ in 0..20 {
+            let x: Vec<i64> = (0..model.n_inputs())
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) as i64) % (model.spec.input_max() + 1)
+                })
+                .collect();
+            prop_assert_eq!(circuit.predict_one(&x), model.predict_q(&x));
+        }
+    }
+}

@@ -1,0 +1,257 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A labeled dataset: row-major features and one label per row.
+///
+/// Labels are class indices (`0..n_classes`) stored as `f64` so the same
+/// container serves classifiers and the paper's regressors (which are
+/// trained to predict the class index and scored by rounding).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Row-major feature matrix.
+    pub features: Vec<Vec<f64>>,
+    /// One label per row (class index, possibly used as regression target).
+    pub labels: Vec<f64>,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Human-readable dataset name.
+    pub name: String,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking shape consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged, labels mismatch rows, or labels fall
+    /// outside `[0, n_classes)`.
+    pub fn new(
+        name: impl Into<String>,
+        features: Vec<Vec<f64>>,
+        labels: Vec<f64>,
+        n_classes: usize,
+    ) -> Self {
+        assert_eq!(features.len(), labels.len(), "row/label count mismatch");
+        assert!(!features.is_empty(), "empty dataset");
+        let width = features[0].len();
+        assert!(width > 0, "zero-dimensional features");
+        for (i, row) in features.iter().enumerate() {
+            assert_eq!(row.len(), width, "ragged row {i}");
+        }
+        for (i, &l) in labels.iter().enumerate() {
+            assert!(
+                l >= 0.0 && l < n_classes as f64 && l.fract() == 0.0,
+                "label {l} of row {i} outside 0..{n_classes}"
+            );
+        }
+        Self { features, labels, n_classes, name: name.into() }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per sample.
+    pub fn n_features(&self) -> usize {
+        self.features[0].len()
+    }
+
+    /// Random `train_frac`/`1-train_frac` split (seeded, deterministic).
+    /// The paper uses a random 70%/30% split.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < train_frac < 1`.
+    pub fn split(&self, train_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(train_frac > 0.0 && train_frac < 1.0, "train_frac must be in (0, 1)");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let n_train = ((self.len() as f64) * train_frac).round() as usize;
+        let n_train = n_train.clamp(1, self.len() - 1);
+        let pick = |idx: &[usize], tag: &str| {
+            Dataset::new(
+                format!("{}-{tag}", self.name),
+                idx.iter().map(|&i| self.features[i].clone()).collect(),
+                idx.iter().map(|&i| self.labels[i]).collect(),
+                self.n_classes,
+            )
+        };
+        (pick(&order[..n_train], "train"), pick(&order[n_train..], "test"))
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            counts[l as usize] += 1;
+        }
+        counts
+    }
+
+    /// Index of the most frequent class (ties to the lower index).
+    pub fn majority_class(&self) -> usize {
+        let counts = self.class_counts();
+        let mut best = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > counts[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// k-fold partition indices (deterministic, seeded): returns per fold
+    /// the (train, validation) row indices.
+    pub fn k_folds(&self, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(k >= 2 && k <= self.len(), "invalid fold count {k}");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        (0..k)
+            .map(|fold| {
+                let val: Vec<usize> =
+                    order.iter().copied().skip(fold).step_by(k).collect();
+                let val_set: std::collections::HashSet<usize> = val.iter().copied().collect();
+                let train: Vec<usize> =
+                    order.iter().copied().filter(|i| !val_set.contains(i)).collect();
+                (train, val)
+            })
+            .collect()
+    }
+
+    /// Materializes a subset by row indices.
+    pub fn subset(&self, rows: &[usize]) -> Dataset {
+        Dataset::new(
+            self.name.clone(),
+            rows.iter().map(|&i| self.features[i].clone()).collect(),
+            rows.iter().map(|&i| self.labels[i]).collect(),
+            self.n_classes,
+        )
+    }
+}
+
+/// Min-max normalizes features to `[0, 1]`, fitting the ranges on the
+/// training set and applying them to both sets (test values clamp to
+/// `[0, 1]`). This matches the paper's input pipeline, where normalized
+/// inputs quantize to 4-bit unsigned.
+pub fn normalize(train: &Dataset, test: &Dataset) -> (Dataset, Dataset) {
+    assert_eq!(train.n_features(), test.n_features(), "feature width mismatch");
+    let n = train.n_features();
+    let mut lo = vec![f64::INFINITY; n];
+    let mut hi = vec![f64::NEG_INFINITY; n];
+    for row in &train.features {
+        for (j, &v) in row.iter().enumerate() {
+            lo[j] = lo[j].min(v);
+            hi[j] = hi[j].max(v);
+        }
+    }
+    let scale = |ds: &Dataset| {
+        let features = ds
+            .features
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(j, &v)| {
+                        if hi[j] > lo[j] {
+                            ((v - lo[j]) / (hi[j] - lo[j])).clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Dataset::new(ds.name.clone(), features, ds.labels.clone(), ds.n_classes)
+    };
+    (scale(train), scale(test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let features: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, (i * 3 % 17) as f64, -5.0 + i as f64 * 0.1])
+            .collect();
+        let labels: Vec<f64> = (0..100).map(|i| f64::from(u8::from(i >= 60))).collect();
+        Dataset::new("toy", features, labels, 2)
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitioned() {
+        let d = toy();
+        let (tr1, te1) = d.split(0.7, 9);
+        let (tr2, te2) = d.split(0.7, 9);
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+        assert_eq!(tr1.len(), 70);
+        assert_eq!(te1.len(), 30);
+        let (tr3, _) = d.split(0.7, 10);
+        assert_ne!(tr1.features, tr3.features, "different seeds must differ");
+    }
+
+    #[test]
+    fn normalization_bounds_and_clamping() {
+        let d = toy();
+        let (train, test) = d.split(0.5, 1);
+        let (ntr, nte) = normalize(&train, &test);
+        for row in ntr.features.iter().chain(nte.features.iter()) {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        // Training min/max hit exactly 0 and 1 somewhere per feature.
+        for j in 0..ntr.n_features() {
+            let col: Vec<f64> = ntr.features.iter().map(|r| r[j]).collect();
+            let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!(min.abs() < 1e-12);
+            assert!((max - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_folds_cover_every_row_once() {
+        let d = toy();
+        let folds = d.k_folds(5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; d.len()];
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), d.len());
+            for &i in val {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each row validates exactly once");
+    }
+
+    #[test]
+    fn class_statistics() {
+        let d = toy();
+        assert_eq!(d.class_counts(), vec![60, 40]);
+        assert_eq!(d.majority_class(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = Dataset::new("bad", vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 0.0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_label_rejected() {
+        let _ = Dataset::new("bad", vec![vec![1.0]], vec![3.0], 2);
+    }
+}

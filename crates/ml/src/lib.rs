@@ -1,0 +1,55 @@
+//! # pax-ml — training substrate for printed ML circuits
+//!
+//! The paper trains its models with scikit-learn on four UCI datasets;
+//! neither is available here, so this crate re-implements the substrate
+//! from scratch:
+//!
+//! * [`Dataset`] — row-major feature matrices with class labels,
+//!   train/test splitting and min-max normalization to `[0, 1]` (the
+//!   input encoding the bespoke circuits quantize to 4 bits);
+//! * [`synth_data`] — synthetic stand-ins for the UCI datasets
+//!   (Cardiotocography, Pendigits, RedWine, WhiteWine) with matching
+//!   dimensionality, class imbalance and achievable-accuracy levels, plus
+//!   a CSV loader for dropping in the real files;
+//! * [`model`] — multi-layer perceptrons (one hidden ReLU layer, as in
+//!   the paper) and linear SVM classifiers/regressors;
+//! * [`train`] — SGD training (softmax cross-entropy, one-vs-rest hinge,
+//!   ε-insensitive regression) and a `RandomizedSearchCV`-style
+//!   hyper-parameter search with k-fold cross-validation;
+//! * [`quant`] — fixed-point quantization (4-bit inputs, 8-bit
+//!   coefficients by default) together with an **integer golden model**
+//!   that matches the generated hardware bit-exactly;
+//! * [`metrics`] — accuracy (classification and regressor-by-rounding,
+//!   which is how the paper scores its MLP-R/SVM-R), confusion matrices
+//!   and regression errors;
+//! * [`serialize`] — a text format for trained and quantized models.
+//!
+//! # Examples
+//!
+//! Train an SVM classifier on the synthetic Cardio dataset:
+//!
+//! ```
+//! use pax_ml::synth_data::{cardio, SynthConfig};
+//! use pax_ml::train::svm::{train_svm_classifier, SvmParams};
+//! use pax_ml::metrics::accuracy;
+//!
+//! let data = cardio(&SynthConfig::default());
+//! let (train, test) = data.split(0.7, 42);
+//! let (train, test) = pax_ml::normalize(&train, &test);
+//! let model = train_svm_classifier(&train, &SvmParams::default(), 7);
+//! let acc = accuracy(&model.predict_batch(&test.features), &test.labels);
+//! assert!(acc > 0.75, "cardio SVM should beat the majority class: {acc}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+pub mod metrics;
+pub mod model;
+pub mod quant;
+pub mod serialize;
+pub mod synth_data;
+pub mod train;
+
+pub use dataset::{normalize, Dataset};

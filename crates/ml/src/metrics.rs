@@ -1,0 +1,136 @@
+//! Evaluation metrics.
+//!
+//! The paper reports a single "accuracy" column for all four model
+//! families; for the regressors (MLP-R, SVM-R) that is classification
+//! accuracy after rounding the predicted class index — see
+//! [`rounded_accuracy`].
+
+/// Fraction of exact matches between predicted and true class indices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy(predicted: &[usize], labels: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), labels.len(), "prediction/label length mismatch");
+    assert!(!predicted.is_empty(), "empty evaluation set");
+    let hits = predicted
+        .iter()
+        .zip(labels)
+        .filter(|(&p, &l)| p == l as usize)
+        .count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// Rounds regression outputs to the nearest class in `[0, n_classes)` and
+/// scores them as classifications — the paper's regressor accuracy.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn rounded_accuracy(predicted: &[f64], labels: &[f64], n_classes: usize) -> f64 {
+    let classes: Vec<usize> = predicted.iter().map(|&p| round_to_class(p, n_classes)).collect();
+    accuracy(&classes, labels)
+}
+
+/// Rounds a raw regression output to the nearest valid class index.
+pub fn round_to_class(value: f64, n_classes: usize) -> usize {
+    (value.round().max(0.0) as usize).min(n_classes.saturating_sub(1))
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mae(predicted: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), labels.len(), "prediction/label length mismatch");
+    assert!(!predicted.is_empty(), "empty evaluation set");
+    predicted.iter().zip(labels).map(|(p, l)| (p - l).abs()).sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Coefficient of determination R².
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn r2(predicted: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), labels.len(), "prediction/label length mismatch");
+    assert!(!predicted.is_empty(), "empty evaluation set");
+    let mean = labels.iter().sum::<f64>() / labels.len() as f64;
+    let ss_tot: f64 = labels.iter().map(|l| (l - mean).powi(2)).sum();
+    let ss_res: f64 = predicted.iter().zip(labels).map(|(p, l)| (l - p).powi(2)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Row-major confusion matrix: `m[true][predicted]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or a prediction is out of range.
+pub fn confusion(predicted: &[usize], labels: &[f64], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(predicted.len(), labels.len(), "prediction/label length mismatch");
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&p, &l) in predicted.iter().zip(labels) {
+        assert!(p < n_classes, "prediction {p} out of range");
+        m[l as usize][p] += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_hits() {
+        let acc = accuracy(&[0, 1, 2, 1], &[0.0, 1.0, 1.0, 1.0]);
+        assert!((acc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounding_clamps_to_class_range() {
+        assert_eq!(round_to_class(-3.0, 5), 0);
+        assert_eq!(round_to_class(1.4, 5), 1);
+        assert_eq!(round_to_class(1.6, 5), 2);
+        assert_eq!(round_to_class(9.0, 5), 4);
+        // -0.2 clamps to class 0 (hit), 0.4 rounds to 0 (miss vs 1),
+        // 5.0 clamps to 2 (hit).
+        let acc = rounded_accuracy(&[-0.2, 0.4, 5.0], &[0.0, 1.0, 2.0], 3);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+        let all_hit = rounded_accuracy(&[-0.2, 0.9, 5.0], &[0.0, 1.0, 2.0], 3);
+        assert!((all_hit - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let pred = [1.0, 2.0, 3.0];
+        let truth = [1.0, 2.0, 4.0];
+        assert!((mae(&pred, &truth) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(r2(&pred, &truth) < 1.0);
+        assert!((r2(&truth, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_shape() {
+        let m = confusion(&[0, 1, 1, 2], &[0.0, 1.0, 2.0, 2.0], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1);
+        assert_eq!(m[2][2], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = accuracy(&[0], &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,180 @@
+use serde::{Deserialize, Serialize};
+
+use super::mlp::argmax;
+
+/// A multiclass linear classifier: one weight row and intercept per
+/// class, prediction by argmax of the class scores.
+///
+/// This is the hardware-relevant form of the paper's SVM-C: it reports
+/// 1-vs-1 classification with `T = k(k−1)/2` pairwise deciders but counts
+/// `#C = k · n_features` coefficients — i.e. per-class weight vectors
+/// whose pairwise sign comparisons realize the 1-vs-1 votes. The voting
+/// winner of those comparisons is exactly the argmax of the class scores
+/// (the maximum wins all its duels).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearClassifier {
+    /// Per-class weights `[class][feature]`.
+    pub w: Vec<Vec<f64>>,
+    /// Per-class intercepts.
+    pub b: Vec<f64>,
+}
+
+impl LinearClassifier {
+    /// Validates shapes and constructs the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged weights or mismatched intercepts.
+    pub fn new(w: Vec<Vec<f64>>, b: Vec<f64>) -> Self {
+        assert!(!w.is_empty(), "no classes");
+        let n = w[0].len();
+        assert!(n > 0, "zero-width input");
+        assert!(w.iter().all(|r| r.len() == n), "ragged weights");
+        assert_eq!(w.len(), b.len(), "intercept count");
+        Self { w, b }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Input dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.w[0].len()
+    }
+
+    /// The paper's `#C` column: `k · n_features`.
+    pub fn n_coefficients(&self) -> usize {
+        self.n_classes() * self.n_features()
+    }
+
+    /// The paper's `T` column for SVM-C: number of 1-vs-1 deciders,
+    /// `k(k−1)/2`.
+    pub fn n_pairwise_classifiers(&self) -> usize {
+        let k = self.n_classes();
+        k * (k - 1) / 2
+    }
+
+    /// Per-class scores for one sample.
+    pub fn scores(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_features(), "input width mismatch");
+        self.w
+            .iter()
+            .zip(&self.b)
+            .map(|(row, &b)| row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b)
+            .collect()
+    }
+
+    /// Predicted class (argmax of scores; equivalently the 1-vs-1 voting
+    /// winner).
+    pub fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.scores(x))
+    }
+
+    /// Predicted classes for a batch.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+}
+
+/// A linear regressor (the paper's SVM-R): a single weighted sum whose
+/// rounded value is the predicted class index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegressor {
+    /// Feature weights.
+    pub w: Vec<f64>,
+    /// Intercept.
+    pub b: f64,
+}
+
+impl LinearRegressor {
+    /// Constructs the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty weight vector.
+    pub fn new(w: Vec<f64>, b: f64) -> Self {
+        assert!(!w.is_empty(), "zero-width input");
+        Self { w, b }
+    }
+
+    /// Input dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Raw predicted value for one sample.
+    pub fn predict_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features(), "input width mismatch");
+        self.w.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.b
+    }
+
+    /// Predicted class for one sample (round + clamp).
+    pub fn predict_class(&self, x: &[f64], n_classes: usize) -> usize {
+        crate::metrics::round_to_class(self.predict_value(x), n_classes)
+    }
+
+    /// Raw predicted values for a batch.
+    pub fn predict_values(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict_value(r)).collect()
+    }
+
+    /// Predicted classes for a batch.
+    pub fn predict_batch(&self, rows: &[Vec<f64>], n_classes: usize) -> Vec<usize> {
+        rows.iter().map(|r| self.predict_class(r, n_classes)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_argmax_prediction() {
+        let m = LinearClassifier::new(
+            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![-1.0, -1.0]],
+            vec![0.0, 0.0, 0.5],
+        );
+        assert_eq!(m.predict(&[1.0, 0.0]), 0);
+        assert_eq!(m.predict(&[0.0, 1.0]), 1);
+        assert_eq!(m.predict(&[0.0, 0.0]), 2);
+        assert_eq!(m.n_coefficients(), 6);
+        assert_eq!(m.n_pairwise_classifiers(), 3);
+    }
+
+    #[test]
+    fn pairwise_voting_equals_argmax() {
+        // Explicitly check the claim: 1-vs-1 voting over score
+        // differences picks the argmax.
+        let m = LinearClassifier::new(
+            vec![vec![0.3, -0.2], vec![0.7, 0.1], vec![-0.5, 0.9], vec![0.2, 0.2]],
+            vec![0.05, -0.1, 0.2, 0.0],
+        );
+        for x in [[0.1, 0.9], [0.9, 0.2], [0.5, 0.5], [0.0, 0.0]] {
+            let scores = m.scores(&x);
+            let mut votes = vec![0usize; scores.len()];
+            for i in 0..scores.len() {
+                for j in (i + 1)..scores.len() {
+                    if scores[i] >= scores[j] {
+                        votes[i] += 1;
+                    } else {
+                        votes[j] += 1;
+                    }
+                }
+            }
+            let vote_winner =
+                (0..votes.len()).max_by_key(|&i| (votes[i], usize::MAX - i)).unwrap();
+            assert_eq!(m.predict(&x), vote_winner, "x={x:?} scores={scores:?}");
+        }
+    }
+
+    #[test]
+    fn regressor_rounds_and_clamps() {
+        let m = LinearRegressor::new(vec![2.0, 1.0], 0.2);
+        assert!((m.predict_value(&[1.0, 1.0]) - 3.2).abs() < 1e-12);
+        assert_eq!(m.predict_class(&[1.0, 1.0], 10), 3);
+        assert_eq!(m.predict_class(&[1.0, 1.0], 3), 2); // clamp
+        assert_eq!(m.n_features(), 2);
+    }
+}

@@ -1,0 +1,204 @@
+use serde::{Deserialize, Serialize};
+
+/// What the MLP's output layer means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MlpTask {
+    /// `k` output neurons, prediction = argmax (MLP-C).
+    Classification,
+    /// One output neuron, prediction = rounded value (MLP-R).
+    Regression,
+}
+
+/// A multi-layer perceptron with one hidden ReLU layer and a linear
+/// output layer — the paper's MLP topology (hidden size ≤ 5).
+///
+/// Weights are stored row-major: `w1[h][i]` connects input `i` to hidden
+/// neuron `h`; `w2[o][h]` connects hidden `h` to output `o`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Hidden-layer weights `[hidden][input]`.
+    pub w1: Vec<Vec<f64>>,
+    /// Hidden-layer biases `[hidden]`.
+    pub b1: Vec<f64>,
+    /// Output-layer weights `[output][hidden]`.
+    pub w2: Vec<Vec<f64>>,
+    /// Output-layer biases `[output]`.
+    pub b2: Vec<f64>,
+    /// Output interpretation.
+    pub task: MlpTask,
+}
+
+impl Mlp {
+    /// Validates shapes and constructs the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent layer shapes.
+    pub fn new(
+        w1: Vec<Vec<f64>>,
+        b1: Vec<f64>,
+        w2: Vec<Vec<f64>>,
+        b2: Vec<f64>,
+        task: MlpTask,
+    ) -> Self {
+        assert!(!w1.is_empty() && !w2.is_empty(), "empty layers");
+        let n_in = w1[0].len();
+        assert!(n_in > 0, "zero-width input");
+        assert!(w1.iter().all(|r| r.len() == n_in), "ragged w1");
+        assert_eq!(w1.len(), b1.len(), "b1 length");
+        let n_h = w1.len();
+        assert!(w2.iter().all(|r| r.len() == n_h), "ragged w2");
+        assert_eq!(w2.len(), b2.len(), "b2 length");
+        if task == MlpTask::Regression {
+            assert_eq!(w2.len(), 1, "regressor needs exactly one output");
+        }
+        Self { w1, b1, w2, b2, task }
+    }
+
+    /// Input dimensionality.
+    pub fn n_inputs(&self) -> usize {
+        self.w1[0].len()
+    }
+
+    /// Hidden-layer size.
+    pub fn n_hidden(&self) -> usize {
+        self.w1.len()
+    }
+
+    /// Output count.
+    pub fn n_outputs(&self) -> usize {
+        self.w2.len()
+    }
+
+    /// Number of multiplicative coefficients (the paper's `#C` column:
+    /// weights, excluding biases).
+    pub fn n_coefficients(&self) -> usize {
+        self.n_hidden() * self.n_inputs() + self.n_outputs() * self.n_hidden()
+    }
+
+    /// Topology string as in the paper's Table I, e.g. `(21,3,3)`.
+    pub fn topology(&self) -> String {
+        format!("({},{},{})", self.n_inputs(), self.n_hidden(), self.n_outputs())
+    }
+
+    /// Hidden activations for one sample.
+    pub fn hidden(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_inputs(), "input width mismatch");
+        self.w1
+            .iter()
+            .zip(&self.b1)
+            .map(|(row, &b)| {
+                let z: f64 = row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b;
+                z.max(0.0)
+            })
+            .collect()
+    }
+
+    /// Raw output-layer values for one sample.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let h = self.hidden(x);
+        self.w2
+            .iter()
+            .zip(&self.b2)
+            .map(|(row, &b)| row.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + b)
+            .collect()
+    }
+
+    /// Predicted class for one sample (argmax for classification,
+    /// rounded-and-clamped value for regression).
+    pub fn predict_class(&self, x: &[f64], n_classes: usize) -> usize {
+        let out = self.forward(x);
+        match self.task {
+            MlpTask::Classification => argmax(&out),
+            MlpTask::Regression => crate::metrics::round_to_class(out[0], n_classes),
+        }
+    }
+
+    /// Predicted classes for a batch.
+    pub fn predict_batch(&self, rows: &[Vec<f64>], n_classes: usize) -> Vec<usize> {
+        rows.iter().map(|r| self.predict_class(r, n_classes)).collect()
+    }
+
+    /// Raw regression outputs for a batch (first output neuron).
+    pub fn predict_values(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.forward(r)[0]).collect()
+    }
+}
+
+pub(crate) fn argmax(values: &[f64]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Mlp {
+        // 2 inputs, 2 hidden, 2 outputs.
+        Mlp::new(
+            vec![vec![1.0, -1.0], vec![0.5, 0.5]],
+            vec![0.0, -0.25],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![0.0, 0.0],
+            MlpTask::Classification,
+        )
+    }
+
+    #[test]
+    fn forward_computes_relu_network() {
+        let m = tiny();
+        // x = (1, 0): hidden = relu(1, 0.25) = (1, 0.25); out = (1, 0.25).
+        let out = m.forward(&[1.0, 0.0]);
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert!((out[1] - 0.25).abs() < 1e-12);
+        assert_eq!(m.predict_class(&[1.0, 0.0], 2), 0);
+        // x = (0, 1): hidden = relu(-1, 0.25) = (0, 0.25); out = (0, 0.25).
+        assert_eq!(m.predict_class(&[0.0, 1.0], 2), 1);
+    }
+
+    #[test]
+    fn metadata_matches_paper_columns() {
+        let m = tiny();
+        assert_eq!(m.topology(), "(2,2,2)");
+        assert_eq!(m.n_coefficients(), 8);
+    }
+
+    #[test]
+    fn regression_predicts_by_rounding() {
+        let m = Mlp::new(
+            vec![vec![1.0]],
+            vec![0.0],
+            vec![vec![2.0]],
+            vec![0.1],
+            MlpTask::Regression,
+        );
+        // x = 0.7 -> hidden 0.7 -> out 1.5 -> class 2 (round half up).
+        assert_eq!(m.predict_class(&[0.7], 5), 2);
+        // Clamped at the top class.
+        assert_eq!(m.predict_class(&[5.0], 3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "regressor needs exactly one output")]
+    fn regressor_shape_enforced() {
+        let _ = Mlp::new(
+            vec![vec![1.0]],
+            vec![0.0],
+            vec![vec![1.0], vec![1.0]],
+            vec![0.0, 0.0],
+            MlpTask::Regression,
+        );
+    }
+
+    #[test]
+    fn argmax_ties_to_lower_index() {
+        assert_eq!(argmax(&[1.0, 1.0, 0.5]), 0);
+        assert_eq!(argmax(&[0.1, 0.3, 0.3]), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Model containers: MLPs with one hidden ReLU layer and linear SVMs.
+//!
+//! The paper restricts MLPs to a single hidden layer of at most five
+//! neurons (area!), uses linear-kernel SVMs, and implements SVM-C's
+//! 1-vs-1 decisions as pairwise comparisons of per-class weighted sums —
+//! whose voting winner equals the argmax of those sums. The model types
+//! here store exactly the coefficients the bespoke hardware hardwires.
+
+mod linear;
+mod mlp;
+
+pub use linear::{LinearClassifier, LinearRegressor};
+pub use mlp::{Mlp, MlpTask};

@@ -1,0 +1,526 @@
+//! Fixed-point quantization and the integer golden model.
+//!
+//! The paper's bespoke circuits use 4-bit unsigned inputs (normalized to
+//! `[0, 1]`) and 8-bit signed coefficients ("these values delivered close
+//! to floating-point accuracy for all the models"). This module converts
+//! trained float models into integer-weight models and evaluates them
+//! with exact integer arithmetic that the generated hardware reproduces
+//! bit-for-bit (`pax-bespoke` asserts the equivalence):
+//!
+//! * inputs: `x_q = round(x · (2^ib − 1))`, unsigned `ib` bits;
+//! * weights: per-layer symmetric scale `s_w = (2^(cb−1) − 1) / max|w|`;
+//! * biases: quantized at the accumulated scale of their layer;
+//! * MLP hidden activations: ReLU, then a *statically derived* right
+//!   shift so the value fits `hb` unsigned bits with no saturation logic
+//!   (the shift is computed from worst-case accumulator bounds, so
+//!   overflow is impossible by construction);
+//! * classifier prediction: argmax of the integer scores (scale-free);
+//! * regressor prediction: the integer score dequantized by the known
+//!   scale, rounded to the nearest class.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{LinearClassifier, LinearRegressor, Mlp, MlpTask};
+use crate::Dataset;
+
+/// Bit-width specification of the fixed-point pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantSpec {
+    /// Unsigned input bits (paper: 4).
+    pub input_bits: u32,
+    /// Signed coefficient bits (paper: 8).
+    pub coef_bits: u32,
+    /// Unsigned hidden-activation bits for MLPs (8 by default; Fig. 2
+    /// also studies 12-bit second-layer operands).
+    pub hidden_bits: u32,
+}
+
+impl Default for QuantSpec {
+    fn default() -> Self {
+        Self { input_bits: 4, coef_bits: 8, hidden_bits: 8 }
+    }
+}
+
+impl QuantSpec {
+    /// Maximum unsigned input value (`2^ib − 1`, the input scale).
+    pub fn input_max(&self) -> i64 {
+        (1i64 << self.input_bits) - 1
+    }
+
+    /// Representable signed coefficient range `[min, max]`.
+    pub fn coef_range(&self) -> (i64, i64) {
+        (-(1i64 << (self.coef_bits - 1)), (1i64 << (self.coef_bits - 1)) - 1)
+    }
+}
+
+/// One hardwired weighted sum: integer weights and an integer bias at the
+/// accumulated scale.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantizedSum {
+    /// Integer weights, one per input.
+    pub weights: Vec<i64>,
+    /// Integer bias at the layer's accumulated scale.
+    pub bias: i64,
+}
+
+impl QuantizedSum {
+    /// Evaluates the sum on unsigned integer inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an input-width mismatch.
+    pub fn eval(&self, x: &[i64]) -> i64 {
+        assert_eq!(x.len(), self.weights.len(), "input width mismatch");
+        self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<i64>()
+    }
+
+    /// Static accumulator bounds for inputs bounded per position by
+    /// `in_max[i]` (inputs are unsigned, so the minimum per term is 0 for
+    /// positive weights and `w · in_max` for negative ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an input-width mismatch.
+    pub fn bounds(&self, in_max: &[i64]) -> (i64, i64) {
+        assert_eq!(in_max.len(), self.weights.len(), "input width mismatch");
+        let mut lo = self.bias;
+        let mut hi = self.bias;
+        for (&w, &m) in self.weights.iter().zip(in_max) {
+            if w > 0 {
+                hi += w * m;
+            } else {
+                lo += w * m;
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Bounds for a uniform per-input maximum.
+    pub fn bounds_uniform(&self, in_max: i64) -> (i64, i64) {
+        self.bounds(&vec![in_max; self.weights.len()])
+    }
+}
+
+/// Which hardware family a quantized model belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// MLP classifier (hidden layer + argmax).
+    MlpC,
+    /// MLP regressor (hidden layer + rounded scalar output).
+    MlpR,
+    /// Linear SVM classifier (per-class sums + argmax).
+    SvmC,
+    /// Linear SVM regressor (single sum, rounded).
+    SvmR,
+}
+
+impl ModelKind {
+    /// Short identifier used in file names and tables (`mlp-c`, …).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ModelKind::MlpC => "mlp-c",
+            ModelKind::MlpR => "mlp-r",
+            ModelKind::SvmC => "svm-c",
+            ModelKind::SvmR => "svm-r",
+        }
+    }
+
+    /// Whether the model predicts by argmax (classifier) or rounding.
+    pub fn is_classifier(self) -> bool {
+        matches!(self, ModelKind::MlpC | ModelKind::SvmC)
+    }
+
+    /// Whether the model has a hidden layer.
+    pub fn is_mlp(self) -> bool {
+        matches!(self, ModelKind::MlpC | ModelKind::MlpR)
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A fixed-point model ready for bespoke hardware generation.
+///
+/// For MLPs, `layer1` holds the hidden neurons and `layer2` the output
+/// neurons; for linear models `layer1` holds the class/score sums and
+/// `layer2` is empty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedModel {
+    /// Dataset/model identifier (e.g. `"cardio"`).
+    pub name: String,
+    /// Hardware family.
+    pub kind: ModelKind,
+    /// Number of classes of the underlying task.
+    pub n_classes: usize,
+    /// Bit widths.
+    pub spec: QuantSpec,
+    /// First (or only) layer of weighted sums.
+    pub layer1: Vec<QuantizedSum>,
+    /// Second layer (MLPs only).
+    pub layer2: Vec<QuantizedSum>,
+    /// Post-ReLU right shift applied to hidden accumulators (MLPs only).
+    pub hidden_shift: u32,
+    /// Hidden operand width at quantization time (MLPs only); the
+    /// architectural constant used for multiplier-area lookups.
+    pub hidden_width: u32,
+    /// Dequantization factor: raw integer output score × `output_scale`
+    /// recovers the float-model output (used by regressors).
+    pub output_scale: f64,
+}
+
+impl QuantizedModel {
+    /// Quantizes a trained MLP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task/kind combination is inconsistent.
+    pub fn from_mlp(name: impl Into<String>, mlp: &Mlp, n_classes: usize, spec: QuantSpec) -> Self {
+        let kind = match mlp.task {
+            MlpTask::Classification => ModelKind::MlpC,
+            MlpTask::Regression => ModelKind::MlpR,
+        };
+        let s_x = spec.input_max() as f64;
+        let (s_w1, layer1) = quantize_layer(&mlp.w1, &mlp.b1, s_x, spec);
+
+        // Static worst case of the hidden accumulators decides the shift.
+        let in_max = vec![spec.input_max(); mlp.n_inputs()];
+        let relu_max: i64 = layer1
+            .iter()
+            .map(|s| s.bounds(&in_max).1.max(0))
+            .max()
+            .expect("at least one hidden neuron");
+        let full_width = unsigned_width(relu_max as u64);
+        let hidden_shift = full_width.saturating_sub(spec.hidden_bits);
+        let hidden_width = full_width - hidden_shift; // ≤ hidden_bits
+
+        let s_h = s_x * s_w1 / f64::from(1u32 << hidden_shift);
+        let (s_w2, layer2) = quantize_layer(&mlp.w2, &mlp.b2, s_h, spec);
+
+        Self {
+            name: name.into(),
+            kind,
+            n_classes,
+            spec,
+            layer1,
+            layer2,
+            hidden_shift,
+            hidden_width,
+            output_scale: 1.0 / (s_w2 * s_h),
+        }
+    }
+
+    /// Quantizes a linear SVM classifier.
+    pub fn from_linear_classifier(
+        name: impl Into<String>,
+        m: &LinearClassifier,
+        spec: QuantSpec,
+    ) -> Self {
+        let s_x = spec.input_max() as f64;
+        let (s_w, layer1) = quantize_layer(&m.w, &m.b, s_x, spec);
+        Self {
+            name: name.into(),
+            kind: ModelKind::SvmC,
+            n_classes: m.n_classes(),
+            spec,
+            layer1,
+            layer2: Vec::new(),
+            hidden_shift: 0,
+            hidden_width: 0,
+            output_scale: 1.0 / (s_w * s_x),
+        }
+    }
+
+    /// Quantizes a linear SVM regressor.
+    pub fn from_svr(
+        name: impl Into<String>,
+        m: &LinearRegressor,
+        n_classes: usize,
+        spec: QuantSpec,
+    ) -> Self {
+        let s_x = spec.input_max() as f64;
+        let (s_w, layer1) =
+            quantize_layer(std::slice::from_ref(&m.w), &[m.b], s_x, spec);
+        Self {
+            name: name.into(),
+            kind: ModelKind::SvmR,
+            n_classes,
+            spec,
+            layer1,
+            layer2: Vec::new(),
+            hidden_shift: 0,
+            hidden_width: 0,
+            output_scale: 1.0 / (s_w * s_x),
+        }
+    }
+
+    /// Input feature count.
+    pub fn n_inputs(&self) -> usize {
+        self.layer1[0].weights.len()
+    }
+
+    /// Number of output scores (class sums, or 1 for regressors).
+    pub fn n_outputs(&self) -> usize {
+        if self.kind.is_mlp() {
+            self.layer2.len()
+        } else {
+            self.layer1.len()
+        }
+    }
+
+    /// The paper's `#C`: total multiplicative coefficients.
+    pub fn n_coefficients(&self) -> usize {
+        self.layer1.iter().map(|s| s.weights.len()).sum::<usize>()
+            + self.layer2.iter().map(|s| s.weights.len()).sum::<usize>()
+    }
+
+    /// Quantizes one normalized (`[0, 1]`) input row.
+    pub fn quantize_input(&self, x: &[f64]) -> Vec<i64> {
+        let m = self.spec.input_max();
+        x.iter()
+            .map(|&v| ((v * m as f64).round() as i64).clamp(0, m))
+            .collect()
+    }
+
+    /// Static per-neuron maxima of the post-shift hidden activations
+    /// (MLPs only). These bound the layer-2 operand values.
+    pub fn hidden_maxima(&self) -> Vec<i64> {
+        assert!(self.kind.is_mlp(), "hidden_maxima on a linear model");
+        let in_max = vec![self.spec.input_max(); self.n_inputs()];
+        self.layer1
+            .iter()
+            .map(|s| (s.bounds(&in_max).1.max(0)) >> self.hidden_shift)
+            .collect()
+    }
+
+    /// Integer hidden activations (MLPs only): ReLU then right shift.
+    pub fn hidden_int(&self, x_q: &[i64]) -> Vec<i64> {
+        assert!(self.kind.is_mlp(), "hidden_int on a linear model");
+        self.layer1
+            .iter()
+            .map(|s| (s.eval(x_q).max(0)) >> self.hidden_shift)
+            .collect()
+    }
+
+    /// Integer output scores — the exact values the hardware's pre-argmax
+    /// (or output) buses carry.
+    pub fn scores_int(&self, x_q: &[i64]) -> Vec<i64> {
+        if self.kind.is_mlp() {
+            let h = self.hidden_int(x_q);
+            self.layer2.iter().map(|s| s.eval(&h)).collect()
+        } else {
+            self.layer1.iter().map(|s| s.eval(x_q)).collect()
+        }
+    }
+
+    /// Predicted class for a quantized input row.
+    pub fn predict_q(&self, x_q: &[i64]) -> usize {
+        let scores = self.scores_int(x_q);
+        if self.kind.is_classifier() {
+            let mut best = 0usize;
+            for (i, &v) in scores.iter().enumerate() {
+                if v > scores[best] {
+                    best = i;
+                }
+            }
+            best
+        } else {
+            let value = scores[0] as f64 * self.output_scale;
+            crate::metrics::round_to_class(value, self.n_classes)
+        }
+    }
+
+    /// Predicted class for a normalized float input row.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        self.predict_q(&self.quantize_input(x))
+    }
+
+    /// Classification accuracy of the integer model on a normalized
+    /// dataset.
+    pub fn accuracy_on(&self, data: &Dataset) -> f64 {
+        let predicted: Vec<usize> =
+            data.features.iter().map(|row| self.predict(row)).collect();
+        crate::metrics::accuracy(&predicted, &data.labels)
+    }
+
+    /// All weighted sums with the operand width their multipliers see:
+    /// `(layer index, sum index, multiplier input bits)`. This is the
+    /// iteration order the coefficient approximation uses.
+    pub fn sum_shapes(&self) -> Vec<(usize, usize, u32)> {
+        let mut shapes = Vec::new();
+        for i in 0..self.layer1.len() {
+            shapes.push((0, i, self.spec.input_bits));
+        }
+        for i in 0..self.layer2.len() {
+            shapes.push((1, i, self.hidden_width));
+        }
+        shapes
+    }
+
+    /// Shared access to a sum by `(layer, index)`.
+    pub fn sum(&self, layer: usize, index: usize) -> &QuantizedSum {
+        match layer {
+            0 => &self.layer1[index],
+            1 => &self.layer2[index],
+            _ => panic!("layer {layer} out of range"),
+        }
+    }
+
+    /// Mutable access to a sum by `(layer, index)` — the coefficient
+    /// approximation rewrites weights through this.
+    pub fn sum_mut(&mut self, layer: usize, index: usize) -> &mut QuantizedSum {
+        match layer {
+            0 => &mut self.layer1[index],
+            1 => &mut self.layer2[index],
+            _ => panic!("layer {layer} out of range"),
+        }
+    }
+}
+
+/// Quantizes one float layer with a shared symmetric scale; returns
+/// `(s_w, sums)`.
+fn quantize_layer(
+    w: &[Vec<f64>],
+    b: &[f64],
+    input_scale: f64,
+    spec: QuantSpec,
+) -> (f64, Vec<QuantizedSum>) {
+    let (_, max_coef) = spec.coef_range();
+    let max_abs = w
+        .iter()
+        .flatten()
+        .map(|v| v.abs())
+        .fold(0.0f64, f64::max);
+    let s_w = if max_abs > 0.0 { max_coef as f64 / max_abs } else { 1.0 };
+    let sums = w
+        .iter()
+        .zip(b)
+        .map(|(row, &bias)| QuantizedSum {
+            weights: row.iter().map(|&v| (v * s_w).round() as i64).collect(),
+            bias: (bias * s_w * input_scale).round() as i64,
+        })
+        .collect();
+    (s_w, sums)
+}
+
+fn unsigned_width(v: u64) -> u32 {
+    (64 - v.leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MlpTask;
+
+    fn toy_mlp() -> Mlp {
+        Mlp::new(
+            vec![vec![0.5, -0.25], vec![0.125, 0.75]],
+            vec![0.1, -0.2],
+            vec![vec![1.0, -0.5], vec![-0.25, 0.5]],
+            vec![0.05, 0.0],
+            MlpTask::Classification,
+        )
+    }
+
+    #[test]
+    fn weights_use_full_coefficient_range() {
+        let q = QuantizedModel::from_mlp("t", &toy_mlp(), 2, QuantSpec::default());
+        let all: Vec<i64> = q.layer1.iter().flat_map(|s| s.weights.clone()).collect();
+        assert_eq!(all.iter().map(|w| w.abs()).max().unwrap(), 127);
+        // 0.75 is the layer-1 max, so 0.5 -> ~85, -0.25 -> ~-42.
+        assert_eq!(q.layer1[0].weights[0], 85);
+        assert_eq!(q.layer1[0].weights[1], -42);
+    }
+
+    #[test]
+    fn hidden_shift_prevents_overflow_statically() {
+        let q = QuantizedModel::from_mlp("t", &toy_mlp(), 2, QuantSpec::default());
+        for &m in &q.hidden_maxima() {
+            assert!(m < (1 << q.spec.hidden_bits), "hidden max {m} overflows");
+            assert!(m >= 0);
+        }
+        assert!(q.hidden_width <= q.spec.hidden_bits);
+    }
+
+    #[test]
+    fn integer_model_tracks_float_model() {
+        // On a quantization-friendly model the integer pipeline must
+        // agree with the float forward pass on most inputs.
+        let m = toy_mlp();
+        let q = QuantizedModel::from_mlp("t", &m, 2, QuantSpec::default());
+        let mut agree = 0;
+        let mut total = 0;
+        for a in 0..=10 {
+            for b in 0..=10 {
+                let x = [a as f64 / 10.0, b as f64 / 10.0];
+                let float_pred = m.predict_class(&x, 2);
+                let int_pred = q.predict(&x);
+                total += 1;
+                agree += usize::from(float_pred == int_pred);
+            }
+        }
+        assert!(agree as f64 / total as f64 > 0.9, "agreement {agree}/{total}");
+    }
+
+    #[test]
+    fn svr_dequantization_recovers_values() {
+        let m = LinearRegressor::new(vec![0.8, -0.3], 1.2);
+        let q = QuantizedModel::from_svr("t", &m, 5, QuantSpec::default());
+        for x in [[0.0, 0.0], [1.0, 1.0], [0.5, 0.25]] {
+            let x_q = q.quantize_input(&x);
+            let raw = q.scores_int(&x_q)[0] as f64 * q.output_scale;
+            assert!(
+                (raw - m.predict_value(&x)).abs() < 0.15,
+                "dequantized {raw} vs float {}",
+                m.predict_value(&x)
+            );
+        }
+    }
+
+    #[test]
+    fn coefficient_count_matches_paper_convention() {
+        let q = QuantizedModel::from_mlp("t", &toy_mlp(), 2, QuantSpec::default());
+        assert_eq!(q.n_coefficients(), 8); // 2*2 + 2*2
+        let svc = QuantizedModel::from_linear_classifier(
+            "t",
+            &LinearClassifier::new(vec![vec![0.1; 21]; 3], vec![0.0; 3]),
+            QuantSpec::default(),
+        );
+        assert_eq!(svc.n_coefficients(), 63); // Table I: Cardio SVM-C
+    }
+
+    #[test]
+    fn sum_shapes_expose_layer_widths() {
+        let q = QuantizedModel::from_mlp("t", &toy_mlp(), 2, QuantSpec::default());
+        let shapes = q.sum_shapes();
+        assert_eq!(shapes.len(), 4);
+        assert_eq!(shapes[0], (0, 0, 4));
+        assert_eq!(shapes[2].0, 1);
+        assert_eq!(shapes[2].2, q.hidden_width);
+    }
+
+    #[test]
+    fn bounds_are_tight_for_simple_sums() {
+        let s = QuantizedSum { weights: vec![2, -3], bias: 5 };
+        let (lo, hi) = s.bounds_uniform(15);
+        assert_eq!(lo, 5 - 45);
+        assert_eq!(hi, 5 + 30);
+        assert_eq!(s.eval(&[15, 0]), 35);
+        assert_eq!(s.eval(&[0, 15]), -40);
+    }
+
+    #[test]
+    fn input_quantization_clamps() {
+        let q = QuantizedModel::from_svr(
+            "t",
+            &LinearRegressor::new(vec![1.0], 0.0),
+            2,
+            QuantSpec::default(),
+        );
+        assert_eq!(q.quantize_input(&[-0.5]), vec![0]);
+        assert_eq!(q.quantize_input(&[2.0]), vec![15]);
+        assert_eq!(q.quantize_input(&[0.5]), vec![8]);
+    }
+}

@@ -1,0 +1,117 @@
+//! CSV ingestion, so the real UCI files can replace the synthetic
+//! generators when available.
+
+use std::path::Path;
+
+use crate::Dataset;
+
+/// Parses CSV text where every row is `feature, …, feature, label` and
+/// the label is an integer class index starting at 0. A non-numeric
+/// first row is treated as a header and skipped. Separator may be `,`
+/// or `;` (UCI wine uses `;`).
+///
+/// # Errors
+///
+/// Returns a descriptive message on ragged rows, non-numeric cells or
+/// out-of-range labels.
+pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, String> {
+    let mut features: Vec<Vec<f64>> = Vec::new();
+    let mut raw_labels: Vec<i64> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let sep = if line.contains(';') { ';' } else { ',' };
+        let cells: Vec<&str> = line.split(sep).map(str::trim).collect();
+        let parsed: Result<Vec<f64>, _> = cells.iter().map(|c| c.parse::<f64>()).collect();
+        let row = match parsed {
+            Ok(row) => row,
+            Err(_) if i == 0 => continue, // header
+            Err(_) => return Err(format!("non-numeric cell at line {}", i + 1)),
+        };
+        if row.len() < 2 {
+            return Err(format!("line {} has fewer than 2 columns", i + 1));
+        }
+        match width {
+            None => width = Some(row.len()),
+            Some(w) if w != row.len() => {
+                return Err(format!("ragged row at line {} ({} vs {w} columns)", i + 1, row.len()))
+            }
+            _ => {}
+        }
+        let label = *row.last().expect("checked width >= 2");
+        if label.fract() != 0.0 || label < 0.0 {
+            return Err(format!("label {label} at line {} is not a class index", i + 1));
+        }
+        raw_labels.push(label as i64);
+        features.push(row[..row.len() - 1].to_vec());
+    }
+    if features.is_empty() {
+        return Err("no data rows".to_owned());
+    }
+    // Remap labels to a dense 0..k range (UCI wine quality starts at 3).
+    let mut distinct: Vec<i64> = raw_labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let labels: Vec<f64> = raw_labels
+        .iter()
+        .map(|l| distinct.binary_search(l).expect("label present") as f64)
+        .collect();
+    Ok(Dataset::new(name, features, labels, distinct.len()))
+}
+
+/// Loads a CSV file from disk via [`parse_csv`].
+///
+/// # Errors
+///
+/// Propagates I/O failures and parse errors as strings.
+pub fn load_csv(name: &str, path: impl AsRef<Path>) -> Result<Dataset, String> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| format!("cannot read {}: {e}", path.as_ref().display()))?;
+    parse_csv(name, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_header_and_semicolons() {
+        let text = "a;b;quality\n0.1;0.2;3\n0.3;0.4;5\n0.5;0.6;3\n";
+        let d = parse_csv("wine", text).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_classes, 2); // labels {3, 5} remap to {0, 1}
+        assert_eq!(d.labels, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn parses_plain_commas_without_header() {
+        let text = "1,2,0\n3,4,1\n";
+        let d = parse_csv("t", text).unwrap();
+        assert_eq!(d.features[1], vec![3.0, 4.0]);
+        assert_eq!(d.n_classes, 2);
+    }
+
+    #[test]
+    fn rejects_ragged_and_bad_labels() {
+        assert!(parse_csv("t", "1,2,0\n3,1\n").is_err());
+        assert!(parse_csv("t", "1,2,0.5\n").is_err());
+        assert!(parse_csv("t", "1,2,-1\n").is_err());
+        assert!(parse_csv("t", "").is_err());
+        assert!(parse_csv("t", "a,b,c\nx,y,0\n").is_err());
+    }
+
+    #[test]
+    fn load_csv_roundtrip_via_tempfile() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("pax_ml_csv_test.csv");
+        std::fs::write(&path, "0.5,0.25,1\n0.75,0.1,0\n").unwrap();
+        let d = load_csv("tmp", &path).unwrap();
+        assert_eq!(d.len(), 2);
+        std::fs::remove_file(&path).ok();
+        assert!(load_csv("missing", dir.join("definitely_absent.csv")).is_err());
+    }
+}

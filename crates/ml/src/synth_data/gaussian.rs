@@ -1,0 +1,154 @@
+//! Gaussian sampling helpers and blob-cluster dataset generation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::Dataset;
+
+/// A minimal Box–Muller standard-normal sampler (avoids an extra
+/// dependency on `rand_distr`).
+#[derive(Debug)]
+pub(crate) struct NormalSampler {
+    cached: Option<f64>,
+}
+
+impl NormalSampler {
+    pub(crate) fn new() -> Self {
+        Self { cached: None }
+    }
+
+    /// Draws one N(0, 1) sample.
+    pub(crate) fn sample(&mut self, rng: &mut StdRng) -> f64 {
+        if let Some(v) = self.cached.take() {
+            return v;
+        }
+        // Box–Muller: two uniforms -> two independent normals.
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+/// Generates `k` Gaussian class blobs in `[0, 1]^n` feature space.
+///
+/// Centroids are drawn uniformly in `[0.2, 0.8]^n`; each sample adds
+/// isotropic noise with standard deviation `noise`. Smaller `noise`
+/// yields more separable (higher-accuracy) data. Class sizes are
+/// balanced up to rounding.
+///
+/// # Panics
+///
+/// Panics for zero samples/features/classes.
+pub fn blobs(
+    name: &str,
+    n_samples: usize,
+    n_features: usize,
+    n_classes: usize,
+    noise: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(n_samples > 0 && n_features > 0 && n_classes > 0, "empty blob spec");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = NormalSampler::new();
+    // Rejection-sample centroids with a minimum pairwise separation so
+    // class overlap is governed by `noise`, not by centroid luck. The
+    // threshold scales with dimension like random-point distances do.
+    let min_dist = 0.34 * (n_features as f64 / 4.0).sqrt();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(n_classes);
+    while centroids.len() < n_classes {
+        let mut accepted = None;
+        for _ in 0..10_000 {
+            let cand: Vec<f64> =
+                (0..n_features).map(|_| rng.random_range(0.2..0.8)).collect();
+            let ok = centroids.iter().all(|c| {
+                let d2: f64 =
+                    c.iter().zip(&cand).map(|(a, b)| (a - b).powi(2)).sum();
+                d2.sqrt() >= min_dist
+            });
+            if ok {
+                accepted = Some(cand);
+                break;
+            }
+        }
+        // Fall back to the last candidate if the space is too crowded.
+        centroids.push(accepted.unwrap_or_else(|| {
+            (0..n_features).map(|_| rng.random_range(0.2..0.8)).collect()
+        }));
+    }
+    let mut features = Vec::with_capacity(n_samples);
+    let mut labels = Vec::with_capacity(n_samples);
+    for i in 0..n_samples {
+        let class = i % n_classes; // balanced
+        let row: Vec<f64> = centroids[class]
+            .iter()
+            .map(|&c| c + noise * normal.sample(&mut rng))
+            .collect();
+        features.push(row);
+        labels.push(class as f64);
+    }
+    // Shuffle so class order carries no information.
+    let mut order: Vec<usize> = (0..n_samples).collect();
+    use rand::seq::SliceRandom;
+    order.shuffle(&mut rng);
+    let features: Vec<Vec<f64>> = order.iter().map(|&i| features[i].clone()).collect();
+    let labels: Vec<f64> = order.iter().map(|&i| labels[i]).collect();
+    Dataset::new(name, features, labels, n_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_are_roughly_balanced() {
+        let d = blobs("b", 1000, 4, 10, 0.1, 7);
+        for &c in &d.class_counts() {
+            assert!((90..=110).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn lower_noise_means_tighter_clusters() {
+        // Average within-class variance should grow with noise.
+        let spread = |noise: f64| {
+            let d = blobs("b", 600, 3, 3, noise, 11);
+            let mut var = 0.0;
+            for class in 0..3 {
+                let rows: Vec<&Vec<f64>> = d
+                    .features
+                    .iter()
+                    .zip(&d.labels)
+                    .filter(|(_, &l)| l as usize == class)
+                    .map(|(r, _)| r)
+                    .collect();
+                let mean: Vec<f64> = (0..3)
+                    .map(|j| rows.iter().map(|r| r[j]).sum::<f64>() / rows.len() as f64)
+                    .collect();
+                var += rows
+                    .iter()
+                    .map(|r| {
+                        r.iter().zip(&mean).map(|(v, m)| (v - m).powi(2)).sum::<f64>()
+                    })
+                    .sum::<f64>()
+                    / rows.len() as f64;
+            }
+            var
+        };
+        assert!(spread(0.05) < spread(0.3));
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut n = NormalSampler::new();
+        let samples: Vec<f64> = (0..20000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Tiny dense linear algebra: Gaussian elimination with partial
+//! pivoting, used by the ridge-regression initializer. Printed ML
+//! feature counts are ≤ ~21, so an O(n³) solve is instantaneous.
+
+/// Solves `A·x = b` in place for a square system.
+///
+/// Returns `None` when the matrix is numerically singular.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix/vector shape mismatch");
+    assert!(a.iter().all(|r| r.len() == n), "matrix must be square");
+
+    for col in 0..n {
+        // Partial pivoting.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (k, cell) in rest[0].iter_mut().enumerate().skip(col) {
+                *cell -= f * pivot_row[k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Ridge regression with intercept: minimizes
+/// `Σ (y − w·x − b)² + λ‖w‖²` in closed form. Returns `(w, b)`.
+///
+/// # Panics
+///
+/// Panics on empty data or ragged rows.
+pub(crate) fn ridge(features: &[Vec<f64>], labels: &[f64], lambda: f64) -> (Vec<f64>, f64) {
+    assert!(!features.is_empty(), "empty regression data");
+    assert_eq!(features.len(), labels.len(), "row/label mismatch");
+    let d = features[0].len();
+    let n = d + 1; // homogeneous coordinate for the intercept
+    let mut ata = vec![vec![0.0; n]; n];
+    let mut atb = vec![0.0; n];
+    for (row, &y) in features.iter().zip(labels) {
+        assert_eq!(row.len(), d, "ragged row");
+        for i in 0..d {
+            for j in 0..d {
+                ata[i][j] += row[i] * row[j];
+            }
+            ata[i][d] += row[i];
+            ata[d][i] += row[i];
+            atb[i] += row[i] * y;
+        }
+        ata[d][d] += 1.0;
+        atb[d] += y;
+    }
+    for (i, row) in ata.iter_mut().enumerate().take(d) {
+        row[i] += lambda; // do not regularize the intercept
+    }
+    match solve(ata, atb) {
+        Some(mut x) => {
+            let b = x.pop().expect("n = d + 1");
+            (x, b)
+        }
+        // Degenerate data: fall back to the label mean.
+        None => (vec![0.0; d], labels.iter().sum::<f64>() / labels.len() as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_small_system() {
+        // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+        let x = solve(vec![vec![2.0, 1.0], vec![1.0, -1.0]], vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        assert!(solve(vec![vec![1.0, 2.0], vec![2.0, 4.0]], vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn ridge_recovers_exact_linear_relation() {
+        let rows: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![i as f64 / 50.0, (i * 7 % 13) as f64 / 13.0]).collect();
+        let labels: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 0.5).collect();
+        let (w, b) = ridge(&rows, &labels, 1e-9);
+        assert!((w[0] - 3.0).abs() < 1e-6);
+        assert!((w[1] + 2.0).abs() < 1e-6);
+        assert!((b - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_shrinks_with_lambda() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 30.0]).collect();
+        let labels: Vec<f64> = rows.iter().map(|r| 2.0 * r[0]).collect();
+        let (w_small, _) = ridge(&rows, &labels, 1e-9);
+        let (w_big, _) = ridge(&rows, &labels, 100.0);
+        assert!(w_big[0].abs() < w_small[0].abs());
+    }
+}

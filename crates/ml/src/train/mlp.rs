@@ -1,0 +1,226 @@
+//! MLP training by minibatch SGD with momentum.
+//!
+//! Classification uses softmax cross-entropy over the linear outputs
+//! (prediction stays argmax, which is what the hardware implements);
+//! regression uses mean squared error against the raw class index, as
+//! the paper's MLP-R does.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::sgd::{init_matrix, MiniBatches};
+use crate::model::{Mlp, MlpTask};
+use crate::Dataset;
+
+/// Hyper-parameters for MLP training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpParams {
+    /// Hidden-layer width (the paper uses ≤ 5).
+    pub hidden: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// L2 weight decay.
+    pub l2: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        Self { hidden: 3, lr: 0.05, epochs: 200, batch: 32, l2: 1e-4, momentum: 0.9 }
+    }
+}
+
+/// Trains an MLP classifier (`hidden` ReLU units, one linear output per
+/// class).
+///
+/// # Panics
+///
+/// Panics on an empty dataset or zero hidden width.
+pub fn train_mlp_classifier(data: &Dataset, params: &MlpParams, seed: u64) -> Mlp {
+    train(data, params, seed, MlpTask::Classification)
+}
+
+/// Trains an MLP regressor predicting the class index (one output).
+pub fn train_mlp_regressor(data: &Dataset, params: &MlpParams, seed: u64) -> Mlp {
+    train(data, params, seed, MlpTask::Regression)
+}
+
+fn train(data: &Dataset, params: &MlpParams, seed: u64, task: MlpTask) -> Mlp {
+    assert!(!data.is_empty(), "empty training set");
+    assert!(params.hidden > 0, "zero hidden width");
+    let n_in = data.n_features();
+    let n_out = match task {
+        MlpTask::Classification => data.n_classes,
+        MlpTask::Regression => 1,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lim1 = (6.0 / (n_in + params.hidden) as f64).sqrt();
+    let lim2 = (6.0 / (params.hidden + n_out) as f64).sqrt();
+    let mut w1 = init_matrix(params.hidden, n_in, lim1, &mut rng);
+    // Inputs are non-negative ([0, 1]-normalized), so a slightly positive
+    // bias keeps every ReLU unit alive at the start of training; with a
+    // zero init and few hidden units, whole layers can start dead.
+    let mut b1 = vec![0.1; params.hidden];
+    let mut w2 = init_matrix(n_out, params.hidden, lim2, &mut rng);
+    let mut b2 = vec![0.0; n_out];
+
+    let mut vw1 = vec![vec![0.0; n_in]; params.hidden];
+    let mut vb1 = vec![0.0; params.hidden];
+    let mut vw2 = vec![vec![0.0; params.hidden]; n_out];
+    let mut vb2 = vec![0.0; n_out];
+
+    for epoch in 0..params.epochs {
+        // 1/t learning-rate decay keeps late epochs from oscillating.
+        let lr = params.lr / (1.0 + 0.01 * epoch as f64);
+        let batches = MiniBatches::new(data.len(), params.batch, &mut rng);
+        for batch in batches.iter() {
+            let scale = 1.0 / batch.len() as f64;
+            let mut gw1 = vec![vec![0.0; n_in]; params.hidden];
+            let mut gb1 = vec![0.0; params.hidden];
+            let mut gw2 = vec![vec![0.0; params.hidden]; n_out];
+            let mut gb2 = vec![0.0; n_out];
+
+            for &row in batch {
+                let x = &data.features[row];
+                // Forward.
+                let z1: Vec<f64> = (0..params.hidden)
+                    .map(|h| {
+                        w1[h].iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b1[h]
+                    })
+                    .collect();
+                let h: Vec<f64> = z1.iter().map(|&z| z.max(0.0)).collect();
+                let out: Vec<f64> = (0..n_out)
+                    .map(|o| {
+                        w2[o].iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + b2[o]
+                    })
+                    .collect();
+
+                // Output-layer error signal.
+                let delta_out: Vec<f64> = match task {
+                    MlpTask::Classification => {
+                        // Softmax cross-entropy: δ = p − onehot(y).
+                        let max = out.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                        let exps: Vec<f64> = out.iter().map(|v| (v - max).exp()).collect();
+                        let sum: f64 = exps.iter().sum();
+                        let y = data.labels[row] as usize;
+                        exps.iter()
+                            .enumerate()
+                            .map(|(o, &e)| e / sum - f64::from(u8::from(o == y)))
+                            .collect()
+                    }
+                    MlpTask::Regression => vec![out[0] - data.labels[row]],
+                };
+
+                // Backprop into hidden layer.
+                for o in 0..n_out {
+                    for hh in 0..params.hidden {
+                        gw2[o][hh] += delta_out[o] * h[hh];
+                    }
+                    gb2[o] += delta_out[o];
+                }
+                for hh in 0..params.hidden {
+                    if z1[hh] <= 0.0 {
+                        continue; // ReLU gate closed
+                    }
+                    let delta_h: f64 =
+                        (0..n_out).map(|o| delta_out[o] * w2[o][hh]).sum();
+                    for i in 0..n_in {
+                        gw1[hh][i] += delta_h * x[i];
+                    }
+                    gb1[hh] += delta_h;
+                }
+            }
+
+            // Momentum + L2 update.
+            for hh in 0..params.hidden {
+                for i in 0..n_in {
+                    vw1[hh][i] = params.momentum * vw1[hh][i]
+                        - lr * (gw1[hh][i] * scale + params.l2 * w1[hh][i]);
+                    w1[hh][i] += vw1[hh][i];
+                }
+                vb1[hh] = params.momentum * vb1[hh] - lr * gb1[hh] * scale;
+                b1[hh] += vb1[hh];
+            }
+            for o in 0..n_out {
+                for hh in 0..params.hidden {
+                    vw2[o][hh] = params.momentum * vw2[o][hh]
+                        - lr * (gw2[o][hh] * scale + params.l2 * w2[o][hh]);
+                    w2[o][hh] += vw2[o][hh];
+                }
+                vb2[o] = params.momentum * vb2[o] - lr * gb2[o] * scale;
+                b2[o] += vb2[o];
+            }
+        }
+    }
+    Mlp::new(w1, b1, w2, b2, task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, rounded_accuracy};
+    use crate::synth_data::{blobs, ordinal, OrdinalSpec};
+
+    #[test]
+    fn learns_separable_blobs() {
+        let data = blobs("b", 600, 4, 3, 0.08, 3);
+        let (train, test) = data.split(0.7, 1);
+        let (train, test) = crate::normalize(&train, &test);
+        let m = train_mlp_classifier(
+            &train,
+            &MlpParams { hidden: 4, epochs: 120, ..MlpParams::default() },
+            7,
+        );
+        let acc = accuracy(&m.predict_batch(&test.features, 3), &test.labels);
+        assert!(acc > 0.92, "separable blobs should be easy: {acc}");
+    }
+
+    #[test]
+    fn regressor_learns_ordinal_structure() {
+        let data = ordinal(&OrdinalSpec {
+            name: "o",
+            n_samples: 1200,
+            n_features: 6,
+            n_informative: 4,
+            class_fractions: vec![0.4, 0.35, 0.25],
+            noise: 0.05,
+            seed: 5,
+        });
+        let (train, test) = data.split(0.7, 1);
+        let (train, test) = crate::normalize(&train, &test);
+        let m = train_mlp_regressor(
+            &train,
+            &MlpParams { hidden: 3, epochs: 300, lr: 0.01, ..MlpParams::default() },
+            9,
+        );
+        let acc = rounded_accuracy(&m.predict_values(&test.features), &test.labels, 3);
+        assert!(acc > 0.75, "ordinal regression should work: {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = blobs("b", 200, 3, 2, 0.1, 3);
+        let p = MlpParams { epochs: 10, ..MlpParams::default() };
+        let a = train_mlp_classifier(&data, &p, 42);
+        let b = train_mlp_classifier(&data, &p, 42);
+        assert_eq!(a, b);
+        let c = train_mlp_classifier(&data, &p, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn topology_follows_params() {
+        let data = blobs("b", 100, 5, 4, 0.2, 3);
+        let m = train_mlp_classifier(
+            &data,
+            &MlpParams { hidden: 2, epochs: 2, ..MlpParams::default() },
+            1,
+        );
+        assert_eq!(m.topology(), "(5,2,4)");
+    }
+}

@@ -1,0 +1,15 @@
+//! Training: SGD for MLPs (softmax cross-entropy / MSE), one-vs-rest
+//! hinge for linear SVM classification, ε-insensitive regression for
+//! SVM-R, and a `RandomizedSearchCV`-style hyper-parameter search.
+//!
+//! The paper trains with scikit-learn's `RandomizedSearchCV` under
+//! 5-fold cross-validation; [`search`] reproduces that protocol. All
+//! training is deterministic under a fixed seed.
+
+pub mod mlp;
+pub mod search;
+pub mod svm;
+pub mod svr;
+
+pub(crate) mod linalg;
+pub(crate) mod sgd;

@@ -1,0 +1,62 @@
+//! Shared SGD plumbing: deterministic epoch shuffles and minibatching.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Yields shuffled minibatch index slices for one epoch.
+pub(crate) struct MiniBatches {
+    order: Vec<usize>,
+    batch: usize,
+}
+
+impl MiniBatches {
+    pub(crate) fn new(n: usize, batch: usize, rng: &mut StdRng) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        Self { order, batch }
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &[usize]> {
+        self.order.chunks(self.batch)
+    }
+}
+
+/// Uniform weight initialization in `[-limit, limit]` (Glorot-style when
+/// `limit = sqrt(6 / (fan_in + fan_out))`).
+pub(crate) fn init_matrix(
+    rows: usize,
+    cols: usize,
+    limit: f64,
+    rng: &mut StdRng,
+) -> Vec<Vec<f64>> {
+    use rand::RngExt;
+    (0..rows)
+        .map(|_| (0..cols).map(|_| rng.random_range(-limit..limit)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batches_cover_all_indices_once() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mb = MiniBatches::new(10, 3, &mut rng);
+        let mut seen: Vec<usize> = mb.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        let sizes: Vec<usize> = mb.iter().map(<[usize]>::len).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn init_matrix_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = init_matrix(5, 7, 0.3, &mut rng);
+        assert_eq!(m.len(), 5);
+        assert!(m.iter().flatten().all(|v| v.abs() <= 0.3));
+    }
+}

@@ -1,0 +1,712 @@
+use std::collections::HashMap;
+
+use crate::{Bus, Gate, GateKind, NetId, Netlist, Node, Port};
+
+/// Hash-consing netlist builder with on-the-fly logic folding.
+///
+/// The builder is the single construction path for [`Netlist`]s. Every
+/// gate request goes through three stages:
+///
+/// 1. **folding** — algebraic identities involving constants, equal
+///    operands and complemented operands are simplified away (e.g.
+///    `and(x, 1) = x`, `xor(x, x) = 0`, `mux(s, 1, 0) = s`). Because
+///    bespoke printed circuits hardwire the ML coefficients, this stage
+///    performs the paper's "bespoke synthesis": multiplying by a constant
+///    collapses to wiring plus a few adders;
+/// 2. **canonicalization** — commutative gates sort their operands;
+/// 3. **hash-consing** — a structurally identical gate is returned
+///    instead of duplicated.
+///
+/// The resulting node list is topologically ordered by construction.
+///
+/// # Examples
+///
+/// ```
+/// use pax_netlist::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new("fold");
+/// let x = b.input_port("x", 1)[0];
+/// let one = b.const1();
+/// assert_eq!(b.and2(x, one), x);          // x & 1 == x
+/// let n1 = b.not(x);
+/// assert_eq!(b.not(n1), x);               // double inverter cancels
+/// let a = b.xor2(x, n1);
+/// assert_eq!(a, one);                     // x ^ !x == 1
+/// let g1 = b.and2(x, n1);
+/// let g2 = b.and2(n1, x);
+/// assert_eq!(g1, g2);                     // hash-consing + commutativity
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    nodes: Vec<Node>,
+    input_ports: Vec<Port>,
+    output_ports: Vec<Port>,
+    name: String,
+    dedup: HashMap<Gate, NetId>,
+    const0: Option<NetId>,
+    const1: Option<NetId>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for a module called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            nodes: Vec::new(),
+            input_ports: Vec::new(),
+            output_ports: Vec::new(),
+            name: name.into(),
+            dedup: HashMap::new(),
+            const0: None,
+            const1: None,
+        }
+    }
+
+    /// Declares a primary input port of the given width and returns its
+    /// bus (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input port with the same name exists — ports are the
+    /// public interface of the module, so a clash is a programming error.
+    pub fn input_port(&mut self, name: impl Into<String>, width: usize) -> Bus {
+        let name = name.into();
+        assert!(
+            self.input_ports.iter().all(|p| p.name != name),
+            "duplicate input port `{name}`"
+        );
+        let port_idx = u16::try_from(self.input_ports.len()).expect("too many ports");
+        let bits: Vec<NetId> = (0..width)
+            .map(|bit| {
+                let id = NetId::from_index(self.nodes.len());
+                self.nodes.push(Node::Input { port: port_idx, bit: bit as u16 });
+                id
+            })
+            .collect();
+        let bus: Bus = bits.clone().into();
+        self.input_ports.push(Port { name, bits });
+        bus
+    }
+
+    /// Declares an output port carrying `bus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate output port names or if the bus references
+    /// nets the builder has not created.
+    pub fn output_port(&mut self, name: impl Into<String>, bus: Bus) {
+        let name = name.into();
+        assert!(
+            self.output_ports.iter().all(|p| p.name != name),
+            "duplicate output port `{name}`"
+        );
+        for bit in bus.iter() {
+            assert!(bit.index() < self.nodes.len(), "output `{name}` references unknown {bit}");
+        }
+        self.output_ports.push(Port { name, bits: bus.into_iter().collect() });
+    }
+
+    /// The constant-0 net (created on first use).
+    pub fn const0(&mut self) -> NetId {
+        if let Some(id) = self.const0 {
+            return id;
+        }
+        let id = self.push(Gate::new(GateKind::Const0, &[]));
+        self.const0 = Some(id);
+        id
+    }
+
+    /// The constant-1 net (created on first use).
+    pub fn const1(&mut self) -> NetId {
+        if let Some(id) = self.const1 {
+            return id;
+        }
+        let id = self.push(Gate::new(GateKind::Const1, &[]));
+        self.const1 = Some(id);
+        id
+    }
+
+    /// A constant net for the given boolean.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        if value {
+            self.const1()
+        } else {
+            self.const0()
+        }
+    }
+
+    /// A `width`-bit bus hardwired to `value` (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit into `width` bits.
+    pub fn constant_bus(&mut self, value: u64, width: usize) -> Bus {
+        assert!(
+            width >= 64 || value >> width == 0,
+            "constant {value} does not fit into {width} bits"
+        );
+        (0..width).map(|i| self.constant(value >> i & 1 == 1)).collect()
+    }
+
+    fn is_const(&self, n: NetId) -> Option<bool> {
+        match self.nodes[n.index()] {
+            Node::Gate(g) if g.kind == GateKind::Const0 => Some(false),
+            Node::Gate(g) if g.kind == GateKind::Const1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Returns the constant value of `n` if it is a tie cell. Generators
+    /// use this to keep constant bits out of adder columns.
+    pub fn const_value(&self, n: NetId) -> Option<bool> {
+        self.is_const(n)
+    }
+
+    /// Returns the gate driving `n`, if any (inputs return `None`).
+    pub fn gate_of(&self, n: NetId) -> Option<Gate> {
+        match self.nodes[n.index()] {
+            Node::Gate(g) => Some(g),
+            Node::Input { .. } => None,
+        }
+    }
+
+    fn as_not(&self, n: NetId) -> Option<NetId> {
+        match self.nodes[n.index()] {
+            Node::Gate(g) if g.kind == GateKind::Not => Some(g.inputs()[0]),
+            _ => None,
+        }
+    }
+
+    /// True when `a` and `b` are structurally complementary
+    /// (one is the inverter of the other).
+    fn complementary(&self, a: NetId, b: NetId) -> bool {
+        self.as_not(a) == Some(b) || self.as_not(b) == Some(a)
+    }
+
+    fn push(&mut self, gate: Gate) -> NetId {
+        if let Some(&id) = self.dedup.get(&gate) {
+            return id;
+        }
+        for &i in gate.inputs() {
+            debug_assert!(i.index() < self.nodes.len(), "gate references unknown net {i}");
+        }
+        let id = NetId::from_index(self.nodes.len());
+        self.nodes.push(Node::Gate(gate));
+        self.dedup.insert(gate, id);
+        id
+    }
+
+    fn push_canonical(&mut self, kind: GateKind, mut ins: Vec<NetId>) -> NetId {
+        if kind.is_commutative() {
+            ins.sort_unstable();
+        }
+        self.push(Gate::new(kind, &ins))
+    }
+
+    /// Buffer. Folds to the input itself (buffers are only materialized
+    /// explicitly via [`NetlistBuilder::buf_cell`]).
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        a
+    }
+
+    /// Materializes a real BUF cell (for fanout experiments; normal logic
+    /// construction never needs one).
+    pub fn buf_cell(&mut self, a: NetId) -> NetId {
+        self.push(Gate::new(GateKind::Buf, &[a]))
+    }
+
+    /// Inverter with folding: `!const` folds, `!!x` cancels.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        if let Some(v) = self.is_const(a) {
+            return self.constant(!v);
+        }
+        if let Some(x) = self.as_not(a) {
+            return x;
+        }
+        self.push(Gate::new(GateKind::Not, &[a]))
+    }
+
+    /// 2-input AND with constant/idempotence/complement folding.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.const0(),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.complementary(a, b) {
+            return self.const0();
+        }
+        self.push_canonical(GateKind::And2, vec![a, b])
+    }
+
+    /// 2-input NAND with folding.
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.const1(),
+            (Some(true), _) => return self.not(b),
+            (_, Some(true)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.not(a);
+        }
+        if self.complementary(a, b) {
+            return self.const1();
+        }
+        self.push_canonical(GateKind::Nand2, vec![a, b])
+    }
+
+    /// 2-input OR with folding.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.const1(),
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.complementary(a, b) {
+            return self.const1();
+        }
+        self.push_canonical(GateKind::Or2, vec![a, b])
+    }
+
+    /// 2-input NOR with folding.
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.const0(),
+            (Some(false), _) => return self.not(b),
+            (_, Some(false)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.not(a);
+        }
+        if self.complementary(a, b) {
+            return self.const0();
+        }
+        self.push_canonical(GateKind::Nor2, vec![a, b])
+    }
+
+    /// 2-input XOR with folding (`x^x = 0`, `x^!x = 1`, `x^1 = !x`).
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return self.not(b),
+            (_, Some(true)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.const0();
+        }
+        if self.complementary(a, b) {
+            return self.const1();
+        }
+        // Push inverters out of XOR: !a ^ !b = a ^ b; (!a) ^ b = !(a ^ b).
+        if let (Some(x), Some(y)) = (self.as_not(a), self.as_not(b)) {
+            return self.xor2(x, y);
+        }
+        self.push_canonical(GateKind::Xor2, vec![a, b])
+    }
+
+    /// 2-input XNOR with folding.
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            (Some(false), _) => return self.not(b),
+            (_, Some(false)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.const1();
+        }
+        if self.complementary(a, b) {
+            return self.const0();
+        }
+        if let (Some(x), Some(y)) = (self.as_not(a), self.as_not(b)) {
+            return self.xnor2(x, y);
+        }
+        self.push_canonical(GateKind::Xnor2, vec![a, b])
+    }
+
+    /// 3-input AND (folds through the 2-input rules first).
+    pub fn and3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        let consts = [a, b, c].iter().filter_map(|&n| self.is_const(n)).collect::<Vec<_>>();
+        if consts.contains(&false) {
+            return self.const0();
+        }
+        let live: Vec<NetId> =
+            [a, b, c].into_iter().filter(|&n| self.is_const(n) != Some(true)).collect();
+        match live.len() {
+            0 => self.const1(),
+            1 => live[0],
+            2 => self.and2(live[0], live[1]),
+            _ => {
+                if live[0] == live[1] {
+                    return self.and2(live[0], live[2]);
+                }
+                if live[1] == live[2] || live[0] == live[2] {
+                    return self.and2(live[0], live[1]);
+                }
+                if self.complementary(live[0], live[1])
+                    || self.complementary(live[1], live[2])
+                    || self.complementary(live[0], live[2])
+                {
+                    return self.const0();
+                }
+                self.push_canonical(GateKind::And3, live)
+            }
+        }
+    }
+
+    /// 3-input OR (folds through the 2-input rules first).
+    pub fn or3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        let consts = [a, b, c].iter().filter_map(|&n| self.is_const(n)).collect::<Vec<_>>();
+        if consts.contains(&true) {
+            return self.const1();
+        }
+        let live: Vec<NetId> =
+            [a, b, c].into_iter().filter(|&n| self.is_const(n) != Some(false)).collect();
+        match live.len() {
+            0 => self.const0(),
+            1 => live[0],
+            2 => self.or2(live[0], live[1]),
+            _ => {
+                if live[0] == live[1] {
+                    return self.or2(live[0], live[2]);
+                }
+                if live[1] == live[2] || live[0] == live[2] {
+                    return self.or2(live[0], live[1]);
+                }
+                if self.complementary(live[0], live[1])
+                    || self.complementary(live[1], live[2])
+                    || self.complementary(live[0], live[2])
+                {
+                    return self.const1();
+                }
+                self.push_canonical(GateKind::Or3, live)
+            }
+        }
+    }
+
+    /// 3-input NAND.
+    pub fn nand3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        let and = self.and3(a, b, c);
+        // Prefer a single NAND3 cell over AND3+INV when a fresh gate was
+        // actually created for us (i.e. `and` is an And3 we just pushed).
+        if let Node::Gate(g) = self.nodes[and.index()] {
+            if g.kind == GateKind::And3 {
+                return self.push_canonical(GateKind::Nand3, g.inputs().to_vec());
+            }
+            if g.kind == GateKind::And2 {
+                return self.push_canonical(GateKind::Nand2, g.inputs().to_vec());
+            }
+        }
+        self.not(and)
+    }
+
+    /// 3-input NOR.
+    pub fn nor3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        let or = self.or3(a, b, c);
+        if let Node::Gate(g) = self.nodes[or.index()] {
+            if g.kind == GateKind::Or3 {
+                return self.push_canonical(GateKind::Nor3, g.inputs().to_vec());
+            }
+            if g.kind == GateKind::Or2 {
+                return self.push_canonical(GateKind::Nor2, g.inputs().to_vec());
+            }
+        }
+        self.not(or)
+    }
+
+    /// 2:1 multiplexer `sel ? a : b`, folding constant selects, equal and
+    /// complementary data inputs, and constant data inputs into cheaper
+    /// AND/OR forms.
+    pub fn mux(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        match self.is_const(sel) {
+            Some(true) => return a,
+            Some(false) => return b,
+            None => {}
+        }
+        if a == b {
+            return a;
+        }
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(true), Some(false)) => return sel,
+            (Some(false), Some(true)) => return self.not(sel),
+            // sel ? 1 : b == sel | b
+            (Some(true), None) => return self.or2(sel, b),
+            // sel ? 0 : b == !sel & b
+            (Some(false), None) => {
+                let ns = self.not(sel);
+                return self.and2(ns, b);
+            }
+            // sel ? a : 1 == !sel | a
+            (None, Some(true)) => {
+                let ns = self.not(sel);
+                return self.or2(ns, a);
+            }
+            // sel ? a : 0 == sel & a
+            (None, Some(false)) => return self.and2(sel, a),
+            _ => {}
+        }
+        if self.complementary(a, b) {
+            // sel ? a : !a == sel XNOR a
+            return self.xnor2(sel, a);
+        }
+        self.push(Gate::new(GateKind::Mux2, &[sel, a, b]))
+    }
+
+    /// Balanced n-ary AND over arbitrarily many operands (uses AND3/AND2).
+    ///
+    /// Returns constant 1 for an empty operand list.
+    pub fn and_many(&mut self, ins: &[NetId]) -> NetId {
+        match ins.len() {
+            0 => self.const1(),
+            1 => ins[0],
+            2 => self.and2(ins[0], ins[1]),
+            3 => self.and3(ins[0], ins[1], ins[2]),
+            _ => {
+                let mid = ins.len() / 2;
+                let lo = self.and_many(&ins[..mid]);
+                let hi = self.and_many(&ins[mid..]);
+                self.and2(lo, hi)
+            }
+        }
+    }
+
+    /// Balanced n-ary OR over arbitrarily many operands (uses OR3/OR2).
+    ///
+    /// Returns constant 0 for an empty operand list.
+    pub fn or_many(&mut self, ins: &[NetId]) -> NetId {
+        match ins.len() {
+            0 => self.const0(),
+            1 => ins[0],
+            2 => self.or2(ins[0], ins[1]),
+            3 => self.or3(ins[0], ins[1], ins[2]),
+            _ => {
+                let mid = ins.len() / 2;
+                let lo = self.or_many(&ins[..mid]);
+                let hi = self.or_many(&ins[mid..]);
+                self.or2(lo, hi)
+            }
+        }
+    }
+
+    /// Bitwise mux over two equal-width buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus widths differ.
+    pub fn mux_bus(&mut self, sel: NetId, a: &Bus, b: &Bus) -> Bus {
+        assert_eq!(a.width(), b.width(), "mux_bus width mismatch");
+        (0..a.width()).map(|i| self.mux(sel, a[i], b[i])).collect()
+    }
+
+    /// Number of nodes created so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes have been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current net-count snapshot, useful for measuring how much logic a
+    /// generator added.
+    pub fn mark(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finalizes the netlist.
+    pub fn finish(self) -> Netlist {
+        Netlist {
+            name: self.name,
+            nodes: self.nodes,
+            input_ports: self.input_ports,
+            output_ports: self.output_ports,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b() -> NetlistBuilder {
+        NetlistBuilder::new("t")
+    }
+
+    #[test]
+    fn constants_are_shared() {
+        let mut b = b();
+        assert_eq!(b.const0(), b.const0());
+        assert_eq!(b.const1(), b.const1());
+        assert_ne!(b.const0(), b.const1());
+    }
+
+    #[test]
+    fn constant_bus_encodes_lsb_first() {
+        let mut b = b();
+        let bus = b.constant_bus(0b101, 4);
+        let nl_vals: Vec<bool> = {
+            let nl = b.finish();
+            bus.iter().map(|n| nl.as_const(n).unwrap()).collect()
+        };
+        assert_eq!(nl_vals, vec![true, false, true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn constant_bus_overflow_panics() {
+        let mut b = b();
+        let _ = b.constant_bus(16, 4);
+    }
+
+    #[test]
+    fn and_or_folding_table() {
+        let mut b = b();
+        let x = b.input_port("x", 1)[0];
+        let zero = b.const0();
+        let one = b.const1();
+        assert_eq!(b.and2(x, zero), zero);
+        assert_eq!(b.and2(x, one), x);
+        assert_eq!(b.and2(x, x), x);
+        assert_eq!(b.or2(x, one), one);
+        assert_eq!(b.or2(x, zero), x);
+        assert_eq!(b.or2(x, x), x);
+        let nx = b.not(x);
+        assert_eq!(b.and2(x, nx), zero);
+        assert_eq!(b.or2(x, nx), one);
+    }
+
+    #[test]
+    fn xor_folding_table() {
+        let mut b = b();
+        let x = b.input_port("x", 1)[0];
+        let y = b.input_port("y", 1)[0];
+        let zero = b.const0();
+        let one = b.const1();
+        assert_eq!(b.xor2(x, zero), x);
+        assert_eq!(b.xor2(x, x), zero);
+        let nx = b.not(x);
+        assert_eq!(b.xor2(x, one), nx);
+        assert_eq!(b.xor2(x, nx), one);
+        assert_eq!(b.xnor2(x, x), one);
+        assert_eq!(b.xnor2(x, one), x);
+        // !x ^ !y shares the gate with x ^ y
+        let ny = b.not(y);
+        let g1 = b.xor2(x, y);
+        let g2 = b.xor2(nx, ny);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn nand_nor_folding() {
+        let mut b = b();
+        let x = b.input_port("x", 1)[0];
+        let zero = b.const0();
+        let one = b.const1();
+        assert_eq!(b.nand2(x, zero), one);
+        assert_eq!(b.nor2(x, one), zero);
+        let nx = b.not(x);
+        assert_eq!(b.nand2(x, one), nx);
+        assert_eq!(b.nand2(x, x), nx);
+        assert_eq!(b.nor2(x, zero), nx);
+    }
+
+    #[test]
+    fn mux_folds_constant_arms() {
+        let mut b = b();
+        let s = b.input_port("s", 1)[0];
+        let x = b.input_port("x", 1)[0];
+        let zero = b.const0();
+        let one = b.const1();
+        assert_eq!(b.mux(one, x, zero), x);
+        assert_eq!(b.mux(zero, x, one), one);
+        assert_eq!(b.mux(s, one, zero), s);
+        let ns = b.not(s);
+        assert_eq!(b.mux(s, zero, one), ns);
+        assert_eq!(b.mux(s, x, x), x);
+        // sel ? x : 0 == sel & x
+        let m = b.mux(s, x, zero);
+        let a = b.and2(s, x);
+        assert_eq!(m, a);
+        // sel ? x : !x == s XNOR x
+        let nx = b.not(x);
+        let m2 = b.mux(s, x, nx);
+        let e = b.xnor2(s, x);
+        assert_eq!(m2, e);
+    }
+
+    #[test]
+    fn and3_or3_degenerate_cases() {
+        let mut b = b();
+        let x = b.input_port("x", 1)[0];
+        let y = b.input_port("y", 1)[0];
+        let zero = b.const0();
+        let one = b.const1();
+        assert_eq!(b.and3(x, y, zero), zero);
+        let a2 = b.and2(x, y);
+        assert_eq!(b.and3(x, y, one), a2);
+        assert_eq!(b.or3(x, y, one), one);
+        let o2 = b.or2(x, y);
+        assert_eq!(b.or3(x, y, zero), o2);
+        assert_eq!(b.and3(x, x, y), a2);
+        let nx = b.not(x);
+        assert_eq!(b.and3(x, nx, y), zero);
+        assert_eq!(b.or3(x, nx, y), one);
+    }
+
+    #[test]
+    fn hash_consing_shares_gates() {
+        let mut b = b();
+        let x = b.input_port("x", 1)[0];
+        let y = b.input_port("y", 1)[0];
+        let before = b.len();
+        let g1 = b.and2(x, y);
+        let g2 = b.and2(y, x);
+        let g3 = b.and2(x, y);
+        assert_eq!(g1, g2);
+        assert_eq!(g1, g3);
+        assert_eq!(b.len(), before + 1);
+    }
+
+    #[test]
+    fn and_many_handles_all_sizes() {
+        let mut b = b();
+        let xs = b.input_port("x", 7);
+        let one = b.const1();
+        assert_eq!(b.and_many(&[]), one);
+        assert_eq!(b.and_many(&[xs[0]]), xs[0]);
+        let all: Vec<NetId> = xs.iter().collect();
+        let g = b.and_many(&all);
+        // A 7-input AND built from 2/3-input gates exists and is not a constant.
+        assert!(b.is_const(g).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate input port")]
+    fn duplicate_input_port_panics() {
+        let mut b = b();
+        b.input_port("x", 1);
+        b.input_port("x", 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate output port")]
+    fn duplicate_output_port_panics() {
+        let mut b = b();
+        let x = b.input_port("x", 1);
+        b.output_port("y", x.clone());
+        b.output_port("y", x);
+    }
+}

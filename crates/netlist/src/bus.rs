@@ -1,0 +1,175 @@
+use serde::{Deserialize, Serialize};
+
+use crate::NetId;
+
+/// An LSB-first vector of nets representing a multi-bit value.
+///
+/// `Bus` is a thin, cloneable handle — it does not own logic, it names
+/// the nets that carry each bit. Arithmetic generators in `pax-synth`
+/// consume and produce buses.
+///
+/// # Examples
+///
+/// ```
+/// use pax_netlist::{Bus, NetId};
+///
+/// let bus: Bus = (0..4).map(NetId::from_index).collect();
+/// assert_eq!(bus.width(), 4);
+/// assert_eq!(bus.msb(), NetId::from_index(3));
+/// assert_eq!(bus.slice(1..3).width(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Bus(Vec<NetId>);
+
+impl Bus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Number of bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the bus has zero width.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The bits, LSB first.
+    pub fn bits(&self) -> &[NetId] {
+        &self.0
+    }
+
+    /// Least-significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty bus.
+    pub fn lsb(&self) -> NetId {
+        self.0[0]
+    }
+
+    /// Most-significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty bus.
+    pub fn msb(&self) -> NetId {
+        *self.0.last().expect("msb of empty bus")
+    }
+
+    /// A sub-range of the bus as a new bus (still LSB-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bus {
+        Bus(self.0[range].to_vec())
+    }
+
+    /// The low `n` bits (truncation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > width()`.
+    pub fn take_low(&self, n: usize) -> Bus {
+        self.slice(0..n)
+    }
+
+    /// Appends another bus on the most-significant side.
+    pub fn concat(&self, high: &Bus) -> Bus {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&high.0);
+        Bus(v)
+    }
+
+    /// Pushes one more most-significant bit.
+    pub fn push_msb(&mut self, bit: NetId) {
+        self.0.push(bit);
+    }
+
+    /// Iterates over bits, LSB first.
+    pub fn iter(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+impl std::ops::Index<usize> for Bus {
+    type Output = NetId;
+
+    fn index(&self, i: usize) -> &NetId {
+        &self.0[i]
+    }
+}
+
+impl From<Vec<NetId>> for Bus {
+    fn from(bits: Vec<NetId>) -> Self {
+        Self(bits)
+    }
+}
+
+impl FromIterator<NetId> for Bus {
+    fn from_iter<T: IntoIterator<Item = NetId>>(iter: T) -> Self {
+        Self(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for Bus {
+    type Item = NetId;
+    type IntoIter = std::vec::IntoIter<NetId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bus {
+    type Item = &'a NetId;
+    type IntoIter = std::slice::Iter<'a, NetId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus(n: usize) -> Bus {
+        (0..n).map(NetId::from_index).collect()
+    }
+
+    #[test]
+    fn width_and_indexing() {
+        let b = bus(8);
+        assert_eq!(b.width(), 8);
+        assert_eq!(b[3], NetId::from_index(3));
+        assert_eq!(b.lsb(), NetId::from_index(0));
+        assert_eq!(b.msb(), NetId::from_index(7));
+    }
+
+    #[test]
+    fn slicing_and_concat() {
+        let b = bus(8);
+        let lo = b.take_low(4);
+        let hi = b.slice(4..8);
+        assert_eq!(lo.concat(&hi), b);
+    }
+
+    #[test]
+    fn collecting_and_iterating() {
+        let b: Bus = vec![NetId::from_index(5), NetId::from_index(9)].into();
+        let v: Vec<NetId> = b.iter().collect();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[1], NetId::from_index(9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn msb_of_empty_panics() {
+        let _ = Bus::new().msb();
+    }
+}

@@ -1,0 +1,88 @@
+//! Graphviz DOT export for small netlists.
+//!
+//! Intended for debugging generators and visualizing what pruning did to
+//! a circuit; rendering a full classifier is possible but unwieldy.
+
+use std::fmt::Write as _;
+
+use crate::{Netlist, Node};
+
+/// Renders the netlist as a Graphviz `digraph`.
+///
+/// Inputs become ellipses, gates boxes labeled with their mnemonic, and
+/// output ports double octagons.
+///
+/// # Examples
+///
+/// ```
+/// use pax_netlist::{dot, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("g");
+/// let x = b.input_port("x", 2);
+/// let y = b.and2(x[0], x[1]);
+/// b.output_port("y", vec![y].into());
+/// let text = dot::to_dot(&b.finish());
+/// assert!(text.starts_with("digraph g"));
+/// assert!(text.contains("AND2"));
+/// ```
+pub fn to_dot(nl: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(nl.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (id, node) in nl.iter() {
+        match node {
+            Node::Input { port, bit } => {
+                let name = &nl.input_ports()[*port as usize].name;
+                let _ = writeln!(
+                    out,
+                    "  {id} [shape=ellipse, label=\"{}[{}]\"];",
+                    sanitize(name),
+                    bit
+                );
+            }
+            Node::Gate(g) => {
+                let _ = writeln!(out, "  {id} [shape=box, label=\"{}\"];", g.kind.mnemonic());
+                for &i in g.inputs() {
+                    let _ = writeln!(out, "  {i} -> {id};");
+                }
+            }
+        }
+    }
+    for port in nl.output_ports() {
+        for (bit, net) in port.bits.iter().enumerate() {
+            let pname = format!("out_{}_{}", sanitize(&port.name), bit);
+            let _ = writeln!(
+                out,
+                "  {pname} [shape=doubleoctagon, label=\"{}[{}]\"];",
+                sanitize(&port.name),
+                bit
+            );
+            let _ = writeln!(out, "  {net} -> {pname};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut b = NetlistBuilder::new("my-mod");
+        let x = b.input_port("in", 1);
+        let g = b.not(x[0]);
+        b.output_port("out", vec![g].into());
+        let text = to_dot(&b.finish());
+        assert!(text.contains("digraph my_mod"));
+        assert!(text.contains("INV"));
+        assert!(text.contains("doubleoctagon"));
+        assert!(text.contains("->"));
+    }
+}

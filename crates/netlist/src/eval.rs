@@ -1,0 +1,172 @@
+//! Scalar reference evaluation of a netlist, one sample at a time.
+//!
+//! This is the *slow, obviously-correct* path used by tests and debug
+//! tooling; bulk evaluation (accuracy, switching activity) lives in
+//! `pax-sim`, which processes 64 samples per machine word and must agree
+//! with this module bit-for-bit.
+
+use std::collections::BTreeMap;
+
+use crate::{Netlist, Node};
+
+/// Evaluates the netlist on one assignment of port values.
+///
+/// `inputs` maps port names to values whose bit `i` drives bit `i` of the
+/// port (LSB-first). Returns all output-port values in the same encoding.
+///
+/// # Panics
+///
+/// Panics if an input port is missing from `inputs`, if a value does not
+/// fit the port width, or if any port is wider than 64 bits (ports in
+/// this domain are ≤ ~32 bits).
+///
+/// # Examples
+///
+/// ```
+/// use pax_netlist::{eval, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("add1");
+/// let x = b.input_port("x", 2);
+/// let y0 = b.not(x[0]);
+/// let y1 = b.xor2(x[0], x[1]);
+/// b.output_port("y", vec![y0, y1].into());
+/// let nl = b.finish();
+/// let out = eval::eval_ports(&nl, &[("x", 0b01)]);
+/// assert_eq!(out["y"], 0b10); // 1 + 1 = 2 in this tiny incrementer
+/// ```
+pub fn eval_ports(nl: &Netlist, inputs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+    let by_name: BTreeMap<&str, u64> = inputs.iter().copied().collect();
+    let mut vals = vec![false; nl.len()];
+    for (id, node) in nl.iter() {
+        vals[id.index()] = match node {
+            Node::Input { port, bit } => {
+                let p = &nl.input_ports()[*port as usize];
+                assert!(p.width() <= 64, "port `{}` wider than 64 bits", p.name);
+                let v = *by_name
+                    .get(p.name.as_str())
+                    .unwrap_or_else(|| panic!("missing input port `{}`", p.name));
+                assert!(
+                    p.width() >= 64 || v >> p.width() == 0,
+                    "value {v} does not fit port `{}` of width {}",
+                    p.name,
+                    p.width()
+                );
+                v >> bit & 1 == 1
+            }
+            Node::Gate(g) => {
+                let ins: Vec<bool> = g.inputs().iter().map(|i| vals[i.index()]).collect();
+                g.kind.eval_bool(&ins)
+            }
+        };
+    }
+    nl.output_ports()
+        .iter()
+        .map(|p| {
+            assert!(p.width() <= 64, "port `{}` wider than 64 bits", p.name);
+            let mut v = 0u64;
+            for (i, net) in p.bits.iter().enumerate() {
+                if vals[net.index()] {
+                    v |= 1 << i;
+                }
+            }
+            (p.name.clone(), v)
+        })
+        .collect()
+}
+
+/// Reinterprets the low `width` bits of `value` as a two's-complement
+/// signed integer.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds 64.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pax_netlist::eval::to_signed(0b1111, 4), -1);
+/// assert_eq!(pax_netlist::eval::to_signed(0b0111, 4), 7);
+/// ```
+pub fn to_signed(value: u64, width: usize) -> i64 {
+    assert!(width > 0 && width <= 64, "invalid width {width}");
+    let shift = 64 - width;
+    ((value << shift) as i64) >> shift
+}
+
+/// Encodes a signed integer into the low `width` bits (two's complement).
+///
+/// # Panics
+///
+/// Panics if the value does not fit into `width` signed bits.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pax_netlist::eval::from_signed(-1, 4), 0b1111);
+/// assert_eq!(pax_netlist::eval::from_signed(5, 4), 0b0101);
+/// ```
+pub fn from_signed(value: i64, width: usize) -> u64 {
+    assert!(width > 0 && width <= 64, "invalid width {width}");
+    if width < 64 {
+        let lo = -(1i64 << (width - 1));
+        let hi = (1i64 << (width - 1)) - 1;
+        assert!(
+            (lo..=hi).contains(&value),
+            "{value} does not fit into {width} signed bits"
+        );
+    }
+    (value as u64) & if width == 64 { u64::MAX } else { (1u64 << width) - 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn eval_simple_logic() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 2);
+        let y = b.input_port("y", 1);
+        let g = b.and2(x[1], y[0]);
+        b.output_port("o", vec![g].into());
+        let nl = b.finish();
+        assert_eq!(eval_ports(&nl, &[("x", 0b10), ("y", 1)])["o"], 1);
+        assert_eq!(eval_ports(&nl, &[("x", 0b01), ("y", 1)])["o"], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing input port")]
+    fn missing_port_panics() {
+        let mut b = NetlistBuilder::new("t");
+        b.input_port("x", 1);
+        let nl = b.finish();
+        let _ = eval_ports(&nl, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit port")]
+    fn oversized_value_panics() {
+        let mut b = NetlistBuilder::new("t");
+        b.input_port("x", 2);
+        let nl = b.finish();
+        let _ = eval_ports(&nl, &[("x", 4)]);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for w in 1..=16 {
+            let lo = -(1i64 << (w - 1));
+            let hi = (1i64 << (w - 1)) - 1;
+            for v in lo..=hi {
+                assert_eq!(to_signed(from_signed(v, w), w), v, "w={w} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn from_signed_overflow_panics() {
+        let _ = from_signed(8, 4);
+    }
+}

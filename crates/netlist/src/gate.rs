@@ -1,0 +1,265 @@
+use serde::{Deserialize, Serialize};
+
+use crate::NetId;
+
+/// The mapped cell set of the IR.
+///
+/// The set mirrors a small printed standard-cell library: constants
+/// (realized as hardwired ties, i.e. free wiring in a bespoke design),
+/// buffers/inverters, 2- and 3-input NAND/NOR/AND/OR, 2-input XOR/XNOR
+/// and a 2:1 multiplexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Constant logic 0 (tie-low; free wiring in printed bespoke logic).
+    Const0,
+    /// Constant logic 1 (tie-high).
+    Const1,
+    /// Buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// 2-input AND.
+    And2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input AND.
+    And3,
+    /// 3-input OR.
+    Or3,
+    /// 3-input NAND.
+    Nand3,
+    /// 3-input NOR.
+    Nor3,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer; inputs are `(sel, a, b)` and the output is
+    /// `sel ? a : b`.
+    Mux2,
+}
+
+impl GateKind {
+    /// Number of inputs this gate consumes.
+    pub fn arity(self) -> usize {
+        use GateKind::*;
+        match self {
+            Const0 | Const1 => 0,
+            Buf | Not => 1,
+            And2 | Nand2 | Or2 | Nor2 | Xor2 | Xnor2 => 2,
+            And3 | Or3 | Nand3 | Nor3 | Mux2 => 3,
+        }
+    }
+
+    /// Library mnemonic used to look the gate up in an `egt-pdk`
+    /// [`Library`](../egt_pdk/struct.Library.html).
+    ///
+    /// Constants map to `TIE0`/`TIE1`, which are *not* library cells:
+    /// bespoke printed circuits realize constants as wiring to the rails,
+    /// so they are free — check [`GateKind::is_free`] before lookup.
+    pub fn mnemonic(self) -> &'static str {
+        use GateKind::*;
+        match self {
+            Const0 => "TIE0",
+            Const1 => "TIE1",
+            Buf => "BUF",
+            Not => "INV",
+            And2 => "AND2",
+            Nand2 => "NAND2",
+            Or2 => "OR2",
+            Nor2 => "NOR2",
+            And3 => "AND3",
+            Or3 => "OR3",
+            Nand3 => "NAND3",
+            Nor3 => "NOR3",
+            Xor2 => "XOR2",
+            Xnor2 => "XNOR2",
+            Mux2 => "MUX2",
+        }
+    }
+
+    /// Whether the gate occupies no printed area (constants are wiring).
+    pub fn is_free(self) -> bool {
+        matches!(self, GateKind::Const0 | GateKind::Const1)
+    }
+
+    /// Whether swapping (sorting) the inputs preserves the function.
+    /// Used by the hash-consing builder to canonicalize keys.
+    pub fn is_commutative(self) -> bool {
+        use GateKind::*;
+        matches!(self, And2 | Nand2 | Or2 | Nor2 | And3 | Or3 | Nand3 | Nor3 | Xor2 | Xnor2)
+    }
+
+    /// Evaluates the gate on 64 parallel samples (one per bit lane).
+    ///
+    /// Unused operand slots are ignored. This is the single source of
+    /// truth for gate semantics; the simulator, the optimizer's constant
+    /// folder and the exporters all rely on it.
+    #[inline]
+    pub fn eval_word(self, a: u64, b: u64, c: u64) -> u64 {
+        use GateKind::*;
+        match self {
+            Const0 => 0,
+            Const1 => u64::MAX,
+            Buf => a,
+            Not => !a,
+            And2 => a & b,
+            Nand2 => !(a & b),
+            Or2 => a | b,
+            Nor2 => !(a | b),
+            And3 => a & b & c,
+            Or3 => a | b | c,
+            Nand3 => !(a & b & c),
+            Nor3 => !(a | b | c),
+            Xor2 => a ^ b,
+            Xnor2 => !(a ^ b),
+            // ins = (sel, a, b): sel ? a : b
+            Mux2 => (a & b) | (!a & c),
+        }
+    }
+
+    /// Evaluates the gate on single boolean operands.
+    pub fn eval_bool(self, ins: &[bool]) -> bool {
+        debug_assert_eq!(ins.len(), self.arity());
+        let get = |i: usize| if *ins.get(i).unwrap_or(&false) { u64::MAX } else { 0 };
+        self.eval_word(get(0), get(1), get(2)) & 1 != 0
+    }
+
+    /// All gate kinds, in declaration order.
+    pub fn all() -> &'static [GateKind] {
+        use GateKind::*;
+        &[
+            Const0, Const1, Buf, Not, And2, Nand2, Or2, Nor2, And3, Or3, Nand3, Nor3, Xor2,
+            Xnor2, Mux2,
+        ]
+    }
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A technology-mapped gate instance.
+///
+/// Inputs are stored inline; only the first [`GateKind::arity`] entries
+/// are meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gate {
+    /// Cell function.
+    pub kind: GateKind,
+    ins: [NetId; 3],
+}
+
+impl Gate {
+    /// Creates a gate; `ins` must match the kind's arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ins.len() != kind.arity()`.
+    pub fn new(kind: GateKind, ins: &[NetId]) -> Self {
+        assert_eq!(ins.len(), kind.arity(), "gate {kind} expects {} inputs", kind.arity());
+        let pad = NetId::from_index(0);
+        let mut arr = [pad; 3];
+        arr[..ins.len()].copy_from_slice(ins);
+        Self { kind, ins: arr }
+    }
+
+    /// The gate's input nets.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.ins[..self.kind.arity()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_mnemonic_suffix() {
+        for &k in GateKind::all() {
+            let m = k.mnemonic();
+            if let Some(d) = m.chars().last().and_then(|c| c.to_digit(10)) {
+                if m.starts_with("TIE") {
+                    assert_eq!(k.arity(), 0);
+                } else if m == "MUX2" {
+                    assert_eq!(k.arity(), 3); // 2:1 mux has sel + 2 data pins
+                } else {
+                    assert_eq!(k.arity(), d as usize, "{m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_word_truth_tables() {
+        use GateKind::*;
+        // Two lanes exercise both operand polarities at once.
+        let a = 0b0011;
+        let b = 0b0101;
+        assert_eq!(And2.eval_word(a, b, 0) & 0xF, 0b0001);
+        assert_eq!(Or2.eval_word(a, b, 0) & 0xF, 0b0111);
+        assert_eq!(Xor2.eval_word(a, b, 0) & 0xF, 0b0110);
+        assert_eq!(Nand2.eval_word(a, b, 0) & 0xF, 0b1110);
+        assert_eq!(Nor2.eval_word(a, b, 0) & 0xF, 0b1000);
+        assert_eq!(Xnor2.eval_word(a, b, 0) & 0xF, 0b1001);
+        assert_eq!(Not.eval_word(a, 0, 0) & 0xF, 0b1100);
+        assert_eq!(Buf.eval_word(a, 0, 0) & 0xF, 0b0011);
+    }
+
+    #[test]
+    fn mux_selects_a_when_sel_high() {
+        // (sel, a, b)
+        let sel = 0b10;
+        let a = 0b11;
+        let b = 0b00;
+        assert_eq!(GateKind::Mux2.eval_word(sel, a, b) & 0b11, 0b10);
+    }
+
+    #[test]
+    fn three_input_gates() {
+        use GateKind::*;
+        for bits in 0u8..8 {
+            let a = if bits & 1 != 0 { u64::MAX } else { 0 };
+            let b = if bits & 2 != 0 { u64::MAX } else { 0 };
+            let c = if bits & 4 != 0 { u64::MAX } else { 0 };
+            assert_eq!(And3.eval_word(a, b, c) & 1 != 0, bits == 7);
+            assert_eq!(Or3.eval_word(a, b, c) & 1 != 0, bits != 0);
+            assert_eq!(Nand3.eval_word(a, b, c) & 1 != 0, bits != 7);
+            assert_eq!(Nor3.eval_word(a, b, c) & 1 != 0, bits == 0);
+        }
+    }
+
+    #[test]
+    fn eval_bool_agrees_with_eval_word() {
+        for &k in GateKind::all() {
+            let n = k.arity();
+            for pattern in 0u8..(1 << n) {
+                let ins: Vec<bool> = (0..n).map(|i| pattern & (1 << i) != 0).collect();
+                let words: Vec<u64> =
+                    ins.iter().map(|&v| if v { u64::MAX } else { 0 }).collect();
+                let get = |i: usize| words.get(i).copied().unwrap_or(0);
+                let w = k.eval_word(get(0), get(1), get(2)) & 1 != 0;
+                assert_eq!(k.eval_bool(&ins), w, "{k} on {ins:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn gate_arity_checked() {
+        let _ = Gate::new(GateKind::And2, &[NetId::from_index(0)]);
+    }
+
+    #[test]
+    fn constants_are_free_everything_else_is_not() {
+        for &k in GateKind::all() {
+            assert_eq!(k.is_free(), matches!(k, GateKind::Const0 | GateKind::Const1));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a net (equivalently, of the node driving it).
+///
+/// The IR keeps a single net per node output, so `NetId` doubles as the
+/// node index: `NetId(i)` is driven by `netlist.node(NetId(i))`.
+///
+/// # Examples
+///
+/// ```
+/// use pax_netlist::NetId;
+///
+/// let n = NetId::from_index(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(format!("{n}"), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(u32);
+
+impl NetId {
+    /// Creates a `NetId` from a raw node index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` — netlists in this domain are
+    /// far smaller (the largest paper circuit is ~10⁵ gates).
+    pub fn from_index(index: usize) -> Self {
+        Self(u32::try_from(index).expect("netlist exceeds u32 node capacity"))
+    }
+
+    /// The raw node index this id refers to.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value (for compact keys).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = NetId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.raw(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(NetId::from_index(1) < NetId::from_index(2));
+    }
+}

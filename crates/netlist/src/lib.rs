@@ -1,0 +1,72 @@
+//! # pax-netlist — gate-level netlist IR for printed bespoke circuits
+//!
+//! A compact, technology-mapped combinational netlist representation used
+//! throughout the cross-layer approximation flow:
+//!
+//! * [`Netlist`] — an immutable, *topologically ordered by construction*
+//!   node list (primary inputs first, then gates, each gate referencing
+//!   only earlier nodes) with named input/output ports;
+//! * [`NetlistBuilder`] — the only way to create netlists: a hash-consing
+//!   builder that folds constants, shares structurally identical gates and
+//!   cancels double inverters as the circuit is described;
+//! * [`Bus`] — an LSB-first vector of nets for multi-bit values;
+//! * [`GateKind`] — the mapped cell set (INV/NAND/NOR/AND/OR/XOR/XNOR/MUX
+//!   in 2- and 3-input flavours plus constants), with simulation semantics
+//!   and the library mnemonics used by `egt-pdk`;
+//! * analysis helpers: [`topo`] (logic levels), [`traverse`] (fanout,
+//!   liveness, backward max-propagation used for the paper's φ metric),
+//!   [`stats`], and [`dot`]/[`verilog`] exporters.
+//!
+//! Bespoke circuits hardwire model coefficients into the logic, so the
+//! builder's aggressive constant folding is not an optimization nicety —
+//! it *is* the bespoke synthesis step that gives constant-coefficient
+//! multipliers their tiny, coefficient-dependent footprint (paper Fig. 1).
+//!
+//! # Examples
+//!
+//! Build a 1-bit full adder and inspect it:
+//!
+//! ```
+//! use pax_netlist::NetlistBuilder;
+//!
+//! let mut b = NetlistBuilder::new("fa");
+//! let a = b.input_port("a", 1)[0];
+//! let c = b.input_port("b", 1)[0];
+//! let ci = b.input_port("ci", 1)[0];
+//! let axb = b.xor2(a, c);
+//! let sum = b.xor2(axb, ci);
+//! let n1 = b.nand2(a, c);
+//! let n2 = b.nand2(axb, ci);
+//! let nco = b.nand2(n1, n2);
+//! let carry = b.not(nco); // (a&b) | (ci&(a^b))
+//! b.output_port("sum", vec![sum].into());
+//! b.output_port("co", vec![carry].into());
+//! let nl = b.finish();
+//! assert_eq!(nl.input_ports().len(), 3);
+//! assert!(nl.gate_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod bus;
+pub mod dot;
+mod error;
+pub mod eval;
+mod gate;
+mod id;
+mod netlist;
+pub mod stats;
+pub mod textio;
+pub mod topo;
+pub mod traverse;
+pub mod validate;
+pub mod verilog;
+
+pub use builder::NetlistBuilder;
+pub use bus::Bus;
+pub use error::NetlistError;
+pub use gate::{Gate, GateKind};
+pub use id::NetId;
+pub use netlist::{Netlist, Node, Port};

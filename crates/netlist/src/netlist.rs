@@ -1,0 +1,203 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Gate, GateKind, NetId};
+
+/// A node of the netlist: either a primary-input bit or a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Node {
+    /// Primary input: bit `bit` of input port number `port`.
+    Input {
+        /// Index into [`Netlist::input_ports`].
+        port: u16,
+        /// Bit position within the port (LSB = 0).
+        bit: u16,
+    },
+    /// A logic gate.
+    Gate(Gate),
+}
+
+/// A named, multi-bit port. Bits are LSB-first.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Port {
+    /// Port name, unique among ports of the same direction.
+    pub name: String,
+    /// The nets carrying each bit, LSB first.
+    pub bits: Vec<NetId>,
+}
+
+impl Port {
+    /// Port width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// An immutable combinational gate-level netlist.
+///
+/// Invariants (enforced by [`NetlistBuilder`](crate::NetlistBuilder) and
+/// checked by [`validate`](crate::validate::validate)):
+///
+/// * nodes are topologically ordered: every gate input references a node
+///   with a smaller index, so iteration in index order is a valid
+///   evaluation order and the graph is acyclic by construction;
+/// * each net has exactly one driver (the node with the same index);
+/// * port names are unique per direction and port bits reference valid
+///   nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) input_ports: Vec<Port>,
+    pub(crate) output_ports: Vec<Port>,
+}
+
+impl Netlist {
+    /// The netlist's module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes (primary-input bits + gates).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the netlist has no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node driving `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn node(&self, net: NetId) -> &Node {
+        &self.nodes[net.index()]
+    }
+
+    /// Iterates over `(NetId, &Node)` in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (NetId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NetId::from_index(i), n))
+    }
+
+    /// All nodes, in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Named input ports in declaration order.
+    pub fn input_ports(&self) -> &[Port] {
+        &self.input_ports
+    }
+
+    /// Named output ports in declaration order.
+    pub fn output_ports(&self) -> &[Port] {
+        &self.output_ports
+    }
+
+    /// Finds an input port by name.
+    pub fn input_port(&self, name: &str) -> Option<&Port> {
+        self.input_ports.iter().find(|p| p.name == name)
+    }
+
+    /// Finds an output port by name.
+    pub fn output_port(&self, name: &str) -> Option<&Port> {
+        self.output_ports.iter().find(|p| p.name == name)
+    }
+
+    /// Number of *area-occupying* gates: excludes primary inputs and
+    /// constant ties (free wiring in a bespoke printed design).
+    pub fn gate_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Gate(g) if !g.kind.is_free()))
+            .count()
+    }
+
+    /// Returns the gate if `net` is driven by one.
+    pub fn gate(&self, net: NetId) -> Option<&Gate> {
+        match self.node(net) {
+            Node::Gate(g) => Some(g),
+            Node::Input { .. } => None,
+        }
+    }
+
+    /// Returns the constant value if `net` is driven by a tie cell.
+    pub fn as_const(&self, net: NetId) -> Option<bool> {
+        match self.node(net) {
+            Node::Gate(g) if g.kind == GateKind::Const0 => Some(false),
+            Node::Gate(g) if g.kind == GateKind::Const1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Returns the inverted net if `net` is driven by an inverter.
+    pub fn as_not(&self, net: NetId) -> Option<NetId> {
+        match self.node(net) {
+            Node::Gate(g) if g.kind == GateKind::Not => Some(g.inputs()[0]),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_port("a", 2);
+        let y = b.and2(a[0], a[1]);
+        b.output_port("y", vec![y].into());
+        b.finish()
+    }
+
+    #[test]
+    fn ports_are_queryable_by_name() {
+        let nl = tiny();
+        assert_eq!(nl.input_port("a").unwrap().width(), 2);
+        assert_eq!(nl.output_port("y").unwrap().width(), 1);
+        assert!(nl.input_port("nope").is_none());
+        assert!(nl.output_port("nope").is_none());
+    }
+
+    #[test]
+    fn gate_count_excludes_inputs_and_ties() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_port("a", 1);
+        let k0 = b.const0();
+        let y = b.or2(a[0], k0); // folds to a[0]; no gate added
+        let z = b.xor2(a[0], y); // folds to const0
+        b.output_port("z", vec![z].into());
+        let nl = b.finish();
+        assert_eq!(nl.gate_count(), 0);
+    }
+
+    #[test]
+    fn as_const_and_as_not() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_port("a", 1);
+        let k1 = b.const1();
+        let na = b.not(a[0]);
+        b.output_port("o", vec![k1, na].into());
+        let nl = b.finish();
+        assert_eq!(nl.as_const(k1), Some(true));
+        assert_eq!(nl.as_const(na), None);
+        assert_eq!(nl.as_not(na), Some(a[0]));
+        assert_eq!(nl.as_not(a[0]), None);
+    }
+
+    #[test]
+    fn iteration_is_topological() {
+        let nl = tiny();
+        for (id, node) in nl.iter() {
+            if let Node::Gate(g) = node {
+                for &i in g.inputs() {
+                    assert!(i < id, "input {i} not before gate {id}");
+                }
+            }
+        }
+    }
+}

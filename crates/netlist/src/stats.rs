@@ -1,0 +1,100 @@
+//! Per-kind gate statistics.
+
+use std::collections::BTreeMap;
+
+use crate::{GateKind, Netlist, Node};
+
+/// Gate census of a netlist.
+///
+/// # Examples
+///
+/// ```
+/// use pax_netlist::{stats::Stats, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("s");
+/// let x = b.input_port("x", 2);
+/// let g = b.and2(x[0], x[1]);
+/// b.output_port("y", vec![g].into());
+/// let nl = b.finish();
+/// let s = Stats::of(&nl);
+/// assert_eq!(s.count(pax_netlist::GateKind::And2), 1);
+/// assert_eq!(s.total_gates(), 1);
+/// assert_eq!(s.inputs(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Stats {
+    counts: BTreeMap<GateKind, usize>,
+    inputs: usize,
+}
+
+impl Stats {
+    /// Computes the census of `nl`.
+    pub fn of(nl: &Netlist) -> Self {
+        let mut counts = BTreeMap::new();
+        let mut inputs = 0usize;
+        for (_, node) in nl.iter() {
+            match node {
+                Node::Input { .. } => inputs += 1,
+                Node::Gate(g) => *counts.entry(g.kind).or_insert(0) += 1,
+            }
+        }
+        Self { counts, inputs }
+    }
+
+    /// Number of gates of the given kind.
+    pub fn count(&self, kind: GateKind) -> usize {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total number of area-occupying gates (constants excluded).
+    pub fn total_gates(&self) -> usize {
+        self.counts.iter().filter(|(k, _)| !k.is_free()).map(|(_, c)| c).sum()
+    }
+
+    /// Number of primary-input bits.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Iterates over `(kind, count)` pairs in kind order.
+    pub fn iter(&self) -> impl Iterator<Item = (GateKind, usize)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (k, c))
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "inputs: {}", self.inputs)?;
+        for (kind, count) in &self.counts {
+            writeln!(f, "{:>6}: {}", kind.mnemonic(), count)?;
+        }
+        write!(f, " total: {}", self.total_gates())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn census_counts_kinds() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 3);
+        let g1 = b.and2(x[0], x[1]);
+        let g2 = b.xor2(g1, x[2]);
+        let g3 = b.xor2(x[0], x[2]);
+        let _k = b.const1();
+        b.output_port("y", vec![g2, g3].into());
+        let nl = b.finish();
+        let s = Stats::of(&nl);
+        assert_eq!(s.count(GateKind::And2), 1);
+        assert_eq!(s.count(GateKind::Xor2), 2);
+        assert_eq!(s.count(GateKind::Const1), 1);
+        assert_eq!(s.total_gates(), 3); // constant excluded
+        assert_eq!(s.inputs(), 3);
+        let text = s.to_string();
+        assert!(text.contains("XOR2"));
+        assert!(text.contains("total: 3"));
+    }
+}

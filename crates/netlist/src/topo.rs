@@ -1,0 +1,81 @@
+//! Logic-level (depth) computation.
+//!
+//! Netlists are topologically ordered by construction, so levels are a
+//! single forward sweep. Levels feed the DOT exporter's ranking and give
+//! a quick depth estimate; precise timing lives in `pax-sta`.
+
+use crate::{Netlist, Node};
+
+/// Computes the logic level of every net: primary inputs and constants
+/// are level 0, a gate is one more than its deepest input.
+///
+/// # Examples
+///
+/// ```
+/// use pax_netlist::{topo, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("lv");
+/// let x = b.input_port("x", 2);
+/// let g = b.and2(x[0], x[1]);
+/// let h = b.not(g);
+/// b.output_port("y", vec![h].into());
+/// let nl = b.finish();
+/// let levels = topo::levels(&nl);
+/// assert_eq!(levels[g.index()], 1);
+/// assert_eq!(levels[h.index()], 2);
+/// ```
+pub fn levels(nl: &Netlist) -> Vec<u32> {
+    let mut levels = vec![0u32; nl.len()];
+    for (id, node) in nl.iter() {
+        if let Node::Gate(g) = node {
+            if g.kind.arity() == 0 {
+                continue; // constants sit at level 0
+            }
+            let max_in = g.inputs().iter().map(|i| levels[i.index()]).max().unwrap_or(0);
+            levels[id.index()] = max_in + 1;
+        }
+    }
+    levels
+}
+
+/// The maximum logic level over all output-port bits (the depth of the
+/// circuit as seen from its ports).
+pub fn depth(nl: &Netlist) -> u32 {
+    let levels = levels(nl);
+    nl.output_ports()
+        .iter()
+        .flat_map(|p| p.bits.iter())
+        .map(|n| levels[n.index()])
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn inputs_and_constants_are_level_zero() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 1);
+        let k = b.const1();
+        b.output_port("y", vec![x[0], k].into());
+        let nl = b.finish();
+        assert!(levels(&nl).iter().all(|&l| l == 0));
+        assert_eq!(depth(&nl), 0);
+    }
+
+    #[test]
+    fn chain_depth_accumulates() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 2);
+        let mut cur = b.and2(x[0], x[1]);
+        for _ in 0..5 {
+            cur = b.xor2(cur, x[0]);
+        }
+        b.output_port("y", vec![cur].into());
+        let nl = b.finish();
+        assert_eq!(depth(&nl), 6);
+    }
+}

@@ -1,0 +1,209 @@
+//! Structural traversals: fanout, liveness and backward max-propagation.
+//!
+//! These are the graph primitives behind dead-code elimination (liveness)
+//! and the paper's φ metric (backward max-propagation of output-bit
+//! significance).
+
+use crate::{NetId, Netlist, Node};
+
+/// Compressed-sparse-row fanout of every net.
+#[derive(Debug, Clone)]
+pub struct Fanout {
+    offsets: Vec<u32>,
+    targets: Vec<NetId>,
+}
+
+impl Fanout {
+    /// Builds the fanout table of `nl` (gate consumers only; output ports
+    /// are not listed).
+    pub fn build(nl: &Netlist) -> Self {
+        let mut counts = vec![0u32; nl.len()];
+        for (_, node) in nl.iter() {
+            if let Node::Gate(g) = node {
+                for &i in g.inputs() {
+                    counts[i.index()] += 1;
+                }
+            }
+        }
+        let mut offsets = vec![0u32; nl.len() + 1];
+        for i in 0..nl.len() {
+            offsets[i + 1] = offsets[i] + counts[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![NetId::from_index(0); offsets[nl.len()] as usize];
+        for (id, node) in nl.iter() {
+            if let Node::Gate(g) = node {
+                for &i in g.inputs() {
+                    targets[cursor[i.index()] as usize] = id;
+                    cursor[i.index()] += 1;
+                }
+            }
+        }
+        Self { offsets, targets }
+    }
+
+    /// Nets of the gates consuming `net`.
+    pub fn of(&self, net: NetId) -> &[NetId] {
+        let lo = self.offsets[net.index()] as usize;
+        let hi = self.offsets[net.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Number of gate consumers of `net`.
+    pub fn degree(&self, net: NetId) -> usize {
+        self.of(net).len()
+    }
+}
+
+/// Marks every net in the transitive fanin cone of the output ports.
+/// Dead (unmarked) gates contribute no area once swept.
+pub fn live_from_outputs(nl: &Netlist) -> Vec<bool> {
+    let seeds: Vec<NetId> =
+        nl.output_ports().iter().flat_map(|p| p.bits.iter().copied()).collect();
+    live_from(nl, &seeds)
+}
+
+/// Marks every net in the transitive fanin cone of `seeds`.
+pub fn live_from(nl: &Netlist, seeds: &[NetId]) -> Vec<bool> {
+    let mut live = vec![false; nl.len()];
+    let mut stack: Vec<NetId> = seeds.to_vec();
+    while let Some(n) = stack.pop() {
+        if std::mem::replace(&mut live[n.index()], true) {
+            continue;
+        }
+        if let Node::Gate(g) = nl.node(n) {
+            for &i in g.inputs() {
+                if !live[i.index()] {
+                    stack.push(i);
+                }
+            }
+        }
+    }
+    live
+}
+
+/// Backward max-propagation: starting from per-net seed values, assigns
+/// every net the maximum seed value observable anywhere in its transitive
+/// fanout (including its own seed).
+///
+/// This is exactly the paper's φ computation: seed each observation-point
+/// bit (output-port bit, or pre-argmax sum bit for classifiers) with its
+/// significance and every other net with `-1`; after propagation, a net's
+/// value is the most significant observable bit it can structurally
+/// affect, or `-1` if it cannot reach any observation point.
+///
+/// # Panics
+///
+/// Panics if `seed.len() != nl.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use pax_netlist::{traverse, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("phi");
+/// let x = b.input_port("x", 2);
+/// let low = b.and2(x[0], x[1]);   // drives output bit 0 only
+/// let high = b.xor2(x[0], x[1]);  // drives output bit 1 only
+/// b.output_port("y", vec![low, high].into());
+/// let nl = b.finish();
+/// let mut seed = vec![-1i64; nl.len()];
+/// seed[low.index()] = 0;
+/// seed[high.index()] = 1;
+/// let phi = traverse::max_backward(&nl, &seed);
+/// assert_eq!(phi[low.index()], 0);
+/// assert_eq!(phi[x[0].index()], 1); // reaches bit 1 through the XOR
+/// ```
+pub fn max_backward(nl: &Netlist, seed: &[i64]) -> Vec<i64> {
+    assert_eq!(seed.len(), nl.len(), "seed length must match node count");
+    let mut val = seed.to_vec();
+    for idx in (0..nl.len()).rev() {
+        if let Node::Gate(g) = nl.node(NetId::from_index(idx)) {
+            let v = val[idx];
+            for &i in g.inputs() {
+                if val[i.index()] < v {
+                    val[i.index()] = v;
+                }
+            }
+        }
+    }
+    val
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn fanout_counts_consumers() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 2);
+        let g1 = b.and2(x[0], x[1]);
+        let g2 = b.or2(x[0], g1);
+        b.output_port("y", vec![g2].into());
+        let nl = b.finish();
+        let fo = Fanout::build(&nl);
+        assert_eq!(fo.degree(x[0]), 2); // feeds g1 and g2
+        assert_eq!(fo.degree(x[1]), 1);
+        assert_eq!(fo.degree(g1), 1);
+        assert_eq!(fo.degree(g2), 0);
+        assert!(fo.of(x[0]).contains(&g1));
+        assert!(fo.of(x[0]).contains(&g2));
+    }
+
+    #[test]
+    fn liveness_excludes_dangling_logic() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 2);
+        let live_gate = b.and2(x[0], x[1]);
+        let dead_gate = b.xor2(x[0], x[1]);
+        b.output_port("y", vec![live_gate].into());
+        let nl = b.finish();
+        let live = live_from_outputs(&nl);
+        assert!(live[live_gate.index()]);
+        assert!(!live[dead_gate.index()]);
+        assert!(live[x[0].index()]);
+    }
+
+    #[test]
+    fn max_backward_propagates_through_shared_cone() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 2);
+        let shared = b.and2(x[0], x[1]);
+        let bit0 = b.xor2(shared, x[0]);
+        let bit3 = b.or2(shared, x[1]);
+        b.output_port("y", vec![bit0, bit3].into());
+        let nl = b.finish();
+        let mut seed = vec![-1i64; nl.len()];
+        seed[bit0.index()] = 0;
+        seed[bit3.index()] = 3;
+        let phi = max_backward(&nl, &seed);
+        assert_eq!(phi[shared.index()], 3); // reaches the significant bit
+        assert_eq!(phi[bit0.index()], 0);
+        assert_eq!(phi[x[1].index()], 3);
+    }
+
+    #[test]
+    fn max_backward_leaves_unreachable_at_minus_one() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 2);
+        let used = b.and2(x[0], x[1]);
+        let unused = b.or2(x[0], x[1]);
+        b.output_port("y", vec![used].into());
+        let nl = b.finish();
+        let mut seed = vec![-1i64; nl.len()];
+        seed[used.index()] = 5;
+        let phi = max_backward(&nl, &seed);
+        assert_eq!(phi[unused.index()], -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed length")]
+    fn max_backward_checks_seed_length() {
+        let mut b = NetlistBuilder::new("t");
+        b.input_port("x", 1);
+        let nl = b.finish();
+        let _ = max_backward(&nl, &[]);
+    }
+}

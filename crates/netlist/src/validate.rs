@@ -1,0 +1,129 @@
+//! Structural well-formedness checks.
+//!
+//! The builder maintains these invariants by construction; `validate`
+//! exists to cross-check netlists that arrive from deserialization or
+//! hand-written passes, and as a safety net in tests.
+
+use std::collections::HashSet;
+
+use crate::{Netlist, NetlistError, Node};
+
+/// Checks every structural invariant of the IR.
+///
+/// # Errors
+///
+/// Returns the first violation found:
+/// * gates must only reference strictly earlier nodes (topological order,
+///   which also implies acyclicity and single drivers);
+/// * `Input` nodes must match their declared port bit;
+/// * port bits must reference existing nodes;
+/// * port names must be unique per direction.
+pub fn validate(nl: &Netlist) -> Result<(), NetlistError> {
+    // Topological ordering.
+    for (id, node) in nl.iter() {
+        match node {
+            Node::Gate(g) => {
+                for &i in g.inputs() {
+                    if i >= id {
+                        return Err(NetlistError::ForwardReference { gate: id, input: i });
+                    }
+                }
+            }
+            Node::Input { port, bit } => {
+                let ok = nl
+                    .input_ports()
+                    .get(*port as usize)
+                    .and_then(|p| p.bits.get(*bit as usize))
+                    .is_some_and(|&n| n == id);
+                if !ok {
+                    return Err(NetlistError::InputPortMismatch { net: id });
+                }
+            }
+        }
+    }
+
+    // Ports.
+    for (ports, _dir) in [(nl.input_ports(), "input"), (nl.output_ports(), "output")] {
+        let mut seen = HashSet::new();
+        for p in ports {
+            if !seen.insert(p.name.as_str()) {
+                return Err(NetlistError::DuplicatePort(p.name.clone()));
+            }
+            for &b in &p.bits {
+                if b.index() >= nl.len() {
+                    return Err(NetlistError::DanglingPortBit { port: p.name.clone(), net: b });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Asserts validity, panicking with the violation. Convenient in tests.
+///
+/// # Panics
+///
+/// Panics if the netlist is malformed.
+pub fn assert_valid(nl: &Netlist) {
+    if let Err(e) = validate(nl) {
+        panic!("invalid netlist `{}`: {e}", nl.name());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetId, NetlistBuilder};
+
+    #[test]
+    fn builder_output_is_valid() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 4);
+        let mut acc = x[0];
+        for i in 1..4 {
+            acc = b.xor2(acc, x[i]);
+        }
+        b.output_port("parity", vec![acc].into());
+        let nl = b.finish();
+        assert!(validate(&nl).is_ok());
+        assert_valid(&nl);
+    }
+
+    #[test]
+    fn forward_reference_detected() {
+        // Build a valid netlist, then corrupt it by swapping node order.
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 2);
+        let g = b.and2(x[0], x[1]);
+        b.output_port("y", vec![g].into());
+        let mut nl = b.finish();
+        nl.nodes.swap(0, 2); // gate now precedes its input
+        assert!(matches!(
+            validate(&nl),
+            Err(NetlistError::ForwardReference { .. }) | Err(NetlistError::InputPortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_port_bit_detected() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 1);
+        b.output_port("y", x);
+        let mut nl = b.finish();
+        nl.output_ports[0].bits[0] = NetId::from_index(99);
+        assert_eq!(
+            validate(&nl),
+            Err(NetlistError::DanglingPortBit { port: "y".into(), net: NetId::from_index(99) })
+        );
+    }
+
+    #[test]
+    fn duplicate_port_detected() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 1);
+        b.output_port("y", x.clone());
+        let mut nl = b.finish();
+        nl.output_ports.push(crate::Port { name: "y".into(), bits: vec![x[0]] });
+        assert_eq!(validate(&nl), Err(NetlistError::DuplicatePort("y".into())));
+    }
+}

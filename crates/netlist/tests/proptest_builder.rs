@@ -1,0 +1,210 @@
+//! Property tests: the builder's folding/hash-consing must never change
+//! logic function, and its output must always satisfy the structural
+//! invariants.
+
+use pax_netlist::{validate, Bus, GateKind, NetId, Netlist, NetlistBuilder, Node};
+use proptest::prelude::*;
+
+/// Reference evaluation of a netlist on one input assignment.
+fn eval(nl: &Netlist, inputs: &[bool]) -> Vec<bool> {
+    assert_eq!(
+        inputs.len(),
+        nl.input_ports().iter().map(|p| p.width()).sum::<usize>()
+    );
+    let mut vals = vec![false; nl.len()];
+    let mut in_iter = inputs.iter().copied();
+    for (id, node) in nl.iter() {
+        vals[id.index()] = match node {
+            Node::Input { .. } => in_iter.next().expect("enough inputs"),
+            Node::Gate(g) => {
+                let ins: Vec<bool> = g.inputs().iter().map(|i| vals[i.index()]).collect();
+                g.kind.eval_bool(&ins)
+            }
+        };
+    }
+    nl.output_ports()
+        .iter()
+        .flat_map(|p| p.bits.iter())
+        .map(|n| vals[n.index()])
+        .collect()
+}
+
+/// A random expression op applied to previously available nets.
+#[derive(Debug, Clone)]
+enum Op {
+    Not(usize),
+    And(usize, usize),
+    Nand(usize, usize),
+    Or(usize, usize),
+    Nor(usize, usize),
+    Xor(usize, usize),
+    Xnor(usize, usize),
+    And3(usize, usize, usize),
+    Or3(usize, usize, usize),
+    Mux(usize, usize, usize),
+    Const(bool),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<usize>().prop_map(Op::Not),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::And(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Nand(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Or(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Nor(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Xor(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Xnor(a, b)),
+        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(a, b, c)| Op::And3(a, b, c)),
+        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(a, b, c)| Op::Or3(a, b, c)),
+        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(a, b, c)| Op::Mux(a, b, c)),
+        any::<bool>().prop_map(Op::Const),
+    ]
+}
+
+/// Applies ops through the builder, and in parallel through plain bools,
+/// then checks the built netlist computes the same outputs.
+fn check_program(n_inputs: usize, ops: &[Op], assignments: &[Vec<bool>]) {
+    let mut b = NetlistBuilder::new("prog");
+    let in_bus = b.input_port("x", n_inputs);
+    let mut nets: Vec<NetId> = in_bus.iter().collect();
+    for op in ops {
+        let pick = |i: &usize| nets[i % nets.len()];
+        let net = match op {
+            Op::Not(a) => {
+                let a = pick(a);
+                b.not(a)
+            }
+            Op::And(a, c) => {
+                let (a, c) = (pick(a), pick(c));
+                b.and2(a, c)
+            }
+            Op::Nand(a, c) => {
+                let (a, c) = (pick(a), pick(c));
+                b.nand2(a, c)
+            }
+            Op::Or(a, c) => {
+                let (a, c) = (pick(a), pick(c));
+                b.or2(a, c)
+            }
+            Op::Nor(a, c) => {
+                let (a, c) = (pick(a), pick(c));
+                b.nor2(a, c)
+            }
+            Op::Xor(a, c) => {
+                let (a, c) = (pick(a), pick(c));
+                b.xor2(a, c)
+            }
+            Op::Xnor(a, c) => {
+                let (a, c) = (pick(a), pick(c));
+                b.xnor2(a, c)
+            }
+            Op::And3(a, c, d) => {
+                let (a, c, d) = (pick(a), pick(c), pick(d));
+                b.and3(a, c, d)
+            }
+            Op::Or3(a, c, d) => {
+                let (a, c, d) = (pick(a), pick(c), pick(d));
+                b.or3(a, c, d)
+            }
+            Op::Mux(s, a, c) => {
+                let (s, a, c) = (pick(s), pick(a), pick(c));
+                b.mux(s, a, c)
+            }
+            Op::Const(v) => b.constant(*v),
+        };
+        nets.push(net);
+    }
+    let out: Bus = nets.iter().copied().collect();
+    b.output_port("y", out);
+    let nl = b.finish();
+    validate::assert_valid(&nl);
+
+    for inputs in assignments {
+        // Reference: execute the same op sequence on booleans.
+        let mut vals: Vec<bool> = inputs.clone();
+        for op in ops {
+            let pick = |i: &usize| vals[i % vals.len()];
+            let v = match op {
+                Op::Not(a) => !pick(a),
+                Op::And(a, b) => pick(a) && pick(b),
+                Op::Nand(a, b) => !(pick(a) && pick(b)),
+                Op::Or(a, b) => pick(a) || pick(b),
+                Op::Nor(a, b) => !(pick(a) || pick(b)),
+                Op::Xor(a, b) => pick(a) ^ pick(b),
+                Op::Xnor(a, b) => !(pick(a) ^ pick(b)),
+                Op::And3(a, b, c) => pick(a) && pick(b) && pick(c),
+                Op::Or3(a, b, c) => pick(a) || pick(b) || pick(c),
+                Op::Mux(s, a, b) => {
+                    if pick(s) {
+                        pick(a)
+                    } else {
+                        pick(b)
+                    }
+                }
+                Op::Const(v) => *v,
+            };
+            vals.push(v);
+        }
+        let got = eval(&nl, inputs);
+        assert_eq!(got, vals, "folded netlist diverges from reference");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Folding and hash-consing preserve the function of arbitrary
+    /// combinational programs.
+    #[test]
+    fn builder_preserves_function(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        assignments in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 4), 1..8),
+    ) {
+        check_program(4, &ops, &assignments);
+    }
+
+    /// Hash-consing never produces an invalid netlist and never grows the
+    /// node list beyond inputs + ops + 2 constants.
+    #[test]
+    fn builder_is_compact(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let mut b = NetlistBuilder::new("compact");
+        let in_bus = b.input_port("x", 4);
+        let mut nets: Vec<NetId> = in_bus.iter().collect();
+        for op in &ops {
+            let pick = |i: &usize| nets[i % nets.len()];
+            let net = match op {
+                Op::Not(a) => { let a = pick(a); b.not(a) }
+                Op::And(a, c) => { let (a, c) = (pick(a), pick(c)); b.and2(a, c) }
+                Op::Nand(a, c) => { let (a, c) = (pick(a), pick(c)); b.nand2(a, c) }
+                Op::Or(a, c) => { let (a, c) = (pick(a), pick(c)); b.or2(a, c) }
+                Op::Nor(a, c) => { let (a, c) = (pick(a), pick(c)); b.nor2(a, c) }
+                Op::Xor(a, c) => { let (a, c) = (pick(a), pick(c)); b.xor2(a, c) }
+                Op::Xnor(a, c) => { let (a, c) = (pick(a), pick(c)); b.xnor2(a, c) }
+                Op::And3(a, c, d) => { let (a, c, d) = (pick(a), pick(c), pick(d)); b.and3(a, c, d) }
+                Op::Or3(a, c, d) => { let (a, c, d) = (pick(a), pick(c), pick(d)); b.or3(a, c, d) }
+                Op::Mux(s, a, c) => { let (s, a, c) = (pick(s), pick(a), pick(c)); b.mux(s, a, c) }
+                Op::Const(v) => b.constant(*v),
+            };
+            nets.push(net);
+        }
+        let nl = b.finish();
+        validate::assert_valid(&nl);
+        prop_assert!(nl.len() <= 4 + ops.len() + 2);
+        // No two identical gates may exist.
+        let mut seen = std::collections::HashSet::new();
+        for (_, node) in nl.iter() {
+            if let Node::Gate(g) = node {
+                prop_assert!(seen.insert(*g), "duplicate gate {g:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gate_kind_mnemonics_are_unique() {
+    let mut seen = std::collections::HashSet::new();
+    for &k in GateKind::all() {
+        assert!(seen.insert(k.mnemonic()), "duplicate mnemonic {}", k.mnemonic());
+    }
+}

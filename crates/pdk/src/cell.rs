@@ -1,0 +1,117 @@
+use serde::{Deserialize, Serialize};
+
+/// A characterized printed standard cell.
+///
+/// All quantities use printed-electronics-scale units: area in **mm²**
+/// (EGT features are several microns wide), delay in **ms** (typical EGT
+/// circuits clock between a few Hz and a few kHz) and static power in
+/// **µW** (EGT logic draws a constant cross-current, so leakage dominates
+/// total power at relaxed clocks).
+///
+/// # Examples
+///
+/// ```
+/// use egt_pdk::Cell;
+///
+/// let inv = Cell::new("INV", 1, 0.16, 0.40, 4.6, 1.2);
+/// assert_eq!(inv.mnemonic, "INV");
+/// assert_eq!(inv.fanin, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Library-unique mnemonic, e.g. `"NAND2"`. Gate kinds in the netlist
+    /// IR resolve to cells through this name.
+    pub mnemonic: String,
+    /// Number of logic inputs.
+    pub fanin: u8,
+    /// Printed footprint in mm².
+    pub area_mm2: f64,
+    /// Worst-case propagation delay in ms.
+    pub delay_ms: f64,
+    /// Static (leakage + cross-current) power in µW.
+    pub static_uw: f64,
+    /// Energy per output toggle in nJ.
+    pub sw_energy_nj: f64,
+}
+
+impl Cell {
+    /// Creates a new cell. Prefer this over struct literals so future
+    /// characterization fields can be added without breaking callers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any characterization value is negative or non-finite —
+    /// a library with such values would silently corrupt every area and
+    /// power report downstream.
+    pub fn new(
+        mnemonic: impl Into<String>,
+        fanin: u8,
+        area_mm2: f64,
+        delay_ms: f64,
+        static_uw: f64,
+        sw_energy_nj: f64,
+    ) -> Self {
+        let cell = Self {
+            mnemonic: mnemonic.into(),
+            fanin,
+            area_mm2,
+            delay_ms,
+            static_uw,
+            sw_energy_nj,
+        };
+        assert!(
+            cell.is_physical(),
+            "cell {} has a negative or non-finite characterization value",
+            cell.mnemonic
+        );
+        cell
+    }
+
+    /// Returns `true` when every characterization value is finite and
+    /// non-negative.
+    pub fn is_physical(&self) -> bool {
+        [self.area_mm2, self.delay_ms, self.static_uw, self.sw_energy_nj]
+            .iter()
+            .all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (fanin {}): {:.3} mm², {:.2} ms, {:.2} µW, {:.2} nJ/toggle",
+            self.mnemonic, self.fanin, self.area_mm2, self.delay_ms, self.static_uw, self.sw_energy_nj
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_builds_cell() {
+        let c = Cell::new("AND2", 2, 0.4, 0.8, 11.0, 2.0);
+        assert_eq!(c.fanin, 2);
+        assert!(c.is_physical());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative or non-finite")]
+    fn negative_area_rejected() {
+        let _ = Cell::new("BAD", 2, -1.0, 0.8, 11.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative or non-finite")]
+    fn nan_delay_rejected() {
+        let _ = Cell::new("BAD", 2, 1.0, f64::NAN, 11.0, 2.0);
+    }
+
+    #[test]
+    fn display_mentions_mnemonic() {
+        let c = Cell::new("XOR2", 2, 0.9, 1.3, 24.0, 3.0);
+        assert!(c.to_string().contains("XOR2"));
+    }
+}

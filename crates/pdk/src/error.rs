@@ -1,0 +1,43 @@
+/// Errors produced while building, validating or parsing a technology
+/// library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdkError {
+    /// A cell mnemonic was referenced but is not present in the library.
+    UnknownCell(String),
+    /// Two cells with the same mnemonic were added to one library.
+    DuplicateCell(String),
+    /// The Liberty-lite parser hit malformed input.
+    Parse {
+        /// 1-based line number of the offending token.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PdkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PdkError::UnknownCell(name) => write!(f, "unknown cell `{name}` in library"),
+            PdkError::DuplicateCell(name) => write!(f, "duplicate cell `{name}` in library"),
+            PdkError::Parse { line, message } => {
+                write!(f, "liberty-lite parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PdkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = PdkError::UnknownCell("FOO9".into());
+        assert_eq!(e.to_string(), "unknown cell `FOO9` in library");
+        let e = PdkError::Parse { line: 3, message: "expected `;`".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,70 @@
+//! # egt-pdk — a printed-electronics technology library
+//!
+//! This crate models the open **Electrolyte-Gated Transistor (EGT)**
+//! inkjet-printed technology used by the DATE'22 paper *"Cross-Layer
+//! Approximation For Printed Machine Learning Circuits"*. Printed
+//! electronics feature enormous feature sizes (microns), millisecond gate
+//! delays and static-dominated power — three to six orders of magnitude
+//! away from silicon — which is exactly why bespoke, approximated circuits
+//! are worth it there.
+//!
+//! The crate provides:
+//!
+//! * [`Cell`] — a characterized standard cell (area in mm², propagation
+//!   delay in ms, static power in µW, switching energy in nJ),
+//! * [`Library`] — a named collection of cells with lookup by mnemonic,
+//! * [`egt_library`] — the built-in EGT library, calibrated such that a
+//!   conventional 4×8-bit multiplier occupies ≈ 83.6 mm² and circuit power
+//!   densities land at ≈ 30 µW/mm², matching the reference magnitudes
+//!   reported in the paper,
+//! * [`TechParams`] — system-level technology parameters (supply voltage,
+//!   relaxed clock period, printed-battery budget, I/O power floor),
+//! * [`liberty`] — a tiny Liberty-like text format so libraries can be
+//!   stored, edited and reloaded.
+//!
+//! # Examples
+//!
+//! ```
+//! use egt_pdk::{egt_library, TechParams};
+//!
+//! let lib = egt_library();
+//! let nand = lib.cell("NAND2").expect("EGT ships a NAND2");
+//! assert!(nand.area_mm2 > 0.0);
+//!
+//! let tech = TechParams::egt();
+//! assert_eq!(tech.battery_mw, 30.0); // one Molex printed battery
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod error;
+mod library;
+pub mod liberty;
+mod params;
+
+pub use cell::Cell;
+pub use error::PdkError;
+pub use library::Library;
+pub use params::TechParams;
+
+/// Builds the built-in EGT (Electrolyte-Gated Transistor) cell library.
+///
+/// The characterization values are calibrated against the two anchors the
+/// paper publishes for this technology:
+///
+/// * a conventional 4×8 (8×8) multiplier synthesizes to ≈ 83.61 mm²
+///   (207.43 mm²) — Fig. 1 caption;
+/// * complete bespoke classifiers exhibit ≈ 29–38 µW/mm² total power
+///   density at the relaxed 5 Hz clock — Table I.
+///
+/// # Examples
+///
+/// ```
+/// let lib = egt_pdk::egt_library();
+/// assert!(lib.cell("XOR2").unwrap().area_mm2 > lib.cell("NAND2").unwrap().area_mm2);
+/// ```
+pub fn egt_library() -> Library {
+    library::egt::build()
+}

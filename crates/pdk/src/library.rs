@@ -1,0 +1,226 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Cell, PdkError};
+
+/// A named collection of characterized printed cells.
+///
+/// Cells are looked up by their mnemonic (`"NAND2"`, `"XOR2"`, …); the
+/// netlist IR exposes the same mnemonics so that area, power and timing
+/// analyses resolve gates to cells without the IR depending on any
+/// particular technology.
+///
+/// # Examples
+///
+/// ```
+/// use egt_pdk::{Cell, Library};
+///
+/// let mut lib = Library::new("demo", 1.0);
+/// lib.add_cell(Cell::new("INV", 1, 0.16, 0.4, 4.6, 1.2))?;
+/// assert!(lib.cell("INV").is_some());
+/// assert!(lib.cell("NAND2").is_none());
+/// # Ok::<(), egt_pdk::PdkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Library {
+    name: String,
+    voltage_v: f64,
+    /// Insertion order of mnemonics, preserved for deterministic
+    /// iteration and serialization.
+    order: Vec<String>,
+    cells: HashMap<String, Cell>,
+}
+
+impl Library {
+    /// Creates an empty library operating at the given supply voltage.
+    pub fn new(name: impl Into<String>, voltage_v: f64) -> Self {
+        Self { name: name.into(), voltage_v, order: Vec::new(), cells: HashMap::new() }
+    }
+
+    /// Library name (e.g. `"EGT"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Nominal supply voltage in volts. EGT is a low-voltage (≈1 V)
+    /// technology, which is what makes battery-powered printed circuits
+    /// possible at all.
+    pub fn voltage_v(&self) -> f64 {
+        self.voltage_v
+    }
+
+    /// Adds a cell to the library.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdkError::DuplicateCell`] if a cell with the same
+    /// mnemonic already exists.
+    pub fn add_cell(&mut self, cell: Cell) -> Result<(), PdkError> {
+        if self.cells.contains_key(&cell.mnemonic) {
+            return Err(PdkError::DuplicateCell(cell.mnemonic.clone()));
+        }
+        self.order.push(cell.mnemonic.clone());
+        self.cells.insert(cell.mnemonic.clone(), cell);
+        Ok(())
+    }
+
+    /// Looks up a cell by mnemonic.
+    pub fn cell(&self, mnemonic: &str) -> Option<&Cell> {
+        self.cells.get(mnemonic)
+    }
+
+    /// Looks up a cell by mnemonic, reporting a descriptive error when it
+    /// is missing. Analyses should prefer this over [`Library::cell`] so
+    /// that an incomplete library surfaces as an error instead of a
+    /// silently dropped gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdkError::UnknownCell`] when no cell has this mnemonic.
+    pub fn require(&self, mnemonic: &str) -> Result<&Cell, PdkError> {
+        self.cell(mnemonic).ok_or_else(|| PdkError::UnknownCell(mnemonic.to_owned()))
+    }
+
+    /// Number of cells in the library.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` when the library holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates over cells in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Cell> {
+        self.order.iter().map(|m| &self.cells[m])
+    }
+
+    /// Scales every cell's area, delay, power and energy by the given
+    /// factors, returning a derived library. Useful for what-if studies
+    /// (e.g. a future EGT node with smaller features).
+    pub fn scaled(&self, area: f64, delay: f64, power: f64) -> Library {
+        let mut out = Library::new(format!("{}-scaled", self.name), self.voltage_v);
+        for c in self.iter() {
+            out.add_cell(Cell::new(
+                c.mnemonic.clone(),
+                c.fanin,
+                c.area_mm2 * area,
+                c.delay_ms * delay,
+                c.static_uw * power,
+                c.sw_energy_nj * power,
+            ))
+            .expect("source library has unique mnemonics");
+        }
+        out
+    }
+}
+
+pub(crate) mod egt {
+    use super::Library;
+    use crate::Cell;
+
+    /// Characterization table for the built-in EGT library.
+    ///
+    /// Columns: mnemonic, fanin, area (mm²), delay (ms), static power
+    /// (µW), switching energy (nJ per output toggle).
+    ///
+    /// Relative cell costs follow classic static-CMOS-style ratios (an
+    /// XOR2 costs ≈ 2.7 NAND2), absolute values are calibrated against
+    /// the paper's published anchors (see crate docs). Printed EGT gates
+    /// draw a continuous cross-current, hence static power scales with
+    /// area at ≈ 29 µW/mm² and dominates dynamic power at the relaxed
+    /// multi-hertz clocks considered here.
+    const CELLS: &[(&str, u8, f64, f64, f64, f64)] = &[
+        ("BUF", 1, 0.30, 0.80, 8.7, 2.0),
+        ("INV", 1, 0.16, 0.40, 4.6, 1.2),
+        ("NAND2", 2, 0.33, 0.60, 9.6, 2.2),
+        ("NOR2", 2, 0.33, 0.65, 9.6, 2.2),
+        ("AND2", 2, 0.45, 0.95, 13.1, 2.9),
+        ("OR2", 2, 0.45, 1.00, 13.1, 2.9),
+        ("NAND3", 3, 0.52, 0.85, 15.1, 3.3),
+        ("NOR3", 3, 0.52, 0.95, 15.1, 3.3),
+        ("AND3", 3, 0.64, 1.20, 18.6, 4.0),
+        ("OR3", 3, 0.64, 1.25, 18.6, 4.0),
+        ("XOR2", 2, 1.04, 1.35, 30.2, 6.2),
+        ("XNOR2", 2, 1.04, 1.40, 30.2, 6.2),
+        ("MUX2", 3, 1.00, 1.45, 29.0, 6.0),
+    ];
+
+    pub(crate) fn build() -> Library {
+        let mut lib = Library::new("EGT", 1.0);
+        for &(name, fanin, area, delay, stat, energy) in CELLS {
+            lib.add_cell(Cell::new(name, fanin, area, delay, stat, energy))
+                .expect("builtin table has unique mnemonics");
+        }
+        lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::egt_library;
+
+    #[test]
+    fn builtin_library_has_core_cells() {
+        let lib = egt_library();
+        for m in ["INV", "NAND2", "NOR2", "AND2", "OR2", "XOR2", "XNOR2", "MUX2"] {
+            assert!(lib.cell(m).is_some(), "missing {m}");
+        }
+        assert_eq!(lib.name(), "EGT");
+        assert!((lib.voltage_v() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builtin_power_density_is_printed_scale() {
+        // Static power density should sit near 29 µW/mm² for every cell —
+        // that is what reproduces the paper's Table I power/area ratios.
+        let lib = egt_library();
+        for c in lib.iter() {
+            let density = c.static_uw / c.area_mm2;
+            assert!((25.0..35.0).contains(&density), "{}: {density} µW/mm²", c.mnemonic);
+        }
+    }
+
+    #[test]
+    fn duplicate_cell_rejected() {
+        let mut lib = Library::new("x", 1.0);
+        lib.add_cell(Cell::new("INV", 1, 0.1, 0.1, 1.0, 0.1)).unwrap();
+        let err = lib.add_cell(Cell::new("INV", 1, 0.2, 0.2, 2.0, 0.2)).unwrap_err();
+        assert_eq!(err, PdkError::DuplicateCell("INV".into()));
+    }
+
+    #[test]
+    fn require_reports_unknown_cell() {
+        let lib = egt_library();
+        assert!(lib.require("NAND2").is_ok());
+        assert_eq!(lib.require("FOO").unwrap_err(), PdkError::UnknownCell("FOO".into()));
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered() {
+        let lib = egt_library();
+        let names: Vec<_> = lib.iter().map(|c| c.mnemonic.as_str()).collect();
+        assert_eq!(names[0], "BUF");
+        assert_eq!(names[1], "INV");
+        assert_eq!(names.len(), lib.len());
+    }
+
+    #[test]
+    fn scaled_library_scales_all_metrics() {
+        let lib = egt_library().scaled(0.5, 2.0, 0.1);
+        let orig = egt_library();
+        let (a, b) = (orig.cell("NAND2").unwrap(), lib.cell("NAND2").unwrap());
+        assert!((b.area_mm2 - a.area_mm2 * 0.5).abs() < 1e-12);
+        assert!((b.delay_ms - a.delay_ms * 2.0).abs() < 1e-12);
+        assert!((b.static_uw - a.static_uw * 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_is_pricier_than_nand() {
+        let lib = egt_library();
+        assert!(lib.cell("XOR2").unwrap().area_mm2 > 2.0 * lib.cell("NAND2").unwrap().area_mm2);
+    }
+}

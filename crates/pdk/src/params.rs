@@ -1,0 +1,99 @@
+use serde::{Deserialize, Serialize};
+
+/// System-level technology parameters for a printed design.
+///
+/// These capture the operating point the paper evaluates at: a relaxed
+/// clock (200 ms period; 250 ms for the largest circuit) chosen to
+/// maximize area efficiency, a single Molex 30 mW printed battery as the
+/// power budget, and a small constant I/O/harness power floor that exists
+/// regardless of circuit size.
+///
+/// # Examples
+///
+/// ```
+/// use egt_pdk::TechParams;
+///
+/// let tech = TechParams::egt();
+/// assert!((tech.clock_hz() - 5.0).abs() < 1e-9);
+/// assert!(tech.fits_battery(12.0));
+/// assert!(!tech.fits_battery(97.3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechParams {
+    /// Supply voltage in volts.
+    pub vdd_v: f64,
+    /// Clock period in ms. The paper synthesizes at 200 ms (250 ms for
+    /// the Pendigits MLP-C), in line with typical printed-electronics
+    /// performance of a few Hz to a few kHz.
+    pub clock_ms: f64,
+    /// Power budget of one printed battery in mW (Molex: 30 mW).
+    pub battery_mw: f64,
+    /// Constant power floor in mW drawn by I/O pads and the sensing
+    /// harness, independent of logic size. Calibrated from Table I's
+    /// small-circuit power/area residuals.
+    pub io_floor_mw: f64,
+}
+
+impl TechParams {
+    /// The EGT operating point used throughout the paper's evaluation.
+    pub fn egt() -> Self {
+        Self { vdd_v: 1.0, clock_ms: 200.0, battery_mw: 30.0, io_floor_mw: 3.2 }
+    }
+
+    /// Same operating point with a different clock period (the paper uses
+    /// 250 ms for the Pendigits MLP-C).
+    pub fn with_clock_ms(mut self, clock_ms: f64) -> Self {
+        assert!(clock_ms > 0.0, "clock period must be positive");
+        self.clock_ms = clock_ms;
+        self
+    }
+
+    /// Clock frequency in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        1000.0 / self.clock_ms
+    }
+
+    /// Whether a circuit drawing `power_mw` can be powered by a single
+    /// printed battery.
+    pub fn fits_battery(&self, power_mw: f64) -> bool {
+        power_mw <= self.battery_mw
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self::egt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn egt_defaults_match_paper() {
+        let t = TechParams::egt();
+        assert_eq!(t.clock_ms, 200.0);
+        assert_eq!(t.battery_mw, 30.0);
+        assert_eq!(t.vdd_v, 1.0);
+    }
+
+    #[test]
+    fn clock_override() {
+        let t = TechParams::egt().with_clock_ms(250.0);
+        assert!((t.clock_hz() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_clock_rejected() {
+        let _ = TechParams::egt().with_clock_ms(0.0);
+    }
+
+    #[test]
+    fn battery_boundary_is_inclusive() {
+        let t = TechParams::egt();
+        assert!(t.fits_battery(30.0));
+        assert!(!t.fits_battery(30.0001));
+    }
+}

@@ -1,0 +1,36 @@
+//! Property tests for the Liberty-lite serializer/parser pair.
+
+use egt_pdk::{liberty, Cell, Library};
+use proptest::prelude::*;
+
+fn arb_mnemonic() -> impl Strategy<Value = String> {
+    "[A-Z][A-Z0-9_]{0,7}".prop_map(|s| s.to_string())
+}
+
+fn arb_cell() -> impl Strategy<Value = Cell> {
+    (arb_mnemonic(), 1u8..=4, 0.0f64..10.0, 0.0f64..10.0, 0.0f64..100.0, 0.0f64..50.0)
+        .prop_map(|(m, fanin, a, d, s, e)| Cell::new(m, fanin, a, d, s, e))
+}
+
+proptest! {
+    /// Any library we can build serializes to text that parses back to an
+    /// identical library.
+    #[test]
+    fn roundtrip(cells in proptest::collection::vec(arb_cell(), 0..12), v in 0.1f64..5.0) {
+        let mut lib = Library::new("P", v);
+        for c in cells {
+            // Skip duplicate mnemonics; Library rejects them by design.
+            let _ = lib.add_cell(c);
+        }
+        let text = liberty::to_string(&lib);
+        let back = liberty::parse(&text).expect("serializer output must parse");
+        prop_assert_eq!(back, lib);
+    }
+
+    /// The parser never panics on arbitrary input — it either produces a
+    /// library or a structured error.
+    #[test]
+    fn parser_total(text in "\\PC*") {
+        let _ = liberty::parse(&text);
+    }
+}

@@ -1,0 +1,118 @@
+use pax_netlist::NetId;
+
+/// Per-net signal statistics from a simulation run.
+///
+/// For each net the simulator counts the samples at logic 1 (`ones`) and
+/// the number of value changes between consecutive samples (`toggles`).
+/// From these derive:
+///
+/// * the static probability `p1 = ones / n`,
+/// * the paper's pruning parameter **τ** = `max(p0, p1)` together with
+///   the dominant constant value,
+/// * the toggle density (toggles per cycle) that drives dynamic power.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Activity {
+    n_samples: usize,
+    ones: Vec<u64>,
+    toggles: Vec<u64>,
+}
+
+impl Activity {
+    /// Builds an activity record (used by the simulator; tests may build
+    /// synthetic records).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors differ in length or `n_samples` is 0.
+    pub fn new(n_samples: usize, ones: Vec<u64>, toggles: Vec<u64>) -> Self {
+        assert!(n_samples > 0, "activity over zero samples");
+        assert_eq!(ones.len(), toggles.len(), "ones/toggles length mismatch");
+        Self { n_samples, ones, toggles }
+    }
+
+    /// Number of samples observed.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Number of nets tracked.
+    pub fn len(&self) -> usize {
+        self.ones.len()
+    }
+
+    /// Whether no nets are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.ones.is_empty()
+    }
+
+    /// Samples at logic 1 for `net`.
+    pub fn ones(&self, net: NetId) -> u64 {
+        self.ones[net.index()]
+    }
+
+    /// Transitions between consecutive samples for `net`.
+    pub fn toggles(&self, net: NetId) -> u64 {
+        self.toggles[net.index()]
+    }
+
+    /// Static probability of logic 1.
+    pub fn probability(&self, net: NetId) -> f64 {
+        self.ones[net.index()] as f64 / self.n_samples as f64
+    }
+
+    /// The paper's τ: the fraction of time the net sits at its dominant
+    /// value, returned together with that value. τ ∈ [0.5, 1.0].
+    pub fn tau(&self, net: NetId) -> (f64, bool) {
+        let p1 = self.probability(net);
+        if p1 >= 0.5 {
+            (p1, true)
+        } else {
+            (1.0 - p1, false)
+        }
+    }
+
+    /// Average toggles per sample (per clock cycle for a combinational
+    /// circuit sampled once per cycle).
+    pub fn toggle_rate(&self, net: NetId) -> f64 {
+        if self.n_samples <= 1 {
+            return 0.0;
+        }
+        self.toggles[net.index()] as f64 / (self.n_samples - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(i: usize) -> NetId {
+        NetId::from_index(i)
+    }
+
+    #[test]
+    fn tau_symmetry() {
+        let a = Activity::new(100, vec![90, 10, 50], vec![5, 5, 49]);
+        assert_eq!(a.tau(net(0)), (0.9, true));
+        assert_eq!(a.tau(net(1)), (0.9, false));
+        let (t2, _) = a.tau(net(2));
+        assert!((t2 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toggle_rate_normalizes_by_transitions() {
+        let a = Activity::new(101, vec![0], vec![50]);
+        assert!((a.toggle_rate(net(0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn zero_samples_rejected() {
+        let _ = Activity::new(0, vec![], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = Activity::new(1, vec![0], vec![]);
+    }
+}

@@ -1,0 +1,258 @@
+use std::collections::BTreeMap;
+
+use pax_netlist::{Netlist, Node};
+
+use crate::{Activity, Stimulus};
+
+/// Result of a bit-parallel simulation: functional output values plus
+/// per-net activity statistics.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Number of simulated samples.
+    pub n_samples: usize,
+    /// Per-net signal statistics (ones, toggles).
+    pub activity: Activity,
+    /// Output-port bit planes: port → per-bit word vectors.
+    port_words: BTreeMap<String, Vec<Vec<u64>>>,
+}
+
+impl SimResult {
+    /// The value of output port `name` at sample `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown port or out-of-range sample.
+    pub fn port_sample(&self, name: &str, s: usize) -> u64 {
+        assert!(s < self.n_samples, "sample {s} out of range");
+        let planes = self
+            .port_words
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown output port `{name}`"));
+        let (w, bit) = (s / 64, s % 64);
+        planes
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, plane)| acc | ((plane[w] >> bit & 1) << i))
+    }
+
+    /// All values of output port `name`, one per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown port.
+    pub fn port_values(&self, name: &str) -> Vec<u64> {
+        (0..self.n_samples).map(|s| self.port_sample(name, s)).collect()
+    }
+
+    /// Names of the captured output ports.
+    pub fn ports(&self) -> impl Iterator<Item = &str> {
+        self.port_words.keys().map(String::as_str)
+    }
+}
+
+/// Simulates `nl` on `stim`, 64 samples per pass.
+///
+/// Semantics match [`pax_netlist::eval::eval_ports`] exactly (the scalar
+/// evaluator is the reference; a property test in this crate pins the
+/// equivalence).
+///
+/// # Panics
+///
+/// Panics if an input port has no samples, if a sample does not fit its
+/// port width, or if the stimulus is empty.
+pub fn simulate(nl: &Netlist, stim: &Stimulus) -> SimResult {
+    let n_samples = stim.n_samples();
+    assert!(n_samples > 0, "empty stimulus");
+    let n_words = n_samples.div_ceil(64);
+
+    // Pre-pack input planes: port -> bit -> words.
+    let mut input_planes: Vec<Vec<u64>> = Vec::new(); // indexed by input node order
+    let mut node_plane: Vec<usize> = vec![usize::MAX; nl.len()];
+    for p in nl.input_ports() {
+        let samples = stim
+            .samples(&p.name)
+            .unwrap_or_else(|| panic!("stimulus misses input port `{}`", p.name));
+        assert_eq!(samples.len(), n_samples);
+        for (bit, net) in p.bits.iter().enumerate() {
+            let mut plane = vec![0u64; n_words];
+            for (s, &v) in samples.iter().enumerate() {
+                assert!(
+                    p.width() >= 64 || v >> p.width() == 0,
+                    "sample {v} does not fit port `{}` of width {}",
+                    p.name,
+                    p.width()
+                );
+                if v >> bit & 1 == 1 {
+                    plane[s / 64] |= 1 << (s % 64);
+                }
+            }
+            node_plane[net.index()] = input_planes.len();
+            input_planes.push(plane);
+        }
+    }
+
+    let mut ones = vec![0u64; nl.len()];
+    let mut toggles = vec![0u64; nl.len()];
+    let mut prev_msb = vec![0u64; nl.len()]; // last sample bit of previous word
+
+    // Output planes to capture.
+    let mut port_words: BTreeMap<String, Vec<Vec<u64>>> = BTreeMap::new();
+    for p in nl.output_ports() {
+        let planes = vec![vec![0u64; n_words]; p.width()];
+        port_words.insert(p.name.clone(), planes);
+    }
+
+    let mut vals = vec![0u64; nl.len()];
+    for w in 0..n_words {
+        let valid = (n_samples - w * 64).min(64);
+        let mask = if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
+        for (id, node) in nl.iter() {
+            let idx = id.index();
+            let v = match node {
+                Node::Input { .. } => input_planes[node_plane[idx]][w],
+                Node::Gate(g) => {
+                    let ins = g.inputs();
+                    let a = ins.first().map_or(0, |i| vals[i.index()]);
+                    let b = ins.get(1).map_or(0, |i| vals[i.index()]);
+                    let c = ins.get(2).map_or(0, |i| vals[i.index()]);
+                    g.kind.eval_word(a, b, c)
+                }
+            };
+            vals[idx] = v;
+            ones[idx] += (v & mask).count_ones() as u64;
+            // Transitions: sample i-1 -> i within the word, plus the
+            // boundary from the previous word's last sample.
+            let shifted = (v << 1) | prev_msb[idx];
+            let mut diff = (v ^ shifted) & mask;
+            if w == 0 {
+                diff &= !1; // the very first sample has no predecessor
+            }
+            toggles[idx] += diff.count_ones() as u64;
+            prev_msb[idx] = v >> (valid - 1) & 1;
+        }
+        for p in nl.output_ports() {
+            let planes = port_words.get_mut(&p.name).expect("pre-inserted");
+            for (bit, net) in p.bits.iter().enumerate() {
+                planes[bit][w] = vals[net.index()] & mask;
+            }
+        }
+    }
+
+    SimResult {
+        n_samples,
+        activity: Activity::new(n_samples, ones, toggles),
+        port_words,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_netlist::{eval, NetlistBuilder};
+
+    fn adder_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("add");
+        let x = b.input_port("x", 4);
+        let y = b.input_port("y", 4);
+        let (s, c) = pax_synth_test_adder(&mut b, &x, &y);
+        let mut out = s;
+        out.push_msb(c);
+        b.output_port("s", out);
+        b.finish()
+    }
+
+    /// Local ripple adder to avoid a circular dev-dependency on pax-synth.
+    fn pax_synth_test_adder(
+        b: &mut NetlistBuilder,
+        x: &pax_netlist::Bus,
+        y: &pax_netlist::Bus,
+    ) -> (pax_netlist::Bus, pax_netlist::NetId) {
+        let mut carry = b.const0();
+        let mut sum = pax_netlist::Bus::new();
+        for i in 0..x.width() {
+            let t = b.xor2(x[i], y[i]);
+            let s = b.xor2(t, carry);
+            let n1 = b.nand2(x[i], y[i]);
+            let n2 = b.nand2(t, carry);
+            carry = b.nand2(n1, n2);
+            sum.push_msb(s);
+        }
+        (sum, carry)
+    }
+
+    #[test]
+    fn matches_scalar_reference_on_adder() {
+        let nl = adder_netlist();
+        let xs: Vec<u64> = (0..200).map(|i| (i * 7 + 3) % 16).collect();
+        let ys: Vec<u64> = (0..200).map(|i| (i * 13 + 1) % 16).collect();
+        let mut stim = Stimulus::new();
+        stim.port("x", xs.clone()).port("y", ys.clone());
+        let res = simulate(&nl, &stim);
+        for s in 0..200 {
+            let reference = eval::eval_ports(&nl, &[("x", xs[s]), ("y", ys[s])]);
+            assert_eq!(res.port_sample("s", s), reference["s"], "sample {s}");
+        }
+        assert_eq!(res.port_values("s").len(), 200);
+    }
+
+    #[test]
+    fn activity_counts_constant_and_alternating_nets() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 1);
+        let nx = b.not(x[0]);
+        b.output_port("y", vec![nx].into());
+        let nl = b.finish();
+        // 130 samples: alternating 0/1 (crosses the word boundary).
+        let samples: Vec<u64> = (0..130).map(|i| (i % 2) as u64).collect();
+        let mut stim = Stimulus::new();
+        stim.port("x", samples);
+        let res = simulate(&nl, &stim);
+        // x toggles every sample: 129 transitions.
+        assert_eq!(res.activity.toggles(x[0]), 129);
+        assert_eq!(res.activity.toggles(nx), 129);
+        assert_eq!(res.activity.ones(x[0]), 65);
+        assert_eq!(res.activity.ones(nx), 65);
+    }
+
+    #[test]
+    fn tau_identifies_dominant_constant() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 1);
+        b.output_port("y", x);
+        let nl = b.finish();
+        // 90% ones.
+        let samples: Vec<u64> = (0..100).map(|i| u64::from(i % 10 != 0)).collect();
+        let mut stim = Stimulus::new();
+        stim.port("x", samples);
+        let res = simulate(&nl, &stim);
+        let x0 = nl.input_ports()[0].bits[0];
+        let (tau, value) = res.activity.tau(x0);
+        assert!((tau - 0.9).abs() < 1e-12);
+        assert!(value);
+    }
+
+    #[test]
+    #[should_panic(expected = "misses input port")]
+    fn missing_port_panics() {
+        let nl = adder_netlist();
+        let mut stim = Stimulus::new();
+        stim.port("x", vec![0]);
+        let _ = simulate(&nl, &stim);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit port")]
+    fn oversized_sample_panics() {
+        let nl = adder_netlist();
+        let mut stim = Stimulus::new();
+        stim.port("x", vec![16]).port("y", vec![0]);
+        let _ = simulate(&nl, &stim);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stimulus")]
+    fn empty_stimulus_panics() {
+        let nl = adder_netlist();
+        let _ = simulate(&nl, &Stimulus::new());
+    }
+}

@@ -1,0 +1,52 @@
+//! # pax-sim — bit-parallel gate-level simulation for printed circuits
+//!
+//! This crate stands in for the paper's Questasim + PrimeTime pair. It
+//! evaluates combinational netlists 64 samples at a time (one sample per
+//! bit lane of a machine word) and collects exactly the statistics the
+//! cross-layer flow needs:
+//!
+//! * functional outputs per sample — model accuracy evaluation;
+//! * per-net signal probabilities — the pruning parameter **τ** (how
+//!   often a gate output sits at its dominant constant value);
+//! * per-net toggle counts — switching activity for power analysis,
+//!   exportable as a SAIF-lite file ([`saif`]);
+//! * a printed-electronics power model ([`power`]): static cell power
+//!   (dominant in EGT logic), switching energy × toggle density × clock,
+//!   plus a constant I/O floor.
+//!
+//! # Examples
+//!
+//! ```
+//! use pax_netlist::NetlistBuilder;
+//! use pax_sim::{simulate, Stimulus};
+//!
+//! let mut b = NetlistBuilder::new("xor");
+//! let x = b.input_port("x", 1);
+//! let y = b.input_port("y", 1);
+//! let g = b.xor2(x[0], y[0]);
+//! b.output_port("z", vec![g].into());
+//! let nl = b.finish();
+//!
+//! let mut stim = Stimulus::new();
+//! stim.port("x", vec![0, 0, 1, 1]);
+//! stim.port("y", vec![0, 1, 0, 1]);
+//! let result = simulate(&nl, &stim);
+//! assert_eq!(result.port_values("z"), vec![0, 1, 1, 0]);
+//! // z transitions 0→1 and 1→0 across the four samples.
+//! assert_eq!(result.activity.toggles(g), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+pub mod compare;
+mod engine;
+pub mod power;
+pub mod saif;
+mod stimulus;
+pub mod vcd;
+
+pub use activity::Activity;
+pub use engine::{simulate, SimResult};
+pub use stimulus::Stimulus;

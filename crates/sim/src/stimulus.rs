@@ -1,0 +1,84 @@
+use std::collections::BTreeMap;
+
+/// Per-port input samples for a simulation run.
+///
+/// Each port receives one integer value per sample (LSB-first bit
+/// encoding, like [`pax_netlist::eval::eval_ports`]); all ports must
+/// provide the same number of samples.
+#[derive(Debug, Clone, Default)]
+pub struct Stimulus {
+    ports: BTreeMap<String, Vec<u64>>,
+}
+
+impl Stimulus {
+    /// Creates an empty stimulus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the sample vector for one input port, replacing any previous
+    /// samples for that port. Returns `&mut self` for chaining.
+    pub fn port(&mut self, name: impl Into<String>, samples: Vec<u64>) -> &mut Self {
+        self.ports.insert(name.into(), samples);
+        self
+    }
+
+    /// The samples registered for `name`.
+    pub fn samples(&self, name: &str) -> Option<&[u64]> {
+        self.ports.get(name).map(Vec::as_slice)
+    }
+
+    /// Number of samples (0 when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ports disagree on sample count — that is a malformed
+    /// testbench.
+    pub fn n_samples(&self) -> usize {
+        let mut n = None;
+        for (name, v) in &self.ports {
+            match n {
+                None => n = Some(v.len()),
+                Some(prev) => assert_eq!(
+                    prev,
+                    v.len(),
+                    "port `{name}` has {} samples, others have {prev}",
+                    v.len()
+                ),
+            }
+        }
+        n.unwrap_or(0)
+    }
+
+    /// Iterates over `(port, samples)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[u64])> {
+        self.ports.iter().map(|(n, v)| (n.as_str(), v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_count_consistency() {
+        let mut s = Stimulus::new();
+        s.port("a", vec![1, 2, 3]).port("b", vec![0, 0, 1]);
+        assert_eq!(s.n_samples(), 3);
+        assert_eq!(s.samples("a"), Some(&[1, 2, 3][..]));
+        assert_eq!(s.samples("c"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "samples")]
+    fn mismatched_counts_panic() {
+        let mut s = Stimulus::new();
+        s.port("a", vec![1]).port("b", vec![0, 1]);
+        let _ = s.n_samples();
+    }
+
+    #[test]
+    fn empty_stimulus_has_zero_samples() {
+        assert_eq!(Stimulus::new().n_samples(), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! # pax-sta — static timing analysis for printed netlists
+//!
+//! Computes per-net arrival times over a topologically ordered netlist
+//! using the `egt-pdk` cell delays, extracts the critical path and checks
+//! it against the relaxed printed-electronics clock (200 ms / 250 ms in
+//! the paper). Printed circuits are synthesized at such relaxed clocks on
+//! purpose — it lets the synthesis favour minimum area — so STA here is a
+//! feasibility check, not an optimization driver.
+//!
+//! # Examples
+//!
+//! ```
+//! use pax_netlist::NetlistBuilder;
+//! use pax_sta::analyze;
+//!
+//! let mut b = NetlistBuilder::new("chain");
+//! let x = b.input_port("x", 2);
+//! let g1 = b.nand2(x[0], x[1]);
+//! let g2 = b.xor2(g1, x[0]);
+//! b.output_port("y", vec![g2].into());
+//! let nl = b.finish();
+//!
+//! let lib = egt_pdk::egt_library();
+//! let tech = egt_pdk::TechParams::egt();
+//! let timing = analyze(&nl, &lib, &tech)?;
+//! assert!(timing.critical_path_ms > 0.0);
+//! assert!(timing.meets_clock());
+//! assert_eq!(timing.critical_path.len(), 2); // NAND2 then XOR2
+//! # Ok::<(), egt_pdk::PdkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use egt_pdk::{Library, PdkError, TechParams};
+use pax_netlist::{NetId, Netlist, Node};
+
+/// Timing analysis result.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Worst output arrival time in ms.
+    pub critical_path_ms: f64,
+    /// Clock period the circuit is checked against, in ms.
+    pub clock_ms: f64,
+    /// Gate chain (net ids, input-side first) realizing the critical path.
+    pub critical_path: Vec<NetId>,
+    /// Per-net arrival times in ms (inputs and constants arrive at 0).
+    pub arrival_ms: Vec<f64>,
+}
+
+impl TimingReport {
+    /// Slack against the clock period in ms (negative = violation).
+    pub fn slack_ms(&self) -> f64 {
+        self.clock_ms - self.critical_path_ms
+    }
+
+    /// Whether the circuit meets the clock.
+    pub fn meets_clock(&self) -> bool {
+        self.slack_ms() >= 0.0
+    }
+}
+
+impl std::fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "critical path {:.2} ms over {} gates, clock {:.0} ms, slack {:+.2} ms",
+            self.critical_path_ms,
+            self.critical_path.len(),
+            self.clock_ms,
+            self.slack_ms()
+        )
+    }
+}
+
+/// Runs arrival-time analysis on `nl`.
+///
+/// # Errors
+///
+/// Returns [`PdkError::UnknownCell`] if the library lacks a used cell.
+pub fn analyze(nl: &Netlist, lib: &Library, tech: &TechParams) -> Result<TimingReport, PdkError> {
+    let mut arrival = vec![0.0f64; nl.len()];
+    let mut pred: Vec<Option<NetId>> = vec![None; nl.len()];
+    for (id, node) in nl.iter() {
+        let Node::Gate(g) = node else { continue };
+        if g.kind.is_free() {
+            continue; // constants arrive at time 0
+        }
+        let delay = lib.require(g.kind.mnemonic())?.delay_ms;
+        let mut worst = 0.0;
+        let mut worst_in = None;
+        for &i in g.inputs() {
+            if arrival[i.index()] >= worst {
+                worst = arrival[i.index()];
+                worst_in = Some(i);
+            }
+        }
+        arrival[id.index()] = worst + delay;
+        pred[id.index()] = worst_in;
+    }
+
+    // Worst output port bit.
+    let mut end: Option<NetId> = None;
+    let mut worst = 0.0;
+    for p in nl.output_ports() {
+        for &bit in &p.bits {
+            if arrival[bit.index()] >= worst {
+                worst = arrival[bit.index()];
+                end = Some(bit);
+            }
+        }
+    }
+
+    // Trace back through worst-arrival predecessors, keeping gates only.
+    let mut path = Vec::new();
+    let mut cursor = end;
+    while let Some(n) = cursor {
+        if matches!(nl.node(n), Node::Gate(g) if !g.kind.is_free()) {
+            path.push(n);
+        }
+        cursor = pred[n.index()];
+    }
+    path.reverse();
+
+    Ok(TimingReport {
+        critical_path_ms: worst,
+        clock_ms: tech.clock_ms,
+        critical_path: path,
+        arrival_ms: arrival,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_netlist::NetlistBuilder;
+
+    fn lib() -> Library {
+        egt_pdk::egt_library()
+    }
+
+    #[test]
+    fn chain_delay_accumulates() {
+        let l = lib();
+        let mut b = NetlistBuilder::new("chain");
+        let x = b.input_port("x", 2);
+        let mut cur = b.nand2(x[0], x[1]);
+        for _ in 0..9 {
+            cur = b.xor2(cur, x[0]);
+        }
+        b.output_port("y", vec![cur].into());
+        let nl = b.finish();
+        let t = analyze(&nl, &l, &egt_pdk::TechParams::egt()).unwrap();
+        let expect = l.cell("NAND2").unwrap().delay_ms + 9.0 * l.cell("XOR2").unwrap().delay_ms;
+        assert!((t.critical_path_ms - expect).abs() < 1e-9);
+        assert_eq!(t.critical_path.len(), 10);
+        assert!(t.meets_clock());
+    }
+
+    #[test]
+    fn constants_do_not_add_delay() {
+        let l = lib();
+        let mut b = NetlistBuilder::new("k");
+        let x = b.input_port("x", 1);
+        let k = b.const1();
+        let g = b.xor2(x[0], k); // folds to INV
+        b.output_port("y", vec![g].into());
+        let nl = b.finish();
+        let t = analyze(&nl, &l, &egt_pdk::TechParams::egt()).unwrap();
+        assert!((t.critical_path_ms - l.cell("INV").unwrap().delay_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slack_detects_violation() {
+        let l = lib();
+        let mut b = NetlistBuilder::new("slow");
+        let x = b.input_port("x", 2);
+        let mut cur = b.xor2(x[0], x[1]);
+        for _ in 0..300 {
+            cur = b.xnor2(cur, x[0]);
+            cur = b.xor2(cur, x[1]);
+        }
+        b.output_port("y", vec![cur].into());
+        let nl = b.finish();
+        // 1 ms clock is hopeless for a 600-gate XOR chain.
+        let tech = egt_pdk::TechParams::egt().with_clock_ms(1.0);
+        let t = analyze(&nl, &l, &tech).unwrap();
+        assert!(!t.meets_clock());
+        assert!(t.slack_ms() < 0.0);
+    }
+
+    #[test]
+    fn empty_logic_has_zero_delay() {
+        let mut b = NetlistBuilder::new("wire");
+        let x = b.input_port("x", 4);
+        b.output_port("y", x);
+        let nl = b.finish();
+        let t = analyze(&nl, &lib(), &egt_pdk::TechParams::egt()).unwrap();
+        assert_eq!(t.critical_path_ms, 0.0);
+        assert!(t.critical_path.is_empty());
+        assert!(t.to_string().contains("slack"));
+    }
+
+    #[test]
+    fn parallel_paths_pick_the_worst() {
+        let l = lib();
+        let mut b = NetlistBuilder::new("par");
+        let x = b.input_port("x", 3);
+        let fast = b.nand2(x[0], x[1]);
+        let slow1 = b.xor2(x[1], x[2]);
+        let slow2 = b.xor2(slow1, x[0]);
+        let join = b.and2(fast, slow2);
+        b.output_port("y", vec![join].into());
+        let nl = b.finish();
+        let t = analyze(&nl, &l, &egt_pdk::TechParams::egt()).unwrap();
+        let expect = 2.0 * l.cell("XOR2").unwrap().delay_ms + l.cell("AND2").unwrap().delay_ms;
+        assert!((t.critical_path_ms - expect).abs() < 1e-9);
+        // Path goes through the two XORs, not the NAND.
+        assert_eq!(t.critical_path.len(), 3);
+        assert!(t.critical_path.contains(&slow1));
+        assert!(t.critical_path.contains(&slow2));
+    }
+}

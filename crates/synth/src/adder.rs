@@ -1,0 +1,157 @@
+//! Half/full adders and ripple-carry addition.
+//!
+//! The full adder uses the classic 2×XOR + 3×NAND mapping — the cheapest
+//! realization in the EGT cell set — so generated datapaths reflect what
+//! a mapped synthesis run would produce.
+
+use pax_netlist::{Bus, NetId, NetlistBuilder};
+
+/// Half adder: returns `(sum, carry)`.
+pub fn half_adder(b: &mut NetlistBuilder, x: NetId, y: NetId) -> (NetId, NetId) {
+    (b.xor2(x, y), b.and2(x, y))
+}
+
+/// Full adder: returns `(sum, carry)`.
+///
+/// `carry = (x·y) + (x⊕y)·z` realized as NAND(NAND(x,y), NAND(x⊕y,z)).
+pub fn full_adder(b: &mut NetlistBuilder, x: NetId, y: NetId, z: NetId) -> (NetId, NetId) {
+    let t = b.xor2(x, y);
+    let sum = b.xor2(t, z);
+    let n1 = b.nand2(x, y);
+    let n2 = b.nand2(t, z);
+    let carry = b.nand2(n1, n2);
+    (sum, carry)
+}
+
+/// Ripple-carry addition of two equal-width buses with optional carry-in.
+///
+/// Returns the `width`-bit sum and the carry-out. For two's-complement
+/// operands the carry-out is meaningless (overflow must be excluded by
+/// width planning); for unsigned operands it is the true overflow bit.
+///
+/// # Panics
+///
+/// Panics if the bus widths differ or are zero.
+pub fn ripple_add(
+    b: &mut NetlistBuilder,
+    x: &Bus,
+    y: &Bus,
+    carry_in: Option<NetId>,
+) -> (Bus, NetId) {
+    assert_eq!(x.width(), y.width(), "ripple_add width mismatch");
+    assert!(!x.is_empty(), "ripple_add on empty buses");
+    let mut carry = carry_in.unwrap_or_else(|| b.const0());
+    let mut sum = Bus::new();
+    for i in 0..x.width() {
+        let (s, c) = full_adder(b, x[i], y[i], carry);
+        sum.push_msb(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Two's-complement negation of a signed bus: `-x`, one bit wider so the
+/// most negative input cannot overflow.
+pub fn negate(b: &mut NetlistBuilder, x: &Bus) -> Bus {
+    let w = x.width() + 1;
+    let ext = crate::bits::sign_extend(x, w);
+    let inv: Bus = ext.iter().map(|n| b.not(n)).collect();
+    let one = b.constant_bus(1, w);
+    let (sum, _) = ripple_add(b, &inv, &one, None);
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_netlist::eval;
+
+    #[test]
+    fn full_adder_truth_table() {
+        for pattern in 0u64..8 {
+            let mut b = NetlistBuilder::new("fa");
+            let ins = b.input_port("i", 3);
+            let (s, c) = full_adder(&mut b, ins[0], ins[1], ins[2]);
+            b.output_port("o", vec![s, c].into());
+            let nl = b.finish();
+            let out = eval::eval_ports(&nl, &[("i", pattern)]);
+            let expect = (pattern & 1) + (pattern >> 1 & 1) + (pattern >> 2 & 1);
+            assert_eq!(out["o"], expect, "pattern {pattern:03b}");
+        }
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        for pattern in 0u64..4 {
+            let mut b = NetlistBuilder::new("ha");
+            let ins = b.input_port("i", 2);
+            let (s, c) = half_adder(&mut b, ins[0], ins[1]);
+            b.output_port("o", vec![s, c].into());
+            let nl = b.finish();
+            let out = eval::eval_ports(&nl, &[("i", pattern)]);
+            assert_eq!(out["o"], (pattern & 1) + (pattern >> 1), "pattern {pattern:02b}");
+        }
+    }
+
+    #[test]
+    fn ripple_add_exhaustive_4bit() {
+        let mut b = NetlistBuilder::new("add4");
+        let x = b.input_port("x", 4);
+        let y = b.input_port("y", 4);
+        let (s, co) = ripple_add(&mut b, &x, &y, None);
+        let mut out = s;
+        out.push_msb(co);
+        b.output_port("s", out);
+        let nl = b.finish();
+        for xv in 0..16u64 {
+            for yv in 0..16u64 {
+                let got = eval::eval_ports(&nl, &[("x", xv), ("y", yv)])["s"];
+                assert_eq!(got, xv + yv, "{xv}+{yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_add_with_carry_in() {
+        let mut b = NetlistBuilder::new("addc");
+        let x = b.input_port("x", 3);
+        let y = b.input_port("y", 3);
+        let ci = b.input_port("ci", 1);
+        let (s, co) = ripple_add(&mut b, &x, &y, Some(ci[0]));
+        let mut out = s;
+        out.push_msb(co);
+        b.output_port("s", out);
+        let nl = b.finish();
+        for xv in 0..8u64 {
+            for yv in 0..8u64 {
+                for cv in 0..2u64 {
+                    let got =
+                        eval::eval_ports(&nl, &[("x", xv), ("y", yv), ("ci", cv)])["s"];
+                    assert_eq!(got, xv + yv + cv);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negate_exhaustive_5bit() {
+        let mut b = NetlistBuilder::new("neg");
+        let x = b.input_port("x", 5);
+        let y = negate(&mut b, &x);
+        b.output_port("y", y);
+        let nl = b.finish();
+        for v in 0..32u64 {
+            let got = eval::eval_ports(&nl, &[("x", v)])["y"];
+            assert_eq!(eval::to_signed(got, 6), -eval::to_signed(v, 5), "v={v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_widths_panic() {
+        let mut b = NetlistBuilder::new("bad");
+        let x = b.input_port("x", 3);
+        let y = b.input_port("y", 4);
+        let _ = ripple_add(&mut b, &x, &y, None);
+    }
+}

@@ -1,0 +1,93 @@
+//! Area reporting against a printed cell library.
+
+use std::collections::BTreeMap;
+
+use egt_pdk::{Library, PdkError};
+use pax_netlist::{Netlist, Node};
+
+/// Total printed area of the netlist in mm².
+///
+/// Constants (tie cells) and primary inputs are free; every other gate
+/// resolves to a library cell through its mnemonic.
+///
+/// # Errors
+///
+/// Returns [`PdkError::UnknownCell`] if the library lacks a used cell —
+/// an incomplete library must fail loudly, not under-report area.
+///
+/// # Examples
+///
+/// ```
+/// use pax_netlist::NetlistBuilder;
+/// use pax_synth::area;
+///
+/// let lib = egt_pdk::egt_library();
+/// let mut b = NetlistBuilder::new("a");
+/// let x = b.input_port("x", 2);
+/// let g = b.nand2(x[0], x[1]);
+/// b.output_port("y", vec![g].into());
+/// let nl = b.finish();
+/// let a = area::area_mm2(&nl, &lib)?;
+/// assert_eq!(a, lib.cell("NAND2").unwrap().area_mm2);
+/// # Ok::<(), egt_pdk::PdkError>(())
+/// ```
+pub fn area_mm2(nl: &Netlist, lib: &Library) -> Result<f64, PdkError> {
+    let mut total = 0.0;
+    for (_, node) in nl.iter() {
+        if let Node::Gate(g) = node {
+            if g.kind.is_free() {
+                continue;
+            }
+            total += lib.require(g.kind.mnemonic())?.area_mm2;
+        }
+    }
+    Ok(total)
+}
+
+/// Per-cell usage census (mnemonic → instance count), constants excluded.
+pub fn cell_usage(nl: &Netlist) -> BTreeMap<&'static str, usize> {
+    let mut usage = BTreeMap::new();
+    for (_, node) in nl.iter() {
+        if let Node::Gate(g) = node {
+            if !g.kind.is_free() {
+                *usage.entry(g.kind.mnemonic()).or_insert(0) += 1;
+            }
+        }
+    }
+    usage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_netlist::NetlistBuilder;
+
+    #[test]
+    fn area_sums_cells() {
+        let lib = egt_pdk::egt_library();
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 2);
+        let g1 = b.xor2(x[0], x[1]);
+        let g2 = b.nand2(g1, x[0]);
+        let _k = b.const1();
+        b.output_port("y", vec![g2].into());
+        let nl = b.finish();
+        let expect = lib.cell("XOR2").unwrap().area_mm2 + lib.cell("NAND2").unwrap().area_mm2;
+        assert!((area_mm2(&nl, &lib).unwrap() - expect).abs() < 1e-12);
+        let usage = cell_usage(&nl);
+        assert_eq!(usage["XOR2"], 1);
+        assert_eq!(usage["NAND2"], 1);
+        assert!(!usage.contains_key("TIE1"));
+    }
+
+    #[test]
+    fn missing_cell_is_an_error() {
+        let lib = egt_pdk::Library::new("empty", 1.0);
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 2);
+        let g = b.and2(x[0], x[1]);
+        b.output_port("y", vec![g].into());
+        let nl = b.finish();
+        assert!(matches!(area_mm2(&nl, &lib), Err(PdkError::UnknownCell(_))));
+    }
+}

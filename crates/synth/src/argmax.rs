@@ -1,0 +1,169 @@
+//! Tournament argmax network for classifier outputs.
+//!
+//! MLP and SVM classifiers end in an argmax over the class scores. The
+//! paper's SVM-C realizes its 1-vs-1 decisions as pairwise comparisons of
+//! per-class weighted sums, whose voting winner is exactly the argmax of
+//! those sums; the same comparator-tree hardware therefore serves both
+//! classifier families.
+//!
+//! Ties resolve to the *lower* class index (strict `>` comparisons
+//! propagate the earlier candidate), matching the behaviour of the
+//! software reference model.
+
+use pax_netlist::{Bus, NetlistBuilder};
+
+use crate::bits::unsigned_width_for;
+use crate::cmp::gt_signed;
+
+/// The result of an argmax network.
+#[derive(Debug, Clone)]
+pub struct ArgmaxOut {
+    /// Index of the winning bus (unsigned, `ceil(log2 k)` bits, at least 1).
+    pub index: Bus,
+    /// The winning value itself (signed, same width as the inputs).
+    pub value: Bus,
+}
+
+/// Builds a tournament argmax over `values` (equal-width signed buses).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or the widths differ.
+///
+/// # Examples
+///
+/// ```
+/// use pax_netlist::{eval, NetlistBuilder};
+/// use pax_synth::argmax::argmax;
+///
+/// let mut b = NetlistBuilder::new("am");
+/// let s0 = b.input_port("s0", 4);
+/// let s1 = b.input_port("s1", 4);
+/// let s2 = b.input_port("s2", 4);
+/// let out = argmax(&mut b, &[s0, s1, s2]);
+/// b.output_port("idx", out.index);
+/// let nl = b.finish();
+/// // s1 = 3 beats s0 = -2 and s2 = 1.
+/// let r = eval::eval_ports(&nl, &[("s0", 0b1110), ("s1", 0b0011), ("s2", 0b0001)]);
+/// assert_eq!(r["idx"], 1);
+/// ```
+pub fn argmax(b: &mut NetlistBuilder, values: &[Bus]) -> ArgmaxOut {
+    assert!(!values.is_empty(), "argmax of zero candidates");
+    let width = values[0].width();
+    assert!(
+        values.iter().all(|v| v.width() == width),
+        "argmax candidates must share a width"
+    );
+    let idx_width = unsigned_width_for(values.len().saturating_sub(1) as u64);
+    let candidates: Vec<ArgmaxOut> = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| ArgmaxOut {
+            index: b.constant_bus(i as u64, idx_width),
+            value: v.clone(),
+        })
+        .collect();
+    tournament(b, &candidates)
+}
+
+fn tournament(b: &mut NetlistBuilder, cands: &[ArgmaxOut]) -> ArgmaxOut {
+    match cands.len() {
+        1 => cands[0].clone(),
+        _ => {
+            let mid = cands.len() / 2;
+            let lo = tournament(b, &cands[..mid]);
+            let hi = tournament(b, &cands[mid..]);
+            // Strictly greater: ties keep the lower index.
+            let sel = gt_signed(b, &hi.value, &lo.value);
+            ArgmaxOut {
+                index: b.mux_bus(sel, &hi.index, &lo.index),
+                value: b.mux_bus(sel, &hi.value, &lo.value),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_netlist::eval;
+
+    fn run_argmax(vals: &[i64], width: usize) -> u64 {
+        let mut b = NetlistBuilder::new("am");
+        let buses: Vec<Bus> =
+            (0..vals.len()).map(|i| b.input_port(format!("s{i}"), width)).collect();
+        let out = argmax(&mut b, &buses);
+        b.output_port("idx", out.index);
+        b.output_port("win", out.value);
+        let nl = b.finish();
+        let inputs: Vec<(String, u64)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (format!("s{i}"), eval::from_signed(v, width)))
+            .collect();
+        let refs: Vec<(&str, u64)> = inputs.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let r = eval::eval_ports(&nl, &refs);
+        let idx = r["idx"];
+        let expect: i64 = *vals.iter().max().unwrap();
+        assert_eq!(eval::to_signed(r["win"], width), expect);
+        idx
+    }
+
+    fn reference_argmax(vals: &[i64]) -> u64 {
+        let mut best = 0usize;
+        for (i, &v) in vals.iter().enumerate() {
+            if v > vals[best] {
+                best = i;
+            }
+        }
+        best as u64
+    }
+
+    #[test]
+    fn three_way_exhaustive_small() {
+        for a in -4..4 {
+            for b in -4..4 {
+                for c in -4..4 {
+                    let vals = [a, b, c];
+                    assert_eq!(
+                        run_argmax(&vals, 4),
+                        reference_argmax(&vals),
+                        "{vals:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ten_way_samples() {
+        let cases: &[&[i64]] = &[
+            &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9],
+            &[9, 8, 7, 6, 5, 4, 3, 2, 1, 0],
+            &[-5, -5, -5, -5, -5, -5, -5, -5, -5, -4],
+            &[3, 3, 3, 3, 3, 3, 3, 3, 3, 3],
+            &[-128, 127, 0, 64, -64, 32, -32, 16, -16, 8],
+        ];
+        for vals in cases {
+            assert_eq!(run_argmax(vals, 9), reference_argmax(vals), "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn ties_prefer_lower_index() {
+        assert_eq!(run_argmax(&[5, 5], 4), 0);
+        assert_eq!(run_argmax(&[1, 5, 5, 2], 4), 1);
+    }
+
+    #[test]
+    fn single_candidate() {
+        assert_eq!(run_argmax(&[-3], 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero candidates")]
+    fn empty_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let _ = argmax(&mut b, &[]);
+    }
+}

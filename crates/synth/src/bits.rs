@@ -1,0 +1,167 @@
+//! Bit-level bookkeeping: extensions, shifts and width computation.
+
+use pax_netlist::{Bus, NetlistBuilder};
+
+/// Zero-extends `x` to `width` bits by appending constant zeros.
+///
+/// # Panics
+///
+/// Panics if `width < x.width()`.
+pub fn zero_extend(b: &mut NetlistBuilder, x: &Bus, width: usize) -> Bus {
+    assert!(width >= x.width(), "cannot zero-extend {} bits to {width}", x.width());
+    let mut out = x.clone();
+    let zero = b.const0();
+    while out.width() < width {
+        out.push_msb(zero);
+    }
+    out
+}
+
+/// Sign-extends `x` to `width` bits by replicating its MSB net (pure
+/// wiring, no gates).
+///
+/// # Panics
+///
+/// Panics if `width < x.width()` or `x` is empty.
+pub fn sign_extend(x: &Bus, width: usize) -> Bus {
+    assert!(!x.is_empty(), "cannot sign-extend an empty bus");
+    assert!(width >= x.width(), "cannot sign-extend {} bits to {width}", x.width());
+    let msb = x.msb();
+    let mut out = x.clone();
+    while out.width() < width {
+        out.push_msb(msb);
+    }
+    out
+}
+
+/// Shifts left by `k` (appends constant zeros below); pure wiring.
+pub fn shl(b: &mut NetlistBuilder, x: &Bus, k: usize) -> Bus {
+    let zero = b.const0();
+    let mut bits = vec![zero; k];
+    bits.extend(x.iter());
+    bits.into()
+}
+
+/// Logical right shift: drops the `k` low bits. Pure wiring.
+///
+/// # Panics
+///
+/// Panics if `k > x.width()`.
+pub fn lshr(x: &Bus, k: usize) -> Bus {
+    assert!(k <= x.width(), "shift {k} exceeds width {}", x.width());
+    x.slice(k..x.width())
+}
+
+/// Smallest two's-complement width able to represent every value in
+/// `[min, max]`. Always at least 1.
+///
+/// # Panics
+///
+/// Panics if `min > max`.
+///
+/// # Examples
+///
+/// ```
+/// use pax_synth::bits::signed_width_for;
+///
+/// assert_eq!(signed_width_for(0, 0), 1);
+/// assert_eq!(signed_width_for(0, 1), 2);   // needs a sign bit
+/// assert_eq!(signed_width_for(-1, 0), 1);
+/// assert_eq!(signed_width_for(-128, 127), 8);
+/// assert_eq!(signed_width_for(0, 15 * 127), 12);
+/// ```
+pub fn signed_width_for(min: i64, max: i64) -> usize {
+    assert!(min <= max, "empty range [{min}, {max}]");
+    for w in 1..=63 {
+        let lo = -(1i64 << (w - 1));
+        let hi = (1i64 << (w - 1)) - 1;
+        if min >= lo && max <= hi {
+            return w;
+        }
+    }
+    64
+}
+
+/// Smallest unsigned width able to represent `max`. Always at least 1.
+pub fn unsigned_width_for(max: u64) -> usize {
+    (64 - max.leading_zeros()).max(1) as usize
+}
+
+/// Exact signed width of the product of an unsigned `x_width`-bit input
+/// and the constant `w` (covers the range `[min(0, w·xmax), max(0, w·xmax)]`).
+pub fn product_width(x_width: usize, w: i64) -> usize {
+    let xmax = (1i64 << x_width) - 1;
+    let p = w * xmax;
+    signed_width_for(p.min(0), p.max(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_netlist::{eval, NetlistBuilder};
+
+    #[test]
+    fn zero_extend_preserves_value() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 3);
+        let y = zero_extend(&mut b, &x, 6);
+        b.output_port("y", y);
+        let nl = b.finish();
+        for v in 0..8 {
+            assert_eq!(eval::eval_ports(&nl, &[("x", v)])["y"], v);
+        }
+    }
+
+    #[test]
+    fn sign_extend_preserves_signed_value() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 3);
+        let y = sign_extend(&x, 6);
+        b.output_port("y", y);
+        let nl = b.finish();
+        for v in 0..8u64 {
+            let got = eval::eval_ports(&nl, &[("x", v)])["y"];
+            assert_eq!(eval::to_signed(got, 6), eval::to_signed(v, 3));
+        }
+    }
+
+    #[test]
+    fn shifts_are_wiring() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 4);
+        let before = b.len();
+        let l = shl(&mut b, &x, 2);
+        let r = lshr(&x, 1);
+        // Only the constant-0 node may have been created.
+        assert!(b.len() <= before + 1);
+        b.output_port("l", l);
+        b.output_port("r", r);
+        let nl = b.finish();
+        let out = eval::eval_ports(&nl, &[("x", 0b1011)]);
+        assert_eq!(out["l"], 0b101100);
+        assert_eq!(out["r"], 0b101);
+    }
+
+    #[test]
+    fn widths_are_tight() {
+        assert_eq!(signed_width_for(-8, 7), 4);
+        assert_eq!(signed_width_for(-9, 0), 5);
+        assert_eq!(signed_width_for(0, 8), 5);
+        assert_eq!(unsigned_width_for(1), 1);
+        assert_eq!(unsigned_width_for(15), 4);
+        assert_eq!(unsigned_width_for(16), 5);
+        // 15 * 127 = 1905 fits in 12 signed bits (max 2047).
+        assert_eq!(product_width(4, 127), 12);
+        // -128 * 15 = -1920 also fits 12 signed bits (min -2048).
+        assert_eq!(product_width(4, -128), 12);
+        assert_eq!(product_width(4, 0), 1);
+        assert_eq!(product_width(4, 1), 5);
+        assert_eq!(product_width(4, 2), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn bad_range_panics() {
+        let _ = signed_width_for(1, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Comparator chains.
+//!
+//! Comparisons scan from LSB to MSB keeping a "greater so far" flag that
+//! the most significant differing bit overrides — one XNOR + MUX pair per
+//! bit, considerably cheaper than a subtractor in the EGT cell set.
+//! Signed comparison reuses the unsigned chain after inverting both sign
+//! bits (offset-binary trick).
+
+use pax_netlist::{Bus, NetId, NetlistBuilder};
+
+/// `a > b` for equal-width unsigned buses.
+///
+/// # Panics
+///
+/// Panics if widths differ or are zero.
+pub fn gt_unsigned(b: &mut NetlistBuilder, a: &Bus, c: &Bus) -> NetId {
+    assert_eq!(a.width(), c.width(), "comparator width mismatch");
+    assert!(!a.is_empty(), "comparator on empty buses");
+    let mut acc = b.const0(); // equal so far -> not greater
+    for i in 0..a.width() {
+        let eq = b.xnor2(a[i], c[i]);
+        // If bits differ at this (more significant) position, a[i]
+        // decides; otherwise keep the verdict from the lower bits.
+        acc = b.mux(eq, acc, a[i]);
+    }
+    acc
+}
+
+/// `a > b` for equal-width two's-complement buses.
+///
+/// # Panics
+///
+/// Panics if widths differ or are zero.
+pub fn gt_signed(b: &mut NetlistBuilder, a: &Bus, c: &Bus) -> NetId {
+    assert_eq!(a.width(), c.width(), "comparator width mismatch");
+    assert!(!a.is_empty(), "comparator on empty buses");
+    // Flip the sign bits: maps two's complement onto offset binary,
+    // where unsigned order equals signed order.
+    let mut a2 = a.take_low(a.width() - 1);
+    let na = b.not(a.msb());
+    a2.push_msb(na);
+    let mut c2 = c.take_low(c.width() - 1);
+    let nc = b.not(c.msb());
+    c2.push_msb(nc);
+    gt_unsigned(b, &a2, &c2)
+}
+
+/// `a == b` for equal-width buses (sign-agnostic).
+///
+/// # Panics
+///
+/// Panics if widths differ or are zero.
+pub fn eq(b: &mut NetlistBuilder, a: &Bus, c: &Bus) -> NetId {
+    assert_eq!(a.width(), c.width(), "comparator width mismatch");
+    assert!(!a.is_empty(), "comparator on empty buses");
+    let bits: Vec<NetId> = (0..a.width()).map(|i| b.xnor2(a[i], c[i])).collect();
+    b.and_many(&bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_netlist::eval;
+
+    #[test]
+    fn gt_unsigned_exhaustive_4bit() {
+        let mut b = NetlistBuilder::new("gtu");
+        let x = b.input_port("x", 4);
+        let y = b.input_port("y", 4);
+        let g = gt_unsigned(&mut b, &x, &y);
+        b.output_port("g", vec![g].into());
+        let nl = b.finish();
+        for xv in 0..16u64 {
+            for yv in 0..16u64 {
+                let got = eval::eval_ports(&nl, &[("x", xv), ("y", yv)])["g"];
+                assert_eq!(got == 1, xv > yv, "{xv} > {yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn gt_signed_exhaustive_4bit() {
+        let mut b = NetlistBuilder::new("gts");
+        let x = b.input_port("x", 4);
+        let y = b.input_port("y", 4);
+        let g = gt_signed(&mut b, &x, &y);
+        b.output_port("g", vec![g].into());
+        let nl = b.finish();
+        for xv in 0..16u64 {
+            for yv in 0..16u64 {
+                let got = eval::eval_ports(&nl, &[("x", xv), ("y", yv)])["g"];
+                let (xs, ys) = (eval::to_signed(xv, 4), eval::to_signed(yv, 4));
+                assert_eq!(got == 1, xs > ys, "{xs} > {ys}");
+            }
+        }
+    }
+
+    #[test]
+    fn eq_exhaustive_3bit() {
+        let mut b = NetlistBuilder::new("eq");
+        let x = b.input_port("x", 3);
+        let y = b.input_port("y", 3);
+        let e = eq(&mut b, &x, &y);
+        b.output_port("e", vec![e].into());
+        let nl = b.finish();
+        for xv in 0..8u64 {
+            for yv in 0..8u64 {
+                let got = eval::eval_ports(&nl, &[("x", xv), ("y", yv)])["e"];
+                assert_eq!(got == 1, xv == yv);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut b = NetlistBuilder::new("bad");
+        let x = b.input_port("x", 3);
+        let y = b.input_port("y", 4);
+        let _ = gt_unsigned(&mut b, &x, &y);
+    }
+}

@@ -1,0 +1,139 @@
+//! Conventional (two-variable-operand) multipliers.
+//!
+//! These exist as the paper's reference point: Fig. 1 compares bespoke
+//! constant multipliers against a conventional 4×8 (83.61 mm²) and 8×8
+//! (207.43 mm²) multiplier in the same EGT technology. The generator
+//! forms one AND-array partial product per coefficient bit and reduces
+//! them with the shared carry-save machinery; the MSB row of the signed
+//! operand enters negated (its two's-complement weight is `−2^(m−1)`).
+
+use pax_netlist::{Bus, NetlistBuilder};
+
+use crate::csa::{sum_terms, Term};
+
+/// Multiplies an unsigned bus `x` by a **signed** bus `w`, returning the
+/// exact signed product of width `x.width() + w.width()`.
+///
+/// # Panics
+///
+/// Panics if either bus is empty.
+///
+/// # Examples
+///
+/// ```
+/// use pax_netlist::{eval, NetlistBuilder};
+/// use pax_synth::conventional;
+///
+/// let mut b = NetlistBuilder::new("mul");
+/// let x = b.input_port("x", 4);
+/// let w = b.input_port("w", 8);
+/// let p = conventional::mul_unsigned_signed(&mut b, &x, &w);
+/// b.output_port("p", p);
+/// let nl = b.finish();
+/// let out = eval::eval_ports(&nl, &[("x", 11), ("w", 0b1111_0000)]); // w = -16
+/// assert_eq!(eval::to_signed(out["p"], 12), -176);
+/// ```
+pub fn mul_unsigned_signed(b: &mut NetlistBuilder, x: &Bus, w: &Bus) -> Bus {
+    assert!(!x.is_empty() && !w.is_empty(), "multiplier operands must be non-empty");
+    let out_width = x.width() + w.width();
+    let mut terms = Vec::with_capacity(w.width());
+    for i in 0..w.width() {
+        // Partial product row: (w_i ? x : 0) << i.
+        let zero = b.const0();
+        let mut row: Bus = vec![zero; i].into();
+        for j in 0..x.width() {
+            let pp = b.and2(w[i], x[j]);
+            row.push_msb(pp);
+        }
+        let term = Term::unsigned(row);
+        // The sign bit of `w` carries weight −2^(m−1).
+        terms.push(if i == w.width() - 1 { term.negated() } else { term });
+    }
+    sum_terms(b, &terms, 0, out_width)
+}
+
+/// Multiplies two unsigned buses, returning the exact unsigned product
+/// (width `x.width() + y.width()`, MSB always 0-extended semantics).
+///
+/// # Panics
+///
+/// Panics if either bus is empty.
+pub fn mul_unsigned(b: &mut NetlistBuilder, x: &Bus, y: &Bus) -> Bus {
+    assert!(!x.is_empty() && !y.is_empty(), "multiplier operands must be non-empty");
+    let out_width = x.width() + y.width();
+    let mut terms = Vec::with_capacity(y.width());
+    for i in 0..y.width() {
+        let zero = b.const0();
+        let mut row: Bus = vec![zero; i].into();
+        for j in 0..x.width() {
+            let pp = b.and2(y[i], x[j]);
+            row.push_msb(pp);
+        }
+        terms.push(Term::unsigned(row));
+    }
+    sum_terms(b, &terms, 0, out_width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_netlist::eval;
+
+    #[test]
+    fn unsigned_signed_exhaustive_4x5() {
+        let mut b = NetlistBuilder::new("m");
+        let x = b.input_port("x", 4);
+        let w = b.input_port("w", 5);
+        let p = mul_unsigned_signed(&mut b, &x, &w);
+        b.output_port("p", p);
+        let nl = b.finish();
+        for xv in 0..16u64 {
+            for wv in 0..32u64 {
+                let got = eval::eval_ports(&nl, &[("x", xv), ("w", wv)])["p"];
+                let expect = xv as i64 * eval::to_signed(wv, 5);
+                assert_eq!(eval::to_signed(got, 9), expect, "x={xv} w={wv}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsigned_exhaustive_3x4() {
+        let mut b = NetlistBuilder::new("m");
+        let x = b.input_port("x", 3);
+        let y = b.input_port("y", 4);
+        let p = mul_unsigned(&mut b, &x, &y);
+        b.output_port("p", p);
+        let nl = b.finish();
+        for xv in 0..8u64 {
+            for yv in 0..16u64 {
+                let got = eval::eval_ports(&nl, &[("x", xv), ("y", yv)])["p"];
+                assert_eq!(got, xv * yv, "x={xv} y={yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn conventional_beats_no_one_bespoke_wins() {
+        // Sanity: a bespoke multiplier for any constant must be no larger
+        // than the conventional multiplier of the same shape.
+        use crate::{area, bits, constmul};
+        let lib = egt_pdk::egt_library();
+        let conv = {
+            let mut b = NetlistBuilder::new("conv");
+            let x = b.input_port("x", 4);
+            let w = b.input_port("w", 8);
+            let p = mul_unsigned_signed(&mut b, &x, &w);
+            b.output_port("p", p);
+            area::area_mm2(&b.finish(), &lib).unwrap()
+        };
+        for w in [-128i64, -77, -3, 0, 1, 19, 64, 127] {
+            let mut b = NetlistBuilder::new("bm");
+            let x = b.input_port("x", 4);
+            let width = bits::product_width(4, w);
+            let p = constmul::bespoke_mul(&mut b, &x, w, width);
+            b.output_port("p", p);
+            let bespoke = area::area_mm2(&b.finish(), &lib).unwrap();
+            assert!(bespoke < conv, "w={w}: bespoke {bespoke} !< conventional {conv}");
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Signed multi-operand summation via carry-save reduction.
+//!
+//! Every weighted sum in a bespoke classifier is one instance of this
+//! module: all product terms (and the hardwired intercept) enter a
+//! column-wise 3:2 compressor tree, and a single ripple adder produces
+//! the final two's-complement sum. Negated terms are folded in as
+//! inverted bits plus a shared `+1` correction constant, so subtraction
+//! costs the same as addition.
+//!
+//! All arithmetic is exact modulo `2^width`; callers size `width` with
+//! [`crate::bits::signed_width_for`] so the true value always fits and
+//! dropped carries above the MSB are harmless.
+
+use pax_netlist::{Bus, NetId, NetlistBuilder};
+
+use crate::adder::{full_adder, half_adder, ripple_add};
+use crate::bits::{sign_extend, zero_extend};
+
+/// One operand of a summation.
+#[derive(Debug, Clone)]
+pub struct Term {
+    /// The operand bits.
+    pub bus: Bus,
+    /// Whether the operand is two's-complement signed (sign-extended) or
+    /// unsigned (zero-extended).
+    pub signed: bool,
+    /// Whether the operand enters the sum negated.
+    pub negate: bool,
+}
+
+impl Term {
+    /// A signed, non-negated term.
+    pub fn signed(bus: Bus) -> Self {
+        Self { bus, signed: true, negate: false }
+    }
+
+    /// An unsigned, non-negated term.
+    pub fn unsigned(bus: Bus) -> Self {
+        Self { bus, signed: false, negate: false }
+    }
+
+    /// Returns the term with the negation flag set.
+    pub fn negated(mut self) -> Self {
+        self.negate = true;
+        self
+    }
+}
+
+/// Sums arbitrarily many terms plus a constant into a `width`-bit
+/// two's-complement result.
+///
+/// The result equals `constant + Σ ±term` modulo `2^width`; choose
+/// `width` so the true value always fits and the result is exact.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or exceeds 63.
+pub fn sum_terms(
+    b: &mut NetlistBuilder,
+    terms: &[Term],
+    constant: i64,
+    width: usize,
+) -> Bus {
+    assert!(width > 0 && width <= 63, "unsupported sum width {width}");
+    let mask = (1i128 << width) - 1;
+
+    // Fast path: a single positive term and no constant is pure wiring.
+    if terms.len() == 1 && !terms[0].negate && constant == 0 {
+        return extend(b, &terms[0], width);
+    }
+
+    // Collect rows; negated rows contribute inverted bits plus +1, all
+    // +1 corrections, constant bits and the caller constant merge into
+    // one constant row.
+    let mut correction: i128 = constant as i128;
+    let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); width];
+    for t in terms {
+        let row = extend(b, t, width);
+        for (i, bit) in row.iter().enumerate() {
+            let bit = if t.negate { b.not(bit) } else { bit };
+            match b.const_value(bit) {
+                Some(true) => correction += 1i128 << i,
+                Some(false) => {}
+                None => columns[i].push(bit),
+            }
+        }
+        if t.negate {
+            correction += 1;
+        }
+    }
+    let correction = correction & mask; // two's complement wrap
+    for (i, column) in columns.iter_mut().enumerate() {
+        if correction >> i & 1 == 1 {
+            let one = b.const1();
+            column.push(one);
+        }
+    }
+
+    // Column-wise 3:2 compression until every column holds ≤ 2 bits.
+    loop {
+        let max = columns.iter().map(Vec::len).max().unwrap_or(0);
+        if max <= 2 {
+            break;
+        }
+        let mut next: Vec<Vec<NetId>> = vec![Vec::new(); width];
+        for i in 0..width {
+            let col = std::mem::take(&mut columns[i]);
+            let mut iter = col.into_iter();
+            loop {
+                match (iter.next(), iter.next(), iter.next()) {
+                    (Some(x), Some(y), Some(z)) => {
+                        let (s, c) = full_adder(b, x, y, z);
+                        push_net(b, &mut next, i, s);
+                        if i + 1 < width {
+                            push_net(b, &mut next, i + 1, c);
+                        }
+                    }
+                    (Some(x), Some(y), None) => {
+                        // A 2:2 half-adder still shortens the column when
+                        // it is above the target height.
+                        if next[i].len() + 2 > 2 {
+                            let (s, c) = half_adder(b, x, y);
+                            push_net(b, &mut next, i, s);
+                            if i + 1 < width {
+                                push_net(b, &mut next, i + 1, c);
+                            }
+                        } else {
+                            next[i].push(x);
+                            next[i].push(y);
+                        }
+                        break;
+                    }
+                    (Some(x), None, _) => {
+                        next[i].push(x);
+                        break;
+                    }
+                    (None, _, _) => break,
+                }
+            }
+        }
+        columns = next;
+    }
+
+    // Final two rows -> ripple adder.
+    let zero = b.const0();
+    let row_a: Bus = (0..width).map(|i| columns[i].first().copied().unwrap_or(zero)).collect();
+    let row_b: Bus = (0..width).map(|i| columns[i].get(1).copied().unwrap_or(zero)).collect();
+    let (sum, _) = ripple_add(b, &row_a, &row_b, None);
+    sum
+}
+
+/// Skips constant-zero bits — they contribute nothing and would only
+/// bloat columns. (Constant-one bits produced by folded compressors are
+/// kept; later compressor stages fold them again.)
+fn push_net(b: &NetlistBuilder, columns: &mut [Vec<NetId>], i: usize, bit: NetId) {
+    if b.const_value(bit) != Some(false) {
+        columns[i].push(bit);
+    }
+}
+
+fn extend(b: &mut NetlistBuilder, t: &Term, width: usize) -> Bus {
+    if t.signed {
+        sign_extend(&t.bus, width)
+    } else {
+        zero_extend(b, &t.bus, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_netlist::eval;
+
+    /// Builds a circuit summing the given signed input widths with the
+    /// given negation flags and checks it against integer arithmetic on
+    /// random samples.
+    fn check_sum(widths: &[usize], negate: &[bool], signed: &[bool], constant: i64) {
+        let mut b = NetlistBuilder::new("sum");
+        let mut terms = Vec::new();
+        let mut min = constant;
+        let mut max = constant;
+        for (k, (&w, (&n, &s))) in widths.iter().zip(negate.iter().zip(signed)).enumerate() {
+            let bus = b.input_port(format!("x{k}"), w);
+            terms.push(Term { bus, signed: s, negate: n });
+            let (lo, hi) = if s {
+                (-(1i64 << (w - 1)), (1i64 << (w - 1)) - 1)
+            } else {
+                (0, (1i64 << w) - 1)
+            };
+            let (lo, hi) = if n { (-hi, -lo) } else { (lo, hi) };
+            min += lo;
+            max += hi;
+        }
+        let width = crate::bits::signed_width_for(min, max);
+        let out = sum_terms(&mut b, &terms, constant, width);
+        b.output_port("s", out);
+        let nl = b.finish();
+        pax_netlist::validate::assert_valid(&nl);
+
+        // Pseudo-random but deterministic sampling.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..200 {
+            let mut expect = constant;
+            let mut inputs: Vec<(String, u64)> = Vec::new();
+            for (k, (&w, (&n, &s))) in
+                widths.iter().zip(negate.iter().zip(signed)).enumerate()
+            {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let raw = state >> (64 - w);
+                inputs.push((format!("x{k}"), raw));
+                let val = if s { eval::to_signed(raw, w) } else { raw as i64 };
+                expect += if n { -val } else { val };
+            }
+            let input_refs: Vec<(&str, u64)> =
+                inputs.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            let got = eval::eval_ports(&nl, &input_refs)["s"];
+            assert_eq!(
+                eval::to_signed(got, width),
+                expect,
+                "widths={widths:?} negate={negate:?} signed={signed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_unsigned_terms() {
+        check_sum(&[4, 4], &[false, false], &[false, false], 0);
+    }
+
+    #[test]
+    fn subtraction() {
+        check_sum(&[4, 4], &[false, true], &[false, false], 0);
+    }
+
+    #[test]
+    fn signed_mix_with_constant() {
+        check_sum(&[5, 3, 4], &[false, true, false], &[true, true, false], -13);
+    }
+
+    #[test]
+    fn many_terms() {
+        check_sum(
+            &[4, 4, 4, 4, 4, 4, 4, 4, 4],
+            &[false, true, false, false, true, false, true, false, false],
+            &[false; 9],
+            100,
+        );
+    }
+
+    #[test]
+    fn wide_and_narrow_terms() {
+        check_sum(&[12, 3, 8, 1], &[false, false, true, true], &[true, false, true, false], 7);
+    }
+
+    #[test]
+    fn single_positive_term_is_wiring() {
+        let mut b = NetlistBuilder::new("wire");
+        let x = b.input_port("x", 4);
+        let before = b.len();
+        let out = sum_terms(&mut b, &[Term::unsigned(x)], 0, 6);
+        // Only the const0 for zero-extension may appear.
+        assert!(b.len() <= before + 1, "wiring path must not add gates");
+        b.output_port("s", out);
+        let nl = b.finish();
+        for v in 0..16u64 {
+            assert_eq!(eval::eval_ports(&nl, &[("x", v)])["s"], v);
+        }
+    }
+
+    #[test]
+    fn constant_only_sum() {
+        let mut b = NetlistBuilder::new("k");
+        let out = sum_terms(&mut b, &[], -5, 6);
+        b.output_port("s", out);
+        let nl = b.finish();
+        let got = eval::eval_ports(&nl, &[])["s"];
+        assert_eq!(eval::to_signed(got, 6), -5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported sum width")]
+    fn zero_width_panics() {
+        let mut b = NetlistBuilder::new("bad");
+        let _ = sum_terms(&mut b, &[], 0, 0);
+    }
+}

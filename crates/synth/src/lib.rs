@@ -1,0 +1,76 @@
+//! # pax-synth — arithmetic generators and netlist optimization
+//!
+//! This crate plays the role Synopsys Design Compiler plays in the paper:
+//! it turns fixed-point arithmetic into technology-mapped gate netlists
+//! and re-optimizes netlists after approximation.
+//!
+//! ## Generators
+//!
+//! * [`adder`] — half/full adders and ripple-carry addition;
+//! * [`csa`] — signed multi-operand summation through a carry-save
+//!   (3:2 compressor) reduction tree with a single final ripple adder.
+//!   This is the workhorse of every weighted sum;
+//! * [`csd`] — canonical signed-digit (non-adjacent form) recoding of
+//!   constants;
+//! * [`constmul`] — **bespoke constant-coefficient multipliers**: the
+//!   coefficient is hardwired, so the multiplier degenerates to a few
+//!   shifted add/subtract terms — zero gates when the coefficient is a
+//!   power of two (paper Fig. 1);
+//! * [`conventional`] — conventional two-operand multipliers, used only
+//!   as the reference point for Fig. 1;
+//! * [`cmp`], [`relu`], [`argmax`] — comparison chains, rectified linear
+//!   units and tournament argmax networks for classifier outputs;
+//! * [`bits`] — width bookkeeping (sign/zero extension, shifts, exact
+//!   signed range→width computation).
+//!
+//! ## Optimizer
+//!
+//! [`opt`] re-synthesizes a netlist through the hash-consing/folding
+//! builder: constant propagation, dead-gate sweeping, structural
+//! deduplication and an inverter-absorption peephole. The paper's netlist
+//! pruning relies on exactly this step ("the pruned netlist is
+//! synthesized to exploit all optimizations of the synthesis tool, e.g.,
+//! constant propagation") — see [`opt::apply_constants`].
+//!
+//! ## Area
+//!
+//! [`area`] resolves gates to `egt-pdk` cells and reports printed area.
+//!
+//! # Examples
+//!
+//! A bespoke multiplier by 12 (= 0b1100) costs two shifted terms:
+//!
+//! ```
+//! use pax_netlist::{eval, NetlistBuilder};
+//! use pax_synth::{area, bits, constmul};
+//!
+//! let mut b = NetlistBuilder::new("bm12");
+//! let x = b.input_port("x", 4);
+//! let w = bits::product_width(4, 12);
+//! let p = constmul::bespoke_mul(&mut b, &x, 12, w);
+//! b.output_port("p", p);
+//! let nl = b.finish();
+//! for xv in 0..16u64 {
+//!     let out = eval::eval_ports(&nl, &[("x", xv)]);
+//!     assert_eq!(out["p"], 12 * xv);
+//! }
+//! let lib = egt_pdk::egt_library();
+//! assert!(area::area_mm2(&nl, &lib)? > 0.0);
+//! # Ok::<(), egt_pdk::PdkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod area;
+pub mod argmax;
+pub mod bits;
+pub mod cmp;
+pub mod constmul;
+pub mod conventional;
+pub mod csa;
+pub mod csd;
+pub mod opt;
+pub mod relu;
+pub mod wsum;

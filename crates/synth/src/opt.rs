@@ -1,0 +1,336 @@
+//! Netlist re-synthesis: constant propagation, dead-gate sweeping,
+//! structural deduplication and inverter absorption.
+//!
+//! All passes share one engine: the netlist is replayed node-by-node
+//! through a fresh [`NetlistBuilder`], whose folding rules perform
+//! constant propagation and whose hash-consing deduplicates structure.
+//! [`apply_constants`] additionally substitutes chosen nets with
+//! constants first — this is the paper's netlist pruning step 4 ("replace
+//! their output with the constant value") — and the final sweep removes
+//! every gate whose output can no longer reach an output port, which is
+//! where pruning's area gain actually materializes ("the pruned netlist
+//! is synthesized to exploit all optimizations of the synthesis tool,
+//! e.g., constant propagation").
+
+use std::collections::BTreeMap;
+
+use pax_netlist::{Bus, GateKind, NetId, Netlist, NetlistBuilder, Node};
+
+/// Re-synthesizes `nl`: refolds, deduplicates and sweeps dead logic.
+///
+/// # Examples
+///
+/// ```
+/// use pax_netlist::NetlistBuilder;
+/// use pax_synth::opt;
+///
+/// let mut b = NetlistBuilder::new("t");
+/// let x = b.input_port("x", 2);
+/// let dead = b.xor2(x[0], x[1]); // never reaches an output
+/// let live = b.and2(x[0], x[1]);
+/// b.output_port("y", vec![live].into());
+/// let nl = b.finish();
+/// let opt = opt::optimize(&nl);
+/// assert!(opt.gate_count() < nl.gate_count());
+/// ```
+pub fn optimize(nl: &Netlist) -> Netlist {
+    let replayed = replay(nl, &BTreeMap::new());
+    sweep(&replayed)
+}
+
+/// Replaces each net in `subst` with the given constant, then
+/// re-synthesizes (constant propagation + dead-cone sweep).
+///
+/// Substituting a net that is an output-port bit replaces that output
+/// directly; substituting an internal gate output frees its entire
+/// transitive fanin cone (unless shared).
+pub fn apply_constants(nl: &Netlist, subst: &BTreeMap<NetId, bool>) -> Netlist {
+    let replayed = replay(nl, subst);
+    sweep(&replayed)
+}
+
+/// Absorbs inverters into their single-fanout driver gate
+/// (`INV(AND2) → NAND2`, `INV(NAND3) → AND3`, `INV(XOR2) → XNOR2`, …),
+/// then re-synthesizes. A fanout-aware peephole: shared driver gates are
+/// left untouched because the complement would duplicate them.
+pub fn fold_inverters(nl: &Netlist) -> Netlist {
+    let fanout = pax_netlist::traverse::Fanout::build(nl);
+    // Output-port bits count as extra consumers: absorbing their driver
+    // would change an observable net.
+    let mut port_uses = vec![0usize; nl.len()];
+    for p in nl.output_ports() {
+        for &b in &p.bits {
+            port_uses[b.index()] += 1;
+        }
+    }
+
+    let mut b = NetlistBuilder::new(nl.name().to_owned());
+    let mut map: Vec<Option<NetId>> = vec![None; nl.len()];
+    rebuild_inputs(nl, &mut b, &mut map);
+    for (id, node) in nl.iter() {
+        let Node::Gate(g) = node else { continue };
+        let ins: Vec<NetId> = g.inputs().iter().map(|i| map[i.index()].expect("topo")).collect();
+        let new = if g.kind == GateKind::Not {
+            let inner = g.inputs()[0];
+            let absorbable = fanout.degree(inner) == 1
+                && port_uses[inner.index()] == 0
+                && nl.gate(inner).is_some_and(|ig| complement_of(ig.kind).is_some());
+            if absorbable {
+                let ig = nl.gate(inner).expect("checked above");
+                let comp = complement_of(ig.kind).expect("checked above");
+                let comp_ins: Vec<NetId> =
+                    ig.inputs().iter().map(|i| map[i.index()].expect("topo")).collect();
+                emit(&mut b, comp, &comp_ins)
+            } else {
+                b.not(ins[0])
+            }
+        } else {
+            emit(&mut b, g.kind, &ins)
+        };
+        map[id.index()] = Some(new);
+    }
+    finish_outputs(nl, b, &map)
+}
+
+/// Removes every gate not on a path to an output port.
+pub fn sweep(nl: &Netlist) -> Netlist {
+    let live = pax_netlist::traverse::live_from_outputs(nl);
+    let mut b = NetlistBuilder::new(nl.name().to_owned());
+    let mut map: Vec<Option<NetId>> = vec![None; nl.len()];
+    rebuild_inputs(nl, &mut b, &mut map);
+    for (id, node) in nl.iter() {
+        let Node::Gate(g) = node else { continue };
+        if !live[id.index()] {
+            continue;
+        }
+        let ins: Vec<NetId> = g.inputs().iter().map(|i| map[i.index()].expect("live cone")).collect();
+        map[id.index()] = Some(emit(&mut b, g.kind, &ins));
+    }
+    finish_outputs(nl, b, &map)
+}
+
+/// Replays every node through a fresh builder, substituting constants.
+fn replay(nl: &Netlist, subst: &BTreeMap<NetId, bool>) -> Netlist {
+    let mut b = NetlistBuilder::new(nl.name().to_owned());
+    let mut map: Vec<Option<NetId>> = vec![None; nl.len()];
+    rebuild_inputs(nl, &mut b, &mut map);
+    for (id, node) in nl.iter() {
+        if let Some(&v) = subst.get(&id) {
+            map[id.index()] = Some(b.constant(v));
+            continue;
+        }
+        let Node::Gate(g) = node else { continue };
+        let ins: Vec<NetId> = g.inputs().iter().map(|i| map[i.index()].expect("topo")).collect();
+        map[id.index()] = Some(emit(&mut b, g.kind, &ins));
+    }
+    // Input nodes can also be substituted (pruning a primary input bit).
+    finish_outputs(nl, b, &map)
+}
+
+fn rebuild_inputs(nl: &Netlist, b: &mut NetlistBuilder, map: &mut [Option<NetId>]) {
+    for p in nl.input_ports() {
+        let bus = b.input_port(p.name.clone(), p.width());
+        for (i, old) in p.bits.iter().enumerate() {
+            map[old.index()] = Some(bus[i]);
+        }
+    }
+}
+
+fn finish_outputs(nl: &Netlist, mut b: NetlistBuilder, map: &[Option<NetId>]) -> Netlist {
+    for p in nl.output_ports() {
+        let bus: Bus = p
+            .bits
+            .iter()
+            .map(|n| map[n.index()].expect("output net must be mapped"))
+            .collect();
+        b.output_port(p.name.clone(), bus);
+    }
+    b.finish()
+}
+
+fn emit(b: &mut NetlistBuilder, kind: GateKind, ins: &[NetId]) -> NetId {
+    use GateKind::*;
+    match kind {
+        Const0 => b.const0(),
+        Const1 => b.const1(),
+        Buf => ins[0], // buffers are transparent after re-synthesis
+        Not => b.not(ins[0]),
+        And2 => b.and2(ins[0], ins[1]),
+        Nand2 => b.nand2(ins[0], ins[1]),
+        Or2 => b.or2(ins[0], ins[1]),
+        Nor2 => b.nor2(ins[0], ins[1]),
+        Xor2 => b.xor2(ins[0], ins[1]),
+        Xnor2 => b.xnor2(ins[0], ins[1]),
+        And3 => b.and3(ins[0], ins[1], ins[2]),
+        Or3 => b.or3(ins[0], ins[1], ins[2]),
+        Nand3 => b.nand3(ins[0], ins[1], ins[2]),
+        Nor3 => b.nor3(ins[0], ins[1], ins[2]),
+        Mux2 => b.mux(ins[0], ins[1], ins[2]),
+    }
+}
+
+fn complement_of(kind: GateKind) -> Option<GateKind> {
+    use GateKind::*;
+    Some(match kind {
+        And2 => Nand2,
+        Nand2 => And2,
+        Or2 => Nor2,
+        Nor2 => Or2,
+        Xor2 => Xnor2,
+        Xnor2 => Xor2,
+        And3 => Nand3,
+        Nand3 => And3,
+        Or3 => Nor3,
+        Nor3 => Or3,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_netlist::{eval, validate};
+
+    /// Checks that a pass preserves the function of a test circuit on all
+    /// 2^n input patterns.
+    fn assert_equivalent(a: &Netlist, b: &Netlist) {
+        let widths: Vec<(String, usize)> =
+            a.input_ports().iter().map(|p| (p.name.clone(), p.width())).collect();
+        let total: usize = widths.iter().map(|(_, w)| w).sum();
+        assert!(total <= 16, "exhaustive check limited to 16 input bits");
+        for pattern in 0u64..(1 << total) {
+            let mut cursor = 0;
+            let inputs: Vec<(String, u64)> = widths
+                .iter()
+                .map(|(n, w)| {
+                    let v = pattern >> cursor & ((1 << w) - 1);
+                    cursor += w;
+                    (n.clone(), v)
+                })
+                .collect();
+            let refs: Vec<(&str, u64)> = inputs.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            assert_eq!(
+                eval::eval_ports(a, &refs),
+                eval::eval_ports(b, &refs),
+                "pattern {pattern:b}"
+            );
+        }
+    }
+
+    fn sample_circuit() -> Netlist {
+        let mut b = NetlistBuilder::new("s");
+        let x = b.input_port("x", 4);
+        let y = b.input_port("y", 2);
+        let y_ext = crate::bits::zero_extend(&mut b, &y, 4);
+        let (s, c) = crate::adder::ripple_add(&mut b, &x, &y_ext, None);
+        let g = crate::cmp::gt_unsigned(&mut b, &s, &x);
+        let mut out = s;
+        out.push_msb(c);
+        b.output_port("sum", out);
+        b.output_port("gt", vec![g].into());
+        b.finish()
+    }
+
+    #[test]
+    fn optimize_preserves_function() {
+        let nl = sample_circuit();
+        let opt = optimize(&nl);
+        validate::assert_valid(&opt);
+        assert_equivalent(&nl, &opt);
+        assert!(opt.gate_count() <= nl.gate_count());
+    }
+
+    #[test]
+    fn sweep_removes_dead_cone() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 4);
+        // Dead cone: a 3-gate chain.
+        let d1 = b.and2(x[0], x[1]);
+        let d2 = b.or2(d1, x[2]);
+        let _d3 = b.xor2(d2, x[3]);
+        let live = b.nand2(x[0], x[3]);
+        b.output_port("y", vec![live].into());
+        let nl = b.finish();
+        let swept = sweep(&nl);
+        assert_eq!(swept.gate_count(), 1);
+        assert_equivalent(&nl, &swept);
+    }
+
+    #[test]
+    fn apply_constants_propagates() {
+        // y = (x0 & x1) ^ x2; forcing the AND to 1 leaves y = !x2 (one
+        // inverter), and the AND's cone disappears.
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 3);
+        let a = b.and2(x[0], x[1]);
+        let y = b.xor2(a, x[2]);
+        b.output_port("y", vec![y].into());
+        let nl = b.finish();
+
+        let mut subst = BTreeMap::new();
+        subst.insert(a, true);
+        let pruned = apply_constants(&nl, &subst);
+        validate::assert_valid(&pruned);
+        assert_eq!(pruned.gate_count(), 1);
+        for p in 0u64..8 {
+            let out = eval::eval_ports(&pruned, &[("x", p)])["y"];
+            assert_eq!(out, (p >> 2 & 1) ^ 1, "pattern {p:03b}");
+        }
+    }
+
+    #[test]
+    fn apply_constants_on_output_bit() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 2);
+        let g = b.xor2(x[0], x[1]);
+        b.output_port("y", vec![g].into());
+        let nl = b.finish();
+        let mut subst = BTreeMap::new();
+        subst.insert(g, false);
+        let pruned = apply_constants(&nl, &subst);
+        assert_eq!(pruned.gate_count(), 0);
+        assert_eq!(eval::eval_ports(&pruned, &[("x", 3)])["y"], 0);
+    }
+
+    #[test]
+    fn fold_inverters_absorbs_single_fanout() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 2);
+        let g = b.and2(x[0], x[1]);
+        let n = b.not(g); // AND2 + INV, AND2 has fanout 1
+        b.output_port("y", vec![n].into());
+        let nl = b.finish();
+        let folded = fold_inverters(&nl);
+        assert_equivalent(&nl, &folded);
+        let swept = sweep(&folded);
+        assert_eq!(swept.gate_count(), 1, "should be a single NAND2");
+        let stats = pax_netlist::stats::Stats::of(&swept);
+        assert_eq!(stats.count(GateKind::Nand2), 1);
+    }
+
+    #[test]
+    fn fold_inverters_keeps_shared_driver() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 2);
+        let g = b.and2(x[0], x[1]);
+        let n = b.not(g);
+        b.output_port("a", vec![g].into()); // g is also observable
+        b.output_port("y", vec![n].into());
+        let nl = b.finish();
+        let folded = sweep(&fold_inverters(&nl));
+        assert_equivalent(&nl, &folded);
+        // AND2 must survive; INV stays because g is shared.
+        let stats = pax_netlist::stats::Stats::of(&folded);
+        assert_eq!(stats.count(GateKind::And2), 1);
+        assert_eq!(stats.count(GateKind::Not), 1);
+    }
+
+    #[test]
+    fn optimize_is_idempotent_on_area() {
+        let nl = sample_circuit();
+        let once = optimize(&nl);
+        let twice = optimize(&once);
+        assert_eq!(once.gate_count(), twice.gate_count());
+        assert_equivalent(&once, &twice);
+    }
+}

@@ -1,0 +1,66 @@
+//! Rectified linear unit for two's-complement buses.
+//!
+//! Bespoke MLPs use ReLU between layers; in hardware it is one inverter
+//! on the sign bit plus an AND per magnitude bit — negative sums clamp to
+//! zero, non-negative sums pass through with the (now zero) sign bit
+//! dropped.
+
+use pax_netlist::{Bus, NetlistBuilder};
+
+/// Applies ReLU to a signed bus, returning an **unsigned** bus one bit
+/// narrower (the sign bit is consumed).
+///
+/// # Panics
+///
+/// Panics if the input is narrower than 2 bits.
+///
+/// # Examples
+///
+/// ```
+/// use pax_netlist::{eval, NetlistBuilder};
+/// use pax_synth::relu::relu;
+///
+/// let mut b = NetlistBuilder::new("r");
+/// let x = b.input_port("x", 5);
+/// let y = relu(&mut b, &x);
+/// b.output_port("y", y);
+/// let nl = b.finish();
+/// let neg = eval::eval_ports(&nl, &[("x", 0b11011)]); // -5
+/// assert_eq!(neg["y"], 0);
+/// let pos = eval::eval_ports(&nl, &[("x", 0b01011)]); // 11
+/// assert_eq!(pos["y"], 11);
+/// ```
+pub fn relu(b: &mut NetlistBuilder, x: &Bus) -> Bus {
+    assert!(x.width() >= 2, "relu needs a sign bit and at least one magnitude bit");
+    let keep = b.not(x.msb());
+    (0..x.width() - 1).map(|i| b.and2(keep, x[i])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_netlist::eval;
+
+    #[test]
+    fn exhaustive_6bit() {
+        let mut b = NetlistBuilder::new("r");
+        let x = b.input_port("x", 6);
+        let y = relu(&mut b, &x);
+        assert_eq!(y.width(), 5);
+        b.output_port("y", y);
+        let nl = b.finish();
+        for v in 0..64u64 {
+            let signed = eval::to_signed(v, 6);
+            let got = eval::eval_ports(&nl, &[("x", v)])["y"];
+            assert_eq!(got as i64, signed.max(0), "v={signed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sign bit")]
+    fn one_bit_input_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let x = b.input_port("x", 1);
+        let _ = relu(&mut b, &x);
+    }
+}

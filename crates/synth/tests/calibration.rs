@@ -1,0 +1,40 @@
+//! EGT library calibration against the paper's published anchors.
+//!
+//! Fig. 1's caption fixes two absolute reference points in the EGT
+//! technology: a conventional 4×8 multiplier of 83.61 mm² and an 8×8
+//! multiplier of 207.43 mm². The built-in library is calibrated so our
+//! generator + optimizer reproduce those magnitudes; this test pins the
+//! calibration within 10% so silent library or generator drift is caught.
+
+use pax_netlist::NetlistBuilder;
+use pax_synth::{area, conventional, opt};
+
+fn conv_area(xw: usize, ww: usize) -> f64 {
+    let lib = egt_pdk::egt_library();
+    let mut b = NetlistBuilder::new("conv");
+    let x = b.input_port("x", xw);
+    let w = b.input_port("w", ww);
+    let p = conventional::mul_unsigned_signed(&mut b, &x, &w);
+    b.output_port("p", p);
+    let nl = opt::optimize(&b.finish());
+    area::area_mm2(&nl, &lib).unwrap()
+}
+
+#[test]
+fn conventional_multipliers_match_paper_anchors() {
+    let a48 = conv_area(4, 8);
+    let a88 = conv_area(8, 8);
+    println!("4x8: {a48:.2} mm2 (paper 83.61)");
+    println!("8x8: {a88:.2} mm2 (paper 207.43)");
+    assert!((a48 - 83.61).abs() / 83.61 < 0.10, "4x8 drifted: {a48:.2} mm2");
+    assert!((a88 - 207.43).abs() / 207.43 < 0.10, "8x8 drifted: {a88:.2} mm2");
+}
+
+#[test]
+fn multiplier_area_grows_with_operand_width() {
+    let a46 = conv_area(4, 6);
+    let a48 = conv_area(4, 8);
+    let a88 = conv_area(8, 8);
+    let a128 = conv_area(12, 8);
+    assert!(a46 < a48 && a48 < a88 && a88 < a128);
+}

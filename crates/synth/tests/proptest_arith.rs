@@ -1,0 +1,99 @@
+//! Property tests for the arithmetic generators and the optimizer.
+
+use pax_netlist::{eval, validate, NetlistBuilder};
+use pax_synth::csa::{sum_terms, Term};
+use pax_synth::{bits, constmul, opt};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Bespoke multipliers compute x·w exactly for arbitrary widths and
+    /// coefficients, before and after optimization.
+    #[test]
+    fn bespoke_mul_matches_integer(
+        x_width in 1usize..9,
+        w in -300i64..300,
+        xv in 0u64..512,
+    ) {
+        let xv = xv & ((1 << x_width) - 1);
+        let mut b = NetlistBuilder::new("bm");
+        let x = b.input_port("x", x_width);
+        let width = bits::product_width(x_width, w);
+        let p = constmul::bespoke_mul(&mut b, &x, w, width);
+        b.output_port("p", p);
+        let nl = b.finish();
+        validate::assert_valid(&nl);
+        let got = eval::eval_ports(&nl, &[("x", xv)])["p"];
+        prop_assert_eq!(eval::to_signed(got, width), w * xv as i64);
+
+        let o = opt::optimize(&nl);
+        let got2 = eval::eval_ports(&o, &[("x", xv)])["p"];
+        prop_assert_eq!(got2, got);
+        prop_assert!(o.gate_count() <= nl.gate_count());
+    }
+
+    /// Multi-operand signed summation is exact for arbitrary term mixes.
+    #[test]
+    fn sum_terms_matches_integer(
+        shapes in proptest::collection::vec((1usize..8, any::<bool>(), any::<bool>()), 1..7),
+        constant in -100i64..100,
+        seed in any::<u64>(),
+    ) {
+        let mut b = NetlistBuilder::new("sum");
+        let mut terms = Vec::new();
+        let (mut min, mut max) = (constant, constant);
+        for (k, &(w, signed, negate)) in shapes.iter().enumerate() {
+            let bus = b.input_port(format!("x{k}"), w);
+            terms.push(Term { bus, signed, negate });
+            let (lo, hi) = if signed {
+                (-(1i64 << (w - 1)), (1i64 << (w - 1)) - 1)
+            } else {
+                (0, (1i64 << w) - 1)
+            };
+            let (lo, hi) = if negate { (-hi, -lo) } else { (lo, hi) };
+            min += lo;
+            max += hi;
+        }
+        let width = bits::signed_width_for(min, max);
+        let out = sum_terms(&mut b, &terms, constant, width);
+        b.output_port("s", out);
+        let nl = b.finish();
+        validate::assert_valid(&nl);
+
+        let mut state = seed | 1;
+        let mut expect = constant;
+        let mut inputs = Vec::new();
+        for (k, &(w, signed, negate)) in shapes.iter().enumerate() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let raw = state >> (64 - w);
+            inputs.push((format!("x{k}"), raw));
+            let v = if signed { eval::to_signed(raw, w) } else { raw as i64 };
+            expect += if negate { -v } else { v };
+        }
+        let refs: Vec<(&str, u64)> = inputs.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let got = eval::eval_ports(&nl, &refs)["s"];
+        prop_assert_eq!(eval::to_signed(got, width), expect);
+    }
+
+    /// `fold_inverters` never changes circuit function.
+    #[test]
+    fn fold_inverters_equivalent(seed in any::<u64>()) {
+        // Small weighted-sum circuit: representative INV/NAND mix.
+        let mut b = NetlistBuilder::new("fi");
+        let x = b.input_port("x", 4);
+        let w = ((seed % 255) as i64) - 127;
+        let width = bits::product_width(4, w.max(1).max(w.abs()));
+        let p = constmul::bespoke_mul(&mut b, &x, w, width);
+        b.output_port("p", p);
+        let nl = b.finish();
+        let folded = opt::fold_inverters(&nl);
+        validate::assert_valid(&folded);
+        for xv in 0..16u64 {
+            prop_assert_eq!(
+                eval::eval_ports(&nl, &[("x", xv)]),
+                eval::eval_ports(&folded, &[("x", xv)])
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Hardware/golden-model equivalence: the generated netlists must match
+//! the integer golden model bit-exactly, across model families and
+//! through every exact transformation (optimize, fold_inverters,
+//! Verilog-roundtrip-level rebuilds).
+
+use pax_bespoke::{evaluate, BespokeCircuit};
+use pax_ml::model::{LinearClassifier, Mlp, MlpTask};
+use pax_ml::quant::{QuantSpec, QuantizedModel};
+use pax_ml::synth_data::blobs;
+use pax_ml::Dataset;
+use pax_synth::opt;
+
+fn mlp_model(task: MlpTask, outs: usize, inputs: usize) -> QuantizedModel {
+    let w1: Vec<Vec<f64>> = (0..4)
+        .map(|h| (0..inputs).map(|i| ((h * inputs + i) as f64 * 0.137).sin() * 0.8).collect())
+        .collect();
+    let w2: Vec<Vec<f64>> = (0..outs)
+        .map(|o| (0..4).map(|h| ((o * 4 + h) as f64 * 0.211).cos() * 0.7).collect())
+        .collect();
+    let mlp = Mlp::new(w1, vec![0.05, -0.1, 0.2, 0.0], w2, vec![0.01; outs], task);
+    QuantizedModel::from_mlp("eq", &mlp, outs.max(3), QuantSpec::default())
+}
+
+fn random_inputs(n: usize, arity: usize, max: i64) -> Vec<Vec<i64>> {
+    let mut state = 0xFEEDu64;
+    (0..n)
+        .map(|_| {
+            (0..arity)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 33) as i64 % (max + 1)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn all_families_agree_with_golden_model() {
+    let models = vec![
+        mlp_model(MlpTask::Classification, 3, 5),
+        mlp_model(MlpTask::Regression, 1, 5),
+        QuantizedModel::from_linear_classifier(
+            "svc",
+            &LinearClassifier::new(
+                vec![vec![0.4, -0.6, 0.2, 0.9], vec![-0.3, 0.5, 0.7, -0.2], vec![0.1; 4]],
+                vec![0.0, 0.05, -0.1],
+            ),
+            QuantSpec::default(),
+        ),
+        QuantizedModel::from_svr(
+            "svr",
+            &pax_ml::model::LinearRegressor::new(vec![0.6, -0.4, 0.3, 0.8], 0.7),
+            4,
+            QuantSpec::default(),
+        ),
+    ];
+    for model in models {
+        let circuit = BespokeCircuit::generate(&model);
+        pax_netlist::validate::assert_valid(&circuit.netlist);
+        for x in random_inputs(200, model.n_inputs(), model.spec.input_max()) {
+            assert_eq!(
+                circuit.predict_one(&x),
+                model.predict_q(&x),
+                "{} diverges on {x:?}",
+                model.kind
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_passes_preserve_predictions() {
+    let model = mlp_model(MlpTask::Classification, 3, 4);
+    let circuit = BespokeCircuit::generate(&model);
+    let optimized = opt::optimize(&circuit.netlist);
+    let folded = opt::sweep(&opt::fold_inverters(&optimized));
+    for x in random_inputs(300, 4, 15) {
+        let base = circuit.predict_one(&x);
+        let a = circuit.with_netlist(optimized.clone()).predict_one(&x);
+        let b = circuit.with_netlist(folded.clone()).predict_one(&x);
+        assert_eq!(base, a, "optimize changed function at {x:?}");
+        assert_eq!(base, b, "fold_inverters changed function at {x:?}");
+    }
+    assert!(folded.gate_count() <= optimized.gate_count());
+}
+
+#[test]
+fn batched_simulation_matches_scalar_path() {
+    let data = blobs("eqd", 300, 4, 3, 0.1, 3);
+    let (train, test) = data.split(0.7, 1);
+    let (train, test) = pax_ml::normalize(&train, &test);
+    let m = pax_ml::train::svm::train_svm_classifier(
+        &train,
+        &pax_ml::train::svm::SvmParams { epochs: 50, ..Default::default() },
+        3,
+    );
+    let model = QuantizedModel::from_linear_classifier("eqd", &m, QuantSpec::default());
+    let circuit = BespokeCircuit::generate(&model);
+    let outcome = evaluate(&circuit.netlist, &model, &test);
+    for (row, &pred) in test.features.iter().zip(&outcome.predictions) {
+        let x = model.quantize_input(row);
+        assert_eq!(pred, circuit.predict_one(&x));
+    }
+}
+
+#[test]
+fn golden_accuracy_equals_circuit_accuracy() {
+    let data = blobs("eqa", 240, 3, 3, 0.1, 17);
+    let (train, test) = data.split(0.7, 2);
+    let (train, test) = pax_ml::normalize(&train, &test);
+    let m = pax_ml::train::svm::train_svm_classifier(
+        &train,
+        &pax_ml::train::svm::SvmParams { epochs: 40, ..Default::default() },
+        1,
+    );
+    let model = QuantizedModel::from_linear_classifier("eqa", &m, QuantSpec::default());
+    let circuit = BespokeCircuit::generate(&model);
+    let hw = evaluate(&circuit.netlist, &model, &test).accuracy;
+    let golden = model.accuracy_on(&test);
+    assert!((hw - golden).abs() < 1e-12);
+    let _: &Dataset = &test;
+}
