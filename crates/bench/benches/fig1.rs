@@ -21,9 +21,7 @@ fn bench(c: &mut Criterion) {
             std::hint::black_box(fresh.len())
         })
     });
-    c.bench_function("fig1/cached_lookup", |b| {
-        b.iter(|| std::hint::black_box(cache.area(4, -77)))
-    });
+    c.bench_function("fig1/cached_lookup", |b| b.iter(|| std::hint::black_box(cache.area(4, -77))));
 }
 
 criterion_group! {

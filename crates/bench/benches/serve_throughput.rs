@@ -1,0 +1,194 @@
+//! Serving throughput: samples/sec through both `pax-serve` backends at
+//! batch sizes {1, 8, 64, 256}, against the per-sample `eval_ports`
+//! scalar baseline on the *same* netlist — the number the batcher
+//! exists to beat. The acceptance bar is batched `NetlistBackend`
+//! ≥ 10× the scalar loop; the summary table prints the measured ratio.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pax_bespoke::BespokeCircuit;
+use pax_ml::model::LinearClassifier;
+use pax_ml::quant::{QuantSpec, QuantizedModel};
+use pax_netlist::{eval, Netlist};
+use pax_serve::{Backend, EngineConfig, NetlistBackend, QuantBackend, ServeEngine};
+use pax_synth::opt;
+
+const BATCH_SIZES: [usize; 4] = [1, 8, 64, 256];
+/// Samples per timed iteration — identical across variants so per-iter
+/// times compare directly.
+const SAMPLES_PER_ITER: usize = 256;
+
+/// A cardio-like workload: 5 features, 3 classes, deterministic
+/// weights (no training inside a benchmark).
+fn workload() -> (QuantizedModel, Netlist, Vec<Vec<i64>>) {
+    let weights: Vec<Vec<f64>> = (0..3)
+        .map(|k| (0..5).map(|i| (((k * 5 + i) as f64) * 0.739).sin() * 0.9).collect())
+        .collect();
+    let svc = LinearClassifier::new(weights, vec![0.02, -0.05, 0.1]);
+    let model = QuantizedModel::from_linear_classifier("serve-bench", &svc, QuantSpec::default());
+    let netlist = opt::optimize(&BespokeCircuit::generate(&model).netlist);
+    let max = model.spec.input_max();
+    let mut state = 0x5EEDu64;
+    let rows: Vec<Vec<i64>> = (0..SAMPLES_PER_ITER)
+        .map(|_| {
+            (0..5)
+                .map(|_| {
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((state >> 33) as i64) % (max + 1)
+                })
+                .collect()
+        })
+        .collect();
+    (model, netlist, rows)
+}
+
+/// The pre-batching baseline: one scalar `eval_ports` walk per sample.
+fn eval_ports_loop(netlist: &Netlist, rows: &[Vec<i64>]) -> usize {
+    let port_names: Vec<String> = (0..rows[0].len()).map(|i| format!("x{i}")).collect();
+    let mut agree = 0usize;
+    for row in rows {
+        let inputs: Vec<(&str, u64)> =
+            port_names.iter().map(String::as_str).zip(row.iter().map(|&v| v as u64)).collect();
+        let outs = eval::eval_ports(netlist, &inputs);
+        agree += outs["class"] as usize;
+    }
+    agree
+}
+
+/// Mean seconds per execution of `f` over `reps` runs (after one
+/// warm-up), for the printed samples/sec table.
+fn time_it(mut f: impl FnMut(), reps: usize) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn bench(c: &mut Criterion) {
+    let (model, netlist, rows) = workload();
+    let nb = NetlistBackend::new(netlist.clone(), model.clone());
+    let qb = QuantBackend::new(model.clone());
+
+    // --- Headline comparison table -----------------------------------
+    let reps = 20;
+    let scalar_s = time_it(
+        || {
+            black_box(eval_ports_loop(&netlist, &rows));
+        },
+        reps,
+    );
+    let scalar_rate = SAMPLES_PER_ITER as f64 / scalar_s;
+    println!("# serve_throughput — {SAMPLES_PER_ITER} samples/iteration, {reps} reps");
+    println!("# {:<28} {:>14} {:>12}", "variant", "samples/sec", "vs scalar");
+    println!("# {:<28} {:>14.0} {:>11.1}x", "eval_ports per-sample", scalar_rate, 1.0);
+    for &batch in &BATCH_SIZES {
+        let chunks: Vec<&[Vec<i64>]> = rows.chunks(batch).collect();
+        let nb_s = time_it(
+            || {
+                for chunk in &chunks {
+                    black_box(nb.classify(chunk));
+                }
+            },
+            reps,
+        );
+        let qb_s = time_it(
+            || {
+                for chunk in &chunks {
+                    black_box(qb.classify(chunk));
+                }
+            },
+            reps,
+        );
+        let nb_rate = SAMPLES_PER_ITER as f64 / nb_s;
+        let qb_rate = SAMPLES_PER_ITER as f64 / qb_s;
+        println!(
+            "# {:<28} {:>14.0} {:>11.1}x",
+            format!("netlist batch={batch}"),
+            nb_rate,
+            nb_rate / scalar_rate
+        );
+        println!(
+            "# {:<28} {:>14.0} {:>11.1}x",
+            format!("quant   batch={batch}"),
+            qb_rate,
+            qb_rate / scalar_rate
+        );
+    }
+    let full_batch_s = time_it(
+        || {
+            for chunk in rows.chunks(64) {
+                black_box(nb.classify(chunk));
+            }
+        },
+        reps,
+    );
+    let ratio = scalar_s / full_batch_s;
+    println!("# batched netlist (64) vs per-sample eval_ports: {ratio:.1}x (acceptance bar: 10x)");
+
+    // --- Criterion-tracked benchmarks --------------------------------
+    for &batch in &BATCH_SIZES {
+        let chunks: Vec<Vec<Vec<i64>>> = rows.chunks(batch).map(<[_]>::to_vec).collect();
+        let nb = nb.clone();
+        c.bench_function(&format!("serve/netlist/batch_{batch}"), move |b| {
+            b.iter(|| {
+                for chunk in &chunks {
+                    black_box(nb.classify(chunk));
+                }
+            })
+        });
+        let chunks: Vec<Vec<Vec<i64>>> = rows.chunks(batch).map(<[_]>::to_vec).collect();
+        let qb = qb.clone();
+        c.bench_function(&format!("serve/quant/batch_{batch}"), move |b| {
+            b.iter(|| {
+                for chunk in &chunks {
+                    black_box(qb.classify(chunk));
+                }
+            })
+        });
+    }
+    {
+        let netlist = netlist.clone();
+        let rows = rows.clone();
+        c.bench_function("serve/eval_ports_per_sample", move |b| {
+            b.iter(|| black_box(eval_ports_loop(&netlist, &rows)))
+        });
+    }
+
+    // End-to-end engine throughput: submit/ticket overhead, batcher,
+    // worker pool and the default 5% audit included.
+    {
+        let engine = ServeEngine::new(EngineConfig::default());
+        let point = pax_core::DesignPoint {
+            technique: pax_core::Technique::Exact,
+            tau_c: None,
+            phi_c: None,
+            accuracy: 1.0,
+            area_mm2: 0.0,
+            power_mw: 0.0,
+            gate_count: netlist.gate_count(),
+            critical_ms: 0.0,
+        };
+        engine
+            .register(pax_core::artifact::Artifact {
+                model: model.clone(),
+                netlist: netlist.clone(),
+                point,
+            })
+            .unwrap();
+        let rows = rows.clone();
+        c.bench_function("serve/engine_end_to_end_256", move |b| {
+            b.iter(|| black_box(engine.classify("serve-bench", &rows).unwrap()))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

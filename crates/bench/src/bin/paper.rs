@@ -22,8 +22,8 @@ use std::time::Instant;
 
 use pax_bench::catalog::DatasetId;
 use pax_bench::{fig1, fig2, fig3, proxy, quantsweep, studies, table1, table2, table3};
-use pax_ml::quant::ModelKind;
 use pax_core::mult_cache::MultCache;
+use pax_ml::quant::ModelKind;
 use pax_ml::synth_data::SynthConfig;
 
 struct Options {

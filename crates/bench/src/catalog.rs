@@ -108,23 +108,13 @@ pub fn train_entry(dataset: DatasetId, kind: ModelKind, cfg: &SynthConfig) -> En
     let hidden = dataset.mlp_hidden();
     let (model, t_column) = match kind {
         ModelKind::MlpC => {
-            let p = MlpParams {
-                hidden,
-                lr: mlp_lr(dataset),
-                epochs: 300,
-                ..MlpParams::default()
-            };
+            let p = MlpParams { hidden, lr: mlp_lr(dataset), epochs: 300, ..MlpParams::default() };
             let m = train_mlp_classifier(&train, &p, seed);
             let topo = m.topology();
             (QuantizedModel::from_mlp(dataset.name(), &m, train.n_classes, spec), topo)
         }
         ModelKind::MlpR => {
-            let p = MlpParams {
-                hidden,
-                lr: 0.01,
-                epochs: 400,
-                ..MlpParams::default()
-            };
+            let p = MlpParams { hidden, lr: 0.01, epochs: 400, ..MlpParams::default() };
             let m = train_mlp_regressor(&train, &p, seed);
             let topo = m.topology();
             (QuantizedModel::from_mlp(dataset.name(), &m, train.n_classes, spec), topo)
@@ -143,8 +133,8 @@ pub fn train_entry(dataset: DatasetId, kind: ModelKind, cfg: &SynthConfig) -> En
     };
     // The paper drops the Pendigits regressors: regressing an unordered
     // digit label yields useless accuracy (0.37 / 0.23 in Table I).
-    let hardware_feasible = !(dataset == DatasetId::Pendigits
-        && matches!(kind, ModelKind::MlpR | ModelKind::SvmR));
+    let hardware_feasible =
+        !(dataset == DatasetId::Pendigits && matches!(kind, ModelKind::MlpR | ModelKind::SvmR));
     Entry { dataset, kind, model, train, test, t_column, hardware_feasible }
 }
 
@@ -159,16 +149,12 @@ fn mlp_lr(dataset: DatasetId) -> f64 {
 /// (dataset-major, family-minor).
 pub fn all_entries(cfg: &SynthConfig) -> Vec<Entry> {
     let kinds = [ModelKind::MlpC, ModelKind::MlpR, ModelKind::SvmC, ModelKind::SvmR];
-    let pairs: Vec<(DatasetId, ModelKind)> = DatasetId::all()
-        .into_iter()
-        .flat_map(|d| kinds.into_iter().map(move |k| (d, k)))
-        .collect();
+    let pairs: Vec<(DatasetId, ModelKind)> =
+        DatasetId::all().into_iter().flat_map(|d| kinds.into_iter().map(move |k| (d, k))).collect();
     // Train in parallel: entries are completely independent.
     std::thread::scope(|s| {
-        let handles: Vec<_> = pairs
-            .iter()
-            .map(|&(d, k)| s.spawn(move || train_entry(d, k, cfg)))
-            .collect();
+        let handles: Vec<_> =
+            pairs.iter().map(|&(d, k)| s.spawn(move || train_entry(d, k, cfg))).collect();
         handles.into_iter().map(|h| h.join().expect("training thread")).collect()
     })
 }

@@ -15,7 +15,8 @@ pub fn subplot_csv(run: &StudyRun) -> String {
 
 /// CSV of all subplots concatenated with a `circuit` column prefix.
 pub fn to_csv(runs: &[StudyRun]) -> String {
-    let mut out = String::from("circuit,technique,tau_c,phi_c,accuracy,area_mm2,norm_area,power_mw\n");
+    let mut out =
+        String::from("circuit,technique,tau_c,phi_c,accuracy,area_mm2,norm_area,power_mw\n");
     for run in runs {
         let label = run.entry.label();
         for line in report::fig3_csv(&run.study).lines().skip(1) {
@@ -33,8 +34,7 @@ pub fn summarize(runs: &[StudyRun]) -> String {
     for run in runs {
         let s = &run.study;
         let front = s.pareto_front();
-        let cross_on_front =
-            front.iter().filter(|p| p.technique == Technique::Cross).count();
+        let cross_on_front = front.iter().filter(|p| p.technique == Technique::Cross).count();
         let _ = writeln!(
             out,
             "{:22} base acc {:.3} area {:7.1} cm² | coeff: acc {:.3}, {:.0}% area | \

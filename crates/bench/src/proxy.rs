@@ -25,10 +25,9 @@ pub fn run(cache: &MultCache, n: usize, seed: u64) -> ProxyResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let specs: Vec<(u32, Vec<i64>)> = (0..n)
         .map(|_| {
-            let in_bits = *[4u32, 6, 8, 12].get(rng.random_range(0..4)).expect("fixed set");
+            let in_bits = *[4u32, 6, 8, 12].get(rng.random_range(0..4usize)).expect("fixed set");
             let n_coefs = rng.random_range(3..=16usize);
-            let weights: Vec<i64> =
-                (0..n_coefs).map(|_| rng.random_range(-128i64..=127)).collect();
+            let weights: Vec<i64> = (0..n_coefs).map(|_| rng.random_range(-128i64..=127)).collect();
             (in_bits, weights)
         })
         .collect();
@@ -66,9 +65,8 @@ pub fn run(cache: &MultCache, n: usize, seed: u64) -> ProxyResult {
 fn measure(cache: &MultCache, in_bits: u32, weights: &[i64]) -> (f64, f64) {
     let proxy: f64 = weights.iter().map(|&w| cache.area(in_bits, w)).sum();
     let mut b = NetlistBuilder::new("ws");
-    let inputs: Vec<Bus> = (0..weights.len())
-        .map(|i| b.input_port(format!("x{i}"), in_bits as usize))
-        .collect();
+    let inputs: Vec<Bus> =
+        (0..weights.len()).map(|i| b.input_port(format!("x{i}"), in_bits as usize)).collect();
     let xmax = (1i64 << in_bits) - 1;
     let (mut lo, mut hi) = (0i64, 0i64);
     for &w in weights {

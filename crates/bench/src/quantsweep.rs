@@ -144,20 +144,12 @@ mod tests {
         let points = sweep(DatasetId::RedWine, ModelKind::SvmR, &cfg);
         assert_eq!(points.len(), INPUT_BITS.len() * COEF_BITS.len());
         let acc = |ib: u32, cb: u32| {
-            points
-                .iter()
-                .find(|p| p.input_bits == ib && p.coef_bits == cb)
-                .unwrap()
-                .accuracy
+            points.iter().find(|p| p.input_bits == ib && p.coef_bits == cb).unwrap().accuracy
         };
         // The paper's (4, 8) point must be within a whisker of the best
         // precision in the grid — that is its selection criterion.
         let best = points.iter().map(|p| p.accuracy).fold(0.0, f64::max);
-        assert!(
-            acc(4, 8) >= best - 0.05,
-            "(4,8) accuracy {} too far below best {best}",
-            acc(4, 8)
-        );
+        assert!(acc(4, 8) >= best - 0.05, "(4,8) accuracy {} too far below best {best}", acc(4, 8));
         let text = render(&points);
         assert!(text.contains("redwine svm-r"));
         let csv = to_csv(&points);

@@ -19,10 +19,7 @@ pub struct StudyRun {
 
 /// Runs the framework on one entry with the paper's configuration.
 pub fn run_one(entry: Entry) -> StudyRun {
-    let cfg = FrameworkConfig {
-        tech: tech_for(entry.dataset, entry.kind),
-        ..Default::default()
-    };
+    let cfg = FrameworkConfig { tech: tech_for(entry.dataset, entry.kind), ..Default::default() };
     let fw = Framework::new(cfg);
     let study = fw.run_study(&entry.model, &entry.train, &entry.test);
     StudyRun { entry, study }
@@ -39,11 +36,7 @@ pub fn run_all(cfg: &SynthConfig) -> Vec<StudyRun> {
 /// Runs the framework on the circuits whose label contains `filter`
 /// (e.g. `"redwine"` or `"svm-c"`).
 pub fn run_filtered(cfg: &SynthConfig, filter: &str) -> Vec<StudyRun> {
-    hardware_entries(cfg)
-        .into_iter()
-        .filter(|e| e.label().contains(filter))
-        .map(run_one)
-        .collect()
+    hardware_entries(cfg).into_iter().filter(|e| e.label().contains(filter)).map(run_one).collect()
 }
 
 #[cfg(test)]

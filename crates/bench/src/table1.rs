@@ -84,9 +84,8 @@ pub fn render(rows: &[Table1Row]) -> String {
     out.push_str("| Dataset | Family | Acc | T | #C | Area (cm²) | Power (mW) | Delay (ms) |\n");
     out.push_str("|---|---|---|---|---|---|---|---|\n");
     for r in rows {
-        let fmt_opt = |v: Option<f64>, digits: usize| {
-            v.map_or("-".to_string(), |x| format!("{x:.digits$}"))
-        };
+        let fmt_opt =
+            |v: Option<f64>, digits: usize| v.map_or("-".to_string(), |x| format!("{x:.digits$}"));
         let _ = writeln!(
             out,
             "| {} | {} | {:.2} | {} | {} | {} | {} | {} |",

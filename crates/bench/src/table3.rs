@@ -43,7 +43,9 @@ pub fn build(runs: &[StudyRun]) -> Vec<Table3Row> {
 /// Renders the table with totals.
 pub fn render(rows: &[Table3Row]) -> String {
     let mut out = String::from("# Table III — framework execution time\n\n");
-    out.push_str("| Circuit | Coeff (ms) | Prune base (ms) | Prune cross (ms) | Total (ms) | Designs |\n");
+    out.push_str(
+        "| Circuit | Coeff (ms) | Prune base (ms) | Prune cross (ms) | Total (ms) | Designs |\n",
+    );
     out.push_str("|---|---|---|---|---|---|\n");
     let mut total = 0u128;
     let mut designs = 0usize;

@@ -67,8 +67,7 @@ impl BespokeCircuit {
         // Classifiers: argmax over sign-extended, equal-width scores.
         if model.kind.is_classifier() {
             let w = scores.iter().map(Bus::width).max().expect("at least one score");
-            let extended: Vec<Bus> =
-                scores.iter().map(|s| bits::sign_extend(s, w)).collect();
+            let extended: Vec<Bus> = scores.iter().map(|s| bits::sign_extend(s, w)).collect();
             let am = argmax(&mut b, &extended);
             b.output_port("class", am.index);
         }
@@ -122,11 +121,7 @@ impl BespokeCircuit {
 
 /// Builds the hidden layer of an MLP: weighted sums, ReLU, hardwired
 /// right shift, and a trim to the statically known operand width.
-fn build_hidden_layer(
-    b: &mut NetlistBuilder,
-    model: &QuantizedModel,
-    inputs: &[Bus],
-) -> Vec<Bus> {
+fn build_hidden_layer(b: &mut NetlistBuilder, model: &QuantizedModel, inputs: &[Bus]) -> Vec<Bus> {
     let in_max = vec![model.spec.input_max(); model.n_inputs()];
     model
         .layer1
@@ -158,9 +153,8 @@ mod tests {
     use pax_ml::quant::{QuantSpec, QuantizedModel};
 
     fn tiny_mlp(task: MlpTask, outs: usize) -> QuantizedModel {
-        let w2: Vec<Vec<f64>> = (0..outs)
-            .map(|o| vec![0.6 - 0.3 * o as f64, -0.4 + 0.25 * o as f64])
-            .collect();
+        let w2: Vec<Vec<f64>> =
+            (0..outs).map(|o| vec![0.6 - 0.3 * o as f64, -0.4 + 0.25 * o as f64]).collect();
         let b2 = vec![0.03; outs];
         let mlp = Mlp::new(
             vec![vec![0.5, -0.7, 0.2], vec![-0.3, 0.9, 0.4]],

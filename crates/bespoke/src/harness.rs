@@ -22,17 +22,41 @@ pub struct EvalOutcome {
 ///
 /// Panics if the dataset's feature count differs from the model's.
 pub fn stimulus_for(model: &QuantizedModel, data: &Dataset) -> Stimulus {
-    assert_eq!(
-        data.n_features(),
-        model.n_inputs(),
-        "dataset features do not match model inputs"
-    );
+    assert_eq!(data.n_features(), model.n_inputs(), "dataset features do not match model inputs");
+    // Quantize straight into per-port columns — this runs once per
+    // evaluated design point, so no intermediate row-major copies.
     let mut columns: Vec<Vec<u64>> = vec![Vec::with_capacity(data.len()); model.n_inputs()];
     for row in &data.features {
-        for (i, &q) in model.quantize_input(row).iter().enumerate() {
-            columns[i].push(q as u64);
+        for (col, &q) in columns.iter_mut().zip(&model.quantize_input(row)) {
+            col.push(q as u64);
         }
     }
+    columns_to_stimulus(columns)
+}
+
+/// Builds the per-port stimulus for already-quantized input rows — the
+/// encoding the serving path (`pax-serve`) shares with the evaluation
+/// harness, so batched requests hit the exact bit layout the circuits
+/// were scored on.
+///
+/// # Panics
+///
+/// Panics if a row's arity differs from the model's input count, or if
+/// a value is negative (circuit inputs are unsigned).
+pub fn stimulus_for_rows(model: &QuantizedModel, rows: &[Vec<i64>]) -> Stimulus {
+    let mut columns: Vec<Vec<u64>> = vec![Vec::with_capacity(rows.len()); model.n_inputs()];
+    for row in rows {
+        assert_eq!(row.len(), model.n_inputs(), "input row arity mismatch");
+        for (col, &q) in columns.iter_mut().zip(row) {
+            col.push(u64::try_from(q).expect("quantized inputs are unsigned"));
+        }
+    }
+    columns_to_stimulus(columns)
+}
+
+/// Names the transposed columns `x0..xN` — the bespoke circuits' input
+/// port convention.
+fn columns_to_stimulus(columns: Vec<Vec<u64>>) -> Stimulus {
     let mut stim = Stimulus::new();
     for (i, col) in columns.into_iter().enumerate() {
         stim.port(format!("x{i}"), col);
@@ -56,10 +80,8 @@ pub fn evaluate(netlist: &Netlist, model: &QuantizedModel, data: &Dataset) -> Ev
     let predictions: Vec<usize> = if model.kind.is_classifier() {
         sim.port_values("class").iter().map(|&v| v as usize).collect()
     } else {
-        let width = netlist
-            .output_port("score0")
-            .expect("regressor circuits expose score0")
-            .width();
+        let width =
+            netlist.output_port("score0").expect("regressor circuits expose score0").width();
         sim.port_values("score0")
             .iter()
             .map(|&raw| {
@@ -124,8 +146,8 @@ mod tests {
         let outcome = evaluate(&circuit.netlist, &circuit.model, &test);
         let lib = egt_pdk::egt_library();
         let tech = egt_pdk::TechParams::egt();
-        let p = pax_sim::power::power(&circuit.netlist, &lib, &tech, &outcome.sim.activity)
-            .unwrap();
+        let p =
+            pax_sim::power::power(&circuit.netlist, &lib, &tech, &outcome.sim.activity).unwrap();
         assert!(p.total_mw() > tech.io_floor_mw);
     }
 
@@ -140,17 +162,9 @@ mod tests {
     #[test]
     fn stimulus_columns_are_quantized_features() {
         let svc = LinearClassifier::new(vec![vec![1.0, -1.0], vec![-1.0, 1.0]], vec![0.0; 2]);
-        let q = pax_ml::quant::QuantizedModel::from_linear_classifier(
-            "t",
-            &svc,
-            QuantSpec::default(),
-        );
-        let data = Dataset::new(
-            "d",
-            vec![vec![0.0, 1.0], vec![0.5, 0.25]],
-            vec![0.0, 1.0],
-            2,
-        );
+        let q =
+            pax_ml::quant::QuantizedModel::from_linear_classifier("t", &svc, QuantSpec::default());
+        let data = Dataset::new("d", vec![vec![0.0, 1.0], vec![0.5, 0.25]], vec![0.0, 1.0], 2);
         let stim = stimulus_for(&q, &data);
         assert_eq!(stim.samples("x0"), Some(&[0u64, 8][..]));
         assert_eq!(stim.samples("x1"), Some(&[15u64, 4][..]));

@@ -156,10 +156,7 @@ fn approximate_sum(
 
     let residual_error: i64 = weights.iter().zip(&chosen).map(|(w, c)| w - c).sum();
     let proxy_after: f64 = chosen.iter().map(|&w| cache.area(in_bits, w)).sum();
-    (
-        chosen,
-        SumApproxReport { layer, index, residual_error, proxy_before, proxy_after },
-    )
+    (chosen, SumApproxReport { layer, index, residual_error, proxy_before, proxy_after })
 }
 
 /// The cheapest-area value in `[lo, hi]`; ties prefer values closer to
@@ -196,10 +193,7 @@ fn exhaustive_balance(
         .iter()
         .zip(candidates)
         .map(|(&w, &(down, up))| {
-            [
-                (w - down, cache.area(in_bits, down)),
-                (w - up, cache.area(in_bits, up)),
-            ]
+            [(w - down, cache.area(in_bits, down)), (w - up, cache.area(in_bits, up))]
         })
         .collect();
 
@@ -239,13 +233,15 @@ fn greedy_balance(
 ) -> Vec<i64> {
     let mut chosen: Vec<i64> = candidates
         .iter()
-        .map(|&(down, up)| {
-            if cache.area(in_bits, down) <= cache.area(in_bits, up) {
-                down
-            } else {
-                up
-            }
-        })
+        .map(
+            |&(down, up)| {
+                if cache.area(in_bits, down) <= cache.area(in_bits, up) {
+                    down
+                } else {
+                    up
+                }
+            },
+        )
         .collect();
     // Flip selections while it reduces |Σ error|.
     loop {
@@ -299,10 +295,8 @@ mod tests {
     #[test]
     fn approximation_reduces_area_proxy() {
         // Dense coefficients near powers of two: big wins available.
-        let m = model_with_weights(vec![
-            vec![0.49, -0.26, 0.99, 0.13],
-            vec![-0.52, 0.27, -0.95, 0.24],
-        ]);
+        let m =
+            model_with_weights(vec![vec![0.49, -0.26, 0.99, 0.13], vec![-0.52, 0.27, -0.95, 0.24]]);
         let c = cache();
         let (approx, report) = approximate_model(&m, &c, &CoeffApproxConfig::default());
         assert!(report.proxy_after() < report.proxy_before());

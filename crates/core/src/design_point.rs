@@ -25,6 +25,17 @@ impl Technique {
             Technique::Cross => "cross-layer",
         }
     }
+
+    /// Inverse of [`Technique::label`] — used by the artifact format.
+    pub fn from_label(label: &str) -> Option<Technique> {
+        match label {
+            "exact" => Some(Technique::Exact),
+            "coeff-approx" => Some(Technique::CoeffApprox),
+            "prune-only" => Some(Technique::PruneOnly),
+            "cross-layer" => Some(Technique::Cross),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Technique {

@@ -125,8 +125,8 @@ impl CircuitStudy {
                 v
             }
         };
-        let idx = pareto::best_area_within(&candidates, min_acc)
-            .expect("the baseline always qualifies");
+        let idx =
+            pareto::best_area_within(&candidates, min_acc).expect("the baseline always qualifies");
         candidates[idx].clone()
     }
 }
@@ -221,8 +221,7 @@ impl Framework {
         if model.kind.is_mlp() && model.hidden_width > 0 {
             self.cache.build_range(model.hidden_width, model.spec.coef_bits);
         }
-        let (approx_model, coeff_report) =
-            approximate_model(model, &self.cache, &self.cfg.coeff);
+        let (approx_model, coeff_report) = approximate_model(model, &self.cache, &self.cfg.coeff);
         let approx_circuit = {
             let c = BespokeCircuit::generate(&approx_model);
             c.with_netlist(opt::optimize(&c.netlist))
@@ -273,6 +272,21 @@ impl Framework {
         train: &Dataset,
         point: &DesignPoint,
     ) -> pax_netlist::Netlist {
+        self.materialize_with_model(model, train, point).0
+    }
+
+    /// Like [`Framework::materialize`], but also returns the **golden
+    /// model** the netlist hardwires: for `CoeffApprox`/`Cross` points
+    /// that is the coefficient-approximated model, not the input model.
+    /// Serving cross-checks (see `pax-serve`) need this model — pruning
+    /// is a netlist-level approximation, so the golden model predicts
+    /// exactly what the *unpruned* circuit would.
+    pub fn materialize_with_model(
+        &self,
+        model: &QuantizedModel,
+        train: &Dataset,
+        point: &DesignPoint,
+    ) -> (pax_netlist::Netlist, QuantizedModel) {
         let base_model = match point.technique {
             Technique::Exact | Technique::PruneOnly => model.clone(),
             Technique::CoeffApprox | Technique::Cross => {
@@ -285,21 +299,33 @@ impl Framework {
         };
         let circuit = BespokeCircuit::generate(&base_model);
         let netlist = opt::optimize(&circuit.netlist);
-        match (point.tau_c, point.phi_c) {
+        let netlist = match (point.tau_c, point.phi_c) {
             (Some(tau_c), Some(phi_c)) => {
                 let analysis = analyze(&netlist, &base_model, train);
                 let set: Vec<pax_netlist::NetId> = analysis
                     .candidates
                     .iter()
                     .copied()
-                    .filter(|&g| {
-                        analysis.tau_of(g) >= tau_c - 1e-12 && analysis.phi_of(g) <= phi_c
-                    })
+                    .filter(|&g| analysis.tau_of(g) >= tau_c - 1e-12 && analysis.phi_of(g) <= phi_c)
                     .collect();
                 apply_set(&netlist, &analysis, &set)
             }
             _ => netlist,
-        }
+        };
+        (netlist, base_model)
+    }
+
+    /// Bundles a selected design into a self-contained, servable
+    /// [`Artifact`](crate::artifact::Artifact): the materialized netlist,
+    /// the golden model it hardwires, and the recorded metrics.
+    pub fn export_artifact(
+        &self,
+        model: &QuantizedModel,
+        train: &Dataset,
+        point: &DesignPoint,
+    ) -> crate::artifact::Artifact {
+        let (netlist, golden) = self.materialize_with_model(model, train, point);
+        crate::artifact::Artifact { model: golden, netlist, point: point.clone() }
     }
 
     fn prune_series(
@@ -425,11 +451,7 @@ mod tests {
     #[test]
     fn table2_selection_respects_loss_budget() {
         let s = small_study();
-        for t in [
-            Technique::CoeffApprox,
-            Technique::PruneOnly,
-            Technique::Cross,
-        ] {
+        for t in [Technique::CoeffApprox, Technique::PruneOnly, Technique::Cross] {
             let best = s.best_within_loss(t, 0.01);
             assert!(best.accuracy >= s.baseline.accuracy - 0.01 - 1e-12);
             assert!(best.area_mm2 <= s.baseline.area_mm2 + 1e-9);

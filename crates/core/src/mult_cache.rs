@@ -105,9 +105,7 @@ impl MultCache {
                     return 0.0;
                 }
                 let best = (w - e).max(lo)..=(w + e).min(hi);
-                let min = best
-                    .map(|cand| self.area(in_bits, cand))
-                    .fold(f64::INFINITY, f64::min);
+                let min = best.map(|cand| self.area(in_bits, cand)).fold(f64::INFINITY, f64::min);
                 (base - min) / base * 100.0
             })
             .collect()

@@ -33,12 +33,7 @@ pub fn pareto_front(points: &[DesignPoint]) -> Vec<usize> {
             .area_mm2
             .partial_cmp(&points[b].area_mm2)
             .expect("finite area")
-            .then(
-                points[b]
-                    .accuracy
-                    .partial_cmp(&points[a].accuracy)
-                    .expect("finite accuracy"),
-            )
+            .then(points[b].accuracy.partial_cmp(&points[a].accuracy).expect("finite accuracy"))
             .then(a.cmp(&b))
     });
     let mut front = Vec::new();
@@ -60,9 +55,7 @@ pub fn best_area_within(points: &[DesignPoint], min_accuracy: f64) -> Option<usi
         .iter()
         .enumerate()
         .filter(|(_, p)| p.accuracy >= min_accuracy)
-        .min_by(|(_, a), (_, b)| {
-            a.area_mm2.partial_cmp(&b.area_mm2).expect("finite area")
-        })
+        .min_by(|(_, a), (_, b)| a.area_mm2.partial_cmp(&b.area_mm2).expect("finite area"))
         .map(|(i, _)| i)
 }
 

@@ -46,9 +46,8 @@ pub fn analyze(netlist: &Netlist, model: &QuantizedModel, train: &Dataset) -> Pr
     // τ from training-set switching activity (paper steps 1–2).
     let stim = stimulus_for(model, train);
     let sim = simulate(netlist, &stim);
-    let tau: Vec<(f64, bool)> = (0..netlist.len())
-        .map(|i| sim.activity.tau(NetId::from_index(i)))
-        .collect();
+    let tau: Vec<(f64, bool)> =
+        (0..netlist.len()).map(|i| sim.activity.tau(NetId::from_index(i))).collect();
 
     // φ seeds: bit significance on every score-port bit (a net may feed
     // several score bits; the maximum significance wins).
@@ -94,11 +93,8 @@ mod tests {
             &pax_ml::train::svm::SvmParams { epochs: 40, ..Default::default() },
             3,
         );
-        let q = pax_ml::quant::QuantizedModel::from_linear_classifier(
-            "b",
-            &m,
-            QuantSpec::default(),
-        );
+        let q =
+            pax_ml::quant::QuantizedModel::from_linear_classifier("b", &m, QuantSpec::default());
         (BespokeCircuit::generate(&q), train)
     }
 

@@ -58,8 +58,7 @@ impl PruneConfig {
         }
         (0..self.tau_steps)
             .map(|i| {
-                self.tau_lo
-                    + (self.tau_hi - self.tau_lo) * i as f64 / (self.tau_steps - 1) as f64
+                self.tau_lo + (self.tau_hi - self.tau_lo) * i as f64 / (self.tau_steps - 1) as f64
             })
             .collect()
     }

@@ -67,11 +67,8 @@ pub fn enumerate_grid(analysis: &PruneAnalysis, cfg: &PruneConfig) -> PruneGrid 
         phis.dedup();
 
         for phi_c in phis {
-            let mut set: Vec<NetId> = qualified
-                .iter()
-                .copied()
-                .filter(|&g| analysis.phi_of(g) <= phi_c)
-                .collect();
+            let mut set: Vec<NetId> =
+                qualified.iter().copied().filter(|&g| analysis.phi_of(g) <= phi_c).collect();
             set.sort_unstable();
             let idx = *dedup.entry(set.clone()).or_insert_with(|| {
                 sets.push(set);
@@ -103,8 +100,7 @@ pub struct PruneEval {
 /// Applies one pruned set to the base netlist: constants substituted,
 /// then constant propagation + dead-cone sweep (paper steps 4–5).
 pub fn apply_set(base: &Netlist, analysis: &PruneAnalysis, set: &[NetId]) -> Netlist {
-    let subst: BTreeMap<NetId, bool> =
-        set.iter().map(|&g| (g, analysis.dominant(g))).collect();
+    let subst: BTreeMap<NetId, bool> = set.iter().map(|&g| (g, analysis.dominant(g))).collect();
     opt::apply_constants(base, &subst)
 }
 
@@ -130,7 +126,7 @@ pub fn evaluate_grid(
     // threads idle. Results stream back over a channel.
     let next = std::sync::atomic::AtomicUsize::new(0);
     let threads = std::thread::available_parallelism().map_or(4, |t| t.get()).min(16).min(n);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, PruneEval)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, PruneEval)>();
     std::thread::scope(|s| {
         for _ in 0..threads {
             let next = &next;
@@ -195,11 +191,8 @@ mod tests {
             &pax_ml::train::svm::SvmParams { epochs: 60, ..Default::default() },
             3,
         );
-        let q = pax_ml::quant::QuantizedModel::from_linear_classifier(
-            "b",
-            &m,
-            QuantSpec::default(),
-        );
+        let q =
+            pax_ml::quant::QuantizedModel::from_linear_classifier("b", &m, QuantSpec::default());
         let c = BespokeCircuit::generate(&q);
         let c = c.with_netlist(pax_synth::opt::optimize(&c.netlist));
         (c, train, test)
@@ -220,10 +213,7 @@ mod tests {
         // monotone non-increasing in τc.
         let mut by_phi: std::collections::HashMap<i64, Vec<(f64, usize)>> = Default::default();
         for combo in &grid.combos {
-            by_phi
-                .entry(combo.phi_c)
-                .or_default()
-                .push((combo.tau_c, grid.sets[combo.set].len()));
+            by_phi.entry(combo.phi_c).or_default().push((combo.tau_c, grid.sets[combo.set].len()));
         }
         for (_, mut v) in by_phi {
             v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
@@ -257,11 +247,7 @@ mod tests {
         let (c, train, _) = setup();
         let a = analyze(&c.netlist, &c.model, &train);
         let grid = enumerate_grid(&a, &PruneConfig::default());
-        let set = grid
-            .sets
-            .iter()
-            .max_by_key(|s| s.len())
-            .expect("non-empty grid");
+        let set = grid.sets.iter().max_by_key(|s| s.len()).expect("non-empty grid");
         let pruned = apply_set(&c.netlist, &a, set);
         pax_netlist::validate::assert_valid(&pruned);
         assert!(pruned.gate_count() <= c.netlist.gate_count());

@@ -8,12 +8,8 @@ use pax_ml::quant::{QuantSpec, QuantizedModel};
 use proptest::prelude::*;
 
 fn arb_model() -> impl Strategy<Value = QuantizedModel> {
-    (2usize..5, 2usize..7)
-        .prop_flat_map(|(k, n)| {
-            proptest::collection::vec(
-                proptest::collection::vec(-1.0f64..1.0, n),
-                k,
-            )
+    (2usize..5, 2usize..7).prop_flat_map(|(k, n)| {
+        proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, n), k)
             .prop_filter("weights must not be all-zero", |rows| {
                 rows.iter().flatten().any(|w| w.abs() > 1e-3)
             })
@@ -25,7 +21,7 @@ fn arb_model() -> impl Strategy<Value = QuantizedModel> {
                     QuantSpec::default(),
                 )
             })
-        })
+    })
 }
 
 proptest! {

@@ -118,8 +118,7 @@ impl Dataset {
         order.shuffle(&mut rng);
         (0..k)
             .map(|fold| {
-                let val: Vec<usize> =
-                    order.iter().copied().skip(fold).step_by(k).collect();
+                let val: Vec<usize> = order.iter().copied().skip(fold).step_by(k).collect();
                 let val_set: std::collections::HashSet<usize> = val.iter().copied().collect();
                 let train: Vec<usize> =
                     order.iter().copied().filter(|i| !val_set.contains(i)).collect();
@@ -181,9 +180,8 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let features: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![i as f64, (i * 3 % 17) as f64, -5.0 + i as f64 * 0.1])
-            .collect();
+        let features: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![i as f64, (i * 3 % 17) as f64, -5.0 + i as f64 * 0.1]).collect();
         let labels: Vec<f64> = (0..100).map(|i| f64::from(u8::from(i >= 60))).collect();
         Dataset::new("toy", features, labels, 2)
     }

@@ -13,11 +13,7 @@
 pub fn accuracy(predicted: &[usize], labels: &[f64]) -> f64 {
     assert_eq!(predicted.len(), labels.len(), "prediction/label length mismatch");
     assert!(!predicted.is_empty(), "empty evaluation set");
-    let hits = predicted
-        .iter()
-        .zip(labels)
-        .filter(|(&p, &l)| p == l as usize)
-        .count();
+    let hits = predicted.iter().zip(labels).filter(|(&p, &l)| p == l as usize).count();
     hits as f64 / predicted.len() as f64
 }
 
@@ -45,8 +41,7 @@ pub fn round_to_class(value: f64, n_classes: usize) -> usize {
 pub fn mae(predicted: &[f64], labels: &[f64]) -> f64 {
     assert_eq!(predicted.len(), labels.len(), "prediction/label length mismatch");
     assert!(!predicted.is_empty(), "empty evaluation set");
-    predicted.iter().zip(labels).map(|(p, l)| (p - l).abs()).sum::<f64>()
-        / predicted.len() as f64
+    predicted.iter().zip(labels).map(|(p, l)| (p - l).abs()).sum::<f64>() / predicted.len() as f64
 }
 
 /// Coefficient of determination R².

@@ -163,8 +163,7 @@ mod tests {
                     }
                 }
             }
-            let vote_winner =
-                (0..votes.len()).max_by_key(|&i| (votes[i], usize::MAX - i)).unwrap();
+            let vote_winner = (0..votes.len()).max_by_key(|&i| (votes[i], usize::MAX - i)).unwrap();
             assert_eq!(m.predict(&x), vote_winner, "x={x:?} scores={scores:?}");
         }
     }

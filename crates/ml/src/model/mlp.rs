@@ -171,13 +171,8 @@ mod tests {
 
     #[test]
     fn regression_predicts_by_rounding() {
-        let m = Mlp::new(
-            vec![vec![1.0]],
-            vec![0.0],
-            vec![vec![2.0]],
-            vec![0.1],
-            MlpTask::Regression,
-        );
+        let m =
+            Mlp::new(vec![vec![1.0]], vec![0.0], vec![vec![2.0]], vec![0.1], MlpTask::Regression);
         // x = 0.7 -> hidden 0.7 -> out 1.5 -> class 2 (round half up).
         assert_eq!(m.predict_class(&[0.7], 5), 2);
         // Clamped at the top class.

@@ -241,8 +241,7 @@ impl QuantizedModel {
         spec: QuantSpec,
     ) -> Self {
         let s_x = spec.input_max() as f64;
-        let (s_w, layer1) =
-            quantize_layer(std::slice::from_ref(&m.w), &[m.b], s_x, spec);
+        let (s_w, layer1) = quantize_layer(std::slice::from_ref(&m.w), &[m.b], s_x, spec);
         Self {
             name: name.into(),
             kind: ModelKind::SvmR,
@@ -279,9 +278,7 @@ impl QuantizedModel {
     /// Quantizes one normalized (`[0, 1]`) input row.
     pub fn quantize_input(&self, x: &[f64]) -> Vec<i64> {
         let m = self.spec.input_max();
-        x.iter()
-            .map(|&v| ((v * m as f64).round() as i64).clamp(0, m))
-            .collect()
+        x.iter().map(|&v| ((v * m as f64).round() as i64).clamp(0, m)).collect()
     }
 
     /// Static per-neuron maxima of the post-shift hidden activations
@@ -289,19 +286,13 @@ impl QuantizedModel {
     pub fn hidden_maxima(&self) -> Vec<i64> {
         assert!(self.kind.is_mlp(), "hidden_maxima on a linear model");
         let in_max = vec![self.spec.input_max(); self.n_inputs()];
-        self.layer1
-            .iter()
-            .map(|s| (s.bounds(&in_max).1.max(0)) >> self.hidden_shift)
-            .collect()
+        self.layer1.iter().map(|s| (s.bounds(&in_max).1.max(0)) >> self.hidden_shift).collect()
     }
 
     /// Integer hidden activations (MLPs only): ReLU then right shift.
     pub fn hidden_int(&self, x_q: &[i64]) -> Vec<i64> {
         assert!(self.kind.is_mlp(), "hidden_int on a linear model");
-        self.layer1
-            .iter()
-            .map(|s| (s.eval(x_q).max(0)) >> self.hidden_shift)
-            .collect()
+        self.layer1.iter().map(|s| (s.eval(x_q).max(0)) >> self.hidden_shift).collect()
     }
 
     /// Integer output scores — the exact values the hardware's pre-argmax
@@ -340,8 +331,7 @@ impl QuantizedModel {
     /// Classification accuracy of the integer model on a normalized
     /// dataset.
     pub fn accuracy_on(&self, data: &Dataset) -> f64 {
-        let predicted: Vec<usize> =
-            data.features.iter().map(|row| self.predict(row)).collect();
+        let predicted: Vec<usize> = data.features.iter().map(|row| self.predict(row)).collect();
         crate::metrics::accuracy(&predicted, &data.labels)
     }
 
@@ -388,11 +378,7 @@ fn quantize_layer(
     spec: QuantSpec,
 ) -> (f64, Vec<QuantizedSum>) {
     let (_, max_coef) = spec.coef_range();
-    let max_abs = w
-        .iter()
-        .flatten()
-        .map(|v| v.abs())
-        .fold(0.0f64, f64::max);
+    let max_abs = w.iter().flatten().map(|v| v.abs()).fold(0.0f64, f64::max);
     let s_w = if max_abs > 0.0 { max_coef as f64 / max_abs } else { 1.0 };
     let sums = w
         .iter()

@@ -61,11 +61,9 @@ pub fn blobs(
     while centroids.len() < n_classes {
         let mut accepted = None;
         for _ in 0..10_000 {
-            let cand: Vec<f64> =
-                (0..n_features).map(|_| rng.random_range(0.2..0.8)).collect();
+            let cand: Vec<f64> = (0..n_features).map(|_| rng.random_range(0.2..0.8)).collect();
             let ok = centroids.iter().all(|c| {
-                let d2: f64 =
-                    c.iter().zip(&cand).map(|(a, b)| (a - b).powi(2)).sum();
+                let d2: f64 = c.iter().zip(&cand).map(|(a, b)| (a - b).powi(2)).sum();
                 d2.sqrt() >= min_dist
             });
             if ok {
@@ -74,18 +72,17 @@ pub fn blobs(
             }
         }
         // Fall back to the last candidate if the space is too crowded.
-        centroids.push(accepted.unwrap_or_else(|| {
-            (0..n_features).map(|_| rng.random_range(0.2..0.8)).collect()
-        }));
+        centroids.push(
+            accepted
+                .unwrap_or_else(|| (0..n_features).map(|_| rng.random_range(0.2..0.8)).collect()),
+        );
     }
     let mut features = Vec::with_capacity(n_samples);
     let mut labels = Vec::with_capacity(n_samples);
     for i in 0..n_samples {
         let class = i % n_classes; // balanced
-        let row: Vec<f64> = centroids[class]
-            .iter()
-            .map(|&c| c + noise * normal.sample(&mut rng))
-            .collect();
+        let row: Vec<f64> =
+            centroids[class].iter().map(|&c| c + noise * normal.sample(&mut rng)).collect();
         features.push(row);
         labels.push(class as f64);
     }
@@ -129,9 +126,7 @@ mod tests {
                     .collect();
                 var += rows
                     .iter()
-                    .map(|r| {
-                        r.iter().zip(&mean).map(|(v, m)| (v - m).powi(2)).sum::<f64>()
-                    })
+                    .map(|r| r.iter().zip(&mean).map(|(v, m)| (v - m).powi(2)).sum::<f64>())
                     .sum::<f64>()
                     / rows.len() as f64;
             }
@@ -146,8 +141,7 @@ mod tests {
         let mut n = NormalSampler::new();
         let samples: Vec<f64> = (0..20000).map(|_| n.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var =
-            samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

@@ -76,14 +76,7 @@ pub fn cardio(cfg: &SynthConfig) -> Dataset {
 /// blobs (pen-drawn digits are unordered categories, so regressing the
 /// label fails — matching the paper's excluded MLP-R/SVM-R rows).
 pub fn pendigits(cfg: &SynthConfig) -> Dataset {
-    blobs(
-        "pendigits",
-        cfg.scaled(10992),
-        16,
-        10,
-        0.125,
-        cfg.seed ^ 0x0002,
-    )
+    blobs("pendigits", cfg.scaled(10992), 16, 10, 0.125, cfg.seed ^ 0x0002)
 }
 
 /// Synthetic RedWine: 11 features, 6 ordinal quality classes with strong

@@ -51,10 +51,7 @@ pub fn ordinal(spec: &OrdinalSpec) -> Dataset {
         "invalid informative count"
     );
     assert!(!spec.class_fractions.is_empty(), "no classes");
-    assert!(
-        spec.class_fractions.iter().all(|&f| f > 0.0),
-        "class fractions must be positive"
-    );
+    assert!(spec.class_fractions.iter().all(|&f| f > 0.0), "class fractions must be positive");
     let frac_sum: f64 = spec.class_fractions.iter().sum();
     assert!((frac_sum - 1.0).abs() < 0.05, "class fractions must sum to ~1 ({frac_sum})");
 
@@ -83,8 +80,7 @@ pub fn ordinal(spec: &OrdinalSpec) -> Dataset {
     let mut clean_scores = Vec::with_capacity(spec.n_samples);
     for _ in 0..spec.n_samples {
         let row: Vec<f64> = (0..spec.n_features).map(|_| rng.random::<f64>()).collect();
-        let score: f64 =
-            beta.iter().zip(&row).map(|(b, x)| b * x).sum::<f64>() / sigma;
+        let score: f64 = beta.iter().zip(&row).map(|(b, x)| b * x).sum::<f64>() / sigma;
         clean_scores.push(score);
         features.push(row);
     }
@@ -167,12 +163,7 @@ mod tests {
         // from the clean labeling as noise grows.
         let clean = ordinal(&spec(0.0));
         let noisy = ordinal(&spec(0.8));
-        let diff = clean
-            .labels
-            .iter()
-            .zip(&noisy.labels)
-            .filter(|(a, b)| a != b)
-            .count();
+        let diff = clean.labels.iter().zip(&noisy.labels).filter(|(a, b)| a != b).count();
         assert!(diff > clean.len() / 10, "only {diff} labels changed");
     }
 

@@ -89,15 +89,11 @@ fn train(data: &Dataset, params: &MlpParams, seed: u64, task: MlpTask) -> Mlp {
                 let x = &data.features[row];
                 // Forward.
                 let z1: Vec<f64> = (0..params.hidden)
-                    .map(|h| {
-                        w1[h].iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b1[h]
-                    })
+                    .map(|h| w1[h].iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b1[h])
                     .collect();
                 let h: Vec<f64> = z1.iter().map(|&z| z.max(0.0)).collect();
                 let out: Vec<f64> = (0..n_out)
-                    .map(|o| {
-                        w2[o].iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + b2[o]
-                    })
+                    .map(|o| w2[o].iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + b2[o])
                     .collect();
 
                 // Output-layer error signal.
@@ -127,8 +123,7 @@ fn train(data: &Dataset, params: &MlpParams, seed: u64, task: MlpTask) -> Mlp {
                     if z1[hh] <= 0.0 {
                         continue; // ReLU gate closed
                     }
-                    let delta_h: f64 =
-                        (0..n_out).map(|o| delta_out[o] * w2[o][hh]).sum();
+                    let delta_h: f64 = (0..n_out).map(|o| delta_out[o] * w2[o][hh]).sum();
                     for i in 0..n_in {
                         gw1[hh][i] += delta_h * x[i];
                     }

@@ -80,11 +80,7 @@ where
         })
         .map(|(i, _)| i)
         .expect("n_iter > 0");
-    SearchOutcome {
-        params: trials[best].0.clone(),
-        cv_score: trials[best].1,
-        trials,
-    }
+    SearchOutcome { params: trials[best].0.clone(), cv_score: trials[best].1, trials }
 }
 
 #[cfg(test)]
@@ -127,7 +123,11 @@ mod tests {
             randomized_search(
                 &data,
                 &cfg,
-                |rng| SvmParams { lr: rng.random_range(0.01..0.2), epochs: 10, ..SvmParams::default() },
+                |rng| SvmParams {
+                    lr: rng.random_range(0.01..0.2),
+                    epochs: 10,
+                    ..SvmParams::default()
+                },
                 |train, p| train_svm_classifier(train, p, 3),
                 |m, val| accuracy(&m.predict_batch(&val.features), &val.labels),
             )

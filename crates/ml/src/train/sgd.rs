@@ -24,16 +24,9 @@ impl MiniBatches {
 
 /// Uniform weight initialization in `[-limit, limit]` (Glorot-style when
 /// `limit = sqrt(6 / (fan_in + fan_out))`).
-pub(crate) fn init_matrix(
-    rows: usize,
-    cols: usize,
-    limit: f64,
-    rng: &mut StdRng,
-) -> Vec<Vec<f64>> {
+pub(crate) fn init_matrix(rows: usize, cols: usize, limit: f64, rng: &mut StdRng) -> Vec<Vec<f64>> {
     use rand::RngExt;
-    (0..rows)
-        .map(|_| (0..cols).map(|_| rng.random_range(-limit..limit)).collect())
-        .collect()
+    (0..rows).map(|_| (0..cols).map(|_| rng.random_range(-limit..limit)).collect()).collect()
 }
 
 #[cfg(test)]

@@ -75,20 +75,14 @@ pub fn train_svm_classifier(data: &Dataset, params: &SvmParams, seed: u64) -> Li
     }
 }
 
-fn train_from_init(
-    data: &Dataset,
-    params: &SvmParams,
-    seed: u64,
-    warm: bool,
-) -> LinearClassifier {
+fn train_from_init(data: &Dataset, params: &SvmParams, seed: u64, warm: bool) -> LinearClassifier {
     let n = data.n_features();
     let k = data.n_classes;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut w = init_matrix(k, n, 0.01, &mut rng);
     let mut b = vec![0.0; k];
     if warm {
-        let (wr, br) =
-            super::linalg::ridge(&data.features, &data.labels, 1e-6 * data.len() as f64);
+        let (wr, br) = super::linalg::ridge(&data.features, &data.labels, 1e-6 * data.len() as f64);
         for (c, (w_row, b_c)) in w.iter_mut().zip(&mut b).enumerate() {
             let c = c as f64;
             for (wi, &ri) in w_row.iter_mut().zip(&wr) {
@@ -185,11 +179,7 @@ mod tests {
     #[test]
     fn shapes_follow_dataset() {
         let data = blobs("b", 100, 7, 5, 0.2, 13);
-        let m = train_svm_classifier(
-            &data,
-            &SvmParams { epochs: 2, ..SvmParams::default() },
-            5,
-        );
+        let m = train_svm_classifier(&data, &SvmParams { epochs: 2, ..SvmParams::default() }, 5);
         assert_eq!(m.n_classes(), 5);
         assert_eq!(m.n_features(), 7);
         assert_eq!(m.n_pairwise_classifiers(), 10);

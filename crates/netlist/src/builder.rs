@@ -70,10 +70,7 @@ impl NetlistBuilder {
     /// public interface of the module, so a clash is a programming error.
     pub fn input_port(&mut self, name: impl Into<String>, width: usize) -> Bus {
         let name = name.into();
-        assert!(
-            self.input_ports.iter().all(|p| p.name != name),
-            "duplicate input port `{name}`"
-        );
+        assert!(self.input_ports.iter().all(|p| p.name != name), "duplicate input port `{name}`");
         let port_idx = u16::try_from(self.input_ports.len()).expect("too many ports");
         let bits: Vec<NetId> = (0..width)
             .map(|bit| {
@@ -95,10 +92,7 @@ impl NetlistBuilder {
     /// nets the builder has not created.
     pub fn output_port(&mut self, name: impl Into<String>, bus: Bus) {
         let name = name.into();
-        assert!(
-            self.output_ports.iter().all(|p| p.name != name),
-            "duplicate output port `{name}`"
-        );
+        assert!(self.output_ports.iter().all(|p| p.name != name), "duplicate output port `{name}`");
         for bit in bus.iter() {
             assert!(bit.index() < self.nodes.len(), "output `{name}` references unknown {bit}");
         }

@@ -33,12 +33,8 @@ pub fn to_dot(nl: &Netlist) -> String {
         match node {
             Node::Input { port, bit } => {
                 let name = &nl.input_ports()[*port as usize].name;
-                let _ = writeln!(
-                    out,
-                    "  {id} [shape=ellipse, label=\"{}[{}]\"];",
-                    sanitize(name),
-                    bit
-                );
+                let _ =
+                    writeln!(out, "  {id} [shape=ellipse, label=\"{}[{}]\"];", sanitize(name), bit);
             }
             Node::Gate(g) => {
                 let _ = writeln!(out, "  {id} [shape=box, label=\"{}\"];", g.kind.mnemonic());

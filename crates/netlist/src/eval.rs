@@ -110,10 +110,7 @@ pub fn from_signed(value: i64, width: usize) -> u64 {
     if width < 64 {
         let lo = -(1i64 << (width - 1));
         let hi = (1i64 << (width - 1)) - 1;
-        assert!(
-            (lo..=hi).contains(&value),
-            "{value} does not fit into {width} signed bits"
-        );
+        assert!((lo..=hi).contains(&value), "{value} does not fit into {width} signed bits");
     }
     (value as u64) & if width == 64 { u64::MAX } else { (1u64 << width) - 1 }
 }

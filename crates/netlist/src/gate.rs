@@ -133,8 +133,8 @@ impl GateKind {
     pub fn all() -> &'static [GateKind] {
         use GateKind::*;
         &[
-            Const0, Const1, Buf, Not, And2, Nand2, Or2, Nor2, And3, Or3, Nand3, Nor3, Xor2,
-            Xnor2, Mux2,
+            Const0, Const1, Buf, Not, And2, Nand2, Or2, Nor2, And3, Or3, Nand3, Nor3, Xor2, Xnor2,
+            Mux2,
         ]
     }
 }
@@ -241,8 +241,7 @@ mod tests {
             let n = k.arity();
             for pattern in 0u8..(1 << n) {
                 let ins: Vec<bool> = (0..n).map(|i| pattern & (1 << i) != 0).collect();
-                let words: Vec<u64> =
-                    ins.iter().map(|&v| if v { u64::MAX } else { 0 }).collect();
+                let words: Vec<u64> = ins.iter().map(|&v| if v { u64::MAX } else { 0 }).collect();
                 let get = |i: usize| words.get(i).copied().unwrap_or(0);
                 let w = k.eval_word(get(0), get(1), get(2)) & 1 != 0;
                 assert_eq!(k.eval_bool(&ins), w, "{k} on {ins:?}");

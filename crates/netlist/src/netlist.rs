@@ -109,10 +109,7 @@ impl Netlist {
     /// Number of *area-occupying* gates: excludes primary inputs and
     /// constant ties (free wiring in a bespoke printed design).
     pub fn gate_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n, Node::Gate(g) if !g.kind.is_free()))
-            .count()
+        self.nodes.iter().filter(|n| matches!(n, Node::Gate(g) if !g.kind.is_free())).count()
     }
 
     /// Returns the gate if `net` is driven by one.

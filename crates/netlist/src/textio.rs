@@ -87,7 +87,8 @@ pub fn from_text(text: &str) -> Result<Netlist, String> {
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or(format!("line {line_no}: bad width"))?;
-                input_ports.push(Port { name: pname.to_owned(), bits: vec![NetId::from_index(0); width] });
+                input_ports
+                    .push(Port { name: pname.to_owned(), bits: vec![NetId::from_index(0); width] });
             }
             Some("node") => {
                 let id: usize = tok
@@ -97,8 +98,7 @@ pub fn from_text(text: &str) -> Result<Netlist, String> {
                 if id != nodes.len() {
                     return Err(format!("line {line_no}: node {id} out of order"));
                 }
-                let kind_tok =
-                    tok.next().ok_or(format!("line {line_no}: missing node kind"))?;
+                let kind_tok = tok.next().ok_or(format!("line {line_no}: missing node kind"))?;
                 if kind_tok == "in" {
                     let port: u16 = tok
                         .next()

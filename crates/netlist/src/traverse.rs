@@ -58,8 +58,7 @@ impl Fanout {
 /// Marks every net in the transitive fanin cone of the output ports.
 /// Dead (unmarked) gates contribute no area once swept.
 pub fn live_from_outputs(nl: &Netlist) -> Vec<bool> {
-    let seeds: Vec<NetId> =
-        nl.output_ports().iter().flat_map(|p| p.bits.iter().copied()).collect();
+    let seeds: Vec<NetId> = nl.output_ports().iter().flat_map(|p| p.bits.iter().copied()).collect();
     live_from(nl, &seeds)
 }
 

@@ -100,7 +100,8 @@ mod tests {
         nl.nodes.swap(0, 2); // gate now precedes its input
         assert!(matches!(
             validate(&nl),
-            Err(NetlistError::ForwardReference { .. }) | Err(NetlistError::InputPortMismatch { .. })
+            Err(NetlistError::ForwardReference { .. })
+                | Err(NetlistError::InputPortMismatch { .. })
         ));
     }
 

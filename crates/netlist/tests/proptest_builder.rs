@@ -7,10 +7,7 @@ use proptest::prelude::*;
 
 /// Reference evaluation of a netlist on one input assignment.
 fn eval(nl: &Netlist, inputs: &[bool]) -> Vec<bool> {
-    assert_eq!(
-        inputs.len(),
-        nl.input_ports().iter().map(|p| p.width()).sum::<usize>()
-    );
+    assert_eq!(inputs.len(), nl.input_ports().iter().map(|p| p.width()).sum::<usize>());
     let mut vals = vec![false; nl.len()];
     let mut in_iter = inputs.iter().copied();
     for (id, node) in nl.iter() {
@@ -22,11 +19,7 @@ fn eval(nl: &Netlist, inputs: &[bool]) -> Vec<bool> {
             }
         };
     }
-    nl.output_ports()
-        .iter()
-        .flat_map(|p| p.bits.iter())
-        .map(|n| vals[n.index()])
-        .collect()
+    nl.output_ports().iter().flat_map(|p| p.bits.iter()).map(|n| vals[n.index()]).collect()
 }
 
 /// A random expression op applied to previously available nets.

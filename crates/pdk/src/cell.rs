@@ -51,14 +51,8 @@ impl Cell {
         static_uw: f64,
         sw_energy_nj: f64,
     ) -> Self {
-        let cell = Self {
-            mnemonic: mnemonic.into(),
-            fanin,
-            area_mm2,
-            delay_ms,
-            static_uw,
-            sw_energy_nj,
-        };
+        let cell =
+            Self { mnemonic: mnemonic.into(), fanin, area_mm2, delay_ms, static_uw, sw_energy_nj };
         assert!(
             cell.is_physical(),
             "cell {} has a negative or non-finite characterization value",
@@ -81,7 +75,12 @@ impl std::fmt::Display for Cell {
         write!(
             f,
             "{} (fanin {}): {:.3} mm², {:.2} ms, {:.2} µW, {:.2} nJ/toggle",
-            self.mnemonic, self.fanin, self.area_mm2, self.delay_ms, self.static_uw, self.sw_energy_nj
+            self.mnemonic,
+            self.fanin,
+            self.area_mm2,
+            self.delay_ms,
+            self.static_uw,
+            self.sw_energy_nj
         )
     }
 }

@@ -40,8 +40,8 @@
 
 mod cell;
 mod error;
-mod library;
 pub mod liberty;
+mod library;
 mod params;
 
 pub use cell::Cell;

@@ -106,9 +106,8 @@ pub fn parse(text: &str) -> Result<Library, PdkError> {
 
 fn parse_cell(line_no: usize, rest: &str) -> Result<Cell, PdkError> {
     // `NAND2 { fanin 2; area 0.33; delay 0.60; static 9.6; energy 2.2; }`
-    let (mnemonic, body) = rest
-        .split_once('{')
-        .ok_or_else(|| parse_err(line_no, "expected `{` in cell statement"))?;
+    let (mnemonic, body) =
+        rest.split_once('{').ok_or_else(|| parse_err(line_no, "expected `{` in cell statement"))?;
     let mnemonic = mnemonic.trim();
     if mnemonic.is_empty() {
         return Err(parse_err(line_no, "cell mnemonic is empty"));
@@ -190,7 +189,8 @@ mod tests {
 
     #[test]
     fn missing_voltage_is_an_error() {
-        let text = "library X {\n cell INV { fanin 1; area 0.1; delay 0.2; static 3.0; energy 0.5; }\n}\n";
+        let text =
+            "library X {\n cell INV { fanin 1; area 0.1; delay 0.2; static 3.0; energy 0.5; }\n}\n";
         assert!(matches!(parse(text), Err(PdkError::Parse { .. })));
     }
 

@@ -1,0 +1,175 @@
+//! Inference backends: two ways to answer the same classification
+//! request.
+//!
+//! * [`NetlistBackend`] — cycle-exact evaluation of the deployed
+//!   approximate circuit through the bit-parallel simulator, 64 samples
+//!   per netlist pass. This is what the printed hardware would answer.
+//! * [`QuantBackend`] — direct integer MAC evaluation of the golden
+//!   quantized model (the *unpruned* semantics). This is what the exact
+//!   model would answer.
+//!
+//! Both implement [`Backend`], so the engine can serve from either and
+//! use the other as an online auditor: on an unapproximated baseline
+//! artifact the two agree bit-exactly (property-tested), and on a pruned
+//! artifact their measured disagreement *is* the live accuracy cost of
+//! approximation.
+
+use pax_bespoke::stimulus_for_rows;
+use pax_ml::quant::QuantizedModel;
+use pax_netlist::{eval, Netlist};
+use pax_sim::simulate;
+
+/// A classification backend: maps quantized input rows to class
+/// predictions.
+pub trait Backend: Send + Sync {
+    /// Short identifier used in metrics and logs.
+    fn name(&self) -> &'static str;
+
+    /// Predicts one class per input row.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on arity mismatches — submission validates
+    /// arity at the engine boundary, so a mismatch here is a bug.
+    fn classify(&self, rows: &[Vec<i64>]) -> Vec<usize>;
+}
+
+/// Serves predictions by simulating the deployed netlist, 64 requests
+/// per pass.
+#[derive(Debug, Clone)]
+pub struct NetlistBackend {
+    netlist: Netlist,
+    model: QuantizedModel,
+}
+
+impl NetlistBackend {
+    /// Creates the backend for a materialized circuit and the model
+    /// whose interface it implements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist lacks the expected ports (`x<i>` inputs
+    /// plus `class` or `score0`).
+    pub fn new(netlist: Netlist, model: QuantizedModel) -> Self {
+        assert_eq!(
+            netlist.input_ports().len(),
+            model.n_inputs(),
+            "netlist/model input arity mismatch"
+        );
+        if model.kind.is_classifier() {
+            assert!(netlist.output_port("class").is_some(), "classifier circuits expose `class`");
+        } else {
+            assert!(netlist.output_port("score0").is_some(), "regressor circuits expose `score0`");
+        }
+        Self { netlist, model }
+    }
+
+    /// The deployed netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Gate count of the deployed netlist (for reporting).
+    pub fn gate_count(&self) -> usize {
+        self.netlist.gate_count()
+    }
+}
+
+impl Backend for NetlistBackend {
+    fn name(&self) -> &'static str {
+        "netlist"
+    }
+
+    fn classify(&self, rows: &[Vec<i64>]) -> Vec<usize> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let stim = stimulus_for_rows(&self.model, rows);
+        let sim = simulate(&self.netlist, &stim);
+        if self.model.kind.is_classifier() {
+            sim.port_values("class").iter().map(|&v| v as usize).collect()
+        } else {
+            let width = self.netlist.output_port("score0").expect("checked in new()").width();
+            sim.port_values("score0")
+                .iter()
+                .map(|&raw| {
+                    let value = eval::to_signed(raw, width) as f64 * self.model.output_scale;
+                    pax_ml::metrics::round_to_class(value, self.model.n_classes)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Serves predictions from the golden integer model — no netlist, just
+/// the quantized MACs.
+#[derive(Debug, Clone)]
+pub struct QuantBackend {
+    model: QuantizedModel,
+}
+
+impl QuantBackend {
+    /// Creates the backend over a quantized model.
+    pub fn new(model: QuantizedModel) -> Self {
+        Self { model }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &QuantizedModel {
+        &self.model
+    }
+}
+
+impl Backend for QuantBackend {
+    fn name(&self) -> &'static str {
+        "quant"
+    }
+
+    fn classify(&self, rows: &[Vec<i64>]) -> Vec<usize> {
+        rows.iter().map(|row| self.model.predict_q(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_bespoke::BespokeCircuit;
+    use pax_ml::model::LinearClassifier;
+    use pax_ml::quant::QuantSpec;
+
+    fn demo_model() -> QuantizedModel {
+        let svc = LinearClassifier::new(
+            vec![vec![0.8, -0.2], vec![-0.4, 0.9], vec![0.1, 0.2]],
+            vec![0.0, 0.05, -0.1],
+        );
+        QuantizedModel::from_linear_classifier("demo", &svc, QuantSpec::default())
+    }
+
+    #[test]
+    fn backends_agree_on_exact_circuit() {
+        let model = demo_model();
+        let circuit = BespokeCircuit::generate(&model);
+        let nb = NetlistBackend::new(circuit.netlist, model.clone());
+        let qb = QuantBackend::new(model);
+        let rows: Vec<Vec<i64>> = (0..16).flat_map(|a| (0..16).map(move |b| vec![a, b])).collect();
+        assert_eq!(nb.classify(&rows), qb.classify(&rows));
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let model = demo_model();
+        let circuit = BespokeCircuit::generate(&model);
+        let nb = NetlistBackend::new(circuit.netlist, model);
+        assert!(nb.classify(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_is_rejected_at_construction() {
+        let model = demo_model();
+        let mut b = pax_netlist::NetlistBuilder::new("wrong");
+        let x = b.input_port("x0", 4);
+        b.output_port("class", x);
+        let _ = NetlistBackend::new(b.finish(), model);
+    }
+}

@@ -1,0 +1,129 @@
+//! Request/response plumbing for the batching engine.
+//!
+//! A submitted sample becomes a [`Request`] parked in its model's
+//! bounded queue; the caller keeps a [`Ticket`] — a one-shot slot the
+//! executing worker fills once the batch the request rode in completes.
+//! Batches are capped at [`LANES`] requests so one bit-parallel
+//! simulator pass answers the whole batch.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Lane width of the bit-parallel simulator word: one netlist pass
+/// answers up to this many requests at once, so the batcher never packs
+/// more than `LANES` requests into a batch.
+pub const LANES: usize = 64;
+
+/// Terminal state of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The predicted class index.
+    Class(usize),
+    /// The request was dropped before execution — its model was
+    /// unregistered or the engine shut down.
+    Cancelled,
+}
+
+impl Outcome {
+    /// The predicted class, or `None` if the request was cancelled.
+    pub fn class(self) -> Option<usize> {
+        match self {
+            Outcome::Class(c) => Some(c),
+            Outcome::Cancelled => None,
+        }
+    }
+}
+
+/// One-shot response slot shared between a [`Ticket`] and the worker
+/// that executes its batch.
+#[derive(Debug, Default)]
+pub(crate) struct Slot {
+    state: Mutex<Option<Outcome>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    /// Resolves the slot. The first fill wins; later fills are no-ops.
+    pub(crate) fn fill(&self, outcome: Outcome) {
+        let mut state = self.state.lock();
+        if state.is_none() {
+            *state = Some(outcome);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Handle to one in-flight request; redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+#[must_use = "a dropped ticket discards the prediction"]
+pub struct Ticket {
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the request's batch executes (or is cancelled).
+    pub fn wait(self) -> Outcome {
+        let mut state = self.slot.state.lock();
+        loop {
+            if let Some(outcome) = *state {
+                return outcome;
+            }
+            self.slot.ready.wait(&mut state);
+        }
+    }
+
+    /// Returns the outcome without blocking, if already available.
+    pub fn try_get(&self) -> Option<Outcome> {
+        *self.slot.state.lock()
+    }
+}
+
+/// One queued classification request: the quantized input row plus the
+/// bookkeeping the worker needs to answer and meter it.
+#[derive(Debug)]
+pub(crate) struct Request {
+    pub(crate) row: Vec<i64>,
+    pub(crate) enqueued: Instant,
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl Request {
+    pub(crate) fn new(row: Vec<i64>) -> (Self, Ticket) {
+        let slot = Arc::new(Slot::default());
+        let ticket = Ticket { slot: Arc::clone(&slot) };
+        (Self { row, enqueued: Instant::now(), slot }, ticket)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_resolves_once() {
+        let (req, ticket) = Request::new(vec![1, 2]);
+        assert_eq!(ticket.try_get(), None);
+        req.slot.fill(Outcome::Class(2));
+        req.slot.fill(Outcome::Cancelled); // loses the race, ignored
+        assert_eq!(ticket.try_get(), Some(Outcome::Class(2)));
+        assert_eq!(ticket.wait(), Outcome::Class(2));
+    }
+
+    #[test]
+    fn wait_blocks_until_filled_from_another_thread() {
+        let (req, ticket) = Request::new(vec![0]);
+        let slot = Arc::clone(&req.slot);
+        let t = std::thread::spawn(move || ticket.wait());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        slot.fill(Outcome::Class(7));
+        assert_eq!(t.join().unwrap(), Outcome::Class(7));
+    }
+
+    #[test]
+    fn outcome_class_accessor() {
+        assert_eq!(Outcome::Class(3).class(), Some(3));
+        assert_eq!(Outcome::Cancelled.class(), None);
+    }
+}

@@ -1,0 +1,589 @@
+//! The serving engine: worker pool, batching, backpressure, auditing.
+//!
+//! [`ServeEngine`] owns a pool of worker threads over the sharded
+//! [`Registry`](crate::registry). Submitting a sample parks it in its
+//! model's bounded queue and returns a [`Ticket`]; workers drain queues
+//! in up-to-[`LANES`](crate::LANES)-request batches, answer each batch
+//! with one backend pass, and cross-check a sampled fraction of batches
+//! against the *other* backend — so the measured accuracy cost of the
+//! deployed approximation is a live metric, not a one-off study number.
+//!
+//! Each worker treats `worker_index % SHARDS` as its home shard and
+//! scans the remaining shards only when home is idle (work stealing),
+//! which keeps hot models from monopolizing the pool while idle workers
+//! still drain any backlog they can find.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use pax_core::artifact::Artifact;
+
+use crate::backend::{NetlistBackend, QuantBackend};
+use crate::batch::{Outcome, Request, Ticket};
+use crate::metrics::MetricsSnapshot;
+use crate::registry::{ModelEntry, Primary, Registry, SHARDS};
+
+/// Engine-wide defaults; per-model knobs live in [`ModelOptions`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads. `0` means one per available core, capped at 8.
+    pub workers: usize,
+    /// Default bound on each model's request queue.
+    pub queue_capacity: usize,
+    /// Default fraction of batches the auditor cross-checks (clamped to
+    /// `0.0..=1.0`; `0.0` disables auditing).
+    pub audit_fraction: f64,
+    /// Default backend for live traffic.
+    pub primary: Primary,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { workers: 0, queue_capacity: 1024, audit_fraction: 0.05, primary: Primary::Netlist }
+    }
+}
+
+/// Per-model overrides for [`ServeEngine::register_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelOptions {
+    /// Queue bound; `None` inherits [`EngineConfig::queue_capacity`].
+    pub queue_capacity: Option<usize>,
+    /// Audit fraction; `None` inherits [`EngineConfig::audit_fraction`].
+    pub audit_fraction: Option<f64>,
+    /// Serving backend; `None` inherits [`EngineConfig::primary`].
+    pub primary: Option<Primary>,
+}
+
+/// Why a registration was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// A model with this name is already registered.
+    Duplicate(String),
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::Duplicate(name) => write!(f, "model `{name}` already registered"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// Why a submission was refused or a request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No model registered under this name.
+    UnknownModel(String),
+    /// The model's queue is full — backpressure; retry later.
+    QueueFull {
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
+    /// The row's arity does not match the model's input count.
+    Arity {
+        /// Inputs the model expects.
+        expected: usize,
+        /// Values the row carried.
+        got: usize,
+    },
+    /// An input value is outside the model's unsigned quantized range.
+    OutOfRange {
+        /// The offending value.
+        value: i64,
+        /// The inclusive maximum (minimum is 0).
+        max: i64,
+    },
+    /// The request was cancelled (model unregistered or engine shut
+    /// down) before it executed.
+    Cancelled,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(name) => write!(f, "unknown model `{name}`"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity}); backpressure")
+            }
+            ServeError::Arity { expected, got } => {
+                write!(f, "row has {got} values, model expects {expected}")
+            }
+            ServeError::OutOfRange { value, max } => {
+                write!(f, "input {value} outside quantized range 0..={max}")
+            }
+            ServeError::Cancelled => write!(f, "request cancelled before execution"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Wakeup channel between submitters and workers.
+#[derive(Default)]
+struct WorkSignal {
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+struct Shared {
+    registry: Registry,
+    signal: WorkSignal,
+    stop: AtomicBool,
+}
+
+/// Multi-threaded, multi-model serving engine. See the module docs.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    config: EngineConfig,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Spawns the worker pool and returns the (initially empty) engine.
+    pub fn new(config: EngineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            registry: Registry::new(),
+            signal: WorkSignal::default(),
+            stop: AtomicBool::new(false),
+        });
+        let n = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(4, |t| t.get()).min(8)
+        } else {
+            config.workers
+        };
+        let workers = (0..n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pax-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self { shared, config, workers }
+    }
+
+    /// Engine with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// Registers a servable artifact under its model name, with the
+    /// engine's default options.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is already registered.
+    pub fn register(&self, artifact: Artifact) -> Result<(), RegisterError> {
+        self.register_with(artifact, ModelOptions::default())
+    }
+
+    /// Registers a servable artifact with per-model overrides.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is already registered.
+    pub fn register_with(
+        &self,
+        artifact: Artifact,
+        opts: ModelOptions,
+    ) -> Result<(), RegisterError> {
+        let Artifact { model, netlist, .. } = artifact;
+        let name = model.name.clone();
+        let fraction = opts.audit_fraction.unwrap_or(self.config.audit_fraction).clamp(0.0, 1.0);
+        let entry = ModelEntry::new(
+            name.clone(),
+            NetlistBackend::new(netlist, model.clone()),
+            QuantBackend::new(model),
+            opts.primary.unwrap_or(self.config.primary),
+            opts.queue_capacity.unwrap_or(self.config.queue_capacity).max(1),
+            audit_stride(fraction),
+        );
+        if self.shared.registry.insert(entry) {
+            Ok(())
+        } else {
+            Err(RegisterError::Duplicate(name))
+        }
+    }
+
+    /// Unregisters a model, cancelling its queued requests. Returns
+    /// `false` if no such model exists.
+    pub fn unregister(&self, name: &str) -> bool {
+        match self.shared.registry.remove(name) {
+            Some(entry) => {
+                entry.cancel_pending();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Registered model names.
+    pub fn models(&self) -> Vec<String> {
+        self.shared.registry.names()
+    }
+
+    /// Submits one quantized input row; the returned [`Ticket`] resolves
+    /// when the batch it rides in executes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown models, arity/range mismatches and — the
+    /// backpressure path — full queues.
+    pub fn submit(&self, model: &str, row: Vec<i64>) -> Result<Ticket, ServeError> {
+        let entry = self
+            .shared
+            .registry
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_owned()))?;
+        validate_row(&entry, &row)?;
+        let (request, ticket) = Request::new(row);
+        if !entry.enqueue(request) {
+            return Err(ServeError::QueueFull { capacity: entry.capacity });
+        }
+        // If the model was unregistered (or the engine shut down)
+        // between the lookup and the enqueue, its cancel sweep may have
+        // already run — nobody would drain this queue again. Re-check
+        // and sweep here so the ticket always resolves.
+        let orphaned = self.shared.stop.load(Ordering::SeqCst)
+            || self.shared.registry.get(model).is_none_or(|current| !Arc::ptr_eq(&current, &entry));
+        if orphaned {
+            entry.cancel_pending();
+        }
+        self.shared.signal.cond.notify_one();
+        Ok(ticket)
+    }
+
+    /// Convenience: submits every row and blocks for all predictions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first submission error, or [`ServeError::Cancelled`]
+    /// if the engine tears down mid-flight.
+    pub fn classify(&self, model: &str, rows: &[Vec<i64>]) -> Result<Vec<usize>, ServeError> {
+        let tickets: Vec<Ticket> =
+            rows.iter().map(|row| self.submit(model, row.clone())).collect::<Result<_, _>>()?;
+        tickets.into_iter().map(|t| t.wait().class().ok_or(ServeError::Cancelled)).collect()
+    }
+
+    /// Point-in-time metrics for one model.
+    pub fn metrics(&self, model: &str) -> Option<MetricsSnapshot> {
+        self.shared.registry.get(model).map(|e| e.metrics.snapshot())
+    }
+
+    /// Metrics for every registered model.
+    pub fn all_metrics(&self) -> Vec<(String, MetricsSnapshot)> {
+        self.shared
+            .registry
+            .entries()
+            .iter()
+            .map(|e| (e.name.clone(), e.metrics.snapshot()))
+            .collect()
+    }
+
+    /// Stops the workers, cancels queued requests and joins the pool.
+    pub fn shutdown(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.signal.cond.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        for entry in self.shared.registry.entries() {
+            entry.cancel_pending();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.teardown();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("workers", &self.workers.len())
+            .field("models", &self.shared.registry.names())
+            .finish()
+    }
+}
+
+/// Batch-sampling stride for an audit fraction: every batch at 1.0,
+/// every `round(1/f)`-th batch below, never at 0.0.
+fn audit_stride(fraction: f64) -> u64 {
+    if fraction <= 0.0 {
+        0
+    } else {
+        (1.0 / fraction).round().max(1.0) as u64
+    }
+}
+
+fn validate_row(entry: &ModelEntry, row: &[i64]) -> Result<(), ServeError> {
+    if row.len() != entry.arity() {
+        return Err(ServeError::Arity { expected: entry.arity(), got: row.len() });
+    }
+    let max = entry.input_max();
+    for &value in row {
+        if value < 0 || value > max {
+            return Err(ServeError::OutOfRange { value, max });
+        }
+    }
+    Ok(())
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let home = index % SHARDS;
+    loop {
+        if let Some(entry) = shared.registry.find_work(home) {
+            let batch = entry.take_batch();
+            if !batch.is_empty() {
+                execute(&entry, batch);
+            }
+            continue;
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Park briefly; submit() notifies, and the timeout covers the
+        // race where work arrived between the scan and the wait.
+        let mut guard = shared.signal.lock.lock();
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = shared.signal.cond.wait_for(&mut guard, Duration::from_millis(2));
+    }
+}
+
+/// Answers one batch: a single primary-backend pass, slot fills, metrics
+/// and — for sampled batches — the cross-backend audit.
+fn execute(entry: &ModelEntry, batch: Vec<Request>) {
+    let rows: Vec<Vec<i64>> = batch.iter().map(|r| r.row.clone()).collect();
+    let predictions = entry.primary_backend().classify(&rows);
+    debug_assert_eq!(predictions.len(), batch.len());
+
+    let done = Instant::now();
+    let latency_ns: u64 = batch
+        .iter()
+        .map(|r| u64::try_from(done.duration_since(r.enqueued).as_nanos()).unwrap_or(u64::MAX))
+        .sum();
+    // Meter before answering: once a caller's ticket resolves, the
+    // batch it rode in is already visible in the snapshot counters.
+    entry.metrics.on_batch_done(batch.len(), latency_ns);
+    for (request, &class) in batch.iter().zip(&predictions) {
+        request.slot.fill(Outcome::Class(class));
+    }
+
+    // Audit after answering: divergence measurement must not add
+    // latency to the sampled requests.
+    if entry.should_audit() {
+        let reference = entry.audit_backend().classify(&rows);
+        let divergent = predictions.iter().zip(&reference).filter(|(a, b)| a != b).count();
+        entry.metrics.on_audit(rows.len(), divergent);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_core::{DesignPoint, Technique};
+    use pax_ml::model::LinearClassifier;
+    use pax_ml::quant::{QuantSpec, QuantizedModel};
+
+    fn demo_artifact(name: &str) -> Artifact {
+        let svc = LinearClassifier::new(
+            vec![vec![0.8, -0.2, 0.3], vec![-0.4, 0.9, -0.1], vec![0.1, 0.2, -0.6]],
+            vec![0.0, 0.05, -0.1],
+        );
+        let model = QuantizedModel::from_linear_classifier(name, &svc, QuantSpec::default());
+        let netlist = pax_bespoke::BespokeCircuit::generate(&model).netlist;
+        let point = DesignPoint {
+            technique: Technique::Exact,
+            tau_c: None,
+            phi_c: None,
+            accuracy: 1.0,
+            area_mm2: 0.0,
+            power_mw: 0.0,
+            gate_count: netlist.gate_count(),
+            critical_ms: 0.0,
+        };
+        Artifact { model, netlist, point }
+    }
+
+    fn rows(n: usize) -> Vec<Vec<i64>> {
+        (0..n)
+            .map(|i| vec![(i % 16) as i64, ((i * 7) % 16) as i64, ((i * 3) % 16) as i64])
+            .collect()
+    }
+
+    #[test]
+    fn serves_and_matches_golden_model() {
+        let engine = ServeEngine::new(EngineConfig { workers: 3, ..Default::default() });
+        let artifact = demo_artifact("serve-test");
+        let golden = QuantBackend::new(artifact.model.clone());
+        engine.register(artifact).unwrap();
+
+        let inputs = rows(300);
+        let got = engine.classify("serve-test", &inputs).unwrap();
+        let expected: Vec<usize> = inputs.iter().map(|r| golden.model().predict_q(r)).collect();
+        assert_eq!(got, expected);
+
+        let snap = engine.metrics("serve-test").unwrap();
+        assert_eq!(snap.completed, 300);
+        assert_eq!(snap.queue_depth, 0);
+        assert!(snap.batches >= 5, "300 requests need ≥5 batches of ≤64");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn audit_on_exact_artifact_never_diverges() {
+        let engine = ServeEngine::new(EngineConfig {
+            workers: 2,
+            audit_fraction: 1.0,
+            ..Default::default()
+        });
+        engine.register(demo_artifact("audited")).unwrap();
+        engine.classify("audited", &rows(200)).unwrap();
+        // Audits run after responses; poll briefly for the counters.
+        let mut snap = engine.metrics("audited").unwrap();
+        for _ in 0..200 {
+            if snap.audited_samples >= 200 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            snap = engine.metrics("audited").unwrap();
+        }
+        assert!(snap.audited_samples >= 200, "fraction 1.0 audits every batch");
+        assert_eq!(snap.divergence, 0.0, "exact circuit must agree with golden model");
+    }
+
+    #[test]
+    fn submit_validation_and_unknown_model() {
+        let engine = ServeEngine::new(EngineConfig { workers: 1, ..Default::default() });
+        engine.register(demo_artifact("valid")).unwrap();
+        assert!(matches!(engine.submit("nope", vec![0, 0, 0]), Err(ServeError::UnknownModel(_))));
+        assert_eq!(
+            engine.submit("valid", vec![0, 0]).unwrap_err(),
+            ServeError::Arity { expected: 3, got: 2 }
+        );
+        assert_eq!(
+            engine.submit("valid", vec![0, 99, 0]).unwrap_err(),
+            ServeError::OutOfRange { value: 99, max: 15 }
+        );
+        assert_eq!(
+            engine.submit("valid", vec![0, -1, 0]).unwrap_err(),
+            ServeError::OutOfRange { value: -1, max: 15 }
+        );
+    }
+
+    #[test]
+    fn backpressure_rejects_when_queue_full() {
+        // No workers draining: the queue fills and stays full.
+        let engine = ServeEngine::new(EngineConfig { workers: 1, ..Default::default() });
+        engine
+            .register_with(
+                demo_artifact("tiny-queue"),
+                ModelOptions { queue_capacity: Some(1), ..Default::default() },
+            )
+            .unwrap();
+        // A capacity-1 queue under a tight submit storm must reject at
+        // least once: submits are faster than single-row netlist passes.
+        let first = engine.submit("tiny-queue", vec![0, 0, 0]);
+        assert!(first.is_ok());
+        let mut saw_backpressure = false;
+        for _ in 0..10_000 {
+            match engine.submit("tiny-queue", vec![1, 1, 1]) {
+                Err(ServeError::QueueFull { capacity: 1 }) => {
+                    saw_backpressure = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+                Ok(_) => {}
+            }
+        }
+        assert!(saw_backpressure, "capacity-1 queue under a submit storm must reject");
+        let snap = engine.metrics("tiny-queue").unwrap();
+        assert!(snap.rejected >= 1);
+    }
+
+    #[test]
+    fn unregister_cancels_pending() {
+        let engine = ServeEngine::new(EngineConfig { workers: 1, ..Default::default() });
+        engine.register(demo_artifact("gone")).unwrap();
+        let tickets: Vec<Ticket> =
+            (0..50).filter_map(|_| engine.submit("gone", vec![1, 2, 3]).ok()).collect();
+        assert!(engine.unregister("gone"));
+        assert!(!engine.unregister("gone"), "second unregister is a no-op");
+        assert!(matches!(engine.submit("gone", vec![1, 2, 3]), Err(ServeError::UnknownModel(_))));
+        // Every ticket resolved — answered before removal or cancelled.
+        for t in tickets {
+            let _ = t.wait();
+        }
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let engine = ServeEngine::new(EngineConfig { workers: 1, ..Default::default() });
+        engine.register(demo_artifact("dup")).unwrap();
+        assert_eq!(
+            engine.register(demo_artifact("dup")),
+            Err(RegisterError::Duplicate("dup".into()))
+        );
+    }
+
+    #[test]
+    fn quant_primary_serves_identically() {
+        let engine = ServeEngine::new(EngineConfig {
+            workers: 2,
+            primary: Primary::Quant,
+            audit_fraction: 1.0,
+            ..Default::default()
+        });
+        let artifact = demo_artifact("quant-primary");
+        let golden = QuantBackend::new(artifact.model.clone());
+        engine.register(artifact).unwrap();
+        let inputs = rows(128);
+        let got = engine.classify("quant-primary", &inputs).unwrap();
+        let expected: Vec<usize> = inputs.iter().map(|r| golden.model().predict_q(r)).collect();
+        assert_eq!(got, expected);
+        assert_eq!(engine.metrics("quant-primary").unwrap().divergence, 0.0);
+    }
+
+    #[test]
+    fn audit_stride_mapping() {
+        assert_eq!(audit_stride(0.0), 0);
+        assert_eq!(audit_stride(-1.0), 0);
+        assert_eq!(audit_stride(1.0), 1);
+        assert_eq!(audit_stride(0.5), 2);
+        assert_eq!(audit_stride(0.05), 20);
+    }
+
+    #[test]
+    fn multi_model_isolation() {
+        let engine = ServeEngine::new(EngineConfig { workers: 4, ..Default::default() });
+        for i in 0..6 {
+            engine.register(demo_artifact(&format!("m{i}"))).unwrap();
+        }
+        assert_eq!(engine.models().len(), 6);
+        let inputs = rows(64);
+        for i in 0..6 {
+            let name = format!("m{i}");
+            let got = engine.classify(&name, &inputs).unwrap();
+            assert_eq!(got.len(), 64);
+            assert_eq!(engine.metrics(&name).unwrap().completed, 64);
+        }
+        let all = engine.all_metrics();
+        assert_eq!(all.len(), 6);
+        assert!(all.iter().all(|(_, s)| s.completed == 64));
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-model serving metrics.
+//!
+//! Lock-free atomic counters updated by submitters and workers, read as
+//! a consistent-enough [`MetricsSnapshot`] for dashboards. Occupancy is
+//! the fraction of 64-bit simulation lanes actually carrying requests —
+//! the direct measure of how well batching amortizes netlist passes.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::batch::LANES;
+
+/// Live counters for one registered model.
+#[derive(Debug)]
+pub struct ModelMetrics {
+    started: Instant,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    lanes_used: AtomicU64,
+    latency_ns: AtomicU64,
+    queue_depth: AtomicUsize,
+    audited_batches: AtomicU64,
+    audited_samples: AtomicU64,
+    divergent_samples: AtomicU64,
+}
+
+impl ModelMetrics {
+    pub(crate) fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            lanes_used: AtomicU64::new(0),
+            latency_ns: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            audited_batches: AtomicU64::new(0),
+            audited_samples: AtomicU64::new(0),
+            divergent_samples: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn on_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_batch_done(&self, batch_size: usize, latency_ns_total: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.lanes_used.fetch_add(batch_size as u64, Ordering::Relaxed);
+        self.completed.fetch_add(batch_size as u64, Ordering::Relaxed);
+        self.latency_ns.fetch_add(latency_ns_total, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(batch_size, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_cancel(&self, n: usize) {
+        self.queue_depth.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_audit(&self, samples: usize, divergent: usize) {
+        self.audited_batches.fetch_add(1, Ordering::Relaxed);
+        self.audited_samples.fetch_add(samples as u64, Ordering::Relaxed);
+        self.divergent_samples.fetch_add(divergent as u64, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time view of the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let lanes_used = self.lanes_used.load(Ordering::Relaxed);
+        let audited = self.audited_samples.load(Ordering::Relaxed);
+        let divergent = self.divergent_samples.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed,
+            batches,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            mean_batch: if batches == 0 { 0.0 } else { lanes_used as f64 / batches as f64 },
+            occupancy: if batches == 0 {
+                0.0
+            } else {
+                lanes_used as f64 / (batches * LANES as u64) as f64
+            },
+            mean_latency_ms: if completed == 0 {
+                0.0
+            } else {
+                self.latency_ns.load(Ordering::Relaxed) as f64 / completed as f64 / 1e6
+            },
+            throughput: {
+                let secs = self.started.elapsed().as_secs_f64();
+                if secs > 0.0 {
+                    completed as f64 / secs
+                } else {
+                    0.0
+                }
+            },
+            audited_batches: self.audited_batches.load(Ordering::Relaxed),
+            audited_samples: audited,
+            divergence: if audited == 0 { 0.0 } else { divergent as f64 / audited as f64 },
+        }
+    }
+}
+
+/// Point-in-time metrics for one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests rejected by backpressure.
+    pub rejected: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Netlist/MAC passes executed.
+    pub batches: u64,
+    /// Requests currently queued or in flight.
+    pub queue_depth: usize,
+    /// Mean requests per executed batch.
+    pub mean_batch: f64,
+    /// Fraction of the 64 simulation lanes used, averaged over batches.
+    pub occupancy: f64,
+    /// Mean submit→response latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Completed requests per second since registration.
+    pub throughput: f64,
+    /// Batches cross-checked by the auditor.
+    pub audited_batches: u64,
+    /// Samples cross-checked by the auditor.
+    pub audited_samples: u64,
+    /// Fraction of audited samples where the backends disagreed — the
+    /// live accuracy cost of serving the approximate circuit.
+    pub divergence: f64,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.0} req/s | {} done / {} queued / {} rejected | batch {:.1} ({:.0}% occupancy) | \
+             {:.2} ms latency | divergence {:.2}% over {} audited",
+            self.throughput,
+            self.completed,
+            self.queue_depth,
+            self.rejected,
+            self.mean_batch,
+            self.occupancy * 100.0,
+            self.mean_latency_ms,
+            self.divergence * 100.0,
+            self.audited_samples,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate() {
+        let m = ModelMetrics::new();
+        for _ in 0..10 {
+            m.on_submit();
+        }
+        m.on_reject();
+        m.on_batch_done(6, 6_000_000);
+        m.on_batch_done(4, 2_000_000);
+        m.on_audit(6, 3);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 10);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.queue_depth, 0);
+        assert!((s.mean_batch - 5.0).abs() < 1e-12);
+        assert!((s.occupancy - 10.0 / 128.0).abs() < 1e-12);
+        assert!((s.mean_latency_ms - 0.8).abs() < 1e-12);
+        assert!((s.divergence - 0.5).abs() < 1e-12);
+        assert_eq!(s.audited_batches, 1);
+        let line = s.to_string();
+        assert!(line.contains("divergence 50.00%"), "{line}");
+    }
+
+    #[test]
+    fn empty_metrics_are_all_zero() {
+        let s = ModelMetrics::new().snapshot();
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.occupancy, 0.0);
+        assert_eq!(s.mean_latency_ms, 0.0);
+        assert_eq!(s.divergence, 0.0);
+    }
+}

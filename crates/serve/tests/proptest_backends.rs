@@ -1,0 +1,112 @@
+//! Cross-backend equivalence property: on an *unapproximated* baseline
+//! circuit, [`NetlistBackend`] (bit-parallel simulation of the bespoke
+//! netlist) and [`QuantBackend`] (direct integer MACs on the golden
+//! model) must agree bit-exactly on every batch. Any later divergence
+//! observed in production is then attributable to deliberate
+//! approximation, never to the serving path itself.
+
+use pax_bespoke::BespokeCircuit;
+use pax_ml::model::{LinearClassifier, Mlp, MlpTask};
+use pax_ml::quant::{QuantSpec, QuantizedModel};
+use pax_serve::{Backend, NetlistBackend, QuantBackend};
+use pax_synth::opt;
+use proptest::prelude::*;
+
+fn arb_linear_model() -> impl Strategy<Value = QuantizedModel> {
+    (2usize..5, 2usize..6)
+        .prop_flat_map(|(classes, inputs)| {
+            (
+                proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, inputs), classes),
+                proptest::collection::vec(-0.3f64..0.3, classes),
+            )
+        })
+        .prop_filter("weights must not be all-zero", |(rows, _)| {
+            rows.iter().flatten().any(|w| w.abs() > 1e-3)
+        })
+        .prop_map(|(rows, biases)| {
+            QuantizedModel::from_linear_classifier(
+                "prop-linear",
+                &LinearClassifier::new(rows, biases),
+                QuantSpec::default(),
+            )
+        })
+}
+
+fn arb_mlp_model() -> impl Strategy<Value = QuantizedModel> {
+    (2usize..4, 2usize..5, 2usize..4)
+        .prop_flat_map(|(classes, inputs, hidden)| {
+            (
+                proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, inputs), hidden),
+                proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, hidden), classes),
+            )
+        })
+        .prop_filter("layers must not be all-zero", |(w1, w2)| {
+            w1.iter().flatten().any(|w| w.abs() > 1e-3)
+                && w2.iter().flatten().any(|w| w.abs() > 1e-3)
+        })
+        .prop_map(|(w1, w2)| {
+            let b1 = vec![0.0; w1.len()];
+            let b2 = vec![0.0; w2.len()];
+            let classes = w2.len();
+            let mlp = Mlp::new(w1, b1, w2, b2, MlpTask::Classification);
+            QuantizedModel::from_mlp("prop-mlp", &mlp, classes.max(3), QuantSpec::default())
+        })
+}
+
+/// Random batch of in-range quantized rows for `model`.
+fn arb_rows(model: &QuantizedModel) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    let max = model.spec.input_max();
+    proptest::collection::vec(proptest::collection::vec(0i64..=max, model.n_inputs()), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Linear (SVM-style) classifiers: simulated baseline circuit ==
+    /// golden integer model on arbitrary batches.
+    #[test]
+    fn linear_backends_agree_on_baseline(
+        case in arb_linear_model().prop_flat_map(|m| {
+            let rows = arb_rows(&m);
+            (Just(m), rows)
+        })
+    ) {
+        let (model, rows) = case;
+        let circuit = BespokeCircuit::generate(&model);
+        let netlist = NetlistBackend::new(circuit.netlist, model.clone());
+        let quant = QuantBackend::new(model);
+        prop_assert_eq!(netlist.classify(&rows), quant.classify(&rows));
+    }
+
+    /// MLP classifiers (two hardwired layers + ReLU): same equivalence.
+    #[test]
+    fn mlp_backends_agree_on_baseline(
+        case in arb_mlp_model().prop_flat_map(|m| {
+            let rows = arb_rows(&m);
+            (Just(m), rows)
+        })
+    ) {
+        let (model, rows) = case;
+        let circuit = BespokeCircuit::generate(&model);
+        let netlist = NetlistBackend::new(circuit.netlist, model.clone());
+        let quant = QuantBackend::new(model);
+        prop_assert_eq!(netlist.classify(&rows), quant.classify(&rows));
+    }
+
+    /// Equivalence survives the exact logic optimizer — the netlist that
+    /// actually deploys is the optimized one.
+    #[test]
+    fn optimized_netlist_still_agrees(
+        case in arb_linear_model().prop_flat_map(|m| {
+            let rows = arb_rows(&m);
+            (Just(m), rows)
+        })
+    ) {
+        let (model, rows) = case;
+        let circuit = BespokeCircuit::generate(&model);
+        let optimized = opt::optimize(&circuit.netlist);
+        let netlist = NetlistBackend::new(optimized, model.clone());
+        let quant = QuantBackend::new(model);
+        prop_assert_eq!(netlist.classify(&rows), quant.classify(&rows));
+    }
+}

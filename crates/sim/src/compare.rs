@@ -52,7 +52,12 @@ pub fn compare_on(a: &Netlist, b: &Netlist, stim: &Stimulus) -> Equivalence {
         let vb = rb.port_values(&p.name);
         for (s, (&x, &y)) in va.iter().zip(vb.iter()).enumerate() {
             if x != y {
-                return Equivalence::Mismatch { port: p.name.clone(), sample: s, left: x, right: y };
+                return Equivalence::Mismatch {
+                    port: p.name.clone(),
+                    sample: s,
+                    left: x,
+                    right: y,
+                };
             }
         }
     }
@@ -71,13 +76,9 @@ pub fn compare(a: &Netlist, b: &Netlist, n_random: usize) -> Equivalence {
     if total <= 20 {
         let n = 1usize << total;
         for (name, w) in &widths {
-            let offset: usize = widths
-                .iter()
-                .take_while(|(n2, _)| n2 != name)
-                .map(|(_, w2)| w2)
-                .sum();
-            let samples: Vec<u64> =
-                (0..n).map(|p| (p >> offset) as u64 & ((1 << w) - 1)).collect();
+            let offset: usize =
+                widths.iter().take_while(|(n2, _)| n2 != name).map(|(_, w2)| w2).sum();
+            let samples: Vec<u64> = (0..n).map(|p| (p >> offset) as u64 & ((1 << w) - 1)).collect();
             stim.port(name.clone(), samples);
         }
     } else {

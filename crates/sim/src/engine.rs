@@ -24,15 +24,10 @@ impl SimResult {
     /// Panics on unknown port or out-of-range sample.
     pub fn port_sample(&self, name: &str, s: usize) -> u64 {
         assert!(s < self.n_samples, "sample {s} out of range");
-        let planes = self
-            .port_words
-            .get(name)
-            .unwrap_or_else(|| panic!("unknown output port `{name}`"));
+        let planes =
+            self.port_words.get(name).unwrap_or_else(|| panic!("unknown output port `{name}`"));
         let (w, bit) = (s / 64, s % 64);
-        planes
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, plane)| acc | ((plane[w] >> bit & 1) << i))
+        planes.iter().enumerate().fold(0u64, |acc, (i, plane)| acc | ((plane[w] >> bit & 1) << i))
     }
 
     /// All values of output port `name`, one per sample.
@@ -138,11 +133,7 @@ pub fn simulate(nl: &Netlist, stim: &Stimulus) -> SimResult {
         }
     }
 
-    SimResult {
-        n_samples,
-        activity: Activity::new(n_samples, ones, toggles),
-        port_words,
-    }
+    SimResult { n_samples, activity: Activity::new(n_samples, ones, toggles), port_words }
 }
 
 #[cfg(test)]

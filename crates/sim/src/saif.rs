@@ -47,13 +47,7 @@ impl SaifData {
 pub fn to_saif(nl: &Netlist, activity: &Activity) -> String {
     let n = activity.n_samples() as u64;
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "saif \"{}\" duration {} nets {} {{",
-        nl.name(),
-        n,
-        activity.len()
-    );
+    let _ = writeln!(out, "saif \"{}\" duration {} nets {} {{", nl.name(), n, activity.len());
     for i in 0..activity.len() {
         let id = NetId::from_index(i);
         let t1 = activity.ones(id);

@@ -16,6 +16,39 @@ impl Stimulus {
         Self::default()
     }
 
+    /// Builds a stimulus from row-major samples: `rows[s][i]` is the
+    /// value of port `ports[i]` at sample `s`. This is the natural shape
+    /// of serving traffic (one row per request), transposed here into
+    /// the per-port columns the bit-parallel engine packs into lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's arity differs from the port count.
+    pub fn from_rows<S: Into<String>>(
+        ports: impl IntoIterator<Item = S>,
+        rows: &[Vec<u64>],
+    ) -> Self {
+        let names: Vec<String> = ports.into_iter().map(Into::into).collect();
+        let mut columns: Vec<Vec<u64>> = vec![Vec::with_capacity(rows.len()); names.len()];
+        for row in rows {
+            assert_eq!(
+                row.len(),
+                names.len(),
+                "row has {} values for {} ports",
+                row.len(),
+                names.len()
+            );
+            for (col, &v) in columns.iter_mut().zip(row) {
+                col.push(v);
+            }
+        }
+        let mut stim = Self::new();
+        for (name, col) in names.into_iter().zip(columns) {
+            stim.port(name, col);
+        }
+        stim
+    }
+
     /// Sets the sample vector for one input port, replacing any previous
     /// samples for that port. Returns `&mut self` for chaining.
     pub fn port(&mut self, name: impl Into<String>, samples: Vec<u64>) -> &mut Self {
@@ -80,5 +113,19 @@ mod tests {
     #[test]
     fn empty_stimulus_has_zero_samples() {
         assert_eq!(Stimulus::new().n_samples(), 0);
+    }
+
+    #[test]
+    fn from_rows_transposes() {
+        let s = Stimulus::from_rows(["a", "b"], &[vec![1, 10], vec![2, 20], vec![3, 30]]);
+        assert_eq!(s.n_samples(), 3);
+        assert_eq!(s.samples("a"), Some(&[1u64, 2, 3][..]));
+        assert_eq!(s.samples("b"), Some(&[10u64, 20, 30][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row has")]
+    fn from_rows_rejects_ragged_rows() {
+        let _ = Stimulus::from_rows(["a", "b"], &[vec![1, 2], vec![3]]);
     }
 }

@@ -6,7 +6,8 @@
 //! EDA waveform viewer) opens. Port bits become VCD wires named
 //! `port[i]`; the timescale is one clock cycle per time unit.
 
-use bytes::{BufMut, BytesMut};
+use std::fmt::Write as _;
+
 use pax_netlist::{Netlist, Node};
 
 use crate::Stimulus;
@@ -29,14 +30,14 @@ pub fn to_vcd(nl: &Netlist, stim: &Stimulus) -> String {
         }
     }
 
-    let mut out = BytesMut::new();
-    out.put_slice(b"$date pax-sim $end\n");
-    out.put_slice(b"$timescale 1 ms $end\n");
-    out.put_slice(format!("$scope module {} $end\n", nl.name()).as_bytes());
+    let mut out = String::new();
+    out.push_str("$date pax-sim $end\n");
+    out.push_str("$timescale 1 ms $end\n");
+    let _ = writeln!(out, "$scope module {} $end", nl.name());
     for (i, (name, _)) in traced.iter().enumerate() {
-        out.put_slice(format!("$var wire 1 {} {} $end\n", ident(i), name).as_bytes());
+        let _ = writeln!(out, "$var wire 1 {} {} $end", ident(i), name);
     }
-    out.put_slice(b"$upscope $end\n$enddefinitions $end\n");
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
 
     // Scalar replay: netlists are small enough that waveform dumping
     // need not be bit-parallel.
@@ -53,29 +54,26 @@ pub fn to_vcd(nl: &Netlist, stim: &Stimulus) -> String {
                     samples[s] >> bit & 1 == 1
                 }
                 Node::Gate(g) => {
-                    let ins: Vec<bool> =
-                        g.inputs().iter().map(|i| vals[i.index()]).collect();
+                    let ins: Vec<bool> = g.inputs().iter().map(|i| vals[i.index()]).collect();
                     g.kind.eval_bool(&ins)
                 }
             };
         }
-        let mut changes = BytesMut::new();
+        let mut changes = String::new();
         for (i, (_, net)) in traced.iter().enumerate() {
             let v = vals[net.index()];
             if prev[i] != Some(v) {
-                changes.put_slice(
-                    format!("{}{}\n", u8::from(v), ident(i)).as_bytes(),
-                );
+                let _ = writeln!(changes, "{}{}", u8::from(v), ident(i));
                 prev[i] = Some(v);
             }
         }
         if !changes.is_empty() {
-            out.put_slice(format!("#{s}\n").as_bytes());
-            out.put_slice(&changes);
+            let _ = writeln!(out, "#{s}");
+            out.push_str(&changes);
         }
     }
-    out.put_slice(format!("#{n}\n").as_bytes());
-    String::from_utf8(out.to_vec()).expect("VCD is ASCII")
+    let _ = writeln!(out, "#{n}");
+    out
 }
 
 /// Compact VCD identifier for signal `i` (printable ASCII, base-94).
@@ -115,10 +113,7 @@ mod tests {
         assert!(vcd.contains("$scope module w"));
         // y = 0,1,1,1,0: exactly two transitions after the initial dump.
         let y_id = {
-            let line = vcd
-                .lines()
-                .find(|l| l.contains("y[0]"))
-                .expect("y[0] declared");
+            let line = vcd.lines().find(|l| l.contains("y[0]")).expect("y[0] declared");
             line.split_whitespace().nth(3).unwrap().to_string()
         };
         let y_changes =

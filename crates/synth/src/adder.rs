@@ -125,8 +125,7 @@ mod tests {
         for xv in 0..8u64 {
             for yv in 0..8u64 {
                 for cv in 0..2u64 {
-                    let got =
-                        eval::eval_ports(&nl, &[("x", xv), ("y", yv), ("ci", cv)])["s"];
+                    let got = eval::eval_ports(&nl, &[("x", xv), ("y", yv), ("ci", cv)])["s"];
                     assert_eq!(got, xv + yv + cv);
                 }
             }

@@ -50,18 +50,12 @@ pub struct ArgmaxOut {
 pub fn argmax(b: &mut NetlistBuilder, values: &[Bus]) -> ArgmaxOut {
     assert!(!values.is_empty(), "argmax of zero candidates");
     let width = values[0].width();
-    assert!(
-        values.iter().all(|v| v.width() == width),
-        "argmax candidates must share a width"
-    );
+    assert!(values.iter().all(|v| v.width() == width), "argmax candidates must share a width");
     let idx_width = unsigned_width_for(values.len().saturating_sub(1) as u64);
     let candidates: Vec<ArgmaxOut> = values
         .iter()
         .enumerate()
-        .map(|(i, v)| ArgmaxOut {
-            index: b.constant_bus(i as u64, idx_width),
-            value: v.clone(),
-        })
+        .map(|(i, v)| ArgmaxOut { index: b.constant_bus(i as u64, idx_width), value: v.clone() })
         .collect();
     tournament(b, &candidates)
 }
@@ -125,11 +119,7 @@ mod tests {
             for b in -4..4 {
                 for c in -4..4 {
                     let vals = [a, b, c];
-                    assert_eq!(
-                        run_argmax(&vals, 4),
-                        reference_argmax(&vals),
-                        "{vals:?}"
-                    );
+                    assert_eq!(run_argmax(&vals, 4), reference_argmax(&vals), "{vals:?}");
                 }
             }
         }

@@ -12,7 +12,7 @@ use pax_netlist::{Bus, NetlistBuilder};
 
 use crate::bits::{product_width, shl, zero_extend};
 use crate::csa::{sum_terms, Term};
-use crate::csd::{to_csd, to_binary_digits, CsdDigit};
+use crate::csd::{to_binary_digits, to_csd, CsdDigit};
 
 /// Builds the bespoke multiplier `x · w` for an **unsigned** input bus
 /// `x` and a hardwired signed constant `w`, producing a signed
@@ -105,11 +105,7 @@ mod tests {
         pax_netlist::validate::assert_valid(&nl);
         for xv in 0..(1u64 << x_width) {
             let got = eval::eval_ports(&nl, &[("x", xv)])["p"];
-            assert_eq!(
-                eval::to_signed(got, width),
-                w * xv as i64,
-                "x={xv} w={w} binary={binary}"
-            );
+            assert_eq!(eval::to_signed(got, width), w * xv as i64, "x={xv} w={w} binary={binary}");
         }
     }
 

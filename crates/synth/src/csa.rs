@@ -55,12 +55,7 @@ impl Term {
 /// # Panics
 ///
 /// Panics if `width` is zero or exceeds 63.
-pub fn sum_terms(
-    b: &mut NetlistBuilder,
-    terms: &[Term],
-    constant: i64,
-    width: usize,
-) -> Bus {
+pub fn sum_terms(b: &mut NetlistBuilder, terms: &[Term], constant: i64, width: usize) -> Bus {
     assert!(width > 0 && width <= 63, "unsupported sum width {width}");
     let mask = (1i128 << width) - 1;
 
@@ -182,11 +177,8 @@ mod tests {
         for (k, (&w, (&n, &s))) in widths.iter().zip(negate.iter().zip(signed)).enumerate() {
             let bus = b.input_port(format!("x{k}"), w);
             terms.push(Term { bus, signed: s, negate: n });
-            let (lo, hi) = if s {
-                (-(1i64 << (w - 1)), (1i64 << (w - 1)) - 1)
-            } else {
-                (0, (1i64 << w) - 1)
-            };
+            let (lo, hi) =
+                if s { (-(1i64 << (w - 1)), (1i64 << (w - 1)) - 1) } else { (0, (1i64 << w) - 1) };
             let (lo, hi) = if n { (-hi, -lo) } else { (lo, hi) };
             min += lo;
             max += hi;
@@ -202,9 +194,7 @@ mod tests {
         for _ in 0..200 {
             let mut expect = constant;
             let mut inputs: Vec<(String, u64)> = Vec::new();
-            for (k, (&w, (&n, &s))) in
-                widths.iter().zip(negate.iter().zip(signed)).enumerate()
-            {
+            for (k, (&w, (&n, &s))) in widths.iter().zip(negate.iter().zip(signed)).enumerate() {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 let raw = state >> (64 - w);
                 inputs.push((format!("x{k}"), raw));

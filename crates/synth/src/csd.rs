@@ -55,10 +55,7 @@ pub fn to_csd(w: i64) -> Vec<CsdDigit> {
 
 /// Reconstructs the integer value of a CSD digit vector.
 pub fn from_csd(digits: &[CsdDigit]) -> i64 {
-    digits
-        .iter()
-        .map(|d| i64::from(d.sign) * (1i64 << d.pos))
-        .sum()
+    digits.iter().map(|d| i64::from(d.sign) * (1i64 << d.pos)).sum()
 }
 
 /// Number of non-zero digits — the number of add/subtract terms a
@@ -73,10 +70,7 @@ pub fn csd_cost(w: i64) -> usize {
 pub fn to_binary_digits(w: i64) -> Vec<CsdDigit> {
     let sign: i8 = if w < 0 { -1 } else { 1 };
     let mag = (w as i128).unsigned_abs();
-    (0..127)
-        .filter(|i| mag >> i & 1 == 1)
-        .map(|pos| CsdDigit { pos, sign })
-        .collect()
+    (0..127).filter(|i| mag >> i & 1 == 1).map(|pos| CsdDigit { pos, sign }).collect()
 }
 
 #[cfg(test)]
@@ -96,10 +90,7 @@ mod tests {
         for w in -1024..=1024i64 {
             let d = to_csd(w);
             for pair in d.windows(2) {
-                assert!(
-                    pair[1].pos > pair[0].pos + 1,
-                    "adjacent digits in CSD of {w}: {d:?}"
-                );
+                assert!(pair[1].pos > pair[0].pos + 1, "adjacent digits in CSD of {w}: {d:?}");
             }
         }
     }

@@ -103,7 +103,8 @@ pub fn sweep(nl: &Netlist) -> Netlist {
         if !live[id.index()] {
             continue;
         }
-        let ins: Vec<NetId> = g.inputs().iter().map(|i| map[i.index()].expect("live cone")).collect();
+        let ins: Vec<NetId> =
+            g.inputs().iter().map(|i| map[i.index()].expect("live cone")).collect();
         map[id.index()] = Some(emit(&mut b, g.kind, &ins));
     }
     finish_outputs(nl, b, &map)
@@ -138,11 +139,8 @@ fn rebuild_inputs(nl: &Netlist, b: &mut NetlistBuilder, map: &mut [Option<NetId>
 
 fn finish_outputs(nl: &Netlist, mut b: NetlistBuilder, map: &[Option<NetId>]) -> Netlist {
     for p in nl.output_ports() {
-        let bus: Bus = p
-            .bits
-            .iter()
-            .map(|n| map[n.index()].expect("output net must be mapped"))
-            .collect();
+        let bus: Bus =
+            p.bits.iter().map(|n| map[n.index()].expect("output net must be mapped")).collect();
         b.output_port(p.name.clone(), bus);
     }
     b.finish()

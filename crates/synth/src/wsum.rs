@@ -69,11 +69,8 @@ mod tests {
 
     fn check(weights: &[i64], bias: i64, widths: &[usize]) {
         let mut b = NetlistBuilder::new("ws");
-        let inputs: Vec<Bus> = widths
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| b.input_port(format!("x{i}"), w))
-            .collect();
+        let inputs: Vec<Bus> =
+            widths.iter().enumerate().map(|(i, &w)| b.input_port(format!("x{i}"), w)).collect();
         let (mut lo, mut hi) = (bias, bias);
         for (&w, &xw) in weights.iter().zip(widths) {
             let xmax = (1i64 << xw) - 1;
@@ -116,8 +113,7 @@ mod tests {
     #[test]
     fn neuron_sized_sum_exact() {
         // 21 coefficients like the Cardio models.
-        let weights: Vec<i64> =
-            (0..21).map(|i| ((i * 37 + 11) % 255) as i64 - 127).collect();
+        let weights: Vec<i64> = (0..21).map(|i| ((i * 37 + 11) % 255) as i64 - 127).collect();
         let widths = vec![4usize; 21];
         check(&weights, -432, &widths);
     }
@@ -147,16 +143,14 @@ mod tests {
 
         let fused = {
             let mut b = NetlistBuilder::new("fused");
-            let inputs: Vec<Bus> =
-                (0..4).map(|i| b.input_port(format!("x{i}"), 4)).collect();
+            let inputs: Vec<Bus> = (0..4).map(|i| b.input_port(format!("x{i}"), 4)).collect();
             let s = weighted_sum(&mut b, &inputs, &weights, 0, width);
             b.output_port("s", s);
             area::area_mm2(&crate::opt::optimize(&b.finish()), &lib).unwrap()
         };
         let separate = {
             let mut b = NetlistBuilder::new("sep");
-            let inputs: Vec<Bus> =
-                (0..4).map(|i| b.input_port(format!("x{i}"), 4)).collect();
+            let inputs: Vec<Bus> = (0..4).map(|i| b.input_port(format!("x{i}"), 4)).collect();
             let terms: Vec<crate::csa::Term> = inputs
                 .iter()
                 .zip(&weights)

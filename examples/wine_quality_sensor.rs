@@ -39,8 +39,10 @@ fn main() {
     // Candidate architectures for the label: the cheap regressor and the
     // per-class SVM.
     let svr = train_svr(&train, &SvrParams::default(), 3);
-    let svr_model = QuantizedModel::from_svr("wine-svr", &svr, data.n_classes, QuantSpec::default());
-    let svc = train_svm_classifier(&train, &SvmParams { lr: 0.1, epochs: 400, ..Default::default() }, 3);
+    let svr_model =
+        QuantizedModel::from_svr("wine-svr", &svr, data.n_classes, QuantSpec::default());
+    let svc =
+        train_svm_classifier(&train, &SvmParams { lr: 0.1, epochs: 400, ..Default::default() }, 3);
     let svc_model = QuantizedModel::from_linear_classifier("wine-svc", &svc, QuantSpec::default());
 
     for model in [&svr_model, &svc_model] {
@@ -52,7 +54,8 @@ fn main() {
             ("pruning only", study.best_within_loss(Technique::PruneOnly, 0.01)),
             ("cross-layer", study.best_within_loss(Technique::Cross, 0.01)),
         ] {
-            let battery = if tech.fits_battery(point.power_mw) { "fits 30 mW battery" } else { "too hungry" };
+            let battery =
+                if tech.fits_battery(point.power_mw) { "fits 30 mW battery" } else { "too hungry" };
             println!(
                 "  {label:14} {:6.2} cm² {:6.2} mW acc {:.3} — {battery}",
                 point.area_cm2(),

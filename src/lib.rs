@@ -1,0 +1,18 @@
+//! Workspace umbrella crate.
+//!
+//! Re-exports every `pax-*` crate under one roof so the repository-level
+//! integration tests (`tests/`) and examples (`examples/`) have a single
+//! dependency surface. Library users should depend on the individual
+//! crates instead.
+
+#![forbid(unsafe_code)]
+
+pub use egt_pdk;
+pub use pax_bespoke;
+pub use pax_core;
+pub use pax_ml;
+pub use pax_netlist;
+pub use pax_serve;
+pub use pax_sim;
+pub use pax_sta;
+pub use pax_synth;

@@ -27,9 +27,8 @@ fn random_inputs(n: usize, arity: usize, max: i64) -> Vec<Vec<i64>> {
         .map(|_| {
             (0..arity)
                 .map(|_| {
-                    state = state
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                     (state >> 33) as i64 % (max + 1)
                 })
                 .collect()

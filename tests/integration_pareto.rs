@@ -32,9 +32,7 @@ fn front_contains_no_dominated_point_and_dominates_everything() {
     }
     for p in s.all_points() {
         let dominated = front.iter().any(|f| f.dominates(p));
-        let on_front = front
-            .iter()
-            .any(|f| f.area_mm2 == p.area_mm2 && f.accuracy == p.accuracy);
+        let on_front = front.iter().any(|f| f.area_mm2 == p.area_mm2 && f.accuracy == p.accuracy);
         assert!(
             dominated || on_front,
             "point (acc {}, area {}) neither dominated nor on the front",

@@ -48,11 +48,8 @@ fn run_family(kind: ModelKind) -> pax_core::framework::CircuitStudy {
             QuantizedModel::from_mlp("pipe", &m, train.n_classes, spec)
         }
         ModelKind::SvmC => {
-            let m = train_svm_classifier(
-                &train,
-                &SvmParams { epochs: 60, ..Default::default() },
-                3,
-            );
+            let m =
+                train_svm_classifier(&train, &SvmParams { epochs: 60, ..Default::default() }, 3);
             QuantizedModel::from_linear_classifier("pipe", &m, spec)
         }
         ModelKind::SvmR => {

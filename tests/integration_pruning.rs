@@ -126,10 +126,7 @@ fn area_decreases_with_larger_thresholds() {
     for combo in grid.combos.iter().take(60) {
         let pruned = apply_set(&circuit.netlist, &analysis, &grid.sets[combo.set]);
         let area = pax_synth::area::area_mm2(&pruned, &lib).unwrap();
-        by_tau
-            .entry((combo.tau_c * 1000.0) as u64)
-            .or_default()
-            .push((combo.phi_c, area));
+        by_tau.entry((combo.tau_c * 1000.0) as u64).or_default().push((combo.phi_c, area));
     }
     for (_, mut v) in by_tau {
         v.sort_by_key(|p| p.0);

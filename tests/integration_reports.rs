@@ -9,12 +9,7 @@ use pax_ml::quant::{QuantSpec, QuantizedModel};
 use pax_ml::synth_data::blobs;
 use pax_sim::simulate;
 
-fn setup() -> (
-    pax_core::framework::CircuitStudy,
-    BespokeCircuit,
-    pax_ml::Dataset,
-    QuantizedModel,
-) {
+fn setup() -> (pax_core::framework::CircuitStudy, BespokeCircuit, pax_ml::Dataset, QuantizedModel) {
     let data = blobs("rp", 260, 3, 3, 0.1, 13);
     let (train, test) = data.split(0.7, 1);
     let (train, test) = pax_ml::normalize(&train, &test);
@@ -76,7 +71,8 @@ fn verilog_export_covers_the_whole_netlist() {
         assert!(v.contains(&format!("output [{}:0] {}", p.width() - 1, p.name)), "{}", p.name);
     }
     // Gate instance count matches the netlist census.
-    let instances = v.lines().filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_uppercase())).count();
+    let instances =
+        v.lines().filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_uppercase())).count();
     assert_eq!(instances, circuit.netlist.gate_count());
 }
 

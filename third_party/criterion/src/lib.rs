@@ -1,0 +1,176 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the harness surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — measuring
+//! wall-clock time with `std::time::Instant` instead of criterion's
+//! statistical machinery. Each benchmark runs one warm-up pass plus
+//! `sample_size` timed samples and prints min/mean/max per iteration,
+//! which is enough to compare configurations (e.g. batched vs per-sample
+//! serving) without a crates.io dependency.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `std::hint::black_box`-style call sites can use
+/// `criterion::black_box` too.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (default 10).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new() };
+        // Warm-up pass (not recorded).
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|s| s.elapsed.as_secs_f64() / s.iters.max(1) as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "bench {name:<40} [{} samples] min {} mean {} max {}",
+            per_iter.len(),
+            format_time(min),
+            format_time(mean),
+            format_time(max),
+        );
+        self
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        "n/a".to_owned()
+    } else if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+struct Sample {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Timer handed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Sample>,
+}
+
+impl Bencher {
+    /// Times repeated executions of `f`, keeping its output live.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed();
+        // Aim for ~50 ms of work per sample, with at least one run.
+        let iters = if once.as_secs_f64() > 0.05 {
+            1
+        } else {
+            ((0.05 / once.as_secs_f64().max(1e-9)) as u64).clamp(1, 10_000)
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.samples.push(Sample { iters: iters + 1, elapsed: once + start.elapsed() });
+    }
+}
+
+/// Groups benchmark functions, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("stub/sum", |b| b.iter(|| (0..100u64).map(black_box).sum::<u64>()));
+    }
+
+    criterion_group! {
+        name = grouped;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    criterion_group!(simple, sample_bench);
+
+    #[test]
+    fn groups_execute() {
+        grouped();
+        simple();
+    }
+
+    #[test]
+    fn time_formatting_covers_scales() {
+        assert!(format_time(2.5).ends_with(" s"));
+        assert!(format_time(2.5e-3).ends_with(" ms"));
+        assert!(format_time(2.5e-6).ends_with(" µs"));
+        assert!(format_time(2.5e-9).ends_with(" ns"));
+    }
+}

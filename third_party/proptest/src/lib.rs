@@ -1,0 +1,226 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests
+//! use — the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_flat_map` / `prop_filter`, range and tuple strategies,
+//! [`collection::vec`], [`prop_oneof!`], `any::<T>()` and string
+//! strategies from a small regex subset. Cases are generated from a
+//! deterministic per-test RNG (seeded by the test name), so failures
+//! reproduce across runs. Shrinking is not implemented: a failing case
+//! panics with the generated inputs still bound, which is enough for the
+//! invariant-style properties in this tree.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use super::SizeRange;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.size.min, self.size.max);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Inclusive length bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Asserts a property-test condition, reporting the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Uniform choice between several strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `name(arg in strategy, ...)` function
+/// becomes a `#[test]` running `ProptestConfig::cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            $(let $arg = &$strat;)*
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::strategy::Strategy::generate($arg, &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (i64, i64)> {
+        (-50i64..50, 0i64..=9).prop_map(|(a, b)| (a, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(v in 3usize..17, w in -5i64..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&v));
+            prop_assert!((-5..=5).contains(&w));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_and_elements(xs in crate::collection::vec(0u64..4, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn combinators_compose(p in arb_pair(), flag in any::<bool>()) {
+            let (a, b) = p;
+            prop_assert!((-50..50).contains(&a));
+            prop_assert!((0..=9).contains(&b));
+            let _ = flag;
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[A-Z][A-Z0-9_]{0,7}") {
+            prop_assert!(!s.is_empty() && s.len() <= 8, "bad length: {s:?}");
+            let mut chars = s.chars();
+            prop_assert!(chars.next().unwrap().is_ascii_uppercase());
+            prop_assert!(chars.all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'));
+        }
+
+        #[test]
+        fn oneof_and_filter(v in prop_oneof![0i64..10, 100i64..110].prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!((0..10).contains(&v) || (100..110).contains(&v));
+        }
+
+        #[test]
+        fn flat_map_links_values(pair in (1usize..5).prop_flat_map(|n| {
+            crate::collection::vec(any::<bool>(), n).prop_map(move |v| (n, v))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_test("stable");
+        let mut b = crate::TestRng::for_test("stable");
+        let s = 0usize..1000;
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! No crates.io mirror is reachable from the build environment, so this
+//! vendored crate provides the two trait names and the derive macros the
+//! repository imports. Actual persistence is implemented by explicit,
+//! versioned text formats (`pax_ml::serialize` for models,
+//! `pax_netlist::textio` for netlists, `pax_core::artifact` for servable
+//! bundles), which keeps on-disk artifacts human-diffable and free of a
+//! heavyweight dependency.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

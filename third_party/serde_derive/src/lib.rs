@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The repository's structured persistence goes through explicit text
+//! formats (`pax_ml::serialize`, `pax_netlist::textio`,
+//! `pax_core::artifact`), so the serde derives only need to accept the
+//! attribute positions and expand to nothing. This keeps every
+//! `#[derive(Serialize, Deserialize)]` in the tree compiling without a
+//! crates.io dependency.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
