@@ -3,21 +3,31 @@
 //! scalar baseline on the *same* netlist — the number the batcher
 //! exists to beat. The acceptance bar is batched `NetlistBackend`
 //! ≥ 10× the scalar loop; the summary table prints the measured ratio.
+//!
+//! A second comparison pits the interpreted `simulate` path against the
+//! compiled tape (`CompiledNetlist`) on a study-sized stimulus, with
+//! and without activity accounting. Acceptance bar: compiled with
+//! activity disabled ≥ 3× interpreted. The measured numbers are
+//! recorded in `BENCH_compiled_eval.json`.
 
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pax_bespoke::BespokeCircuit;
+use pax_bespoke::{stimulus_for_rows, BespokeCircuit};
 use pax_ml::model::LinearClassifier;
 use pax_ml::quant::{QuantSpec, QuantizedModel};
 use pax_netlist::{eval, Netlist};
 use pax_serve::{Backend, EngineConfig, NetlistBackend, QuantBackend, ServeEngine};
+use pax_sim::{simulate, CompiledNetlist};
 use pax_synth::opt;
 
 const BATCH_SIZES: [usize; 4] = [1, 8, 64, 256];
 /// Samples per timed iteration — identical across variants so per-iter
 /// times compare directly.
 const SAMPLES_PER_ITER: usize = 256;
+/// Stimulus size for the interpreter-vs-compiled comparison — the shape
+/// of one study simulation (a full dataset), not one serving batch.
+const STUDY_SAMPLES: usize = 4096;
 
 /// A cardio-like workload: 5 features, 3 classes, deterministic
 /// weights (no training inside a benchmark).
@@ -129,6 +139,55 @@ fn bench(c: &mut Criterion) {
     let ratio = scalar_s / full_batch_s;
     println!("# batched netlist (64) vs per-sample eval_ports: {ratio:.1}x (acceptance bar: 10x)");
 
+    // --- Interpreter vs compiled evaluator ---------------------------
+    // Study-sized stimulus: one pass over a whole dataset, the shape
+    // the pruning search and accuracy sweeps execute thousands of times.
+    let study_rows: Vec<Vec<i64>> =
+        (0..STUDY_SAMPLES).map(|i| rows[i % rows.len()].clone()).collect();
+    let study_stim = stimulus_for_rows(&model, &study_rows);
+    let compiled = CompiledNetlist::compile(&netlist);
+    let compiled_seq = compiled.clone().with_threads(1);
+    let interp_s = time_it(
+        || {
+            black_box(simulate(&netlist, &study_stim));
+        },
+        reps,
+    );
+    let compiled_act_s = time_it(
+        || {
+            black_box(compiled.run_with_activity(&study_stim).unwrap());
+        },
+        reps,
+    );
+    let compiled_seq_s = time_it(
+        || {
+            black_box(compiled_seq.run(&study_stim).unwrap());
+        },
+        reps,
+    );
+    let compiled_s = time_it(
+        || {
+            black_box(compiled.run(&study_stim).unwrap());
+        },
+        reps,
+    );
+    let interp_rate = STUDY_SAMPLES as f64 / interp_s;
+    println!("# interpreter vs compiled — {STUDY_SAMPLES} samples/iteration, {reps} reps");
+    println!("# {:<34} {:>14} {:>12}", "variant", "samples/sec", "vs interp");
+    println!("# {:<34} {:>14.0} {:>11.1}x", "simulate (interpreted, activity)", interp_rate, 1.0);
+    for (label, secs) in [
+        ("compiled + activity", compiled_act_s),
+        ("compiled, no activity, 1 thread", compiled_seq_s),
+        ("compiled, no activity", compiled_s),
+    ] {
+        let rate = STUDY_SAMPLES as f64 / secs;
+        println!("# {:<34} {:>14.0} {:>11.1}x", label, rate, rate / interp_rate);
+    }
+    println!(
+        "# compiled (no activity) vs interpreted simulate: {:.1}x (acceptance bar: 3x)",
+        interp_s / compiled_s
+    );
+
     // --- Criterion-tracked benchmarks --------------------------------
     for &batch in &BATCH_SIZES {
         let chunks: Vec<Vec<Vec<i64>>> = rows.chunks(batch).map(<[_]>::to_vec).collect();
@@ -155,6 +214,27 @@ fn bench(c: &mut Criterion) {
         let rows = rows.clone();
         c.bench_function("serve/eval_ports_per_sample", move |b| {
             b.iter(|| black_box(eval_ports_loop(&netlist, &rows)))
+        });
+    }
+    {
+        let netlist = netlist.clone();
+        let stim = study_stim.clone();
+        c.bench_function("sim/interpreted_study", move |b| {
+            b.iter(|| black_box(simulate(&netlist, &stim)))
+        });
+    }
+    {
+        let compiled = compiled.clone();
+        let stim = study_stim.clone();
+        c.bench_function("sim/compiled_activity_study", move |b| {
+            b.iter(|| black_box(compiled.run_with_activity(&stim).unwrap()))
+        });
+    }
+    {
+        let compiled = compiled.clone();
+        let stim = study_stim.clone();
+        c.bench_function("sim/compiled_study", move |b| {
+            b.iter(|| black_box(compiled.run(&stim).unwrap()))
         });
     }
 

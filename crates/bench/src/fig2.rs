@@ -134,7 +134,7 @@ mod tests {
             gain_4_to_10 <= gain_1_to_4 + 5.0,
             "saturation expected: {gain_1_to_4} then {gain_4_to_10}"
         );
-        let csv = to_csv(&[p.clone()]);
+        let csv = to_csv(std::slice::from_ref(&p));
         assert_eq!(csv.lines().count(), 11);
         assert!(summarize(&[p]).contains("median"));
     }

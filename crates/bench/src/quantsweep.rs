@@ -27,6 +27,12 @@ pub struct SweepPoint {
     pub coef_bits: u32,
     /// Quantized test accuracy at this precision.
     pub accuracy: f64,
+    /// Accuracy of the *materialized bespoke circuit* at this
+    /// precision, measured through the compiled netlist evaluator —
+    /// only at the paper's deployed precision (4-bit inputs, 8-bit
+    /// coefficients), `None` elsewhere. Must equal `accuracy`: the
+    /// exact circuit hardwires the same integer arithmetic.
+    pub circuit_accuracy: Option<f64>,
 }
 
 /// The precision grid the sweep explores.
@@ -82,11 +88,20 @@ pub fn sweep(dataset: DatasetId, kind: ModelKind, cfg: &SynthConfig) -> Vec<Swee
         for &cb in &COEF_BITS {
             let spec = QuantSpec { input_bits: ib, coef_bits: cb, hidden_bits: 8 };
             let q = quantize(spec);
+            // At the paper's deployed precision, also materialize the
+            // bespoke circuit and score it through the compiled
+            // evaluator: one tape compiled per design point, all test
+            // samples in one run.
+            let circuit_accuracy = (ib == 4 && cb == 8).then(|| {
+                let circuit = pax_bespoke::BespokeCircuit::generate(&q);
+                pax_bespoke::evaluate(&circuit.netlist, &q, &test).accuracy
+            });
             points.push(SweepPoint {
                 circuit: format!("{} {}", dataset.name(), kind.tag()),
                 input_bits: ib,
                 coef_bits: cb,
                 accuracy: q.accuracy_on(&test),
+                circuit_accuracy,
             });
         }
     }
@@ -125,11 +140,16 @@ pub fn render(points: &[SweepPoint]) -> String {
     out
 }
 
-/// CSV rendering: `circuit,input_bits,coef_bits,accuracy`.
+/// CSV rendering: `circuit,input_bits,coef_bits,accuracy,circuit_accuracy`.
 pub fn to_csv(points: &[SweepPoint]) -> String {
-    let mut out = String::from("circuit,input_bits,coef_bits,accuracy\n");
+    let mut out = String::from("circuit,input_bits,coef_bits,accuracy,circuit_accuracy\n");
     for p in points {
-        let _ = writeln!(out, "{},{},{},{:.6}", p.circuit, p.input_bits, p.coef_bits, p.accuracy);
+        let circuit_acc = p.circuit_accuracy.map_or(String::from("-"), |a| format!("{a:.6}"));
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.6},{}",
+            p.circuit, p.input_bits, p.coef_bits, p.accuracy, circuit_acc
+        );
     }
     out
 }
@@ -154,5 +174,17 @@ mod tests {
         assert!(text.contains("redwine svm-r"));
         let csv = to_csv(&points);
         assert_eq!(csv.lines().count(), 1 + points.len());
+        // The paper point carries a compiled-circuit measurement, and
+        // the exact circuit reproduces the quantized model bit-exactly.
+        let paper = points.iter().find(|p| p.input_bits == 4 && p.coef_bits == 8).unwrap();
+        let circuit_acc = paper.circuit_accuracy.expect("paper point is materialized");
+        assert!(
+            (circuit_acc - paper.accuracy).abs() < 1e-12,
+            "{circuit_acc} vs {}",
+            paper.accuracy
+        );
+        assert!(points
+            .iter()
+            .all(|p| p.circuit_accuracy.is_none() || (p.input_bits == 4 && p.coef_bits == 8)));
     }
 }

@@ -1,7 +1,7 @@
 use pax_ml::quant::QuantizedModel;
 use pax_ml::Dataset;
 use pax_netlist::{eval, Netlist};
-use pax_sim::{simulate, SimResult, Stimulus};
+use pax_sim::{CompiledNetlist, SimResult, Stimulus};
 
 /// Batched circuit evaluation result.
 #[derive(Debug, Clone)]
@@ -67,6 +67,10 @@ fn columns_to_stimulus(columns: Vec<Vec<u64>>) -> Stimulus {
 /// Simulates `netlist` (any pruned/optimized derivative of the circuit
 /// generated for `model`) on the dataset and scores its predictions.
 ///
+/// Compiles the netlist and runs the tape once; to evaluate one netlist
+/// on several datasets (or across batches), compile it yourself and use
+/// [`evaluate_compiled`].
+///
 /// Classifiers read the `class` port; regressors dequantize the `score0`
 /// bus and round to the nearest class, exactly as the paper evaluates
 /// its MLP-R/SVM-R.
@@ -75,13 +79,28 @@ fn columns_to_stimulus(columns: Vec<Vec<u64>>) -> Stimulus {
 ///
 /// Panics if the netlist lacks the expected ports.
 pub fn evaluate(netlist: &Netlist, model: &QuantizedModel, data: &Dataset) -> EvalOutcome {
+    evaluate_compiled(&CompiledNetlist::compile(netlist), model, data)
+}
+
+/// [`evaluate`] over an already-compiled netlist — the
+/// compile-once/execute-many path study drivers use when one design
+/// point is simulated on several stimuli.
+///
+/// # Panics
+///
+/// Panics if the compiled circuit lacks the expected ports or the
+/// dataset does not match the model.
+pub fn evaluate_compiled(
+    compiled: &CompiledNetlist,
+    model: &QuantizedModel,
+    data: &Dataset,
+) -> EvalOutcome {
     let stim = stimulus_for(model, data);
-    let sim = simulate(netlist, &stim);
+    let sim = compiled.run_with_activity(&stim).unwrap_or_else(|e| panic!("{e}"));
     let predictions: Vec<usize> = if model.kind.is_classifier() {
         sim.port_values("class").iter().map(|&v| v as usize).collect()
     } else {
-        let width =
-            netlist.output_port("score0").expect("regressor circuits expose score0").width();
+        let width = sim.port_width("score0").expect("regressor circuits expose score0");
         sim.port_values("score0")
             .iter()
             .map(|&raw| {

@@ -18,14 +18,17 @@
 use std::time::Instant;
 
 use egt_pdk::{Library, TechParams};
-use pax_bespoke::{evaluate, BespokeCircuit};
+use pax_bespoke::{evaluate_compiled, BespokeCircuit};
 use pax_ml::quant::{ModelKind, QuantizedModel};
 use pax_ml::Dataset;
+use pax_sim::CompiledNetlist;
 use pax_synth::{area, opt};
 
 use crate::coeff_approx::{approximate_model, CoeffApproxConfig, CoeffApproxReport};
 use crate::mult_cache::MultCache;
-use crate::prune::{analyze, apply_set, enumerate_grid, evaluate_grid, PruneConfig, PruneGrid};
+use crate::prune::{
+    analyze, analyze_compiled, apply_set, enumerate_grid, evaluate_grid, PruneConfig, PruneGrid,
+};
 use crate::{pareto, DesignPoint, Technique};
 
 /// Framework configuration.
@@ -167,7 +170,9 @@ impl Framework {
     }
 
     /// Measures one circuit: test-set accuracy (and its switching
-    /// activity), area, power, timing.
+    /// activity), area, power, timing. Compiles the netlist for the one
+    /// simulation; when the same circuit is measured *and* analyzed for
+    /// pruning, [`Framework::measure_compiled`] shares one tape.
     pub fn measure(
         &self,
         netlist: &pax_netlist::Netlist,
@@ -175,7 +180,21 @@ impl Framework {
         test: &Dataset,
         technique: Technique,
     ) -> DesignPoint {
-        let outcome = evaluate(netlist, model, test);
+        self.measure_compiled(&CompiledNetlist::compile(netlist), netlist, model, test, technique)
+    }
+
+    /// [`Framework::measure`] over an already-compiled netlist: the
+    /// study flow compiles each design point once and reuses the tape
+    /// across every simulation of that point.
+    pub fn measure_compiled(
+        &self,
+        compiled: &CompiledNetlist,
+        netlist: &pax_netlist::Netlist,
+        model: &QuantizedModel,
+        test: &Dataset,
+        technique: Technique,
+    ) -> DesignPoint {
+        let outcome = evaluate_compiled(compiled, model, test);
         let area = area::area_mm2(netlist, &self.lib).expect("library covers cells");
         let power =
             pax_sim::power::power(netlist, &self.lib, &self.cfg.tech, &outcome.sim.activity)
@@ -205,13 +224,16 @@ impl Framework {
         train: &Dataset,
         test: &Dataset,
     ) -> CircuitStudy {
-        // 1. Exact bespoke baseline.
+        // 1. Exact bespoke baseline. Compiled once: the tape serves the
+        //    baseline measurement here and the τ analysis in step 3.
         let t0 = Instant::now();
         let base_circuit = {
             let c = BespokeCircuit::generate(model);
             c.with_netlist(opt::optimize(&c.netlist))
         };
-        let baseline = self.measure(&base_circuit.netlist, model, test, Technique::Exact);
+        let base_tape = CompiledNetlist::compile(&base_circuit.netlist);
+        let baseline =
+            self.measure_compiled(&base_tape, &base_circuit.netlist, model, test, Technique::Exact);
         let baseline_ms = t0.elapsed().as_millis();
 
         // 2. Coefficient approximation (multiplier cache fill is part of
@@ -226,20 +248,32 @@ impl Framework {
             let c = BespokeCircuit::generate(&approx_model);
             c.with_netlist(opt::optimize(&c.netlist))
         };
-        let coeff =
-            self.measure(&approx_circuit.netlist, &approx_model, test, Technique::CoeffApprox);
+        let approx_tape = CompiledNetlist::compile(&approx_circuit.netlist);
+        let coeff = self.measure_compiled(
+            &approx_tape,
+            &approx_circuit.netlist,
+            &approx_model,
+            test,
+            Technique::CoeffApprox,
+        );
         let coeff_ms = t1.elapsed().as_millis();
 
         // 3. Pruning on the baseline (gray ×).
         let t2 = Instant::now();
         let (prune_only, grid_a) =
-            self.prune_series(&base_circuit, model, train, test, Technique::PruneOnly);
+            self.prune_series(&base_circuit, &base_tape, model, train, test, Technique::PruneOnly);
         let prune_baseline_ms = t2.elapsed().as_millis();
 
         // 4. Pruning on the approximated circuit (green dots).
         let t3 = Instant::now();
-        let (cross, grid_b) =
-            self.prune_series(&approx_circuit, &approx_model, train, test, Technique::Cross);
+        let (cross, grid_b) = self.prune_series(
+            &approx_circuit,
+            &approx_tape,
+            &approx_model,
+            train,
+            test,
+            Technique::Cross,
+        );
         let prune_cross_ms = t3.elapsed().as_millis();
 
         CircuitStudy {
@@ -331,12 +365,13 @@ impl Framework {
     fn prune_series(
         &self,
         circuit: &BespokeCircuit,
+        tape: &CompiledNetlist,
         model: &QuantizedModel,
         train: &Dataset,
         test: &Dataset,
         technique: Technique,
     ) -> (Vec<DesignPoint>, PruneGrid) {
-        let analysis = analyze(&circuit.netlist, model, train);
+        let analysis = analyze_compiled(tape, &circuit.netlist, model, train);
         let grid = enumerate_grid(&analysis, &self.cfg.prune);
         let evals = evaluate_grid(
             &circuit.netlist,

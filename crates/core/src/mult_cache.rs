@@ -178,9 +178,9 @@ mod tests {
         // Reductions are percentages.
         assert!(r4.iter().all(|&v| (0.0..=100.0).contains(&v)));
         // Some coefficient reaches a free neighbour -> 100%.
-        assert!(r4.iter().any(|&v| v == 100.0));
+        assert!(r4.contains(&100.0));
         // Free coefficients stay at 0%.
-        assert!(r1.iter().any(|&v| v == 0.0));
+        assert!(r1.contains(&0.0));
         // Median reduction grows with e (the paper reports 19% -> 53%
         // from e=1 to e=4 across multiplier shapes).
         let median = |v: &[f64]| {

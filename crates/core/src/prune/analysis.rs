@@ -2,7 +2,7 @@ use pax_bespoke::stimulus_for;
 use pax_ml::quant::QuantizedModel;
 use pax_ml::Dataset;
 use pax_netlist::{traverse, NetId, Netlist, Node};
-use pax_sim::simulate;
+use pax_sim::CompiledNetlist;
 
 /// Per-net τ and φ metrics of one circuit, computed once and reused by
 /// the whole (τc, φc) sweep.
@@ -43,9 +43,26 @@ impl PruneAnalysis {
 /// Panics if the netlist lacks `score*` ports (it must come from
 /// `pax-bespoke`) or the dataset does not match the model.
 pub fn analyze(netlist: &Netlist, model: &QuantizedModel, train: &Dataset) -> PruneAnalysis {
+    analyze_compiled(&CompiledNetlist::compile(netlist), netlist, model, train)
+}
+
+/// [`analyze`] over an already-compiled netlist. The framework compiles
+/// each base circuit once and reuses the tape across the τ simulation
+/// here and the accuracy/power measurement — pass the tape compiled
+/// from `netlist` (the φ traversal still needs the netlist structure).
+///
+/// # Panics
+///
+/// See [`analyze`].
+pub fn analyze_compiled(
+    compiled: &CompiledNetlist,
+    netlist: &Netlist,
+    model: &QuantizedModel,
+    train: &Dataset,
+) -> PruneAnalysis {
     // τ from training-set switching activity (paper steps 1–2).
     let stim = stimulus_for(model, train);
-    let sim = simulate(netlist, &stim);
+    let sim = compiled.run_with_activity(&stim).unwrap_or_else(|e| panic!("{e}"));
     let tau: Vec<(f64, bool)> =
         (0..netlist.len()).map(|i| sim.activity.tau(NetId::from_index(i))).collect();
 

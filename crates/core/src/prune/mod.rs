@@ -24,7 +24,7 @@
 mod analysis;
 mod search;
 
-pub use analysis::{analyze, PruneAnalysis};
+pub use analysis::{analyze, analyze_compiled, PruneAnalysis};
 pub use search::{apply_set, enumerate_grid, evaluate_grid, GridCombo, PruneEval, PruneGrid};
 
 /// Configuration of the pruning exploration.

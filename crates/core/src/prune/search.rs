@@ -1,7 +1,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use egt_pdk::{Library, TechParams};
-use pax_bespoke::evaluate;
+use pax_bespoke::evaluate_compiled;
 use pax_ml::quant::QuantizedModel;
 use pax_ml::Dataset;
 use pax_netlist::{NetId, Netlist};
@@ -159,7 +159,11 @@ fn evaluate_one(
     set: &[NetId],
 ) -> PruneEval {
     let pruned = apply_set(base, analysis, set);
-    let outcome = evaluate(&pruned, model, test);
+    // Compile the candidate's tape single-threaded: this function runs
+    // inside evaluate_grid's already-saturated worker pool, so nested
+    // word-parallelism would only oversubscribe the cores.
+    let tape = pax_sim::CompiledNetlist::compile(&pruned).with_threads(1);
+    let outcome = evaluate_compiled(&tape, model, test);
     let area = area::area_mm2(&pruned, lib).expect("library covers cells");
     let power = pax_sim::power::power(&pruned, lib, tech, &outcome.sim.activity)
         .expect("library covers cells");

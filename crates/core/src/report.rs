@@ -233,7 +233,7 @@ mod tests {
         assert!((row.cross.area_gain_pct - 50.0).abs() < 1e-9);
         assert!((row.cross.power_gain_pct - 45.0).abs() < 1e-9);
         assert!(row.cross.battery_ok);
-        assert!(!row.coeff.battery_ok == (29.0 > 30.0) || row.coeff.battery_ok);
+        assert!(row.coeff.battery_ok != (29.0 > 30.0) || row.coeff.battery_ok);
         assert!((row.prune.area_gain_pct - 20.0).abs() < 1e-9);
         let md = table2_markdown(&[row]);
         assert!(md.contains("demo svm-c"));

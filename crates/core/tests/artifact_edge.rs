@@ -1,0 +1,141 @@
+//! Edge-case coverage for the `pax-artifact v1` text round trip.
+//!
+//! The happy path is covered in `artifact.rs`'s unit tests; these pin
+//! the corners a hand-assembled or freshly-initialized artifact hits:
+//! a `point` line whose optional metrics are all absent and whose
+//! numeric metrics are all zero ("empty metrics"), and netlists whose
+//! ports sit at the 64-bit width ceiling of the evaluators and the
+//! text format.
+
+use pax_core::artifact::Artifact;
+use pax_core::{DesignPoint, Technique};
+use pax_ml::model::LinearClassifier;
+use pax_ml::quant::{QuantSpec, QuantizedModel};
+use pax_netlist::{eval, NetId, NetlistBuilder};
+
+fn tiny_model(name: &str) -> QuantizedModel {
+    let svc = LinearClassifier::new(vec![vec![0.7, -0.3], vec![-0.5, 0.6]], vec![0.0, 0.1]);
+    QuantizedModel::from_linear_classifier(name, &svc, QuantSpec::default())
+}
+
+/// All-empty metrics: optional thresholds absent, every number zero.
+fn empty_point(gate_count: usize) -> DesignPoint {
+    DesignPoint {
+        technique: Technique::Exact,
+        tau_c: None,
+        phi_c: None,
+        accuracy: 0.0,
+        area_mm2: 0.0,
+        power_mw: 0.0,
+        gate_count,
+        critical_ms: 0.0,
+    }
+}
+
+#[test]
+fn empty_metrics_round_trip() {
+    let model = tiny_model("empty");
+    let netlist = pax_bespoke::BespokeCircuit::generate(&model).netlist;
+    let art = Artifact { point: empty_point(netlist.gate_count()), model, netlist };
+
+    let text = art.to_text();
+    // The optional fields serialize as bare dashes.
+    let point_line = text.lines().nth(1).expect("point line");
+    assert!(point_line.starts_with("point exact - - 0 0 0"), "got `{point_line}`");
+
+    let back = Artifact::from_text(&text).expect("empty metrics must round-trip");
+    assert_eq!(back.point, art.point);
+    assert_eq!(back.point.tau_c, None);
+    assert_eq!(back.point.phi_c, None);
+    assert_eq!(back.model, art.model);
+    assert_eq!(back.netlist, art.netlist);
+}
+
+/// Builds a netlist with the model's interface but 64-bit-wide ports —
+/// the maximum width `eval_ports`, the simulator and the text format
+/// support.
+fn max_width_netlist(model: &QuantizedModel) -> pax_netlist::Netlist {
+    let mut b = NetlistBuilder::new("wide");
+    let mut buses = Vec::new();
+    for i in 0..model.n_inputs() {
+        buses.push(b.input_port(format!("x{i}"), 64));
+    }
+    // A 64-bit `class` port mixing pass-through bits, gates and both
+    // rail constants, so every textio node flavour appears at width 64.
+    let mut bits: Vec<NetId> = Vec::new();
+    for i in 0..64 {
+        let a = buses[0][i];
+        let c = buses[1][63 - i];
+        bits.push(match i % 4 {
+            0 => a,
+            1 => b.xor2(a, c),
+            2 => b.nand2(a, c),
+            _ => b.constant(i % 8 == 3),
+        });
+    }
+    b.output_port("class", bits.into());
+    b.finish()
+}
+
+#[test]
+fn max_width_ports_round_trip() {
+    let model = tiny_model("wide");
+    let netlist = max_width_netlist(&model);
+    assert_eq!(netlist.input_ports()[0].width(), 64);
+    assert_eq!(netlist.output_port("class").unwrap().width(), 64);
+
+    let art = Artifact { point: empty_point(netlist.gate_count()), model, netlist };
+    let back = Artifact::from_text(&art.to_text()).expect("max-width ports must round-trip");
+    assert_eq!(back.netlist, art.netlist, "64-bit ports must reload structurally identical");
+
+    // Functional spot-check at the value-domain extremes: all-ones,
+    // zero and an alternating pattern exercise the full 64-bit lanes.
+    for (x0, x1) in [(u64::MAX, 0), (0, u64::MAX), (0xAAAA_AAAA_AAAA_AAAA, 0x5555_5555_5555_5555)] {
+        let inputs = [("x0", x0), ("x1", x1)];
+        let a = eval::eval_ports(&art.netlist, &inputs);
+        let b = eval::eval_ports(&back.netlist, &inputs);
+        assert_eq!(a["class"], b["class"], "x0={x0:#x}");
+    }
+}
+
+#[test]
+fn empty_metrics_and_max_width_compose() {
+    // Both edge cases in one artifact, plus a save/load cycle through
+    // the filesystem (the `InvalidData` mapping path).
+    let model = tiny_model("compose");
+    let netlist = max_width_netlist(&model);
+    let art = Artifact { point: empty_point(netlist.gate_count()), model, netlist };
+
+    let dir = std::env::temp_dir().join("pax-artifact-edge");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("edge.paxart");
+    art.save(&path).unwrap();
+    let back = Artifact::load(&path).unwrap();
+    assert_eq!(back.point, art.point);
+    assert_eq!(back.netlist, art.netlist);
+
+    // Corrupt one netlist line: reload must fail with InvalidData, not
+    // panic.
+    let corrupted = art.to_text().replacen("netlist\n", "netlist\ngarbage line\n", 1);
+    std::fs::write(&path, corrupted).unwrap();
+    let err = Artifact::load(&path).expect_err("corrupted artifact must be rejected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn zero_gate_netlist_artifact_round_trips() {
+    // Pure-wiring netlist: gate_count 0, outputs alias inputs — the
+    // smallest servable artifact shape.
+    let model = tiny_model("wires");
+    let mut b = NetlistBuilder::new("wires");
+    let x0 = b.input_port("x0", 4);
+    let _x1 = b.input_port("x1", 4);
+    b.output_port("class", x0);
+    let netlist = b.finish();
+    assert_eq!(netlist.gate_count(), 0);
+    let art = Artifact { point: empty_point(0), model, netlist };
+    let back = Artifact::from_text(&art.to_text()).expect("wiring-only artifact round-trips");
+    assert_eq!(back.netlist, art.netlist);
+    assert_eq!(back.point.gate_count, 0);
+}

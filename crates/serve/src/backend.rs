@@ -2,8 +2,12 @@
 //! request.
 //!
 //! * [`NetlistBackend`] — cycle-exact evaluation of the deployed
-//!   approximate circuit through the bit-parallel simulator, 64 samples
-//!   per netlist pass. This is what the printed hardware would answer.
+//!   approximate circuit through the compiled bit-parallel evaluator,
+//!   64 samples per tape pass. This is what the printed hardware would
+//!   answer. The netlist is compiled to a
+//!   [`CompiledNetlist`](pax_sim::CompiledNetlist) instruction tape
+//!   once at construction; every batch reuses the tape, with activity
+//!   accounting disabled (serving never reads toggle counts).
 //! * [`QuantBackend`] — direct integer MAC evaluation of the golden
 //!   quantized model (the *unpruned* semantics). This is what the exact
 //!   model would answer.
@@ -13,11 +17,18 @@
 //! artifact the two agree bit-exactly (property-tested), and on a pruned
 //! artifact their measured disagreement *is* the live accuracy cost of
 //! approximation.
+//!
+//! [`Backend::try_classify`] is the worker-facing entry point: a
+//! malformed batch (wrong arity, out-of-range value, simulator
+//! rejection) comes back as a [`ServeError`] instead of panicking — a
+//! bad batch must never poison a worker thread.
 
 use pax_bespoke::stimulus_for_rows;
 use pax_ml::quant::QuantizedModel;
 use pax_netlist::{eval, Netlist};
-use pax_sim::simulate;
+use pax_sim::CompiledNetlist;
+
+use crate::ServeError;
 
 /// A classification backend: maps quantized input rows to class
 /// predictions.
@@ -25,26 +36,56 @@ pub trait Backend: Send + Sync {
     /// Short identifier used in metrics and logs.
     fn name(&self) -> &'static str;
 
+    /// Predicts one class per input row, rejecting malformed batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Arity`] / [`ServeError::OutOfRange`] for
+    /// rows that do not fit the model, and [`ServeError::Sim`] if the
+    /// simulator rejects the packed batch.
+    fn try_classify(&self, rows: &[Vec<i64>]) -> Result<Vec<usize>, ServeError>;
+
     /// Predicts one class per input row.
     ///
     /// # Panics
     ///
-    /// Implementations panic on arity mismatches — submission validates
-    /// arity at the engine boundary, so a mismatch here is a bug.
-    fn classify(&self, rows: &[Vec<i64>]) -> Vec<usize>;
+    /// Panics on malformed batches — use [`Backend::try_classify`] when
+    /// the rows come from an untrusted source.
+    fn classify(&self, rows: &[Vec<i64>]) -> Vec<usize> {
+        self.try_classify(rows).unwrap_or_else(|e| panic!("{e}"))
+    }
 }
 
-/// Serves predictions by simulating the deployed netlist, 64 requests
+/// Validates every row's arity and value range against the model.
+fn validate_rows(model: &QuantizedModel, rows: &[Vec<i64>]) -> Result<(), ServeError> {
+    let expected = model.n_inputs();
+    let max = model.spec.input_max();
+    for row in rows {
+        if row.len() != expected {
+            return Err(ServeError::Arity { expected, got: row.len() });
+        }
+        for &value in row {
+            if value < 0 || value > max {
+                return Err(ServeError::OutOfRange { value, max });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serves predictions by running the compiled netlist tape, 64 requests
 /// per pass.
 #[derive(Debug, Clone)]
 pub struct NetlistBackend {
     netlist: Netlist,
+    compiled: CompiledNetlist,
     model: QuantizedModel,
 }
 
 impl NetlistBackend {
     /// Creates the backend for a materialized circuit and the model
-    /// whose interface it implements.
+    /// whose interface it implements, compiling the netlist to an
+    /// instruction tape shared by all future batches.
     ///
     /// # Panics
     ///
@@ -61,12 +102,18 @@ impl NetlistBackend {
         } else {
             assert!(netlist.output_port("score0").is_some(), "regressor circuits expose `score0`");
         }
-        Self { netlist, model }
+        let compiled = CompiledNetlist::compile(&netlist);
+        Self { netlist, compiled, model }
     }
 
     /// The deployed netlist.
     pub fn netlist(&self) -> &Netlist {
         &self.netlist
+    }
+
+    /// The compiled instruction tape serving the batches.
+    pub fn compiled(&self) -> &CompiledNetlist {
+        &self.compiled
     }
 
     /// Gate count of the deployed netlist (for reporting).
@@ -80,23 +127,25 @@ impl Backend for NetlistBackend {
         "netlist"
     }
 
-    fn classify(&self, rows: &[Vec<i64>]) -> Vec<usize> {
+    fn try_classify(&self, rows: &[Vec<i64>]) -> Result<Vec<usize>, ServeError> {
         if rows.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
+        validate_rows(&self.model, rows)?;
         let stim = stimulus_for_rows(&self.model, rows);
-        let sim = simulate(&self.netlist, &stim);
+        let sim = self.compiled.run(&stim).map_err(ServeError::Sim)?;
         if self.model.kind.is_classifier() {
-            sim.port_values("class").iter().map(|&v| v as usize).collect()
+            Ok(sim.port_values("class").iter().map(|&v| v as usize).collect())
         } else {
-            let width = self.netlist.output_port("score0").expect("checked in new()").width();
-            sim.port_values("score0")
+            let width = sim.port_width("score0").expect("checked in new()");
+            Ok(sim
+                .port_values("score0")
                 .iter()
                 .map(|&raw| {
                     let value = eval::to_signed(raw, width) as f64 * self.model.output_scale;
                     pax_ml::metrics::round_to_class(value, self.model.n_classes)
                 })
-                .collect()
+                .collect())
         }
     }
 }
@@ -125,8 +174,9 @@ impl Backend for QuantBackend {
         "quant"
     }
 
-    fn classify(&self, rows: &[Vec<i64>]) -> Vec<usize> {
-        rows.iter().map(|row| self.model.predict_q(row)).collect()
+    fn try_classify(&self, rows: &[Vec<i64>]) -> Result<Vec<usize>, ServeError> {
+        validate_rows(&self.model, rows)?;
+        Ok(rows.iter().map(|row| self.model.predict_q(row)).collect())
     }
 }
 
@@ -171,5 +221,38 @@ mod tests {
         let x = b.input_port("x0", 4);
         b.output_port("class", x);
         let _ = NetlistBackend::new(b.finish(), model);
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected_not_panicked() {
+        let model = demo_model();
+        let circuit = BespokeCircuit::generate(&model);
+        let nb = NetlistBackend::new(circuit.netlist, model.clone());
+        let qb = QuantBackend::new(model);
+        // Wrong arity.
+        assert_eq!(
+            nb.try_classify(&[vec![0, 0, 0]]),
+            Err(ServeError::Arity { expected: 2, got: 3 })
+        );
+        // Negative and oversized values.
+        assert_eq!(
+            nb.try_classify(&[vec![-1, 0]]),
+            Err(ServeError::OutOfRange { value: -1, max: 15 })
+        );
+        assert_eq!(
+            qb.try_classify(&[vec![0, 99]]),
+            Err(ServeError::OutOfRange { value: 99, max: 15 })
+        );
+        // A good batch still answers.
+        assert!(nb.try_classify(&[vec![3, 7]]).is_ok());
+    }
+
+    #[test]
+    fn compiled_tape_is_exposed() {
+        let model = demo_model();
+        let circuit = BespokeCircuit::generate(&model);
+        let nb = NetlistBackend::new(circuit.netlist.clone(), model);
+        assert_eq!(nb.compiled().n_slots(), circuit.netlist.len());
+        assert!(nb.compiled().n_runs() <= nb.compiled().n_instructions());
     }
 }

@@ -100,6 +100,10 @@ pub enum ServeError {
     /// The request was cancelled (model unregistered or engine shut
     /// down) before it executed.
     Cancelled,
+    /// The simulator rejected the packed batch (see
+    /// [`pax_sim::SimError`]). Submission validates rows, so reaching
+    /// this from the engine indicates an artifact/model mismatch.
+    Sim(pax_sim::SimError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -116,6 +120,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "input {value} outside quantized range 0..={max}")
             }
             ServeError::Cancelled => write!(f, "request cancelled before execution"),
+            ServeError::Sim(e) => write!(f, "simulation rejected batch: {e}"),
         }
     }
 }
@@ -367,9 +372,25 @@ fn worker_loop(shared: &Shared, index: usize) {
 
 /// Answers one batch: a single primary-backend pass, slot fills, metrics
 /// and — for sampled batches — the cross-backend audit.
+///
+/// A backend rejection (malformed batch that slipped past submit-side
+/// validation) cancels the batch's tickets instead of panicking: a bad
+/// batch must never poison the worker thread.
 fn execute(entry: &ModelEntry, batch: Vec<Request>) {
     let rows: Vec<Vec<i64>> = batch.iter().map(|r| r.row.clone()).collect();
-    let predictions = entry.primary_backend().classify(&rows);
+    let predictions = match entry.primary_backend().try_classify(&rows) {
+        Ok(predictions) => predictions,
+        Err(e) => {
+            // Keep the queue gauge honest and retain the error text so
+            // a broken artifact is diagnosable from the metrics, then
+            // resolve every ticket.
+            entry.metrics.on_batch_failed(batch.len(), &e.to_string());
+            for request in &batch {
+                request.slot.fill(Outcome::Cancelled);
+            }
+            return;
+        }
+    };
     debug_assert_eq!(predictions.len(), batch.len());
 
     let done = Instant::now();
@@ -385,11 +406,13 @@ fn execute(entry: &ModelEntry, batch: Vec<Request>) {
     }
 
     // Audit after answering: divergence measurement must not add
-    // latency to the sampled requests.
+    // latency to the sampled requests. An audit-side rejection is
+    // skipped — the primary already answered.
     if entry.should_audit() {
-        let reference = entry.audit_backend().classify(&rows);
-        let divergent = predictions.iter().zip(&reference).filter(|(a, b)| a != b).count();
-        entry.metrics.on_audit(rows.len(), divergent);
+        if let Ok(reference) = entry.audit_backend().try_classify(&rows) {
+            let divergent = predictions.iter().zip(&reference).filter(|(a, b)| a != b).count();
+            entry.metrics.on_audit(rows.len(), divergent);
+        }
     }
 }
 

@@ -8,6 +8,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
+use parking_lot::Mutex;
+
 use crate::batch::LANES;
 
 /// Live counters for one registered model.
@@ -24,6 +26,8 @@ pub struct ModelMetrics {
     audited_batches: AtomicU64,
     audited_samples: AtomicU64,
     divergent_samples: AtomicU64,
+    failed_batches: AtomicU64,
+    last_failure: Mutex<Option<String>>,
 }
 
 impl ModelMetrics {
@@ -40,6 +44,8 @@ impl ModelMetrics {
             audited_batches: AtomicU64::new(0),
             audited_samples: AtomicU64::new(0),
             divergent_samples: AtomicU64::new(0),
+            failed_batches: AtomicU64::new(0),
+            last_failure: Mutex::new(None),
         }
     }
 
@@ -62,6 +68,15 @@ impl ModelMetrics {
 
     pub(crate) fn on_cancel(&self, n: usize) {
         self.queue_depth.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// A whole batch was rejected by the serving backend. The error
+    /// text is retained so a persistently broken model is diagnosable
+    /// from a metrics dashboard, not just from client-side retries.
+    pub(crate) fn on_batch_failed(&self, batch_size: usize, error: &str) {
+        self.failed_batches.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(batch_size, Ordering::Relaxed);
+        *self.last_failure.lock() = Some(error.to_owned());
     }
 
     pub(crate) fn on_audit(&self, samples: usize, divergent: usize) {
@@ -105,6 +120,8 @@ impl ModelMetrics {
             audited_batches: self.audited_batches.load(Ordering::Relaxed),
             audited_samples: audited,
             divergence: if audited == 0 { 0.0 } else { divergent as f64 / audited as f64 },
+            failed_batches: self.failed_batches.load(Ordering::Relaxed),
+            last_failure: self.last_failure.lock().clone(),
         }
     }
 }
@@ -137,6 +154,12 @@ pub struct MetricsSnapshot {
     /// Fraction of audited samples where the backends disagreed — the
     /// live accuracy cost of serving the approximate circuit.
     pub divergence: f64,
+    /// Batches rejected by the serving backend (their requests resolve
+    /// as cancelled). Nonzero means the deployed artifact and its model
+    /// disagree on the interface — a deploy-time bug, not load.
+    pub failed_batches: u64,
+    /// The most recent backend rejection, verbatim.
+    pub last_failure: Option<String>,
 }
 
 impl std::fmt::Display for MetricsSnapshot {
@@ -194,5 +217,20 @@ mod tests {
         assert_eq!(s.occupancy, 0.0);
         assert_eq!(s.mean_latency_ms, 0.0);
         assert_eq!(s.divergence, 0.0);
+        assert_eq!(s.failed_batches, 0);
+        assert_eq!(s.last_failure, None);
+    }
+
+    #[test]
+    fn batch_failures_are_metered_with_the_error() {
+        let m = ModelMetrics::new();
+        for _ in 0..5 {
+            m.on_submit();
+        }
+        m.on_batch_failed(5, "simulation rejected batch: empty stimulus");
+        let s = m.snapshot();
+        assert_eq!(s.failed_batches, 1);
+        assert_eq!(s.queue_depth, 0, "failed batches must drain the queue gauge");
+        assert_eq!(s.last_failure.as_deref(), Some("simulation rejected batch: empty stimulus"));
     }
 }

@@ -1,0 +1,559 @@
+//! Compile-once/execute-many netlist evaluation.
+//!
+//! [`simulate`](crate::simulate) walks the [`Netlist`] node list on
+//! every word: per gate it matches on the node enum, probes the operand
+//! `Option`s and dispatches on the gate kind. That is fine for a study
+//! that evaluates each netlist once, but the serving engine and the
+//! pruning search evaluate the *same* netlist thousands of times — the
+//! dispatch overhead becomes the hot path.
+//!
+//! [`CompiledNetlist`] removes it by compiling the netlist once into a
+//! flat instruction tape:
+//!
+//! * **levelized, kind-grouped runs** — gates are sorted by logic level
+//!   (preserving topological validity) and grouped into runs of one
+//!   [`GateKind`], so the kind dispatch is hoisted out of the inner
+//!   loop: one `match` per run, then a tight loop over dense operand
+//!   slots;
+//! * **optional activity accounting** — [`CompiledNetlist::run`] skips
+//!   the ones/toggle counters entirely (serving never reads them);
+//!   [`CompiledNetlist::run_with_activity`] produces an [`Activity`]
+//!   record bit-identical to the interpreter's;
+//! * **multi-threaded word execution** — 64-sample words are
+//!   independent, so large stimuli are chunked across threads; toggle
+//!   counting stays exact because each chunk re-derives the boundary
+//!   sample from the preceding word before it starts counting.
+//!
+//! Both entry points are pinned bit-for-bit (ports, ones, toggles) to
+//! [`simulate`](crate::simulate) and to the scalar
+//! [`eval_ports`](pax_netlist::eval::eval_ports) reference by the
+//! differential property suite in `tests/proptest_engine.rs`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pax_netlist::NetlistBuilder;
+//! use pax_sim::{CompiledNetlist, Stimulus};
+//!
+//! let mut b = NetlistBuilder::new("xor");
+//! let x = b.input_port("x", 1);
+//! let y = b.input_port("y", 1);
+//! let g = b.xor2(x[0], y[0]);
+//! b.output_port("z", vec![g].into());
+//! let compiled = CompiledNetlist::compile(&b.finish());
+//!
+//! let mut stim = Stimulus::new();
+//! stim.port("x", vec![0, 0, 1, 1]);
+//! stim.port("y", vec![0, 1, 0, 1]);
+//! // Compile once, run on as many stimuli as you like.
+//! let out = compiled.run(&stim).unwrap();
+//! assert_eq!(out.port_values("z"), vec![0, 1, 1, 0]);
+//! ```
+
+use std::collections::BTreeMap;
+
+use pax_netlist::{GateKind, Netlist, Node, Port};
+
+use crate::engine::{pack_inputs, PackedInputs, SimOutputs, SimResult};
+use crate::{Activity, SimError, Stimulus};
+
+/// One tape instruction: dense operand slots plus the destination slot.
+/// Unused operands point at slot 0 and are never read by the executing
+/// run (the run's kind fixes the arity).
+#[derive(Debug, Clone, Copy)]
+struct Instr {
+    a: u32,
+    b: u32,
+    c: u32,
+    dst: u32,
+}
+
+/// A maximal consecutive stretch of instructions sharing one gate kind.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    op: GateKind,
+    start: u32,
+    end: u32,
+}
+
+/// A netlist compiled to a flat, kind-grouped instruction tape. See the
+/// [module docs](self) for the design and when to prefer this over
+/// [`simulate`](crate::simulate).
+#[derive(Debug, Clone)]
+pub struct CompiledNetlist {
+    name: String,
+    n_slots: usize,
+    instrs: Vec<Instr>,
+    runs: Vec<Run>,
+    input_ports: Vec<Port>,
+    output_ports: Vec<Port>,
+    /// Value slot of every output-port bit, ports in declaration order,
+    /// bits LSB-first — the flat order chunk output planes use.
+    output_slots: Vec<u32>,
+    threads: usize,
+}
+
+impl CompiledNetlist {
+    /// Compiles `nl` into an instruction tape.
+    ///
+    /// Gates are stable-sorted by logic level (so the tape stays a valid
+    /// topological order) and, within a level, by kind — maximizing the
+    /// length of single-kind runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has more than `u32::MAX` nodes.
+    pub fn compile(nl: &Netlist) -> Self {
+        assert!(nl.len() <= u32::MAX as usize, "netlist too large to compile");
+        let levels = pax_netlist::topo::levels(nl);
+        let mut gates: Vec<usize> = nl
+            .iter()
+            .filter(|(_, node)| matches!(node, Node::Gate(_)))
+            .map(|(id, _)| id.index())
+            .collect();
+        gates.sort_by_key(|&i| {
+            let Node::Gate(g) = nl.nodes()[i] else { unreachable!("filtered to gates") };
+            (levels[i], g.kind, i)
+        });
+
+        let mut instrs = Vec::with_capacity(gates.len());
+        let mut runs: Vec<Run> = Vec::new();
+        for &i in &gates {
+            let Node::Gate(g) = nl.nodes()[i] else { unreachable!("filtered to gates") };
+            let ins = g.inputs();
+            let operand = |k: usize| ins.get(k).map_or(0, |n| n.index() as u32);
+            let at = instrs.len() as u32;
+            instrs.push(Instr { a: operand(0), b: operand(1), c: operand(2), dst: i as u32 });
+            match runs.last_mut() {
+                Some(run) if run.op == g.kind => run.end = at + 1,
+                _ => runs.push(Run { op: g.kind, start: at, end: at + 1 }),
+            }
+        }
+
+        let output_slots = nl
+            .output_ports()
+            .iter()
+            .flat_map(|p| p.bits.iter().map(|n| n.index() as u32))
+            .collect();
+
+        Self {
+            name: nl.name().to_owned(),
+            n_slots: nl.len(),
+            instrs,
+            runs,
+            input_ports: nl.input_ports().to_vec(),
+            output_ports: nl.output_ports().to_vec(),
+            output_slots,
+            threads: 0,
+        }
+    }
+
+    /// Pins the worker-thread count for [`run`](Self::run) /
+    /// [`run_with_activity`](Self::run_with_activity). `0` (the default)
+    /// sizes the pool from the available parallelism; `1` forces
+    /// sequential execution. Results are bit-identical regardless.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The compiled netlist's module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of value slots (nodes of the source netlist).
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// Number of tape instructions (gates, constants included).
+    pub fn n_instructions(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Number of single-kind runs the tape was grouped into — the number
+    /// of kind dispatches per evaluated word.
+    pub fn n_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Executes the tape on `stim` — functional outputs only, no
+    /// activity accounting. This is the serving path: it never pays for
+    /// toggle counters nobody reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for empty, incomplete, ragged or oversized
+    /// stimuli.
+    pub fn run(&self, stim: &Stimulus) -> Result<SimOutputs, SimError> {
+        let packed = pack_inputs(&self.input_ports, stim)?;
+        let (outputs, _) = self.execute(&packed, false);
+        Ok(outputs)
+    }
+
+    /// Executes the tape on `stim` with full per-net activity
+    /// accounting, producing a [`SimResult`] bit-identical to
+    /// [`simulate`](crate::simulate)'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for empty, incomplete, ragged or oversized
+    /// stimuli.
+    pub fn run_with_activity(&self, stim: &Stimulus) -> Result<SimResult, SimError> {
+        let packed = pack_inputs(&self.input_ports, stim)?;
+        let (outputs, activity) = self.execute(&packed, true);
+        let activity = activity.expect("tracking requested");
+        Ok(SimResult::new(activity, outputs))
+    }
+
+    /// Runs the tape over all words, in parallel chunks when the
+    /// stimulus is large enough, and stitches the per-chunk results.
+    fn execute(&self, packed: &PackedInputs, track: bool) -> (SimOutputs, Option<Activity>) {
+        let n_words = packed.n_words;
+        let chunks = self.plan_chunks(n_words);
+        let outs: Vec<ChunkOut> = if chunks.len() <= 1 {
+            vec![self.eval_chunk(packed, 0, n_words, track)]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&(w0, w1)| s.spawn(move || self.eval_chunk(packed, w0, w1, track)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("chunk worker")).collect()
+            })
+        };
+
+        // Stitch output planes back into per-port word vectors.
+        let mut flat: Vec<Vec<u64>> = vec![vec![0u64; n_words]; self.output_slots.len()];
+        for (chunk, &(w0, w1)) in outs.iter().zip(&chunks) {
+            for (full, part) in flat.iter_mut().zip(&chunk.planes) {
+                full[w0..w1].copy_from_slice(part);
+            }
+        }
+        let mut port_words: BTreeMap<String, Vec<Vec<u64>>> = BTreeMap::new();
+        let mut cursor = flat.into_iter();
+        for p in &self.output_ports {
+            let planes: Vec<Vec<u64>> = cursor.by_ref().take(p.width()).collect();
+            port_words.insert(p.name.clone(), planes);
+        }
+
+        let activity = track.then(|| {
+            let mut ones = vec![0u64; self.n_slots];
+            let mut toggles = vec![0u64; self.n_slots];
+            for chunk in &outs {
+                for (acc, v) in ones.iter_mut().zip(&chunk.ones) {
+                    *acc += v;
+                }
+                for (acc, v) in toggles.iter_mut().zip(&chunk.toggles) {
+                    *acc += v;
+                }
+            }
+            Activity::new(packed.n_samples, ones, toggles)
+        });
+        (SimOutputs::new(packed.n_samples, port_words), activity)
+    }
+
+    /// Splits `n_words` into per-thread word ranges. Sequential (one
+    /// chunk) unless multiple threads are warranted: spawning a scoped
+    /// thread costs tens of microseconds, so each chunk must carry
+    /// enough tape work (instructions × words) to amortize it.
+    fn plan_chunks(&self, n_words: usize) -> Vec<(usize, usize)> {
+        /// Minimum tape operations per chunk (≈0.1–0.2 ms of work).
+        const MIN_OPS_PER_CHUNK: usize = 1 << 17;
+        let threads = if self.threads == 0 {
+            let auto =
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(8);
+            let by_work = (n_words * self.instrs.len().max(1)) / MIN_OPS_PER_CHUNK;
+            auto.min(by_work)
+        } else {
+            self.threads // explicit pin: the caller decided
+        };
+        let threads = threads.min(n_words).max(1);
+        let per = n_words.div_ceil(threads);
+        (0..threads)
+            .map(|t| (t * per, ((t + 1) * per).min(n_words)))
+            .filter(|(w0, w1)| w0 < w1)
+            .collect()
+    }
+
+    /// Evaluates words `[w0, w1)`. With tracking, a chunk that does not
+    /// start at word 0 first replays word `w0 - 1` functionally to seed
+    /// the previous-sample bit, so cross-chunk toggle counts are exact.
+    fn eval_chunk(&self, packed: &PackedInputs, w0: usize, w1: usize, track: bool) -> ChunkOut {
+        let n_samples = packed.n_samples;
+        let mut vals = vec![0u64; self.n_slots];
+        let mut planes = vec![vec![0u64; w1 - w0]; self.output_slots.len()];
+        let (mut ones, mut toggles, mut prev_msb) = if track {
+            (vec![0u64; self.n_slots], vec![0u64; self.n_slots], vec![0u64; self.n_slots])
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+
+        if track && w0 > 0 {
+            // Replay the word before the chunk, counting nothing: only
+            // its last sample (always lane 63 — every non-final word is
+            // full) seeds the toggle boundary.
+            self.load_inputs(packed, w0 - 1, &mut vals);
+            self.exec_word(&mut vals);
+            for (msb, &v) in prev_msb.iter_mut().zip(&vals) {
+                *msb = v >> 63 & 1;
+            }
+        }
+
+        for w in w0..w1 {
+            self.load_inputs(packed, w, &mut vals);
+            self.exec_word(&mut vals);
+            let valid = (n_samples - w * 64).min(64);
+            let mask = if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
+            if track {
+                for (idx, &v) in vals.iter().enumerate() {
+                    ones[idx] += (v & mask).count_ones() as u64;
+                    let shifted = (v << 1) | prev_msb[idx];
+                    let mut diff = (v ^ shifted) & mask;
+                    if w == 0 {
+                        diff &= !1; // the very first sample has no predecessor
+                    }
+                    toggles[idx] += diff.count_ones() as u64;
+                    prev_msb[idx] = v >> (valid - 1) & 1;
+                }
+            }
+            for (plane, &slot) in planes.iter_mut().zip(&self.output_slots) {
+                plane[w - w0] = vals[slot as usize] & mask;
+            }
+        }
+        ChunkOut { planes, ones, toggles }
+    }
+
+    #[inline]
+    fn load_inputs(&self, packed: &PackedInputs, w: usize, vals: &mut [u64]) {
+        for (plane, &node) in packed.planes.iter().zip(&packed.nodes) {
+            vals[node] = plane[w];
+        }
+    }
+
+    /// Evaluates every tape instruction on one word of lane values: one
+    /// kind dispatch per run, then a branch-free loop over the run.
+    ///
+    /// The per-kind expressions mirror [`GateKind::eval_word`] — the
+    /// differential suite pins them against the scalar reference.
+    fn exec_word(&self, vals: &mut [u64]) {
+        macro_rules! unary {
+            ($instrs:expr, |$a:ident| $e:expr) => {
+                for i in $instrs {
+                    let $a = vals[i.a as usize];
+                    vals[i.dst as usize] = $e;
+                }
+            };
+        }
+        macro_rules! binary {
+            ($instrs:expr, |$a:ident, $b:ident| $e:expr) => {
+                for i in $instrs {
+                    let $a = vals[i.a as usize];
+                    let $b = vals[i.b as usize];
+                    vals[i.dst as usize] = $e;
+                }
+            };
+        }
+        macro_rules! ternary {
+            ($instrs:expr, |$a:ident, $b:ident, $c:ident| $e:expr) => {
+                for i in $instrs {
+                    let $a = vals[i.a as usize];
+                    let $b = vals[i.b as usize];
+                    let $c = vals[i.c as usize];
+                    vals[i.dst as usize] = $e;
+                }
+            };
+        }
+        for run in &self.runs {
+            let instrs = &self.instrs[run.start as usize..run.end as usize];
+            match run.op {
+                GateKind::Const0 => {
+                    for i in instrs {
+                        vals[i.dst as usize] = 0;
+                    }
+                }
+                GateKind::Const1 => {
+                    for i in instrs {
+                        vals[i.dst as usize] = u64::MAX;
+                    }
+                }
+                GateKind::Buf => unary!(instrs, |a| a),
+                GateKind::Not => unary!(instrs, |a| !a),
+                GateKind::And2 => binary!(instrs, |a, b| a & b),
+                GateKind::Nand2 => binary!(instrs, |a, b| !(a & b)),
+                GateKind::Or2 => binary!(instrs, |a, b| a | b),
+                GateKind::Nor2 => binary!(instrs, |a, b| !(a | b)),
+                GateKind::And3 => ternary!(instrs, |a, b, c| a & b & c),
+                GateKind::Or3 => ternary!(instrs, |a, b, c| a | b | c),
+                GateKind::Nand3 => ternary!(instrs, |a, b, c| !(a & b & c)),
+                GateKind::Nor3 => ternary!(instrs, |a, b, c| !(a | b | c)),
+                GateKind::Xor2 => binary!(instrs, |a, b| a ^ b),
+                GateKind::Xnor2 => binary!(instrs, |a, b| !(a ^ b)),
+                // ins = (sel, a, b): sel ? a : b
+                GateKind::Mux2 => ternary!(instrs, |a, b, c| (a & b) | (!a & c)),
+            }
+        }
+    }
+}
+
+/// One chunk's worth of results, stitched together by `execute`.
+struct ChunkOut {
+    planes: Vec<Vec<u64>>,
+    ones: Vec<u64>,
+    toggles: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use pax_netlist::NetlistBuilder;
+
+    /// A netlist exercising every gate kind on shared inputs.
+    fn all_kinds_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("kinds");
+        let x = b.input_port("x", 3);
+        let (a, c, s) = (x[0], x[1], x[2]);
+        let k0 = b.const0();
+        let k1 = b.const1();
+        let outs = vec![
+            b.buf_cell(a),
+            b.not(a),
+            b.and2(a, c),
+            b.nand2(a, c),
+            b.or2(a, c),
+            b.nor2(a, c),
+            b.and3(a, c, s),
+            b.or3(a, c, s),
+            b.nand3(a, c, s),
+            b.nor3(a, c, s),
+            b.xor2(a, c),
+            b.xnor2(a, c),
+            b.mux(s, a, c),
+            k0,
+            k1,
+        ];
+        b.output_port("y", outs.into());
+        b.finish()
+    }
+
+    fn exhaustive_stim(width: usize, repeats: usize) -> Stimulus {
+        let n = 1usize << width;
+        let samples: Vec<u64> = (0..n * repeats).map(|i| (i % n) as u64).collect();
+        let mut stim = Stimulus::new();
+        stim.port("x", samples);
+        stim
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_on_all_gate_kinds() {
+        let nl = all_kinds_netlist();
+        let compiled = CompiledNetlist::compile(&nl);
+        // 40 repeats → 320 samples → 5 words; exercises word boundaries.
+        let stim = exhaustive_stim(3, 40);
+        let reference = simulate(&nl, &stim);
+        let got = compiled.run_with_activity(&stim).unwrap();
+        assert_eq!(got.port_values("y"), reference.port_values("y"));
+        for i in 0..nl.len() {
+            let net = pax_netlist::NetId::from_index(i);
+            assert_eq!(got.activity.ones(net), reference.activity.ones(net), "ones of net {i}");
+            assert_eq!(
+                got.activity.toggles(net),
+                reference.activity.toggles(net),
+                "toggles of net {i}"
+            );
+        }
+        // The functional-only path agrees too.
+        assert_eq!(compiled.run(&stim).unwrap().port_values("y"), reference.port_values("y"));
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_results() {
+        let nl = all_kinds_netlist();
+        let stim = exhaustive_stim(3, 100); // 800 samples, 13 words
+        let reference = simulate(&nl, &stim);
+        for threads in [1, 2, 3, 8] {
+            let compiled = CompiledNetlist::compile(&nl).with_threads(threads);
+            let got = compiled.run_with_activity(&stim).unwrap();
+            assert_eq!(got.port_values("y"), reference.port_values("y"), "threads={threads}");
+            for i in 0..nl.len() {
+                let net = pax_netlist::NetId::from_index(i);
+                assert_eq!(got.activity.ones(net), reference.activity.ones(net));
+                assert_eq!(
+                    got.activity.toggles(net),
+                    reference.activity.toggles(net),
+                    "threads={threads} net={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn runs_group_gate_kinds() {
+        let mut b = NetlistBuilder::new("grp");
+        let x = b.input_port("x", 4);
+        // Four independent AND2 gates at level 1: one run.
+        let ands: Vec<_> = (0..4).map(|i| b.and2(x[i], x[(i + 1) % 4])).collect();
+        let or = b.or2(ands[0], ands[1]);
+        let or2 = b.or2(ands[2], ands[3]);
+        let top = b.xor2(or, or2);
+        b.output_port("y", vec![top].into());
+        let nl = b.finish();
+        let compiled = CompiledNetlist::compile(&nl);
+        assert_eq!(
+            compiled.n_instructions(),
+            nl.iter().filter(|(_, n)| matches!(n, Node::Gate(_))).count()
+        );
+        // 4 ANDs + 2 ORs + 1 XOR collapse into exactly three runs.
+        assert_eq!(compiled.n_runs(), 3);
+        assert_eq!(compiled.n_slots(), nl.len());
+        assert_eq!(compiled.name(), "grp");
+    }
+
+    #[test]
+    fn reports_typed_errors_like_the_interpreter() {
+        let nl = all_kinds_netlist();
+        let compiled = CompiledNetlist::compile(&nl);
+        assert_eq!(compiled.run(&Stimulus::new()).unwrap_err(), SimError::EmptyStimulus);
+        let mut oversized = Stimulus::new();
+        oversized.port("x", vec![8]);
+        assert!(matches!(
+            compiled.run(&oversized),
+            Err(SimError::OversizedSample { value: 8, width: 3, .. })
+        ));
+        let empty_named = {
+            let mut b = NetlistBuilder::new("two");
+            let x = b.input_port("x", 1);
+            let y = b.input_port("y", 1);
+            let g = b.and2(x[0], y[0]);
+            b.output_port("z", vec![g].into());
+            CompiledNetlist::compile(&b.finish())
+        };
+        let mut missing = Stimulus::new();
+        missing.port("x", vec![1]);
+        assert!(matches!(
+            empty_named.run(&missing),
+            Err(SimError::MissingPort { port }) if port == "y"
+        ));
+    }
+
+    #[test]
+    fn single_sample_and_exact_word_boundaries() {
+        let nl = all_kinds_netlist();
+        let compiled = CompiledNetlist::compile(&nl);
+        for n in [1usize, 63, 64, 65, 128, 129] {
+            let samples: Vec<u64> = (0..n).map(|i| (i % 8) as u64).collect();
+            let mut stim = Stimulus::new();
+            stim.port("x", samples);
+            let reference = simulate(&nl, &stim);
+            let got = compiled.run_with_activity(&stim).unwrap();
+            assert_eq!(got.port_values("y"), reference.port_values("y"), "n={n}");
+            for i in 0..nl.len() {
+                let net = pax_netlist::NetId::from_index(i);
+                assert_eq!(got.activity.toggles(net), reference.activity.toggles(net), "n={n}");
+            }
+        }
+    }
+}

@@ -2,21 +2,31 @@ use std::collections::BTreeMap;
 
 use pax_netlist::{Netlist, Node};
 
-use crate::{Activity, Stimulus};
+use crate::{Activity, SimError, Stimulus};
 
-/// Result of a bit-parallel simulation: functional output values plus
-/// per-net activity statistics.
+/// Functional outputs of a simulation run: per-port bit planes, 64
+/// samples per word.
+///
+/// This is what [`CompiledNetlist::run`](crate::CompiledNetlist::run)
+/// returns when activity accounting is disabled; [`SimResult`] wraps the
+/// same capture together with an [`Activity`] record.
 #[derive(Debug, Clone)]
-pub struct SimResult {
-    /// Number of simulated samples.
-    pub n_samples: usize,
-    /// Per-net signal statistics (ones, toggles).
-    pub activity: Activity,
+pub struct SimOutputs {
+    n_samples: usize,
     /// Output-port bit planes: port → per-bit word vectors.
     port_words: BTreeMap<String, Vec<Vec<u64>>>,
 }
 
-impl SimResult {
+impl SimOutputs {
+    pub(crate) fn new(n_samples: usize, port_words: BTreeMap<String, Vec<Vec<u64>>>) -> Self {
+        Self { n_samples, port_words }
+    }
+
+    /// Number of simulated samples.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
     /// The value of output port `name` at sample `s`.
     ///
     /// # Panics
@@ -39,51 +49,153 @@ impl SimResult {
         (0..self.n_samples).map(|s| self.port_sample(name, s)).collect()
     }
 
+    /// Width in bits of output port `name`, if captured.
+    pub fn port_width(&self, name: &str) -> Option<usize> {
+        self.port_words.get(name).map(Vec::len)
+    }
+
     /// Names of the captured output ports.
     pub fn ports(&self) -> impl Iterator<Item = &str> {
         self.port_words.keys().map(String::as_str)
     }
 }
 
-/// Simulates `nl` on `stim`, 64 samples per pass.
-///
-/// Semantics match [`pax_netlist::eval::eval_ports`] exactly (the scalar
-/// evaluator is the reference; a property test in this crate pins the
-/// equivalence).
-///
-/// # Panics
-///
-/// Panics if an input port has no samples, if a sample does not fit its
-/// port width, or if the stimulus is empty.
-pub fn simulate(nl: &Netlist, stim: &Stimulus) -> SimResult {
-    let n_samples = stim.n_samples();
-    assert!(n_samples > 0, "empty stimulus");
-    let n_words = n_samples.div_ceil(64);
+/// Result of a bit-parallel simulation: functional output values plus
+/// per-net activity statistics.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Number of simulated samples.
+    pub n_samples: usize,
+    /// Per-net signal statistics (ones, toggles).
+    pub activity: Activity,
+    outputs: SimOutputs,
+}
 
-    // Pre-pack input planes: port -> bit -> words.
-    let mut input_planes: Vec<Vec<u64>> = Vec::new(); // indexed by input node order
-    let mut node_plane: Vec<usize> = vec![usize::MAX; nl.len()];
-    for p in nl.input_ports() {
-        let samples = stim
-            .samples(&p.name)
-            .unwrap_or_else(|| panic!("stimulus misses input port `{}`", p.name));
-        assert_eq!(samples.len(), n_samples);
+impl SimResult {
+    /// `n_samples` is derived from `outputs` (and must equal the
+    /// activity record's — both come from the same packed stimulus).
+    pub(crate) fn new(activity: Activity, outputs: SimOutputs) -> Self {
+        debug_assert_eq!(activity.n_samples(), outputs.n_samples());
+        Self { n_samples: outputs.n_samples(), activity, outputs }
+    }
+
+    /// The functional outputs alone.
+    pub fn outputs(&self) -> &SimOutputs {
+        &self.outputs
+    }
+
+    /// The value of output port `name` at sample `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown port or out-of-range sample.
+    pub fn port_sample(&self, name: &str, s: usize) -> u64 {
+        self.outputs.port_sample(name, s)
+    }
+
+    /// All values of output port `name`, one per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown port.
+    pub fn port_values(&self, name: &str) -> Vec<u64> {
+        self.outputs.port_values(name)
+    }
+
+    /// Width in bits of output port `name`, if captured.
+    pub fn port_width(&self, name: &str) -> Option<usize> {
+        self.outputs.port_width(name)
+    }
+
+    /// Names of the captured output ports.
+    pub fn ports(&self) -> impl Iterator<Item = &str> {
+        self.outputs.ports()
+    }
+}
+
+/// Input planes packed for bit-parallel evaluation: one `Vec<u64>` plane
+/// per (input port, bit), in `input_ports()` declaration order.
+pub(crate) struct PackedInputs {
+    pub n_samples: usize,
+    pub n_words: usize,
+    /// One plane per input-port bit, ports in declaration order, bits
+    /// LSB-first within each port.
+    pub planes: Vec<Vec<u64>>,
+    /// Node index of the input node each plane drives.
+    pub nodes: Vec<usize>,
+}
+
+/// Packs the stimulus into per-bit sample planes, validating coverage,
+/// sample counts and port widths. `ports` are the input ports the
+/// stimulus must drive (both evaluation paths share this packer).
+pub(crate) fn pack_inputs(
+    ports: &[pax_netlist::Port],
+    stim: &Stimulus,
+) -> Result<PackedInputs, SimError> {
+    let n_samples = stim.try_n_samples()?;
+    if n_samples == 0 {
+        return Err(SimError::EmptyStimulus);
+    }
+    let n_words = n_samples.div_ceil(64);
+    let mut planes: Vec<Vec<u64>> = Vec::new();
+    let mut nodes: Vec<usize> = Vec::new();
+    for p in ports {
+        let samples =
+            stim.samples(&p.name).ok_or_else(|| SimError::MissingPort { port: p.name.clone() })?;
+        debug_assert_eq!(samples.len(), n_samples);
+        if let Some(&value) = samples.iter().find(|&&v| p.width() < 64 && v >> p.width() != 0) {
+            return Err(SimError::OversizedSample {
+                port: p.name.clone(),
+                value,
+                width: p.width(),
+            });
+        }
         for (bit, net) in p.bits.iter().enumerate() {
             let mut plane = vec![0u64; n_words];
             for (s, &v) in samples.iter().enumerate() {
-                assert!(
-                    p.width() >= 64 || v >> p.width() == 0,
-                    "sample {v} does not fit port `{}` of width {}",
-                    p.name,
-                    p.width()
-                );
                 if v >> bit & 1 == 1 {
                     plane[s / 64] |= 1 << (s % 64);
                 }
             }
-            node_plane[net.index()] = input_planes.len();
-            input_planes.push(plane);
+            nodes.push(net.index());
+            planes.push(plane);
         }
+    }
+    Ok(PackedInputs { n_samples, n_words, planes, nodes })
+}
+
+/// Simulates `nl` on `stim`, 64 samples per pass.
+///
+/// Semantics match [`pax_netlist::eval::eval_ports`] exactly (the scalar
+/// evaluator is the reference; a property test in this crate pins the
+/// equivalence). This is the *interpreted* path: it dispatches on the
+/// node kind for every gate of every word. For repeated evaluation of
+/// one netlist, compile it once with
+/// [`CompiledNetlist`](crate::CompiledNetlist) instead.
+///
+/// # Panics
+///
+/// Panics if an input port has no samples, if a sample does not fit its
+/// port width, or if the stimulus is empty. Use [`try_simulate`] to get
+/// a typed [`SimError`] instead.
+pub fn simulate(nl: &Netlist, stim: &Stimulus) -> SimResult {
+    try_simulate(nl, stim).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`simulate`]: malformed stimuli surface as [`SimError`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the stimulus is empty, misses an input
+/// port, disagrees on sample counts or carries oversized samples.
+pub fn try_simulate(nl: &Netlist, stim: &Stimulus) -> Result<SimResult, SimError> {
+    let packed = pack_inputs(nl.input_ports(), stim)?;
+    let (n_samples, n_words) = (packed.n_samples, packed.n_words);
+
+    // Plane index per input node.
+    let mut node_plane: Vec<usize> = vec![usize::MAX; nl.len()];
+    for (plane, &node) in packed.nodes.iter().enumerate() {
+        node_plane[node] = plane;
     }
 
     let mut ones = vec![0u64; nl.len()];
@@ -104,7 +216,7 @@ pub fn simulate(nl: &Netlist, stim: &Stimulus) -> SimResult {
         for (id, node) in nl.iter() {
             let idx = id.index();
             let v = match node {
-                Node::Input { .. } => input_planes[node_plane[idx]][w],
+                Node::Input { .. } => packed.planes[node_plane[idx]][w],
                 Node::Gate(g) => {
                     let ins = g.inputs();
                     let a = ins.first().map_or(0, |i| vals[i.index()]);
@@ -133,7 +245,10 @@ pub fn simulate(nl: &Netlist, stim: &Stimulus) -> SimResult {
         }
     }
 
-    SimResult { n_samples, activity: Activity::new(n_samples, ones, toggles), port_words }
+    Ok(SimResult::new(
+        Activity::new(n_samples, ones, toggles),
+        SimOutputs::new(n_samples, port_words),
+    ))
 }
 
 #[cfg(test)]
@@ -184,6 +299,8 @@ mod tests {
             assert_eq!(res.port_sample("s", s), reference["s"], "sample {s}");
         }
         assert_eq!(res.port_values("s").len(), 200);
+        assert_eq!(res.port_width("s"), Some(5));
+        assert_eq!(res.port_width("nope"), None);
     }
 
     #[test]
@@ -245,5 +362,30 @@ mod tests {
     fn empty_stimulus_panics() {
         let nl = adder_netlist();
         let _ = simulate(&nl, &Stimulus::new());
+    }
+
+    #[test]
+    fn try_simulate_reports_typed_errors() {
+        let nl = adder_netlist();
+
+        assert!(matches!(try_simulate(&nl, &Stimulus::new()), Err(SimError::EmptyStimulus)));
+
+        let mut missing = Stimulus::new();
+        missing.port("x", vec![0]);
+        assert!(matches!(
+            try_simulate(&nl, &missing),
+            Err(SimError::MissingPort { port }) if port == "y"
+        ));
+
+        let mut oversized = Stimulus::new();
+        oversized.port("x", vec![16]).port("y", vec![0]);
+        assert!(matches!(
+            try_simulate(&nl, &oversized),
+            Err(SimError::OversizedSample { value: 16, width: 4, .. })
+        ));
+
+        let mut ragged = Stimulus::new();
+        ragged.port("x", vec![0, 1]).port("y", vec![0]);
+        assert!(matches!(try_simulate(&nl, &ragged), Err(SimError::SampleCountMismatch { .. })));
     }
 }

@@ -14,6 +14,27 @@
 //!   (dominant in EGT logic), switching energy × toggle density × clock,
 //!   plus a constant I/O floor.
 //!
+//! # Two evaluation paths: `simulate` vs [`CompiledNetlist`]
+//!
+//! [`simulate`] interprets the netlist node list directly — zero setup
+//! cost, always collects activity. [`CompiledNetlist`] compiles the
+//! netlist once into a levelized, kind-grouped instruction tape and
+//! executes words in parallel, with activity accounting opt-in.
+//!
+//! * Evaluating a netlist **once** (debugging, a single measurement):
+//!   use [`simulate`].
+//! * Evaluating the same netlist **many times** (serving batches, the
+//!   pruning search, accuracy sweeps): compile once, call
+//!   [`CompiledNetlist::run`] per batch — or
+//!   [`CompiledNetlist::run_with_activity`] when τ/power statistics are
+//!   needed.
+//!
+//! Both paths are bit-for-bit equivalent (outputs, ones, toggles) —
+//! pinned against the scalar `eval_ports` reference by the differential
+//! property suite in `tests/proptest_engine.rs`. Malformed stimuli
+//! surface as [`SimError`] through [`try_simulate`] and the compiled
+//! entry points; the [`simulate`] wrapper keeps the historical panics.
+//!
 //! # Examples
 //!
 //! ```
@@ -41,12 +62,16 @@
 
 mod activity;
 pub mod compare;
+mod compiled;
 mod engine;
+mod error;
 pub mod power;
 pub mod saif;
 mod stimulus;
 pub mod vcd;
 
 pub use activity::Activity;
-pub use engine::{simulate, SimResult};
+pub use compiled::CompiledNetlist;
+pub use engine::{simulate, try_simulate, SimOutputs, SimResult};
+pub use error::SimError;
 pub use stimulus::Stimulus;

@@ -1,5 +1,7 @@
 use std::collections::BTreeMap;
 
+use crate::SimError;
+
 /// Per-port input samples for a simulation run.
 ///
 /// Each port receives one integer value per sample (LSB-first bit
@@ -66,21 +68,34 @@ impl Stimulus {
     /// # Panics
     ///
     /// Panics if ports disagree on sample count — that is a malformed
-    /// testbench.
+    /// testbench. Use [`Stimulus::try_n_samples`] for a typed error.
     pub fn n_samples(&self) -> usize {
+        self.try_n_samples().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Number of samples (0 when empty), with disagreeing ports surfaced
+    /// as a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SampleCountMismatch`] if ports disagree on
+    /// sample count.
+    pub fn try_n_samples(&self) -> Result<usize, SimError> {
         let mut n = None;
         for (name, v) in &self.ports {
             match n {
                 None => n = Some(v.len()),
-                Some(prev) => assert_eq!(
-                    prev,
-                    v.len(),
-                    "port `{name}` has {} samples, others have {prev}",
-                    v.len()
-                ),
+                Some(expected) if expected != v.len() => {
+                    return Err(SimError::SampleCountMismatch {
+                        port: name.clone(),
+                        got: v.len(),
+                        expected,
+                    })
+                }
+                Some(_) => {}
             }
         }
-        n.unwrap_or(0)
+        Ok(n.unwrap_or(0))
     }
 
     /// Iterates over `(port, samples)` pairs in name order.

@@ -1,11 +1,116 @@
-//! The bit-parallel engine must agree with the scalar reference
-//! evaluator (`pax_netlist::eval`) bit-for-bit on arbitrary circuits and
-//! stimuli — including across word boundaries.
+//! Differential testing: every evaluation path must agree bit-for-bit.
+//!
+//! The scalar evaluator (`pax_netlist::eval`) is the reference. The
+//! bit-parallel interpreter (`simulate`) and the compiled tape
+//! (`CompiledNetlist`, sequential and multi-threaded) are pinned to it
+//! on arbitrary random circuits and stimuli — functional outputs *and*
+//! per-net activity (ones, toggles), including across 64-sample word
+//! boundaries and thread-chunk boundaries.
+//!
+//! Run with a fixed seed (`PAX_PROPTEST_SEED=<n>`) for reproducible
+//! case streams — CI pins one.
 
-use pax_netlist::{eval, NetlistBuilder};
-use pax_sim::{compare, simulate, Stimulus};
+use std::collections::BTreeMap;
+
+use pax_netlist::{eval, NetId, Netlist, NetlistBuilder, Node};
+use pax_sim::{compare, simulate, CompiledNetlist, Stimulus};
 use pax_synth::{bits, constmul, csa};
 use proptest::prelude::*;
+
+/// Splitmix-style step for the netlist/stimulus generators.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds a random combinational netlist: a few multi-bit input ports,
+/// constants, then `n_gates` gates of random kind over random earlier
+/// nets (the hash-consing builder may fold some — that is part of the
+/// surface under test), capped output ports over random nets.
+fn random_netlist(seed: u64, n_gates: usize) -> Netlist {
+    let mut state = seed | 1;
+    let mut b = NetlistBuilder::new("rand");
+    let mut nets: Vec<NetId> = Vec::new();
+    let n_ports = 2 + (next(&mut state) % 2) as usize;
+    for p in 0..n_ports {
+        let width = 1 + (next(&mut state) % 5) as usize;
+        let bus = b.input_port(format!("in{p}"), width);
+        for i in 0..bus.width() {
+            nets.push(bus[i]);
+        }
+    }
+    let k0 = b.const0();
+    let k1 = b.const1();
+    nets.push(k0);
+    nets.push(k1);
+
+    for _ in 0..n_gates {
+        let pick = |state: &mut u64| nets[(next(state) % nets.len() as u64) as usize];
+        let (a, c, s) = (pick(&mut state), pick(&mut state), pick(&mut state));
+        let g = match next(&mut state) % 14 {
+            0 => b.buf_cell(a),
+            1 => b.not(a),
+            2 => b.and2(a, c),
+            3 => b.nand2(a, c),
+            4 => b.or2(a, c),
+            5 => b.nor2(a, c),
+            6 => b.and3(a, c, s),
+            7 => b.or3(a, c, s),
+            8 => b.nand3(a, c, s),
+            9 => b.nor3(a, c, s),
+            10 => b.xor2(a, c),
+            11 => b.xnor2(a, c),
+            12 => b.mux(s, a, c),
+            _ => b.constant(next(&mut state).is_multiple_of(2)),
+        };
+        nets.push(g);
+    }
+
+    // One or two output ports over random nets, ≤ 16 bits each.
+    let n_outs = 1 + (next(&mut state) % 2) as usize;
+    for o in 0..n_outs {
+        let width = 1 + (next(&mut state) % 16) as usize;
+        let bits: Vec<NetId> =
+            (0..width).map(|_| nets[(next(&mut state) % nets.len() as u64) as usize]).collect();
+        b.output_port(format!("out{o}"), bits.into());
+    }
+    b.finish()
+}
+
+/// Random per-port stimulus fitting each input port's width.
+fn random_stimulus(nl: &Netlist, seed: u64, n_samples: usize) -> Stimulus {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut stim = Stimulus::new();
+    for p in nl.input_ports() {
+        let samples: Vec<u64> =
+            (0..n_samples).map(|_| next(&mut state) & ((1u64 << p.width()) - 1)).collect();
+        stim.port(p.name.clone(), samples);
+    }
+    stim
+}
+
+/// Scalar reference: evaluates every net of the netlist on one sample,
+/// mirroring `eval_ports`' walk but exposing all nets — the ground
+/// truth the activity counters are differenced against.
+fn scalar_net_values(nl: &Netlist, by_name: &BTreeMap<&str, u64>) -> Vec<bool> {
+    let mut vals = vec![false; nl.len()];
+    for (id, node) in nl.iter() {
+        vals[id.index()] = match node {
+            Node::Input { port, bit } => {
+                let p = &nl.input_ports()[*port as usize];
+                by_name[p.name.as_str()] >> bit & 1 == 1
+            }
+            Node::Gate(g) => {
+                let ins: Vec<bool> = g.inputs().iter().map(|i| vals[i.index()]).collect();
+                g.kind.eval_bool(&ins)
+            }
+        };
+    }
+    vals
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -70,6 +175,116 @@ proptest! {
         let nl = build("m");
         let opt = pax_synth::opt::optimize(&nl);
         prop_assert!(compare::compare(&nl, &opt, 0).is_equivalent());
+    }
+
+    /// The differential pin: on random netlists × random stimuli, the
+    /// compiled tape, the interpreter and the scalar reference agree
+    /// bit-for-bit — output ports, per-net ones AND per-net toggles.
+    #[test]
+    fn compiled_interpreter_scalar_agree_on_random_netlists(
+        seed in any::<u64>(),
+        n_gates in 1usize..90,
+        n_samples in 1usize..220,
+    ) {
+        let nl = random_netlist(seed, n_gates);
+        let stim = random_stimulus(&nl, seed ^ 0xD1F, n_samples);
+        let interp = simulate(&nl, &stim);
+        let compiled = CompiledNetlist::compile(&nl);
+        let tape = compiled.run_with_activity(&stim).expect("valid stimulus");
+        let fast = compiled.run(&stim).expect("valid stimulus");
+
+        // Scalar ground truth, sample by sample, all nets.
+        let mut ones = vec![0u64; nl.len()];
+        let mut toggles = vec![0u64; nl.len()];
+        let mut prev: Option<Vec<bool>> = None;
+        for s in 0..n_samples {
+            let by_name: BTreeMap<&str, u64> =
+                nl.input_ports().iter().map(|p| (p.name.as_str(), stim.samples(&p.name).unwrap()[s])).collect();
+            let inputs: Vec<(&str, u64)> = by_name.iter().map(|(&n, &v)| (n, v)).collect();
+            let expect = eval::eval_ports(&nl, &inputs);
+            for p in nl.output_ports() {
+                prop_assert_eq!(interp.port_sample(&p.name, s), expect[&p.name], "interp {} s={}", p.name, s);
+                prop_assert_eq!(tape.port_sample(&p.name, s), expect[&p.name], "tape {} s={}", p.name, s);
+                prop_assert_eq!(fast.port_sample(&p.name, s), expect[&p.name], "fast {} s={}", p.name, s);
+            }
+            let vals = scalar_net_values(&nl, &by_name);
+            for (i, &v) in vals.iter().enumerate() {
+                ones[i] += u64::from(v);
+                if let Some(prev) = &prev {
+                    toggles[i] += u64::from(prev[i] != v);
+                }
+            }
+            prev = Some(vals);
+        }
+        for i in 0..nl.len() {
+            let net = NetId::from_index(i);
+            prop_assert_eq!(interp.activity.ones(net), ones[i], "interp ones net {}", i);
+            prop_assert_eq!(interp.activity.toggles(net), toggles[i], "interp toggles net {}", i);
+            prop_assert_eq!(tape.activity.ones(net), ones[i], "tape ones net {}", i);
+            prop_assert_eq!(tape.activity.toggles(net), toggles[i], "tape toggles net {}", i);
+        }
+    }
+
+    /// Chunked multi-threaded execution is bit-identical to sequential
+    /// — including toggle counts across chunk boundaries.
+    #[test]
+    fn compiled_thread_counts_agree(
+        seed in any::<u64>(),
+        n_gates in 1usize..60,
+        n_samples in 65usize..520,
+        threads in 2usize..5,
+    ) {
+        let nl = random_netlist(seed, n_gates);
+        let stim = random_stimulus(&nl, seed ^ 0xBEEF, n_samples);
+        let sequential = CompiledNetlist::compile(&nl).with_threads(1)
+            .run_with_activity(&stim).expect("valid stimulus");
+        let chunked = CompiledNetlist::compile(&nl).with_threads(threads)
+            .run_with_activity(&stim).expect("valid stimulus");
+        for p in nl.output_ports() {
+            prop_assert_eq!(sequential.port_values(&p.name), chunked.port_values(&p.name));
+        }
+        for i in 0..nl.len() {
+            let net = NetId::from_index(i);
+            prop_assert_eq!(sequential.activity.ones(net), chunked.activity.ones(net));
+            prop_assert_eq!(
+                sequential.activity.toggles(net), chunked.activity.toggles(net),
+                "toggles diverge at net {} (threads={})", i, threads
+            );
+        }
+    }
+
+    /// Engine vs compiled on the structured weighted-sum circuits too
+    /// (the original interpreter property, extended to the tape).
+    #[test]
+    fn compiled_matches_interpreter_on_weighted_sums(
+        w1 in -60i64..60,
+        w2 in -60i64..60,
+        n_samples in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut b = NetlistBuilder::new("ws");
+        let x1 = b.input_port("x1", 4);
+        let x2 = b.input_port("x2", 4);
+        let width = bits::signed_width_for((w1.min(0) + w2.min(0)) * 15, (w1.max(0) + w2.max(0)) * 15);
+        let p1 = constmul::bespoke_mul(&mut b, &x1, w1, width);
+        let p2 = constmul::bespoke_mul(&mut b, &x2, w2, width);
+        let s = csa::sum_terms(
+            &mut b,
+            &[csa::Term::signed(p1), csa::Term::signed(p2)],
+            0,
+            width,
+        );
+        b.output_port("s", s);
+        let nl = b.finish();
+        let stim = random_stimulus(&nl, seed, n_samples);
+        let interp = simulate(&nl, &stim);
+        let tape = CompiledNetlist::compile(&nl).run_with_activity(&stim).expect("valid stimulus");
+        prop_assert_eq!(interp.port_values("s"), tape.port_values("s"));
+        for i in 0..nl.len() {
+            let net = NetId::from_index(i);
+            prop_assert_eq!(interp.activity.ones(net), tape.activity.ones(net));
+            prop_assert_eq!(interp.activity.toggles(net), tape.activity.toggles(net));
+        }
     }
 
     /// Toggle counts are insensitive to how samples split across words:

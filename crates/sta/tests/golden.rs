@@ -1,0 +1,136 @@
+//! Golden-vector snapshots for the timing analyzer.
+//!
+//! The EGT library's characterization table is fixed, so the arrival
+//! times of a hand-built circuit are exact constants. These tests pin
+//! the full arrival vector, the critical-path trace and the report
+//! rendering — any drift in the analyzer's max/trace-back logic or the
+//! library table shows up as a golden mismatch, not a silent shift in
+//! every downstream Table I/II number.
+
+use pax_netlist::NetlistBuilder;
+use pax_sta::analyze;
+
+const TOL: f64 = 1e-12;
+
+/// Delays pinned from the EGT characterization table (ms). If the
+/// library is recalibrated, these golden values must be re-derived
+/// deliberately.
+const XOR2_MS: f64 = 1.35;
+const AND2_MS: f64 = 0.95;
+const NAND2_MS: f64 = 0.60;
+
+#[test]
+fn two_bit_adder_arrival_vector_and_critical_path() {
+    // Node ids are construction order: x0 x1 y0 y1 = 0..3, gates 4..=10.
+    let mut b = NetlistBuilder::new("golden");
+    let x = b.input_port("x", 2);
+    let y = b.input_port("y", 2);
+    let t0 = b.xor2(x[0], y[0]); // 4: s0
+    let c0 = b.and2(x[0], y[0]); // 5: carry out of bit 0
+    let s1t = b.xor2(x[1], y[1]); // 6
+    let s1 = b.xor2(s1t, c0); // 7: s1
+    let n1 = b.nand2(x[1], y[1]); // 8
+    let n2 = b.nand2(s1t, c0); // 9
+    let c1 = b.nand2(n1, n2); // 10: carry out
+    b.output_port("s", vec![t0, s1].into());
+    b.output_port("c", vec![c1].into());
+    let nl = b.finish();
+    assert_eq!(nl.len(), 11, "golden circuit shape changed");
+
+    let lib = egt_pdk::egt_library();
+    let tech = egt_pdk::TechParams::egt();
+    let t = analyze(&nl, &lib, &tech).unwrap();
+
+    // Golden arrival vector, one entry per node, in ms.
+    let golden = [
+        0.0,                      // x0
+        0.0,                      // x1
+        0.0,                      // y0
+        0.0,                      // y1
+        XOR2_MS,                  // t0            = 1.35
+        AND2_MS,                  // c0            = 0.95
+        XOR2_MS,                  // s1t           = 1.35
+        2.0 * XOR2_MS,            // s1            = 2.70
+        NAND2_MS,                 // n1            = 0.60
+        XOR2_MS + NAND2_MS,       // n2         = 1.95
+        XOR2_MS + 2.0 * NAND2_MS, // c1   = 2.55
+    ];
+    assert_eq!(t.arrival_ms.len(), golden.len());
+    for (i, (&got, &want)) in t.arrival_ms.iter().zip(&golden).enumerate() {
+        assert!((got - want).abs() < TOL, "arrival[{i}] = {got}, golden {want}");
+    }
+
+    // Critical path: x1/y1 → s1t → s1 at 2.70 ms.
+    assert!((t.critical_path_ms - 2.70).abs() < TOL);
+    assert_eq!(t.critical_path, vec![s1t, s1]);
+    assert!((t.clock_ms - 200.0).abs() < TOL);
+    assert!((t.slack_ms() - 197.30).abs() < TOL);
+    assert!(t.meets_clock());
+
+    // The rendered report is part of study logs — snapshot it whole.
+    assert_eq!(t.to_string(), "critical path 2.70 ms over 2 gates, clock 200 ms, slack +197.30 ms");
+}
+
+#[test]
+fn mixed_kind_chain_accumulates_exact_delays() {
+    // INV(0.40) → NOR2(0.65) → MUX2(1.45) → XNOR2(1.40) = 3.90 ms.
+    let mut b = NetlistBuilder::new("chain");
+    let x = b.input_port("x", 3);
+    let inv = b.not(x[0]);
+    let nor = b.nor2(inv, x[1]);
+    let mux = b.mux(nor, x[2], inv);
+    let top = b.xnor2(mux, x[1]);
+    b.output_port("y", vec![top].into());
+    let nl = b.finish();
+
+    let t = analyze(&nl, &egt_pdk::egt_library(), &egt_pdk::TechParams::egt()).unwrap();
+    assert!((t.critical_path_ms - 3.90).abs() < TOL, "got {}", t.critical_path_ms);
+    assert_eq!(t.critical_path, vec![inv, nor, mux, top]);
+    let expected_arrivals = [(inv, 0.40), (nor, 1.05), (mux, 2.50), (top, 3.90)];
+    for (net, want) in expected_arrivals {
+        let got = t.arrival_ms[net.index()];
+        assert!((got - want).abs() < TOL, "net {net}: {got} vs {want}");
+    }
+}
+
+#[test]
+fn cell_delay_table_is_pinned() {
+    // The golden vectors above derive from these characterization
+    // constants; pin them so a library recalibration is a conscious,
+    // two-file change.
+    let lib = egt_pdk::egt_library();
+    for (mnemonic, delay) in [
+        ("BUF", 0.80),
+        ("INV", 0.40),
+        ("NAND2", 0.60),
+        ("NOR2", 0.65),
+        ("AND2", 0.95),
+        ("OR2", 1.00),
+        ("NAND3", 0.85),
+        ("NOR3", 0.95),
+        ("AND3", 1.20),
+        ("OR3", 1.25),
+        ("XOR2", 1.35),
+        ("XNOR2", 1.40),
+        ("MUX2", 1.45),
+    ] {
+        let cell = lib.cell(mnemonic).unwrap_or_else(|| panic!("missing {mnemonic}"));
+        assert!((cell.delay_ms - delay).abs() < TOL, "{mnemonic} delay drifted");
+    }
+}
+
+#[test]
+fn arrival_vector_ignores_dead_logic_consistently() {
+    // A gate feeding no output still gets an arrival time (the analyzer
+    // sweeps all nodes); the critical path only follows output cones.
+    let mut b = NetlistBuilder::new("dead");
+    let x = b.input_port("x", 2);
+    let live = b.nand2(x[0], x[1]);
+    let dead = b.xor2(x[0], x[1]); // never exported
+    b.output_port("y", vec![live].into());
+    let nl = b.finish();
+    let t = analyze(&nl, &egt_pdk::egt_library(), &egt_pdk::TechParams::egt()).unwrap();
+    assert!((t.critical_path_ms - 0.60).abs() < TOL);
+    assert_eq!(t.critical_path, vec![live]);
+    assert!((t.arrival_ms[dead.index()] - 1.35).abs() < TOL, "dead gate still timed");
+}

@@ -32,10 +32,22 @@ pub struct TestRng {
 
 impl TestRng {
     /// Creates the stream for one named test.
+    ///
+    /// The stream is deterministic per name. Setting the
+    /// `PAX_PROPTEST_SEED` environment variable (a `u64`) salts every
+    /// stream with that value — CI pins one so a run's generated cases
+    /// reproduce exactly from the logged command line, and varying it
+    /// explores fresh case streams without touching the tests.
     pub fn for_test(name: &str) -> Self {
+        Self::for_test_salted(name, env_salt())
+    }
+
+    /// [`TestRng::for_test`] with an explicit salt instead of the
+    /// `PAX_PROPTEST_SEED` environment lookup.
+    pub fn for_test_salted(name: &str, salt: u64) -> Self {
         let mut h = DefaultHasher::new();
         name.hash(&mut h);
-        Self::from_seed(h.finish())
+        Self::from_seed(h.finish() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Creates a stream from an explicit seed.
@@ -80,5 +92,38 @@ impl TestRng {
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The process-wide stream salt from `PAX_PROPTEST_SEED` (0 when unset
+/// or unparsable).
+fn env_salt() -> u64 {
+    std::env::var("PAX_PROPTEST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn salted_streams_are_deterministic_and_distinct() {
+        let mut a = TestRng::for_test_salted("t", 42);
+        let mut b = TestRng::for_test_salted("t", 42);
+        let mut c = TestRng::for_test_salted("t", 43);
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb, "same salt, same stream");
+        assert_ne!(va, vc, "different salt, different stream");
+    }
+
+    #[test]
+    fn zero_salt_matches_unsalted_default() {
+        let mut plain = TestRng::for_test_salted("t", 0);
+        // for_test reads the env; under the test harness the variable
+        // is normally unset, but don't assume — compare via from_seed.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::{Hash, Hasher};
+        "t".hash(&mut h);
+        let mut reference = TestRng::from_seed(h.finish());
+        assert_eq!(plain.next_u64(), reference.next_u64());
     }
 }
