@@ -8,6 +8,7 @@
 //! paper fig2                   # Fig. 2   (coefficient-approx reductions)
 //! paper fig3                   # Fig. 3   (Pareto spaces)
 //! paper proxy                  # §III-B   (area-proxy correlation)
+//! paper explore                # grid vs NSGA-II search (BENCH_explore.json)
 //! paper all                    # everything
 //!
 //! options:
@@ -21,7 +22,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use pax_bench::catalog::DatasetId;
-use pax_bench::{fig1, fig2, fig3, proxy, quantsweep, studies, table1, table2, table3};
+use pax_bench::{explore, fig1, fig2, fig3, proxy, quantsweep, studies, table1, table2, table3};
 use pax_core::mult_cache::MultCache;
 use pax_ml::quant::ModelKind;
 use pax_ml::synth_data::SynthConfig;
@@ -35,7 +36,7 @@ struct Options {
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: paper <table1|table2|table3|fig1|fig2|fig3|proxy|all> [--out DIR] [--quick] [--circuit STR]");
+        eprintln!("usage: paper <table1|table2|table3|fig1|fig2|fig3|proxy|quant|explore|all> [--out DIR] [--quick] [--circuit STR]");
         std::process::exit(2);
     };
     let mut opts = Options { out: None, quick: false, circuit: None };
@@ -66,6 +67,7 @@ fn main() {
         "fig3" => run_fig3(&opts),
         "proxy" => run_proxy(&opts),
         "quant" => run_quant(&opts),
+        "explore" => run_explore(&opts),
         "all" => {
             run_fig1(&opts);
             run_fig2(&opts);
@@ -184,6 +186,16 @@ fn run_proxy(opts: &Options) {
         csv.push_str(&format!("{p:.3},{a:.3}\n"));
     }
     write_artifact(opts, "proxy.csv", &csv);
+}
+
+fn run_explore(opts: &Options) {
+    let cfg = synth_config(opts);
+    let seed = pax_core::explore::resolve_seed(0x5EA2C4);
+    let rows = explore::run(&cfg, 0.25, seed);
+    println!("# Exploration strategies — exhaustive grid vs NSGA-II at 25% budget\n");
+    println!("{}", explore::render(&rows));
+    let json = explore::to_json(&rows, &cfg, seed);
+    write_artifact(opts, "explore.json", &json);
 }
 
 fn run_quant(opts: &Options) {

@@ -13,7 +13,9 @@
 //!   between `Σ AREA(BM)` and synthesized weighted-sum area over 1000
 //!   random weighted sums);
 //! * [`studies`] — shared runner executing the cross-layer framework on
-//!   every hardware-feasible model.
+//!   every hardware-feasible model;
+//! * [`explore`] — exhaustive-grid versus evolutionary search at
+//!   matched evaluation budgets (the `BENCH_explore.json` study).
 //!
 //! The `paper` binary exposes all of it:
 //!
@@ -26,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod explore;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

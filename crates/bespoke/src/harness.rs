@@ -1,7 +1,7 @@
 use pax_ml::quant::QuantizedModel;
 use pax_ml::Dataset;
 use pax_netlist::{eval, Netlist};
-use pax_sim::{CompiledNetlist, SimResult, Stimulus};
+use pax_sim::{CompiledNetlist, SimError, SimResult, Stimulus};
 
 /// Batched circuit evaluation result.
 #[derive(Debug, Clone)]
@@ -95,8 +95,25 @@ pub fn evaluate_compiled(
     model: &QuantizedModel,
     data: &Dataset,
 ) -> EvalOutcome {
+    try_evaluate_compiled(compiled, model, data).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`evaluate_compiled`] surfacing malformed stimuli as [`SimError`]
+/// instead of panicking — the error-propagating study path
+/// (`pax_core::Framework::try_run_study`) builds on this.
+///
+/// # Panics
+///
+/// Still panics if the dataset's feature count differs from the model's
+/// (that is a caller bug, not a data condition) or the circuit lacks its
+/// output ports.
+pub fn try_evaluate_compiled(
+    compiled: &CompiledNetlist,
+    model: &QuantizedModel,
+    data: &Dataset,
+) -> Result<EvalOutcome, SimError> {
     let stim = stimulus_for(model, data);
-    let sim = compiled.run_with_activity(&stim).unwrap_or_else(|e| panic!("{e}"));
+    let sim = compiled.run_with_activity(&stim)?;
     let predictions: Vec<usize> = if model.kind.is_classifier() {
         sim.port_values("class").iter().map(|&v| v as usize).collect()
     } else {
@@ -110,7 +127,7 @@ pub fn evaluate_compiled(
             .collect()
     };
     let accuracy = pax_ml::metrics::accuracy(&predictions, &data.labels);
-    EvalOutcome { accuracy, predictions, sim }
+    Ok(EvalOutcome { accuracy, predictions, sim })
 }
 
 #[cfg(test)]

@@ -59,4 +59,7 @@ mod build;
 mod harness;
 
 pub use build::BespokeCircuit;
-pub use harness::{evaluate, evaluate_compiled, stimulus_for, stimulus_for_rows, EvalOutcome};
+pub use harness::{
+    evaluate, evaluate_compiled, stimulus_for, stimulus_for_rows, try_evaluate_compiled,
+    EvalOutcome,
+};

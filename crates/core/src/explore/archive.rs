@@ -1,0 +1,183 @@
+//! Incremental Pareto archive over (accuracy ↑, area ↓).
+//!
+//! [`pareto::pareto_front`](crate::pareto::pareto_front) recomputes the
+//! front from scratch — fine once per study, wasteful inside a search
+//! loop that adds designs one at a time. [`ParetoArchive`] maintains the
+//! front under insertion: each insert either bounces off a dominating
+//! incumbent or enters and evicts everything it dominates, in
+//! `O(log n + k)` per insert (binary search plus the evicted range).
+//! The archive always equals the batch front over every point ever
+//! inserted (first occurrence kept on exact metric ties), which the
+//! `proptest_explore` suite asserts against random point sets.
+
+use crate::DesignPoint;
+
+/// The non-dominated subset of all inserted points, kept sorted by
+/// ascending area (and therefore ascending accuracy).
+#[derive(Debug, Clone, Default)]
+pub struct ParetoArchive {
+    points: Vec<DesignPoint>,
+    inserted: usize,
+}
+
+impl ParetoArchive {
+    /// An empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers a point. Returns `true` if it entered the front (it is
+    /// not dominated by, or metric-equal to, any archived point);
+    /// dominated incumbents are evicted.
+    pub fn insert(&mut self, p: DesignPoint) -> bool {
+        self.inserted += 1;
+        // Points left of `pos` have area <= p's; the front's accuracy is
+        // non-decreasing in area, so the strongest potential dominator
+        // is the first point at or right of p by area.
+        let pos =
+            self.points.partition_point(|q| (q.area_mm2, -q.accuracy) < (p.area_mm2, -p.accuracy));
+        // A dominator-or-equal has area <= p.area and accuracy >= p's:
+        // by the sort order it sits at `pos` onwards only if its area
+        // ties p's, or anywhere left of pos. Left of pos, accuracy is
+        // maximal just before pos.
+        if self.points[..pos].last().is_some_and(|q| q.accuracy >= p.accuracy)
+            || self.points[pos..]
+                .first()
+                .is_some_and(|q| q.area_mm2 <= p.area_mm2 && q.accuracy >= p.accuracy)
+        {
+            return false;
+        }
+        // p enters: evict the contiguous run of points it dominates
+        // (area >= p's, accuracy <= p's — they start at pos).
+        let evict_end = pos
+            + self.points[pos..]
+                .iter()
+                .take_while(|q| q.accuracy <= p.accuracy && q.area_mm2 >= p.area_mm2)
+                .count();
+        self.points.splice(pos..evict_end, std::iter::once(p));
+        true
+    }
+
+    /// The current front, ascending by area.
+    pub fn front(&self) -> &[DesignPoint] {
+        &self.points
+    }
+
+    /// Consumes the archive into its front.
+    pub fn into_front(self) -> Vec<DesignPoint> {
+        self.points
+    }
+
+    /// Number of points currently on the front.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when nothing has entered the front yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total number of points ever offered via [`ParetoArchive::insert`].
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// The 2-D hypervolume dominated by the front, measured against a
+    /// reference point `(ref_area, ref_accuracy)` that every front point
+    /// must dominate (an area upper bound and accuracy lower bound).
+    /// Points outside the reference box contribute nothing. The larger
+    /// the hypervolume, the better the front — the standard scalar for
+    /// comparing fronts from different search strategies.
+    pub fn hypervolume(&self, ref_area: f64, ref_accuracy: f64) -> f64 {
+        let mut hv = 0.0;
+        let mut prev_acc = ref_accuracy;
+        for p in &self.points {
+            if p.area_mm2 >= ref_area || p.accuracy <= prev_acc {
+                continue;
+            }
+            hv += (ref_area - p.area_mm2) * (p.accuracy - prev_acc);
+            prev_acc = p.accuracy;
+        }
+        hv
+    }
+}
+
+impl Extend<DesignPoint> for ParetoArchive {
+    fn extend<T: IntoIterator<Item = DesignPoint>>(&mut self, iter: T) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Technique;
+
+    fn p(acc: f64, area: f64) -> DesignPoint {
+        DesignPoint {
+            technique: Technique::Cross,
+            tau_c: None,
+            phi_c: None,
+            accuracy: acc,
+            area_mm2: area,
+            power_mw: 0.0,
+            gate_count: 0,
+            critical_ms: 0.0,
+        }
+    }
+
+    fn front_pairs(a: &ParetoArchive) -> Vec<(f64, f64)> {
+        a.front().iter().map(|p| (p.accuracy, p.area_mm2)).collect()
+    }
+
+    #[test]
+    fn matches_batch_front_on_fixed_set() {
+        let pts = vec![p(0.9, 100.0), p(0.85, 60.0), p(0.8, 80.0), p(0.95, 120.0)];
+        let mut arch = ParetoArchive::new();
+        arch.extend(pts.iter().cloned());
+        let batch: Vec<(f64, f64)> = crate::pareto::pareto_front(&pts)
+            .into_iter()
+            .map(|i| (pts[i].accuracy, pts[i].area_mm2))
+            .collect();
+        assert_eq!(front_pairs(&arch), batch);
+        assert_eq!(arch.inserted(), 4);
+    }
+
+    #[test]
+    fn dominated_insert_bounces_and_dominating_insert_evicts() {
+        let mut arch = ParetoArchive::new();
+        assert!(arch.insert(p(0.9, 100.0)));
+        assert!(!arch.insert(p(0.85, 110.0)), "dominated");
+        assert!(!arch.insert(p(0.9, 100.0)), "metric-equal tie keeps the incumbent");
+        assert!(arch.insert(p(0.95, 90.0)), "dominates the incumbent");
+        assert_eq!(arch.len(), 1);
+        assert!((arch.front()[0].area_mm2 - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_area_keeps_only_the_more_accurate() {
+        let mut arch = ParetoArchive::new();
+        arch.insert(p(0.5, 10.0));
+        arch.insert(p(0.6, 10.0));
+        assert_eq!(front_pairs(&arch), vec![(0.6, 10.0)]);
+        // And in the other insertion order.
+        let mut arch = ParetoArchive::new();
+        arch.insert(p(0.6, 10.0));
+        arch.insert(p(0.5, 10.0));
+        assert_eq!(front_pairs(&arch), vec![(0.6, 10.0)]);
+    }
+
+    #[test]
+    fn hypervolume_rewards_better_fronts() {
+        let mut a = ParetoArchive::new();
+        a.extend([p(0.8, 50.0), p(0.9, 80.0)]);
+        let mut b = ParetoArchive::new();
+        b.extend([p(0.8, 40.0), p(0.95, 80.0)]);
+        let (ra, racc) = (100.0, 0.0);
+        assert!(b.hypervolume(ra, racc) > a.hypervolume(ra, racc));
+        assert_eq!(ParetoArchive::new().hypervolume(ra, racc), 0.0);
+    }
+}

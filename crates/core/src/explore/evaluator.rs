@@ -1,0 +1,288 @@
+//! Candidate evaluation: genome → pruned netlist → measured
+//! [`DesignPoint`], deduplicated by content hash and parallel across a
+//! worker pool.
+
+use std::collections::HashMap;
+
+use egt_pdk::{Library, TechParams};
+use pax_ml::quant::QuantizedModel;
+use pax_ml::Dataset;
+use pax_netlist::{NetId, Netlist};
+
+use super::{Candidate, ContextSpace, SearchSpace};
+use crate::error::StudyError;
+use crate::prune::{PruneAnalysis, PruneConfig, PruneEval};
+use crate::{DesignPoint, Technique};
+
+/// One base circuit a candidate can be pruned from: the exact bespoke
+/// baseline (`use_coeff = false`) or the coefficient-approximated
+/// circuit (`use_coeff = true`), with its pruning analysis computed
+/// once up front.
+#[derive(Debug)]
+pub struct EvalContext<'a> {
+    /// Which genome value selects this context.
+    pub use_coeff: bool,
+    /// The (optimized) base netlist candidates prune.
+    pub netlist: &'a Netlist,
+    /// The model the netlist hardwires (the approximated model for the
+    /// `use_coeff` context).
+    pub model: &'a QuantizedModel,
+    /// τ/φ metrics of the base netlist (training-set simulation).
+    pub analysis: PruneAnalysis,
+}
+
+/// Memoized evaluations keyed by the 64-bit content hash of
+/// `(context, sorted pruned-gate set)`: different `(τc, φc)` pairs — and
+/// different strategies sharing one [`Engine`](super::Engine) — often
+/// select the same gates, which are synthesized and simulated once.
+/// Debug builds keep the full sets and assert on hash collisions.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: HashMap<u64, PruneEval>,
+    #[cfg(debug_assertions)]
+    shadow: HashMap<u64, (usize, Vec<NetId>)>,
+    hits: usize,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of evaluations served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of distinct evaluations stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing has been evaluated yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn get(&mut self, key: u64) -> Option<&PruneEval> {
+        let e = self.map.get(&key);
+        if e.is_some() {
+            self.hits += 1;
+        }
+        e
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_collision(&mut self, key: u64, ctx: usize, set: &[NetId]) {
+        match self.shadow.get(&key) {
+            Some(seen) => debug_assert!(
+                seen.0 == ctx && seen.1 == set,
+                "evaluation-cache hash collision on key {key:#x}"
+            ),
+            None => {
+                self.shadow.insert(key, (ctx, set.to_vec()));
+            }
+        }
+    }
+}
+
+/// Maps [`Candidate`] genomes to measured [`DesignPoint`]s over one or
+/// two pre-analyzed base circuits, evaluating distinct prunings in
+/// parallel and memoizing them in an [`EvalCache`].
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    lib: &'a Library,
+    tech: &'a TechParams,
+    test: &'a Dataset,
+    contexts: Vec<EvalContext<'a>>,
+    threads: usize,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator over the given base circuits. `contexts`
+    /// must be non-empty and hold at most one context per `use_coeff`
+    /// value.
+    pub fn new(
+        lib: &'a Library,
+        tech: &'a TechParams,
+        test: &'a Dataset,
+        contexts: Vec<EvalContext<'a>>,
+    ) -> Self {
+        assert!(!contexts.is_empty(), "evaluator needs at least one base circuit");
+        assert!(
+            !(contexts.len() > 1 && contexts[0].use_coeff == contexts[1].use_coeff)
+                && contexts.len() <= 2,
+            "at most one context per use_coeff value"
+        );
+        let threads = std::thread::available_parallelism().map_or(4, |t| t.get()).min(16);
+        Self { lib, tech, test, contexts, threads }
+    }
+
+    /// The searchable space: τc bounds from the pruning configuration
+    /// plus each context's per-gate (τ, φ) metrics, which strategies
+    /// use to enumerate or sample thresholds.
+    pub fn space(&self, cfg: &PruneConfig) -> SearchSpace {
+        SearchSpace {
+            tau_values: cfg.tau_values(),
+            contexts: self
+                .contexts
+                .iter()
+                .map(|c| ContextSpace {
+                    use_coeff: c.use_coeff,
+                    gates: c
+                        .analysis
+                        .candidates
+                        .iter()
+                        .map(|&g| (c.analysis.tau_of(g), c.analysis.phi_of(g)))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The contexts the evaluator holds.
+    pub fn contexts(&self) -> &[EvalContext<'a>] {
+        &self.contexts
+    }
+
+    fn context_index(&self, use_coeff: bool) -> Result<usize, StudyError> {
+        self.contexts
+            .iter()
+            .position(|c| c.use_coeff == use_coeff)
+            .ok_or(StudyError::MissingContext { use_coeff })
+    }
+
+    /// The sorted pruned-gate set a candidate selects (the paper's
+    /// step-3 filter: τ-qualified gates whose φ is at most φc).
+    pub fn gate_set(&self, c: &Candidate) -> Result<Vec<NetId>, StudyError> {
+        let ctx = &self.contexts[self.context_index(c.use_coeff)?];
+        let a = &ctx.analysis;
+        let mut set: Vec<NetId> = a
+            .candidates
+            .iter()
+            .copied()
+            .filter(|&g| a.tau_of(g) >= c.tau_c - 1e-12 && a.phi_of(g) <= c.phi_c)
+            .collect();
+        set.sort_unstable();
+        Ok(set)
+    }
+
+    /// Evaluates a batch of candidates, measuring each distinct
+    /// `(context, gate set)` at most once (across the whole lifetime of
+    /// `cache`) and in parallel. When `max_new_evals` is given, the
+    /// batch is truncated to the longest prefix needing at most that
+    /// many fresh evaluations — the engine's budget enforcement.
+    ///
+    /// Returns the evaluated `(candidate, point)` prefix and the number
+    /// of fresh (non-cached) evaluations it cost.
+    pub fn evaluate_batch(
+        &self,
+        batch: &[Candidate],
+        cache: &mut EvalCache,
+        max_new_evals: Option<usize>,
+    ) -> Result<(Vec<(Candidate, DesignPoint)>, usize), StudyError> {
+        // Resolve genomes to hashed gate sets, collecting the fresh
+        // work while honouring the budget.
+        let mut keys = Vec::with_capacity(batch.len());
+        let mut fresh: Vec<(u64, usize, Vec<NetId>)> = Vec::new();
+        let mut fresh_keys: HashMap<u64, usize> = HashMap::new();
+        let budget = max_new_evals.unwrap_or(usize::MAX);
+        for c in batch {
+            let ctx = self.context_index(c.use_coeff)?;
+            let set = self.gate_set(c)?;
+            let key = context_set_hash(ctx, &set);
+            #[cfg(debug_assertions)]
+            cache.check_collision(key, ctx, &set);
+            if cache.map.contains_key(&key) || fresh_keys.contains_key(&key) {
+                keys.push(key);
+                continue;
+            }
+            if fresh.len() >= budget {
+                break; // budget exhausted: evaluate the prefix only
+            }
+            fresh_keys.insert(key, fresh.len());
+            fresh.push((key, ctx, set));
+            keys.push(key);
+        }
+        let new_evals = fresh.len();
+        for (key, eval) in self.run_parallel(&fresh)? {
+            cache.map.insert(key, eval);
+        }
+        let results = batch[..keys.len()]
+            .iter()
+            .zip(&keys)
+            .map(|(c, key)| {
+                let e = cache.get(*key).expect("every batch key evaluated");
+                (*c, self.point_for(c, e))
+            })
+            .collect();
+        // `cache.get` counted every lookup as a hit; subtract the ones
+        // we just paid for.
+        cache.hits -= new_evals;
+        Ok((results, new_evals))
+    }
+
+    /// Runs the fresh evaluations over a work-stealing worker pool
+    /// (set sizes — and thus re-synthesis costs — vary wildly, so
+    /// static chunking would leave threads idle).
+    fn run_parallel(
+        &self,
+        fresh: &[(u64, usize, Vec<NetId>)],
+    ) -> Result<Vec<(u64, PruneEval)>, StudyError> {
+        if fresh.is_empty() {
+            return Ok(Vec::new());
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let threads = self.threads.min(fresh.len());
+        let (tx, rx) = std::sync::mpsc::channel::<Result<(u64, PruneEval), StudyError>>();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let next = &next;
+                let tx = tx.clone();
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= fresh.len() {
+                        break;
+                    }
+                    let (key, ctx_idx, set) = &fresh[i];
+                    let ctx = &self.contexts[*ctx_idx];
+                    let r = crate::prune::try_evaluate_set(
+                        ctx.netlist,
+                        ctx.model,
+                        self.test,
+                        self.lib,
+                        self.tech,
+                        &ctx.analysis,
+                        set,
+                    );
+                    let stop = r.is_err();
+                    tx.send(r.map(|e| (*key, e))).expect("receiver outlives workers");
+                    if stop {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            rx.iter().collect()
+        })
+    }
+
+    fn point_for(&self, c: &Candidate, e: &PruneEval) -> DesignPoint {
+        DesignPoint {
+            technique: if c.use_coeff { Technique::Cross } else { Technique::PruneOnly },
+            tau_c: Some(c.tau_c),
+            phi_c: Some(c.phi_c),
+            accuracy: e.accuracy,
+            area_mm2: e.area_mm2,
+            power_mw: e.power_mw,
+            gate_count: e.gate_count,
+            critical_ms: e.critical_ms,
+        }
+    }
+}
+
+/// Cache key: the gate-set content hash salted with the context index.
+fn context_set_hash(ctx: usize, set: &[NetId]) -> u64 {
+    crate::prune::gate_set_hash(set) ^ (ctx as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+}

@@ -1,0 +1,86 @@
+//! The paper-faithful exhaustive `(τc, φc)` sweep as a
+//! [`SearchStrategy`].
+
+use super::{Candidate, SearchSpace, SearchStrategy};
+use crate::DesignPoint;
+
+/// Exhaustive grid search: every configured τc step and, per τc, every
+/// relevant φc from the τ-qualified gates' distinct φ values (the
+/// paper's Φτ acceleration) — for each base circuit in the space.
+///
+/// Through the engine this reproduces `enumerate_grid` +
+/// `evaluate_grid` exactly: same candidates, same order, one
+/// evaluation per distinct pruned-gate set (the engine's cache takes
+/// the role of the grid's dedup map).
+#[derive(Debug, Default)]
+pub struct ExhaustiveGrid {
+    emitted: bool,
+}
+
+impl ExhaustiveGrid {
+    /// A fresh sweep.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SearchStrategy for ExhaustiveGrid {
+    fn name(&self) -> &str {
+        "exhaustive-grid"
+    }
+
+    fn ask(&mut self, space: &SearchSpace) -> Vec<Candidate> {
+        if self.emitted {
+            return Vec::new();
+        }
+        self.emitted = true;
+        let mut batch = Vec::new();
+        for ctx in &space.contexts {
+            for &tau_c in &space.tau_values {
+                for phi_c in ctx.phis_at(tau_c) {
+                    batch.push(Candidate { use_coeff: ctx.use_coeff, tau_c, phi_c });
+                }
+            }
+        }
+        batch
+    }
+
+    fn tell(&mut self, _results: &[(Candidate, DesignPoint)]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::ContextSpace;
+
+    #[test]
+    fn sweep_emits_once_in_grid_order() {
+        let space = SearchSpace {
+            tau_values: vec![0.8, 0.9],
+            contexts: vec![ContextSpace {
+                use_coeff: false,
+                gates: vec![(0.85, 2), (0.95, 0), (0.95, 2)],
+            }],
+        };
+        let mut g = ExhaustiveGrid::new();
+        let batch = g.ask(&space);
+        // τc=0.8 qualifies all gates (φ ∈ {0, 2}); τc=0.9 the two φ∈{0,2}.
+        let got: Vec<(f64, i64)> = batch.iter().map(|c| (c.tau_c, c.phi_c)).collect();
+        assert_eq!(got, vec![(0.8, 0), (0.8, 2), (0.9, 0), (0.9, 2)]);
+        assert!(g.ask(&space).is_empty(), "one-shot strategy");
+    }
+
+    #[test]
+    fn sweep_covers_every_context() {
+        let space = SearchSpace {
+            tau_values: vec![0.8],
+            contexts: vec![
+                ContextSpace { use_coeff: false, gates: vec![(0.9, 1)] },
+                ContextSpace { use_coeff: true, gates: vec![(0.9, 4)] },
+            ],
+        };
+        let batch = ExhaustiveGrid::new().ask(&space);
+        assert_eq!(batch.len(), 2);
+        assert!(!batch[0].use_coeff && batch[1].use_coeff);
+    }
+}

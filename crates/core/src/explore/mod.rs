@@ -1,0 +1,305 @@
+//! Pluggable design-space exploration engine.
+//!
+//! The paper explores >4300 `(τc, φc)` designs per circuit by
+//! exhaustive enumeration. This module turns that hard-wired sweep into
+//! a subsystem with swappable search shapes:
+//!
+//! * [`Candidate`] — the cross-layer genome: which base circuit to
+//!   prune (exact baseline vs. coefficient-approximated) plus the
+//!   `(τc, φc)` threshold pair;
+//! * [`SearchStrategy`] — the ask/tell trait a search implements;
+//!   shipped strategies are [`ExhaustiveGrid`] (the paper-faithful
+//!   sweep) and [`Nsga2`] (seeded evolutionary search, budgeted by
+//!   fresh evaluations);
+//! * [`Evaluator`] — maps candidates to measured [`DesignPoint`]s,
+//!   reusing one compiled tape + pruning analysis per base circuit and
+//!   evaluating distinct prunings in parallel across a worker pool;
+//! * [`EvalCache`] — content-hashed memoization, so duplicate
+//!   pruned-gate sets are measured once, within *and across*
+//!   strategies sharing one engine;
+//! * [`ParetoArchive`] — the accuracy/area front maintained
+//!   incrementally at insert time instead of batch-recomputed;
+//! * [`Engine`] — the driver loop: ask → evaluate → archive → tell.
+//!
+//! [`Framework::run_study`](crate::framework::Framework::run_study)
+//! runs on this engine; strategy selection lives in
+//! [`FrameworkConfig::search`](crate::framework::FrameworkConfig) and
+//! per-strategy statistics surface in
+//! [`ExecStats::search`](crate::framework::ExecStats).
+//!
+//! # Examples
+//!
+//! Sweep a grid and an evolutionary search over one engine, sharing
+//! measured designs:
+//!
+//! ```no_run
+//! use pax_core::explore::{Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config};
+//! use pax_core::prune::{analyze, PruneConfig};
+//! # let (netlist, model, train, test): (pax_netlist::Netlist, pax_ml::quant::QuantizedModel, pax_ml::Dataset, pax_ml::Dataset) = unimplemented!();
+//!
+//! let lib = egt_pdk::egt_library();
+//! let tech = egt_pdk::TechParams::egt();
+//! let analysis = analyze(&netlist, &model, &train);
+//! let evaluator = Evaluator::new(
+//!     &lib,
+//!     &tech,
+//!     &test,
+//!     vec![EvalContext { use_coeff: false, netlist: &netlist, model: &model, analysis }],
+//! );
+//! let mut engine = Engine::new(&evaluator, &PruneConfig::default());
+//! let grid = engine.run(&mut ExhaustiveGrid::new()).unwrap();
+//! let evo = engine.run(&mut Nsga2::new(Nsga2Config::default())).unwrap();
+//! assert!(evo.stats.cache_hits > 0, "designs the grid measured come for free");
+//! ```
+
+mod archive;
+mod evaluator;
+mod grid;
+mod nsga2;
+
+pub use archive::ParetoArchive;
+pub use evaluator::{EvalCache, EvalContext, Evaluator};
+pub use grid::ExhaustiveGrid;
+pub use nsga2::{resolve_seed, Nsga2, Nsga2Config};
+
+use crate::error::StudyError;
+use crate::prune::PruneConfig;
+use crate::DesignPoint;
+
+/// One point of the cross-layer search space — the genome strategies
+/// breed and the [`Evaluator`] measures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Prune the coefficient-approximated circuit (`true`) or the exact
+    /// bespoke baseline (`false`).
+    pub use_coeff: bool,
+    /// The τ threshold: gates whose dominant-value fraction reaches it
+    /// qualify for pruning.
+    pub tau_c: f64,
+    /// The φ threshold: qualified gates additionally need significance
+    /// at most φc.
+    pub phi_c: i64,
+}
+
+/// Per-base-circuit view of the searchable space.
+#[derive(Debug, Clone)]
+pub struct ContextSpace {
+    /// The genome value selecting this base circuit.
+    pub use_coeff: bool,
+    /// `(τ, φ)` of every prunable gate of the base circuit.
+    pub gates: Vec<(f64, i64)>,
+}
+
+impl ContextSpace {
+    /// Distinct φ values of the τ-qualified gates at `tau_c`, ascending
+    /// — the paper's Φτ set of relevant φ thresholds.
+    pub fn phis_at(&self, tau_c: f64) -> Vec<i64> {
+        let mut phis: Vec<i64> = self
+            .gates
+            .iter()
+            .filter(|&&(tau, _)| tau >= tau_c - 1e-12)
+            .map(|&(_, phi)| phi)
+            .collect();
+        phis.sort_unstable();
+        phis.dedup();
+        phis
+    }
+
+    /// Distinct gate τ values, ascending — the knee points of the τ
+    /// axis: thresholds between two of them select identical gate sets.
+    pub fn distinct_taus(&self) -> Vec<f64> {
+        let mut taus: Vec<f64> = self.gates.iter().map(|&(tau, _)| tau).collect();
+        taus.sort_by(|a, b| a.partial_cmp(b).expect("finite τ"));
+        taus.dedup();
+        taus
+    }
+
+    /// Distinct gate φ values, ascending; `[-1]` when the circuit has
+    /// no prunable gates (so genomes stay well-formed).
+    pub fn distinct_phis(&self) -> Vec<i64> {
+        let mut phis: Vec<i64> = self.gates.iter().map(|&(_, phi)| phi).collect();
+        phis.sort_unstable();
+        phis.dedup();
+        if phis.is_empty() {
+            phis.push(-1);
+        }
+        phis
+    }
+}
+
+/// What a strategy may search over: the configured τc steps (for
+/// grid-faithful strategies), the τ bounds, and each base circuit's
+/// per-gate metrics.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// The configured τc values, ascending (the exhaustive grid visits
+    /// exactly these).
+    pub tau_values: Vec<f64>,
+    /// One entry per base circuit the evaluator holds.
+    pub contexts: Vec<ContextSpace>,
+}
+
+impl SearchSpace {
+    /// The context selected by a genome's `use_coeff` gene.
+    pub fn context(&self, use_coeff: bool) -> Option<&ContextSpace> {
+        self.contexts.iter().find(|c| c.use_coeff == use_coeff)
+    }
+
+    /// `(lowest, highest)` configured τc.
+    pub fn tau_bounds(&self) -> (f64, f64) {
+        (
+            self.tau_values.first().copied().unwrap_or(0.8),
+            self.tau_values.last().copied().unwrap_or(0.99),
+        )
+    }
+}
+
+/// A pluggable search shape over the cross-layer genome.
+///
+/// The [`Engine`] drives the ask/tell loop: `ask` yields the next batch
+/// of genomes to measure (one generation, or the whole sweep for
+/// one-shot strategies; empty means the strategy is done), `tell`
+/// returns the measured batch so the strategy can select survivors.
+/// Strategies never measure anything themselves — the engine's
+/// evaluator and cache do, which is what makes search shapes
+/// interchangeable and lets them share measurements.
+pub trait SearchStrategy {
+    /// Short identifier used in stats and reports.
+    fn name(&self) -> &str;
+
+    /// Budget of fresh (non-cached) evaluations this strategy wants,
+    /// `None` for unlimited. The engine truncates batches to honour it.
+    fn budget(&self) -> Option<usize> {
+        None
+    }
+
+    /// The next batch of candidates to evaluate; empty ends the search.
+    fn ask(&mut self, space: &SearchSpace) -> Vec<Candidate>;
+
+    /// Feedback: the evaluated batch, in ask order (possibly truncated
+    /// to the evaluation budget).
+    fn tell(&mut self, results: &[(Candidate, DesignPoint)]);
+}
+
+/// Per-strategy exploration statistics, surfaced through
+/// [`ExecStats`](crate::framework::ExecStats).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// Strategy name.
+    pub strategy: String,
+    /// Candidates the strategy asked for (the paper counts these as
+    /// "explored designs").
+    pub asked: usize,
+    /// Fresh evaluations actually synthesized and simulated.
+    pub evaluated: usize,
+    /// Evaluations served from the content-hash cache.
+    pub cache_hits: usize,
+    /// Ask/tell rounds driven (generations, for evolutionary shapes).
+    pub generations: usize,
+}
+
+/// Everything one [`Engine::run`] produced.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Every evaluated `(genome, measurement)`, in ask order.
+    pub points: Vec<(Candidate, DesignPoint)>,
+    /// The non-dominated subset, maintained incrementally.
+    pub archive: ParetoArchive,
+    /// Exploration counters.
+    pub stats: SearchStats,
+}
+
+/// The exploration driver: owns the evaluation cache (shared across
+/// every strategy run on this engine) and loops ask → evaluate →
+/// archive → tell until the strategy finishes or exhausts its budget.
+#[derive(Debug)]
+pub struct Engine<'a, 'b> {
+    evaluator: &'b Evaluator<'a>,
+    space: SearchSpace,
+    cache: EvalCache,
+}
+
+impl<'a, 'b> Engine<'a, 'b> {
+    /// Creates an engine over an evaluator; the search space derives
+    /// from the evaluator's contexts and the pruning configuration's τ
+    /// steps.
+    pub fn new(evaluator: &'b Evaluator<'a>, cfg: &PruneConfig) -> Self {
+        let space = evaluator.space(cfg);
+        Self { evaluator, space, cache: EvalCache::new() }
+    }
+
+    /// The space strategies search over.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// The engine's evaluation cache (inspection only).
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Drives one strategy to completion. The cache persists across
+    /// calls, so a second strategy re-measures nothing the first
+    /// already paid for.
+    pub fn run(&mut self, strategy: &mut dyn SearchStrategy) -> Result<SearchOutcome, StudyError> {
+        let mut points = Vec::new();
+        let mut archive = ParetoArchive::new();
+        let mut stats = SearchStats { strategy: strategy.name().to_string(), ..Default::default() };
+        let budget = strategy.budget();
+        let mut spent = 0usize;
+        loop {
+            let batch = strategy.ask(&self.space);
+            if batch.is_empty() {
+                break;
+            }
+            stats.generations += 1;
+            stats.asked += batch.len();
+            let remaining = budget.map(|b| b.saturating_sub(spent));
+            let (results, fresh) =
+                self.evaluator.evaluate_batch(&batch, &mut self.cache, remaining)?;
+            spent += fresh;
+            stats.evaluated += fresh;
+            stats.cache_hits += results.len() - fresh;
+            // Results may be a truncated prefix when the budget ran
+            // out; the strategy only learns about what was measured.
+            stats.asked -= batch.len() - results.len();
+            archive.extend(results.iter().map(|(_, p)| p.clone()));
+            strategy.tell(&results);
+            points.extend(results);
+            if remaining.is_some_and(|r| fresh >= r) {
+                break;
+            }
+        }
+        Ok(SearchOutcome { points, archive, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_space_phi_tau_helpers() {
+        let ctx = ContextSpace {
+            use_coeff: false,
+            gates: vec![(0.9, 3), (0.8, 1), (0.95, 3), (0.85, -1)],
+        };
+        assert_eq!(ctx.phis_at(0.79), vec![-1, 1, 3]);
+        assert_eq!(ctx.phis_at(0.9), vec![3]);
+        assert_eq!(ctx.distinct_taus(), vec![0.8, 0.85, 0.9, 0.95]);
+        assert_eq!(ctx.distinct_phis(), vec![-1, 1, 3]);
+        let empty = ContextSpace { use_coeff: true, gates: vec![] };
+        assert_eq!(empty.distinct_phis(), vec![-1]);
+    }
+
+    #[test]
+    fn search_space_lookup() {
+        let space = SearchSpace {
+            tau_values: vec![0.8, 0.99],
+            contexts: vec![ContextSpace { use_coeff: true, gates: vec![] }],
+        };
+        assert!(space.context(true).is_some());
+        assert!(space.context(false).is_none());
+        assert_eq!(space.tau_bounds(), (0.8, 0.99));
+    }
+}

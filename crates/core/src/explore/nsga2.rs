@@ -1,0 +1,671 @@
+//! Seeded, generational NSGA-II-style evolutionary search over the
+//! cross-layer genome.
+//!
+//! Related work (Afentaki et al., Mrazek et al. — see `PAPERS.md`)
+//! shows evolutionary search over the joint algorithm/logic knob space
+//! finding better accuracy-vs-area fronts than grid sweeps at a
+//! fraction of the evaluations. This strategy searches the
+//! [`Candidate`] genome — base-circuit choice plus a *continuous* τc
+//! gene and a φc gene — so it can reach pruned-gate sets that sit
+//! between the paper's 20 fixed τc steps.
+//!
+//! Determinism: every stochastic step draws from one `StdRng` seeded by
+//! [`Nsga2Config::seed`]; the `PAX_SEARCH_SEED` environment variable
+//! overrides the configured seed (same pattern as `PAX_PROPTEST_SEED`),
+//! so a logged run reproduces exactly from its command line.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use super::{Candidate, SearchSpace, SearchStrategy};
+use crate::DesignPoint;
+
+/// Configuration of the evolutionary search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nsga2Config {
+    /// Population size per generation.
+    pub population: usize,
+    /// Maximum number of generations (the evaluation budget usually
+    /// binds first).
+    pub generations: usize,
+    /// Budget of *fresh* (non-cached) candidate evaluations; 0 means
+    /// unlimited. Cache hits — re-discovering an already-measured
+    /// pruned-gate set — are free, matching how the exhaustive grid
+    /// counts only distinct prunings.
+    pub max_evals: usize,
+    /// Probability of crossing two parents (otherwise the fitter parent
+    /// is cloned before mutation).
+    pub crossover_prob: f64,
+    /// Per-gene mutation probability.
+    pub mutation_prob: f64,
+    /// RNG seed; overridden by the `PAX_SEARCH_SEED` environment
+    /// variable when set.
+    pub seed: u64,
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Self {
+            population: 24,
+            generations: 40,
+            max_evals: 256,
+            crossover_prob: 0.9,
+            mutation_prob: 0.35,
+            seed: 0x5EA2C4,
+        }
+    }
+}
+
+/// Resolves the effective seed: `PAX_SEARCH_SEED` when set and
+/// parsable, the configured seed otherwise.
+pub fn resolve_seed(configured: u64) -> u64 {
+    resolve_seed_from(std::env::var("PAX_SEARCH_SEED").ok().as_deref(), configured)
+}
+
+/// [`resolve_seed`] with the environment lookup injected — tests use
+/// this directly so they never mutate process-wide environment state
+/// (which would race with parallel test threads reading the variable).
+fn resolve_seed_from(var: Option<&str>, configured: u64) -> u64 {
+    var.and_then(|s| s.trim().parse().ok()).unwrap_or(configured)
+}
+
+/// One ranked individual of the current parent population.
+#[derive(Debug, Clone)]
+struct Individual {
+    cand: Candidate,
+    point: DesignPoint,
+    rank: usize,
+    crowding: f64,
+}
+
+/// The NSGA-II-style strategy: tournament selection on (rank, crowding
+/// distance), uniform crossover, per-gene mutation, elitist
+/// environmental selection over parents ∪ offspring, plus a memetic
+/// touch — each generation first probes the unvisited τ/φ neighbours
+/// of the current front before breeding fills the rest of the batch.
+#[derive(Debug)]
+pub struct Nsga2 {
+    cfg: Nsga2Config,
+    rng: StdRng,
+    parents: Vec<Individual>,
+    generation: usize,
+    /// Genomes already emitted (exact τ bits), so refinement probes
+    /// never re-ask a visited neighbour.
+    emitted: std::collections::HashSet<(bool, u64, i64)>,
+    /// Highest-accuracy evaluated genome per context (`use_coeff` →
+    /// `(accuracy, genome)`): the zero-loss pruning boundary each
+    /// context's refinement hunts, even when the other context
+    /// dominates it area-wise.
+    best_acc: Vec<(bool, f64, Candidate)>,
+    /// Zero-loss boundary searches (one per context × strong φ level):
+    /// binary searches along the gate-τ knee axis for the most
+    /// aggressive pruning that keeps the context's best accuracy — the
+    /// designs the paper's Table II selects.
+    boundaries: Vec<Boundary>,
+}
+
+/// State of one accuracy-preserving τ-boundary binary search.
+#[derive(Debug)]
+struct Boundary {
+    use_coeff: bool,
+    phi: i64,
+    /// Knee-index window still to search (`lo..=hi`).
+    lo: usize,
+    hi: usize,
+    /// The probe in flight: `(knee index, genome)`.
+    pending: Option<(usize, Candidate)>,
+    done: bool,
+}
+
+impl Nsga2 {
+    /// Creates the strategy, resolving the seed through
+    /// [`resolve_seed`].
+    pub fn new(cfg: Nsga2Config) -> Self {
+        assert!(cfg.population >= 2, "population must hold at least two parents");
+        let rng = StdRng::seed_from_u64(resolve_seed(cfg.seed));
+        Self {
+            cfg,
+            rng,
+            parents: Vec::new(),
+            generation: 0,
+            emitted: std::collections::HashSet::new(),
+            best_acc: Vec::new(),
+            boundaries: Vec::new(),
+        }
+    }
+
+    fn context_knees(space: &SearchSpace, use_coeff: bool) -> Vec<f64> {
+        let (lo, hi) = space.tau_bounds();
+        space
+            .context(use_coeff)
+            .map(|ctx| ctx.distinct_taus().into_iter().filter(|t| (lo..=hi).contains(t)).collect())
+            .unwrap_or_default()
+    }
+
+    fn init_boundaries(&mut self, space: &SearchSpace) {
+        for ctx in &space.contexts {
+            let knees = Self::context_knees(space, ctx.use_coeff);
+            if knees.is_empty() {
+                continue;
+            }
+            let phis = ctx.distinct_phis();
+            let mut levels = vec![*phis.last().expect("non-empty")];
+            if phis.len() > 1 {
+                levels.push(phis[phis.len() - 2]);
+            }
+            for phi in levels {
+                self.boundaries.push(Boundary {
+                    use_coeff: ctx.use_coeff,
+                    phi,
+                    lo: 0,
+                    hi: knees.len() - 1,
+                    pending: None,
+                    done: false,
+                });
+            }
+        }
+    }
+
+    /// One probe per in-flight boundary search: the midpoint of the
+    /// remaining knee window (or the converged boundary itself).
+    fn boundary_probes(&mut self, space: &SearchSpace) -> Vec<Candidate> {
+        let mut probes = Vec::new();
+        for b in &mut self.boundaries {
+            if b.done || b.pending.is_some() {
+                continue;
+            }
+            let knees = Self::context_knees(space, b.use_coeff);
+            if knees.is_empty() {
+                b.done = true;
+                continue;
+            }
+            let mid = if b.lo < b.hi { (b.lo + b.hi) / 2 } else { b.lo };
+            let cand = Candidate {
+                use_coeff: b.use_coeff,
+                tau_c: knees[mid.min(knees.len() - 1)],
+                phi_c: b.phi,
+            };
+            b.pending = Some((mid, cand));
+            if b.lo >= b.hi {
+                b.done = true; // final visit of the converged boundary
+            }
+            probes.push(cand);
+        }
+        probes
+    }
+
+    fn advance_boundaries(&mut self, results: &[(Candidate, DesignPoint)]) {
+        for b in &mut self.boundaries {
+            let Some((mid, cand)) = b.pending else { continue };
+            let Some((_, point)) = results.iter().find(|(c, _)| *c == cand) else {
+                // Probe truncated by the budget; retry next generation.
+                b.pending = None;
+                continue;
+            };
+            let target = self
+                .best_acc
+                .iter()
+                .find(|(uc, _, _)| *uc == b.use_coeff)
+                .map_or(f64::NEG_INFINITY, |&(_, acc, _)| acc);
+            if point.accuracy >= target - 1e-9 {
+                // Zero loss at this knee: everything above keeps it too,
+                // so search the more aggressive half.
+                b.hi = mid;
+            } else {
+                b.lo = (mid + 1).min(b.hi);
+            }
+            b.pending = None;
+        }
+    }
+
+    fn mark_emitted(&mut self, c: &Candidate) -> bool {
+        self.emitted.insert((c.use_coeff, c.tau_c.to_bits(), c.phi_c))
+    }
+
+    /// The τ/φ neighbours of a genome: the adjacent gate-τ knee points
+    /// at the same φ, and the adjacent significance levels at the same
+    /// τ — the four moves that walk along a front.
+    fn neighbors(c: Candidate, space: &SearchSpace) -> Vec<Candidate> {
+        let Some(ctx) = space.context(c.use_coeff) else { return Vec::new() };
+        let (lo, hi) = space.tau_bounds();
+        let mut out = Vec::with_capacity(4);
+        // φ moves first: stepping a significance level changes the
+        // pruned set far more than one τ knee, so these probes carry
+        // the most front-extension value per evaluation.
+        let phis = ctx.distinct_phis();
+        let idx = phis.partition_point(|&p| p < c.phi_c).min(phis.len() - 1);
+        for nb in [idx.saturating_sub(1), (idx + 1).min(phis.len() - 1)] {
+            if phis[nb] != c.phi_c {
+                out.push(Candidate { phi_c: phis[nb], ..c });
+            }
+        }
+        let taus: Vec<f64> =
+            ctx.distinct_taus().into_iter().filter(|t| (lo..=hi).contains(t)).collect();
+        if !taus.is_empty() {
+            let idx = taus.partition_point(|&t| t < c.tau_c).min(taus.len() - 1);
+            for nb in [idx.saturating_sub(1), (idx + 1).min(taus.len() - 1)] {
+                if (taus[nb] - c.tau_c).abs() > f64::EPSILON {
+                    out.push(Candidate { tau_c: taus[nb], ..c });
+                }
+            }
+        }
+        out
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &Nsga2Config {
+        &self.cfg
+    }
+
+    fn random_candidate(&mut self, space: &SearchSpace) -> Candidate {
+        let ctx = &space.contexts[self.rng.random_range(0..space.contexts.len())];
+        let (lo, hi) = space.tau_bounds();
+        let tau_c = if lo < hi { self.rng.random_range(lo..hi) } else { lo };
+        let phis = ctx.distinct_phis();
+        let phi_c = phis[self.rng.random_range(0..phis.len())];
+        Candidate { use_coeff: ctx.use_coeff, tau_c, phi_c }
+    }
+
+    /// Initial population: per context a τ-quantile sweep at maximal
+    /// pruning (φc at the top significance level — where the
+    /// area/accuracy trade-off actually lives), the two sweep extremes,
+    /// and random genomes for diversity. The sweep τs come from the
+    /// gates' own τ values, so the very first generation already visits
+    /// knee points the fixed grid steps straddle.
+    fn initial_population(&mut self, space: &SearchSpace) -> Vec<Candidate> {
+        let mut pop = Vec::with_capacity(self.cfg.population);
+        let (lo, hi) = space.tau_bounds();
+        // Most of the first generation goes to the sweep; one extreme
+        // per context and a couple of random genomes fill the rest.
+        let n_ctx = space.contexts.len();
+        let per_ctx = (self.cfg.population.saturating_sub(2 * n_ctx) / n_ctx).max(2);
+        for ctx in &space.contexts {
+            let phis = ctx.distinct_phis();
+            let phi_max = *phis.last().expect("distinct_phis is never empty");
+            let phi_2nd = phis[phis.len().saturating_sub(2)];
+            let knees: Vec<f64> =
+                ctx.distinct_taus().into_iter().filter(|t| (lo..=hi).contains(t)).collect();
+            for i in 0..per_ctx {
+                let frac = i as f64 / per_ctx.saturating_sub(1).max(1) as f64;
+                let tau_c = if knees.is_empty() {
+                    lo + (hi - lo) * frac
+                } else {
+                    knees[((knees.len() - 1) as f64 * frac).round() as usize]
+                };
+                // Alternate the two strongest pruning levels along the
+                // sweep: most fronts live on them.
+                let phi_c = if i % 2 == 0 { phi_max } else { phi_2nd };
+                pop.push(Candidate { use_coeff: ctx.use_coeff, tau_c, phi_c });
+            }
+            pop.push(Candidate { use_coeff: ctx.use_coeff, tau_c: hi, phi_c: phis[0] });
+        }
+        while pop.len() < self.cfg.population {
+            let c = self.random_candidate(space);
+            pop.push(c);
+        }
+        pop.truncate(self.cfg.population);
+        pop
+    }
+
+    fn tournament(&mut self) -> Candidate {
+        let a = self.rng.random_range(0..self.parents.len());
+        let b = self.rng.random_range(0..self.parents.len());
+        let (ia, ib) = (&self.parents[a], &self.parents[b]);
+        if (ia.rank, -ia.crowding) <= (ib.rank, -ib.crowding) {
+            ia.cand
+        } else {
+            ib.cand
+        }
+    }
+
+    fn crossover(&mut self, a: Candidate, b: Candidate) -> Candidate {
+        // Uniform per-gene exchange.
+        Candidate {
+            use_coeff: if self.rng.random::<bool>() { a.use_coeff } else { b.use_coeff },
+            tau_c: if self.rng.random::<bool>() { a.tau_c } else { b.tau_c },
+            phi_c: if self.rng.random::<bool>() { a.phi_c } else { b.phi_c },
+        }
+    }
+
+    fn mutate(&mut self, mut c: Candidate, space: &SearchSpace) -> Candidate {
+        if space.contexts.len() > 1 && self.rng.random::<f64>() < self.cfg.mutation_prob {
+            c.use_coeff = !c.use_coeff;
+        }
+        let ctx = space.context(c.use_coeff).expect("genome stays inside the space");
+        if self.rng.random::<f64>() < self.cfg.mutation_prob {
+            let (lo, hi) = space.tau_bounds();
+            c.tau_c = if self.rng.random::<bool>() {
+                // Snap to a *nearby* gate τ: thresholds between two gate
+                // τ values select identical sets, so the gates' own τs
+                // are the knee points of the space — including ones the
+                // fixed grid steps straddle. Staying local keeps the
+                // move exploitative.
+                let taus = ctx.distinct_taus();
+                let idx = taus.partition_point(|&t| t < c.tau_c).min(taus.len().saturating_sub(1));
+                let jump = self.rng.random_range(-2i64..=2) as isize;
+                let nb = (idx as isize + jump).clamp(0, taus.len() as isize - 1) as usize;
+                taus.get(nb).copied().unwrap_or(c.tau_c).clamp(lo, hi)
+            } else {
+                (c.tau_c + self.rng.random_range(-0.02..0.02)).clamp(lo, hi)
+            };
+        }
+        if self.rng.random::<f64>() < self.cfg.mutation_prob {
+            let phis = ctx.distinct_phis();
+            let idx = phis.partition_point(|&p| p < c.phi_c).min(phis.len() - 1);
+            c.phi_c = if self.rng.random::<f64>() < 0.75 {
+                // Step to a neighbouring significance level — the
+                // exploitative move fronts are refined with.
+                if self.rng.random::<bool>() {
+                    phis[(idx + 1).min(phis.len() - 1)]
+                } else {
+                    phis[idx.saturating_sub(1)]
+                }
+            } else {
+                phis[self.rng.random_range(0..phis.len())]
+            };
+        }
+        c
+    }
+
+    /// Repairs a genome after crossover mixed genes across contexts:
+    /// τc clamps to the configured bounds, φc snaps to the nearest
+    /// significance level its context actually has.
+    fn repair(c: Candidate, space: &SearchSpace) -> Candidate {
+        let (lo, hi) = space.tau_bounds();
+        let ctx = space.context(c.use_coeff).expect("genome stays inside the space");
+        let phis = ctx.distinct_phis();
+        let pos = phis.partition_point(|&p| p < c.phi_c);
+        let phi_c = if pos == phis.len() {
+            phis[pos - 1]
+        } else if pos == 0 || phis[pos] - c.phi_c <= c.phi_c - phis[pos - 1] {
+            phis[pos]
+        } else {
+            phis[pos - 1]
+        };
+        Candidate { use_coeff: c.use_coeff, tau_c: c.tau_c.clamp(lo, hi), phi_c }
+    }
+
+    fn offspring(&mut self, space: &SearchSpace) -> Vec<Candidate> {
+        let mut batch = Vec::with_capacity(self.cfg.population);
+        // Zero-loss boundary searches drive first: one binary-search
+        // probe per boundary per generation.
+        if self.boundaries.is_empty() {
+            self.init_boundaries(space);
+        }
+        for c in self.boundary_probes(space) {
+            self.mark_emitted(&c);
+            batch.push(c);
+        }
+        // Memetic refinement next: walk the unvisited τ/φ neighbours
+        // of the current front — plus each context's accuracy champion,
+        // whose surroundings hold the minimum-area-at-zero-loss designs
+        // the paper's Table II selects — before breeding fills the rest.
+        let mut front: Vec<Candidate> = self.best_acc.iter().map(|&(_, _, c)| c).collect();
+        front.extend(self.parents.iter().filter(|i| i.rank == 0).map(|i| i.cand));
+        // Breadth-first over the front: every member's best (φ) moves
+        // before anyone's second-tier (τ) moves.
+        let probes: Vec<Vec<Candidate>> =
+            front.iter().map(|c| Self::neighbors(*c, space)).collect();
+        let cap = (self.cfg.population * 3 / 4).max(batch.len());
+        'probe: for round in 0..probes.iter().map(Vec::len).max().unwrap_or(0) {
+            for nbs in &probes {
+                if let Some(nb) = nbs.get(round) {
+                    if self.mark_emitted(nb) {
+                        batch.push(*nb);
+                        if batch.len() >= cap {
+                            break 'probe;
+                        }
+                    }
+                }
+            }
+        }
+        while batch.len() < self.cfg.population {
+            let a = self.tournament();
+            let child = if self.rng.random::<f64>() < self.cfg.crossover_prob {
+                let b = self.tournament();
+                self.crossover(a, b)
+            } else {
+                a
+            };
+            let child = Self::repair(self.mutate(child, space), space);
+            self.mark_emitted(&child);
+            batch.push(child);
+        }
+        batch
+    }
+}
+
+impl SearchStrategy for Nsga2 {
+    fn name(&self) -> &str {
+        "nsga2"
+    }
+
+    fn budget(&self) -> Option<usize> {
+        (self.cfg.max_evals > 0).then_some(self.cfg.max_evals)
+    }
+
+    fn ask(&mut self, space: &SearchSpace) -> Vec<Candidate> {
+        if self.generation >= self.cfg.generations {
+            return Vec::new();
+        }
+        self.generation += 1;
+        if self.parents.is_empty() {
+            let pop = self.initial_population(space);
+            for c in &pop {
+                self.mark_emitted(c);
+            }
+            pop
+        } else {
+            self.offspring(space)
+        }
+    }
+
+    fn tell(&mut self, results: &[(Candidate, DesignPoint)]) {
+        for (c, p) in results {
+            match self.best_acc.iter_mut().find(|(uc, _, _)| *uc == c.use_coeff) {
+                Some(entry) if entry.1 >= p.accuracy => {}
+                Some(entry) => *entry = (c.use_coeff, p.accuracy, *c),
+                None => self.best_acc.push((c.use_coeff, p.accuracy, *c)),
+            }
+        }
+        self.advance_boundaries(results);
+        let mut pool: Vec<(Candidate, DesignPoint)> =
+            self.parents.iter().map(|i| (i.cand, i.point.clone())).collect();
+        pool.extend(results.iter().cloned());
+        self.parents = environmental_selection(pool, self.cfg.population);
+    }
+}
+
+/// Elitist truncation: fast non-dominated sort, fill by rank, break the
+/// last front by descending crowding distance. Fully deterministic —
+/// all ties fall back to pool order.
+fn environmental_selection(pool: Vec<(Candidate, DesignPoint)>, keep: usize) -> Vec<Individual> {
+    let ranks = non_dominated_ranks(&pool);
+    let mut by_front: Vec<Vec<usize>> = Vec::new();
+    for (i, &r) in ranks.iter().enumerate() {
+        if by_front.len() <= r {
+            by_front.resize(r + 1, Vec::new());
+        }
+        by_front[r].push(i);
+    }
+    let mut selected = Vec::with_capacity(keep);
+    for (rank, front) in by_front.iter().enumerate() {
+        let crowding = crowding_distances(&pool, front);
+        let mut members: Vec<(usize, f64)> = front.iter().copied().zip(crowding).collect();
+        if selected.len() + members.len() > keep {
+            members.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite crowding"));
+            members.truncate(keep - selected.len());
+        }
+        for (idx, crowding) in members {
+            selected.push(Individual {
+                cand: pool[idx].0,
+                point: pool[idx].1.clone(),
+                rank,
+                crowding,
+            });
+        }
+        if selected.len() >= keep {
+            break;
+        }
+    }
+    selected
+}
+
+/// Rank of each pool member: 0 for the non-dominated front, 1 for the
+/// front once rank-0 is removed, and so on.
+fn non_dominated_ranks(pool: &[(Candidate, DesignPoint)]) -> Vec<usize> {
+    let n = pool.len();
+    let mut rank = vec![usize::MAX; n];
+    let mut assigned = 0;
+    let mut current = 0;
+    while assigned < n {
+        // Peel one front: unassigned points no *unassigned* point
+        // dominates. Collected before assigning so the peel works on a
+        // consistent snapshot.
+        let front: Vec<usize> = (0..n)
+            .filter(|&i| rank[i] == usize::MAX)
+            .filter(|&i| {
+                !(0..n).any(|j| j != i && rank[j] == usize::MAX && pool[j].1.dominates(&pool[i].1))
+            })
+            .collect();
+        for &i in &front {
+            rank[i] = current;
+        }
+        assigned += front.len();
+        current += 1;
+    }
+    rank
+}
+
+/// NSGA-II crowding distance within one front (accuracy and area
+/// objectives, each normalized by the front's extent). Boundary points
+/// get `f64::INFINITY`.
+fn crowding_distances(pool: &[(Candidate, DesignPoint)], front: &[usize]) -> Vec<f64> {
+    let m = front.len();
+    if m <= 2 {
+        return vec![f64::INFINITY; m];
+    }
+    let mut dist = vec![0.0f64; m];
+    for objective in [0usize, 1] {
+        let value = |i: usize| -> f64 {
+            let p = &pool[front[i]].1;
+            if objective == 0 {
+                p.accuracy
+            } else {
+                p.area_mm2
+            }
+        };
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            value(a).partial_cmp(&value(b)).expect("finite objective").then(a.cmp(&b))
+        });
+        let span = value(order[m - 1]) - value(order[0]);
+        dist[order[0]] = f64::INFINITY;
+        dist[order[m - 1]] = f64::INFINITY;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..m - 1 {
+            dist[order[w]] += (value(order[w + 1]) - value(order[w - 1])) / span;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::ContextSpace;
+    use crate::Technique;
+
+    fn space() -> SearchSpace {
+        SearchSpace {
+            tau_values: vec![0.8, 0.9, 0.99],
+            contexts: vec![
+                ContextSpace {
+                    use_coeff: false,
+                    gates: vec![(0.82, 0), (0.91, 3), (0.97, 1), (0.99, -1)],
+                },
+                ContextSpace { use_coeff: true, gates: vec![(0.85, 2), (0.93, 0)] },
+            ],
+        }
+    }
+
+    fn point(acc: f64, area: f64) -> DesignPoint {
+        DesignPoint {
+            technique: Technique::Cross,
+            tau_c: None,
+            phi_c: None,
+            accuracy: acc,
+            area_mm2: area,
+            power_mw: 0.0,
+            gate_count: 0,
+            critical_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn generations_are_deterministic_for_a_fixed_seed() {
+        let space = space();
+        let run = |seed: u64| {
+            let mut s = Nsga2::new(Nsga2Config { seed, ..Default::default() });
+            let mut all = Vec::new();
+            for _ in 0..3 {
+                let batch = s.ask(&space);
+                let results: Vec<(Candidate, DesignPoint)> = batch
+                    .iter()
+                    .map(|&c| (c, point(c.tau_c, 100.0 - f64::from(c.phi_c as i32))))
+                    .collect();
+                s.tell(&results);
+                all.extend(batch);
+            }
+            all
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds explore different genomes");
+    }
+
+    #[test]
+    fn genomes_stay_inside_the_space() {
+        let space = space();
+        let mut s = Nsga2::new(Nsga2Config { population: 16, ..Default::default() });
+        for _ in 0..4 {
+            let batch = s.ask(&space);
+            let results: Vec<(Candidate, DesignPoint)> = batch
+                .iter()
+                .map(|&c| (c, point(0.5 + c.tau_c / 10.0, 50.0 + f64::from(c.phi_c as i32))))
+                .collect();
+            for c in &batch {
+                let ctx = space.context(c.use_coeff).expect("context exists");
+                assert!((0.8..=0.99).contains(&c.tau_c), "τc {}", c.tau_c);
+                assert!(ctx.distinct_phis().contains(&c.phi_c), "φc {}", c.phi_c);
+            }
+            s.tell(&results);
+        }
+    }
+
+    #[test]
+    fn ranks_and_crowding_prefer_the_front() {
+        let pool = vec![
+            (Candidate { use_coeff: false, tau_c: 0.8, phi_c: 0 }, point(0.9, 50.0)),
+            (Candidate { use_coeff: false, tau_c: 0.9, phi_c: 0 }, point(0.8, 90.0)), // dominated
+            (Candidate { use_coeff: false, tau_c: 0.8, phi_c: 1 }, point(0.95, 80.0)),
+        ];
+        let ranks = non_dominated_ranks(&pool);
+        assert_eq!(ranks, vec![0, 1, 0]);
+        let sel = environmental_selection(pool, 2);
+        assert_eq!(sel.len(), 2);
+        assert!(sel.iter().all(|i| i.rank == 0));
+    }
+
+    #[test]
+    fn seed_resolution_prefers_the_environment() {
+        // Exercised through the injected lookup — mutating the real
+        // environment would race with parallel test threads that
+        // construct `Nsga2` (and thus read `PAX_SEARCH_SEED`).
+        assert_eq!(resolve_seed_from(None, 11), 11);
+        assert_eq!(resolve_seed_from(Some("99"), 11), 99);
+        assert_eq!(resolve_seed_from(Some(" 99\n"), 11), 99, "whitespace tolerated");
+        assert_eq!(resolve_seed_from(Some("not-a-number"), 11), 11);
+    }
+}

@@ -14,22 +14,56 @@
 //! returning every evaluated design, per-stage wall-clock (Table III)
 //! and helpers for the Pareto front (Fig. 3) and the <1%-loss area
 //! optimum (Table II).
+//!
+//! Both pruning explorations run on the pluggable
+//! [`explore`](crate::explore) engine; [`FrameworkConfig::search`]
+//! selects the strategy (exhaustive grid by default, evolutionary
+//! NSGA-II via [`SearchConfig::Nsga2`]) and
+//! [`Framework::run_study_with`] overrides it per study.
 
 use std::time::Instant;
 
 use egt_pdk::{Library, TechParams};
-use pax_bespoke::{evaluate_compiled, BespokeCircuit};
+use pax_bespoke::{try_evaluate_compiled, BespokeCircuit};
 use pax_ml::quant::{ModelKind, QuantizedModel};
 use pax_ml::Dataset;
 use pax_sim::CompiledNetlist;
 use pax_synth::{area, opt};
 
 use crate::coeff_approx::{approximate_model, CoeffApproxConfig, CoeffApproxReport};
-use crate::mult_cache::MultCache;
-use crate::prune::{
-    analyze, analyze_compiled, apply_set, enumerate_grid, evaluate_grid, PruneConfig, PruneGrid,
+use crate::error::StudyError;
+use crate::explore::{
+    Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, SearchStats, SearchStrategy,
 };
+use crate::mult_cache::MultCache;
+use crate::prune::{analyze, analyze_compiled, apply_set, PruneConfig};
 use crate::{pareto, DesignPoint, Technique};
+
+/// Which search strategy drives the pruning exploration.
+///
+/// Strategy objects themselves are stateful, so the configuration
+/// stores a *recipe*; [`SearchConfig::build`] instantiates a fresh
+/// strategy per exploration. Custom [`SearchStrategy`] implementations
+/// plug in through [`Framework::try_run_study_with`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum SearchConfig {
+    /// The paper-faithful exhaustive `(τc, φc)` sweep (the default).
+    #[default]
+    Exhaustive,
+    /// Seeded NSGA-II-style evolutionary search under an evaluation
+    /// budget.
+    Nsga2(Nsga2Config),
+}
+
+impl SearchConfig {
+    /// Instantiates a fresh strategy from the recipe.
+    pub fn build(&self) -> Box<dyn SearchStrategy> {
+        match self {
+            SearchConfig::Exhaustive => Box::new(ExhaustiveGrid::new()),
+            SearchConfig::Nsga2(cfg) => Box::new(Nsga2::new(cfg.clone())),
+        }
+    }
+}
 
 /// Framework configuration.
 #[derive(Debug, Clone, Default)]
@@ -40,6 +74,9 @@ pub struct FrameworkConfig {
     pub prune: PruneConfig,
     /// Technology operating point (clock, battery, I/O floor).
     pub tech: TechParams,
+    /// Search strategy driving both pruning explorations (exhaustive
+    /// grid by default).
+    pub search: SearchConfig,
 }
 
 /// Per-stage wall-clock of one study — the paper's Table III measures
@@ -59,6 +96,9 @@ pub struct ExecStats {
     pub designs_explored: usize,
     /// Number of distinct prunings actually synthesized and simulated.
     pub designs_unique: usize,
+    /// Per-exploration search statistics (baseline pruning first, then
+    /// the cross-layer pruning).
+    pub search: Vec<SearchStats>,
 }
 
 impl ExecStats {
@@ -100,10 +140,14 @@ impl CircuitStudy {
     }
 
     /// The Pareto-optimal designs over all techniques (accuracy ↑,
-    /// area ↓), cloned in ascending-area order.
+    /// area ↓), cloned in ascending-area order. Built on the
+    /// incremental [`ParetoArchive`](crate::explore::ParetoArchive);
+    /// `proptest_explore` pins its equivalence to the batch
+    /// [`pareto::pareto_front`].
     pub fn pareto_front(&self) -> Vec<DesignPoint> {
-        let pts: Vec<DesignPoint> = self.all_points().into_iter().cloned().collect();
-        pareto::pareto_front(&pts).into_iter().map(|i| pts[i].clone()).collect()
+        let mut archive = crate::explore::ParetoArchive::new();
+        archive.extend(self.all_points().into_iter().cloned());
+        archive.into_front()
     }
 
     /// The paper's Table II selection: per technique, the minimum-area
@@ -173,6 +217,12 @@ impl Framework {
     /// activity), area, power, timing. Compiles the netlist for the one
     /// simulation; when the same circuit is measured *and* analyzed for
     /// pruning, [`Framework::measure_compiled`] shares one tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the library does not cover the netlist or the
+    /// dataset does not match the model — [`Framework::try_measure`]
+    /// surfaces those as [`StudyError`] instead.
     pub fn measure(
         &self,
         netlist: &pax_netlist::Netlist,
@@ -180,12 +230,35 @@ impl Framework {
         test: &Dataset,
         technique: Technique,
     ) -> DesignPoint {
-        self.measure_compiled(&CompiledNetlist::compile(netlist), netlist, model, test, technique)
+        self.try_measure(netlist, model, test, technique).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Framework::measure`] surfacing library/simulation problems as
+    /// [`StudyError`] instead of panicking.
+    pub fn try_measure(
+        &self,
+        netlist: &pax_netlist::Netlist,
+        model: &QuantizedModel,
+        test: &Dataset,
+        technique: Technique,
+    ) -> Result<DesignPoint, StudyError> {
+        self.try_measure_compiled(
+            &CompiledNetlist::compile(netlist),
+            netlist,
+            model,
+            test,
+            technique,
+        )
     }
 
     /// [`Framework::measure`] over an already-compiled netlist: the
     /// study flow compiles each design point once and reuses the tape
     /// across every simulation of that point.
+    ///
+    /// # Panics
+    ///
+    /// See [`Framework::measure`];
+    /// [`Framework::try_measure_compiled`] is the fallible variant.
     pub fn measure_compiled(
         &self,
         compiled: &CompiledNetlist,
@@ -194,14 +267,26 @@ impl Framework {
         test: &Dataset,
         technique: Technique,
     ) -> DesignPoint {
-        let outcome = evaluate_compiled(compiled, model, test);
-        let area = area::area_mm2(netlist, &self.lib).expect("library covers cells");
+        self.try_measure_compiled(compiled, netlist, model, test, technique)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Framework::measure_compiled`] surfacing library/simulation
+    /// problems as [`StudyError`] instead of panicking.
+    pub fn try_measure_compiled(
+        &self,
+        compiled: &CompiledNetlist,
+        netlist: &pax_netlist::Netlist,
+        model: &QuantizedModel,
+        test: &Dataset,
+        technique: Technique,
+    ) -> Result<DesignPoint, StudyError> {
+        let outcome = try_evaluate_compiled(compiled, model, test)?;
+        let area = area::area_mm2(netlist, &self.lib)?;
         let power =
-            pax_sim::power::power(netlist, &self.lib, &self.cfg.tech, &outcome.sim.activity)
-                .expect("library covers cells");
-        let timing =
-            pax_sta::analyze(netlist, &self.lib, &self.cfg.tech).expect("library covers cells");
-        DesignPoint {
+            pax_sim::power::power(netlist, &self.lib, &self.cfg.tech, &outcome.sim.activity)?;
+        let timing = pax_sta::analyze(netlist, &self.lib, &self.cfg.tech)?;
+        Ok(DesignPoint {
             technique,
             tau_c: None,
             phi_c: None,
@@ -210,20 +295,67 @@ impl Framework {
             power_mw: power.total_mw(),
             gate_count: netlist.gate_count(),
             critical_ms: timing.critical_path_ms,
-        }
+        })
     }
 
-    /// Runs the complete flow on one quantized model.
+    /// Runs the complete flow on one quantized model, with the pruning
+    /// exploration driven by the configured search strategy.
     ///
     /// `train` drives τ estimation (the paper simulates the training
     /// set for the SAIF dump) while `test` drives every accuracy and
     /// power figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the library does not cover a synthesized circuit or
+    /// the datasets do not match the model —
+    /// [`Framework::try_run_study`] surfaces those as [`StudyError`].
     pub fn run_study(
         &self,
         model: &QuantizedModel,
         train: &Dataset,
         test: &Dataset,
     ) -> CircuitStudy {
+        self.try_run_study(model, train, test).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Framework::run_study`] surfacing errors as [`StudyError`]
+    /// instead of panicking.
+    pub fn try_run_study(
+        &self,
+        model: &QuantizedModel,
+        train: &Dataset,
+        test: &Dataset,
+    ) -> Result<CircuitStudy, StudyError> {
+        self.try_run_study_with(model, train, test, &self.cfg.search)
+    }
+
+    /// [`Framework::run_study`] under an explicit search strategy,
+    /// overriding [`FrameworkConfig::search`] — grid and evolutionary
+    /// explorations of one model without rebuilding the framework.
+    ///
+    /// # Panics
+    ///
+    /// See [`Framework::run_study`].
+    pub fn run_study_with(
+        &self,
+        model: &QuantizedModel,
+        train: &Dataset,
+        test: &Dataset,
+        search: &SearchConfig,
+    ) -> CircuitStudy {
+        self.try_run_study_with(model, train, test, search).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Framework::run_study_with`] surfacing errors as [`StudyError`]
+    /// instead of panicking. Every study entry point funnels here.
+    pub fn try_run_study_with(
+        &self,
+        model: &QuantizedModel,
+        train: &Dataset,
+        test: &Dataset,
+        search: &SearchConfig,
+    ) -> Result<CircuitStudy, StudyError> {
         // 1. Exact bespoke baseline. Compiled once: the tape serves the
         //    baseline measurement here and the τ analysis in step 3.
         let t0 = Instant::now();
@@ -232,8 +364,13 @@ impl Framework {
             c.with_netlist(opt::optimize(&c.netlist))
         };
         let base_tape = CompiledNetlist::compile(&base_circuit.netlist);
-        let baseline =
-            self.measure_compiled(&base_tape, &base_circuit.netlist, model, test, Technique::Exact);
+        let baseline = self.try_measure_compiled(
+            &base_tape,
+            &base_circuit.netlist,
+            model,
+            test,
+            Technique::Exact,
+        )?;
         let baseline_ms = t0.elapsed().as_millis();
 
         // 2. Coefficient approximation (multiplier cache fill is part of
@@ -249,34 +386,36 @@ impl Framework {
             c.with_netlist(opt::optimize(&c.netlist))
         };
         let approx_tape = CompiledNetlist::compile(&approx_circuit.netlist);
-        let coeff = self.measure_compiled(
+        let coeff = self.try_measure_compiled(
             &approx_tape,
             &approx_circuit.netlist,
             &approx_model,
             test,
             Technique::CoeffApprox,
-        );
+        )?;
         let coeff_ms = t1.elapsed().as_millis();
 
-        // 3. Pruning on the baseline (gray ×).
+        // 3. Pruning exploration on the baseline (gray ×).
         let t2 = Instant::now();
-        let (prune_only, grid_a) =
-            self.prune_series(&base_circuit, &base_tape, model, train, test, Technique::PruneOnly);
+        let (prune_only, stats_a) =
+            self.explore_series(&base_circuit, &base_tape, model, train, test, false, search)?;
         let prune_baseline_ms = t2.elapsed().as_millis();
 
-        // 4. Pruning on the approximated circuit (green dots).
+        // 4. Pruning exploration on the approximated circuit (green
+        //    dots) — the cross-layer designs.
         let t3 = Instant::now();
-        let (cross, grid_b) = self.prune_series(
+        let (cross, stats_b) = self.explore_series(
             &approx_circuit,
             &approx_tape,
             &approx_model,
             train,
             test,
-            Technique::Cross,
-        );
+            true,
+            search,
+        )?;
         let prune_cross_ms = t3.elapsed().as_millis();
 
-        CircuitStudy {
+        Ok(CircuitStudy {
             name: model.name.clone(),
             kind: model.kind,
             baseline,
@@ -289,10 +428,11 @@ impl Framework {
                 coeff_ms,
                 prune_baseline_ms,
                 prune_cross_ms,
-                designs_explored: grid_a.n_designs() + grid_b.n_designs(),
-                designs_unique: grid_a.n_unique() + grid_b.n_unique(),
+                designs_explored: stats_a.asked + stats_b.asked,
+                designs_unique: stats_a.evaluated + stats_b.evaluated,
+                search: vec![stats_a, stats_b],
             },
-        }
+        })
     }
 
     /// Re-materializes the netlist of a design point selected from a
@@ -362,44 +502,33 @@ impl Framework {
         crate::artifact::Artifact { model: golden, netlist, point: point.clone() }
     }
 
-    fn prune_series(
+    /// One pruning exploration on the [`explore::Engine`](crate::explore::Engine):
+    /// analyze the base circuit once, then let the configured strategy
+    /// search its `(τc, φc)` space. With [`SearchConfig::Exhaustive`]
+    /// this reproduces the pre-engine `enumerate_grid` +
+    /// `evaluate_grid` sweep point for point.
+    #[allow(clippy::too_many_arguments)]
+    fn explore_series(
         &self,
         circuit: &BespokeCircuit,
         tape: &CompiledNetlist,
         model: &QuantizedModel,
         train: &Dataset,
         test: &Dataset,
-        technique: Technique,
-    ) -> (Vec<DesignPoint>, PruneGrid) {
+        use_coeff: bool,
+        search: &SearchConfig,
+    ) -> Result<(Vec<DesignPoint>, SearchStats), StudyError> {
         let analysis = analyze_compiled(tape, &circuit.netlist, model, train);
-        let grid = enumerate_grid(&analysis, &self.cfg.prune);
-        let evals = evaluate_grid(
-            &circuit.netlist,
-            model,
-            test,
+        let evaluator = Evaluator::new(
             &self.lib,
             &self.cfg.tech,
-            &analysis,
-            &grid,
+            test,
+            vec![EvalContext { use_coeff, netlist: &circuit.netlist, model, analysis }],
         );
-        let points = grid
-            .combos
-            .iter()
-            .map(|combo| {
-                let e = &evals[combo.set];
-                DesignPoint {
-                    technique,
-                    tau_c: Some(combo.tau_c),
-                    phi_c: Some(combo.phi_c),
-                    accuracy: e.accuracy,
-                    area_mm2: e.area_mm2,
-                    power_mw: e.power_mw,
-                    gate_count: e.gate_count,
-                    critical_ms: e.critical_ms,
-                }
-            })
-            .collect();
-        (points, grid)
+        let mut engine = Engine::new(&evaluator, &self.cfg.prune);
+        let mut strategy = search.build();
+        let outcome = engine.run(strategy.as_mut())?;
+        Ok((outcome.points.into_iter().map(|(_, p)| p).collect(), outcome.stats))
     }
 }
 
@@ -481,6 +610,84 @@ mod tests {
         let base_nl = fw.materialize(&q, &train, &study.baseline);
         let base_re = fw.measure(&base_nl, &q, &test, Technique::Exact);
         assert!((base_re.area_mm2 - study.baseline.area_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evolutionary_study_is_deterministic_and_budgeted() {
+        let data = blobs("evo", 240, 4, 3, 0.09, 55);
+        let (train, test) = data.split(0.7, 1);
+        let (train, test) = pax_ml::normalize(&train, &test);
+        let m = train_svm_classifier(&train, &SvmParams { epochs: 40, ..Default::default() }, 3);
+        let q = QuantizedModel::from_linear_classifier("evo", &m, QuantSpec::default());
+        let fw = Framework::new(FrameworkConfig::default());
+        let search = SearchConfig::Nsga2(Nsga2Config {
+            population: 8,
+            generations: 4,
+            max_evals: 12,
+            seed: 33,
+            ..Default::default()
+        });
+        let a = fw.run_study_with(&q, &train, &test, &search);
+        let b = fw.run_study_with(&q, &train, &test, &search);
+        // Same seed, same genomes, same designs — repeated-run equality.
+        assert_eq!(a.prune_only, b.prune_only);
+        assert_eq!(a.cross, b.cross);
+        assert_eq!(a.stats.search, b.stats.search);
+        // The budget bounds fresh evaluations per exploration.
+        for s in &a.stats.search {
+            assert_eq!(s.strategy, "nsga2");
+            assert!(s.evaluated <= 12, "budget violated: {}", s.evaluated);
+        }
+        assert!(!a.cross.is_empty());
+    }
+
+    #[test]
+    fn exhaustive_engine_matches_legacy_grid_sweep() {
+        // Golden reproduction: the engine-driven default study must
+        // equal the pre-refactor enumerate_grid + evaluate_grid flow.
+        let data = blobs("legacy", 230, 3, 3, 0.09, 91);
+        let (train, test) = data.split(0.7, 1);
+        let (train, test) = pax_ml::normalize(&train, &test);
+        let m = train_svm_classifier(&train, &SvmParams { epochs: 40, ..Default::default() }, 3);
+        let q = QuantizedModel::from_linear_classifier("legacy", &m, QuantSpec::default());
+        let fw = Framework::new(FrameworkConfig::default());
+        let study = fw.run_study(&q, &train, &test);
+
+        let circuit = {
+            let c = BespokeCircuit::generate(&q);
+            c.with_netlist(opt::optimize(&c.netlist))
+        };
+        let analysis = analyze(&circuit.netlist, &q, &train);
+        let grid = crate::prune::enumerate_grid(&analysis, &fw.config().prune);
+        let evals = crate::prune::evaluate_grid(
+            &circuit.netlist,
+            &q,
+            &test,
+            fw.library(),
+            &fw.config().tech,
+            &analysis,
+            &grid,
+        );
+        let legacy: Vec<DesignPoint> = grid
+            .combos
+            .iter()
+            .map(|combo| {
+                let e = &evals[combo.set];
+                DesignPoint {
+                    technique: Technique::PruneOnly,
+                    tau_c: Some(combo.tau_c),
+                    phi_c: Some(combo.phi_c),
+                    accuracy: e.accuracy,
+                    area_mm2: e.area_mm2,
+                    power_mw: e.power_mw,
+                    gate_count: e.gate_count,
+                    critical_ms: e.critical_ms,
+                }
+            })
+            .collect();
+        assert_eq!(study.prune_only, legacy, "engine sweep must be bit-for-bit identical");
+        assert_eq!(study.stats.search[0].asked, grid.n_designs());
+        assert_eq!(study.stats.search[0].evaluated, grid.n_unique());
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //! the Pareto front ([`pareto`]) and per-stage wall-clock
 //! ([`framework::ExecStats`], the paper's Table III).
 //!
+//! The pruning exploration itself runs on the pluggable [`explore`]
+//! engine: the paper's exhaustive `(τc, φc)` sweep
+//! ([`explore::ExhaustiveGrid`], the default) and a seeded evolutionary
+//! search ([`explore::Nsga2`]) are interchangeable
+//! [`explore::SearchStrategy`] implementations, selected through
+//! [`framework::FrameworkConfig::search`].
+//!
 //! # Examples
 //!
 //! End-to-end on a small synthetic model:
@@ -51,6 +58,8 @@
 pub mod artifact;
 pub mod coeff_approx;
 mod design_point;
+mod error;
+pub mod explore;
 pub mod framework;
 pub mod mult_cache;
 pub mod pareto;
@@ -58,3 +67,4 @@ pub mod prune;
 pub mod report;
 
 pub use design_point::{DesignPoint, Technique};
+pub use error::StudyError;

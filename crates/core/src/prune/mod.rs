@@ -26,6 +26,7 @@ mod search;
 
 pub use analysis::{analyze, analyze_compiled, PruneAnalysis};
 pub use search::{apply_set, enumerate_grid, evaluate_grid, GridCombo, PruneEval, PruneGrid};
+pub(crate) use search::{gate_set_hash, try_evaluate_set};
 
 /// Configuration of the pruning exploration.
 #[derive(Debug, Clone, PartialEq)]

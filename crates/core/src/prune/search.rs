@@ -1,13 +1,33 @@
 use std::collections::{BTreeMap, HashMap};
 
 use egt_pdk::{Library, TechParams};
-use pax_bespoke::evaluate_compiled;
+use pax_bespoke::try_evaluate_compiled;
 use pax_ml::quant::QuantizedModel;
 use pax_ml::Dataset;
 use pax_netlist::{NetId, Netlist};
 use pax_synth::{area, opt};
 
 use super::{PruneAnalysis, PruneConfig};
+use crate::error::StudyError;
+
+/// Content hash of a sorted pruned-gate set (FNV-1a over the net
+/// indices, salted with the set length). Used to key the grid dedup map
+/// and the exploration engine's evaluation cache without cloning full
+/// gate vectors.
+pub(crate) fn gate_set_hash(set: &[NetId]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET ^ (set.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &g in set {
+        let mut v = g.index() as u64;
+        for _ in 0..8 {
+            h ^= v & 0xFF;
+            h = h.wrapping_mul(PRIME);
+            v >>= 8;
+        }
+    }
+    h
+}
 
 /// One explored `(τc, φc)` grid combination.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,7 +70,11 @@ impl PruneGrid {
 pub fn enumerate_grid(analysis: &PruneAnalysis, cfg: &PruneConfig) -> PruneGrid {
     let mut combos = Vec::new();
     let mut sets: Vec<Vec<NetId>> = Vec::new();
-    let mut dedup: HashMap<Vec<NetId>, usize> = HashMap::new();
+    // Keyed by the 64-bit content hash of the sorted set: large grids
+    // repeat the same pruning hundreds of times, and hashing beats
+    // cloning a full `Vec<NetId>` per combo. Debug builds verify that a
+    // hash hit really is the same set.
+    let mut dedup: HashMap<u64, usize> = HashMap::new();
 
     for tau_c in cfg.tau_values() {
         // Step 3: gates whose dominant-value fraction meets the
@@ -70,10 +94,17 @@ pub fn enumerate_grid(analysis: &PruneAnalysis, cfg: &PruneConfig) -> PruneGrid 
             let mut set: Vec<NetId> =
                 qualified.iter().copied().filter(|&g| analysis.phi_of(g) <= phi_c).collect();
             set.sort_unstable();
-            let idx = *dedup.entry(set.clone()).or_insert_with(|| {
-                sets.push(set);
-                sets.len() - 1
-            });
+            let idx = match dedup.entry(gate_set_hash(&set)) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    let idx = *o.get();
+                    debug_assert_eq!(sets[idx], set, "gate-set hash collision");
+                    idx
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    sets.push(set);
+                    *v.insert(sets.len() - 1)
+                }
+            };
             combos.push(GridCombo { tau_c, phi_c, set: idx });
         }
     }
@@ -158,24 +189,38 @@ fn evaluate_one(
     analysis: &PruneAnalysis,
     set: &[NetId],
 ) -> PruneEval {
+    try_evaluate_set(base, model, test, lib, tech, analysis, set).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`evaluate_grid`]'s per-set core, shared with the exploration
+/// engine: prune, re-synthesize, simulate and measure one candidate,
+/// surfacing library/simulation problems as [`StudyError`].
+pub(crate) fn try_evaluate_set(
+    base: &Netlist,
+    model: &QuantizedModel,
+    test: &Dataset,
+    lib: &Library,
+    tech: &TechParams,
+    analysis: &PruneAnalysis,
+    set: &[NetId],
+) -> Result<PruneEval, StudyError> {
     let pruned = apply_set(base, analysis, set);
     // Compile the candidate's tape single-threaded: this function runs
-    // inside evaluate_grid's already-saturated worker pool, so nested
+    // inside an already-saturated worker pool, so nested
     // word-parallelism would only oversubscribe the cores.
     let tape = pax_sim::CompiledNetlist::compile(&pruned).with_threads(1);
-    let outcome = evaluate_compiled(&tape, model, test);
-    let area = area::area_mm2(&pruned, lib).expect("library covers cells");
-    let power = pax_sim::power::power(&pruned, lib, tech, &outcome.sim.activity)
-        .expect("library covers cells");
-    let timing = pax_sta::analyze(&pruned, lib, tech).expect("library covers cells");
-    PruneEval {
+    let outcome = try_evaluate_compiled(&tape, model, test)?;
+    let area = area::area_mm2(&pruned, lib)?;
+    let power = pax_sim::power::power(&pruned, lib, tech, &outcome.sim.activity)?;
+    let timing = pax_sta::analyze(&pruned, lib, tech)?;
+    Ok(PruneEval {
         area_mm2: area,
         power_mw: power.total_mw(),
         accuracy: outcome.accuracy,
         gate_count: pruned.gate_count(),
         critical_ms: timing.critical_path_ms,
         n_pruned: set.len(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -180,6 +180,29 @@ pub fn front_indices(study: &CircuitStudy) -> Vec<usize> {
     pareto::pareto_front(&pts)
 }
 
+/// Markdown table of a study's per-exploration search statistics: which
+/// strategy drove each pruning series, how many designs it asked for,
+/// how many distinct prunings were synthesized, and how many
+/// evaluations the content-hash cache absorbed.
+pub fn search_summary(study: &CircuitStudy) -> String {
+    let mut out = String::from("| Series | Strategy | Asked | Evaluated | Cache hits | Rounds |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    let series = ["prune-baseline", "prune-cross"];
+    for (i, s) in study.stats.search.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} |",
+            series.get(i).copied().unwrap_or("extra"),
+            s.strategy,
+            s.asked,
+            s.evaluated,
+            s.cache_hits,
+            s.generations,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +270,30 @@ mod tests {
         let g = summarize_gains(&rows);
         assert!((g.cross_area - 50.0).abs() < 1e-9);
         assert!((g.coeff_area - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn search_summary_lists_each_series() {
+        let mut s = fake_study();
+        s.stats.search = vec![
+            crate::explore::SearchStats {
+                strategy: "exhaustive-grid".into(),
+                asked: 40,
+                evaluated: 12,
+                cache_hits: 28,
+                generations: 1,
+            },
+            crate::explore::SearchStats {
+                strategy: "nsga2".into(),
+                asked: 48,
+                evaluated: 9,
+                cache_hits: 39,
+                generations: 2,
+            },
+        ];
+        let md = search_summary(&s);
+        assert!(md.contains("| prune-baseline | exhaustive-grid | 40 | 12 | 28 | 1 |"));
+        assert!(md.contains("| prune-cross | nsga2 | 48 | 9 | 39 | 2 |"));
     }
 
     #[test]

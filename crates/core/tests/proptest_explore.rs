@@ -1,0 +1,114 @@
+//! Property tests over the exploration engine's building blocks: the
+//! incremental Pareto archive must always equal the batch front, and
+//! the grid strategy must enumerate exactly the legacy grid.
+
+use pax_core::explore::{Candidate, ContextSpace, ExhaustiveGrid, ParetoArchive, SearchStrategy};
+use pax_core::{pareto, DesignPoint, Technique};
+use proptest::prelude::*;
+
+fn point(acc: f64, area: f64) -> DesignPoint {
+    DesignPoint {
+        technique: Technique::Cross,
+        tau_c: None,
+        phi_c: None,
+        accuracy: acc,
+        area_mm2: area,
+        power_mw: 0.0,
+        gate_count: 0,
+        critical_ms: 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental insertion equals batch `pareto_front` on random
+    /// point clouds — same (accuracy, area) values, same ascending-area
+    /// order, regardless of insertion order or duplicates.
+    #[test]
+    fn archive_equals_batch_front(
+        raw in proptest::collection::vec((0u32..100, 0u32..100), 1..60)
+    ) {
+        // Coarse integer-derived coordinates so duplicates and exact
+        // metric ties actually occur.
+        let pts: Vec<DesignPoint> = raw
+            .iter()
+            .map(|&(a, r)| point(f64::from(a) / 100.0, f64::from(r) + 1.0))
+            .collect();
+        let mut archive = ParetoArchive::new();
+        for p in &pts {
+            archive.insert(p.clone());
+        }
+        let batch: Vec<(f64, f64)> = pareto::pareto_front(&pts)
+            .into_iter()
+            .map(|i| (pts[i].accuracy, pts[i].area_mm2))
+            .collect();
+        let incr: Vec<(f64, f64)> =
+            archive.front().iter().map(|p| (p.accuracy, p.area_mm2)).collect();
+        prop_assert_eq!(incr, batch);
+        prop_assert_eq!(archive.inserted(), pts.len());
+    }
+
+    /// The archive's front is mutually non-dominated and dominates
+    /// every rejected point.
+    #[test]
+    fn archive_front_is_sound(
+        raw in proptest::collection::vec((0u32..50, 0u32..50), 1..40)
+    ) {
+        let pts: Vec<DesignPoint> = raw
+            .iter()
+            .map(|&(a, r)| point(f64::from(a) / 50.0, f64::from(r) + 1.0))
+            .collect();
+        let mut archive = ParetoArchive::new();
+        archive.extend(pts.iter().cloned());
+        let front = archive.front();
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                prop_assert!(i == j || !a.dominates(b), "front self-dominates");
+            }
+        }
+        for p in &pts {
+            prop_assert!(
+                front
+                    .iter()
+                    .any(|f| f.dominates(p)
+                        || (f.accuracy == p.accuracy && f.area_mm2 == p.area_mm2)),
+                "point ({}, {}) neither on the front nor dominated",
+                p.accuracy,
+                p.area_mm2
+            );
+        }
+    }
+
+    /// The grid strategy enumerates exactly the τ-qualified φ levels,
+    /// in grid order, for arbitrary gate metric sets.
+    #[test]
+    fn grid_strategy_enumerates_qualified_phis(
+        gates in proptest::collection::vec((80u32..100, -1i64..8), 1..30),
+        steps in 1usize..8
+    ) {
+        let gates: Vec<(f64, i64)> =
+            gates.iter().map(|&(t, p)| (f64::from(t) / 100.0, p)).collect();
+        let tau_values: Vec<f64> =
+            (0..steps).map(|i| 0.80 + 0.19 * i as f64 / steps.max(2) as f64).collect();
+        let space = pax_core::explore::SearchSpace {
+            tau_values: tau_values.clone(),
+            contexts: vec![ContextSpace { use_coeff: false, gates: gates.clone() }],
+        };
+        let batch = ExhaustiveGrid::new().ask(&space);
+        let mut expected: Vec<Candidate> = Vec::new();
+        for &tau_c in &tau_values {
+            let mut phis: Vec<i64> = gates
+                .iter()
+                .filter(|&&(t, _)| t >= tau_c - 1e-12)
+                .map(|&(_, p)| p)
+                .collect();
+            phis.sort_unstable();
+            phis.dedup();
+            for phi_c in phis {
+                expected.push(Candidate { use_coeff: false, tau_c, phi_c });
+            }
+        }
+        prop_assert_eq!(batch, expected);
+    }
+}

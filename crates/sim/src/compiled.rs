@@ -77,8 +77,8 @@ struct Run {
 }
 
 /// A netlist compiled to a flat, kind-grouped instruction tape. See the
-/// [module docs](self) for the design and when to prefer this over
-/// [`simulate`](crate::simulate).
+/// module docs in `compiled.rs` for the design and when to prefer this
+/// over [`simulate`](crate::simulate).
 #[derive(Debug, Clone)]
 pub struct CompiledNetlist {
     name: String,

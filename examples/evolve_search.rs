@@ -1,0 +1,124 @@
+//! Evolutionary cross-layer search on the pluggable exploration
+//! engine: one engine, two strategies, shared measurements.
+//!
+//! Runs the paper-faithful exhaustive `(τc, φc)` sweep and a seeded
+//! NSGA-II search over the *joint* genome (baseline vs.
+//! coefficient-approximated base circuit × pruning thresholds) on the
+//! same [`Engine`], then compares the fronts by 2-D hypervolume.
+//! Because both strategies share the engine's content-hashed
+//! evaluation cache, any design the sweep already measured is free for
+//! the evolutionary pass.
+//!
+//! ```text
+//! cargo run --release --example evolve_search
+//! PAX_SEARCH_SEED=7 cargo run --release --example evolve_search   # reseeded
+//! ```
+
+use pax_bespoke::BespokeCircuit;
+use pax_core::coeff_approx::approximate_model;
+use pax_core::explore::{
+    Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, ParetoArchive,
+    SearchOutcome,
+};
+use pax_core::mult_cache::MultCache;
+use pax_core::prune::{analyze, PruneConfig};
+use pax_ml::quant::{QuantSpec, QuantizedModel};
+use pax_ml::synth_data::blobs;
+use pax_ml::train::svm::{train_svm_classifier, SvmParams};
+
+fn main() {
+    // 1. A small printed classifier: train, quantize.
+    let data = blobs("evolve", 520, 4, 3, 0.08, 42);
+    let (train, test) = data.split(0.7, 1);
+    let (train, test) = pax_ml::normalize(&train, &test);
+    let svm = train_svm_classifier(&train, &SvmParams::default(), 7);
+    let model = QuantizedModel::from_linear_classifier("evolve", &svm, QuantSpec::default());
+
+    // 2. Both base circuits of the cross-layer flow: the exact bespoke
+    //    baseline and the coefficient-approximated variant.
+    let lib = egt_pdk::egt_library();
+    let tech = egt_pdk::TechParams::egt();
+    let cache = MultCache::new(lib.clone());
+    cache.build_range(model.spec.input_bits, model.spec.coef_bits);
+    let (approx, _) = approximate_model(&model, &cache, &Default::default());
+
+    let base_nl = pax_synth::opt::optimize(&BespokeCircuit::generate(&model).netlist);
+    let approx_nl = pax_synth::opt::optimize(&BespokeCircuit::generate(&approx).netlist);
+    let contexts = vec![
+        EvalContext {
+            use_coeff: false,
+            netlist: &base_nl,
+            model: &model,
+            analysis: analyze(&base_nl, &model, &train),
+        },
+        EvalContext {
+            use_coeff: true,
+            netlist: &approx_nl,
+            model: &approx,
+            analysis: analyze(&approx_nl, &approx, &train),
+        },
+    ];
+
+    // 3. One engine, two strategies. The engine's cache persists, so
+    //    the evolutionary pass re-measures nothing the sweep covered.
+    let evaluator = Evaluator::new(&lib, &tech, &test, contexts);
+    let mut engine = Engine::new(&evaluator, &PruneConfig::default());
+
+    let grid = engine.run(&mut ExhaustiveGrid::new()).expect("grid search");
+    report("exhaustive grid", &grid);
+
+    let budget = (grid.stats.evaluated / 4).max(4);
+    let mut nsga = Nsga2::new(Nsga2Config {
+        population: (budget / 3).clamp(6, 16),
+        max_evals: budget,
+        ..Default::default()
+    });
+    println!(
+        "\nevolutionary pass: budget {budget} fresh evaluations (25% of the grid's), seed {}",
+        pax_core::explore::resolve_seed(Nsga2Config::default().seed),
+    );
+    let evo = engine.run(&mut nsga).expect("evolutionary search");
+    report("nsga2", &evo);
+
+    // 4. Compare fronts by hypervolume in a shared reference box.
+    let ref_area =
+        grid.points.iter().chain(evo.points.iter()).map(|(_, p)| p.area_mm2).fold(0.0, f64::max)
+            * 1.01;
+    let hv = |o: &SearchOutcome| o.archive.hypervolume(ref_area, 0.0);
+    println!("\nhypervolume (ref area {:.1} mm², accuracy 0):", ref_area);
+    println!("  grid  {:.4}", hv(&grid));
+    println!(
+        "  nsga2 {:.4}  ({:.1}% of grid at {:.0}% of its evaluations)",
+        hv(&evo),
+        100.0 * hv(&evo) / hv(&grid),
+        100.0 * evo.stats.evaluated as f64 / grid.stats.evaluated.max(1) as f64
+    );
+
+    // 5. The union front: what serving would actually deploy.
+    let mut union = ParetoArchive::new();
+    union.extend(grid.points.iter().map(|(_, p)| p.clone()));
+    union.extend(evo.points.iter().map(|(_, p)| p.clone()));
+    println!("\nunion front ({} designs):", union.len());
+    for p in union.front() {
+        println!(
+            "  {:11} τc={} φc={} acc {:.3} area {:8.1} mm² power {:5.2} mW",
+            p.technique.label(),
+            p.tau_c.map_or("-".into(), |t| format!("{t:.3}")),
+            p.phi_c.map_or("-".into(), |f| f.to_string()),
+            p.accuracy,
+            p.area_mm2,
+            p.power_mw,
+        );
+    }
+}
+
+fn report(name: &str, o: &SearchOutcome) {
+    println!(
+        "{name}: asked {}, evaluated {} fresh, {} cache hits, {} rounds, front {}",
+        o.stats.asked,
+        o.stats.evaluated,
+        o.stats.cache_hits,
+        o.stats.generations,
+        o.archive.len(),
+    );
+}

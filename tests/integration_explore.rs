@@ -1,0 +1,188 @@
+//! End-to-end exploration-engine invariants: the engine-driven default
+//! study reproduces the legacy grid sweep exactly, evolutionary search
+//! is deterministic and budgeted, strategies share one engine's cache,
+//! and malformed inputs surface typed errors instead of panics.
+
+use pax_bespoke::BespokeCircuit;
+use pax_core::explore::{
+    Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, ParetoArchive,
+};
+use pax_core::framework::{Framework, FrameworkConfig, SearchConfig};
+use pax_core::prune::{analyze, enumerate_grid, evaluate_grid};
+use pax_core::{DesignPoint, StudyError, Technique};
+use pax_ml::quant::{QuantSpec, QuantizedModel};
+use pax_ml::synth_data::blobs;
+use pax_ml::Dataset;
+
+fn model_and_data(seed: u64) -> (QuantizedModel, Dataset, Dataset) {
+    let data = blobs("ex", 320, 4, 3, 0.09, seed);
+    let (train, test) = data.split(0.7, 1);
+    let (train, test) = pax_ml::normalize(&train, &test);
+    let m = pax_ml::train::svm::train_svm_classifier(
+        &train,
+        &pax_ml::train::svm::SvmParams { epochs: 50, ..Default::default() },
+        4,
+    );
+    (QuantizedModel::from_linear_classifier("ex", &m, QuantSpec::default()), train, test)
+}
+
+/// The pre-refactor pruning flow, reconstructed from the still-public
+/// grid APIs: analyze → enumerate_grid → evaluate_grid → points.
+fn legacy_prune_series(
+    fw: &Framework,
+    model: &QuantizedModel,
+    train: &Dataset,
+    test: &Dataset,
+    technique: Technique,
+) -> Vec<DesignPoint> {
+    let circuit = {
+        let c = BespokeCircuit::generate(model);
+        c.with_netlist(pax_synth::opt::optimize(&c.netlist))
+    };
+    let analysis = analyze(&circuit.netlist, model, train);
+    let grid = enumerate_grid(&analysis, &fw.config().prune);
+    let evals = evaluate_grid(
+        &circuit.netlist,
+        model,
+        test,
+        fw.library(),
+        &fw.config().tech,
+        &analysis,
+        &grid,
+    );
+    grid.combos
+        .iter()
+        .map(|combo| {
+            let e = &evals[combo.set];
+            DesignPoint {
+                technique,
+                tau_c: Some(combo.tau_c),
+                phi_c: Some(combo.phi_c),
+                accuracy: e.accuracy,
+                area_mm2: e.area_mm2,
+                power_mw: e.power_mw,
+                gate_count: e.gate_count,
+                critical_ms: e.critical_ms,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn engine_reproduces_legacy_pareto_front_exactly() {
+    let (q, train, test) = model_and_data(71);
+    let fw = Framework::new(FrameworkConfig::default());
+    let study = fw.run_study(&q, &train, &test);
+
+    // The baseline pruning series is bit-for-bit the legacy sweep.
+    let legacy = legacy_prune_series(&fw, &q, &train, &test, Technique::PruneOnly);
+    assert_eq!(study.prune_only, legacy);
+
+    // And so is the resulting Pareto front.
+    let mut legacy_archive = ParetoArchive::new();
+    legacy_archive.extend(legacy.iter().cloned());
+    let study_prune_front: Vec<DesignPoint> = {
+        let mut a = ParetoArchive::new();
+        a.extend(study.prune_only.iter().cloned());
+        a.into_front()
+    };
+    assert_eq!(study_prune_front, legacy_archive.into_front());
+}
+
+#[test]
+fn strategies_share_one_engines_cache() {
+    let (q, train, test) = model_and_data(17);
+    let fw = Framework::new(FrameworkConfig::default());
+    let circuit = {
+        let c = BespokeCircuit::generate(&q);
+        c.with_netlist(pax_synth::opt::optimize(&c.netlist))
+    };
+    let analysis = analyze(&circuit.netlist, &q, &train);
+    let evaluator = Evaluator::new(
+        fw.library(),
+        &fw.config().tech,
+        &test,
+        vec![EvalContext { use_coeff: false, netlist: &circuit.netlist, model: &q, analysis }],
+    );
+    let mut engine = Engine::new(&evaluator, &fw.config().prune);
+
+    let grid = engine.run(&mut ExhaustiveGrid::new()).expect("grid runs");
+    assert!(grid.stats.evaluated > 0);
+    assert_eq!(grid.stats.generations, 1);
+
+    // The evolutionary pass afterwards re-measures nothing the grid
+    // already paid for: every grid-covered genome is a cache hit.
+    let mut evo = Nsga2::new(Nsga2Config {
+        population: 8,
+        generations: 3,
+        max_evals: 0, // unlimited; the cache does the limiting
+        seed: 5,
+        ..Default::default()
+    });
+    let before = engine.cache().len();
+    let evo_outcome = engine.run(&mut evo).expect("evolution runs");
+    assert!(evo_outcome.stats.cache_hits > 0, "shared engine must serve repeat designs from cache");
+    assert!(engine.cache().len() >= before);
+
+    // Both archives agree with the batch front over their own points.
+    for outcome in [&grid, &evo_outcome] {
+        let pts: Vec<DesignPoint> = outcome.points.iter().map(|(_, p)| p.clone()).collect();
+        let batch: Vec<(f64, f64)> = pax_core::pareto::pareto_front(&pts)
+            .into_iter()
+            .map(|i| (pts[i].accuracy, pts[i].area_mm2))
+            .collect();
+        let incr: Vec<(f64, f64)> =
+            outcome.archive.front().iter().map(|p| (p.accuracy, p.area_mm2)).collect();
+        assert_eq!(incr, batch);
+    }
+}
+
+#[test]
+fn evolutionary_studies_reproduce_for_a_fixed_seed() {
+    let (q, train, test) = model_and_data(29);
+    let fw = Framework::new(FrameworkConfig::default());
+    let search = SearchConfig::Nsga2(Nsga2Config {
+        population: 8,
+        generations: 3,
+        max_evals: 16,
+        seed: 1234,
+        ..Default::default()
+    });
+    let a = fw.run_study_with(&q, &train, &test, &search);
+    let b = fw.run_study_with(&q, &train, &test, &search);
+    assert_eq!(a.prune_only, b.prune_only);
+    assert_eq!(a.cross, b.cross);
+    assert_eq!(a.pareto_front(), b.pareto_front());
+    // Different seeds explore different genome streams (they may still
+    // converge to the same front, but the visited τc genes differ).
+    let other = SearchConfig::Nsga2(Nsga2Config {
+        population: 8,
+        generations: 3,
+        max_evals: 16,
+        seed: 4321,
+        ..Default::default()
+    });
+    let c = fw.run_study_with(&q, &train, &test, &other);
+    let taus = |s: &pax_core::framework::CircuitStudy| -> Vec<f64> {
+        s.cross.iter().filter_map(|p| p.tau_c).collect()
+    };
+    assert_ne!(taus(&a), taus(&c), "seeds must steer the search");
+}
+
+#[test]
+fn uncovered_library_surfaces_a_typed_error() {
+    let (q, train, test) = model_and_data(43);
+    // A library without the bespoke cells used to abort the whole study
+    // through `expect("library covers cells")`; it must now surface as
+    // a typed error through the fallible study entry points.
+    let sparse =
+        Framework::with_library(egt_pdk::Library::new("sparse", 1.0), FrameworkConfig::default());
+    match sparse.try_run_study(&q, &train, &test) {
+        Err(StudyError::Library(_)) => {}
+        other => panic!("expected StudyError::Library, got {other:?}"),
+    }
+    // The healthy path still works through the fallible API.
+    let fw = Framework::new(FrameworkConfig::default());
+    let ok = fw.try_run_study(&q, &train, &test).expect("valid study");
+    assert!(!ok.cross.is_empty());
+}
