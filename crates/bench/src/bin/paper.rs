@@ -73,6 +73,7 @@ fn main() {
             run_fig2(&opts);
             run_proxy(&opts);
             run_quant(&opts);
+            run_explore(&opts);
             run_table1(&opts);
             // table2/table3/fig3 share one set of studies.
             let runs = load_studies(&opts);
@@ -194,6 +195,8 @@ fn run_explore(opts: &Options) {
     let rows = explore::run(&cfg, 0.25, seed);
     println!("# Exploration strategies — exhaustive grid vs NSGA-II at 25% budget\n");
     println!("{}", explore::render(&rows));
+    println!("# N-dimensional fronts — accuracy × area × power (× delay)\n");
+    println!("{}", explore::render_nd(&rows));
     let json = explore::to_json(&rows, &cfg, seed);
     write_artifact(opts, "explore.json", &json);
 }

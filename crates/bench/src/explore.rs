@@ -1,5 +1,6 @@
 //! Exploration-strategy study: exhaustive grid versus evolutionary
-//! (NSGA-II) search on the same circuits.
+//! (NSGA-II) search on the same circuits, in 2, 3 and 4 objective
+//! dimensions.
 //!
 //! For each selected circuit the study first runs the paper-faithful
 //! exhaustive sweep, then re-runs the framework with the evolutionary
@@ -9,13 +10,21 @@
 //! The recorded numbers back `BENCH_explore.json`'s acceptance bar:
 //! the evolutionary front must reach the grid front's hypervolume on at
 //! least one circuit while spending ≤ 25% of its evaluations.
+//!
+//! On top of the 2-D comparison, each circuit gets an N-dimensional
+//! study ([`NdRow`]): the measured design space re-ranked under the
+//! 3-D (accuracy, area, power) and 4-D (+ delay) [`ObjectiveSet`]s,
+//! plus an N-D-selected NSGA-II pass on the cache-hot grid engine —
+//! power and delay are measured for every candidate anyway, so the
+//! extra fronts cost almost no fresh synthesis.
 
 use std::fmt::Write as _;
 
 use pax_bespoke::BespokeCircuit;
 use pax_core::coeff_approx::approximate_model;
 use pax_core::explore::{
-    Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, SearchOutcome,
+    Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, ObjectiveSet,
+    ParetoArchive, SearchOutcome,
 };
 use pax_core::framework::{Framework, FrameworkConfig};
 use pax_core::{DesignPoint, Technique};
@@ -46,6 +55,33 @@ pub struct ExploreRow {
     pub budget_fraction: f64,
     /// `evo_hv / grid_hv`.
     pub hv_ratio: f64,
+    /// The 3-D and 4-D studies of this circuit's design space.
+    pub nd: Vec<NdRow>,
+}
+
+/// One N-dimensional front of a circuit: the measured design space
+/// re-ranked under an N-axis [`ObjectiveSet`], plus an N-D-selected
+/// evolutionary pass sharing the grid engine's cache. Hypervolumes are
+/// measured in a shared per-circuit reference box (accuracy floor 0,
+/// minimized axes 1% beyond the worst observed value).
+#[derive(Debug)]
+pub struct NdRow {
+    /// Objective-space dimensionality (3 or 4).
+    pub dims: usize,
+    /// Enabled axis labels.
+    pub objectives: Vec<String>,
+    /// Non-dominated designs among every point the 2-D comparison
+    /// measured (grid ∪ evolutionary ∪ the two base circuits).
+    pub front: usize,
+    /// Hypervolume of that front.
+    pub hypervolume: f64,
+    /// Fresh evaluations the N-D NSGA-II pass spent (cache hits on the
+    /// grid's measurements are free).
+    pub evo_evals: usize,
+    /// Front size of the N-D NSGA-II pass (plus the base circuits).
+    pub evo_front: usize,
+    /// Hypervolume of the N-D NSGA-II front in the same reference box.
+    pub evo_hv: f64,
 }
 
 impl ExploreRow {
@@ -63,7 +99,7 @@ impl ExploreRow {
 fn front_hypervolume(outcome: &SearchOutcome, fixed: &[DesignPoint], ref_area: f64) -> f64 {
     let mut archive = outcome.archive.clone();
     archive.extend(fixed.iter().cloned());
-    archive.hypervolume(ref_area, 0.0)
+    archive.hypervolume(&[0.0, ref_area])
 }
 
 /// Runs the comparison on one catalog entry: both strategies search the
@@ -165,6 +201,67 @@ pub fn run_entry(entry: &Entry, budget_fraction: f64, seed: u64) -> ExploreRow {
             }
         }
     }
+    // N-D studies: drive an N-D-selected NSGA-II pass per objective
+    // space on the grid engine (its cache already holds the full sweep,
+    // so only off-grid genomes cost fresh evaluations), then re-rank
+    // the measured space under the same objectives.
+    let nd_outcomes: Vec<(ObjectiveSet, SearchOutcome)> =
+        [ObjectiveSet::accuracy_area_power(), ObjectiveSet::all()]
+            .into_iter()
+            .map(|objectives| {
+                grid_engine.set_objectives(objectives.clone());
+                let mut nsga_nd = Nsga2::new(Nsga2Config {
+                    population: (budget / 3).clamp(6, 16),
+                    generations: 64,
+                    max_evals: budget,
+                    seed,
+                    ..Default::default()
+                });
+                let outcome = grid_engine.run(&mut nsga_nd).expect("N-D evolutionary search");
+                (objectives, outcome)
+            })
+            .collect();
+    // Shared per-circuit reference box: every point any pass measured,
+    // nudged 1% past the worst value on each minimized axis.
+    let base_points: Vec<DesignPoint> = grid
+        .points
+        .iter()
+        .chain(evo.points.iter())
+        .map(|(_, p)| p.clone())
+        .chain(fixed.iter().cloned())
+        .collect();
+    let every: Vec<&DesignPoint> = base_points
+        .iter()
+        .chain(nd_outcomes.iter().flat_map(|(_, o)| o.points.iter().map(|(_, p)| p)))
+        .collect();
+    let nd = nd_outcomes
+        .iter()
+        .map(|(objectives, outcome)| {
+            let reference: Vec<f64> = objectives
+                .enabled()
+                .map(|axis| {
+                    if axis.objective.maximize() {
+                        0.0
+                    } else {
+                        every.iter().map(|p| axis.objective.value(p)).fold(0.0, f64::max) * 1.01
+                    }
+                })
+                .collect();
+            let mut space = ParetoArchive::with_objectives(objectives.clone());
+            space.extend(base_points.iter().cloned());
+            let mut evo_arch = outcome.archive.clone();
+            evo_arch.extend(fixed.iter().cloned());
+            NdRow {
+                dims: objectives.dim(),
+                objectives: objectives.labels().iter().map(|l| l.to_string()).collect(),
+                front: space.len(),
+                hypervolume: space.hypervolume(&reference),
+                evo_evals: outcome.stats.evaluated,
+                evo_front: evo_arch.len(),
+                evo_hv: evo_arch.hypervolume(&reference),
+            }
+        })
+        .collect();
     ExploreRow {
         circuit: entry.label(),
         grid_evals,
@@ -175,6 +272,7 @@ pub fn run_entry(entry: &Entry, budget_fraction: f64, seed: u64) -> ExploreRow {
         evo_hv,
         budget_fraction: evo.stats.evaluated as f64 / grid_evals.max(1) as f64,
         hv_ratio: if grid_hv > 0.0 { evo_hv / grid_hv } else { 1.0 },
+        nd,
     }
 }
 
@@ -194,6 +292,31 @@ pub fn default_entries(cfg: &SynthConfig) -> Vec<Entry> {
 /// Runs the full study over the default circuits.
 pub fn run(cfg: &SynthConfig, budget_fraction: f64, seed: u64) -> Vec<ExploreRow> {
     default_entries(cfg).iter().map(|e| run_entry(e, budget_fraction, seed)).collect()
+}
+
+/// Markdown rendering of the N-dimensional studies.
+pub fn render_nd(rows: &[ExploreRow]) -> String {
+    let mut out = String::from(
+        "| Circuit | Dims | Objectives | Front | HV | N-D evo evals | N-D evo front | N-D evo HV |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    for r in rows {
+        for n in &r.nd {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {:.4} | {} | {} | {:.4} |",
+                r.circuit,
+                n.dims,
+                n.objectives.join("×"),
+                n.front,
+                n.hypervolume,
+                n.evo_evals,
+                n.evo_front,
+                n.evo_hv,
+            );
+        }
+    }
+    out
 }
 
 /// Markdown rendering of the comparison.
@@ -233,9 +356,25 @@ pub fn to_json(rows: &[ExploreRow], cfg: &SynthConfig, seed: u64) -> String {
     );
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let nd: Vec<String> = r
+            .nd
+            .iter()
+            .map(|n| {
+                format!(
+                    "{{ \"dims\": {}, \"objectives\": \"{}\", \"front\": {}, \"hv\": {:.6}, \"evo_evals\": {}, \"evo_front\": {}, \"evo_hv\": {:.6} }}",
+                    n.dims,
+                    n.objectives.join("x"),
+                    n.front,
+                    n.hypervolume,
+                    n.evo_evals,
+                    n.evo_front,
+                    n.evo_hv,
+                )
+            })
+            .collect();
         let _ = writeln!(
             out,
-            "    {{ \"circuit\": \"{}\", \"grid_evals\": {}, \"grid_asked\": {}, \"grid_hv\": {:.6}, \"evo_evals\": {}, \"evo_asked\": {}, \"evo_hv\": {:.6}, \"budget_fraction\": {:.4}, \"hv_ratio\": {:.4}, \"passes\": {} }}{}",
+            "    {{ \"circuit\": \"{}\", \"grid_evals\": {}, \"grid_asked\": {}, \"grid_hv\": {:.6}, \"evo_evals\": {}, \"evo_asked\": {}, \"evo_hv\": {:.6}, \"budget_fraction\": {:.4}, \"hv_ratio\": {:.4}, \"passes\": {}, \"nd\": [{}] }}{}",
             r.circuit,
             r.grid_evals,
             r.grid_asked,
@@ -246,6 +385,7 @@ pub fn to_json(rows: &[ExploreRow], cfg: &SynthConfig, seed: u64) -> String {
             r.budget_fraction,
             r.hv_ratio,
             r.passes(),
+            nd.join(", "),
             if i + 1 < rows.len() { "," } else { "" },
         );
     }
@@ -276,8 +416,21 @@ mod tests {
             row.budget_fraction
         );
         assert!(row.grid_hv > 0.0 && row.evo_hv > 0.0);
-        let md = render(&[row]);
+        // The N-D studies cover 3 and 4 dimensions, budgeted like the
+        // 2-D evolutionary pass, and every extra axis can only widen
+        // the front.
+        assert_eq!(row.nd.iter().map(|n| n.dims).collect::<Vec<_>>(), vec![3, 4]);
+        for n in &row.nd {
+            assert_eq!(n.objectives.len(), n.dims);
+            assert!(n.front > 0 && n.hypervolume > 0.0);
+            assert!(n.evo_front > 0 && n.evo_hv > 0.0);
+            assert!(n.evo_evals <= row.grid_evals.max(4), "N-D pass stays budgeted");
+        }
+        assert!(row.nd[1].front >= row.nd[0].front, "4-D front is never smaller than 3-D");
+        let md = render(std::slice::from_ref(&row));
         assert!(md.contains("redwine"));
+        let nd_md = render_nd(&[row]);
+        assert!(nd_md.contains("accuracy×area_mm2×power_mw×delay_ms"));
     }
 
     #[test]
@@ -292,9 +445,19 @@ mod tests {
             evo_hv: 1.30,
             budget_fraction: 0.25,
             hv_ratio: 1.04,
+            nd: vec![NdRow {
+                dims: 3,
+                objectives: vec!["accuracy".into(), "area_mm2".into(), "power_mw".into()],
+                front: 9,
+                hypervolume: 2.5,
+                evo_evals: 4,
+                evo_front: 7,
+                evo_hv: 2.4,
+            }],
         }];
         let json = to_json(&rows, &SynthConfig::small(), 7);
         assert!(json.contains("\"passes\": true"));
+        assert!(json.contains("\"nd\": [{ \"dims\": 3,"));
         assert!(json.contains("\"acceptance\""));
         assert!(json.ends_with("}\n"));
     }

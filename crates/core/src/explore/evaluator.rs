@@ -1,6 +1,14 @@
 //! Candidate evaluation: genome → pruned netlist → measured
 //! [`DesignPoint`], deduplicated by content hash and parallel across a
 //! worker pool.
+//!
+//! Every evaluation measures all four quality axes — accuracy, area,
+//! power and critical-path delay — regardless of which
+//! [`ObjectiveSet`](super::ObjectiveSet) the engine ranks by. That is
+//! what makes objective spaces swappable after the fact: re-ranking
+//! cached designs under a different axis selection
+//! ([`Engine::set_objectives`](super::Engine::set_objectives)) costs
+//! no fresh synthesis or simulation.
 
 use std::collections::HashMap;
 
@@ -234,15 +242,20 @@ impl<'a> Evaluator<'a> {
             return Ok(Vec::new());
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
+        // First error aborts the whole batch: without the shared flag,
+        // the other workers would drain every remaining (expensive)
+        // evaluation before the error could propagate.
+        let abort = std::sync::atomic::AtomicBool::new(false);
         let threads = self.threads.min(fresh.len());
         let (tx, rx) = std::sync::mpsc::channel::<Result<(u64, PruneEval), StudyError>>();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 let next = &next;
+                let abort = &abort;
                 let tx = tx.clone();
                 s.spawn(move || loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= fresh.len() {
+                    if i >= fresh.len() || abort.load(std::sync::atomic::Ordering::Relaxed) {
                         break;
                     }
                     let (key, ctx_idx, set) = &fresh[i];
@@ -257,6 +270,9 @@ impl<'a> Evaluator<'a> {
                         set,
                     );
                     let stop = r.is_err();
+                    if stop {
+                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
                     tx.send(r.map(|e| (*key, e))).expect("receiver outlives workers");
                     if stop {
                         break;

@@ -1,7 +1,7 @@
 //! The paper-faithful exhaustive `(τc, φc)` sweep as a
 //! [`SearchStrategy`].
 
-use super::{Candidate, SearchSpace, SearchStrategy};
+use super::{Candidate, ObjectiveSet, SearchSpace, SearchStrategy};
 use crate::DesignPoint;
 
 /// Exhaustive grid search: every configured τc step and, per τc, every
@@ -45,7 +45,9 @@ impl SearchStrategy for ExhaustiveGrid {
         batch
     }
 
-    fn tell(&mut self, _results: &[(Candidate, DesignPoint)]) {}
+    // The sweep is one-shot and unconditional, so feedback — under any
+    // objective set — never changes what it asks next.
+    fn tell(&mut self, _results: &[(Candidate, DesignPoint)], _objectives: &ObjectiveSet) {}
 }
 
 #[cfg(test)]

@@ -17,8 +17,12 @@
 //! * [`EvalCache`] — content-hashed memoization, so duplicate
 //!   pruned-gate sets are measured once, within *and across*
 //!   strategies sharing one engine;
-//! * [`ParetoArchive`] — the accuracy/area front maintained
-//!   incrementally at insert time instead of batch-recomputed;
+//! * [`ObjectiveSet`] — the configurable N-dimensional objective space
+//!   (any subset of accuracy ↑ / area ↓ / power ↓ / delay ↓, with
+//!   per-axis direction, weights and masking);
+//! * [`ParetoArchive`] — the objective-space front maintained
+//!   incrementally at insert time instead of batch-recomputed, with an
+//!   exact hypervolume (sorted sweep in 2-D, WFG slicing in N-D);
 //! * [`Engine`] — the driver loop: ask → evaluate → archive → tell.
 //!
 //! [`Framework::run_study`](crate::framework::Framework::run_study)
@@ -56,11 +60,13 @@ mod archive;
 mod evaluator;
 mod grid;
 mod nsga2;
+mod objective;
 
-pub use archive::ParetoArchive;
+pub use archive::{HypervolumeError, ParetoArchive};
 pub use evaluator::{EvalCache, EvalContext, Evaluator};
 pub use grid::ExhaustiveGrid;
 pub use nsga2::{resolve_seed, Nsga2, Nsga2Config};
+pub use objective::{Objective, ObjectiveAxis, ObjectiveSet};
 
 use crate::error::StudyError;
 use crate::prune::PruneConfig;
@@ -177,8 +183,10 @@ pub trait SearchStrategy {
     fn ask(&mut self, space: &SearchSpace) -> Vec<Candidate>;
 
     /// Feedback: the evaluated batch, in ask order (possibly truncated
-    /// to the evaluation budget).
-    fn tell(&mut self, results: &[(Candidate, DesignPoint)]);
+    /// to the evaluation budget), together with the engine's objective
+    /// space so selection ranks candidates on the axes the study
+    /// actually optimizes.
+    fn tell(&mut self, results: &[(Candidate, DesignPoint)], objectives: &ObjectiveSet);
 }
 
 /// Per-strategy exploration statistics, surfaced through
@@ -196,6 +204,23 @@ pub struct SearchStats {
     pub cache_hits: usize,
     /// Ask/tell rounds driven (generations, for evolutionary shapes).
     pub generations: usize,
+    /// Labels of the enabled objective axes the search optimized.
+    pub objectives: Vec<String>,
+    /// Per-axis extremes over the final front (one entry per enabled
+    /// axis; empty when the front is).
+    pub axes: Vec<AxisStats>,
+}
+
+/// One objective axis's extremes over a search's final front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisStats {
+    /// Axis label (see [`Objective::label`]).
+    pub axis: String,
+    /// The best front value on this axis (max for maximized axes, min
+    /// otherwise).
+    pub best: f64,
+    /// The worst front value on this axis.
+    pub worst: f64,
 }
 
 /// Everything one [`Engine::run`] produced.
@@ -217,15 +242,26 @@ pub struct Engine<'a, 'b> {
     evaluator: &'b Evaluator<'a>,
     space: SearchSpace,
     cache: EvalCache,
+    objectives: ObjectiveSet,
 }
 
 impl<'a, 'b> Engine<'a, 'b> {
-    /// Creates an engine over an evaluator; the search space derives
-    /// from the evaluator's contexts and the pruning configuration's τ
-    /// steps.
+    /// Creates an engine over an evaluator, optimizing the default
+    /// (accuracy, area) objectives; the search space derives from the
+    /// evaluator's contexts and the pruning configuration's τ steps.
     pub fn new(evaluator: &'b Evaluator<'a>, cfg: &PruneConfig) -> Self {
+        Self::with_objectives(evaluator, cfg, ObjectiveSet::default())
+    }
+
+    /// [`Engine::new`] over an explicit objective space: archives,
+    /// hypervolumes and strategy selection all rank by `objectives`.
+    pub fn with_objectives(
+        evaluator: &'b Evaluator<'a>,
+        cfg: &PruneConfig,
+        objectives: ObjectiveSet,
+    ) -> Self {
         let space = evaluator.space(cfg);
-        Self { evaluator, space, cache: EvalCache::new() }
+        Self { evaluator, space, cache: EvalCache::new(), objectives }
     }
 
     /// The space strategies search over.
@@ -238,13 +274,29 @@ impl<'a, 'b> Engine<'a, 'b> {
         &self.cache
     }
 
+    /// The objective space runs on this engine optimize.
+    pub fn objectives(&self) -> &ObjectiveSet {
+        &self.objectives
+    }
+
+    /// Swaps the objective space for subsequent runs, keeping the
+    /// evaluation cache — re-ranking already-measured designs under new
+    /// objectives costs no fresh synthesis or simulation.
+    pub fn set_objectives(&mut self, objectives: ObjectiveSet) {
+        self.objectives = objectives;
+    }
+
     /// Drives one strategy to completion. The cache persists across
     /// calls, so a second strategy re-measures nothing the first
     /// already paid for.
     pub fn run(&mut self, strategy: &mut dyn SearchStrategy) -> Result<SearchOutcome, StudyError> {
         let mut points = Vec::new();
-        let mut archive = ParetoArchive::new();
-        let mut stats = SearchStats { strategy: strategy.name().to_string(), ..Default::default() };
+        let mut archive = ParetoArchive::with_objectives(self.objectives.clone());
+        let mut stats = SearchStats {
+            strategy: strategy.name().to_string(),
+            objectives: self.objectives.labels().iter().map(|l| l.to_string()).collect(),
+            ..Default::default()
+        };
         let budget = strategy.budget();
         let mut spent = 0usize;
         loop {
@@ -264,14 +316,35 @@ impl<'a, 'b> Engine<'a, 'b> {
             // out; the strategy only learns about what was measured.
             stats.asked -= batch.len() - results.len();
             archive.extend(results.iter().map(|(_, p)| p.clone()));
-            strategy.tell(&results);
+            strategy.tell(&results, &self.objectives);
             points.extend(results);
             if remaining.is_some_and(|r| fresh >= r) {
                 break;
             }
         }
+        stats.axes = axis_stats(&self.objectives, archive.front());
         Ok(SearchOutcome { points, archive, stats })
     }
+}
+
+/// Per-axis extremes of a front, in enabled-axis order.
+fn axis_stats(objectives: &ObjectiveSet, front: &[DesignPoint]) -> Vec<AxisStats> {
+    if front.is_empty() {
+        return Vec::new();
+    }
+    objectives
+        .enabled()
+        .map(|axis| {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for p in front {
+                let v = axis.objective.value(p);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let (best, worst) = if axis.objective.maximize() { (hi, lo) } else { (lo, hi) };
+            AxisStats { axis: axis.objective.label().to_string(), best, worst }
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -7,7 +7,10 @@
 //! fraction of the evaluations. This strategy searches the
 //! [`Candidate`] genome — base-circuit choice plus a *continuous* τc
 //! gene and a φc gene — so it can reach pruned-gate sets that sit
-//! between the paper's 20 fixed τc steps.
+//! between the paper's 20 fixed τc steps. Selection (non-dominated
+//! sorting and crowding) ranks candidates on the engine's
+//! [`ObjectiveSet`], so the same strategy drives 2-, 3- and
+//! 4-objective studies.
 //!
 //! Determinism: every stochastic step draws from one `StdRng` seeded by
 //! [`Nsga2Config::seed`]; the `PAX_SEARCH_SEED` environment variable
@@ -17,7 +20,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use super::{Candidate, SearchSpace, SearchStrategy};
+use super::{Candidate, ObjectiveSet, SearchSpace, SearchStrategy};
 use crate::DesignPoint;
 
 /// Configuration of the evolutionary search.
@@ -460,7 +463,7 @@ impl SearchStrategy for Nsga2 {
         }
     }
 
-    fn tell(&mut self, results: &[(Candidate, DesignPoint)]) {
+    fn tell(&mut self, results: &[(Candidate, DesignPoint)], objectives: &ObjectiveSet) {
         for (c, p) in results {
             match self.best_acc.iter_mut().find(|(uc, _, _)| *uc == c.use_coeff) {
                 Some(entry) if entry.1 >= p.accuracy => {}
@@ -472,15 +475,19 @@ impl SearchStrategy for Nsga2 {
         let mut pool: Vec<(Candidate, DesignPoint)> =
             self.parents.iter().map(|i| (i.cand, i.point.clone())).collect();
         pool.extend(results.iter().cloned());
-        self.parents = environmental_selection(pool, self.cfg.population);
+        self.parents = environmental_selection(pool, self.cfg.population, objectives);
     }
 }
 
 /// Elitist truncation: fast non-dominated sort, fill by rank, break the
 /// last front by descending crowding distance. Fully deterministic —
 /// all ties fall back to pool order.
-fn environmental_selection(pool: Vec<(Candidate, DesignPoint)>, keep: usize) -> Vec<Individual> {
-    let ranks = non_dominated_ranks(&pool);
+fn environmental_selection(
+    pool: Vec<(Candidate, DesignPoint)>,
+    keep: usize,
+    objectives: &ObjectiveSet,
+) -> Vec<Individual> {
+    let ranks = non_dominated_ranks(&pool, objectives);
     let mut by_front: Vec<Vec<usize>> = Vec::new();
     for (i, &r) in ranks.iter().enumerate() {
         if by_front.len() <= r {
@@ -490,7 +497,7 @@ fn environmental_selection(pool: Vec<(Candidate, DesignPoint)>, keep: usize) -> 
     }
     let mut selected = Vec::with_capacity(keep);
     for (rank, front) in by_front.iter().enumerate() {
-        let crowding = crowding_distances(&pool, front);
+        let crowding = crowding_distances(&pool, front, objectives);
         let mut members: Vec<(usize, f64)> = front.iter().copied().zip(crowding).collect();
         if selected.len() + members.len() > keep {
             members.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite crowding"));
@@ -511,9 +518,10 @@ fn environmental_selection(pool: Vec<(Candidate, DesignPoint)>, keep: usize) -> 
     selected
 }
 
-/// Rank of each pool member: 0 for the non-dominated front, 1 for the
-/// front once rank-0 is removed, and so on.
-fn non_dominated_ranks(pool: &[(Candidate, DesignPoint)]) -> Vec<usize> {
+/// Rank of each pool member under the objective space's dominance: 0
+/// for the non-dominated front, 1 for the front once rank-0 is
+/// removed, and so on.
+fn non_dominated_ranks(pool: &[(Candidate, DesignPoint)], objectives: &ObjectiveSet) -> Vec<usize> {
     let n = pool.len();
     let mut rank = vec![usize::MAX; n];
     let mut assigned = 0;
@@ -525,7 +533,9 @@ fn non_dominated_ranks(pool: &[(Candidate, DesignPoint)]) -> Vec<usize> {
         let front: Vec<usize> = (0..n)
             .filter(|&i| rank[i] == usize::MAX)
             .filter(|&i| {
-                !(0..n).any(|j| j != i && rank[j] == usize::MAX && pool[j].1.dominates(&pool[i].1))
+                !(0..n).any(|j| {
+                    j != i && rank[j] == usize::MAX && objectives.dominates(&pool[j].1, &pool[i].1)
+                })
             })
             .collect();
         for &i in &front {
@@ -537,24 +547,22 @@ fn non_dominated_ranks(pool: &[(Candidate, DesignPoint)]) -> Vec<usize> {
     rank
 }
 
-/// NSGA-II crowding distance within one front (accuracy and area
-/// objectives, each normalized by the front's extent). Boundary points
-/// get `f64::INFINITY`.
-fn crowding_distances(pool: &[(Candidate, DesignPoint)], front: &[usize]) -> Vec<f64> {
+/// NSGA-II crowding distance within one front: every enabled objective
+/// axis, normalized by the front's extent and scaled by the axis
+/// weight (`1.0` weights leave the contribution bit-identical to the
+/// unweighted sum). Boundary points get `f64::INFINITY`.
+fn crowding_distances(
+    pool: &[(Candidate, DesignPoint)],
+    front: &[usize],
+    objectives: &ObjectiveSet,
+) -> Vec<f64> {
     let m = front.len();
     if m <= 2 {
         return vec![f64::INFINITY; m];
     }
     let mut dist = vec![0.0f64; m];
-    for objective in [0usize, 1] {
-        let value = |i: usize| -> f64 {
-            let p = &pool[front[i]].1;
-            if objective == 0 {
-                p.accuracy
-            } else {
-                p.area_mm2
-            }
-        };
+    for axis in objectives.enabled() {
+        let value = |i: usize| -> f64 { axis.objective.value(&pool[front[i]].1) };
         let mut order: Vec<usize> = (0..m).collect();
         order.sort_by(|&a, &b| {
             value(a).partial_cmp(&value(b)).expect("finite objective").then(a.cmp(&b))
@@ -566,7 +574,7 @@ fn crowding_distances(pool: &[(Candidate, DesignPoint)], front: &[usize]) -> Vec
             continue;
         }
         for w in 1..m - 1 {
-            dist[order[w]] += (value(order[w + 1]) - value(order[w - 1])) / span;
+            dist[order[w]] += axis.weight * ((value(order[w + 1]) - value(order[w - 1])) / span);
         }
     }
     dist
@@ -607,6 +615,7 @@ mod tests {
     #[test]
     fn generations_are_deterministic_for_a_fixed_seed() {
         let space = space();
+        let objectives = ObjectiveSet::default();
         let run = |seed: u64| {
             let mut s = Nsga2::new(Nsga2Config { seed, ..Default::default() });
             let mut all = Vec::new();
@@ -616,7 +625,7 @@ mod tests {
                     .iter()
                     .map(|&c| (c, point(c.tau_c, 100.0 - f64::from(c.phi_c as i32))))
                     .collect();
-                s.tell(&results);
+                s.tell(&results, &objectives);
                 all.extend(batch);
             }
             all
@@ -640,22 +649,42 @@ mod tests {
                 assert!((0.8..=0.99).contains(&c.tau_c), "τc {}", c.tau_c);
                 assert!(ctx.distinct_phis().contains(&c.phi_c), "φc {}", c.phi_c);
             }
-            s.tell(&results);
+            s.tell(&results, &ObjectiveSet::default());
         }
     }
 
     #[test]
     fn ranks_and_crowding_prefer_the_front() {
+        let objectives = ObjectiveSet::default();
         let pool = vec![
             (Candidate { use_coeff: false, tau_c: 0.8, phi_c: 0 }, point(0.9, 50.0)),
             (Candidate { use_coeff: false, tau_c: 0.9, phi_c: 0 }, point(0.8, 90.0)), // dominated
             (Candidate { use_coeff: false, tau_c: 0.8, phi_c: 1 }, point(0.95, 80.0)),
         ];
-        let ranks = non_dominated_ranks(&pool);
+        let ranks = non_dominated_ranks(&pool, &objectives);
         assert_eq!(ranks, vec![0, 1, 0]);
-        let sel = environmental_selection(pool, 2);
+        let sel = environmental_selection(pool, 2, &objectives);
         assert_eq!(sel.len(), 2);
         assert!(sel.iter().all(|i| i.rank == 0));
+    }
+
+    #[test]
+    fn higher_dimensional_objectives_change_the_ranking() {
+        let with_power = |acc: f64, area: f64, power: f64| {
+            let mut p = point(acc, area);
+            p.power_mw = power;
+            p
+        };
+        let pool = vec![
+            (Candidate { use_coeff: false, tau_c: 0.8, phi_c: 0 }, with_power(0.9, 50.0, 9.0)),
+            // Dominated in (accuracy, area), rescued by its power edge.
+            (Candidate { use_coeff: false, tau_c: 0.9, phi_c: 0 }, with_power(0.8, 90.0, 2.0)),
+        ];
+        assert_eq!(non_dominated_ranks(&pool, &ObjectiveSet::accuracy_area()), vec![0, 1]);
+        assert_eq!(non_dominated_ranks(&pool, &ObjectiveSet::accuracy_area_power()), vec![0, 0]);
+        // Masking power out of the 3-D set restores the 2-D ranking.
+        let masked = ObjectiveSet::accuracy_area_power().mask(&[true, true, false]);
+        assert_eq!(non_dominated_ranks(&pool, &masked), vec![0, 1]);
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! Configurable N-dimensional objective spaces over measured designs.
+//!
+//! Every evaluated [`DesignPoint`] already carries four quality axes —
+//! test-set accuracy, printed area, total power and critical-path
+//! delay. An [`ObjectiveSet`] selects which of them a search optimizes,
+//! fixing each axis's direction (accuracy is maximized, the rest are
+//! minimized) and an optional per-axis weight used for normalization
+//! and masking. The set is threaded through the whole exploration
+//! stack: [`ParetoArchive`](super::ParetoArchive) dominance and
+//! hypervolume, [`Nsga2`](super::Nsga2) non-dominated sorting and
+//! crowding, and the per-axis statistics surfaced in
+//! [`SearchStats`](super::SearchStats).
+
+use crate::DesignPoint;
+
+/// One measurable quality axis of a [`DesignPoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Test-set accuracy — the only maximized axis.
+    Accuracy,
+    /// Printed area in mm² (minimized).
+    Area,
+    /// Total power in mW (minimized).
+    Power,
+    /// Critical-path delay in ms (minimized).
+    Delay,
+}
+
+impl Objective {
+    /// Every axis, in the canonical (accuracy, area, power, delay)
+    /// order used by the [`ObjectiveSet`] presets.
+    pub const ALL: [Objective; 4] =
+        [Objective::Accuracy, Objective::Area, Objective::Power, Objective::Delay];
+
+    /// Stable label used in stats, reports and error messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            Objective::Accuracy => "accuracy",
+            Objective::Area => "area_mm2",
+            Objective::Power => "power_mw",
+            Objective::Delay => "delay_ms",
+        }
+    }
+
+    /// `true` when larger values are better (only accuracy).
+    pub fn maximize(self) -> bool {
+        matches!(self, Objective::Accuracy)
+    }
+
+    /// The raw measured value of this axis.
+    pub fn value(self, p: &DesignPoint) -> f64 {
+        match self {
+            Objective::Accuracy => p.accuracy,
+            Objective::Area => p.area_mm2,
+            Objective::Power => p.power_mw,
+            Objective::Delay => p.critical_ms,
+        }
+    }
+
+    /// The canonical minimization-space value: maximized axes are
+    /// negated (an exact operation), so "smaller is better" holds on
+    /// every axis and dominance is one componentwise comparison.
+    pub fn key(self, p: &DesignPoint) -> f64 {
+        self.canonical(self.value(p))
+    }
+
+    /// Maps a raw axis value into minimization space.
+    pub fn canonical(self, v: f64) -> f64 {
+        if self.maximize() {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One axis of an [`ObjectiveSet`]: the objective plus its weight.
+///
+/// The weight does two jobs: `0.0` **masks** the axis out entirely (it
+/// stops counting for dominance, hypervolume and crowding — the set
+/// behaves exactly like one declared without the axis), and any other
+/// positive value scales the axis's extent-normalized contribution to
+/// the NSGA-II crowding distance (per-axis normalization pressure).
+/// Dominance and hypervolume are weight-independent for enabled axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveAxis {
+    /// Which measured quantity this axis reads.
+    pub objective: Objective,
+    /// `0.0` disables the axis; positive values scale its crowding
+    /// contribution (default `1.0`).
+    pub weight: f64,
+}
+
+/// A selectable subset of the measured axes, with per-axis direction
+/// and normalization — the objective space an exploration optimizes.
+///
+/// # Examples
+///
+/// ```
+/// use pax_core::explore::{Objective, ObjectiveSet};
+/// use pax_core::{DesignPoint, Technique};
+///
+/// let p = |acc: f64, area: f64, power: f64| DesignPoint {
+///     technique: Technique::Cross,
+///     tau_c: None,
+///     phi_c: None,
+///     accuracy: acc,
+///     area_mm2: area,
+///     power_mw: power,
+///     gate_count: 0,
+///     critical_ms: 1.0,
+/// };
+///
+/// // 3-D: accuracy ↑ × area ↓ × power ↓.
+/// let objectives = ObjectiveSet::accuracy_area_power();
+/// assert_eq!(objectives.dim(), 3);
+/// let a = p(0.9, 100.0, 10.0);
+/// let b = p(0.9, 100.0, 12.0);
+/// assert!(objectives.dominates(&a, &b), "same accuracy/area, less power");
+/// // In plain 2-D the power axis is invisible and the points tie.
+/// assert!(!ObjectiveSet::accuracy_area().dominates(&a, &b));
+///
+/// // Masking a 4-D set down to 2-D behaves exactly like the 2-D set.
+/// let masked = ObjectiveSet::all().mask(&[true, true, false, false]);
+/// assert_eq!(masked.dim(), 2);
+/// assert_eq!(masked.labels(), ObjectiveSet::accuracy_area().labels());
+/// # let _ = Objective::Accuracy;
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveSet {
+    axes: Vec<ObjectiveAxis>,
+}
+
+impl Default for ObjectiveSet {
+    /// The paper's objective space: accuracy ↑ × area ↓.
+    fn default() -> Self {
+        Self::accuracy_area()
+    }
+}
+
+impl ObjectiveSet {
+    /// A set over the given axes (weight `1.0` each), in the given
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `objectives` is empty or contains a duplicate axis.
+    pub fn new(objectives: &[Objective]) -> Self {
+        assert!(!objectives.is_empty(), "an objective set needs at least one axis");
+        for (i, o) in objectives.iter().enumerate() {
+            assert!(!objectives[..i].contains(o), "duplicate objective axis {o}");
+        }
+        Self {
+            axes: objectives.iter().map(|&o| ObjectiveAxis { objective: o, weight: 1.0 }).collect(),
+        }
+    }
+
+    /// The paper's 2-D space: accuracy ↑ × area ↓ (the default).
+    pub fn accuracy_area() -> Self {
+        Self::new(&[Objective::Accuracy, Objective::Area])
+    }
+
+    /// 3-D: accuracy ↑ × area ↓ × power ↓.
+    pub fn accuracy_area_power() -> Self {
+        Self::new(&[Objective::Accuracy, Objective::Area, Objective::Power])
+    }
+
+    /// The full 4-D space: accuracy ↑ × area ↓ × power ↓ × delay ↓.
+    pub fn all() -> Self {
+        Self::new(&Objective::ALL)
+    }
+
+    /// Replaces the per-axis weights. `0.0` masks an axis out;
+    /// positive values scale its crowding-distance contribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` does not match the declared axis count,
+    /// contains a negative or non-finite value, or would disable every
+    /// axis.
+    pub fn with_weights(mut self, weights: &[f64]) -> Self {
+        assert_eq!(weights.len(), self.axes.len(), "one weight per declared axis");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        assert!(weights.iter().any(|w| *w > 0.0), "at least one axis must stay enabled");
+        for (axis, &w) in self.axes.iter_mut().zip(weights) {
+            axis.weight = w;
+        }
+        self
+    }
+
+    /// Masks axes by a keep-flag per declared axis — `false` sets the
+    /// weight to `0.0`, `true` leaves it unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keep` does not match the declared axis count or
+    /// would disable every axis.
+    pub fn mask(mut self, keep: &[bool]) -> Self {
+        assert_eq!(keep.len(), self.axes.len(), "one flag per declared axis");
+        for (axis, &k) in self.axes.iter_mut().zip(keep) {
+            if !k {
+                axis.weight = 0.0;
+            }
+        }
+        assert!(self.axes.iter().any(|a| a.weight > 0.0), "at least one axis must stay enabled");
+        self
+    }
+
+    /// Every declared axis, including masked ones.
+    pub fn axes(&self) -> &[ObjectiveAxis] {
+        &self.axes
+    }
+
+    /// The enabled (weight > 0) axes, in declaration order.
+    pub fn enabled(&self) -> impl Iterator<Item = &ObjectiveAxis> {
+        self.axes.iter().filter(|a| a.weight > 0.0)
+    }
+
+    /// Number of enabled axes — the dimensionality of the space.
+    pub fn dim(&self) -> usize {
+        self.enabled().count()
+    }
+
+    /// Labels of the enabled axes.
+    pub fn labels(&self) -> Vec<&'static str> {
+        self.enabled().map(|a| a.objective.label()).collect()
+    }
+
+    /// Raw measured values of the enabled axes.
+    pub fn values(&self, p: &DesignPoint) -> Vec<f64> {
+        self.enabled().map(|a| a.objective.value(p)).collect()
+    }
+
+    /// Canonical minimization-space values of the enabled axes —
+    /// smaller is better on every component.
+    pub fn keys(&self, p: &DesignPoint) -> Vec<f64> {
+        self.enabled().map(|a| a.objective.key(p)).collect()
+    }
+
+    /// Maps a raw reference point (enabled-axis order, raw units) into
+    /// minimization space.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ref_point` does not have [`ObjectiveSet::dim`]
+    /// components.
+    pub fn canonical_ref(&self, ref_point: &[f64]) -> Vec<f64> {
+        assert_eq!(ref_point.len(), self.dim(), "reference point must match the dimensionality");
+        self.enabled().zip(ref_point).map(|(a, &r)| a.objective.canonical(r)).collect()
+    }
+
+    /// `true` if `a` dominates `b` over the enabled axes: at least as
+    /// good on all of them and strictly better on one. Reduces to
+    /// [`DesignPoint::dominates`] for the default (accuracy, area) set.
+    pub fn dominates(&self, a: &DesignPoint, b: &DesignPoint) -> bool {
+        let mut strict = false;
+        for axis in self.enabled() {
+            let (ka, kb) = (axis.objective.key(a), axis.objective.key(b));
+            if ka > kb {
+                return false;
+            }
+            strict |= ka < kb;
+        }
+        strict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Technique;
+
+    fn p(acc: f64, area: f64, power: f64, delay: f64) -> DesignPoint {
+        DesignPoint {
+            technique: Technique::Cross,
+            tau_c: None,
+            phi_c: None,
+            accuracy: acc,
+            area_mm2: area,
+            power_mw: power,
+            gate_count: 0,
+            critical_ms: delay,
+        }
+    }
+
+    #[test]
+    fn default_set_matches_design_point_dominance() {
+        let objectives = ObjectiveSet::default();
+        let cases = [
+            (p(0.9, 100.0, 5.0, 1.0), p(0.8, 100.0, 1.0, 9.0)),
+            (p(0.9, 90.0, 0.0, 0.0), p(0.9, 100.0, 0.0, 0.0)),
+            (p(0.9, 100.0, 0.0, 0.0), p(0.9, 100.0, 0.0, 0.0)),
+            (p(0.95, 110.0, 0.0, 0.0), p(0.9, 100.0, 0.0, 0.0)),
+        ];
+        for (a, b) in &cases {
+            assert_eq!(objectives.dominates(a, b), a.dominates(b));
+            assert_eq!(objectives.dominates(b, a), b.dominates(a));
+        }
+    }
+
+    #[test]
+    fn higher_dims_see_more_axes() {
+        let a = p(0.9, 100.0, 10.0, 5.0);
+        let b = p(0.9, 100.0, 10.0, 7.0);
+        assert!(!ObjectiveSet::accuracy_area_power().dominates(&a, &b), "delay invisible in 3-D");
+        assert!(ObjectiveSet::all().dominates(&a, &b), "4-D sees the delay edge");
+    }
+
+    #[test]
+    fn masking_reduces_to_the_smaller_set() {
+        let masked = ObjectiveSet::all().with_weights(&[1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(masked.dim(), 2);
+        assert_eq!(masked.labels(), vec!["accuracy", "area_mm2"]);
+        let a = p(0.9, 100.0, 99.0, 99.0);
+        let b = p(0.9, 101.0, 1.0, 1.0);
+        assert!(masked.dominates(&a, &b), "masked power/delay cannot save b");
+        assert_eq!(masked.keys(&a), ObjectiveSet::accuracy_area().keys(&a));
+    }
+
+    #[test]
+    fn keys_negate_only_maximized_axes() {
+        let x = p(0.75, 40.0, 3.0, 2.0);
+        assert_eq!(ObjectiveSet::all().keys(&x), vec![-0.75, 40.0, 3.0, 2.0]);
+        assert_eq!(ObjectiveSet::all().values(&x), vec![0.75, 40.0, 3.0, 2.0]);
+        assert_eq!(
+            ObjectiveSet::all().canonical_ref(&[0.0, 50.0, 5.0, 4.0]),
+            vec![0.0, 50.0, 5.0, 4.0]
+        );
+        assert_eq!(ObjectiveSet::accuracy_area().canonical_ref(&[0.5, 50.0]), vec![-0.5, 50.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate objective axis")]
+    fn duplicate_axes_are_rejected() {
+        let _ = ObjectiveSet::new(&[Objective::Area, Objective::Area]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one axis must stay enabled")]
+    fn fully_masked_sets_are_rejected() {
+        let _ = ObjectiveSet::accuracy_area().mask(&[false, false]);
+    }
+}

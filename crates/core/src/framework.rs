@@ -18,8 +18,10 @@
 //! Both pruning explorations run on the pluggable
 //! [`explore`](crate::explore) engine; [`FrameworkConfig::search`]
 //! selects the strategy (exhaustive grid by default, evolutionary
-//! NSGA-II via [`SearchConfig::Nsga2`]) and
-//! [`Framework::run_study_with`] overrides it per study.
+//! NSGA-II via [`SearchConfig::nsga2`]) and the [`ObjectiveSet`] the
+//! exploration optimizes (accuracy × area by default, any subset of accuracy /
+//! area / power / delay), and [`Framework::run_study_with`] overrides
+//! both per study.
 
 use std::time::Instant;
 
@@ -33,20 +35,21 @@ use pax_synth::{area, opt};
 use crate::coeff_approx::{approximate_model, CoeffApproxConfig, CoeffApproxReport};
 use crate::error::StudyError;
 use crate::explore::{
-    Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, SearchStats, SearchStrategy,
+    Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, ObjectiveSet, SearchStats,
+    SearchStrategy,
 };
 use crate::mult_cache::MultCache;
 use crate::prune::{analyze, analyze_compiled, apply_set, PruneConfig};
 use crate::{pareto, DesignPoint, Technique};
 
-/// Which search strategy drives the pruning exploration.
+/// Which search shape drives the pruning exploration.
 ///
 /// Strategy objects themselves are stateful, so the configuration
 /// stores a *recipe*; [`SearchConfig::build`] instantiates a fresh
 /// strategy per exploration. Custom [`SearchStrategy`] implementations
 /// plug in through [`Framework::try_run_study_with`].
 #[derive(Debug, Clone, PartialEq, Default)]
-pub enum SearchConfig {
+pub enum StrategyConfig {
     /// The paper-faithful exhaustive `(τc, φc)` sweep (the default).
     #[default]
     Exhaustive,
@@ -55,12 +58,42 @@ pub enum SearchConfig {
     Nsga2(Nsga2Config),
 }
 
+/// The full search configuration: a strategy recipe plus the objective
+/// space it optimizes (accuracy ↑ × area ↓ by default; any subset of
+/// accuracy/area/power/delay via [`ObjectiveSet`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SearchConfig {
+    /// The search shape (exhaustive grid by default).
+    pub strategy: StrategyConfig,
+    /// The objective axes dominance, archives and evolutionary
+    /// selection rank by.
+    pub objectives: ObjectiveSet,
+}
+
 impl SearchConfig {
+    /// The paper-faithful default: exhaustive sweep over (accuracy,
+    /// area).
+    pub fn exhaustive() -> Self {
+        Self::default()
+    }
+
+    /// Evolutionary search under the default (accuracy, area)
+    /// objectives.
+    pub fn nsga2(cfg: Nsga2Config) -> Self {
+        Self { strategy: StrategyConfig::Nsga2(cfg), ..Default::default() }
+    }
+
+    /// Replaces the objective space (builder style).
+    pub fn with_objectives(mut self, objectives: ObjectiveSet) -> Self {
+        self.objectives = objectives;
+        self
+    }
+
     /// Instantiates a fresh strategy from the recipe.
     pub fn build(&self) -> Box<dyn SearchStrategy> {
-        match self {
-            SearchConfig::Exhaustive => Box::new(ExhaustiveGrid::new()),
-            SearchConfig::Nsga2(cfg) => Box::new(Nsga2::new(cfg.clone())),
+        match &self.strategy {
+            StrategyConfig::Exhaustive => Box::new(ExhaustiveGrid::new()),
+            StrategyConfig::Nsga2(cfg) => Box::new(Nsga2::new(cfg.clone())),
         }
     }
 }
@@ -504,9 +537,10 @@ impl Framework {
 
     /// One pruning exploration on the [`explore::Engine`](crate::explore::Engine):
     /// analyze the base circuit once, then let the configured strategy
-    /// search its `(τc, φc)` space. With [`SearchConfig::Exhaustive`]
-    /// this reproduces the pre-engine `enumerate_grid` +
-    /// `evaluate_grid` sweep point for point.
+    /// search its `(τc, φc)` space under the configured objective set.
+    /// With [`StrategyConfig::Exhaustive`] this reproduces the
+    /// pre-engine `enumerate_grid` + `evaluate_grid` sweep point for
+    /// point.
     #[allow(clippy::too_many_arguments)]
     fn explore_series(
         &self,
@@ -525,7 +559,8 @@ impl Framework {
             test,
             vec![EvalContext { use_coeff, netlist: &circuit.netlist, model, analysis }],
         );
-        let mut engine = Engine::new(&evaluator, &self.cfg.prune);
+        let mut engine =
+            Engine::with_objectives(&evaluator, &self.cfg.prune, search.objectives.clone());
         let mut strategy = search.build();
         let outcome = engine.run(strategy.as_mut())?;
         Ok((outcome.points.into_iter().map(|(_, p)| p).collect(), outcome.stats))
@@ -620,7 +655,7 @@ mod tests {
         let m = train_svm_classifier(&train, &SvmParams { epochs: 40, ..Default::default() }, 3);
         let q = QuantizedModel::from_linear_classifier("evo", &m, QuantSpec::default());
         let fw = Framework::new(FrameworkConfig::default());
-        let search = SearchConfig::Nsga2(Nsga2Config {
+        let search = SearchConfig::nsga2(Nsga2Config {
             population: 8,
             generations: 4,
             max_evals: 12,
@@ -639,6 +674,32 @@ mod tests {
             assert!(s.evaluated <= 12, "budget violated: {}", s.evaluated);
         }
         assert!(!a.cross.is_empty());
+    }
+
+    #[test]
+    fn three_objective_study_surfaces_per_axis_stats() {
+        let data = blobs("nd", 240, 4, 3, 0.09, 77);
+        let (train, test) = data.split(0.7, 1);
+        let (train, test) = pax_ml::normalize(&train, &test);
+        let m = train_svm_classifier(&train, &SvmParams { epochs: 40, ..Default::default() }, 3);
+        let q = QuantizedModel::from_linear_classifier("nd", &m, QuantSpec::default());
+        let fw = Framework::new(FrameworkConfig::default());
+        let search = SearchConfig::exhaustive()
+            .with_objectives(crate::explore::ObjectiveSet::accuracy_area_power());
+        let s = fw.run_study_with(&q, &train, &test, &search);
+        for stats in &s.stats.search {
+            assert_eq!(stats.objectives, vec!["accuracy", "area_mm2", "power_mw"]);
+            assert_eq!(stats.axes.len(), 3, "one AxisStats per enabled axis");
+            for axis in &stats.axes {
+                let (lo, hi) = (axis.best.min(axis.worst), axis.best.max(axis.worst));
+                assert!(lo.is_finite() && hi.is_finite());
+                if axis.axis == "accuracy" {
+                    assert!(axis.best >= axis.worst, "accuracy is maximized");
+                } else {
+                    assert!(axis.best <= axis.worst, "{} is minimized", axis.axis);
+                }
+            }
+        }
     }
 
     #[test]

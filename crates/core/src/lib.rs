@@ -28,7 +28,11 @@
 //! ([`explore::ExhaustiveGrid`], the default) and a seeded evolutionary
 //! search ([`explore::Nsga2`]) are interchangeable
 //! [`explore::SearchStrategy`] implementations, selected through
-//! [`framework::FrameworkConfig::search`].
+//! [`framework::FrameworkConfig::search`]. The objective space itself
+//! is configurable ([`explore::ObjectiveSet`]): beyond the paper's
+//! accuracy × area trade-off, any subset of accuracy ↑ / area ↓ /
+//! power ↓ / delay ↓ can drive dominance, N-D hypervolume and
+//! evolutionary selection.
 //!
 //! # Examples
 //!

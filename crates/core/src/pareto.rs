@@ -1,5 +1,8 @@
-//! Pareto-front extraction over (accuracy ↑, area ↓).
+//! Pareto-front extraction: the classic (accuracy ↑, area ↓) batch
+//! filter, plus the N-dimensional generalization over an
+//! [`ObjectiveSet`].
 
+use crate::explore::ObjectiveSet;
 use crate::DesignPoint;
 
 /// Indices of the non-dominated points, sorted by ascending area.
@@ -45,6 +48,57 @@ pub fn pareto_front(points: &[DesignPoint]) -> Vec<usize> {
         }
     }
     front
+}
+
+/// Indices of the non-dominated points under an arbitrary
+/// [`ObjectiveSet`], in input order.
+///
+/// The brute-force batch counterpart of
+/// [`ParetoArchive`](crate::explore::ParetoArchive) for any
+/// dimensionality: a point is kept iff no other point dominates it on
+/// the enabled axes, and exact metric ties keep their first
+/// occurrence. Unlike [`pareto_front`] (which sorts its 2-D result by
+/// ascending area), indices come back in input order.
+///
+/// # Examples
+///
+/// ```
+/// use pax_core::explore::ObjectiveSet;
+/// use pax_core::{pareto, DesignPoint, Technique};
+///
+/// let p = |acc: f64, area: f64, power: f64| DesignPoint {
+///     technique: Technique::Cross,
+///     tau_c: None,
+///     phi_c: None,
+///     accuracy: acc,
+///     area_mm2: area,
+///     power_mw: power,
+///     gate_count: 0,
+///     critical_ms: 0.0,
+/// };
+/// // Same accuracy and area; only the power axis separates them.
+/// let points = vec![p(0.9, 100.0, 8.0), p(0.9, 100.0, 6.0)];
+/// assert_eq!(pareto::pareto_front_with(&points, &ObjectiveSet::accuracy_area()), vec![0]);
+/// assert_eq!(
+///     pareto::pareto_front_with(&points, &ObjectiveSet::accuracy_area_power()),
+///     vec![1]
+/// );
+/// ```
+pub fn pareto_front_with(points: &[DesignPoint], objectives: &ObjectiveSet) -> Vec<usize> {
+    let keys: Vec<Vec<f64>> = points.iter().map(|p| objectives.keys(p)).collect();
+    (0..points.len())
+        .filter(|&i| {
+            !keys.iter().enumerate().any(|(j, kj)| {
+                if j == i {
+                    return false;
+                }
+                let weakly = kj.iter().zip(&keys[i]).all(|(a, b)| a <= b);
+                // j beats i when it weakly dominates with a strict edge,
+                // or ties exactly and came first.
+                weakly && (kj != &keys[i] || j < i)
+            })
+        })
+        .collect()
 }
 
 /// Among `points`, the minimum-area index whose accuracy is at least
@@ -116,6 +170,24 @@ mod tests {
     fn empty_and_singleton() {
         assert!(pareto_front(&[]).is_empty());
         assert_eq!(pareto_front(&[p(0.1, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn nd_front_agrees_with_2d_filter_on_the_default_set() {
+        let pts = vec![
+            p(0.5, 10.0),
+            p(0.6, 20.0),
+            p(0.55, 30.0),
+            p(0.9, 50.0),
+            p(0.9, 45.0),
+            p(0.2, 5.0),
+            p(0.5, 10.0), // exact duplicate: first occurrence wins
+        ];
+        let legacy: std::collections::BTreeSet<usize> = pareto_front(&pts).into_iter().collect();
+        let nd: std::collections::BTreeSet<usize> =
+            pareto_front_with(&pts, &ObjectiveSet::accuracy_area()).into_iter().collect();
+        assert_eq!(nd, legacy);
+        assert!(!nd.contains(&6), "duplicate keeps only index 0");
     }
 
     #[test]

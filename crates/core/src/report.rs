@@ -181,19 +181,23 @@ pub fn front_indices(study: &CircuitStudy) -> Vec<usize> {
 }
 
 /// Markdown table of a study's per-exploration search statistics: which
-/// strategy drove each pruning series, how many designs it asked for,
-/// how many distinct prunings were synthesized, and how many
-/// evaluations the content-hash cache absorbed.
+/// strategy drove each pruning series, the objective axes it optimized,
+/// how many designs it asked for, how many distinct prunings were
+/// synthesized, and how many evaluations the content-hash cache
+/// absorbed. [`axis_summary`] breaks the resulting fronts down per
+/// objective axis.
 pub fn search_summary(study: &CircuitStudy) -> String {
-    let mut out = String::from("| Series | Strategy | Asked | Evaluated | Cache hits | Rounds |\n");
-    out.push_str("|---|---|---|---|---|---|\n");
-    let series = ["prune-baseline", "prune-cross"];
+    let mut out = String::from(
+        "| Series | Strategy | Objectives | Asked | Evaluated | Cache hits | Rounds |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|\n");
     for (i, s) in study.stats.search.iter().enumerate() {
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} | {} | {} |",
-            series.get(i).copied().unwrap_or("extra"),
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            series_label(i),
             s.strategy,
+            s.objectives.join("×"),
             s.asked,
             s.evaluated,
             s.cache_hits,
@@ -201,6 +205,34 @@ pub fn search_summary(study: &CircuitStudy) -> String {
         );
     }
     out
+}
+
+/// Markdown table of the per-axis front extremes of every exploration
+/// series: for each enabled objective axis, the best and worst value on
+/// the series' final Pareto front (best respects the axis direction —
+/// highest accuracy, lowest area/power/delay).
+pub fn axis_summary(study: &CircuitStudy) -> String {
+    let mut out = String::from("| Series | Axis | Front best | Front worst |\n");
+    out.push_str("|---|---|---|---|\n");
+    for (i, s) in study.stats.search.iter().enumerate() {
+        for axis in &s.axes {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.4} | {:.4} |",
+                series_label(i),
+                axis.axis,
+                axis.best,
+                axis.worst,
+            );
+        }
+    }
+    out
+}
+
+/// Name of the i-th exploration series of a study (baseline pruning
+/// first, then the cross-layer pruning).
+fn series_label(i: usize) -> &'static str {
+    ["prune-baseline", "prune-cross"].get(i).copied().unwrap_or("extra")
 }
 
 #[cfg(test)]
@@ -282,6 +314,15 @@ mod tests {
                 evaluated: 12,
                 cache_hits: 28,
                 generations: 1,
+                objectives: vec!["accuracy".into(), "area_mm2".into()],
+                axes: vec![
+                    crate::explore::AxisStats { axis: "accuracy".into(), best: 0.9, worst: 0.85 },
+                    crate::explore::AxisStats {
+                        axis: "area_mm2".into(),
+                        best: 300.0,
+                        worst: 500.0,
+                    },
+                ],
             },
             crate::explore::SearchStats {
                 strategy: "nsga2".into(),
@@ -289,11 +330,21 @@ mod tests {
                 evaluated: 9,
                 cache_hits: 39,
                 generations: 2,
+                objectives: vec!["accuracy".into(), "area_mm2".into(), "power_mw".into()],
+                axes: vec![],
             },
         ];
         let md = search_summary(&s);
-        assert!(md.contains("| prune-baseline | exhaustive-grid | 40 | 12 | 28 | 1 |"));
-        assert!(md.contains("| prune-cross | nsga2 | 48 | 9 | 39 | 2 |"));
+        assert!(md.contains(
+            "| prune-baseline | exhaustive-grid | accuracy×area_mm2 | 40 | 12 | 28 | 1 |"
+        ));
+        assert!(
+            md.contains("| prune-cross | nsga2 | accuracy×area_mm2×power_mw | 48 | 9 | 39 | 2 |")
+        );
+        let axes = axis_summary(&s);
+        assert!(axes.contains("| prune-baseline | accuracy | 0.9000 | 0.8500 |"));
+        assert!(axes.contains("| prune-baseline | area_mm2 | 300.0000 | 500.0000 |"));
+        assert!(!axes.contains("| prune-cross |"), "empty axis stats emit no rows");
     }
 
     #[test]
