@@ -9,6 +9,7 @@
 //! paper fig3                   # Fig. 3   (Pareto spaces)
 //! paper proxy                  # §III-B   (area-proxy correlation)
 //! paper explore                # grid vs NSGA-II search (BENCH_explore.json)
+//! paper prune_eval             # rebuild vs overlay evaluation (BENCH_prune_eval.json)
 //! paper all                    # everything
 //!
 //! options:
@@ -36,7 +37,7 @@ struct Options {
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: paper <table1|table2|table3|fig1|fig2|fig3|proxy|quant|explore|all> [--out DIR] [--quick] [--circuit STR]");
+        eprintln!("usage: paper <table1|table2|table3|fig1|fig2|fig3|proxy|quant|explore|prune_eval|all> [--out DIR] [--quick] [--circuit STR]");
         std::process::exit(2);
     };
     let mut opts = Options { out: None, quick: false, circuit: None };
@@ -68,12 +69,14 @@ fn main() {
         "proxy" => run_proxy(&opts),
         "quant" => run_quant(&opts),
         "explore" => run_explore(&opts),
+        "prune_eval" => run_prune_eval(&opts),
         "all" => {
             run_fig1(&opts);
             run_fig2(&opts);
             run_proxy(&opts);
             run_quant(&opts);
             run_explore(&opts);
+            run_prune_eval(&opts);
             run_table1(&opts);
             // table2/table3/fig3 share one set of studies.
             let runs = load_studies(&opts);
@@ -199,6 +202,16 @@ fn run_explore(opts: &Options) {
     println!("{}", explore::render_nd(&rows));
     let json = explore::to_json(&rows, &cfg, seed);
     write_artifact(opts, "explore.json", &json);
+}
+
+fn run_prune_eval(opts: &Options) {
+    let cfg = synth_config(opts);
+    let seed = pax_core::explore::resolve_seed(0x9A5E);
+    let rows = pax_bench::prune_eval::run(&cfg, seed);
+    println!("# Candidate evaluation — rebuild pipeline vs overlay on the shared tape\n");
+    println!("{}", pax_bench::prune_eval::render(&rows));
+    let json = pax_bench::prune_eval::to_json(&rows, &cfg, seed);
+    write_artifact(opts, "prune_eval.json", &json);
 }
 
 fn run_quant(opts: &Options) {

@@ -15,7 +15,9 @@
 //! * [`studies`] — shared runner executing the cross-layer framework on
 //!   every hardware-feasible model;
 //! * [`explore`] — exhaustive-grid versus evolutionary search at
-//!   matched evaluation budgets (the `BENCH_explore.json` study).
+//!   matched evaluation budgets (the `BENCH_explore.json` study);
+//! * [`prune_eval`] — rebuild-pipeline versus overlay candidate
+//!   evaluation throughput (the `BENCH_prune_eval.json` study).
 //!
 //! The `paper` binary exposes all of it:
 //!
@@ -33,6 +35,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod proxy;
+pub mod prune_eval;
 pub mod quantsweep;
 pub mod studies;
 pub mod table1;

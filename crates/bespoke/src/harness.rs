@@ -1,7 +1,7 @@
 use pax_ml::quant::QuantizedModel;
 use pax_ml::Dataset;
 use pax_netlist::{eval, Netlist};
-use pax_sim::{CompiledNetlist, SimError, SimResult, Stimulus};
+use pax_sim::{CompiledNetlist, SimError, SimOutputs, SimResult, Stimulus};
 
 /// Batched circuit evaluation result.
 #[derive(Debug, Clone)]
@@ -114,11 +114,39 @@ pub fn try_evaluate_compiled(
 ) -> Result<EvalOutcome, SimError> {
     let stim = stimulus_for(model, data);
     let sim = compiled.run_with_activity(&stim)?;
+    let (accuracy, predictions) = score_outputs(model, data, sim.outputs());
+    Ok(EvalOutcome { accuracy, predictions, sim })
+}
+
+/// Scores already-captured simulation outputs against the dataset
+/// labels: `(accuracy, per-sample predicted class)`.
+///
+/// This is the decoding half of [`evaluate_compiled`], shared with
+/// evaluation paths that obtain their [`SimOutputs`] differently — the
+/// overlay-based pruning evaluator scores a *masked* run of the shared
+/// base tape through this exact function, which is what keeps its
+/// accuracy bit-identical to a rebuild-and-resimulate.
+///
+/// Classifiers read the `class` port; regressors dequantize the
+/// `score0` bus and round to the nearest class, exactly as the paper
+/// evaluates its MLP-R/SVM-R.
+///
+/// # Panics
+///
+/// Panics if the outputs lack the expected ports or the sample count
+/// differs from the dataset's.
+pub fn score_outputs(
+    model: &QuantizedModel,
+    data: &Dataset,
+    outputs: &SimOutputs,
+) -> (f64, Vec<usize>) {
+    assert_eq!(outputs.n_samples(), data.len(), "outputs do not cover the dataset");
     let predictions: Vec<usize> = if model.kind.is_classifier() {
-        sim.port_values("class").iter().map(|&v| v as usize).collect()
+        outputs.port_values("class").iter().map(|&v| v as usize).collect()
     } else {
-        let width = sim.port_width("score0").expect("regressor circuits expose score0");
-        sim.port_values("score0")
+        let width = outputs.port_width("score0").expect("regressor circuits expose score0");
+        outputs
+            .port_values("score0")
             .iter()
             .map(|&raw| {
                 let value = eval::to_signed(raw, width) as f64 * model.output_scale;
@@ -127,7 +155,7 @@ pub fn try_evaluate_compiled(
             .collect()
     };
     let accuracy = pax_ml::metrics::accuracy(&predictions, &data.labels);
-    Ok(EvalOutcome { accuracy, predictions, sim })
+    (accuracy, predictions)
 }
 
 #[cfg(test)]

@@ -60,6 +60,6 @@ mod harness;
 
 pub use build::BespokeCircuit;
 pub use harness::{
-    evaluate, evaluate_compiled, stimulus_for, stimulus_for_rows, try_evaluate_compiled,
-    EvalOutcome,
+    evaluate, evaluate_compiled, score_outputs, stimulus_for, stimulus_for_rows,
+    try_evaluate_compiled, EvalOutcome,
 };

@@ -34,6 +34,11 @@ pub enum StudyError {
         /// base circuit.
         use_coeff: bool,
     },
+    /// A parallel grid evaluation drained without a result for every
+    /// set. Unreachable unless a worker died without reporting an error
+    /// — this variant replaces the old `expect("every set evaluated")`
+    /// panic on the drain path.
+    IncompleteGrid,
 }
 
 impl std::fmt::Display for StudyError {
@@ -46,6 +51,9 @@ impl std::fmt::Display for StudyError {
                 "no evaluation context for {} candidates",
                 if *use_coeff { "coefficient-approximated" } else { "baseline" }
             ),
+            StudyError::IncompleteGrid => {
+                write!(f, "grid evaluation drained without a result for every pruned set")
+            }
         }
     }
 }
@@ -55,7 +63,7 @@ impl std::error::Error for StudyError {
         match self {
             StudyError::Library(e) => Some(e),
             StudyError::Sim(e) => Some(e),
-            StudyError::MissingContext { .. } => None,
+            StudyError::MissingContext { .. } | StudyError::IncompleteGrid => None,
         }
     }
 }

@@ -63,7 +63,7 @@ mod nsga2;
 mod objective;
 
 pub use archive::{HypervolumeError, ParetoArchive};
-pub use evaluator::{EvalCache, EvalContext, Evaluator};
+pub use evaluator::{EvalCache, EvalContext, EvalMode, Evaluator};
 pub use grid::ExhaustiveGrid;
 pub use nsga2::{resolve_seed, Nsga2, Nsga2Config};
 pub use objective::{Objective, ObjectiveAxis, ObjectiveSet};

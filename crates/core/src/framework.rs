@@ -494,6 +494,28 @@ impl Framework {
         train: &Dataset,
         point: &DesignPoint,
     ) -> (pax_netlist::Netlist, QuantizedModel) {
+        self.materialize_with_model_cached(model, train, point, None)
+    }
+
+    /// [`Framework::materialize_with_model`] reusing a caller-supplied
+    /// [`PruneAnalysis`](crate::prune::PruneAnalysis) instead of
+    /// re-simulating the training set per export.
+    ///
+    /// The analysis must have been computed (with `train`) on exactly
+    /// the base circuit this point materializes from — the optimized
+    /// bespoke netlist of the exact model for `Exact`/`PruneOnly`
+    /// points, of the coefficient-approximated model for
+    /// `CoeffApprox`/`Cross` points. Study drivers exporting many
+    /// design points of one study already hold that analysis (it drove
+    /// the exploration); threading it through here removes the
+    /// dominant per-export cost. Pass `None` to recompute.
+    pub fn materialize_with_model_cached(
+        &self,
+        model: &QuantizedModel,
+        train: &Dataset,
+        point: &DesignPoint,
+        cached: Option<&crate::prune::PruneAnalysis>,
+    ) -> (pax_netlist::Netlist, QuantizedModel) {
         let base_model = match point.technique {
             Technique::Exact | Technique::PruneOnly => model.clone(),
             Technique::CoeffApprox | Technique::Cross => {
@@ -508,14 +530,40 @@ impl Framework {
         let netlist = opt::optimize(&circuit.netlist);
         let netlist = match (point.tau_c, point.phi_c) {
             (Some(tau_c), Some(phi_c)) => {
-                let analysis = analyze(&netlist, &base_model, train);
+                let computed;
+                let analysis = match cached {
+                    Some(a) => {
+                        // A wrong-circuit analysis must fail loudly, not
+                        // silently mis-prune: besides the node count,
+                        // the candidate list is a structural fingerprint
+                        // (it is exactly the netlist's non-free gates in
+                        // id order, which two different base circuits
+                        // essentially never share).
+                        let candidates: Vec<pax_netlist::NetId> = netlist
+                            .iter()
+                            .filter_map(|(id, node)| match node {
+                                pax_netlist::Node::Gate(g) if !g.kind.is_free() => Some(id),
+                                _ => None,
+                            })
+                            .collect();
+                        assert!(
+                            a.tau.len() == netlist.len() && a.candidates == candidates,
+                            "cached analysis does not match the materialized base circuit"
+                        );
+                        a
+                    }
+                    None => {
+                        computed = analyze(&netlist, &base_model, train);
+                        &computed
+                    }
+                };
                 let set: Vec<pax_netlist::NetId> = analysis
                     .candidates
                     .iter()
                     .copied()
                     .filter(|&g| analysis.tau_of(g) >= tau_c - 1e-12 && analysis.phi_of(g) <= phi_c)
                     .collect();
-                apply_set(&netlist, &analysis, &set)
+                apply_set(&netlist, analysis, &set)
             }
             _ => netlist,
         };
@@ -645,6 +693,52 @@ mod tests {
         let base_nl = fw.materialize(&q, &train, &study.baseline);
         let base_re = fw.measure(&base_nl, &q, &test, Technique::Exact);
         assert!((base_re.area_mm2 - study.baseline.area_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn materialize_with_cached_analysis_matches_uncached() {
+        let data = blobs("ca", 220, 3, 3, 0.09, 654);
+        let (train, test) = data.split(0.7, 1);
+        let (train, test) = pax_ml::normalize(&train, &test);
+        let m = train_svm_classifier(&train, &SvmParams { epochs: 40, ..Default::default() }, 3);
+        let q = QuantizedModel::from_linear_classifier("ca", &m, QuantSpec::default());
+        let fw = Framework::new(FrameworkConfig::default());
+        let study = fw.run_study(&q, &train, &test);
+        let point = study
+            .prune_only
+            .iter()
+            .find(|p| p.tau_c.is_some())
+            .expect("pruned points exist")
+            .clone();
+        // The analysis a study driver would already hold: computed on
+        // the same optimized base circuit.
+        let base = {
+            let c = BespokeCircuit::generate(&q);
+            opt::optimize(&c.netlist)
+        };
+        let analysis = analyze(&base, &q, &train);
+        let (cached_nl, cached_model) =
+            fw.materialize_with_model_cached(&q, &train, &point, Some(&analysis));
+        let (fresh_nl, fresh_model) = fw.materialize_with_model(&q, &train, &point);
+        assert_eq!(cached_nl, fresh_nl, "cached analysis must not change the materialization");
+        assert_eq!(cached_model.name, fresh_model.name);
+    }
+
+    #[test]
+    #[should_panic(expected = "cached analysis does not match")]
+    fn mismatched_cached_analysis_is_rejected() {
+        let data = blobs("cb", 220, 3, 3, 0.09, 655);
+        let (train, test) = data.split(0.7, 1);
+        let (train, test) = pax_ml::normalize(&train, &test);
+        let m = train_svm_classifier(&train, &SvmParams { epochs: 40, ..Default::default() }, 3);
+        let q = QuantizedModel::from_linear_classifier("cb", &m, QuantSpec::default());
+        let fw = Framework::new(FrameworkConfig::default());
+        let study = fw.run_study(&q, &train, &test);
+        let point = study.prune_only.iter().find(|p| p.tau_c.is_some()).unwrap().clone();
+        // An analysis over a *different* (unoptimized) netlist must be
+        // rejected instead of silently mis-pruning.
+        let wrong = analyze(&BespokeCircuit::generate(&q).netlist, &q, &train);
+        let _ = fw.materialize_with_model_cached(&q, &train, &point, Some(&wrong));
     }
 
     #[test]

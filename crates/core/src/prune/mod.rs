@@ -22,11 +22,16 @@
 //! arising from different `(τc, φc)` pairs are evaluated once.
 
 mod analysis;
+mod overlay;
 mod search;
 
 pub use analysis::{analyze, analyze_compiled, PruneAnalysis};
-pub use search::{apply_set, enumerate_grid, evaluate_grid, GridCombo, PruneEval, PruneGrid};
-pub(crate) use search::{gate_set_hash, try_evaluate_set};
+pub use overlay::OverlayContext;
+pub(crate) use search::gate_set_hash;
+pub use search::{
+    apply_set, enumerate_grid, evaluate_grid, try_evaluate_grid, try_evaluate_set_rebuild,
+    GridCombo, PruneEval, PruneGrid,
+};
 
 /// Configuration of the pruning exploration.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,337 @@
+//! Overlay-based incremental candidate evaluation.
+//!
+//! The legacy pipeline rebuilds every pruning candidate from scratch:
+//! `apply_set` re-synthesizes the netlist, `CompiledNetlist::compile`
+//! builds a fresh tape, the full test set is re-quantized, re-packed
+//! and re-simulated, and area/power/STA walk the new netlist. For the
+//! paper's grid (thousands of `(τc, φc)` designs per circuit) that
+//! per-candidate setup dominates the exploration wall-clock.
+//!
+//! [`OverlayContext`] amortizes everything that does not actually
+//! depend on the candidate:
+//!
+//! * the **base tape** is compiled once and executed per candidate with
+//!   a [prune mask](pax_sim::CompiledNetlist::run_masked) — pruned
+//!   gates skip to their dominant constant via two reserved constant
+//!   slots, so downstream logic behaves exactly as if the netlist had
+//!   been rebuilt;
+//! * the **test stimulus** is quantized and bit-packed once
+//!   ([`PackedStimulus`]);
+//! * the candidate's **surviving structure** comes from the symbolic
+//!   fold ([`FoldedCircuit`]) — node-for-node the netlist
+//!   `apply_set` would have built, without building it — so the
+//!   area/power walks add the very same cell figures in the very same
+//!   order;
+//! * switching activity maps from masked base slots onto surviving
+//!   gates through the fold's [`Provenance`] (inversion preserves
+//!   toggle counts exactly);
+//! * timing is **re-timed incrementally**: only the affected cone (the
+//!   pruned set's transitive fanout) is recomputed through
+//!   [`pax_sta::DelayTable`]; every other gate reuses the base
+//!   circuit's arrival time.
+//!
+//! The result is **bit-for-bit identical** to the rebuild pipeline on
+//! all four measured axes (accuracy, area, power, delay) — pinned by
+//! the differential property suite in
+//! `crates/core/tests/proptest_overlay.rs` and by the golden cardio
+//! svm-r design point. The rebuild pipeline itself stays in
+//! `search.rs` as that suite's oracle.
+//!
+//! [`Provenance`]: pax_netlist::fold::Provenance
+
+use egt_pdk::{Library, PdkError, TechParams};
+use pax_bespoke::{score_outputs, stimulus_for};
+use pax_ml::quant::QuantizedModel;
+use pax_ml::Dataset;
+use pax_netlist::fold::FoldedCircuit;
+use pax_netlist::traverse::Fanout;
+use pax_netlist::{GateKind, NetId, Netlist};
+use pax_sim::power::PowerReport;
+use pax_sim::{CompiledNetlist, PackedStimulus};
+use pax_sta::DelayTable;
+
+use super::{PruneAnalysis, PruneEval};
+use crate::error::StudyError;
+
+/// Copied per-kind area/power cell figures (delay lives in
+/// [`DelayTable`]). Copies of the library's `f64`s produce the same
+/// sums as fresh `require` lookups, so caching them is observationally
+/// free.
+#[derive(Debug, Clone, Copy)]
+struct CellFigures {
+    area_mm2: f64,
+    static_uw: f64,
+    sw_energy_nj: f64,
+}
+
+/// Per-kind cell figures resolved once per base circuit. Missing cells
+/// surface as [`PdkError::UnknownCell`] only when a candidate actually
+/// uses the kind — the same contract as `Library::require`.
+#[derive(Debug, Clone)]
+struct CellTable {
+    cells: [Option<CellFigures>; GateKind::COUNT],
+}
+
+impl CellTable {
+    fn new(lib: &Library) -> Self {
+        let mut cells = [None; GateKind::COUNT];
+        for &kind in GateKind::all() {
+            if kind.is_free() {
+                continue;
+            }
+            cells[kind as usize] = lib.cell(kind.mnemonic()).map(|c| CellFigures {
+                area_mm2: c.area_mm2,
+                static_uw: c.static_uw,
+                sw_energy_nj: c.sw_energy_nj,
+            });
+        }
+        Self { cells }
+    }
+
+    fn require(&self, kind: GateKind) -> Result<CellFigures, PdkError> {
+        self.cells[kind as usize].ok_or_else(|| PdkError::UnknownCell(kind.mnemonic().to_owned()))
+    }
+}
+
+/// Everything candidate evaluation shares across one base circuit:
+/// the compiled tape, the packed test stimulus, resolved cell figures,
+/// the base timing profile and the fanout table the affected-cone
+/// analysis walks. Build once per `(base circuit, test set)` pair; then
+/// [`evaluate`](Self::evaluate) any number of pruned-gate sets without
+/// re-synthesis or recompilation.
+#[derive(Debug)]
+pub struct OverlayContext<'a> {
+    base: &'a Netlist,
+    model: &'a QuantizedModel,
+    test: &'a Dataset,
+    tech: &'a TechParams,
+    tape: CompiledNetlist,
+    packed: PackedStimulus,
+    cells: CellTable,
+    delays: DelayTable,
+    /// Base-circuit arrival times (`pax_sta` on the unpruned netlist) —
+    /// reused verbatim outside the affected cone.
+    base_arrival: Vec<f64>,
+    fanout: Fanout,
+}
+
+impl<'a> OverlayContext<'a> {
+    /// Compiles the shared tape, packs the test stimulus and profiles
+    /// the base circuit's timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError::Sim`] when the stimulus cannot be packed
+    /// against the base circuit's ports and [`StudyError::Library`]
+    /// when the library does not cover the base circuit's cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset's feature count differs from the model's
+    /// (a caller bug, exactly like the rebuild path).
+    pub fn new(
+        base: &'a Netlist,
+        model: &'a QuantizedModel,
+        test: &'a Dataset,
+        lib: &'a Library,
+        tech: &'a TechParams,
+    ) -> Result<Self, StudyError> {
+        // Single-threaded tape by default: evaluation runs inside an
+        // already-saturated worker pool, so nested word-parallelism
+        // would only oversubscribe the cores.
+        let tape = CompiledNetlist::compile(base).with_threads(1);
+        let packed = tape.pack(&stimulus_for(model, test))?;
+        let base_arrival = pax_sta::analyze(base, lib, tech)?.arrival_ms;
+        Ok(Self {
+            base,
+            model,
+            test,
+            tech,
+            tape,
+            packed,
+            cells: CellTable::new(lib),
+            delays: DelayTable::new(lib),
+            base_arrival,
+            fanout: Fanout::build(base),
+        })
+    }
+
+    /// Re-pins the shared tape's worker-thread count (`0` = automatic).
+    /// Results are bit-identical regardless — the thread-invariance
+    /// property tests run the same candidates at several counts.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.tape = self.tape.with_threads(threads);
+        self
+    }
+
+    /// The base netlist this context evaluates prunings of.
+    pub fn base(&self) -> &Netlist {
+        self.base
+    }
+
+    /// Evaluates one pruned-gate set as an overlay on the shared tape:
+    /// masked simulation for accuracy and switching activity, symbolic
+    /// fold for the surviving structure, incremental re-timing for the
+    /// critical path. Bit-identical to the rebuild pipeline
+    /// (`try_evaluate_set_rebuild`) on every [`PruneEval`] field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError::Library`] when the library lacks a cell a
+    /// surviving gate needs — the same condition the rebuild path
+    /// reports.
+    pub fn evaluate(
+        &self,
+        analysis: &PruneAnalysis,
+        set: &[NetId],
+    ) -> Result<PruneEval, StudyError> {
+        // `set` is sorted, so the (net, dominant) pairs are too.
+        let mask: Vec<(NetId, bool)> = set.iter().map(|&g| (g, analysis.dominant(g))).collect();
+
+        // Masked execution of the shared tape: the pruned gates' slots
+        // stream their dominant constants, everything downstream reacts
+        // exactly as the rebuilt netlist would.
+        let sim = self.tape.run_masked(&self.packed, &mask);
+        let (accuracy, _) = score_outputs(self.model, self.test, sim.outputs());
+
+        // The surviving structure — node-for-node what `apply_set`
+        // would rebuild.
+        let folded = FoldedCircuit::apply_sorted(self.base, &mask);
+
+        // Affected cone: the pruned set's transitive fanout in the base
+        // circuit. Gates outside it are isomorphic images of their base
+        // counterparts, so their base arrival times are reused verbatim.
+        let mut affected = vec![false; self.base.len()];
+        let mut stack: Vec<NetId> = set.to_vec();
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut affected[n.index()], true) {
+                continue;
+            }
+            for &t in self.fanout.of(n) {
+                if !affected[t.index()] {
+                    stack.push(t);
+                }
+            }
+        }
+
+        // One walk over the survivors in construction order — the same
+        // order (and therefore the same f64 summation sequence) as the
+        // rebuild path's separate area/power/STA walks.
+        let f_hz = self.tech.clock_hz();
+        let mut area_mm2 = 0.0;
+        let mut static_uw = 0.0;
+        let mut dynamic_uw = 0.0;
+        let mut arrival = vec![0.0f64; folded.len()];
+        for (i, node) in folded.nodes().iter().enumerate() {
+            let Some((kind, ins)) = node.gate() else { continue };
+            if kind.is_free() {
+                continue; // constants: no area, no power, no delay
+            }
+            let cell = self.cells.require(kind)?;
+            area_mm2 += cell.area_mm2;
+            static_uw += cell.static_uw;
+            let prov = folded.provenance(i).expect("non-constant folded nodes carry provenance");
+            // Toggle counts survive inversion, so the masked base slot
+            // stands in for the surviving gate's output exactly.
+            dynamic_uw += cell.sw_energy_nj * sim.activity.toggle_rate(prov.source) * f_hz * 1e-3;
+            if !prov.inverted && !affected[prov.source.index()] {
+                arrival[i] = self.base_arrival[prov.source.index()];
+            } else {
+                let delay = self.delays.delay_ms(kind)?;
+                let mut worst = 0.0;
+                for &inp in ins {
+                    if arrival[inp as usize] >= worst {
+                        worst = arrival[inp as usize];
+                    }
+                }
+                arrival[i] = worst + delay;
+            }
+        }
+        let mut critical_ms = 0.0;
+        for &bit in folded.output_bits() {
+            if arrival[bit as usize] >= critical_ms {
+                critical_ms = arrival[bit as usize];
+            }
+        }
+
+        let power = PowerReport {
+            static_mw: static_uw * 1e-3,
+            dynamic_mw: dynamic_uw * 1e-3,
+            io_floor_mw: self.tech.io_floor_mw,
+        };
+        Ok(PruneEval {
+            area_mm2,
+            power_mw: power.total_mw(),
+            accuracy,
+            gate_count: folded.gate_count(),
+            critical_ms,
+            n_pruned: set.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::{analyze, enumerate_grid, try_evaluate_set_rebuild, PruneConfig};
+    use pax_bespoke::BespokeCircuit;
+    use pax_ml::quant::QuantSpec;
+    use pax_ml::synth_data::blobs;
+
+    fn setup() -> (BespokeCircuit, Dataset, Dataset) {
+        let data = blobs("ov", 280, 3, 3, 0.09, 53);
+        let (train, test) = data.split(0.7, 1);
+        let (train, test) = pax_ml::normalize(&train, &test);
+        let m = pax_ml::train::svm::train_svm_classifier(
+            &train,
+            &pax_ml::train::svm::SvmParams { epochs: 50, ..Default::default() },
+            3,
+        );
+        let q =
+            pax_ml::quant::QuantizedModel::from_linear_classifier("ov", &m, QuantSpec::default());
+        let c = BespokeCircuit::generate(&q);
+        let c = c.with_netlist(pax_synth::opt::optimize(&c.netlist));
+        (c, train, test)
+    }
+
+    #[test]
+    fn overlay_is_bit_identical_to_rebuild_across_the_grid() {
+        let (c, train, test) = setup();
+        let lib = egt_pdk::egt_library();
+        let tech = egt_pdk::TechParams::egt();
+        let a = analyze(&c.netlist, &c.model, &train);
+        let grid = enumerate_grid(&a, &PruneConfig::default());
+        let ctx = OverlayContext::new(&c.netlist, &c.model, &test, &lib, &tech).unwrap();
+        for set in &grid.sets {
+            let overlay = ctx.evaluate(&a, set).unwrap();
+            let rebuild =
+                try_evaluate_set_rebuild(&c.netlist, &c.model, &test, &lib, &tech, &a, set)
+                    .unwrap();
+            assert_eq!(
+                overlay.accuracy.to_bits(),
+                rebuild.accuracy.to_bits(),
+                "accuracy diverged on |set| = {}",
+                set.len()
+            );
+            assert_eq!(overlay.area_mm2.to_bits(), rebuild.area_mm2.to_bits(), "area");
+            assert_eq!(overlay.power_mw.to_bits(), rebuild.power_mw.to_bits(), "power");
+            assert_eq!(overlay.critical_ms.to_bits(), rebuild.critical_ms.to_bits(), "delay");
+            assert_eq!(overlay.gate_count, rebuild.gate_count, "gate count");
+            assert_eq!(overlay.n_pruned, rebuild.n_pruned);
+        }
+        assert!(!grid.sets.is_empty());
+    }
+
+    #[test]
+    fn missing_library_cells_error_instead_of_panicking() {
+        let (c, train, test) = setup();
+        let empty = Library::new("empty", 1.0);
+        let tech = egt_pdk::TechParams::egt();
+        let _a = analyze(&c.netlist, &c.model, &train);
+        // The base timing profile already needs the library.
+        let err = OverlayContext::new(&c.netlist, &c.model, &test, &empty, &tech)
+            .expect_err("empty library cannot profile the base circuit");
+        assert!(matches!(err, StudyError::Library(PdkError::UnknownCell(_))));
+    }
+}

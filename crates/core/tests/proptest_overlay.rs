@@ -1,0 +1,248 @@
+//! Differential pinning of overlay evaluation against the rebuild
+//! pipeline.
+//!
+//! Overlay evaluation (`OverlayContext`: masked shared tape + symbolic
+//! fold + incremental re-timing) replaces the per-candidate
+//! re-synthesize/recompile/re-simulate pipeline everywhere. Its
+//! admission ticket is **bit-for-bit equality on every measured axis**
+//! — accuracy, area, power, critical-path delay (and gate counts) —
+//! against the legacy pipeline, which is kept as
+//! `try_evaluate_set_rebuild` solely to serve as this suite's oracle.
+//!
+//! Covered here, on real bespoke circuits (classifier *and* regressor,
+//! so both score-decoding paths run):
+//!
+//! * random `(τc, φc)` candidates → bit-equal `PruneEval`s;
+//! * thread-count invariance of the masked tape execution;
+//! * the public `Evaluator` paths (`EvalMode::Overlay` vs
+//!   `EvalMode::Rebuild`) producing identical `DesignPoint`s;
+//! * `try_evaluate_grid` surfacing library gaps as `StudyError`
+//!   instead of panicking.
+//!
+//! Run with a fixed seed (`PAX_PROPTEST_SEED=<n>`) for reproducible
+//! case streams — CI pins one in the `overlay-differential` job.
+
+use egt_pdk::{Library, TechParams};
+use pax_bespoke::BespokeCircuit;
+use pax_core::explore::{Candidate, EvalCache, EvalContext, EvalMode, Evaluator};
+use pax_core::prune::{
+    analyze, enumerate_grid, try_evaluate_grid, try_evaluate_set_rebuild, OverlayContext,
+    PruneAnalysis, PruneConfig, PruneEval,
+};
+use pax_core::StudyError;
+use pax_ml::quant::{QuantSpec, QuantizedModel};
+use pax_ml::synth_data::blobs;
+use pax_ml::Dataset;
+use pax_netlist::NetId;
+use proptest::prelude::*;
+
+struct Fixture {
+    circuit: BespokeCircuit,
+    analysis: PruneAnalysis,
+    test: Dataset,
+}
+
+fn classifier_fixture(seed: u64) -> Fixture {
+    let data = blobs("ovc", 260, 3, 3, 0.09, 40 + (seed % 5));
+    let (train, test) = data.split(0.7, 1);
+    let (train, test) = pax_ml::normalize(&train, &test);
+    let m = pax_ml::train::svm::train_svm_classifier(
+        &train,
+        &pax_ml::train::svm::SvmParams { epochs: 50, ..Default::default() },
+        3,
+    );
+    let q = QuantizedModel::from_linear_classifier("ovc", &m, QuantSpec::default());
+    let c = BespokeCircuit::generate(&q);
+    let circuit = c.with_netlist(pax_synth::opt::optimize(&c.netlist));
+    let analysis = analyze(&circuit.netlist, &circuit.model, &train);
+    Fixture { circuit, analysis, test }
+}
+
+fn regressor_fixture(seed: u64) -> Fixture {
+    let data = blobs("ovr", 240, 3, 3, 0.1, 90 + (seed % 5));
+    let (train, test) = data.split(0.7, 1);
+    let (train, test) = pax_ml::normalize(&train, &test);
+    let m = pax_ml::train::svr::train_svr(
+        &train,
+        &pax_ml::train::svr::SvrParams { epochs: 60, ..Default::default() },
+        7,
+    );
+    let q = QuantizedModel::from_svr("ovr", &m, train.n_classes, QuantSpec::default());
+    let c = BespokeCircuit::generate(&q);
+    let circuit = c.with_netlist(pax_synth::opt::optimize(&c.netlist));
+    let analysis = analyze(&circuit.netlist, &circuit.model, &train);
+    Fixture { circuit, analysis, test }
+}
+
+/// The candidate's gate set under the paper's step-3 filter.
+fn gate_set(a: &PruneAnalysis, tau_c: f64, phi_c: i64) -> Vec<NetId> {
+    let mut set: Vec<NetId> = a
+        .candidates
+        .iter()
+        .copied()
+        .filter(|&g| a.tau_of(g) >= tau_c - 1e-12 && a.phi_of(g) <= phi_c)
+        .collect();
+    set.sort_unstable();
+    set
+}
+
+fn assert_bit_equal(overlay: &PruneEval, rebuild: &PruneEval, what: &str) {
+    assert_eq!(overlay.accuracy.to_bits(), rebuild.accuracy.to_bits(), "{what}: accuracy");
+    assert_eq!(overlay.area_mm2.to_bits(), rebuild.area_mm2.to_bits(), "{what}: area");
+    assert_eq!(overlay.power_mw.to_bits(), rebuild.power_mw.to_bits(), "{what}: power");
+    assert_eq!(overlay.critical_ms.to_bits(), rebuild.critical_ms.to_bits(), "{what}: delay");
+    assert_eq!(overlay.gate_count, rebuild.gate_count, "{what}: gate count");
+    assert_eq!(overlay.n_pruned, rebuild.n_pruned, "{what}: n_pruned");
+}
+
+fn check_fixture(f: &Fixture, tau_c: f64, phi_c: i64, threads: usize) {
+    let lib = egt_pdk::egt_library();
+    let tech = TechParams::egt();
+    let set = gate_set(&f.analysis, tau_c, phi_c);
+    let ctx = OverlayContext::new(&f.circuit.netlist, &f.circuit.model, &f.test, &lib, &tech)
+        .expect("context over the EGT library")
+        .with_threads(threads);
+    let overlay = ctx.evaluate(&f.analysis, &set).expect("overlay evaluation");
+    let rebuild = try_evaluate_set_rebuild(
+        &f.circuit.netlist,
+        &f.circuit.model,
+        &f.test,
+        &lib,
+        &tech,
+        &f.analysis,
+        &set,
+    )
+    .expect("rebuild evaluation");
+    assert_bit_equal(
+        &overlay,
+        &rebuild,
+        &format!("τc={tau_c} φc={phi_c} |set|={} threads={threads}", set.len()),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Classifier circuits: overlay == rebuild on all four axes, for
+    /// random threshold pairs and thread counts.
+    #[test]
+    fn classifier_overlay_equals_rebuild(
+        seed in any::<u64>(),
+        tau_c in 0.5f64..1.0,
+        phi_raw in -1i64..12,
+        threads in 1usize..4,
+    ) {
+        let f = classifier_fixture(seed);
+        check_fixture(&f, tau_c, phi_raw, threads);
+    }
+
+    /// Regressor circuits exercise the `score0` dequantization path.
+    #[test]
+    fn regressor_overlay_equals_rebuild(
+        seed in any::<u64>(),
+        tau_c in 0.5f64..1.0,
+        phi_raw in -1i64..12,
+    ) {
+        let f = regressor_fixture(seed);
+        check_fixture(&f, tau_c, phi_raw, 1);
+    }
+}
+
+/// Every distinct set of the paper's grid, at several thread counts:
+/// the masked tape's chunked toggle counting must not leak into any
+/// measured figure.
+#[test]
+fn grid_sweep_is_thread_invariant_and_bit_identical() {
+    let f = classifier_fixture(1);
+    let lib = egt_pdk::egt_library();
+    let tech = TechParams::egt();
+    let grid = enumerate_grid(&f.analysis, &PruneConfig::default());
+    let reference: Vec<PruneEval> = grid
+        .sets
+        .iter()
+        .map(|s| {
+            try_evaluate_set_rebuild(
+                &f.circuit.netlist,
+                &f.circuit.model,
+                &f.test,
+                &lib,
+                &tech,
+                &f.analysis,
+                s,
+            )
+            .unwrap()
+        })
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let ctx = OverlayContext::new(&f.circuit.netlist, &f.circuit.model, &f.test, &lib, &tech)
+            .unwrap()
+            .with_threads(threads);
+        for (s, want) in grid.sets.iter().zip(&reference) {
+            let got = ctx.evaluate(&f.analysis, s).unwrap();
+            assert_bit_equal(&got, want, &format!("threads={threads} |set|={}", s.len()));
+        }
+    }
+}
+
+/// The public engine path: an `Evaluator` in overlay mode produces
+/// `DesignPoint`s identical to one in rebuild mode.
+#[test]
+fn evaluator_modes_agree_bit_for_bit() {
+    let f = classifier_fixture(2);
+    let lib = egt_pdk::egt_library();
+    let tech = TechParams::egt();
+    let contexts = || {
+        vec![EvalContext {
+            use_coeff: false,
+            netlist: &f.circuit.netlist,
+            model: &f.circuit.model,
+            analysis: f.analysis.clone(),
+        }]
+    };
+    let candidates: Vec<Candidate> = [(0.8, 3), (0.9, 0), (0.95, -1), (0.99, 8), (0.85, 5)]
+        .iter()
+        .map(|&(tau_c, phi_c)| Candidate { use_coeff: false, tau_c, phi_c })
+        .collect();
+
+    let overlay_eval = Evaluator::new(&lib, &tech, &f.test, contexts());
+    assert_eq!(overlay_eval.mode(), EvalMode::Overlay, "overlay is the default");
+    let (a, fresh_a) =
+        overlay_eval.evaluate_batch(&candidates, &mut EvalCache::new(), None).unwrap();
+
+    let rebuild_eval =
+        Evaluator::new(&lib, &tech, &f.test, contexts()).with_mode(EvalMode::Rebuild);
+    let (b, fresh_b) =
+        rebuild_eval.evaluate_batch(&candidates, &mut EvalCache::new(), None).unwrap();
+
+    assert_eq!(fresh_a, fresh_b);
+    assert_eq!(a.len(), b.len());
+    for ((ca, pa), (cb, pb)) in a.iter().zip(&b) {
+        assert_eq!(ca, cb);
+        assert_eq!(pa.accuracy.to_bits(), pb.accuracy.to_bits());
+        assert_eq!(pa.area_mm2.to_bits(), pb.area_mm2.to_bits());
+        assert_eq!(pa.power_mw.to_bits(), pb.power_mw.to_bits());
+        assert_eq!(pa.critical_ms.to_bits(), pb.critical_ms.to_bits());
+        assert_eq!(pa.gate_count, pb.gate_count);
+    }
+}
+
+/// Satellite: grid evaluation propagates library gaps as `StudyError`
+/// instead of panicking mid-pool.
+#[test]
+fn grid_evaluation_surfaces_library_errors() {
+    let f = classifier_fixture(3);
+    let empty = Library::new("empty", 1.0);
+    let tech = TechParams::egt();
+    let grid = enumerate_grid(&f.analysis, &PruneConfig::default());
+    let err = try_evaluate_grid(
+        &f.circuit.netlist,
+        &f.circuit.model,
+        &f.test,
+        &empty,
+        &tech,
+        &f.analysis,
+        &grid,
+    )
+    .expect_err("empty library must fail, not panic");
+    assert!(matches!(err, StudyError::Library(_)), "got {err}");
+}

@@ -1,0 +1,964 @@
+//! Flat constant-fold replay — the structural core of overlay-based
+//! incremental pruning evaluation.
+//!
+//! Pruning a gate set replaces each selected net with its dominant
+//! constant and re-synthesizes:
+//! `opt::apply_constants = sweep(replay(..))`, where both passes run
+//! through the hash-consing, constant-folding
+//! [`NetlistBuilder`](crate::NetlistBuilder). That
+//! rebuild is exact but allocation-heavy: two full builder passes plus a
+//! fresh [`Netlist`] per explored candidate.
+//!
+//! [`FoldedCircuit::apply`] performs the *same two passes* symbolically
+//! on flat arrays: no [`Node`] vector, no port clones, no intermediate
+//! netlist — just per-node kind/operand slots, an injectively-keyed
+//! dedup map and the exact fold rules of the builder, mirrored method
+//! for method. The result is node-for-node identical to the rebuilt
+//! netlist (the differential property suite in
+//! `crates/synth/tests/proptest_fold.rs` pins
+//! `FoldedCircuit::apply(..).materialize(..) == opt::apply_constants(..)`
+//! on random netlists × substitution sets), which is what lets overlay
+//! evaluation reproduce area/power/timing **bit for bit** without ever
+//! constructing the pruned netlist.
+//!
+//! On top of the structure, every folded node carries a
+//! [`Provenance`]: a source-netlist net whose value stream (under the
+//! substitution) equals the folded node's, possibly inverted. Builder
+//! folds are function-preserving identities, so the image of source net
+//! `n` always streams `n`'s substituted value; the only nodes created
+//! *besides* images are inverter intermediates (from the mux
+//! constant-arm folds), whose streams are the inversion of their
+//! operand's. Inversion flips every sample, so toggle counts are
+//! preserved exactly — the provenance is what lets a masked simulation
+//! of the *base* circuit stand in for a simulation of the pruned one
+//! when accounting switching activity.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//! use pax_netlist::{fold::FoldedCircuit, NetlistBuilder};
+//!
+//! let mut b = NetlistBuilder::new("t");
+//! let x = b.input_port("x", 3);
+//! let a = b.and2(x[0], x[1]);
+//! let y = b.xor2(a, x[2]);
+//! b.output_port("y", vec![y].into());
+//! let nl = b.finish();
+//!
+//! // Force the AND to 1: y folds to !x2, the AND cone dies.
+//! let mut subst = BTreeMap::new();
+//! subst.insert(a, true);
+//! let folded = FoldedCircuit::apply(&nl, &subst);
+//! assert_eq!(folded.gate_count(), 1); // a single inverter survives
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::{Gate, GateKind, NetId, Netlist, Node, Port};
+
+/// Which source-netlist value stream a folded node carries.
+///
+/// Under the substitution the fold was built with, the folded node's
+/// per-sample value equals the (substituted) value of `source` —
+/// inverted when `inverted` is set. Inversion flips every sample, so
+/// toggle counts are identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Provenance {
+    /// The source-netlist net streaming the same values.
+    pub source: NetId,
+    /// Whether the folded node streams the complement.
+    pub inverted: bool,
+}
+
+/// One node of a [`FoldedCircuit`] — the flat mirror of [`Node`].
+/// Unused operand slots are padded with `0`, exactly like
+/// [`Gate`]'s inline storage (the padding participates in dedup keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoldNode {
+    /// Primary input: bit `bit` of input port `port`.
+    Input {
+        /// Index into the source netlist's `input_ports()`.
+        port: u16,
+        /// Bit position within the port (LSB = 0).
+        bit: u16,
+    },
+    /// A logic gate over earlier folded nodes.
+    Gate {
+        /// Cell function.
+        kind: GateKind,
+        /// Operand node indices; only the first `kind.arity()` are real.
+        ins: [u32; 3],
+    },
+}
+
+impl FoldNode {
+    /// The gate view: kind plus its real (arity-trimmed) operands.
+    pub fn gate(&self) -> Option<(GateKind, &[u32])> {
+        match self {
+            FoldNode::Gate { kind, ins } => Some((*kind, &ins[..kind.arity()])),
+            FoldNode::Input { .. } => None,
+        }
+    }
+}
+
+/// The (kind, operands) signature is at most 8 + 3×32 bits, so it packs
+/// injectively into a `u128` — hash-consing needs no collision checks.
+fn sig(kind: GateKind, ins: [u32; 3]) -> u128 {
+    (kind as u128) | (ins[0] as u128) << 8 | (ins[1] as u128) << 40 | (ins[2] as u128) << 72
+}
+
+fn sig_hash(key: u128) -> u64 {
+    const K: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut h = (key as u64).wrapping_mul(K);
+    h = h.rotate_left(29).wrapping_mul(K);
+    h ^= ((key >> 64) as u64).wrapping_mul(K);
+    h.rotate_left(29).wrapping_mul(K)
+}
+
+/// Open-addressing hash-consing table over the injective signatures.
+/// This map *is* the fold's hot path (two inserts-or-hits per source
+/// gate); linear probing over flat arrays beats `std::HashMap` by a
+/// wide margin here and the keys are never deleted.
+#[derive(Debug, Clone)]
+struct SigMap {
+    /// Power-of-two probe mask.
+    mask: usize,
+    keys: Vec<u128>,
+    /// Parallel values; `u32::MAX` marks an empty slot (node ids are
+    /// bounded far below it by the compile-time netlist size cap).
+    vals: Vec<u32>,
+    len: usize,
+}
+
+impl SigMap {
+    fn with_capacity(n: usize) -> Self {
+        let cap = (n * 2).next_power_of_two().max(16);
+        Self { mask: cap - 1, keys: vec![0; cap], vals: vec![u32::MAX; cap], len: 0 }
+    }
+
+    /// One probe for the hash-consing pattern: the existing value, or
+    /// the empty slot index the caller will fill via
+    /// [`fill`](Self::fill). Growth happens *before* probing, so the
+    /// returned slot stays valid.
+    fn get_or_slot(&mut self, key: u128) -> Result<u32, usize> {
+        if self.len * 4 >= self.mask * 3 {
+            self.grow();
+        }
+        let mut i = sig_hash(key) as usize & self.mask;
+        loop {
+            let v = self.vals[i];
+            if v == u32::MAX {
+                return Err(i);
+            }
+            if self.keys[i] == key {
+                return Ok(v);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn fill(&mut self, slot: usize, key: u128, val: u32) {
+        debug_assert_eq!(self.vals[slot], u32::MAX);
+        self.keys[slot] = key;
+        self.vals[slot] = val;
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; (self.mask + 1) * 2]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![u32::MAX; (self.mask + 1) * 2]);
+        self.mask = self.keys.len() - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if v != u32::MAX {
+                match self.get_or_slot(k) {
+                    Err(slot) => self.fill(slot, k, v),
+                    Ok(_) => unreachable!("duplicate key during rehash"),
+                }
+            }
+        }
+    }
+}
+
+/// The symbolic builder: [`NetlistBuilder`]'s folding, canonicalization
+/// and hash-consing rules mirrored method for method on flat arrays.
+/// Any change to the builder's fold rules must be reflected here — the
+/// `proptest_fold` differential suite enforces the equivalence.
+///
+/// [`NetlistBuilder`]: crate::NetlistBuilder
+struct FoldBuilder {
+    nodes: Vec<FoldNode>,
+    /// Per-node provenance in the *previous* pass's id space, packed as
+    /// `source << 1 | inverted` (`u64::MAX` = none: constants carry no
+    /// stream).
+    prov: Vec<u64>,
+    dedup: SigMap,
+    const0: Option<u32>,
+    const1: Option<u32>,
+    /// Sweep-pass mode: hash-cons only the AND/OR family. A sweep over
+    /// an already-folded circuit can never create duplicate structure —
+    /// *except* for the dead AND3/OR3 companions the NAND3/NOR3 folds
+    /// re-create, which must dedup against live AND-family gates. The
+    /// differential `proptest_fold` suite (full pipeline vs
+    /// `opt::apply_constants` on random netlists) guards this
+    /// assumption.
+    sweep_consing: bool,
+}
+
+const PROV_NONE: u64 = u64::MAX;
+
+fn prov_pack(source: u32, inverted: bool) -> u64 {
+    (source as u64) << 1 | inverted as u64
+}
+
+fn prov_unpack(p: u64) -> Option<(u32, bool)> {
+    (p != PROV_NONE).then_some(((p >> 1) as u32, p & 1 == 1))
+}
+
+impl FoldBuilder {
+    /// `capacity` sizes the node and dedup storage (the source node
+    /// count is the right ballpark — folds only shrink it).
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(capacity + 8),
+            prov: Vec::with_capacity(capacity + 8),
+            dedup: SigMap::with_capacity(capacity + 8),
+            const0: None,
+            const1: None,
+            sweep_consing: false,
+        }
+    }
+
+    fn input(&mut self, port: u16, bit: u16, source: u32) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(FoldNode::Input { port, bit });
+        self.prov.push(prov_pack(source, false));
+        id
+    }
+
+    fn kind_of(&self, n: u32) -> Option<GateKind> {
+        match self.nodes[n as usize] {
+            FoldNode::Gate { kind, .. } => Some(kind),
+            FoldNode::Input { .. } => None,
+        }
+    }
+
+    fn is_const(&self, n: u32) -> Option<bool> {
+        match self.kind_of(n) {
+            Some(GateKind::Const0) => Some(false),
+            Some(GateKind::Const1) => Some(true),
+            _ => None,
+        }
+    }
+
+    fn as_not(&self, n: u32) -> Option<u32> {
+        match self.nodes[n as usize] {
+            FoldNode::Gate { kind: GateKind::Not, ins } => Some(ins[0]),
+            _ => None,
+        }
+    }
+
+    fn complementary(&self, a: u32, b: u32) -> bool {
+        self.as_not(a) == Some(b) || self.as_not(b) == Some(a)
+    }
+
+    fn push(&mut self, kind: GateKind, ins: &[u32]) -> u32 {
+        let mut arr = [0u32; 3];
+        arr[..ins.len()].copy_from_slice(ins);
+        if self.sweep_consing
+            && !matches!(kind, GateKind::And2 | GateKind::And3 | GateKind::Or2 | GateKind::Or3)
+        {
+            // Sweep mode: non-AND/OR structure can never repeat, so the
+            // dedup probe (and insert) is pure overhead.
+            let id = self.nodes.len() as u32;
+            self.nodes.push(FoldNode::Gate { kind, ins: arr });
+            self.prov.push(PROV_NONE);
+            return id;
+        }
+        let key = sig(kind, arr);
+        match self.dedup.get_or_slot(key) {
+            Ok(id) => id,
+            Err(slot) => {
+                let id = self.nodes.len() as u32;
+                self.nodes.push(FoldNode::Gate { kind, ins: arr });
+                self.prov.push(PROV_NONE);
+                self.dedup.fill(slot, key, id);
+                id
+            }
+        }
+    }
+
+    fn push_canonical(&mut self, kind: GateKind, ins: &mut [u32]) -> u32 {
+        if kind.is_commutative() {
+            ins.sort_unstable();
+        }
+        self.push(kind, ins)
+    }
+
+    fn const0(&mut self) -> u32 {
+        if let Some(id) = self.const0 {
+            return id;
+        }
+        let id = self.push(GateKind::Const0, &[]);
+        self.const0 = Some(id);
+        id
+    }
+
+    fn const1(&mut self) -> u32 {
+        if let Some(id) = self.const1 {
+            return id;
+        }
+        let id = self.push(GateKind::Const1, &[]);
+        self.const1 = Some(id);
+        id
+    }
+
+    fn constant(&mut self, value: bool) -> u32 {
+        if value {
+            self.const1()
+        } else {
+            self.const0()
+        }
+    }
+
+    fn not(&mut self, a: u32) -> u32 {
+        if let Some(v) = self.is_const(a) {
+            return self.constant(!v);
+        }
+        if let Some(x) = self.as_not(a) {
+            return x;
+        }
+        let id = self.push(GateKind::Not, &[a]);
+        // A freshly created inverter streams the complement of its
+        // operand; a deduped hit keeps its earlier provenance.
+        if self.prov[id as usize] == PROV_NONE && self.prov[a as usize] != PROV_NONE {
+            self.prov[id as usize] = self.prov[a as usize] ^ 1;
+        }
+        id
+    }
+
+    fn and2(&mut self, a: u32, b: u32) -> u32 {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.const0(),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.complementary(a, b) {
+            return self.const0();
+        }
+        self.push_canonical(GateKind::And2, &mut [a, b])
+    }
+
+    fn nand2(&mut self, a: u32, b: u32) -> u32 {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.const1(),
+            (Some(true), _) => return self.not(b),
+            (_, Some(true)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.not(a);
+        }
+        if self.complementary(a, b) {
+            return self.const1();
+        }
+        self.push_canonical(GateKind::Nand2, &mut [a, b])
+    }
+
+    fn or2(&mut self, a: u32, b: u32) -> u32 {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.const1(),
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.complementary(a, b) {
+            return self.const1();
+        }
+        self.push_canonical(GateKind::Or2, &mut [a, b])
+    }
+
+    fn nor2(&mut self, a: u32, b: u32) -> u32 {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.const0(),
+            (Some(false), _) => return self.not(b),
+            (_, Some(false)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.not(a);
+        }
+        if self.complementary(a, b) {
+            return self.const0();
+        }
+        self.push_canonical(GateKind::Nor2, &mut [a, b])
+    }
+
+    fn xor2(&mut self, a: u32, b: u32) -> u32 {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return self.not(b),
+            (_, Some(true)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.const0();
+        }
+        if self.complementary(a, b) {
+            return self.const1();
+        }
+        if let (Some(x), Some(y)) = (self.as_not(a), self.as_not(b)) {
+            return self.xor2(x, y);
+        }
+        self.push_canonical(GateKind::Xor2, &mut [a, b])
+    }
+
+    fn xnor2(&mut self, a: u32, b: u32) -> u32 {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            (Some(false), _) => return self.not(b),
+            (_, Some(false)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.const1();
+        }
+        if self.complementary(a, b) {
+            return self.const0();
+        }
+        if let (Some(x), Some(y)) = (self.as_not(a), self.as_not(b)) {
+            return self.xnor2(x, y);
+        }
+        self.push_canonical(GateKind::Xnor2, &mut [a, b])
+    }
+
+    /// The 3-input folds filter constant operands exactly like the
+    /// builder's `Vec`-based code, on stack arrays (this is a hot
+    /// path): `absorbing` short-circuits the whole gate, `neutral`
+    /// operands drop out of `live`.
+    fn live3(&self, ops: [u32; 3], absorbing: bool) -> Result<([u32; 3], usize), ()> {
+        let mut live = [0u32; 3];
+        let mut n = 0;
+        for &x in &ops {
+            match self.is_const(x) {
+                Some(v) if v == absorbing => return Err(()),
+                Some(_) => {}
+                None => {
+                    live[n] = x;
+                    n += 1;
+                }
+            }
+        }
+        Ok((live, n))
+    }
+
+    fn and3(&mut self, a: u32, b: u32, c: u32) -> u32 {
+        let Ok((live, n)) = self.live3([a, b, c], false) else {
+            return self.const0();
+        };
+        match n {
+            0 => self.const1(),
+            1 => live[0],
+            2 => self.and2(live[0], live[1]),
+            _ => {
+                if live[0] == live[1] {
+                    return self.and2(live[0], live[2]);
+                }
+                if live[1] == live[2] || live[0] == live[2] {
+                    return self.and2(live[0], live[1]);
+                }
+                if self.complementary(live[0], live[1])
+                    || self.complementary(live[1], live[2])
+                    || self.complementary(live[0], live[2])
+                {
+                    return self.const0();
+                }
+                self.push_canonical(GateKind::And3, &mut [live[0], live[1], live[2]])
+            }
+        }
+    }
+
+    fn or3(&mut self, a: u32, b: u32, c: u32) -> u32 {
+        let Ok((live, n)) = self.live3([a, b, c], true) else {
+            return self.const1();
+        };
+        match n {
+            0 => self.const0(),
+            1 => live[0],
+            2 => self.or2(live[0], live[1]),
+            _ => {
+                if live[0] == live[1] {
+                    return self.or2(live[0], live[2]);
+                }
+                if live[1] == live[2] || live[0] == live[2] {
+                    return self.or2(live[0], live[1]);
+                }
+                if self.complementary(live[0], live[1])
+                    || self.complementary(live[1], live[2])
+                    || self.complementary(live[0], live[2])
+                {
+                    return self.const1();
+                }
+                self.push_canonical(GateKind::Or3, &mut [live[0], live[1], live[2]])
+            }
+        }
+    }
+
+    fn nand3(&mut self, a: u32, b: u32, c: u32) -> u32 {
+        let and = self.and3(a, b, c);
+        if let FoldNode::Gate { kind, ins } = self.nodes[and as usize] {
+            if kind == GateKind::And3 {
+                return self.push_canonical(GateKind::Nand3, &mut [ins[0], ins[1], ins[2]]);
+            }
+            if kind == GateKind::And2 {
+                return self.push_canonical(GateKind::Nand2, &mut [ins[0], ins[1]]);
+            }
+        }
+        self.not(and)
+    }
+
+    fn nor3(&mut self, a: u32, b: u32, c: u32) -> u32 {
+        let or = self.or3(a, b, c);
+        if let FoldNode::Gate { kind, ins } = self.nodes[or as usize] {
+            if kind == GateKind::Or3 {
+                return self.push_canonical(GateKind::Nor3, &mut [ins[0], ins[1], ins[2]]);
+            }
+            if kind == GateKind::Or2 {
+                return self.push_canonical(GateKind::Nor2, &mut [ins[0], ins[1]]);
+            }
+        }
+        self.not(or)
+    }
+
+    fn mux(&mut self, sel: u32, a: u32, b: u32) -> u32 {
+        match self.is_const(sel) {
+            Some(true) => return a,
+            Some(false) => return b,
+            None => {}
+        }
+        if a == b {
+            return a;
+        }
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(true), Some(false)) => return sel,
+            (Some(false), Some(true)) => return self.not(sel),
+            (Some(true), None) => return self.or2(sel, b),
+            (Some(false), None) => {
+                let ns = self.not(sel);
+                return self.and2(ns, b);
+            }
+            (None, Some(true)) => {
+                let ns = self.not(sel);
+                return self.or2(ns, a);
+            }
+            (None, Some(false)) => return self.and2(sel, a),
+            _ => {}
+        }
+        if self.complementary(a, b) {
+            return self.xnor2(sel, a);
+        }
+        self.push(GateKind::Mux2, &[sel, a, b])
+    }
+
+    /// [`opt::replay`]'s `emit`: dispatches a source gate kind onto the
+    /// folding constructors (buffers are transparent).
+    ///
+    /// [`opt::replay`]: ../../pax_synth/opt/index.html
+    fn emit(&mut self, kind: GateKind, ins: &[u32]) -> u32 {
+        use GateKind::*;
+        match kind {
+            Const0 => self.const0(),
+            Const1 => self.const1(),
+            Buf => ins[0],
+            Not => self.not(ins[0]),
+            And2 => self.and2(ins[0], ins[1]),
+            Nand2 => self.nand2(ins[0], ins[1]),
+            Or2 => self.or2(ins[0], ins[1]),
+            Nor2 => self.nor2(ins[0], ins[1]),
+            Xor2 => self.xor2(ins[0], ins[1]),
+            Xnor2 => self.xnor2(ins[0], ins[1]),
+            And3 => self.and3(ins[0], ins[1], ins[2]),
+            Or3 => self.or3(ins[0], ins[1], ins[2]),
+            Nand3 => self.nand3(ins[0], ins[1], ins[2]),
+            Nor3 => self.nor3(ins[0], ins[1], ins[2]),
+            Mux2 => self.mux(ins[0], ins[1], ins[2]),
+        }
+    }
+
+    /// Records the provenance of everything one `emit` produced. The
+    /// image `img` streams source node `source`'s (substituted) value.
+    /// Any *other* node created during the emit (`created_from` is the
+    /// node count before it) that still lacks provenance is an
+    /// AND3/OR3 companion freshly re-created inside the NAND3/NOR3
+    /// folds — its stream is exactly the complement of the source's.
+    /// First claim wins — a deduped image already carries an
+    /// equivalent provenance.
+    fn claim(&mut self, created_from: usize, img: u32, source: u32) {
+        if self.prov[img as usize] == PROV_NONE
+            && !matches!(self.kind_of(img), Some(k) if k.is_free())
+        {
+            self.prov[img as usize] = prov_pack(source, false);
+        }
+        for id in created_from..self.nodes.len() {
+            if self.prov[id] == PROV_NONE
+                && !matches!(self.kind_of(id as u32), Some(k) if k.is_free())
+            {
+                self.prov[id] = prov_pack(source, true);
+            }
+        }
+    }
+}
+
+/// One fold pass's output: the built nodes plus the source→image map
+/// and the mapped output-port bits (flat, ports in declaration order).
+struct Pass {
+    b: FoldBuilder,
+    outputs: Vec<u32>,
+}
+
+/// Mirror of `opt::replay`: every source node replayed through the
+/// folding constructors, with `subst` nets (sorted by id) replaced by
+/// constants first. A cursor over the sorted substitution replaces the
+/// per-node map lookup — ids are visited in ascending order.
+fn replay_pass(nl: &Netlist, subst: &[(NetId, bool)]) -> Pass {
+    debug_assert!(subst.windows(2).all(|w| w[0].0 < w[1].0), "substitution must be sorted");
+    let mut b = FoldBuilder::with_capacity(nl.len());
+    let mut map: Vec<u32> = vec![u32::MAX; nl.len()];
+    for (pi, p) in nl.input_ports().iter().enumerate() {
+        for (bit, old) in p.bits.iter().enumerate() {
+            map[old.index()] = b.input(pi as u16, bit as u16, old.index() as u32);
+        }
+    }
+    let mut cursor = subst.iter().peekable();
+    for (id, node) in nl.iter() {
+        if let Some(&&(net, v)) = cursor.peek() {
+            if net == id {
+                cursor.next();
+                map[id.index()] = b.constant(v);
+                continue;
+            }
+        }
+        let Node::Gate(g) = node else { continue };
+        let mut ins = [0u32; 3];
+        for (slot, i) in ins.iter_mut().zip(g.inputs()) {
+            *slot = map[i.index()];
+        }
+        let before = b.nodes.len();
+        let img = b.emit(g.kind, &ins[..g.inputs().len()]);
+        map[id.index()] = img;
+        b.claim(before, img, id.index() as u32);
+    }
+    let outputs =
+        nl.output_ports().iter().flat_map(|p| p.bits.iter().map(|n| map[n.index()])).collect();
+    Pass { b, outputs }
+}
+
+/// Mirror of `opt::sweep` over a previous pass: re-emit the gates on a
+/// path to an output port, in order, through a fresh fold builder.
+fn sweep_pass(prev: &Pass) -> Pass {
+    // Liveness: transitive fanin of the output bits (gates only).
+    let mut live = vec![false; prev.b.nodes.len()];
+    let mut stack: Vec<u32> = prev.outputs.clone();
+    while let Some(n) = stack.pop() {
+        if std::mem::replace(&mut live[n as usize], true) {
+            continue;
+        }
+        if let Some((_, ins)) = prev.b.nodes[n as usize].gate() {
+            for &i in ins {
+                if !live[i as usize] {
+                    stack.push(i);
+                }
+            }
+        }
+    }
+
+    let mut b = FoldBuilder::with_capacity(prev.b.nodes.len());
+    b.sweep_consing = true;
+    let mut map: Vec<u32> = vec![u32::MAX; prev.b.nodes.len()];
+    for (id, node) in prev.b.nodes.iter().enumerate() {
+        match *node {
+            FoldNode::Input { port, bit } => {
+                // Inputs are always rebuilt; they lead the node list in
+                // port order, exactly like `rebuild_inputs`.
+                map[id] = b.input(port, bit, id as u32);
+            }
+            FoldNode::Gate { kind, ins } => {
+                if !live[id] {
+                    continue;
+                }
+                let mut mapped = [0u32; 3];
+                for (slot, &i) in mapped.iter_mut().zip(ins[..kind.arity()].iter()) {
+                    *slot = map[i as usize];
+                }
+                let before = b.nodes.len();
+                let img = b.emit(kind, &mapped[..kind.arity()]);
+                map[id] = img;
+                b.claim(before, img, id as u32);
+            }
+        }
+    }
+    let outputs = prev.outputs.iter().map(|&o| map[o as usize]).collect();
+    Pass { b, outputs }
+}
+
+/// The folded-and-swept image of a netlist under a constant
+/// substitution: node-for-node the structure `opt::apply_constants`
+/// would build, without building it. See the module docs.
+#[derive(Debug, Clone)]
+pub struct FoldedCircuit {
+    nodes: Vec<FoldNode>,
+    prov: Vec<Option<Provenance>>,
+    outputs: Vec<u32>,
+}
+
+impl FoldedCircuit {
+    /// Runs the two mirrored passes (constant-substituting replay, then
+    /// dead-cone sweep) of `opt::apply_constants` on `nl`.
+    pub fn apply(nl: &Netlist, subst: &BTreeMap<NetId, bool>) -> Self {
+        let pairs: Vec<(NetId, bool)> = subst.iter().map(|(&n, &v)| (n, v)).collect();
+        Self::apply_sorted(nl, &pairs)
+    }
+
+    /// [`FoldedCircuit::apply`] over an id-sorted substitution slice —
+    /// the zero-copy entry point for callers that already hold a sorted
+    /// pruned-gate set.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the slice is strictly sorted by net id.
+    pub fn apply_sorted(nl: &Netlist, subst: &[(NetId, bool)]) -> Self {
+        let replayed = replay_pass(nl, subst);
+        let swept = sweep_pass(&replayed);
+        // Compose the sweep's provenance (in replay ids) with the
+        // replay's (in source ids).
+        let prov = swept
+            .b
+            .prov
+            .iter()
+            .map(|&p| {
+                prov_unpack(p).and_then(|(replay_id, inv2)| {
+                    prov_unpack(replayed.b.prov[replay_id as usize]).map(|(source, inv1)| {
+                        Provenance {
+                            source: NetId::from_index(source as usize),
+                            inverted: inv1 ^ inv2,
+                        }
+                    })
+                })
+            })
+            .collect();
+        Self { nodes: swept.b.nodes, prov, outputs: swept.outputs }
+    }
+
+    /// Number of folded nodes (inputs + surviving gates).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the fold produced no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The folded nodes, in the exact order `opt::apply_constants`
+    /// would construct them.
+    pub fn nodes(&self) -> &[FoldNode] {
+        &self.nodes
+    }
+
+    /// Value provenance of folded node `i` (`None` for constants).
+    pub fn provenance(&self, i: usize) -> Option<Provenance> {
+        self.prov[i]
+    }
+
+    /// The folded output-port bits, flat in declaration order (widths
+    /// follow the source netlist's).
+    pub fn output_bits(&self) -> &[u32] {
+        &self.outputs
+    }
+
+    /// Mirror of [`Netlist::gate_count`]: surviving area-occupying
+    /// gates (constants and inputs excluded).
+    pub fn gate_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n.gate(), Some((k, _)) if !k.is_free())).count()
+    }
+
+    /// Reconstructs the folded structure as a real [`Netlist`] (ports
+    /// named after `source`'s). This is the differential-test hook: the
+    /// result must equal `opt::apply_constants(source, subst)` exactly.
+    pub fn materialize(&self, source: &Netlist) -> Netlist {
+        let nodes: Vec<Node> = self
+            .nodes
+            .iter()
+            .map(|n| match *n {
+                FoldNode::Input { port, bit } => Node::Input { port, bit },
+                FoldNode::Gate { kind, ins } => {
+                    let ids: Vec<NetId> = ins[..kind.arity()]
+                        .iter()
+                        .map(|&i| NetId::from_index(i as usize))
+                        .collect();
+                    Node::Gate(Gate::new(kind, &ids))
+                }
+            })
+            .collect();
+        let mut input_ports: Vec<Port> = source
+            .input_ports()
+            .iter()
+            .map(|p| Port { name: p.name.clone(), bits: Vec::with_capacity(p.width()) })
+            .collect();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let FoldNode::Input { port, .. } = n {
+                input_ports[*port as usize].bits.push(NetId::from_index(i));
+            }
+        }
+        let mut output_ports = Vec::with_capacity(source.output_ports().len());
+        let mut cursor = self.outputs.iter();
+        for p in source.output_ports() {
+            let bits: Vec<NetId> =
+                cursor.by_ref().take(p.width()).map(|&o| NetId::from_index(o as usize)).collect();
+            output_ports.push(Port { name: p.name.clone(), bits });
+        }
+        Netlist { name: source.name().to_owned(), nodes, input_ports, output_ports }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eval, validate, NetlistBuilder};
+
+    fn sample() -> (Netlist, Vec<NetId>) {
+        let mut b = NetlistBuilder::new("s");
+        let x = b.input_port("x", 4);
+        let a = b.and2(x[0], x[1]);
+        let o = b.or3(a, x[2], x[3]);
+        let n = b.nand3(a, o, x[0]);
+        let m = b.mux(x[3], a, n);
+        let y = b.xor2(m, o);
+        b.output_port("y", vec![y, n].into());
+        (b.finish(), vec![a, o, n, m, y])
+    }
+
+    /// Scalar reference: every source net's value under a forced
+    /// substitution.
+    fn forced_values(nl: &Netlist, subst: &BTreeMap<NetId, bool>, sample: u64) -> Vec<bool> {
+        let mut vals = vec![false; nl.len()];
+        for (id, node) in nl.iter() {
+            let v = match node {
+                Node::Input { port, bit } => {
+                    let base: usize =
+                        nl.input_ports()[..*port as usize].iter().map(Port::width).sum();
+                    sample >> (base + *bit as usize) & 1 == 1
+                }
+                Node::Gate(g) => {
+                    let ins: Vec<bool> = g.inputs().iter().map(|i| vals[i.index()]).collect();
+                    g.kind.eval_bool(&ins)
+                }
+            };
+            vals[id.index()] = subst.get(&id).copied().unwrap_or(v);
+        }
+        vals
+    }
+
+    #[test]
+    fn empty_substitution_reproduces_optimize_shape() {
+        let (nl, _) = sample();
+        let folded = FoldedCircuit::apply(&nl, &BTreeMap::new());
+        let m = folded.materialize(&nl);
+        validate::assert_valid(&m);
+        assert_eq!(m.input_ports(), nl.input_ports());
+        assert_eq!(m.output_ports().len(), nl.output_ports().len());
+        // Function preserved on every input pattern.
+        for p in 0u64..16 {
+            assert_eq!(
+                eval::eval_ports(&m, &[("x", p)]),
+                eval::eval_ports(&nl, &[("x", p)]),
+                "pattern {p:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn substitution_forces_constants_and_sweeps_cones() {
+        let (nl, nets) = sample();
+        let mut subst = BTreeMap::new();
+        subst.insert(nets[0], true); // the AND2 goes to constant 1
+        let folded = FoldedCircuit::apply(&nl, &subst);
+        let m = folded.materialize(&nl);
+        validate::assert_valid(&m);
+        assert!(m.gate_count() < nl.gate_count());
+        assert_eq!(folded.gate_count(), m.gate_count());
+        for p in 0u64..16 {
+            let reference = forced_values(&nl, &subst, p);
+            let got = eval::eval_ports(&m, &[("x", p)]);
+            let want_y =
+                (reference[nets[4].index()] as u64) | (reference[nets[2].index()] as u64) << 1;
+            assert_eq!(got["y"], want_y, "pattern {p:04b}");
+        }
+    }
+
+    #[test]
+    fn provenance_streams_match_forced_source_values() {
+        let (nl, nets) = sample();
+        for (pruned, value) in [(nets[0], false), (nets[1], true), (nets[3], false)] {
+            let mut subst = BTreeMap::new();
+            subst.insert(pruned, value);
+            let folded = FoldedCircuit::apply(&nl, &subst);
+            let m = folded.materialize(&nl);
+            for p in 0u64..16 {
+                let reference = forced_values(&nl, &subst, p);
+                // Evaluate every folded net on this pattern.
+                let mut vals = vec![false; m.len()];
+                for (id, node) in m.iter() {
+                    vals[id.index()] = match node {
+                        Node::Input { port, bit } => {
+                            let base: usize =
+                                m.input_ports()[..*port as usize].iter().map(Port::width).sum();
+                            p >> (base + *bit as usize) & 1 == 1
+                        }
+                        Node::Gate(g) => {
+                            let ins: Vec<bool> =
+                                g.inputs().iter().map(|i| vals[i.index()]).collect();
+                            g.kind.eval_bool(&ins)
+                        }
+                    };
+                }
+                for (i, &got) in vals.iter().enumerate() {
+                    let Some(prov) = folded.provenance(i) else {
+                        assert!(
+                            matches!(folded.nodes()[i].gate(), Some((k, _)) if k.is_free()),
+                            "only constants may lack provenance (node {i})"
+                        );
+                        continue;
+                    };
+                    let want = reference[prov.source.index()] ^ prov.inverted;
+                    assert_eq!(got, want, "node {i} pattern {p:04b} prov {prov:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_output_bit_maps_to_constant() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input_port("x", 2);
+        let g = b.xor2(x[0], x[1]);
+        b.output_port("y", vec![g].into());
+        let nl = b.finish();
+        let mut subst = BTreeMap::new();
+        subst.insert(g, false);
+        let folded = FoldedCircuit::apply(&nl, &subst);
+        assert_eq!(folded.gate_count(), 0);
+        let m = folded.materialize(&nl);
+        assert_eq!(eval::eval_ports(&m, &[("x", 3)])["y"], 0);
+    }
+}

@@ -129,6 +129,10 @@ impl GateKind {
         self.eval_word(get(0), get(1), get(2)) & 1 != 0
     }
 
+    /// Number of gate kinds — the size for tables indexed by the
+    /// discriminant (`kind as usize`).
+    pub const COUNT: usize = 15;
+
     /// All gate kinds, in declaration order.
     pub fn all() -> &'static [GateKind] {
         use GateKind::*;

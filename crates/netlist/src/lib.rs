@@ -54,6 +54,7 @@ mod bus;
 pub mod dot;
 mod error;
 pub mod eval;
+pub mod fold;
 mod gate;
 mod id;
 mod netlist;

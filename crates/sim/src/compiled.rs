@@ -90,7 +90,30 @@ pub struct CompiledNetlist {
     /// Value slot of every output-port bit, ports in declaration order,
     /// bits LSB-first — the flat order chunk output planes use.
     output_slots: Vec<u32>,
+    /// Tape position of the instruction writing each slot (`u32::MAX`
+    /// for input/non-gate slots) — the lookup masked execution rewrites
+    /// through.
+    instr_of: Vec<u32>,
     threads: usize,
+}
+
+/// A [`Stimulus`] packed once against a tape's input ports, reusable
+/// across many [`CompiledNetlist::run_packed`] /
+/// [`CompiledNetlist::run_masked`] calls. Packing validates coverage,
+/// sample counts and port widths — exactly what
+/// [`CompiledNetlist::run`] does per call — so sharing one
+/// `PackedStimulus` removes that per-evaluation cost when thousands of
+/// pruning candidates are scored on the same test set.
+#[derive(Debug)]
+pub struct PackedStimulus {
+    inner: PackedInputs,
+}
+
+impl PackedStimulus {
+    /// Number of packed samples.
+    pub fn n_samples(&self) -> usize {
+        self.inner.n_samples
+    }
 }
 
 impl CompiledNetlist {
@@ -136,6 +159,11 @@ impl CompiledNetlist {
             .flat_map(|p| p.bits.iter().map(|n| n.index() as u32))
             .collect();
 
+        let mut instr_of = vec![u32::MAX; nl.len()];
+        for (at, i) in instrs.iter().enumerate() {
+            instr_of[i.dst as usize] = at as u32;
+        }
+
         Self {
             name: nl.name().to_owned(),
             n_slots: nl.len(),
@@ -144,6 +172,7 @@ impl CompiledNetlist {
             input_ports: nl.input_ports().to_vec(),
             output_ports: nl.output_ports().to_vec(),
             output_slots,
+            instr_of,
             threads: 0,
         }
     }
@@ -188,9 +217,86 @@ impl CompiledNetlist {
     /// Returns [`SimError`] for empty, incomplete, ragged or oversized
     /// stimuli.
     pub fn run(&self, stim: &Stimulus) -> Result<SimOutputs, SimError> {
-        let packed = pack_inputs(&self.input_ports, stim)?;
-        let (outputs, _) = self.execute(&packed, false);
-        Ok(outputs)
+        let packed = self.pack(stim)?;
+        Ok(self.run_packed(&packed))
+    }
+
+    /// Packs `stim` against this tape's input ports for repeated
+    /// execution via [`run_packed`](Self::run_packed) /
+    /// [`run_masked`](Self::run_masked).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for empty, incomplete, ragged or oversized
+    /// stimuli.
+    pub fn pack(&self, stim: &Stimulus) -> Result<PackedStimulus, SimError> {
+        Ok(PackedStimulus { inner: pack_inputs(&self.input_ports, stim)? })
+    }
+
+    /// Executes the tape on an already-packed stimulus — functional
+    /// outputs only. Validation happened at [`pack`](Self::pack) time,
+    /// so this path is infallible.
+    pub fn run_packed(&self, packed: &PackedStimulus) -> SimOutputs {
+        let (outputs, _) = self.execute(&self.instrs, self.n_slots, &packed.inner, false);
+        outputs
+    }
+
+    /// Executes the tape on an already-packed stimulus with full
+    /// activity accounting.
+    pub fn run_packed_with_activity(&self, packed: &PackedStimulus) -> SimResult {
+        let (outputs, activity) = self.execute(&self.instrs, self.n_slots, &packed.inner, true);
+        SimResult::new(activity.expect("tracking requested"), outputs)
+    }
+
+    /// Executes the tape with the `mask`ed gates pinned to constants:
+    /// each `(net, value)` pair rewrites that gate's operands onto two
+    /// reserved constant slots, so its output — and everything
+    /// downstream — behaves exactly as if the net had been substituted
+    /// with the constant and the netlist re-synthesized. Run structure,
+    /// kinds and instruction positions are untouched; per-call cost is
+    /// one instruction-vector clone.
+    ///
+    /// This is the overlay-evaluation hot path: one shared base tape
+    /// plus a per-candidate mask replaces per-candidate re-synthesis and
+    /// recompilation. Functional outputs equal the rebuilt netlist's
+    /// bit for bit (folding is function-preserving); per-slot activity
+    /// is reported in *base-netlist* slot space — a fold provenance maps
+    /// surviving rebuilt gates back onto these slots.
+    ///
+    /// Results are bit-identical across thread counts, like every other
+    /// execution path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a masked net is not driven by a (non-constant) gate
+    /// instruction of this tape — masking inputs or tie cells is a
+    /// caller bug.
+    pub fn run_masked(
+        &self,
+        packed: &PackedStimulus,
+        mask: &[(pax_netlist::NetId, bool)],
+    ) -> SimResult {
+        let mut instrs = self.instrs.clone();
+        let zero = self.n_slots as u32;
+        let one = zero + 1;
+        for &(net, value) in mask {
+            let at = self.instr_of[net.index()];
+            assert!(at != u32::MAX, "masked net {net} is not a gate instruction");
+            let kind = self.kind_at(at);
+            assert!(!kind.is_free(), "masked net {net} is a constant tie");
+            let (a, b, c) = const_operands(kind, value, zero, one);
+            let i = &mut instrs[at as usize];
+            (i.a, i.b, i.c) = (a, b, c);
+        }
+        let (outputs, activity) = self.execute(&instrs, self.n_slots + 2, &packed.inner, true);
+        SimResult::new(activity.expect("tracking requested"), outputs)
+    }
+
+    /// The gate kind executing tape position `at` (via the run table).
+    fn kind_at(&self, at: u32) -> GateKind {
+        let run = self.runs.partition_point(|r| r.end <= at);
+        debug_assert!(self.runs[run].start <= at && at < self.runs[run].end);
+        self.runs[run].op
     }
 
     /// Executes the tape on `stim` with full per-net activity
@@ -202,24 +308,33 @@ impl CompiledNetlist {
     /// Returns [`SimError`] for empty, incomplete, ragged or oversized
     /// stimuli.
     pub fn run_with_activity(&self, stim: &Stimulus) -> Result<SimResult, SimError> {
-        let packed = pack_inputs(&self.input_ports, stim)?;
-        let (outputs, activity) = self.execute(&packed, true);
-        let activity = activity.expect("tracking requested");
-        Ok(SimResult::new(activity, outputs))
+        let packed = self.pack(stim)?;
+        Ok(self.run_packed_with_activity(&packed))
     }
 
-    /// Runs the tape over all words, in parallel chunks when the
-    /// stimulus is large enough, and stitches the per-chunk results.
-    fn execute(&self, packed: &PackedInputs, track: bool) -> (SimOutputs, Option<Activity>) {
+    /// Runs a tape view (the base instruction vector, or a masked
+    /// rewrite of it over `n_vals` slots) over all words, in parallel
+    /// chunks when the stimulus is large enough, and stitches the
+    /// per-chunk results. Activity vectors are truncated to the
+    /// netlist's slot count, so reserved mask slots never leak out.
+    fn execute(
+        &self,
+        instrs: &[Instr],
+        n_vals: usize,
+        packed: &PackedInputs,
+        track: bool,
+    ) -> (SimOutputs, Option<Activity>) {
         let n_words = packed.n_words;
         let chunks = self.plan_chunks(n_words);
         let outs: Vec<ChunkOut> = if chunks.len() <= 1 {
-            vec![self.eval_chunk(packed, 0, n_words, track)]
+            vec![self.eval_chunk(instrs, n_vals, packed, 0, n_words, track)]
         } else {
             std::thread::scope(|s| {
                 let handles: Vec<_> = chunks
                     .iter()
-                    .map(|&(w0, w1)| s.spawn(move || self.eval_chunk(packed, w0, w1, track)))
+                    .map(|&(w0, w1)| {
+                        s.spawn(move || self.eval_chunk(instrs, n_vals, packed, w0, w1, track))
+                    })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("chunk worker")).collect()
             })
@@ -243,6 +358,8 @@ impl CompiledNetlist {
             let mut ones = vec![0u64; self.n_slots];
             let mut toggles = vec![0u64; self.n_slots];
             for chunk in &outs {
+                // The chunk vectors may carry reserved mask slots past
+                // `n_slots`; zip stops at the netlist's own nets.
                 for (acc, v) in ones.iter_mut().zip(&chunk.ones) {
                     *acc += v;
                 }
@@ -278,15 +395,29 @@ impl CompiledNetlist {
             .collect()
     }
 
-    /// Evaluates words `[w0, w1)`. With tracking, a chunk that does not
-    /// start at word 0 first replays word `w0 - 1` functionally to seed
-    /// the previous-sample bit, so cross-chunk toggle counts are exact.
-    fn eval_chunk(&self, packed: &PackedInputs, w0: usize, w1: usize, track: bool) -> ChunkOut {
+    /// Evaluates words `[w0, w1)` of a tape view. With tracking, a
+    /// chunk that does not start at word 0 first replays word `w0 - 1`
+    /// functionally to seed the previous-sample bit, so cross-chunk
+    /// toggle counts are exact. When `n_vals` exceeds the slot count,
+    /// the two extra slots are the masked-execution constants (all-zero
+    /// and all-one lanes).
+    fn eval_chunk(
+        &self,
+        instrs: &[Instr],
+        n_vals: usize,
+        packed: &PackedInputs,
+        w0: usize,
+        w1: usize,
+        track: bool,
+    ) -> ChunkOut {
         let n_samples = packed.n_samples;
-        let mut vals = vec![0u64; self.n_slots];
+        let mut vals = vec![0u64; n_vals];
+        if n_vals > self.n_slots {
+            vals[self.n_slots + 1] = u64::MAX; // the reserved all-ones slot
+        }
         let mut planes = vec![vec![0u64; w1 - w0]; self.output_slots.len()];
         let (mut ones, mut toggles, mut prev_msb) = if track {
-            (vec![0u64; self.n_slots], vec![0u64; self.n_slots], vec![0u64; self.n_slots])
+            (vec![0u64; n_vals], vec![0u64; n_vals], vec![0u64; n_vals])
         } else {
             (Vec::new(), Vec::new(), Vec::new())
         };
@@ -296,7 +427,7 @@ impl CompiledNetlist {
             // its last sample (always lane 63 — every non-final word is
             // full) seeds the toggle boundary.
             self.load_inputs(packed, w0 - 1, &mut vals);
-            self.exec_word(&mut vals);
+            self.exec_word(instrs, &mut vals);
             for (msb, &v) in prev_msb.iter_mut().zip(&vals) {
                 *msb = v >> 63 & 1;
             }
@@ -304,7 +435,7 @@ impl CompiledNetlist {
 
         for w in w0..w1 {
             self.load_inputs(packed, w, &mut vals);
-            self.exec_word(&mut vals);
+            self.exec_word(instrs, &mut vals);
             let valid = (n_samples - w * 64).min(64);
             let mask = if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
             if track {
@@ -335,10 +466,11 @@ impl CompiledNetlist {
 
     /// Evaluates every tape instruction on one word of lane values: one
     /// kind dispatch per run, then a branch-free loop over the run.
+    /// `instrs` is the run-aligned instruction view (base or masked).
     ///
     /// The per-kind expressions mirror [`GateKind::eval_word`] — the
     /// differential suite pins them against the scalar reference.
-    fn exec_word(&self, vals: &mut [u64]) {
+    fn exec_word(&self, instrs: &[Instr], vals: &mut [u64]) {
         macro_rules! unary {
             ($instrs:expr, |$a:ident| $e:expr) => {
                 for i in $instrs {
@@ -367,7 +499,7 @@ impl CompiledNetlist {
             };
         }
         for run in &self.runs {
-            let instrs = &self.instrs[run.start as usize..run.end as usize];
+            let instrs = &instrs[run.start as usize..run.end as usize];
             match run.op {
                 GateKind::Const0 => {
                     for i in instrs {
@@ -403,6 +535,29 @@ struct ChunkOut {
     planes: Vec<Vec<u64>>,
     ones: Vec<u64>,
     toggles: Vec<u64>,
+}
+
+/// Operand rewrite pinning a gate of `kind` to the constant `value`,
+/// given the reserved all-`zero` and all-`one` slots. Every non-free
+/// kind can produce both constants from those two streams, so masked
+/// execution never has to alter run grouping or instruction kinds.
+fn const_operands(kind: GateKind, value: bool, zero: u32, one: u32) -> (u32, u32, u32) {
+    use GateKind::*;
+    // `t`: fill that makes the gate output `value` for monotone kinds;
+    // `f`: the inverted fill for the negated kinds.
+    let t = if value { one } else { zero };
+    let f = if value { zero } else { one };
+    match kind {
+        Buf => (t, zero, zero),
+        Not => (f, zero, zero),
+        And2 | And3 | Or2 | Or3 => (t, t, t),
+        Nand2 | Nand3 | Nor2 | Nor3 => (f, f, f),
+        Xor2 => (if value { one } else { zero }, zero, zero),
+        Xnor2 => (if value { zero } else { one }, zero, zero),
+        // (sel, a, b): sel = 1 selects the `a` operand.
+        Mux2 => (one, t, zero),
+        Const0 | Const1 => unreachable!("constant ties are never masked"),
+    }
 }
 
 #[cfg(test)]
@@ -537,6 +692,117 @@ mod tests {
             empty_named.run(&missing),
             Err(SimError::MissingPort { port }) if port == "y"
         ));
+    }
+
+    #[test]
+    fn masked_run_pins_gates_to_their_constants() {
+        let nl = all_kinds_netlist();
+        let compiled = CompiledNetlist::compile(&nl);
+        let stim = exhaustive_stim(3, 40);
+        let packed = compiled.pack(&stim).unwrap();
+        // Mask every non-free gate in turn, to both constants: the
+        // masked slot must stream exactly that constant, and every
+        // other gate must behave as if it read it.
+        let gates: Vec<pax_netlist::NetId> = nl
+            .iter()
+            .filter_map(|(id, n)| match n {
+                Node::Gate(g) if !g.kind.is_free() => Some(id),
+                _ => None,
+            })
+            .collect();
+        for &g in &gates {
+            for value in [false, true] {
+                let got = compiled.run_masked(&packed, &[(g, value)]);
+                let n = got.n_samples as u64;
+                assert_eq!(got.activity.ones(g), if value { n } else { 0 }, "gate {g}");
+                assert_eq!(got.activity.toggles(g), 0, "gate {g}");
+                // Reference: rebuild the netlist with the gate's output
+                // bit replaced by a constant in the output port.
+                let y = nl.output_ports()[0].clone();
+                let scalar: Vec<u64> = (0..got.n_samples)
+                    .map(|s| {
+                        let x = stim.samples("x").unwrap()[s];
+                        let mut vals = vec![false; nl.len()];
+                        for (id, node) in nl.iter() {
+                            vals[id.index()] = match node {
+                                Node::Input { bit, .. } => x >> bit & 1 == 1,
+                                Node::Gate(gg) => {
+                                    let ins: Vec<bool> =
+                                        gg.inputs().iter().map(|i| vals[i.index()]).collect();
+                                    gg.kind.eval_bool(&ins)
+                                }
+                            };
+                            if id == g {
+                                vals[id.index()] = value;
+                            }
+                        }
+                        y.bits
+                            .iter()
+                            .enumerate()
+                            .fold(0u64, |acc, (i, b)| acc | (vals[b.index()] as u64) << i)
+                    })
+                    .collect();
+                assert_eq!(got.port_values("y"), scalar, "gate {g} value {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_run_is_thread_invariant_and_packed_paths_agree() {
+        let nl = all_kinds_netlist();
+        let stim = exhaustive_stim(3, 100); // 800 samples, 13 words
+        let mask_net = nl
+            .iter()
+            .find_map(|(id, n)| match n {
+                Node::Gate(g) if g.kind == GateKind::And3 => Some(id),
+                _ => None,
+            })
+            .expect("AND3 present");
+        let reference = {
+            let c = CompiledNetlist::compile(&nl).with_threads(1);
+            let packed = c.pack(&stim).unwrap();
+            c.run_masked(&packed, &[(mask_net, true)])
+        };
+        for threads in [2, 3, 8] {
+            let c = CompiledNetlist::compile(&nl).with_threads(threads);
+            let packed = c.pack(&stim).unwrap();
+            let got = c.run_masked(&packed, &[(mask_net, true)]);
+            assert_eq!(got.port_values("y"), reference.port_values("y"), "threads={threads}");
+            for i in 0..nl.len() {
+                let net = pax_netlist::NetId::from_index(i);
+                assert_eq!(got.activity.ones(net), reference.activity.ones(net));
+                assert_eq!(
+                    got.activity.toggles(net),
+                    reference.activity.toggles(net),
+                    "threads={threads} net={i}"
+                );
+            }
+        }
+        // The packed entry points agree with the stimulus-taking ones.
+        let c = CompiledNetlist::compile(&nl);
+        let packed = c.pack(&stim).unwrap();
+        assert_eq!(packed.n_samples(), 800);
+        let a = c.run_packed_with_activity(&packed);
+        let b = c.run_with_activity(&stim).unwrap();
+        assert_eq!(a.port_values("y"), b.port_values("y"));
+        assert_eq!(c.run_packed(&packed).port_values("y"), b.port_values("y"));
+        // An empty mask degenerates to the unmasked run.
+        let m = c.run_masked(&packed, &[]);
+        assert_eq!(m.port_values("y"), b.port_values("y"));
+        for i in 0..nl.len() {
+            let net = pax_netlist::NetId::from_index(i);
+            assert_eq!(m.activity.toggles(net), b.activity.toggles(net));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gate instruction")]
+    fn masking_an_input_panics() {
+        let nl = all_kinds_netlist();
+        let compiled = CompiledNetlist::compile(&nl);
+        let packed = compiled.pack(&exhaustive_stim(3, 2)).unwrap();
+        let input_net = nl.input_ports()[0].bits[0];
+        let _ = compiled.run_masked(&packed, &[(input_net, true)]);
     }
 
     #[test]

@@ -115,6 +115,7 @@ impl SimResult {
 
 /// Input planes packed for bit-parallel evaluation: one `Vec<u64>` plane
 /// per (input port, bit), in `input_ports()` declaration order.
+#[derive(Debug)]
 pub(crate) struct PackedInputs {
     pub n_samples: usize,
     pub n_words: usize,

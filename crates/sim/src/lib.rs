@@ -71,7 +71,7 @@ mod stimulus;
 pub mod vcd;
 
 pub use activity::Activity;
-pub use compiled::CompiledNetlist;
+pub use compiled::{CompiledNetlist, PackedStimulus};
 pub use engine::{simulate, try_simulate, SimOutputs, SimResult};
 pub use error::SimError;
 pub use stimulus::Stimulus;

@@ -73,12 +73,64 @@ impl std::fmt::Display for TimingReport {
     }
 }
 
+/// Per-kind cell delays resolved once against a library — the lookup
+/// both the full [`analyze`] walk and incremental (cone-restricted)
+/// re-timing engines share.
+///
+/// Missing cells are *not* an error at construction: like
+/// [`Library::require`], the error surfaces only when a circuit
+/// actually uses the kind, so a partial library keeps working for
+/// circuits it covers.
+///
+/// # Incremental re-timing contract
+///
+/// Arrival analysis is a pure function of gate kind and fanin
+/// arrivals: `arrival(g) = max(arrival(inputs)) + delay(kind)`.
+/// An engine holding a base circuit's [`TimingReport::arrival_ms`] can
+/// therefore re-time a structurally edited circuit by recomputing only
+/// the **affected cone** (the transitive fanout of the edited nets) and
+/// reusing base arrivals everywhere else — bit-identical to a full
+/// walk, because untouched gates see untouched fanin arrivals. The
+/// overlay-based pruning evaluator in `pax-core` does exactly this, and
+/// its differential suite pins the equivalence against [`analyze`].
+#[derive(Debug, Clone)]
+pub struct DelayTable {
+    delays: [Option<f64>; pax_netlist::GateKind::COUNT],
+}
+
+impl DelayTable {
+    /// Resolves every gate kind's cell delay available in `lib`
+    /// (constants are free and always resolve to 0).
+    pub fn new(lib: &Library) -> Self {
+        let mut delays = [None; pax_netlist::GateKind::COUNT];
+        for &kind in pax_netlist::GateKind::all() {
+            delays[kind as usize] = if kind.is_free() {
+                Some(0.0)
+            } else {
+                lib.cell(kind.mnemonic()).map(|c| c.delay_ms)
+            };
+        }
+        Self { delays }
+    }
+
+    /// The cell delay of `kind` in ms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdkError::UnknownCell`] when the library did not cover
+    /// this kind — the same error [`Library::require`] reports.
+    pub fn delay_ms(&self, kind: pax_netlist::GateKind) -> Result<f64, PdkError> {
+        self.delays[kind as usize].ok_or_else(|| PdkError::UnknownCell(kind.mnemonic().to_owned()))
+    }
+}
+
 /// Runs arrival-time analysis on `nl`.
 ///
 /// # Errors
 ///
 /// Returns [`PdkError::UnknownCell`] if the library lacks a used cell.
 pub fn analyze(nl: &Netlist, lib: &Library, tech: &TechParams) -> Result<TimingReport, PdkError> {
+    let table = DelayTable::new(lib);
     let mut arrival = vec![0.0f64; nl.len()];
     let mut pred: Vec<Option<NetId>> = vec![None; nl.len()];
     for (id, node) in nl.iter() {
@@ -86,7 +138,7 @@ pub fn analyze(nl: &Netlist, lib: &Library, tech: &TechParams) -> Result<TimingR
         if g.kind.is_free() {
             continue; // constants arrive at time 0
         }
-        let delay = lib.require(g.kind.mnemonic())?.delay_ms;
+        let delay = table.delay_ms(g.kind)?;
         let mut worst = 0.0;
         let mut worst_in = None;
         for &i in g.inputs() {
@@ -187,6 +239,36 @@ mod tests {
         let t = analyze(&nl, &l, &tech).unwrap();
         assert!(!t.meets_clock());
         assert!(t.slack_ms() < 0.0);
+    }
+
+    #[test]
+    fn delay_table_matches_require_and_reports_missing_cells() {
+        let l = lib();
+        let table = DelayTable::new(&l);
+        for &k in pax_netlist::GateKind::all() {
+            if k.is_free() {
+                assert_eq!(table.delay_ms(k).unwrap(), 0.0);
+            } else {
+                assert_eq!(table.delay_ms(k).unwrap(), l.require(k.mnemonic()).unwrap().delay_ms);
+            }
+        }
+        let empty = Library::new("empty", 1.0);
+        let t = DelayTable::new(&empty);
+        assert_eq!(
+            t.delay_ms(pax_netlist::GateKind::Nand2).unwrap_err(),
+            PdkError::UnknownCell("NAND2".into())
+        );
+        // A partial library errors only on the kinds a circuit uses —
+        // exactly analyze()'s behavior.
+        let mut b = NetlistBuilder::new("k");
+        let x = b.input_port("x", 2);
+        let g = b.xor2(x[0], x[1]);
+        b.output_port("y", vec![g].into());
+        let nl = b.finish();
+        assert!(matches!(
+            analyze(&nl, &empty, &egt_pdk::TechParams::egt()),
+            Err(PdkError::UnknownCell(c)) if c == "XOR2"
+        ));
     }
 
     #[test]
