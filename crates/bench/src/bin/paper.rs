@@ -10,6 +10,7 @@
 //! paper proxy                  # §III-B   (area-proxy correlation)
 //! paper explore                # grid vs NSGA-II search (BENCH_explore.json)
 //! paper prune_eval             # rebuild vs overlay evaluation (BENCH_prune_eval.json)
+//! paper obs                    # journalled NSGA-II study + journal verification
 //! paper all                    # everything
 //!
 //! options:
@@ -37,7 +38,7 @@ struct Options {
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: paper <table1|table2|table3|fig1|fig2|fig3|proxy|quant|explore|prune_eval|all> [--out DIR] [--quick] [--circuit STR]");
+        eprintln!("usage: paper <table1|table2|table3|fig1|fig2|fig3|proxy|quant|explore|prune_eval|obs|all> [--out DIR] [--quick] [--circuit STR]");
         std::process::exit(2);
     };
     let mut opts = Options { out: None, quick: false, circuit: None };
@@ -70,6 +71,7 @@ fn main() {
         "quant" => run_quant(&opts),
         "explore" => run_explore(&opts),
         "prune_eval" => run_prune_eval(&opts),
+        "obs" => run_obs(&opts),
         "all" => {
             run_fig1(&opts);
             run_fig2(&opts);
@@ -212,6 +214,26 @@ fn run_prune_eval(opts: &Options) {
     println!("{}", pax_bench::prune_eval::render(&rows));
     let json = pax_bench::prune_eval::to_json(&rows, &cfg, seed);
     write_artifact(opts, "prune_eval.json", &json);
+}
+
+fn run_obs(opts: &Options) {
+    let cfg = synth_config(opts);
+    let seed = pax_core::explore::resolve_seed(0x0B5);
+    // Journal destination: honor PAX_OBS_JOURNAL when set (the CI job
+    // does), else --out, else the temp dir.
+    let path = match std::env::var(pax_obs::JOURNAL_ENV) {
+        Ok(p) if !p.is_empty() => PathBuf::from(p),
+        _ => opts.out.clone().unwrap_or_else(std::env::temp_dir).join("obs_journal.jsonl"),
+    };
+    std::fs::remove_file(&path).ok(); // journals append; verify a fresh file
+    let row = pax_bench::obs::run(&cfg, seed, &path);
+    println!("# Observability — journalled NSGA-II study ({})\n", row.circuit);
+    println!("{}", pax_bench::obs::render(&row));
+    eprintln!("[paper] journal at {}", path.display());
+    if !row.passes() {
+        eprintln!("[paper] observability verification FAILED");
+        std::process::exit(1);
+    }
 }
 
 fn run_quant(opts: &Options) {

@@ -16,6 +16,8 @@
 //!   every hardware-feasible model;
 //! * [`explore`] — exhaustive-grid versus evolutionary search at
 //!   matched evaluation budgets (the `BENCH_explore.json` study);
+//! * [`obs`] — a journalled NSGA-II study plus read-back verification
+//!   of the `pax_obs` search journal and evaluation-phase spans;
 //! * [`prune_eval`] — rebuild-pipeline versus overlay candidate
 //!   evaluation throughput (the `BENCH_prune_eval.json` study).
 //!
@@ -34,6 +36,7 @@ pub mod explore;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
+pub mod obs;
 pub mod proxy;
 pub mod prune_eval;
 pub mod quantsweep;

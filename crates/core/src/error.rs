@@ -39,6 +39,11 @@ pub enum StudyError {
     /// — this variant replaces the old `expect("every set evaluated")`
     /// panic on the drain path.
     IncompleteGrid,
+    /// The structured search journal could not be opened or written
+    /// (the underlying I/O error, stringified — `StudyError` is
+    /// `Clone + PartialEq`, `std::io::Error` is neither). A journal is
+    /// opt-in, so this only fires when one was requested.
+    Journal(String),
 }
 
 impl std::fmt::Display for StudyError {
@@ -54,6 +59,7 @@ impl std::fmt::Display for StudyError {
             StudyError::IncompleteGrid => {
                 write!(f, "grid evaluation drained without a result for every pruned set")
             }
+            StudyError::Journal(e) => write!(f, "search journal I/O failed: {e}"),
         }
     }
 }
@@ -63,7 +69,9 @@ impl std::error::Error for StudyError {
         match self {
             StudyError::Library(e) => Some(e),
             StudyError::Sim(e) => Some(e),
-            StudyError::MissingContext { .. } | StudyError::IncompleteGrid => None,
+            StudyError::MissingContext { .. }
+            | StudyError::IncompleteGrid
+            | StudyError::Journal(_) => None,
         }
     }
 }

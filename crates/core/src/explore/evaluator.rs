@@ -18,9 +18,11 @@ use pax_ml::quant::QuantizedModel;
 use pax_ml::Dataset;
 use pax_netlist::{NetId, Netlist};
 
+use pax_obs::{Phases, PhasesSnapshot};
+
 use super::{Candidate, ContextSpace, SearchSpace};
 use crate::error::StudyError;
-use crate::prune::{OverlayContext, PruneAnalysis, PruneConfig, PruneEval};
+use crate::prune::{phase, OverlayContext, PruneAnalysis, PruneConfig, PruneEval, EVAL_PHASES};
 use crate::{DesignPoint, Technique};
 
 /// How the evaluator measures a candidate.
@@ -133,6 +135,10 @@ pub struct Evaluator<'a> {
     overlays: Vec<OnceLock<Result<OverlayContext<'a>, StudyError>>>,
     mode: EvalMode,
     threads: usize,
+    /// Evaluator-side phase accounting (the `resolve` slot; the
+    /// per-candidate measurement phases accumulate inside each
+    /// context's overlay and merge in [`Evaluator::telemetry`]).
+    phases: Phases,
 }
 
 impl<'a> Evaluator<'a> {
@@ -153,7 +159,33 @@ impl<'a> Evaluator<'a> {
         );
         let overlays = contexts.iter().map(|_| OnceLock::new()).collect();
         let threads = std::thread::available_parallelism().map_or(4, |t| t.get()).min(16);
-        Self { lib, tech, test, contexts, overlays, mode: EvalMode::default(), threads }
+        Self {
+            lib,
+            tech,
+            test,
+            contexts,
+            overlays,
+            mode: EvalMode::default(),
+            threads,
+            phases: Phases::new(EVAL_PHASES),
+        }
+    }
+
+    /// Merged per-phase telemetry: the evaluator's own `resolve`
+    /// accounting plus every built overlay's fold/masked-sim/score/
+    /// re-time totals. Rebuild-mode evaluations time nothing beyond
+    /// `resolve` (the legacy oracle stays untouched). Pair two
+    /// snapshots with [`PhasesSnapshot::since`] for per-run deltas —
+    /// the [`Engine`](super::Engine) does exactly that.
+    pub fn telemetry(&self) -> PhasesSnapshot {
+        let merged = Phases::new(EVAL_PHASES);
+        merged.merge(&self.phases);
+        for overlay in &self.overlays {
+            if let Some(Ok(ctx)) = overlay.get() {
+                merged.merge(ctx.phases());
+            }
+        }
+        merged.snapshot()
     }
 
     /// The shared overlay for context `ctx_idx`, built on first use
@@ -248,7 +280,7 @@ impl<'a> Evaluator<'a> {
         // for thousands of combos at once — resolve across the worker
         // pool first; the dedup/budget walk below stays sequential
         // (its prefix semantics are order-dependent).
-        let resolved = self.resolve_sets(batch)?;
+        let resolved = self.phases.time(phase::RESOLVE, || self.resolve_sets(batch))?;
         let mut keys = Vec::with_capacity(batch.len());
         let mut fresh: Vec<(u64, usize, Vec<NetId>)> = Vec::new();
         let mut fresh_keys: HashMap<u64, usize> = HashMap::new();

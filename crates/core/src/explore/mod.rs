@@ -68,6 +68,11 @@ pub use grid::ExhaustiveGrid;
 pub use nsga2::{resolve_seed, Nsga2, Nsga2Config};
 pub use objective::{Objective, ObjectiveAxis, ObjectiveSet};
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use pax_obs::{AxisExtreme, JournalEvent, PhasesSnapshot, StudyJournal};
+
 use crate::error::StudyError;
 use crate::prune::PruneConfig;
 use crate::DesignPoint;
@@ -209,6 +214,41 @@ pub struct SearchStats {
     /// Per-axis extremes over the final front (one entry per enabled
     /// axis; empty when the front is).
     pub axes: Vec<AxisStats>,
+    /// Size of the final Pareto front.
+    pub front_size: usize,
+    /// Final front hypervolume against [`SearchStats::hv_ref`], `None`
+    /// until anything was measured. With the fixed per-run reference
+    /// point this is the value the search journal's last record shows.
+    pub hypervolume: Option<f64>,
+    /// The hypervolume reference point, fixed at the first measured
+    /// generation (raw axis units, enabled-axis order): `0.0` for
+    /// maximized axes, twice the first batch's worst value for
+    /// minimized ones — deterministic for a seeded search.
+    pub hv_ref: Vec<f64>,
+    /// Phase-timed evaluation telemetry for this run.
+    pub telemetry: SearchTelemetry,
+}
+
+/// Wall-clock telemetry of one search run: where evaluation time went,
+/// split into the [`EVAL_PHASES`](crate::prune::EVAL_PHASES) phases.
+///
+/// Equality compares only the deterministic phase *call counts* —
+/// nanosecond totals differ run to run, and `SearchStats` equality
+/// (exercised by the determinism suite) must hold across identical
+/// seeded runs.
+#[derive(Debug, Clone, Default)]
+pub struct SearchTelemetry {
+    /// Per-phase call counts and wall time for this run (deltas, not
+    /// evaluator lifetime totals).
+    pub phases: PhasesSnapshot,
+    /// Wall time of the whole ask→evaluate→tell loop, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl PartialEq for SearchTelemetry {
+    fn eq(&self, other: &Self) -> bool {
+        self.phases.counts() == other.phases.counts()
+    }
 }
 
 /// One objective axis's extremes over a search's final front.
@@ -243,6 +283,10 @@ pub struct Engine<'a, 'b> {
     space: SearchSpace,
     cache: EvalCache,
     objectives: ObjectiveSet,
+    /// Explicit journal sink; when absent, each run checks the
+    /// `PAX_OBS_JOURNAL` environment toggle instead.
+    journal: Option<Arc<StudyJournal>>,
+    journal_label: String,
 }
 
 impl<'a, 'b> Engine<'a, 'b> {
@@ -261,7 +305,28 @@ impl<'a, 'b> Engine<'a, 'b> {
         objectives: ObjectiveSet,
     ) -> Self {
         let space = evaluator.space(cfg);
-        Self { evaluator, space, cache: EvalCache::new(), objectives }
+        Self {
+            evaluator,
+            space,
+            cache: EvalCache::new(),
+            objectives,
+            journal: None,
+            journal_label: "study".to_owned(),
+        }
+    }
+
+    /// Routes every subsequent run's generation records to `journal`
+    /// (otherwise the `PAX_OBS_JOURNAL` environment toggle decides).
+    /// Journals may be shared across engines — appends are whole-line
+    /// atomic.
+    pub fn set_journal(&mut self, journal: Arc<StudyJournal>) {
+        self.journal = Some(journal);
+    }
+
+    /// The `study` field journal records carry (default `"study"`;
+    /// the framework passes `model/series`).
+    pub fn set_journal_label(&mut self, label: impl Into<String>) {
+        self.journal_label = label.into();
     }
 
     /// The space strategies search over.
@@ -290,6 +355,14 @@ impl<'a, 'b> Engine<'a, 'b> {
     /// calls, so a second strategy re-measures nothing the first
     /// already paid for.
     pub fn run(&mut self, strategy: &mut dyn SearchStrategy) -> Result<SearchOutcome, StudyError> {
+        let journal = match &self.journal {
+            Some(journal) => Some(Arc::clone(journal)),
+            None => StudyJournal::from_env()
+                .map_err(|e| StudyError::Journal(e.to_string()))?
+                .map(Arc::new),
+        };
+        let run_start = Instant::now();
+        let telemetry_start = self.evaluator.telemetry();
         let mut points = Vec::new();
         let mut archive = ParetoArchive::with_objectives(self.objectives.clone());
         let mut stats = SearchStats {
@@ -299,7 +372,11 @@ impl<'a, 'b> Engine<'a, 'b> {
         };
         let budget = strategy.budget();
         let mut spent = 0usize;
+        // Fixed once the first batch lands, so per-generation
+        // hypervolumes are comparable (and monotone non-decreasing).
+        let mut ref_point: Option<Vec<f64>> = None;
         loop {
+            let gen_start = Instant::now();
             let batch = strategy.ask(&self.space);
             if batch.is_empty() {
                 break;
@@ -317,14 +394,78 @@ impl<'a, 'b> Engine<'a, 'b> {
             stats.asked -= batch.len() - results.len();
             archive.extend(results.iter().map(|(_, p)| p.clone()));
             strategy.tell(&results, &self.objectives);
+            if ref_point.is_none() && !results.is_empty() {
+                ref_point = Some(reference_point(&self.objectives, results.iter().map(|(_, p)| p)));
+            }
+            if let Some(journal) = &journal {
+                let hv = ref_point
+                    .as_ref()
+                    .filter(|_| !archive.is_empty())
+                    .map(|r| archive.hypervolume(r));
+                let event = JournalEvent {
+                    study: self.journal_label.clone(),
+                    strategy: stats.strategy.clone(),
+                    gen: stats.generations as u64 - 1,
+                    asked: results.len() as u64,
+                    fresh: fresh as u64,
+                    cached: (results.len() - fresh) as u64,
+                    front: archive.len() as u64,
+                    hypervolume: hv,
+                    ref_point: ref_point.clone().unwrap_or_default(),
+                    axes: axis_stats(&self.objectives, archive.front())
+                        .into_iter()
+                        .map(|a| AxisExtreme { axis: a.axis, best: a.best, worst: a.worst })
+                        .collect(),
+                    wall_ms: gen_start.elapsed().as_secs_f64() * 1e3,
+                };
+                journal.append(&event).map_err(|e| StudyError::Journal(e.to_string()))?;
+            }
             points.extend(results);
             if remaining.is_some_and(|r| fresh >= r) {
                 break;
             }
         }
         stats.axes = axis_stats(&self.objectives, archive.front());
+        stats.front_size = archive.len();
+        stats.hypervolume =
+            ref_point.as_ref().filter(|_| !archive.is_empty()).map(|r| archive.hypervolume(r));
+        stats.hv_ref = ref_point.unwrap_or_default();
+        stats.telemetry = SearchTelemetry {
+            phases: self.evaluator.telemetry().since(&telemetry_start),
+            wall_ms: run_start.elapsed().as_secs_f64() * 1e3,
+        };
         Ok(SearchOutcome { points, archive, stats })
     }
+}
+
+/// The fixed hypervolume reference point derived from the first
+/// measured batch: `0.0` for maximized axes (any positive value
+/// dominates it), twice the batch's worst value for minimized ones
+/// (`1.0` when that worst is not positive, keeping the box nonempty).
+/// Deterministic whenever the first batch is — seeded searches journal
+/// identical reference points run to run.
+fn reference_point<'p>(
+    objectives: &ObjectiveSet,
+    points: impl Iterator<Item = &'p DesignPoint> + Clone,
+) -> Vec<f64> {
+    objectives
+        .enabled()
+        .map(|axis| {
+            if axis.objective.maximize() {
+                0.0
+            } else {
+                let worst = points
+                    .clone()
+                    .map(|p| axis.objective.value(p))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if worst > 0.0 {
+                    2.0 * worst
+                } else {
+                    1.0
+                }
+            }
+        })
+        .collect()
 }
 
 /// Per-axis extremes of a front, in enabled-axis order.

@@ -609,6 +609,11 @@ impl Framework {
         );
         let mut engine =
             Engine::with_objectives(&evaluator, &self.cfg.prune, search.objectives.clone());
+        engine.set_journal_label(format!(
+            "{}/{}",
+            model.name,
+            if use_coeff { "prune-cross" } else { "prune-baseline" }
+        ));
         let mut strategy = search.build();
         let outcome = engine.run(strategy.as_mut())?;
         Ok((outcome.points.into_iter().map(|(_, p)| p).collect(), outcome.stats))

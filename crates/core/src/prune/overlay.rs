@@ -46,12 +46,36 @@ use pax_ml::Dataset;
 use pax_netlist::fold::FoldedCircuit;
 use pax_netlist::traverse::Fanout;
 use pax_netlist::{GateKind, NetId, Netlist};
+use pax_obs::Phases;
 use pax_sim::power::PowerReport;
 use pax_sim::{CompiledNetlist, PackedStimulus};
 use pax_sta::DelayTable;
 
 use super::{PruneAnalysis, PruneEval};
 use crate::error::StudyError;
+
+/// The phases one candidate evaluation splits into, in reporting
+/// order. `resolve` (genome → gate set) is accounted by the
+/// [`Evaluator`](crate::explore::Evaluator); the remaining four are
+/// accounted here per [`OverlayContext::evaluate`] call. The timers are
+/// relaxed atomics around unchanged code paths, so instrumentation
+/// cannot perturb any measured value — the overlay-vs-rebuild
+/// differential suite pins that.
+pub const EVAL_PHASES: &[&str] = &["resolve", "fold", "masked-sim", "score", "re-time"];
+
+/// [`EVAL_PHASES`] indices, kept adjacent to the list they index.
+pub(crate) mod phase {
+    /// Genome → sorted gate set (evaluator-side).
+    pub const RESOLVE: usize = 0;
+    /// Symbolic fold of the surviving structure.
+    pub const FOLD: usize = 1;
+    /// Masked execution of the shared tape.
+    pub const MASKED_SIM: usize = 2;
+    /// Output scoring against the golden model.
+    pub const SCORE: usize = 3;
+    /// Affected-cone walk: area/power sums + incremental re-timing.
+    pub const RE_TIME: usize = 4;
+}
 
 /// Copied per-kind area/power cell figures (delay lives in
 /// [`DelayTable`]). Copies of the library's `f64`s produce the same
@@ -113,6 +137,9 @@ pub struct OverlayContext<'a> {
     /// reused verbatim outside the affected cone.
     base_arrival: Vec<f64>,
     fanout: Fanout,
+    /// Per-phase wall-time accounting across every `evaluate` call on
+    /// this context (lock-free; workers record concurrently).
+    phases: Phases,
 }
 
 impl<'a> OverlayContext<'a> {
@@ -153,6 +180,7 @@ impl<'a> OverlayContext<'a> {
             delays: DelayTable::new(lib),
             base_arrival,
             fanout: Fanout::build(base),
+            phases: Phases::new(EVAL_PHASES),
         })
     }
 
@@ -168,6 +196,12 @@ impl<'a> OverlayContext<'a> {
     /// The base netlist this context evaluates prunings of.
     pub fn base(&self) -> &Netlist {
         self.base
+    }
+
+    /// The per-phase timing accumulators this context has gathered
+    /// ([`EVAL_PHASES`] order; the `resolve` slot stays zero here).
+    pub fn phases(&self) -> &Phases {
+        &self.phases
     }
 
     /// Evaluates one pruned-gate set as an overlay on the shared tape:
@@ -192,13 +226,16 @@ impl<'a> OverlayContext<'a> {
         // Masked execution of the shared tape: the pruned gates' slots
         // stream their dominant constants, everything downstream reacts
         // exactly as the rebuilt netlist would.
-        let sim = self.tape.run_masked(&self.packed, &mask);
-        let (accuracy, _) = score_outputs(self.model, self.test, sim.outputs());
+        let sim = self.phases.time(phase::MASKED_SIM, || self.tape.run_masked(&self.packed, &mask));
+        let (accuracy, _) =
+            self.phases.time(phase::SCORE, || score_outputs(self.model, self.test, sim.outputs()));
 
         // The surviving structure — node-for-node what `apply_set`
         // would rebuild.
-        let folded = FoldedCircuit::apply_sorted(self.base, &mask);
+        let folded =
+            self.phases.time(phase::FOLD, || FoldedCircuit::apply_sorted(self.base, &mask));
 
+        let retime_start = std::time::Instant::now();
         // Affected cone: the pruned set's transitive fanout in the base
         // circuit. Gates outside it are isomorphic images of their base
         // counterparts, so their base arrival times are reused verbatim.
@@ -254,6 +291,12 @@ impl<'a> OverlayContext<'a> {
                 critical_ms = arrival[bit as usize];
             }
         }
+        // The survivor walk carries a `?`, so it times via an explicit
+        // start rather than a closure.
+        self.phases.add(
+            phase::RE_TIME,
+            u64::try_from(retime_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
 
         let power = PowerReport {
             static_mw: static_uw * 1e-3,

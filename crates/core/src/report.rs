@@ -229,6 +229,56 @@ pub fn axis_summary(study: &CircuitStudy) -> String {
     out
 }
 
+/// Markdown table of the per-series evaluation telemetry: the final
+/// front size and hypervolume (against the run's fixed reference
+/// point), then one row per evaluation phase with its call count, total
+/// wall time and share of the phase-accounted time. Complements
+/// [`search_summary`] (what was searched) with *where the time went*.
+pub fn telemetry_summary(study: &CircuitStudy) -> String {
+    let mut out =
+        String::from("| Series | Front | Hypervolume | Phase | Calls | Wall ms | Share |\n");
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    for (i, s) in study.stats.search.iter().enumerate() {
+        let total_ns = s.telemetry.phases.total_ns();
+        let hv = s.hypervolume.map_or_else(|| "—".to_owned(), |h| format!("{h:.4}"));
+        let mut first = true;
+        for p in &s.telemetry.phases.phases {
+            if p.calls == 0 {
+                continue;
+            }
+            let (series, front, hv_cell) = if first {
+                (series_label(i), format!("{}", s.front_size), hv.clone())
+            } else {
+                ("", String::new(), String::new())
+            };
+            first = false;
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {:.1} | {:.0}% |",
+                series,
+                front,
+                hv_cell,
+                p.name,
+                p.calls,
+                p.ns as f64 / 1e6,
+                if total_ns == 0 { 0.0 } else { p.ns as f64 / total_ns as f64 * 100.0 },
+            );
+        }
+        if first {
+            // No phase ran (e.g. nothing was measured): still show the
+            // series so the table enumerates every search.
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | — | 0 | 0.0 | 0% |",
+                series_label(i),
+                s.front_size,
+                hv,
+            );
+        }
+    }
+    out
+}
+
 /// Name of the i-th exploration series of a study (baseline pruning
 /// first, then the cross-layer pruning).
 fn series_label(i: usize) -> &'static str {
@@ -323,6 +373,7 @@ mod tests {
                         worst: 500.0,
                     },
                 ],
+                ..Default::default()
             },
             crate::explore::SearchStats {
                 strategy: "nsga2".into(),
@@ -332,6 +383,7 @@ mod tests {
                 generations: 2,
                 objectives: vec!["accuracy".into(), "area_mm2".into(), "power_mw".into()],
                 axes: vec![],
+                ..Default::default()
             },
         ];
         let md = search_summary(&s);
@@ -345,6 +397,36 @@ mod tests {
         assert!(axes.contains("| prune-baseline | accuracy | 0.9000 | 0.8500 |"));
         assert!(axes.contains("| prune-baseline | area_mm2 | 300.0000 | 500.0000 |"));
         assert!(!axes.contains("| prune-cross |"), "empty axis stats emit no rows");
+    }
+
+    #[test]
+    fn telemetry_summary_lists_phases_and_front() {
+        let mut s = fake_study();
+        s.stats.search = vec![
+            crate::explore::SearchStats {
+                strategy: "nsga2".into(),
+                front_size: 7,
+                hypervolume: Some(0.8123),
+                hv_ref: vec![0.0, 1000.0],
+                telemetry: crate::explore::SearchTelemetry {
+                    phases: pax_obs::PhasesSnapshot {
+                        phases: vec![
+                            pax_obs::PhaseStat { name: "resolve", calls: 3, ns: 1_000_000 },
+                            pax_obs::PhaseStat { name: "fold", calls: 0, ns: 0 },
+                            pax_obs::PhaseStat { name: "masked-sim", calls: 40, ns: 3_000_000 },
+                        ],
+                    },
+                    wall_ms: 12.0,
+                },
+                ..Default::default()
+            },
+            crate::explore::SearchStats::default(),
+        ];
+        let md = telemetry_summary(&s);
+        assert!(md.contains("| prune-baseline | 7 | 0.8123 | resolve | 3 | 1.0 | 25% |"), "{md}");
+        assert!(md.contains("|  |  |  | masked-sim | 40 | 3.0 | 75% |"), "{md}");
+        assert!(!md.contains("| fold |"), "zero-call phases emit no rows: {md}");
+        assert!(md.contains("| prune-cross | 0 | — | — | 0 | 0.0 | 0% |"), "{md}");
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Lock-free log-bucketed histogram for latency-style measurements.
+//!
+//! Values are `u64`s (typically nanoseconds) sorted into log-linear
+//! buckets: below [`SUB`] the mapping is identity (exact), above it
+//! each power-of-two octave is split into [`SUB`] sub-buckets, bounding
+//! relative error at `1/SUB` (~3.1%). Recording is a single relaxed
+//! `fetch_add` per bucket plus count/sum/min/max updates, so hot paths
+//! (per-request serving latency, per-candidate evaluation phases) can
+//! record without contention. Histograms merge by bucket-wise addition,
+//! which is associative and commutative, so per-shard or per-thread
+//! histograms roll up into one without locks.
+//!
+//! Quantiles use the nearest-rank definition over *exact* counts: the
+//! reported value is the lower bound of the bucket containing the
+//! rank-`ceil(q·N)` observation, so `p50 <= p90 <= p99` always holds
+//! and every quantile is within one bucket's resolution of the true
+//! order statistic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution exponent: each octave splits into `2^SUB_BITS`
+/// linear sub-buckets.
+const SUB_BITS: u32 = 5;
+
+/// Sub-buckets per octave; also the boundary below which bucketing is
+/// the identity mapping (values `< SUB` are recorded exactly).
+pub const SUB: u64 = 1 << SUB_BITS;
+
+/// Number of distinct octaves above the linear region for `u64` input.
+const OCTAVES: usize = (64 - SUB_BITS as usize) - 1 + 1; // g in 0..=63-SUB_BITS
+
+/// Total bucket count covering the full `u64` range.
+pub const NUM_BUCKETS: usize = SUB as usize + OCTAVES * SUB as usize;
+
+/// Maps a value to its bucket index. Total and monotone over `u64`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros();
+        let g = msb - SUB_BITS;
+        let offset = (value >> g) - SUB;
+        (SUB + u64::from(g) * SUB + offset) as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `index` — the value quantile queries
+/// report for observations landing in that bucket.
+#[inline]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB {
+        index
+    } else {
+        let g = (index - SUB) / SUB;
+        let offset = (index - SUB) % SUB;
+        (SUB + offset) << g
+    }
+}
+
+/// Lock-free log-bucketed histogram. See the module docs for the
+/// bucketing scheme and error bound.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Lock-free; safe to call concurrently
+    /// from any number of threads.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records `n` observations of the same value in one shot.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Folds another histogram's counts into this one. Bucket-wise
+    /// addition: associative, commutative, and loss-free.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the buckets for quantile queries and
+    /// rendering. The copy is not atomic across buckets, but counts
+    /// never decrease, so a concurrent snapshot is a valid histogram of
+    /// *some* prefix-plus-partial set of the recorded observations.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Total observations (sum of bucket counts at snapshot time).
+    pub count: u64,
+    /// Sum of all recorded values (wrapping only past `u64::MAX` total).
+    pub sum: u64,
+    /// Smallest recorded value, `0` when empty.
+    pub min: u64,
+    /// Largest recorded value, `0` when empty.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank quantile: the lower bound of the bucket holding the
+    /// `ceil(q·count)`-th smallest observation (clamped to `[1, count]`).
+    /// Returns `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                // Min/max tighten the two edge buckets to exact values.
+                let lower = bucket_lower_bound(index);
+                return Some(lower.max(self.min).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (`quantile(0.50)`), `0` when empty.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50).unwrap_or(0)
+    }
+
+    /// 90th percentile, `0` when empty.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90).unwrap_or(0)
+    }
+
+    /// 99th percentile, `0` when empty.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99).unwrap_or(0)
+    }
+
+    /// 99.9th percentile, `0` when empty.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999).unwrap_or(0)
+    }
+
+    /// Arithmetic mean of the recorded values, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count recorded in bucket `index` (for tests and rendering).
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.buckets.get(index).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_self_consistent() {
+        let probes: Vec<u64> = (0..63)
+            .flat_map(|s| {
+                let p = 1u64 << s;
+                [p.saturating_sub(1), p, p + 1, p + p / 3]
+            })
+            .chain([0, 5, 31, 32, 33, 1000, u64::MAX])
+            .collect();
+        let mut last = 0usize;
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        for v in sorted {
+            let i = bucket_index(v);
+            assert!(i >= last, "bucket index must be monotone: {v} -> {i} after {last}");
+            assert!(i < NUM_BUCKETS);
+            assert!(bucket_lower_bound(i) <= v, "lower bound exceeds value for {v}");
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i, "lower bound must map back");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_sub_resolution() {
+        for v in [100u64, 999, 12_345, 1 << 20, (1 << 40) + 17] {
+            let lower = bucket_lower_bound(bucket_index(v));
+            let err = (v - lower) as f64 / v as f64;
+            assert!(err <= 1.0 / SUB as f64 + 1e-12, "value {v}: err {err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_order_and_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), None);
+        h.record(10);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), Some(10));
+        assert_eq!(s.quantile(1.0), Some(10));
+        for v in [1u64, 2, 3, 1000, 2000, 100_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.p50() <= s.p90());
+        assert!(s.p90() <= s.p99());
+        assert!(s.p99() <= s.p999());
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100_000);
+        assert_eq!(s.count, 7);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        a.record(70);
+        b.record_n(70, 3);
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 5 + 70 * 4);
+        assert_eq!(s.bucket(bucket_index(70)), 4);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 70);
+    }
+
+    #[test]
+    fn record_n_zero_is_a_no_op() {
+        let h = Histogram::new();
+        h.record_n(42, 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.snapshot().min, 0);
+    }
+}

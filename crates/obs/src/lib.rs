@@ -1,0 +1,35 @@
+//! `pax_obs` — workspace-wide telemetry for the printed-ML stack.
+//!
+//! One small crate gives every layer the same three instruments plus a
+//! structured journal:
+//!
+//! - [`Histogram`]: a lock-free log-bucketed latency histogram with
+//!   exact-count nearest-rank quantiles (`p50/p90/p99/p999`) and
+//!   loss-free merging — the backing store for serving-latency SLOs and
+//!   evaluation-phase timings.
+//! - [`Registry`]: counters, gauges and histograms keyed by
+//!   `(subsystem, name, label)`, snapshotted into a [`Snapshot`] that
+//!   renders as an aligned human table or Prometheus-style text
+//!   exposition.
+//! - [`Phases`]: fixed-name phase timers splitting a repeated operation
+//!   (one candidate evaluation) into accountable spans — call counts
+//!   are deterministic, wall time is advisory.
+//! - [`StudyJournal`]: an append-only JSONL log, one self-contained
+//!   record per search generation, opt-in via `PAX_OBS_JOURNAL=path`.
+//!
+//! Everything is relaxed atomics or append-under-mutex: instrumenting a
+//! hot path never changes what that path computes, only how visible it
+//! is.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod journal;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use journal::{AxisExtreme, JournalEvent, JournalParseError, StudyJournal, JOURNAL_ENV};
+pub use registry::{Counter, Gauge, MetricSample, Registry, SampleValue, Snapshot};
+pub use span::{PhaseStat, Phases, PhasesSnapshot};

@@ -1,0 +1,191 @@
+//! Phase-timed spans: a fixed set of named accumulators that split a
+//! repeated operation (e.g. one candidate evaluation) into phases and
+//! account wall time and call counts to each.
+//!
+//! Accumulators are relaxed atomics, so instrumented code stays
+//! lock-free and the timing side channel cannot perturb measured
+//! values. Call counts are deterministic for a deterministic workload;
+//! nanosecond totals are not — consumers that need reproducible
+//! equality must compare only the counts (see
+//! [`PhasesSnapshot::counts`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A fixed set of named phase accumulators.
+#[derive(Debug)]
+pub struct Phases {
+    names: &'static [&'static str],
+    ns: Vec<AtomicU64>,
+    calls: Vec<AtomicU64>,
+}
+
+impl Phases {
+    /// Accumulators for the given phase names; index order is the
+    /// reporting order.
+    pub fn new(names: &'static [&'static str]) -> Self {
+        Self {
+            names,
+            ns: names.iter().map(|_| AtomicU64::new(0)).collect(),
+            calls: names.iter().map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Runs `f`, accounting its wall time and one call to phase
+    /// `index`.
+    #[inline]
+    pub fn time<R>(&self, index: usize, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.add(index, u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        result
+    }
+
+    /// Accounts `ns` nanoseconds and one call to phase `index`.
+    #[inline]
+    pub fn add(&self, index: usize, ns: u64) {
+        self.ns[index].fetch_add(ns, Ordering::Relaxed);
+        self.calls[index].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The phase names in reporting order.
+    pub fn names(&self) -> &'static [&'static str] {
+        self.names
+    }
+
+    /// Point-in-time totals.
+    pub fn snapshot(&self) -> PhasesSnapshot {
+        PhasesSnapshot {
+            phases: self
+                .names
+                .iter()
+                .enumerate()
+                .map(|(i, &name)| PhaseStat {
+                    name,
+                    calls: self.calls[i].load(Ordering::Relaxed),
+                    ns: self.ns[i].load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Folds another accumulator set into this one, phase-by-phase.
+    ///
+    /// # Panics
+    /// Panics if the phase name lists differ.
+    pub fn merge(&self, other: &Phases) {
+        assert_eq!(self.names, other.names, "cannot merge phases with different names");
+        for i in 0..self.names.len() {
+            self.ns[i].fetch_add(other.ns[i].load(Ordering::Relaxed), Ordering::Relaxed);
+            self.calls[i].fetch_add(other.calls[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Totals for one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseStat {
+    /// Phase name.
+    pub name: &'static str,
+    /// Times the phase ran.
+    pub calls: u64,
+    /// Total wall time in nanoseconds.
+    pub ns: u64,
+}
+
+/// Point-in-time view of a [`Phases`] accumulator set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhasesSnapshot {
+    /// Per-phase totals in reporting order.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl PhasesSnapshot {
+    /// Per-phase totals accumulated since `earlier` was taken.
+    ///
+    /// # Panics
+    /// Panics if the snapshots cover different phase lists.
+    pub fn since(&self, earlier: &PhasesSnapshot) -> PhasesSnapshot {
+        assert_eq!(self.phases.len(), earlier.phases.len(), "snapshots must match");
+        PhasesSnapshot {
+            phases: self
+                .phases
+                .iter()
+                .zip(earlier.phases.iter())
+                .map(|(now, then)| {
+                    assert_eq!(now.name, then.name, "snapshots must cover the same phases");
+                    PhaseStat {
+                        name: now.name,
+                        calls: now.calls.saturating_sub(then.calls),
+                        ns: now.ns.saturating_sub(then.ns),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Just the deterministic `(name, calls)` pairs — wall-time totals
+    /// vary run to run, call counts do not.
+    pub fn counts(&self) -> Vec<(&'static str, u64)> {
+        self.phases.iter().map(|p| (p.name, p.calls)).collect()
+    }
+
+    /// Total wall time across all phases in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.ns).sum()
+    }
+
+    /// Looks up one phase by name.
+    pub fn get(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAMES: &[&str] = &["resolve", "fold", "sim"];
+
+    #[test]
+    fn time_accounts_calls_and_nonzero_ns() {
+        let p = Phases::new(NAMES);
+        let out = p.time(1, || {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            42
+        });
+        assert_eq!(out, 42);
+        let s = p.snapshot();
+        assert_eq!(s.get("fold").unwrap().calls, 1);
+        assert!(s.get("fold").unwrap().ns > 0);
+        assert_eq!(s.get("resolve").unwrap().calls, 0);
+        assert_eq!(s.counts(), vec![("resolve", 0), ("fold", 1), ("sim", 0)]);
+    }
+
+    #[test]
+    fn since_subtracts_baselines() {
+        let p = Phases::new(NAMES);
+        p.add(0, 100);
+        let before = p.snapshot();
+        p.add(0, 50);
+        p.add(2, 7);
+        let delta = p.snapshot().since(&before);
+        assert_eq!(delta.get("resolve").unwrap(), &PhaseStat { name: "resolve", calls: 1, ns: 50 });
+        assert_eq!(delta.get("sim").unwrap().ns, 7);
+        assert_eq!(delta.total_ns(), 57);
+    }
+
+    #[test]
+    fn merge_folds_counterpart_phases() {
+        let a = Phases::new(NAMES);
+        let b = Phases::new(NAMES);
+        a.add(0, 10);
+        b.add(0, 5);
+        b.add(1, 3);
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.get("resolve").unwrap().ns, 15);
+        assert_eq!(s.get("resolve").unwrap().calls, 2);
+        assert_eq!(s.get("fold").unwrap().calls, 1);
+    }
+}

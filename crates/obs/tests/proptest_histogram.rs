@@ -1,0 +1,120 @@
+//! Histogram correctness properties against a sorted-vector oracle:
+//! every quantile estimate lands in the same bucket as the true
+//! nearest-rank order statistic (i.e. within one bucket's resolution),
+//! merging is associative and commutative, and concurrent recording
+//! from many threads loses no counts.
+
+use pax_obs::histogram::{bucket_index, bucket_lower_bound, Histogram};
+use proptest::prelude::*;
+
+/// Nearest-rank order statistic on the raw samples — the oracle the
+/// histogram's `quantile` approximates.
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn fill(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Latency-shaped values: mix of tiny, mid-range, and huge.
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(prop_oneof![0u64..64, 64u64..100_000, 100_000u64..u64::MAX], 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Each quantile estimate is in the bucket that contains the true
+    /// order statistic — the estimate is within bucket resolution
+    /// (~3.1%) of the oracle — and estimates are monotone in `q`.
+    #[test]
+    fn quantiles_match_oracle_to_bucket_resolution(
+        values in arb_values(),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        // The vendored proptest has no RangeInclusive<f64> strategy, so
+        // pin the q=1.0 edge case explicitly.
+        let qs: Vec<f64> = qs.into_iter().chain([1.0]).collect();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = fill(&values).snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        for &q in &qs {
+            let estimate = snap.quantile(q).expect("nonempty");
+            let truth = oracle(&sorted, q);
+            prop_assert_eq!(
+                bucket_index(estimate),
+                bucket_index(truth),
+                "q={} estimate={} truth={}",
+                q, estimate, truth
+            );
+            prop_assert!(estimate <= truth, "lower-bound estimate must not overshoot");
+            prop_assert!(estimate >= bucket_lower_bound(bucket_index(truth)));
+        }
+        let (p50, p90, p99, p999) = (snap.p50(), snap.p90(), snap.p99(), snap.p999());
+        prop_assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, *sorted.last().expect("nonempty"));
+    }
+
+    /// Merge is commutative — `a ∪ b` and `b ∪ a` snapshot identically.
+    #[test]
+    fn merge_is_commutative(a in arb_values(), b in arb_values()) {
+        let ab = fill(&a);
+        ab.merge(&fill(&b));
+        let ba = fill(&b);
+        ba.merge(&fill(&a));
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+    }
+
+    /// Merge is associative — `(a ∪ b) ∪ c` == `a ∪ (b ∪ c)` — and both
+    /// equal recording all samples into one histogram (loss-free).
+    #[test]
+    fn merge_is_associative_and_lossless(
+        a in arb_values(),
+        b in arb_values(),
+        c in arb_values(),
+    ) {
+        let left = fill(&a);
+        left.merge(&fill(&b));
+        left.merge(&fill(&c));
+
+        let bc = fill(&b);
+        bc.merge(&fill(&c));
+        let right = fill(&a);
+        right.merge(&bc);
+
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = fill(&all);
+
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+        prop_assert_eq!(left.snapshot(), direct.snapshot());
+    }
+
+    /// Concurrent recording from N threads loses no counts: the shared
+    /// histogram ends up identical to a sequential fill of the union.
+    #[test]
+    fn concurrent_recording_loses_nothing(
+        per_thread in proptest::collection::vec(arb_values(), 2..6),
+    ) {
+        let shared = Histogram::new();
+        std::thread::scope(|scope| {
+            let shared = &shared;
+            for chunk in &per_thread {
+                scope.spawn(move || {
+                    for &v in chunk {
+                        shared.record(v);
+                    }
+                });
+            }
+        });
+        let all: Vec<u64> = per_thread.iter().flatten().copied().collect();
+        prop_assert_eq!(shared.snapshot(), fill(&all).snapshot());
+    }
+}

@@ -290,6 +290,30 @@ impl ServeEngine {
             .collect()
     }
 
+    /// Workspace telemetry snapshot: per-model counters, queue gauges
+    /// and latency histograms (labelled by model name) plus one derived
+    /// queue-depth gauge per registry shard (labelled `shard-NN`) — the
+    /// load-balance view the work-stealing scan acts on. Render with
+    /// [`pax_obs::Snapshot::to_table`] or
+    /// [`pax_obs::Snapshot::to_prometheus`].
+    pub fn telemetry(&self) -> pax_obs::Snapshot {
+        let mut snap = pax_obs::Snapshot::default();
+        for entry in self.shared.registry.entries() {
+            for sample in entry.metrics.samples(&entry.name) {
+                snap.push(sample);
+            }
+        }
+        for (shard, depth) in self.shared.registry.shard_queue_depths().into_iter().enumerate() {
+            snap.push(pax_obs::MetricSample {
+                subsystem: "serve".to_owned(),
+                name: "shard_queue_depth".to_owned(),
+                label: format!("shard-{shard:02}"),
+                value: pax_obs::SampleValue::Gauge(depth),
+            });
+        }
+        snap
+    }
+
     /// Stops the workers, cancels queued requests and joins the pool.
     pub fn shutdown(mut self) {
         self.teardown();
@@ -394,13 +418,13 @@ fn execute(entry: &ModelEntry, batch: Vec<Request>) {
     debug_assert_eq!(predictions.len(), batch.len());
 
     let done = Instant::now();
-    let latency_ns: u64 = batch
+    let latencies_ns: Vec<u64> = batch
         .iter()
         .map(|r| u64::try_from(done.duration_since(r.enqueued).as_nanos()).unwrap_or(u64::MAX))
-        .sum();
+        .collect();
     // Meter before answering: once a caller's ticket resolves, the
     // batch it rode in is already visible in the snapshot counters.
-    entry.metrics.on_batch_done(batch.len(), latency_ns);
+    entry.metrics.on_batch_done(&latencies_ns);
     for (request, &class) in batch.iter().zip(&predictions) {
         request.slot.fill(Outcome::Class(class));
     }
@@ -608,5 +632,41 @@ mod tests {
         let all = engine.all_metrics();
         assert_eq!(all.len(), 6);
         assert!(all.iter().all(|(_, s)| s.completed == 64));
+    }
+
+    #[test]
+    fn telemetry_snapshot_has_per_model_and_per_shard_samples() {
+        let engine = ServeEngine::new(EngineConfig { workers: 2, ..Default::default() });
+        engine.register(demo_artifact("telemetry")).unwrap();
+        engine.classify("telemetry", &rows(100)).unwrap();
+
+        let snap = engine.telemetry();
+        assert_eq!(
+            snap.get("serve", "completed", "telemetry"),
+            Some(&pax_obs::SampleValue::Counter(100))
+        );
+        match snap.get("serve", "latency_ns", "telemetry") {
+            Some(pax_obs::SampleValue::Histogram(h)) => {
+                assert_eq!(h.count, 100);
+                assert!(h.p50() > 0, "served requests must have nonzero latency");
+                assert!(h.p50() <= h.p99());
+            }
+            other => panic!("latency_ns must be a histogram sample, got {other:?}"),
+        }
+        let shard_gauges = snap
+            .samples
+            .iter()
+            .filter(|s| s.name == "shard_queue_depth" && s.label.starts_with("shard-"))
+            .count();
+        assert_eq!(shard_gauges, SHARDS, "one derived queue gauge per registry shard");
+
+        let prom = engine.telemetry().to_prometheus();
+        assert!(prom.contains("pax_serve_completed{label=\"telemetry\"} 100"), "{prom}");
+        assert!(
+            prom.contains("pax_serve_latency_ns{label=\"telemetry\",quantile=\"0.5\"}"),
+            "{prom}"
+        );
+        assert!(prom.contains("pax_serve_shard_queue_depth{label=\"shard-00\"} 0"), "{prom}");
+        engine.shutdown();
     }
 }

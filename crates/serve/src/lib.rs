@@ -24,8 +24,12 @@
 //!   the non-serving backend; disagreements are metered as
 //!   [`MetricsSnapshot::divergence`] — the live, in-production measure
 //!   of the accuracy the approximation actually costs.
-//! * **Metrics** ([`MetricsSnapshot`]): throughput, latency, batch
-//!   occupancy, backpressure rejections and audit divergence per model.
+//! * **Metrics** ([`MetricsSnapshot`]): windowed throughput, latency
+//!   mean and tail quantiles (p50/p99 from a shared [`pax_obs`]
+//!   histogram), batch occupancy, backpressure rejections and audit
+//!   divergence per model. [`ServeEngine::telemetry`] rolls everything
+//!   (plus per-shard queue-depth gauges) into a [`pax_obs::Snapshot`]
+//!   renderable as a table or Prometheus-style exposition.
 //!
 //! # Example
 //!

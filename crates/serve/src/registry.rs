@@ -202,6 +202,15 @@ impl Registry {
         self.shards.iter().flat_map(|s| s.read().values().cloned().collect::<Vec<_>>()).collect()
     }
 
+    /// Queued-or-in-flight request totals per shard, indexed by shard —
+    /// the load-balance view the work-stealing scan acts on.
+    pub(crate) fn shard_queue_depths(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(|e| e.metrics.queue_depth()).sum())
+            .collect()
+    }
+
     /// Finds a model with queued work, scanning shards starting at the
     /// caller's `home` shard — a worker drains its own shard's models
     /// first and *steals* from the rest only when home is idle.
@@ -313,5 +322,23 @@ mod tests {
         }
         assert!(reg.remove("m19").is_some());
         assert!(reg.get("m19").is_none());
+    }
+
+    #[test]
+    fn shard_queue_depths_track_enqueued_work() {
+        let reg = Registry::new();
+        assert!(reg.insert(entry("depth", 8)));
+        let depths = reg.shard_queue_depths();
+        assert_eq!(depths.len(), SHARDS);
+        assert_eq!(depths.iter().sum::<u64>(), 0);
+
+        let target = reg.get("depth").unwrap();
+        for _ in 0..3 {
+            let (req, _t) = Request::new(vec![0, 0]);
+            assert!(target.enqueue(req));
+        }
+        let depths = reg.shard_queue_depths();
+        assert_eq!(depths.iter().sum::<u64>(), 3);
+        assert_eq!(depths.iter().filter(|&&d| d > 0).count(), 1, "one model, one hot shard");
     }
 }

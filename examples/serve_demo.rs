@@ -114,5 +114,23 @@ fn main() {
         snapshot.divergence * 100.0,
         100.0 * (study.coeff.accuracy - artifact.point.accuracy).max(0.0),
     );
+
+    // ---- Telemetry: tail latency and the exposition formats ----------
+    println!(
+        "latency: mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms",
+        snapshot.mean_latency_ms, snapshot.p50_latency_ms, snapshot.p99_latency_ms,
+    );
+    assert!(snapshot.p50_latency_ms > 0.0, "served traffic must record nonzero p50");
+    assert!(snapshot.p99_latency_ms > 0.0, "served traffic must record nonzero p99");
+    assert!(
+        snapshot.p50_latency_ms <= snapshot.p99_latency_ms,
+        "quantiles must be ordered: p50 {} > p99 {}",
+        snapshot.p50_latency_ms,
+        snapshot.p99_latency_ms,
+    );
+
+    let telemetry = engine.telemetry();
+    println!("\n{}", telemetry.to_table());
+    println!("{}", telemetry.to_prometheus());
     std::fs::remove_file(&path).ok();
 }
