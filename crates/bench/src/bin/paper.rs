@@ -10,6 +10,7 @@
 //! paper proxy                  # §III-B   (area-proxy correlation)
 //! paper explore                # grid vs NSGA-II search (BENCH_explore.json)
 //! paper prune_eval             # rebuild vs overlay evaluation (BENCH_prune_eval.json)
+//! paper coeff_eval             # stacked coeff+prune overlay vs rebuild (BENCH_coeff_eval.json)
 //! paper obs                    # journalled NSGA-II study + journal verification
 //! paper all                    # everything
 //!
@@ -38,7 +39,7 @@ struct Options {
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: paper <table1|table2|table3|fig1|fig2|fig3|proxy|quant|explore|prune_eval|obs|all> [--out DIR] [--quick] [--circuit STR]");
+        eprintln!("usage: paper <table1|table2|table3|fig1|fig2|fig3|proxy|quant|explore|prune_eval|coeff_eval|obs|all> [--out DIR] [--quick] [--circuit STR]");
         std::process::exit(2);
     };
     let mut opts = Options { out: None, quick: false, circuit: None };
@@ -71,6 +72,7 @@ fn main() {
         "quant" => run_quant(&opts),
         "explore" => run_explore(&opts),
         "prune_eval" => run_prune_eval(&opts),
+        "coeff_eval" => run_coeff_eval(&opts),
         "obs" => run_obs(&opts),
         "all" => {
             run_fig1(&opts);
@@ -79,6 +81,7 @@ fn main() {
             run_quant(&opts);
             run_explore(&opts);
             run_prune_eval(&opts);
+            run_coeff_eval(&opts);
             run_table1(&opts);
             // table2/table3/fig3 share one set of studies.
             let runs = load_studies(&opts);
@@ -214,6 +217,15 @@ fn run_prune_eval(opts: &Options) {
     println!("{}", pax_bench::prune_eval::render(&rows));
     let json = pax_bench::prune_eval::to_json(&rows, &cfg, seed);
     write_artifact(opts, "prune_eval.json", &json);
+}
+
+fn run_coeff_eval(opts: &Options) {
+    let cfg = synth_config(opts);
+    let rows = pax_bench::coeff_eval::run(&cfg);
+    println!("# Stacked coeff+prune evaluation — rebuild pipeline vs overlay per gene\n");
+    println!("{}", pax_bench::coeff_eval::render(&rows));
+    let json = pax_bench::coeff_eval::to_json(&rows, &cfg);
+    write_artifact(opts, "coeff_eval.json", &json);
 }
 
 fn run_obs(opts: &Options) {

@@ -23,7 +23,7 @@ use std::fmt::Write as _;
 use pax_bespoke::BespokeCircuit;
 use pax_core::coeff_approx::approximate_model;
 use pax_core::explore::{
-    Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, ObjectiveSet,
+    CoeffGene, Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, ObjectiveSet,
     ParetoArchive, SearchOutcome,
 };
 use pax_core::framework::{Framework, FrameworkConfig};
@@ -135,13 +135,13 @@ pub fn run_entry(entry: &Entry, budget_fraction: f64, seed: u64) -> ExploreRow {
     let contexts = || {
         vec![
             EvalContext {
-                use_coeff: false,
+                coeff: CoeffGene::exact(),
                 netlist: &base_nl,
                 model,
                 analysis: base_analysis.clone(),
             },
             EvalContext {
-                use_coeff: true,
+                coeff: CoeffGene::uniform(1),
                 netlist: &approx_nl,
                 model: &approx,
                 analysis: approx_analysis.clone(),

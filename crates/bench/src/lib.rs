@@ -19,7 +19,10 @@
 //! * [`obs`] — a journalled NSGA-II study plus read-back verification
 //!   of the `pax_obs` search journal and evaluation-phase spans;
 //! * [`prune_eval`] — rebuild-pipeline versus overlay candidate
-//!   evaluation throughput (the `BENCH_prune_eval.json` study).
+//!   evaluation throughput (the `BENCH_prune_eval.json` study);
+//! * [`coeff_eval`] — stacked coefficient+pruning overlay versus the
+//!   rebuild oracle on the joint graded-gene grid (the
+//!   `BENCH_coeff_eval.json` study).
 //!
 //! The `paper` binary exposes all of it:
 //!
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod coeff_eval;
 pub mod explore;
 pub mod fig1;
 pub mod fig2;

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use pax_bespoke::BespokeCircuit;
 use pax_core::coeff_approx::approximate_model;
-use pax_core::explore::{Engine, EvalContext, Evaluator, Nsga2, Nsga2Config};
+use pax_core::explore::{CoeffGene, Engine, EvalContext, Evaluator, Nsga2, Nsga2Config};
 use pax_core::framework::{Framework, FrameworkConfig};
 use pax_ml::quant::ModelKind;
 use pax_ml::synth_data::SynthConfig;
@@ -76,9 +76,14 @@ pub fn run(cfg: &SynthConfig, seed: u64, journal_path: &Path) -> ObsRow {
     let base_analysis = pax_core::prune::analyze(&base_nl, model, train);
     let approx_analysis = pax_core::prune::analyze(&approx_nl, &approx, train);
     let contexts = vec![
-        EvalContext { use_coeff: false, netlist: &base_nl, model, analysis: base_analysis },
         EvalContext {
-            use_coeff: true,
+            coeff: CoeffGene::exact(),
+            netlist: &base_nl,
+            model,
+            analysis: base_analysis,
+        },
+        EvalContext {
+            coeff: CoeffGene::uniform(1),
             netlist: &approx_nl,
             model: &approx,
             analysis: approx_analysis,

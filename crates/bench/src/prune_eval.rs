@@ -19,7 +19,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use pax_core::explore::{
-    Engine, EvalContext, EvalMode, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, SearchOutcome,
+    CoeffGene, Engine, EvalContext, EvalMode, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config,
+    SearchOutcome,
 };
 use pax_core::framework::{Framework, FrameworkConfig};
 use pax_core::prune::PruneAnalysis;
@@ -99,7 +100,7 @@ fn timed_run(
             &fw.config().tech,
             &entry.test,
             vec![EvalContext {
-                use_coeff: false,
+                coeff: CoeffGene::exact(),
                 netlist: base,
                 model: &entry.model,
                 analysis: analysis.clone(),

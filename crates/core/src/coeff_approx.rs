@@ -87,7 +87,24 @@ pub fn approximate_model(
     cache: &MultCache,
     cfg: &CoeffApproxConfig,
 ) -> (QuantizedModel, CoeffApproxReport) {
-    assert!(cfg.e >= 0, "negative neighbourhood width");
+    approximate_model_layers(model, cache, cfg, &[cfg.e, cfg.e])
+}
+
+/// Per-layer variant of [`approximate_model`]: `layer_e[l]` overrides
+/// the neighbourhood half-width for layer `l`'s sums. `e = 0` leaves a
+/// layer exact (a width-0 neighbourhood is the identity — the
+/// `e_zero_is_identity` test pins this — so those sums are skipped
+/// wholesale rather than balanced over single-value candidate sets).
+/// Layers beyond the slice stay exact. This is the primitive behind
+/// the graded [`CoeffGene`](crate::explore::CoeffGene) axis, where each
+/// gene level maps to one `e` per layer.
+pub fn approximate_model_layers(
+    model: &QuantizedModel,
+    cache: &MultCache,
+    cfg: &CoeffApproxConfig,
+    layer_e: &[i64],
+) -> (QuantizedModel, CoeffApproxReport) {
+    assert!(layer_e.iter().all(|&e| e >= 0), "negative neighbourhood width");
     let mut out = model.clone();
     let shapes = model.sum_shapes();
 
@@ -100,13 +117,29 @@ pub fn approximate_model(
                 let cache = &cache;
                 let cfg = &cfg;
                 s.spawn(move || {
+                    let e = layer_e.get(layer).copied().unwrap_or(0);
                     let sum = model.sum(layer, index);
+                    if e == 0 {
+                        // Identity layer: unchanged weights, zero
+                        // residual, proxy before == after.
+                        let proxy: f64 =
+                            sum.weights.iter().map(|&w| cache.area(in_bits.max(1), w)).sum();
+                        let report = SumApproxReport {
+                            layer,
+                            index,
+                            residual_error: 0,
+                            proxy_before: proxy,
+                            proxy_after: proxy,
+                        };
+                        return (layer, index, sum.weights.clone(), report);
+                    }
+                    let layer_cfg = CoeffApproxConfig { e, exhaustive_limit: cfg.exhaustive_limit };
                     let (weights, report) = approximate_sum(
                         &sum.weights,
                         in_bits.max(1),
                         model.spec.coef_range(),
                         cache,
-                        cfg,
+                        &layer_cfg,
                         layer,
                         index,
                     );
@@ -331,6 +364,25 @@ mod tests {
         let (approx, report) = approximate_model(&m, &c, &cfg);
         assert_eq!(approx.layer1, m.layer1);
         assert_eq!(report.proxy_before(), report.proxy_after());
+    }
+
+    #[test]
+    fn per_layer_widths_match_uniform_and_identity() {
+        let m =
+            model_with_weights(vec![vec![0.49, -0.26, 0.99, 0.13], vec![-0.52, 0.27, -0.95, 0.24]]);
+        let c = cache();
+        let cfg = CoeffApproxConfig::default();
+        // Uniform per-layer widths reproduce the whole-model path
+        // exactly (the legacy entry point now delegates here).
+        let (uniform, _) = approximate_model(&m, &c, &cfg);
+        let (layered, rep) = approximate_model_layers(&m, &c, &cfg, &[cfg.e, cfg.e]);
+        assert_eq!(uniform.layer1, layered.layer1);
+        assert!(rep.proxy_after() < rep.proxy_before());
+        // A zero width leaves the layer exact, with an identity report.
+        let (exact, rep0) = approximate_model_layers(&m, &c, &cfg, &[0]);
+        assert_eq!(exact.layer1, m.layer1);
+        assert_eq!(rep0.proxy_before(), rep0.proxy_after());
+        assert!(rep0.sums.iter().all(|s| s.residual_error == 0));
     }
 
     #[test]

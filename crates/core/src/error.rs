@@ -30,9 +30,9 @@ pub enum StudyError {
     /// not given (e.g. a coefficient-approximated candidate against an
     /// evaluator holding only the exact baseline).
     MissingContext {
-        /// Whether the candidate asked for the coefficient-approximated
-        /// base circuit.
-        use_coeff: bool,
+        /// The per-layer coefficient-approximation gene the candidate
+        /// asked for.
+        gene: crate::explore::CoeffGene,
     },
     /// A parallel grid evaluation drained without a result for every
     /// set. Unreachable unless a worker died without reporting an error
@@ -51,11 +51,17 @@ impl std::fmt::Display for StudyError {
         match self {
             StudyError::Library(e) => write!(f, "library does not cover the netlist: {e}"),
             StudyError::Sim(e) => write!(f, "simulation rejected the dataset: {e}"),
-            StudyError::MissingContext { use_coeff } => write!(
-                f,
-                "no evaluation context for {} candidates",
-                if *use_coeff { "coefficient-approximated" } else { "baseline" }
-            ),
+            StudyError::MissingContext { gene } => {
+                if gene.is_exact() {
+                    write!(f, "no evaluation context for baseline candidates")
+                } else {
+                    write!(
+                        f,
+                        "no evaluation context for coefficient-approximated candidates \
+                         (gene {gene})"
+                    )
+                }
+            }
             StudyError::IncompleteGrid => {
                 write!(f, "grid evaluation drained without a result for every pruned set")
             }
@@ -96,8 +102,11 @@ mod tests {
     fn display_names_the_failing_layer() {
         let e = StudyError::Sim(SimError::EmptyStimulus);
         assert!(e.to_string().contains("empty stimulus"));
-        let m = StudyError::MissingContext { use_coeff: true };
+        let m = StudyError::MissingContext { gene: crate::explore::CoeffGene::per_layer(&[2, 1]) };
         assert!(m.to_string().contains("coefficient-approximated"));
+        assert!(m.to_string().contains("2/1"), "{m}");
+        let b = StudyError::MissingContext { gene: crate::explore::CoeffGene::exact() };
+        assert!(b.to_string().contains("baseline"));
     }
 
     #[test]

@@ -20,8 +20,10 @@ use pax_netlist::{NetId, Netlist};
 
 use pax_obs::{Phases, PhasesSnapshot};
 
-use super::{Candidate, ContextSpace, SearchSpace};
+use super::{Candidate, CoeffGene, ContextSpace, SearchSpace, MAX_COEFF_LAYERS};
+use crate::coeff_approx::{approximate_model_layers, CoeffApproxConfig};
 use crate::error::StudyError;
+use crate::mult_cache::MultCache;
 use crate::prune::{phase, OverlayContext, PruneAnalysis, PruneConfig, PruneEval, EVAL_PHASES};
 use crate::{DesignPoint, Technique};
 
@@ -44,21 +46,77 @@ pub enum EvalMode {
     Rebuild,
 }
 
-/// One base circuit a candidate can be pruned from: the exact bespoke
-/// baseline (`use_coeff = false`) or the coefficient-approximated
-/// circuit (`use_coeff = true`), with its pruning analysis computed
-/// once up front.
+/// One caller-provided base circuit a candidate can be pruned from —
+/// e.g. the exact bespoke baseline ([`CoeffGene::exact`]) or a
+/// pre-approximated circuit (conventionally [`CoeffGene::uniform`]`(1)`
+/// in two-context setups) — with its pruning analysis computed once up
+/// front. Further coefficient levels need no `EvalContext` at all:
+/// [`Evaluator::with_coeff_axis`] materializes them lazily per gene.
 #[derive(Debug)]
 pub struct EvalContext<'a> {
-    /// Which genome value selects this context.
-    pub use_coeff: bool,
+    /// The coefficient gene selecting this context.
+    pub coeff: CoeffGene,
     /// The (optimized) base netlist candidates prune.
     pub netlist: &'a Netlist,
-    /// The model the netlist hardwires (the approximated model for the
-    /// `use_coeff` context).
+    /// The model the netlist hardwires (the approximated model for
+    /// non-exact contexts).
     pub model: &'a QuantizedModel,
     /// τ/φ metrics of the base netlist (training-set simulation).
     pub analysis: PruneAnalysis,
+}
+
+/// The graded coefficient-approximation axis: everything the evaluator
+/// needs to materialize a base circuit for any [`CoeffGene`] on demand.
+/// Attached via [`Evaluator::with_coeff_axis`], which enumerates one
+/// lazy context per per-layer level combination.
+#[derive(Debug)]
+pub struct CoeffAxis<'a> {
+    /// The *exact* base model every per-level approximation derives
+    /// from.
+    pub model: &'a QuantizedModel,
+    /// Training set driving each materialized circuit's τ/φ analysis
+    /// (the same set the caller analyzed its given contexts with).
+    pub train: &'a Dataset,
+    /// Shared bespoke-multiplier area cache (thread-safe; concurrent
+    /// materializations share it).
+    pub cache: &'a MultCache,
+    /// Balance-search settings. The `e` field is ignored — the graded
+    /// widths below rule.
+    pub cfg: CoeffApproxConfig,
+    /// Neighbourhood half-width of each graded level: `levels[k - 1]`
+    /// is the `e` gene level `k` applies (level 0 is always exact).
+    /// Must be non-empty, strictly positive and ascending.
+    pub levels: Vec<i64>,
+}
+
+/// One base circuit materialized from the coefficient axis: the
+/// per-layer-approximated model, its optimized bespoke netlist and the
+/// pruning analysis — exactly what a caller-provided [`EvalContext`]
+/// carries, but built inside the evaluator on first use.
+#[derive(Debug)]
+struct MaterializedBase {
+    model: QuantizedModel,
+    netlist: Netlist,
+    analysis: PruneAnalysis,
+}
+
+/// One slot of the evaluator's context table.
+#[derive(Debug)]
+enum ContextSlot<'a> {
+    /// Caller-provided (borrowed) base circuit.
+    Given(EvalContext<'a>),
+    /// Materialized from the [`CoeffAxis`] on first access; the
+    /// `OnceLock` keeps concurrent workers from racing the synthesis.
+    Lazy { gene: CoeffGene, cell: OnceLock<MaterializedBase> },
+}
+
+impl ContextSlot<'_> {
+    fn gene(&self) -> CoeffGene {
+        match self {
+            ContextSlot::Given(c) => c.coeff,
+            ContextSlot::Lazy { gene, .. } => *gene,
+        }
+    }
 }
 
 /// Memoized evaluations keyed by the 64-bit content hash of
@@ -117,15 +175,19 @@ impl EvalCache {
     }
 }
 
-/// Maps [`Candidate`] genomes to measured [`DesignPoint`]s over one or
-/// two pre-analyzed base circuits, evaluating distinct prunings in
-/// parallel and memoizing them in an [`EvalCache`].
+/// Maps [`Candidate`] genomes to measured [`DesignPoint`]s over N
+/// gene-keyed base circuits — caller-provided ([`EvalContext`]) or
+/// lazily materialized from a [`CoeffAxis`] — evaluating distinct
+/// prunings in parallel and memoizing them in an [`EvalCache`].
 #[derive(Debug)]
 pub struct Evaluator<'a> {
     lib: &'a Library,
     tech: &'a TechParams,
     test: &'a Dataset,
-    contexts: Vec<EvalContext<'a>>,
+    contexts: Vec<ContextSlot<'a>>,
+    /// The graded coefficient axis backing the lazy slots; `None` for
+    /// purely caller-provided evaluators.
+    axis: Option<CoeffAxis<'a>>,
     /// One shared overlay (tape + packed stimulus + cell/delay tables +
     /// base timing) per context, built lazily on the first overlay-mode
     /// evaluation — an evaluator pinned to [`EvalMode::Rebuild`] (the
@@ -143,8 +205,8 @@ pub struct Evaluator<'a> {
 
 impl<'a> Evaluator<'a> {
     /// Creates an evaluator over the given base circuits. `contexts`
-    /// must be non-empty and hold at most one context per `use_coeff`
-    /// value.
+    /// must be non-empty and hold at most one context per coefficient
+    /// gene.
     pub fn new(
         lib: &'a Library,
         tech: &'a TechParams,
@@ -152,23 +214,68 @@ impl<'a> Evaluator<'a> {
         contexts: Vec<EvalContext<'a>>,
     ) -> Self {
         assert!(!contexts.is_empty(), "evaluator needs at least one base circuit");
-        assert!(
-            !(contexts.len() > 1 && contexts[0].use_coeff == contexts[1].use_coeff)
-                && contexts.len() <= 2,
-            "at most one context per use_coeff value"
-        );
+        for i in 1..contexts.len() {
+            assert!(
+                contexts[..i].iter().all(|c| c.coeff != contexts[i].coeff),
+                "one context per coefficient gene"
+            );
+        }
         let overlays = contexts.iter().map(|_| OnceLock::new()).collect();
         let threads = std::thread::available_parallelism().map_or(4, |t| t.get()).min(16);
         Self {
             lib,
             tech,
             test,
-            contexts,
+            contexts: contexts.into_iter().map(ContextSlot::Given).collect(),
+            axis: None,
             overlays,
             mode: EvalMode::default(),
             threads,
             phases: Phases::new(EVAL_PHASES),
         }
+    }
+
+    /// Opens the graded coefficient-approximation axis: one lazy
+    /// context per per-layer level combination of `axis.levels` (for a
+    /// two-layer model, the full `(level₀, level₁)` cross product; for
+    /// a single-layer model, one context per level). Gene combinations
+    /// a caller-provided context already covers are skipped, so the
+    /// conventional exact [`EvalContext`] keeps serving the
+    /// [`CoeffGene::exact`] corner. Each lazy context synthesizes and
+    /// analyzes its base circuit only when a candidate (or the search
+    /// space) first touches it; its shared overlay tape is built even
+    /// later, on the first overlay-mode evaluation.
+    #[must_use]
+    pub fn with_coeff_axis(mut self, axis: CoeffAxis<'a>) -> Self {
+        assert!(!axis.levels.is_empty(), "coeff axis needs at least one graded level");
+        assert!(
+            axis.levels.iter().all(|&e| e > 0),
+            "graded levels are positive widths (level 0 is always exact)"
+        );
+        assert!(axis.levels.windows(2).all(|w| w[0] < w[1]), "graded levels must ascend");
+        assert!(axis.levels.len() <= usize::from(u8::MAX), "too many graded levels");
+        let per_layer = axis.levels.len() as u8;
+        let layers =
+            axis.model.sum_shapes().iter().map(|&(layer, _, _)| layer + 1).max().unwrap_or(1);
+        let mut genes = Vec::new();
+        for l0 in 0..=per_layer {
+            if layers >= 2 {
+                for l1 in 0..=per_layer {
+                    genes.push(CoeffGene::per_layer(&[l0, l1]));
+                }
+            } else {
+                genes.push(CoeffGene::per_layer(&[l0]));
+            }
+        }
+        for gene in genes {
+            if self.contexts.iter().any(|c| c.gene() == gene) {
+                continue;
+            }
+            self.contexts.push(ContextSlot::Lazy { gene, cell: OnceLock::new() });
+            self.overlays.push(OnceLock::new());
+        }
+        self.axis = Some(axis);
+        self
     }
 
     /// Merged per-phase telemetry: the evaluator's own `resolve`
@@ -190,11 +297,58 @@ impl<'a> Evaluator<'a> {
 
     /// The shared overlay for context `ctx_idx`, built on first use
     /// (`OnceLock` keeps concurrent workers from racing the setup).
+    /// Given contexts borrow their base circuit; lazy contexts hand the
+    /// overlay an owned clone of the materialized one (the evaluator
+    /// keeps the original for gate-set resolution and the rebuild
+    /// oracle).
     fn overlay(&self, ctx_idx: usize) -> &Result<OverlayContext<'a>, StudyError> {
-        let ctx = &self.contexts[ctx_idx];
-        self.overlays[ctx_idx].get_or_init(|| {
-            OverlayContext::new(ctx.netlist, ctx.model, self.test, self.lib, self.tech)
+        self.overlays[ctx_idx].get_or_init(|| match &self.contexts[ctx_idx] {
+            ContextSlot::Given(ctx) => {
+                OverlayContext::new(ctx.netlist, ctx.model, self.test, self.lib, self.tech)
+            }
+            ContextSlot::Lazy { .. } => {
+                let (netlist, model, _) = self.parts(ctx_idx);
+                OverlayContext::new_owned(
+                    netlist.clone(),
+                    model.clone(),
+                    self.test,
+                    self.lib,
+                    self.tech,
+                )
+            }
         })
+    }
+
+    /// `(netlist, model, analysis)` of context `ctx_idx`, materializing
+    /// a lazy context on first access.
+    fn parts(&self, ctx_idx: usize) -> (&Netlist, &QuantizedModel, &PruneAnalysis) {
+        match &self.contexts[ctx_idx] {
+            ContextSlot::Given(c) => (c.netlist, c.model, &c.analysis),
+            ContextSlot::Lazy { gene, cell } => {
+                let m = cell.get_or_init(|| self.materialize(*gene));
+                (&m.netlist, &m.model, &m.analysis)
+            }
+        }
+    }
+
+    /// Builds the base circuit of `gene` from the coefficient axis:
+    /// per-layer `±e` approximation, bespoke synthesis + optimization,
+    /// τ/φ analysis — the same pipeline callers run for their given
+    /// contexts, which is what keeps the lazy path bit-identical to
+    /// handing the circuit in up front.
+    fn materialize(&self, gene: CoeffGene) -> MaterializedBase {
+        let axis = self.axis.as_ref().expect("lazy contexts always carry a coeff axis");
+        let widths: Vec<i64> = (0..MAX_COEFF_LAYERS)
+            .map(|layer| match gene.level(layer) {
+                0 => 0,
+                level => axis.levels[usize::from(level) - 1],
+            })
+            .collect();
+        let (model, _) = approximate_model_layers(axis.model, axis.cache, &axis.cfg, &widths);
+        let netlist =
+            pax_synth::opt::optimize(&pax_bespoke::BespokeCircuit::generate(&model).netlist);
+        let analysis = crate::prune::analyze(&netlist, &model, axis.train);
+        MaterializedBase { model, netlist, analysis }
     }
 
     /// Selects how candidates are measured (overlay by default). See
@@ -212,43 +366,45 @@ impl<'a> Evaluator<'a> {
 
     /// The searchable space: τc bounds from the pruning configuration
     /// plus each context's per-gate (τ, φ) metrics, which strategies
-    /// use to enumerate or sample thresholds.
+    /// use to enumerate or sample thresholds. Strategies need every
+    /// context's gate metrics to search it, so this materializes any
+    /// still-lazy coefficient contexts (their overlay tapes stay lazy —
+    /// those are only built when an overlay-mode evaluation lands).
     pub fn space(&self, cfg: &PruneConfig) -> SearchSpace {
         SearchSpace {
             tau_values: cfg.tau_values(),
-            contexts: self
-                .contexts
-                .iter()
-                .map(|c| ContextSpace {
-                    use_coeff: c.use_coeff,
-                    gates: c
-                        .analysis
-                        .candidates
-                        .iter()
-                        .map(|&g| (c.analysis.tau_of(g), c.analysis.phi_of(g)))
-                        .collect(),
+            contexts: (0..self.contexts.len())
+                .map(|i| {
+                    let (_, _, analysis) = self.parts(i);
+                    ContextSpace {
+                        gene: self.contexts[i].gene(),
+                        gates: analysis
+                            .candidates
+                            .iter()
+                            .map(|&g| (analysis.tau_of(g), analysis.phi_of(g)))
+                            .collect(),
+                    }
                 })
                 .collect(),
         }
     }
 
-    /// The contexts the evaluator holds.
-    pub fn contexts(&self) -> &[EvalContext<'a>] {
-        &self.contexts
+    /// The coefficient genes the evaluator can serve, in context order.
+    pub fn genes(&self) -> Vec<CoeffGene> {
+        self.contexts.iter().map(ContextSlot::gene).collect()
     }
 
-    fn context_index(&self, use_coeff: bool) -> Result<usize, StudyError> {
+    fn context_index(&self, gene: CoeffGene) -> Result<usize, StudyError> {
         self.contexts
             .iter()
-            .position(|c| c.use_coeff == use_coeff)
-            .ok_or(StudyError::MissingContext { use_coeff })
+            .position(|c| c.gene() == gene)
+            .ok_or(StudyError::MissingContext { gene })
     }
 
     /// The sorted pruned-gate set a candidate selects (the paper's
     /// step-3 filter: τ-qualified gates whose φ is at most φc).
     pub fn gate_set(&self, c: &Candidate) -> Result<Vec<NetId>, StudyError> {
-        let ctx = &self.contexts[self.context_index(c.use_coeff)?];
-        let a = &ctx.analysis;
+        let (_, _, a) = self.parts(self.context_index(c.coeff)?);
         let mut set: Vec<NetId> = a
             .candidates
             .iter()
@@ -328,7 +484,7 @@ impl<'a> Evaluator<'a> {
         if batch.len() < MIN_PARALLEL_BATCH || self.threads <= 1 {
             return batch
                 .iter()
-                .map(|c| Ok((self.context_index(c.use_coeff)?, self.gate_set(c)?)))
+                .map(|c| Ok((self.context_index(c.coeff)?, self.gate_set(c)?)))
                 .collect();
         }
         let threads = self.threads.min(batch.len());
@@ -340,7 +496,7 @@ impl<'a> Evaluator<'a> {
                     s.spawn(move || {
                         chunk
                             .iter()
-                            .map(|c| Ok((self.context_index(c.use_coeff)?, self.gate_set(c)?)))
+                            .map(|c| Ok((self.context_index(c.coeff)?, self.gate_set(c)?)))
                             .collect()
                     })
                 })
@@ -382,20 +538,14 @@ impl<'a> Evaluator<'a> {
                         break;
                     }
                     let (key, ctx_idx, set) = &fresh[i];
-                    let ctx = &self.contexts[*ctx_idx];
+                    let (netlist, model, analysis) = self.parts(*ctx_idx);
                     let r = match self.mode {
                         EvalMode::Overlay => match self.overlay(*ctx_idx) {
-                            Ok(overlay) => overlay.evaluate(&ctx.analysis, set),
+                            Ok(overlay) => overlay.evaluate(analysis, set),
                             Err(e) => Err(e.clone()),
                         },
                         EvalMode::Rebuild => crate::prune::try_evaluate_set_rebuild(
-                            ctx.netlist,
-                            ctx.model,
-                            self.test,
-                            self.lib,
-                            self.tech,
-                            &ctx.analysis,
-                            set,
+                            netlist, model, self.test, self.lib, self.tech, analysis, set,
                         ),
                     };
                     let stop = r.is_err();
@@ -415,7 +565,7 @@ impl<'a> Evaluator<'a> {
 
     fn point_for(&self, c: &Candidate, e: &PruneEval) -> DesignPoint {
         DesignPoint {
-            technique: if c.use_coeff { Technique::Cross } else { Technique::PruneOnly },
+            technique: if c.coeff.is_exact() { Technique::PruneOnly } else { Technique::Cross },
             tau_c: Some(c.tau_c),
             phi_c: Some(c.phi_c),
             accuracy: e.accuracy,

@@ -36,9 +36,19 @@ impl SearchStrategy for ExhaustiveGrid {
         self.emitted = true;
         let mut batch = Vec::new();
         for ctx in &space.contexts {
+            let before = batch.len();
             for &tau_c in &space.tau_values {
                 for phi_c in ctx.phis_at(tau_c) {
-                    batch.push(Candidate { use_coeff: ctx.use_coeff, tau_c, phi_c });
+                    batch.push(Candidate { coeff: ctx.gene, tau_c, phi_c });
+                }
+            }
+            if batch.len() == before {
+                // No τc qualified a single gate (Φτ empty everywhere):
+                // without this the context vanished from the sweep
+                // silently. Emit its unpruned baseline at the weakest
+                // τc so the front still carries the base circuit.
+                if let Some(&tau_c) = space.tau_values.first() {
+                    batch.push(Candidate { coeff: ctx.gene, tau_c, phi_c: -1 });
                 }
             }
         }
@@ -53,14 +63,14 @@ impl SearchStrategy for ExhaustiveGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explore::ContextSpace;
+    use crate::explore::{CoeffGene, ContextSpace};
 
     #[test]
     fn sweep_emits_once_in_grid_order() {
         let space = SearchSpace {
             tau_values: vec![0.8, 0.9],
             contexts: vec![ContextSpace {
-                use_coeff: false,
+                gene: CoeffGene::exact(),
                 gates: vec![(0.85, 2), (0.95, 0), (0.95, 2)],
             }],
         };
@@ -77,12 +87,39 @@ mod tests {
         let space = SearchSpace {
             tau_values: vec![0.8],
             contexts: vec![
-                ContextSpace { use_coeff: false, gates: vec![(0.9, 1)] },
-                ContextSpace { use_coeff: true, gates: vec![(0.9, 4)] },
+                ContextSpace { gene: CoeffGene::exact(), gates: vec![(0.9, 1)] },
+                ContextSpace { gene: CoeffGene::uniform(1), gates: vec![(0.9, 4)] },
             ],
         };
         let batch = ExhaustiveGrid::new().ask(&space);
         assert_eq!(batch.len(), 2);
-        assert!(!batch[0].use_coeff && batch[1].use_coeff);
+        assert!(batch[0].coeff.is_exact() && !batch[1].coeff.is_exact());
+    }
+
+    #[test]
+    fn gate_free_context_still_emits_its_baseline() {
+        // Regression: a context whose Φτ was empty at every τc (all
+        // gates below the weakest threshold, or no gates at all)
+        // produced zero candidates — the base circuit silently dropped
+        // out of the study. It now contributes one unpruned baseline
+        // point at the weakest τc.
+        let space = SearchSpace {
+            tau_values: vec![0.8, 0.9],
+            contexts: vec![
+                ContextSpace { gene: CoeffGene::exact(), gates: vec![(0.85, 2)] },
+                // Every gate sits below τc=0.8, so no τc qualifies any.
+                ContextSpace { gene: CoeffGene::uniform(1), gates: vec![(0.5, 1), (0.7, 3)] },
+                ContextSpace { gene: CoeffGene::uniform(2), gates: Vec::new() },
+            ],
+        };
+        let batch = ExhaustiveGrid::new().ask(&space);
+        let approx: Vec<&Candidate> =
+            batch.iter().filter(|c| c.coeff == CoeffGene::uniform(1)).collect();
+        assert_eq!(approx.len(), 1, "exactly one baseline point");
+        assert_eq!((approx[0].tau_c, approx[0].phi_c), (0.8, -1));
+        let empty: Vec<&Candidate> =
+            batch.iter().filter(|c| c.coeff == CoeffGene::uniform(2)).collect();
+        assert_eq!(empty.len(), 1);
+        assert_eq!((empty[0].tau_c, empty[0].phi_c), (0.8, -1));
     }
 }

@@ -4,9 +4,10 @@
 //! exhaustive enumeration. This module turns that hard-wired sweep into
 //! a subsystem with swappable search shapes:
 //!
-//! * [`Candidate`] — the cross-layer genome: which base circuit to
-//!   prune (exact baseline vs. coefficient-approximated) plus the
-//!   `(τc, φc)` threshold pair;
+//! * [`Candidate`] — the cross-layer genome: a graded per-layer
+//!   coefficient-approximation gene ([`CoeffGene`], level 0 = exact)
+//!   selecting the base circuit to prune, plus the `(τc, φc)`
+//!   threshold pair;
 //! * [`SearchStrategy`] — the ask/tell trait a search implements;
 //!   shipped strategies are [`ExhaustiveGrid`] (the paper-faithful
 //!   sweep) and [`Nsga2`] (seeded evolutionary search, budgeted by
@@ -37,7 +38,9 @@
 //! measured designs:
 //!
 //! ```no_run
-//! use pax_core::explore::{Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config};
+//! use pax_core::explore::{
+//!     CoeffGene, Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config,
+//! };
 //! use pax_core::prune::{analyze, PruneConfig};
 //! # let (netlist, model, train, test): (pax_netlist::Netlist, pax_ml::quant::QuantizedModel, pax_ml::Dataset, pax_ml::Dataset) = unimplemented!();
 //!
@@ -48,7 +51,7 @@
 //!     &lib,
 //!     &tech,
 //!     &test,
-//!     vec![EvalContext { use_coeff: false, netlist: &netlist, model: &model, analysis }],
+//!     vec![EvalContext { coeff: CoeffGene::exact(), netlist: &netlist, model: &model, analysis }],
 //! );
 //! let mut engine = Engine::new(&evaluator, &PruneConfig::default());
 //! let grid = engine.run(&mut ExhaustiveGrid::new()).unwrap();
@@ -63,7 +66,7 @@ mod nsga2;
 mod objective;
 
 pub use archive::{HypervolumeError, ParetoArchive};
-pub use evaluator::{EvalCache, EvalContext, EvalMode, Evaluator};
+pub use evaluator::{CoeffAxis, EvalCache, EvalContext, EvalMode, Evaluator};
 pub use grid::ExhaustiveGrid;
 pub use nsga2::{resolve_seed, Nsga2, Nsga2Config};
 pub use objective::{Objective, ObjectiveAxis, ObjectiveSet};
@@ -77,13 +80,92 @@ use crate::error::StudyError;
 use crate::prune::PruneConfig;
 use crate::DesignPoint;
 
+/// Maximum number of weighted-sum layers the coefficient gene grades
+/// independently. The models in `pax-ml` have at most two (an MLP's
+/// hidden and output layers); single-layer models simply ignore the
+/// second slot.
+pub const MAX_COEFF_LAYERS: usize = 2;
+
+/// The graded per-layer coefficient-approximation gene.
+///
+/// Each slot holds one approximation *level* for the corresponding
+/// weighted-sum layer: level `0` is exact, higher levels select
+/// progressively wider `±e` neighbourhoods from the evaluator's
+/// coefficient axis ([`CoeffAxis`]). The gene is a pure label — its
+/// hardware meaning comes from the [`EvalContext`] (or lazily
+/// materialized context) carrying the same gene, which is why legacy
+/// two-context setups can keep using `exact()` / `uniform(1)` without
+/// ever configuring level widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoeffGene {
+    levels: [u8; MAX_COEFF_LAYERS],
+}
+
+impl CoeffGene {
+    /// The all-zero gene: prune the exact bespoke baseline.
+    pub const fn exact() -> Self {
+        Self { levels: [0; MAX_COEFF_LAYERS] }
+    }
+
+    /// The same approximation level on every layer. `uniform(1)` is the
+    /// conventional label for "the one pre-approximated circuit" in
+    /// legacy two-context setups.
+    pub const fn uniform(level: u8) -> Self {
+        Self { levels: [level; MAX_COEFF_LAYERS] }
+    }
+
+    /// A gene from explicit per-layer levels; layers beyond
+    /// [`MAX_COEFF_LAYERS`] are rejected, missing trailing layers stay
+    /// exact.
+    pub fn per_layer(levels: &[u8]) -> Self {
+        assert!(levels.len() <= MAX_COEFF_LAYERS, "too many coeff layers");
+        let mut out = [0u8; MAX_COEFF_LAYERS];
+        out[..levels.len()].copy_from_slice(levels);
+        Self { levels: out }
+    }
+
+    /// Whether every layer is exact (level 0).
+    pub fn is_exact(&self) -> bool {
+        self.levels == [0; MAX_COEFF_LAYERS]
+    }
+
+    /// The approximation level of `layer` (0 beyond the gene's slots).
+    pub fn level(&self, layer: usize) -> u8 {
+        self.levels.get(layer).copied().unwrap_or(0)
+    }
+
+    /// All per-layer levels.
+    pub fn levels(&self) -> &[u8; MAX_COEFF_LAYERS] {
+        &self.levels
+    }
+
+    /// City-block distance between two genes — the repair metric used
+    /// to snap a foreign gene onto the nearest in-space context.
+    pub fn distance(&self, other: &Self) -> u32 {
+        self.levels.iter().zip(&other.levels).map(|(&a, &b)| u32::from(a.abs_diff(b))).sum()
+    }
+}
+
+impl std::fmt::Display for CoeffGene {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_exact() {
+            return write!(f, "exact");
+        }
+        write!(f, "{}", self.levels[0])?;
+        for l in &self.levels[1..] {
+            write!(f, "/{l}")?;
+        }
+        Ok(())
+    }
+}
+
 /// One point of the cross-layer search space — the genome strategies
 /// breed and the [`Evaluator`] measures.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Candidate {
-    /// Prune the coefficient-approximated circuit (`true`) or the exact
-    /// bespoke baseline (`false`).
-    pub use_coeff: bool,
+    /// The per-layer coefficient-approximation level selecting the base
+    /// circuit to prune ([`CoeffGene::exact`] = the exact baseline).
+    pub coeff: CoeffGene,
     /// The τ threshold: gates whose dominant-value fraction reaches it
     /// qualify for pruning.
     pub tau_c: f64,
@@ -95,8 +177,8 @@ pub struct Candidate {
 /// Per-base-circuit view of the searchable space.
 #[derive(Debug, Clone)]
 pub struct ContextSpace {
-    /// The genome value selecting this base circuit.
-    pub use_coeff: bool,
+    /// The coefficient gene selecting this base circuit.
+    pub gene: CoeffGene,
     /// `(τ, φ)` of every prunable gate of the base circuit.
     pub gates: Vec<(f64, i64)>,
 }
@@ -151,9 +233,23 @@ pub struct SearchSpace {
 }
 
 impl SearchSpace {
-    /// The context selected by a genome's `use_coeff` gene.
-    pub fn context(&self, use_coeff: bool) -> Option<&ContextSpace> {
-        self.contexts.iter().find(|c| c.use_coeff == use_coeff)
+    /// The context selected by a genome's coefficient gene.
+    pub fn context(&self, gene: CoeffGene) -> Option<&ContextSpace> {
+        self.contexts.iter().find(|c| c.gene == gene)
+    }
+
+    /// Like [`SearchSpace::context`], but a missing context surfaces as
+    /// a typed [`StudyError::MissingContext`] — the path strategies use
+    /// so a foreign genome degrades into a repair instead of a panic.
+    pub fn require(&self, gene: CoeffGene) -> Result<&ContextSpace, StudyError> {
+        self.context(gene).ok_or(StudyError::MissingContext { gene })
+    }
+
+    /// The in-space context whose gene is city-block nearest to `gene`
+    /// (ties fall to the earlier context). `None` only for an empty
+    /// space, which the [`Evaluator`] constructor rules out.
+    pub fn nearest_context(&self, gene: CoeffGene) -> Option<&ContextSpace> {
+        self.contexts.iter().min_by_key(|c| c.gene.distance(&gene))
     }
 
     /// `(lowest, highest)` configured τc.
@@ -495,14 +591,14 @@ mod tests {
     #[test]
     fn context_space_phi_tau_helpers() {
         let ctx = ContextSpace {
-            use_coeff: false,
+            gene: CoeffGene::exact(),
             gates: vec![(0.9, 3), (0.8, 1), (0.95, 3), (0.85, -1)],
         };
         assert_eq!(ctx.phis_at(0.79), vec![-1, 1, 3]);
         assert_eq!(ctx.phis_at(0.9), vec![3]);
         assert_eq!(ctx.distinct_taus(), vec![0.8, 0.85, 0.9, 0.95]);
         assert_eq!(ctx.distinct_phis(), vec![-1, 1, 3]);
-        let empty = ContextSpace { use_coeff: true, gates: vec![] };
+        let empty = ContextSpace { gene: CoeffGene::uniform(1), gates: vec![] };
         assert_eq!(empty.distinct_phis(), vec![-1]);
     }
 
@@ -510,10 +606,42 @@ mod tests {
     fn search_space_lookup() {
         let space = SearchSpace {
             tau_values: vec![0.8, 0.99],
-            contexts: vec![ContextSpace { use_coeff: true, gates: vec![] }],
+            contexts: vec![ContextSpace { gene: CoeffGene::uniform(1), gates: vec![] }],
         };
-        assert!(space.context(true).is_some());
-        assert!(space.context(false).is_none());
+        assert!(space.context(CoeffGene::uniform(1)).is_some());
+        assert!(space.context(CoeffGene::exact()).is_none());
+        assert!(matches!(
+            space.require(CoeffGene::exact()),
+            Err(StudyError::MissingContext { gene }) if gene == CoeffGene::exact()
+        ));
         assert_eq!(space.tau_bounds(), (0.8, 0.99));
+    }
+
+    #[test]
+    fn coeff_gene_labels_and_distance() {
+        assert!(CoeffGene::exact().is_exact());
+        assert!(CoeffGene::default().is_exact());
+        assert!(!CoeffGene::uniform(1).is_exact());
+        assert_eq!(CoeffGene::per_layer(&[2]), CoeffGene::per_layer(&[2, 0]));
+        assert_eq!(CoeffGene::per_layer(&[1, 3]).level(1), 3);
+        assert_eq!(CoeffGene::per_layer(&[1, 3]).level(9), 0, "beyond the slots is exact");
+        assert_eq!(CoeffGene::exact().distance(&CoeffGene::per_layer(&[2, 1])), 3);
+        assert_eq!(CoeffGene::exact().to_string(), "exact");
+        assert_eq!(CoeffGene::per_layer(&[2, 1]).to_string(), "2/1");
+    }
+
+    #[test]
+    fn nearest_context_snaps_by_city_block_distance() {
+        let space = SearchSpace {
+            tau_values: vec![0.8],
+            contexts: vec![
+                ContextSpace { gene: CoeffGene::exact(), gates: vec![] },
+                ContextSpace { gene: CoeffGene::uniform(2), gates: vec![] },
+            ],
+        };
+        let near = space.nearest_context(CoeffGene::per_layer(&[2, 1])).unwrap();
+        assert_eq!(near.gene, CoeffGene::uniform(2));
+        let tie = space.nearest_context(CoeffGene::per_layer(&[1, 1])).unwrap();
+        assert_eq!(tie.gene, CoeffGene::exact(), "ties fall to the earlier context");
     }
 }

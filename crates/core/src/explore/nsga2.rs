@@ -20,7 +20,8 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use super::{Candidate, ObjectiveSet, SearchSpace, SearchStrategy};
+use super::{Candidate, CoeffGene, ContextSpace, ObjectiveSet, SearchSpace, SearchStrategy};
+use crate::error::StudyError;
 use crate::DesignPoint;
 
 /// Configuration of the evolutionary search.
@@ -94,12 +95,12 @@ pub struct Nsga2 {
     generation: usize,
     /// Genomes already emitted (exact τ bits), so refinement probes
     /// never re-ask a visited neighbour.
-    emitted: std::collections::HashSet<(bool, u64, i64)>,
-    /// Highest-accuracy evaluated genome per context (`use_coeff` →
+    emitted: std::collections::HashSet<(CoeffGene, u64, i64)>,
+    /// Highest-accuracy evaluated genome per context (coeff gene →
     /// `(accuracy, genome)`): the zero-loss pruning boundary each
-    /// context's refinement hunts, even when the other context
-    /// dominates it area-wise.
-    best_acc: Vec<(bool, f64, Candidate)>,
+    /// context's refinement hunts, even when another context dominates
+    /// it area-wise.
+    best_acc: Vec<(CoeffGene, f64, Candidate)>,
     /// Zero-loss boundary searches (one per context × strong φ level):
     /// binary searches along the gate-τ knee axis for the most
     /// aggressive pruning that keeps the context's best accuracy — the
@@ -110,7 +111,7 @@ pub struct Nsga2 {
 /// State of one accuracy-preserving τ-boundary binary search.
 #[derive(Debug)]
 struct Boundary {
-    use_coeff: bool,
+    gene: CoeffGene,
     phi: i64,
     /// Knee-index window still to search (`lo..=hi`).
     lo: usize,
@@ -137,17 +138,17 @@ impl Nsga2 {
         }
     }
 
-    fn context_knees(space: &SearchSpace, use_coeff: bool) -> Vec<f64> {
+    fn context_knees(space: &SearchSpace, gene: CoeffGene) -> Vec<f64> {
         let (lo, hi) = space.tau_bounds();
         space
-            .context(use_coeff)
+            .context(gene)
             .map(|ctx| ctx.distinct_taus().into_iter().filter(|t| (lo..=hi).contains(t)).collect())
             .unwrap_or_default()
     }
 
     fn init_boundaries(&mut self, space: &SearchSpace) {
         for ctx in &space.contexts {
-            let knees = Self::context_knees(space, ctx.use_coeff);
+            let knees = Self::context_knees(space, ctx.gene);
             if knees.is_empty() {
                 continue;
             }
@@ -158,7 +159,7 @@ impl Nsga2 {
             }
             for phi in levels {
                 self.boundaries.push(Boundary {
-                    use_coeff: ctx.use_coeff,
+                    gene: ctx.gene,
                     phi,
                     lo: 0,
                     hi: knees.len() - 1,
@@ -177,17 +178,14 @@ impl Nsga2 {
             if b.done || b.pending.is_some() {
                 continue;
             }
-            let knees = Self::context_knees(space, b.use_coeff);
+            let knees = Self::context_knees(space, b.gene);
             if knees.is_empty() {
                 b.done = true;
                 continue;
             }
             let mid = if b.lo < b.hi { (b.lo + b.hi) / 2 } else { b.lo };
-            let cand = Candidate {
-                use_coeff: b.use_coeff,
-                tau_c: knees[mid.min(knees.len() - 1)],
-                phi_c: b.phi,
-            };
+            let cand =
+                Candidate { coeff: b.gene, tau_c: knees[mid.min(knees.len() - 1)], phi_c: b.phi };
             b.pending = Some((mid, cand));
             if b.lo >= b.hi {
                 b.done = true; // final visit of the converged boundary
@@ -208,7 +206,7 @@ impl Nsga2 {
             let target = self
                 .best_acc
                 .iter()
-                .find(|(uc, _, _)| *uc == b.use_coeff)
+                .find(|(gene, _, _)| *gene == b.gene)
                 .map_or(f64::NEG_INFINITY, |&(_, acc, _)| acc);
             if point.accuracy >= target - 1e-9 {
                 // Zero loss at this knee: everything above keeps it too,
@@ -222,14 +220,14 @@ impl Nsga2 {
     }
 
     fn mark_emitted(&mut self, c: &Candidate) -> bool {
-        self.emitted.insert((c.use_coeff, c.tau_c.to_bits(), c.phi_c))
+        self.emitted.insert((c.coeff, c.tau_c.to_bits(), c.phi_c))
     }
 
     /// The τ/φ neighbours of a genome: the adjacent gate-τ knee points
     /// at the same φ, and the adjacent significance levels at the same
     /// τ — the four moves that walk along a front.
     fn neighbors(c: Candidate, space: &SearchSpace) -> Vec<Candidate> {
-        let Some(ctx) = space.context(c.use_coeff) else { return Vec::new() };
+        let Some(ctx) = space.context(c.coeff) else { return Vec::new() };
         let (lo, hi) = space.tau_bounds();
         let mut out = Vec::with_capacity(4);
         // φ moves first: stepping a significance level changes the
@@ -266,7 +264,7 @@ impl Nsga2 {
         let tau_c = if lo < hi { self.rng.random_range(lo..hi) } else { lo };
         let phis = ctx.distinct_phis();
         let phi_c = phis[self.rng.random_range(0..phis.len())];
-        Candidate { use_coeff: ctx.use_coeff, tau_c, phi_c }
+        Candidate { coeff: ctx.gene, tau_c, phi_c }
     }
 
     /// Initial population: per context a τ-quantile sweep at maximal
@@ -298,9 +296,9 @@ impl Nsga2 {
                 // Alternate the two strongest pruning levels along the
                 // sweep: most fronts live on them.
                 let phi_c = if i % 2 == 0 { phi_max } else { phi_2nd };
-                pop.push(Candidate { use_coeff: ctx.use_coeff, tau_c, phi_c });
+                pop.push(Candidate { coeff: ctx.gene, tau_c, phi_c });
             }
-            pop.push(Candidate { use_coeff: ctx.use_coeff, tau_c: hi, phi_c: phis[0] });
+            pop.push(Candidate { coeff: ctx.gene, tau_c: hi, phi_c: phis[0] });
         }
         while pop.len() < self.cfg.population {
             let c = self.random_candidate(space);
@@ -324,30 +322,56 @@ impl Nsga2 {
     fn crossover(&mut self, a: Candidate, b: Candidate) -> Candidate {
         // Uniform per-gene exchange.
         Candidate {
-            use_coeff: if self.rng.random::<bool>() { a.use_coeff } else { b.use_coeff },
+            coeff: if self.rng.random::<bool>() { a.coeff } else { b.coeff },
             tau_c: if self.rng.random::<bool>() { a.tau_c } else { b.tau_c },
             phi_c: if self.rng.random::<bool>() { a.phi_c } else { b.phi_c },
         }
     }
 
+    /// Resolves a genome's context, snapping a foreign coeff gene onto
+    /// the nearest context the space actually has. [`SearchSpace::require`]
+    /// surfaces the miss as a typed [`StudyError::MissingContext`] — the
+    /// degrade-into-repair path that replaced the old
+    /// `expect("genome stays inside the space")` panic, so a warm-started
+    /// or crossover-mixed genome can never abort the study.
+    fn resolve_context<'s>(c: &mut Candidate, space: &'s SearchSpace) -> Option<&'s ContextSpace> {
+        match space.require(c.coeff) {
+            Ok(ctx) => Some(ctx),
+            Err(StudyError::MissingContext { .. }) => {
+                let ctx = space.nearest_context(c.coeff)?;
+                c.coeff = ctx.gene;
+                Some(ctx)
+            }
+            Err(_) => None,
+        }
+    }
+
     fn mutate(&mut self, mut c: Candidate, space: &SearchSpace) -> Candidate {
         if space.contexts.len() > 1 && self.rng.random::<f64>() < self.cfg.mutation_prob {
-            c.use_coeff = !c.use_coeff;
+            // Hop to another context's gene — the cross-layer move that
+            // trades coefficient width against pruning aggressiveness.
+            let others: Vec<CoeffGene> =
+                space.contexts.iter().map(|x| x.gene).filter(|g| *g != c.coeff).collect();
+            if !others.is_empty() {
+                c.coeff = others[self.rng.random_range(0..others.len())];
+            }
         }
-        let ctx = space.context(c.use_coeff).expect("genome stays inside the space");
+        let Some(ctx) = Self::resolve_context(&mut c, space) else { return c };
         if self.rng.random::<f64>() < self.cfg.mutation_prob {
             let (lo, hi) = space.tau_bounds();
-            c.tau_c = if self.rng.random::<bool>() {
-                // Snap to a *nearby* gate τ: thresholds between two gate
-                // τ values select identical sets, so the gates' own τs
-                // are the knee points of the space — including ones the
-                // fixed grid steps straddle. Staying local keeps the
-                // move exploitative.
-                let taus = ctx.distinct_taus();
-                let idx = taus.partition_point(|&t| t < c.tau_c).min(taus.len().saturating_sub(1));
+            // Snap to a *nearby* gate τ: thresholds between two gate τ
+            // values select identical sets, so the gates' own τs are the
+            // knee points of the space — including ones the fixed grid
+            // steps straddle. Staying local keeps the move exploitative.
+            // A gate-free context has no knees, so it always takes the
+            // continuous move (the snap arm used to `clamp(0, -1)` and
+            // panic there).
+            let taus = ctx.distinct_taus();
+            c.tau_c = if !taus.is_empty() && self.rng.random::<bool>() {
+                let idx = taus.partition_point(|&t| t < c.tau_c).min(taus.len() - 1);
                 let jump = self.rng.random_range(-2i64..=2) as isize;
                 let nb = (idx as isize + jump).clamp(0, taus.len() as isize - 1) as usize;
-                taus.get(nb).copied().unwrap_or(c.tau_c).clamp(lo, hi)
+                taus[nb].clamp(lo, hi)
             } else {
                 (c.tau_c + self.rng.random_range(-0.02..0.02)).clamp(lo, hi)
             };
@@ -371,11 +395,12 @@ impl Nsga2 {
     }
 
     /// Repairs a genome after crossover mixed genes across contexts:
-    /// τc clamps to the configured bounds, φc snaps to the nearest
+    /// the coeff gene snaps to the nearest context the space holds, τc
+    /// clamps to the configured bounds, φc snaps to the nearest
     /// significance level its context actually has.
-    fn repair(c: Candidate, space: &SearchSpace) -> Candidate {
+    fn repair(mut c: Candidate, space: &SearchSpace) -> Candidate {
         let (lo, hi) = space.tau_bounds();
-        let ctx = space.context(c.use_coeff).expect("genome stays inside the space");
+        let Some(ctx) = Self::resolve_context(&mut c, space) else { return c };
         let phis = ctx.distinct_phis();
         let pos = phis.partition_point(|&p| p < c.phi_c);
         let phi_c = if pos == phis.len() {
@@ -385,7 +410,7 @@ impl Nsga2 {
         } else {
             phis[pos - 1]
         };
-        Candidate { use_coeff: c.use_coeff, tau_c: c.tau_c.clamp(lo, hi), phi_c }
+        Candidate { coeff: c.coeff, tau_c: c.tau_c.clamp(lo, hi), phi_c }
     }
 
     fn offspring(&mut self, space: &SearchSpace) -> Vec<Candidate> {
@@ -465,10 +490,10 @@ impl SearchStrategy for Nsga2 {
 
     fn tell(&mut self, results: &[(Candidate, DesignPoint)], objectives: &ObjectiveSet) {
         for (c, p) in results {
-            match self.best_acc.iter_mut().find(|(uc, _, _)| *uc == c.use_coeff) {
+            match self.best_acc.iter_mut().find(|(gene, _, _)| *gene == c.coeff) {
                 Some(entry) if entry.1 >= p.accuracy => {}
-                Some(entry) => *entry = (c.use_coeff, p.accuracy, *c),
-                None => self.best_acc.push((c.use_coeff, p.accuracy, *c)),
+                Some(entry) => *entry = (c.coeff, p.accuracy, *c),
+                None => self.best_acc.push((c.coeff, p.accuracy, *c)),
             }
         }
         self.advance_boundaries(results);
@@ -591,10 +616,10 @@ mod tests {
             tau_values: vec![0.8, 0.9, 0.99],
             contexts: vec![
                 ContextSpace {
-                    use_coeff: false,
+                    gene: CoeffGene::exact(),
                     gates: vec![(0.82, 0), (0.91, 3), (0.97, 1), (0.99, -1)],
                 },
-                ContextSpace { use_coeff: true, gates: vec![(0.85, 2), (0.93, 0)] },
+                ContextSpace { gene: CoeffGene::uniform(1), gates: vec![(0.85, 2), (0.93, 0)] },
             ],
         }
     }
@@ -645,7 +670,7 @@ mod tests {
                 .map(|&c| (c, point(0.5 + c.tau_c / 10.0, 50.0 + f64::from(c.phi_c as i32))))
                 .collect();
             for c in &batch {
-                let ctx = space.context(c.use_coeff).expect("context exists");
+                let ctx = space.context(c.coeff).expect("context exists");
                 assert!((0.8..=0.99).contains(&c.tau_c), "τc {}", c.tau_c);
                 assert!(ctx.distinct_phis().contains(&c.phi_c), "φc {}", c.phi_c);
             }
@@ -657,9 +682,10 @@ mod tests {
     fn ranks_and_crowding_prefer_the_front() {
         let objectives = ObjectiveSet::default();
         let pool = vec![
-            (Candidate { use_coeff: false, tau_c: 0.8, phi_c: 0 }, point(0.9, 50.0)),
-            (Candidate { use_coeff: false, tau_c: 0.9, phi_c: 0 }, point(0.8, 90.0)), // dominated
-            (Candidate { use_coeff: false, tau_c: 0.8, phi_c: 1 }, point(0.95, 80.0)),
+            (Candidate { coeff: CoeffGene::exact(), tau_c: 0.8, phi_c: 0 }, point(0.9, 50.0)),
+            // dominated:
+            (Candidate { coeff: CoeffGene::exact(), tau_c: 0.9, phi_c: 0 }, point(0.8, 90.0)),
+            (Candidate { coeff: CoeffGene::exact(), tau_c: 0.8, phi_c: 1 }, point(0.95, 80.0)),
         ];
         let ranks = non_dominated_ranks(&pool, &objectives);
         assert_eq!(ranks, vec![0, 1, 0]);
@@ -676,15 +702,68 @@ mod tests {
             p
         };
         let pool = vec![
-            (Candidate { use_coeff: false, tau_c: 0.8, phi_c: 0 }, with_power(0.9, 50.0, 9.0)),
+            (
+                Candidate { coeff: CoeffGene::exact(), tau_c: 0.8, phi_c: 0 },
+                with_power(0.9, 50.0, 9.0),
+            ),
             // Dominated in (accuracy, area), rescued by its power edge.
-            (Candidate { use_coeff: false, tau_c: 0.9, phi_c: 0 }, with_power(0.8, 90.0, 2.0)),
+            (
+                Candidate { coeff: CoeffGene::exact(), tau_c: 0.9, phi_c: 0 },
+                with_power(0.8, 90.0, 2.0),
+            ),
         ];
         assert_eq!(non_dominated_ranks(&pool, &ObjectiveSet::accuracy_area()), vec![0, 1]);
         assert_eq!(non_dominated_ranks(&pool, &ObjectiveSet::accuracy_area_power()), vec![0, 0]);
         // Masking power out of the 3-D set restores the 2-D ranking.
         let masked = ObjectiveSet::accuracy_area_power().mask(&[true, true, false]);
         assert_eq!(non_dominated_ranks(&pool, &masked), vec![0, 1]);
+    }
+
+    #[test]
+    fn mutation_survives_a_gate_free_context() {
+        // Regression: the τ snap move indexed `distinct_taus()` with
+        // `clamp(0, len - 1)`, which panicked (`clamp(0, -1)`) whenever
+        // a context held no gates. Such contexts are real — a fully
+        // saturated model qualifies no gate at any τ — so mutation must
+        // fall back to the continuous τ move instead of aborting.
+        let space = SearchSpace {
+            tau_values: vec![0.8, 0.9, 0.99],
+            contexts: vec![
+                ContextSpace { gene: CoeffGene::exact(), gates: Vec::new() },
+                ContextSpace { gene: CoeffGene::uniform(1), gates: vec![(0.85, 2), (0.93, 0)] },
+            ],
+        };
+        let mut s = Nsga2::new(Nsga2Config { population: 12, ..Default::default() });
+        for _ in 0..64 {
+            let c = Candidate { coeff: CoeffGene::exact(), tau_c: 0.9, phi_c: -1 };
+            let m = s.mutate(c, &space);
+            assert!((0.8..=0.99).contains(&m.tau_c), "τc {}", m.tau_c);
+        }
+        // And the full generational loop stays alive on the same space.
+        let objectives = ObjectiveSet::default();
+        for _ in 0..3 {
+            let batch = s.ask(&space);
+            let results: Vec<(Candidate, DesignPoint)> =
+                batch.iter().map(|&c| (c, point(c.tau_c, 100.0))).collect();
+            s.tell(&results, &objectives);
+        }
+    }
+
+    #[test]
+    fn foreign_genes_degrade_into_repair() {
+        // A warm-started genome whose coeff gene the space does not
+        // hold used to hit `expect("genome stays inside the space")`.
+        // It now snaps to the nearest context instead of panicking.
+        let space = space();
+        let foreign = Candidate { coeff: CoeffGene::per_layer(&[3, 3]), tau_c: 1.4, phi_c: 99 };
+        let repaired = Nsga2::repair(foreign, &space);
+        assert_eq!(repaired.coeff, CoeffGene::uniform(1), "snaps to the nearest gene");
+        assert!((0.8..=0.99).contains(&repaired.tau_c));
+        let ctx = space.context(repaired.coeff).expect("context exists");
+        assert!(ctx.distinct_phis().contains(&repaired.phi_c));
+        let mut s = Nsga2::new(Nsga2Config::default());
+        let mutated = s.mutate(foreign, &space);
+        assert!(space.context(mutated.coeff).is_some(), "mutation lands inside the space");
     }
 
     #[test]

@@ -35,8 +35,8 @@ use pax_synth::{area, opt};
 use crate::coeff_approx::{approximate_model, CoeffApproxConfig, CoeffApproxReport};
 use crate::error::StudyError;
 use crate::explore::{
-    Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, ObjectiveSet, SearchStats,
-    SearchStrategy,
+    CoeffAxis, CoeffGene, Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config,
+    ObjectiveSet, SearchStats, SearchStrategy,
 };
 use crate::mult_cache::MultCache;
 use crate::prune::{analyze, analyze_compiled, apply_set, PruneConfig};
@@ -68,6 +68,15 @@ pub struct SearchConfig {
     /// The objective axes dominance, archives and evolutionary
     /// selection rank by.
     pub objectives: ObjectiveSet,
+    /// Coefficient-approximation error widths opened as a graded
+    /// search axis: `levels[k - 1]` is the `e` a gene level `k` maps
+    /// to (level 0 is always exact). Empty (the default) keeps the
+    /// paper-faithful two-pass flow — one pruning exploration on the
+    /// exact baseline, one on the `e`-approximated circuit. Non-empty
+    /// runs **one joint exploration** whose search space holds the
+    /// exact base circuit plus every per-layer gene combination over
+    /// these widths (see [`Evaluator::with_coeff_axis`]).
+    pub coeff_levels: Vec<i64>,
 }
 
 impl SearchConfig {
@@ -86,6 +95,14 @@ impl SearchConfig {
     /// Replaces the objective space (builder style).
     pub fn with_objectives(mut self, objectives: ObjectiveSet) -> Self {
         self.objectives = objectives;
+        self
+    }
+
+    /// Opens the coefficient-approximation axis (builder style): the
+    /// ascending error widths gene levels `1..` map to. See
+    /// [`SearchConfig::coeff_levels`].
+    pub fn with_coeff_levels(mut self, levels: Vec<i64>) -> Self {
+        self.coeff_levels = levels;
         self
     }
 
@@ -121,9 +138,12 @@ pub struct ExecStats {
     pub baseline_ms: u128,
     /// Coefficient approximation (including multiplier-cache fill), ms.
     pub coeff_ms: u128,
-    /// Pruning exploration on the baseline, ms.
+    /// Pruning exploration on the baseline, ms. Zero in joint mode
+    /// ([`SearchConfig::coeff_levels`] non-empty), where one
+    /// exploration covers both series and bills `prune_cross_ms`.
     pub prune_baseline_ms: u128,
-    /// Pruning exploration on the approximated circuit, ms.
+    /// Pruning exploration on the approximated circuit, ms (the whole
+    /// joint exploration in joint mode).
     pub prune_cross_ms: u128,
     /// Number of (τc, φc) designs explored across both prunings.
     pub designs_explored: usize,
@@ -428,25 +448,79 @@ impl Framework {
         )?;
         let coeff_ms = t1.elapsed().as_millis();
 
-        // 3. Pruning exploration on the baseline (gray ×).
-        let t2 = Instant::now();
-        let (prune_only, stats_a) =
-            self.explore_series(&base_circuit, &base_tape, model, train, test, false, search)?;
-        let prune_baseline_ms = t2.elapsed().as_millis();
+        // 3 + 4. Pruning exploration(s). With an empty coeff-levels
+        // ladder this is the paper-faithful two-pass flow (baseline
+        // sweep, then the cross-layer sweep on the `e`-approximated
+        // circuit) — bit-identical to the pre-axis framework. A
+        // non-empty ladder instead runs ONE joint exploration whose
+        // space holds the exact base plus every graded gene, and the
+        // resulting points split into the two series by technique.
+        let (prune_only, cross, prune_baseline_ms, prune_cross_ms, search_stats) =
+            if search.coeff_levels.is_empty() {
+                // 3. Pruning exploration on the baseline (gray ×).
+                let t2 = Instant::now();
+                let (prune_only, stats_a) = self.explore_series(
+                    &base_circuit,
+                    &base_tape,
+                    model,
+                    train,
+                    test,
+                    CoeffGene::exact(),
+                    search,
+                )?;
+                let prune_baseline_ms = t2.elapsed().as_millis();
 
-        // 4. Pruning exploration on the approximated circuit (green
-        //    dots) — the cross-layer designs.
-        let t3 = Instant::now();
-        let (cross, stats_b) = self.explore_series(
-            &approx_circuit,
-            &approx_tape,
-            &approx_model,
-            train,
-            test,
-            true,
-            search,
-        )?;
-        let prune_cross_ms = t3.elapsed().as_millis();
+                // 4. Pruning exploration on the approximated circuit
+                //    (green dots) — the cross-layer designs.
+                let t3 = Instant::now();
+                let (cross, stats_b) = self.explore_series(
+                    &approx_circuit,
+                    &approx_tape,
+                    &approx_model,
+                    train,
+                    test,
+                    CoeffGene::uniform(1),
+                    search,
+                )?;
+                let prune_cross_ms = t3.elapsed().as_millis();
+                (prune_only, cross, prune_baseline_ms, prune_cross_ms, vec![stats_a, stats_b])
+            } else {
+                let t2 = Instant::now();
+                let analysis = analyze_compiled(&base_tape, &base_circuit.netlist, model, train);
+                let evaluator = Evaluator::new(
+                    &self.lib,
+                    &self.cfg.tech,
+                    test,
+                    vec![EvalContext {
+                        coeff: CoeffGene::exact(),
+                        netlist: &base_circuit.netlist,
+                        model,
+                        analysis,
+                    }],
+                )
+                .with_coeff_axis(CoeffAxis {
+                    model,
+                    train,
+                    cache: &self.cache,
+                    cfg: self.cfg.coeff.clone(),
+                    levels: search.coeff_levels.clone(),
+                });
+                let mut engine =
+                    Engine::with_objectives(&evaluator, &self.cfg.prune, search.objectives.clone());
+                engine.set_journal_label(format!("{}/prune-joint", model.name));
+                let mut strategy = search.build();
+                let outcome = engine.run(strategy.as_mut())?;
+                let (mut prune_only, mut cross) = (Vec::new(), Vec::new());
+                for (_, p) in outcome.points {
+                    match p.technique {
+                        Technique::Cross => cross.push(p),
+                        _ => prune_only.push(p),
+                    }
+                }
+                // One joint pass: the whole wall-clock lands on the
+                // cross bucket, the baseline bucket stays zero.
+                (prune_only, cross, 0, t2.elapsed().as_millis(), vec![outcome.stats])
+            };
 
         Ok(CircuitStudy {
             name: model.name.clone(),
@@ -461,9 +535,9 @@ impl Framework {
                 coeff_ms,
                 prune_baseline_ms,
                 prune_cross_ms,
-                designs_explored: stats_a.asked + stats_b.asked,
-                designs_unique: stats_a.evaluated + stats_b.evaluated,
-                search: vec![stats_a, stats_b],
+                designs_explored: search_stats.iter().map(|s| s.asked).sum(),
+                designs_unique: search_stats.iter().map(|s| s.evaluated).sum(),
+                search: search_stats,
             },
         })
     }
@@ -597,7 +671,7 @@ impl Framework {
         model: &QuantizedModel,
         train: &Dataset,
         test: &Dataset,
-        use_coeff: bool,
+        gene: CoeffGene,
         search: &SearchConfig,
     ) -> Result<(Vec<DesignPoint>, SearchStats), StudyError> {
         let analysis = analyze_compiled(tape, &circuit.netlist, model, train);
@@ -605,14 +679,14 @@ impl Framework {
             &self.lib,
             &self.cfg.tech,
             test,
-            vec![EvalContext { use_coeff, netlist: &circuit.netlist, model, analysis }],
+            vec![EvalContext { coeff: gene, netlist: &circuit.netlist, model, analysis }],
         );
         let mut engine =
             Engine::with_objectives(&evaluator, &self.cfg.prune, search.objectives.clone());
         engine.set_journal_label(format!(
             "{}/{}",
             model.name,
-            if use_coeff { "prune-cross" } else { "prune-baseline" }
+            if gene.is_exact() { "prune-baseline" } else { "prune-cross" }
         ));
         let mut strategy = search.build();
         let outcome = engine.run(strategy.as_mut())?;
@@ -773,6 +847,35 @@ mod tests {
             assert!(s.evaluated <= 12, "budget violated: {}", s.evaluated);
         }
         assert!(!a.cross.is_empty());
+    }
+
+    #[test]
+    fn joint_coeff_axis_study_splits_series_by_gene() {
+        let data = blobs("joint", 240, 4, 3, 0.09, 88);
+        let (train, test) = data.split(0.7, 1);
+        let (train, test) = pax_ml::normalize(&train, &test);
+        let m = train_svm_classifier(&train, &SvmParams { epochs: 40, ..Default::default() }, 3);
+        let q = QuantizedModel::from_linear_classifier("joint", &m, QuantSpec::default());
+        let fw = Framework::new(FrameworkConfig::default());
+        let search = SearchConfig::exhaustive().with_coeff_levels(vec![4]);
+        let s = fw.run_study_with(&q, &train, &test, &search);
+        // One joint exploration produced both series, split by gene.
+        assert_eq!(s.stats.search.len(), 1, "one joint exploration");
+        assert_eq!(s.stats.prune_baseline_ms, 0, "joint wall-clock bills the cross bucket");
+        assert!(!s.prune_only.is_empty(), "exact-gene points");
+        assert!(!s.cross.is_empty(), "graded-gene points");
+        assert!(s.prune_only.iter().all(|p| p.technique == Technique::PruneOnly));
+        assert!(s.cross.iter().all(|p| p.technique == Technique::Cross));
+        // With one graded level equal to the configured `e`, the joint
+        // cross series matches the legacy two-pass cross series point
+        // for point (same base circuit, same sweep).
+        let legacy = fw.run_study(&q, &train, &test);
+        assert_eq!(s.cross, legacy.cross, "level-1 gene reproduces the two-pass cross sweep");
+        assert_eq!(s.prune_only, legacy.prune_only, "exact gene reproduces the baseline sweep");
+        // Determinism: the joint flow reproduces itself.
+        let again = fw.run_study_with(&q, &train, &test, &search);
+        assert_eq!(s.cross, again.cross);
+        assert_eq!(s.prune_only, again.prune_only);
     }
 
     #[test]

@@ -39,6 +39,8 @@
 //!
 //! [`Provenance`]: pax_netlist::fold::Provenance
 
+use std::borrow::Cow;
+
 use egt_pdk::{Library, PdkError, TechParams};
 use pax_bespoke::{score_outputs, stimulus_for};
 use pax_ml::quant::QuantizedModel;
@@ -125,8 +127,11 @@ impl CellTable {
 /// re-synthesis or recompilation.
 #[derive(Debug)]
 pub struct OverlayContext<'a> {
-    base: &'a Netlist,
-    model: &'a QuantizedModel,
+    /// The base circuit — borrowed for caller-provided contexts
+    /// ([`OverlayContext::new`]), owned for lazily materialized
+    /// coefficient-level contexts ([`OverlayContext::new_owned`]).
+    base: Cow<'a, Netlist>,
+    model: Cow<'a, QuantizedModel>,
     test: &'a Dataset,
     tech: &'a TechParams,
     tape: CompiledNetlist,
@@ -163,12 +168,38 @@ impl<'a> OverlayContext<'a> {
         lib: &'a Library,
         tech: &'a TechParams,
     ) -> Result<Self, StudyError> {
+        Self::from_parts(Cow::Borrowed(base), Cow::Borrowed(model), test, lib, tech)
+    }
+
+    /// [`OverlayContext::new`] over an owned base circuit and model —
+    /// the form lazily materialized coefficient-level contexts use,
+    /// where the netlist is synthesized inside the evaluator and has no
+    /// external owner to borrow from. Evaluation is bit-identical to
+    /// the borrowed form.
+    pub fn new_owned(
+        base: Netlist,
+        model: QuantizedModel,
+        test: &'a Dataset,
+        lib: &'a Library,
+        tech: &'a TechParams,
+    ) -> Result<Self, StudyError> {
+        Self::from_parts(Cow::Owned(base), Cow::Owned(model), test, lib, tech)
+    }
+
+    fn from_parts(
+        base: Cow<'a, Netlist>,
+        model: Cow<'a, QuantizedModel>,
+        test: &'a Dataset,
+        lib: &'a Library,
+        tech: &'a TechParams,
+    ) -> Result<Self, StudyError> {
         // Single-threaded tape by default: evaluation runs inside an
         // already-saturated worker pool, so nested word-parallelism
         // would only oversubscribe the cores.
-        let tape = CompiledNetlist::compile(base).with_threads(1);
-        let packed = tape.pack(&stimulus_for(model, test))?;
-        let base_arrival = pax_sta::analyze(base, lib, tech)?.arrival_ms;
+        let tape = CompiledNetlist::compile(&base).with_threads(1);
+        let packed = tape.pack(&stimulus_for(&model, test))?;
+        let base_arrival = pax_sta::analyze(&base, lib, tech)?.arrival_ms;
+        let fanout = Fanout::build(&base);
         Ok(Self {
             base,
             model,
@@ -179,7 +210,7 @@ impl<'a> OverlayContext<'a> {
             cells: CellTable::new(lib),
             delays: DelayTable::new(lib),
             base_arrival,
-            fanout: Fanout::build(base),
+            fanout,
             phases: Phases::new(EVAL_PHASES),
         })
     }
@@ -195,7 +226,7 @@ impl<'a> OverlayContext<'a> {
 
     /// The base netlist this context evaluates prunings of.
     pub fn base(&self) -> &Netlist {
-        self.base
+        &self.base
     }
 
     /// The per-phase timing accumulators this context has gathered
@@ -228,12 +259,12 @@ impl<'a> OverlayContext<'a> {
         // exactly as the rebuilt netlist would.
         let sim = self.phases.time(phase::MASKED_SIM, || self.tape.run_masked(&self.packed, &mask));
         let (accuracy, _) =
-            self.phases.time(phase::SCORE, || score_outputs(self.model, self.test, sim.outputs()));
+            self.phases.time(phase::SCORE, || score_outputs(&self.model, self.test, sim.outputs()));
 
         // The surviving structure — node-for-node what `apply_set`
         // would rebuild.
         let folded =
-            self.phases.time(phase::FOLD, || FoldedCircuit::apply_sorted(self.base, &mask));
+            self.phases.time(phase::FOLD, || FoldedCircuit::apply_sorted(&self.base, &mask));
 
         let retime_start = std::time::Instant::now();
         // Affected cone: the pruned set's transitive fanout in the base

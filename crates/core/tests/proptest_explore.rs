@@ -10,7 +10,8 @@
 //! order-invariance can be asserted bitwise.
 
 use pax_core::explore::{
-    Candidate, ContextSpace, ExhaustiveGrid, Objective, ObjectiveSet, ParetoArchive, SearchStrategy,
+    Candidate, CoeffGene, ContextSpace, ExhaustiveGrid, Nsga2, Nsga2Config, Objective,
+    ObjectiveSet, ParetoArchive, SearchSpace, SearchStrategy,
 };
 use pax_core::{pareto, DesignPoint, Technique};
 use proptest::prelude::*;
@@ -279,19 +280,23 @@ proptest! {
     }
 
     /// The grid strategy enumerates exactly the τ-qualified φ levels,
-    /// in grid order, for arbitrary gate metric sets.
+    /// in grid order, for arbitrary gate metric sets — and when no τc
+    /// qualifies a single gate (all gate τs below the weakest step, a
+    /// real outcome for saturated circuits), it emits exactly the one
+    /// unpruned baseline point instead of silently dropping the
+    /// context.
     #[test]
     fn grid_strategy_enumerates_qualified_phis(
-        gates in proptest::collection::vec((80u32..100, -1i64..8), 1..30),
+        gates in proptest::collection::vec((40u32..100, -1i64..8), 0..30),
         steps in 1usize..8
     ) {
         let gates: Vec<(f64, i64)> =
             gates.iter().map(|&(t, p)| (f64::from(t) / 100.0, p)).collect();
         let tau_values: Vec<f64> =
             (0..steps).map(|i| 0.80 + 0.19 * i as f64 / steps.max(2) as f64).collect();
-        let space = pax_core::explore::SearchSpace {
+        let space = SearchSpace {
             tau_values: tau_values.clone(),
-            contexts: vec![ContextSpace { use_coeff: false, gates: gates.clone() }],
+            contexts: vec![ContextSpace { gene: CoeffGene::exact(), gates: gates.clone() }],
         };
         let batch = ExhaustiveGrid::new().ask(&space);
         let mut expected: Vec<Candidate> = Vec::new();
@@ -304,9 +309,74 @@ proptest! {
             phis.sort_unstable();
             phis.dedup();
             for phi_c in phis {
-                expected.push(Candidate { use_coeff: false, tau_c, phi_c });
+                expected.push(Candidate { coeff: CoeffGene::exact(), tau_c, phi_c });
             }
         }
+        if expected.is_empty() {
+            expected.push(Candidate {
+                coeff: CoeffGene::exact(),
+                tau_c: tau_values[0],
+                phi_c: -1,
+            });
+        }
         prop_assert_eq!(batch, expected);
+    }
+
+    /// NSGA-II survives every degenerate space the issue tracker has
+    /// seen in the wild, and then some: gate-free contexts (empty
+    /// `distinct_taus()`, the old `clamp(0, -1)` panic), contexts whose
+    /// gates all share one τ, empty τ grids, and several coefficient
+    /// genes side by side. Every asked candidate must carry a gene that
+    /// actually exists in the space.
+    #[test]
+    fn nsga2_survives_degenerate_spaces(
+        ctxs in proptest::collection::vec(
+            proptest::collection::vec((0u32..100, -1i64..8), 0..6),
+            1..4
+        ),
+        steps in 0usize..4,
+        seed in proptest::prelude::any::<u64>()
+    ) {
+        let contexts: Vec<ContextSpace> = ctxs
+            .iter()
+            .enumerate()
+            .map(|(i, gates)| ContextSpace {
+                gene: if i == 0 {
+                    CoeffGene::exact()
+                } else {
+                    CoeffGene::uniform(u8::try_from(i).expect("tiny index"))
+                },
+                gates: gates.iter().map(|&(t, p)| (f64::from(t) / 100.0, p)).collect(),
+            })
+            .collect();
+        let tau_values: Vec<f64> = (0..steps).map(|i| 0.80 + 0.05 * i as f64).collect();
+        let space = SearchSpace { tau_values, contexts };
+        let mut nsga = Nsga2::new(Nsga2Config {
+            population: 8,
+            generations: 4,
+            max_evals: 64,
+            seed,
+            ..Default::default()
+        });
+        let objectives = ObjectiveSet::all();
+        for _ in 0..4 {
+            let batch = nsga.ask(&space);
+            if batch.is_empty() {
+                break;
+            }
+            let mut results = Vec::with_capacity(batch.len());
+            for (i, c) in batch.iter().enumerate() {
+                prop_assert!(
+                    space.contexts.iter().any(|ctx| ctx.gene == c.coeff),
+                    "asked candidate carries a gene outside the space: {:?}",
+                    c
+                );
+                prop_assert!(c.tau_c.is_finite());
+                // Synthetic but deterministic feedback: selection
+                // pressure is irrelevant here, only survival is.
+                results.push((*c, point(((i * 37) % 100) as f64 / 100.0, (i % 7 + 1) as f64)));
+            }
+            nsga.tell(&results, &objectives);
+        }
     }
 }

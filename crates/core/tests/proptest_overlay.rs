@@ -24,7 +24,11 @@
 
 use egt_pdk::{Library, TechParams};
 use pax_bespoke::BespokeCircuit;
-use pax_core::explore::{Candidate, EvalCache, EvalContext, EvalMode, Evaluator};
+use pax_core::coeff_approx::CoeffApproxConfig;
+use pax_core::explore::{
+    Candidate, CoeffAxis, CoeffGene, EvalCache, EvalContext, EvalMode, Evaluator,
+};
+use pax_core::mult_cache::MultCache;
 use pax_core::prune::{
     analyze, enumerate_grid, try_evaluate_grid, try_evaluate_set_rebuild, OverlayContext,
     PruneAnalysis, PruneConfig, PruneEval,
@@ -193,7 +197,7 @@ fn evaluator_modes_agree_bit_for_bit() {
     let tech = TechParams::egt();
     let contexts = || {
         vec![EvalContext {
-            use_coeff: false,
+            coeff: CoeffGene::exact(),
             netlist: &f.circuit.netlist,
             model: &f.circuit.model,
             analysis: f.analysis.clone(),
@@ -201,7 +205,7 @@ fn evaluator_modes_agree_bit_for_bit() {
     };
     let candidates: Vec<Candidate> = [(0.8, 3), (0.9, 0), (0.95, -1), (0.99, 8), (0.85, 5)]
         .iter()
-        .map(|&(tau_c, phi_c)| Candidate { use_coeff: false, tau_c, phi_c })
+        .map(|&(tau_c, phi_c)| Candidate { coeff: CoeffGene::exact(), tau_c, phi_c })
         .collect();
 
     let overlay_eval = Evaluator::new(&lib, &tech, &f.test, contexts());
@@ -245,4 +249,90 @@ fn grid_evaluation_surfaces_library_errors() {
     )
     .expect_err("empty library must fail, not panic");
     assert!(matches!(err, StudyError::Library(_)), "got {err}");
+}
+
+/// A training-set-carrying fixture for the coefficient-axis
+/// differential: the axis materializes per-gene base circuits itself,
+/// so it needs the train split the given context was analyzed with.
+struct AxisFixture {
+    model: QuantizedModel,
+    netlist: pax_netlist::Netlist,
+    analysis: PruneAnalysis,
+    train: Dataset,
+    test: Dataset,
+}
+
+fn axis_fixture(seed: u64) -> AxisFixture {
+    let data = blobs("ovx", 240, 3, 3, 0.09, 40 + (seed % 5));
+    let (train, test) = data.split(0.7, 1);
+    let (train, test) = pax_ml::normalize(&train, &test);
+    let m = pax_ml::train::svm::train_svm_classifier(
+        &train,
+        &pax_ml::train::svm::SvmParams { epochs: 50, ..Default::default() },
+        3,
+    );
+    let model = QuantizedModel::from_linear_classifier("ovx", &m, QuantSpec::default());
+    let netlist = pax_synth::opt::optimize(&BespokeCircuit::generate(&model).netlist);
+    let analysis = analyze(&netlist, &model, &train);
+    AxisFixture { model, netlist, analysis, train, test }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The graded coefficient axis: an evaluator whose space holds the
+    /// exact base plus lazily-materialized per-gene contexts must
+    /// return bit-identical `DesignPoint`s in overlay and rebuild mode
+    /// for candidates on *every* gene — the stacked coeff+prune
+    /// admission ticket on all four measured axes.
+    #[test]
+    fn coeff_axis_overlay_equals_rebuild(
+        seed in any::<u64>(),
+        tau_c in 0.5f64..1.0,
+        phi_raw in -1i64..12,
+    ) {
+        let f = axis_fixture(seed);
+        let lib = egt_pdk::egt_library();
+        let tech = TechParams::egt();
+        let cache = MultCache::new(lib.clone());
+        cache.build_range(f.model.spec.input_bits, f.model.spec.coef_bits);
+        let contexts = || {
+            vec![EvalContext {
+                coeff: CoeffGene::exact(),
+                netlist: &f.netlist,
+                model: &f.model,
+                analysis: f.analysis.clone(),
+            }]
+        };
+        let axis = || CoeffAxis {
+            model: &f.model,
+            train: &f.train,
+            cache: &cache,
+            cfg: CoeffApproxConfig::default(),
+            levels: vec![2, 4],
+        };
+        let overlay = Evaluator::new(&lib, &tech, &f.test, contexts()).with_coeff_axis(axis());
+        let rebuild = Evaluator::new(&lib, &tech, &f.test, contexts())
+            .with_coeff_axis(axis())
+            .with_mode(EvalMode::Rebuild);
+        // One candidate per gene: exact plus both graded levels.
+        let candidates: Vec<Candidate> = overlay
+            .genes()
+            .into_iter()
+            .map(|coeff| Candidate { coeff, tau_c, phi_c: phi_raw })
+            .collect();
+        prop_assert!(candidates.len() >= 3, "axis must open graded contexts");
+        let (a, fresh_a) = overlay.evaluate_batch(&candidates, &mut EvalCache::new(), None).unwrap();
+        let (b, fresh_b) = rebuild.evaluate_batch(&candidates, &mut EvalCache::new(), None).unwrap();
+        prop_assert_eq!(fresh_a, fresh_b);
+        prop_assert_eq!(a.len(), b.len());
+        for ((ca, pa), (cb, pb)) in a.iter().zip(&b) {
+            prop_assert_eq!(ca, cb);
+            prop_assert_eq!(pa.accuracy.to_bits(), pb.accuracy.to_bits());
+            prop_assert_eq!(pa.area_mm2.to_bits(), pb.area_mm2.to_bits());
+            prop_assert_eq!(pa.power_mw.to_bits(), pb.power_mw.to_bits());
+            prop_assert_eq!(pa.critical_ms.to_bits(), pb.critical_ms.to_bits());
+            prop_assert_eq!(pa.gate_count, pb.gate_count);
+        }
+    }
 }

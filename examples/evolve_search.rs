@@ -20,7 +20,7 @@
 use pax_bespoke::BespokeCircuit;
 use pax_core::coeff_approx::approximate_model;
 use pax_core::explore::{
-    Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, ObjectiveSet,
+    CoeffGene, Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, ObjectiveSet,
     ParetoArchive, SearchOutcome,
 };
 use pax_core::mult_cache::MultCache;
@@ -49,13 +49,13 @@ fn main() {
     let approx_nl = pax_synth::opt::optimize(&BespokeCircuit::generate(&approx).netlist);
     let contexts = vec![
         EvalContext {
-            use_coeff: false,
+            coeff: CoeffGene::exact(),
             netlist: &base_nl,
             model: &model,
             analysis: analyze(&base_nl, &model, &train),
         },
         EvalContext {
-            use_coeff: true,
+            coeff: CoeffGene::uniform(1),
             netlist: &approx_nl,
             model: &approx,
             analysis: analyze(&approx_nl, &approx, &train),

@@ -8,7 +8,8 @@
 
 use pax_bespoke::BespokeCircuit;
 use pax_core::explore::{
-    Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, ObjectiveSet, ParetoArchive,
+    CoeffGene, Engine, EvalContext, Evaluator, ExhaustiveGrid, Nsga2, Nsga2Config, ObjectiveSet,
+    ParetoArchive,
 };
 use pax_core::framework::{Framework, FrameworkConfig, SearchConfig};
 use pax_core::prune::{analyze, enumerate_grid, evaluate_grid};
@@ -105,7 +106,12 @@ fn strategies_share_one_engines_cache() {
         fw.library(),
         &fw.config().tech,
         &test,
-        vec![EvalContext { use_coeff: false, netlist: &circuit.netlist, model: &q, analysis }],
+        vec![EvalContext {
+            coeff: CoeffGene::exact(),
+            netlist: &circuit.netlist,
+            model: &q,
+            analysis,
+        }],
     );
     let mut engine = Engine::new(&evaluator, &fw.config().prune);
 
@@ -316,7 +322,12 @@ fn nd_objective_sets_drive_engine_and_evolutionary_search() {
         fw.library(),
         &fw.config().tech,
         &test,
-        vec![EvalContext { use_coeff: false, netlist: &circuit.netlist, model: &q, analysis }],
+        vec![EvalContext {
+            coeff: CoeffGene::exact(),
+            netlist: &circuit.netlist,
+            model: &q,
+            analysis,
+        }],
     );
     for objectives in [ObjectiveSet::accuracy_area_power(), ObjectiveSet::all()] {
         let mut engine =

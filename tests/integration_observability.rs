@@ -9,7 +9,9 @@ use std::sync::Arc;
 
 use pax_bespoke::BespokeCircuit;
 use pax_core::coeff_approx::approximate_model;
-use pax_core::explore::{Engine, EvalContext, Evaluator, Nsga2, Nsga2Config, SearchOutcome};
+use pax_core::explore::{
+    CoeffGene, Engine, EvalContext, Evaluator, Nsga2, Nsga2Config, SearchOutcome,
+};
 use pax_core::framework::{Framework, FrameworkConfig};
 use pax_ml::quant::{QuantSpec, QuantizedModel};
 use pax_ml::synth_data::blobs;
@@ -34,9 +36,14 @@ fn run_study(journal: Option<&PathBuf>) -> SearchOutcome {
     let base_analysis = pax_core::prune::analyze(&base_nl, &model, &train);
     let approx_analysis = pax_core::prune::analyze(&approx_nl, &approx, &train);
     let contexts = vec![
-        EvalContext { use_coeff: false, netlist: &base_nl, model: &model, analysis: base_analysis },
         EvalContext {
-            use_coeff: true,
+            coeff: CoeffGene::exact(),
+            netlist: &base_nl,
+            model: &model,
+            analysis: base_analysis,
+        },
+        EvalContext {
+            coeff: CoeffGene::uniform(1),
             netlist: &approx_nl,
             model: &approx,
             analysis: approx_analysis,
