@@ -142,11 +142,38 @@ fn bench(c: &mut Criterion) {
     // --- Interpreter vs compiled evaluator ---------------------------
     // Study-sized stimulus: one pass over a whole dataset, the shape
     // the pruning search and accuracy sweeps execute thousands of times.
+    // Per-call times here are microseconds, so many more reps fit —
+    // needed for stable rates on noisy shared machines.
+    let reps = 200;
     let study_rows: Vec<Vec<i64>> =
         (0..STUDY_SAMPLES).map(|i| rows[i % rows.len()].clone()).collect();
     let study_stim = stimulus_for_rows(&model, &study_rows);
     let compiled = CompiledNetlist::compile(&netlist);
     let compiled_seq = compiled.clone().with_threads(1);
+    // Bit-identity self-check before any number is recorded: the fused
+    // tape (`run`), the unfused activity-tracked tape
+    // (`run_with_activity`) and the interpreter must agree on every
+    // output port of the study stimulus.
+    {
+        let fused = compiled.run(&study_stim).unwrap();
+        let tracked = compiled.run_with_activity(&study_stim).unwrap();
+        let interp = simulate(&netlist, &study_stim);
+        for p in netlist.output_ports() {
+            assert_eq!(
+                fused.port_values(&p.name),
+                tracked.port_values(&p.name),
+                "fused vs unfused tape diverge on {}",
+                p.name
+            );
+            assert_eq!(
+                fused.port_values(&p.name),
+                interp.port_values(&p.name),
+                "fused tape vs interpreter diverge on {}",
+                p.name
+            );
+        }
+        println!("# self-check: fused == unfused == interpreted on all output ports");
+    }
     let interp_s = time_it(
         || {
             black_box(simulate(&netlist, &study_stim));
@@ -171,14 +198,41 @@ fn bench(c: &mut Criterion) {
         },
         reps,
     );
+    // The search and serving hot paths pack once per study/batch and
+    // execute the fused tape many times (`run_masked`/`run_packed`), so
+    // the pre-packed execution rate is the number the overlay wins ride
+    // on; `run` above additionally pays per-call packing.
+    let packed_narrow = compiled.pack(&study_stim).unwrap();
+    let packed_wide = compiled.pack_wide(&study_stim).unwrap();
+    let fused_narrow_s = time_it(
+        || {
+            black_box(compiled.run_packed(&packed_narrow));
+        },
+        reps,
+    );
+    let fused_wide_s = time_it(
+        || {
+            black_box(compiled.run_packed(&packed_wide));
+        },
+        reps,
+    );
     let interp_rate = STUDY_SAMPLES as f64 / interp_s;
     println!("# interpreter vs compiled — {STUDY_SAMPLES} samples/iteration, {reps} reps");
+    println!(
+        "# fused tape: {} instructions ({} residual gates + {} LUT cones) vs {} unfused",
+        compiled.n_fused_instructions(),
+        compiled.n_fused_instructions() - compiled.n_luts(),
+        compiled.n_luts(),
+        compiled.n_instructions(),
+    );
     println!("# {:<34} {:>14} {:>12}", "variant", "samples/sec", "vs interp");
     println!("# {:<34} {:>14.0} {:>11.1}x", "simulate (interpreted, activity)", interp_rate, 1.0);
     for (label, secs) in [
         ("compiled + activity", compiled_act_s),
         ("compiled, no activity, 1 thread", compiled_seq_s),
         ("compiled, no activity", compiled_s),
+        ("fused pre-packed, 64-lane words", fused_narrow_s),
+        ("fused pre-packed, 256-lane words", fused_wide_s),
     ] {
         let rate = STUDY_SAMPLES as f64 / secs;
         println!("# {:<34} {:>14.0} {:>11.1}x", label, rate, rate / interp_rate);
@@ -186,6 +240,21 @@ fn bench(c: &mut Criterion) {
     println!(
         "# compiled (no activity) vs interpreted simulate: {:.1}x (acceptance bar: 3x)",
         interp_s / compiled_s
+    );
+    println!(
+        "# fused 256-lane vs 64-lane pre-packed execution: {:.1}x",
+        fused_narrow_s / fused_wide_s
+    );
+    // Regression guard for the auto-thread planner: a study-sized
+    // stimulus (64 u64 words on this netlist) is far below the
+    // per-chunk work floor, so auto-threading must stay sequential —
+    // BENCH_compiled_eval.json previously showed the threaded plan
+    // losing to the pinned 1-thread run on exactly this shape.
+    let study_words = STUDY_SAMPLES.div_ceil(64);
+    assert_eq!(
+        compiled.planned_threads(study_words),
+        1,
+        "study-sized workloads must plan a single thread"
     );
 
     // --- Criterion-tracked benchmarks --------------------------------
@@ -246,6 +315,7 @@ fn bench(c: &mut Criterion) {
             technique: pax_core::Technique::Exact,
             tau_c: None,
             phi_c: None,
+            coeff: None,
             accuracy: 1.0,
             area_mm2: 0.0,
             power_mw: 0.0,

@@ -16,7 +16,7 @@ pub fn subplot_csv(run: &StudyRun) -> String {
 /// CSV of all subplots concatenated with a `circuit` column prefix.
 pub fn to_csv(runs: &[StudyRun]) -> String {
     let mut out =
-        String::from("circuit,technique,tau_c,phi_c,accuracy,area_mm2,norm_area,power_mw\n");
+        String::from("circuit,technique,tau_c,phi_c,coeff,accuracy,area_mm2,norm_area,power_mw\n");
     for run in runs {
         let label = run.entry.label();
         for line in report::fig3_csv(&run.study).lines().skip(1) {

@@ -56,7 +56,7 @@ impl Artifact {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "pax-artifact v1");
-        let _ = writeln!(
+        let _ = write!(
             out,
             "point {} {} {} {} {} {} {} {}",
             self.point.technique.label(),
@@ -68,6 +68,15 @@ impl Artifact {
             self.point.gate_count,
             self.point.critical_ms,
         );
+        // The coefficient gene rides as an optional trailing token so
+        // pre-gene artifacts (9-token point lines) keep parsing and
+        // exact-base exports stay byte-identical to the old format.
+        match self.point.coeff {
+            Some(g) => {
+                let _ = writeln!(out, " {g}");
+            }
+            None => out.push('\n'),
+        }
         out.push_str("model\n");
         out.push_str(&pax_ml::serialize::to_text(&self.model));
         out.push_str("netlist\n");
@@ -172,7 +181,9 @@ fn take_section<'a>(lines: &mut impl Iterator<Item = &'a str>) -> Result<String,
 
 fn parse_point(line: &str) -> Result<DesignPoint, String> {
     let toks: Vec<&str> = line.split_whitespace().collect();
-    if toks.len() != 9 || toks[0] != "point" {
+    // 9 tokens is the original format; a 10th optional token carries
+    // the coefficient-approximation gene label.
+    if !(toks.len() == 9 || toks.len() == 10) || toks[0] != "point" {
         return Err(format!("malformed point line `{line}`"));
     }
     let technique =
@@ -192,10 +203,19 @@ fn parse_point(line: &str) -> Result<DesignPoint, String> {
         }
     };
     let f = |t: &str| -> Result<f64, String> { t.parse().map_err(|_| format!("bad float `{t}`")) };
+    let coeff = match toks.get(9) {
+        None => None,
+        Some(&"-") => None,
+        Some(tok) => Some(
+            crate::explore::CoeffGene::from_label(tok)
+                .ok_or_else(|| format!("bad coeff gene `{tok}`"))?,
+        ),
+    };
     Ok(DesignPoint {
         technique,
         tau_c: opt_f64(toks[2])?,
         phi_c: opt_i64(toks[3])?,
+        coeff,
         accuracy: f(toks[4])?,
         area_mm2: f(toks[5])?,
         power_mw: f(toks[6])?,

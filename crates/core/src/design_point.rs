@@ -1,5 +1,7 @@
 use serde::{Deserialize, Serialize};
 
+use crate::explore::CoeffGene;
+
 /// Which approximation produced a design (the four series of the
 /// paper's Fig. 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -53,6 +55,13 @@ pub struct DesignPoint {
     pub tau_c: Option<f64>,
     /// Pruning φ threshold, if pruning was applied.
     pub phi_c: Option<i64>,
+    /// The winning coefficient-approximation gene, when the point came
+    /// from a non-exact base circuit (joint-mode `Cross` /
+    /// `CoeffApprox` points). `None` for exact-base points, so
+    /// exact-technique points compare equal across producers that do
+    /// and do not track genes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub coeff: Option<CoeffGene>,
     /// Test-set accuracy.
     pub accuracy: f64,
     /// Printed area in mm².
@@ -98,6 +107,7 @@ mod tests {
             technique: Technique::Cross,
             tau_c: None,
             phi_c: None,
+            coeff: None,
             accuracy: acc,
             area_mm2: area,
             power_mw: 1.0,

@@ -333,6 +333,7 @@ mod tests {
             technique: Technique::Cross,
             tau_c: None,
             phi_c: None,
+            coeff: None,
             accuracy: acc,
             area_mm2: area,
             power_mw: power,

@@ -568,6 +568,7 @@ impl<'a> Evaluator<'a> {
             technique: if c.coeff.is_exact() { Technique::PruneOnly } else { Technique::Cross },
             tau_c: Some(c.tau_c),
             phi_c: Some(c.phi_c),
+            coeff: (!c.coeff.is_exact()).then_some(c.coeff),
             accuracy: e.accuracy,
             area_mm2: e.area_mm2,
             power_mw: e.power_mw,

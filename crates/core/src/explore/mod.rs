@@ -96,7 +96,19 @@ pub const MAX_COEFF_LAYERS: usize = 2;
 /// materialized context) carrying the same gene, which is why legacy
 /// two-context setups can keep using `exact()` / `uniform(1)` without
 /// ever configuring level widths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct CoeffGene {
     levels: [u8; MAX_COEFF_LAYERS],
 }
@@ -143,6 +155,36 @@ impl CoeffGene {
     /// to snap a foreign gene onto the nearest in-space context.
     pub fn distance(&self, other: &Self) -> u32 {
         self.levels.iter().zip(&other.levels).map(|(&a, &b)| u32::from(a.abs_diff(b))).sum()
+    }
+
+    /// A slash-free rendering for path-like labels (journal `study`
+    /// fields): `exact` or `L2.1`.
+    pub fn tag(&self) -> String {
+        if self.is_exact() {
+            return "exact".to_owned();
+        }
+        let mut out = String::from("L");
+        for (i, l) in self.levels.iter().enumerate() {
+            if i > 0 {
+                out.push('.');
+            }
+            out.push_str(&l.to_string());
+        }
+        out
+    }
+
+    /// Inverse of the [`Display`](std::fmt::Display) form (`exact` or
+    /// `l0/l1/…`) — used by the artifact text format.
+    pub fn from_label(label: &str) -> Option<Self> {
+        if label == "exact" {
+            return Some(Self::exact());
+        }
+        let levels: Option<Vec<u8>> = label.split('/').map(|t| t.parse().ok()).collect();
+        let levels = levels?;
+        if levels.is_empty() || levels.len() > MAX_COEFF_LAYERS {
+            return None;
+        }
+        Some(Self::per_layer(&levels))
     }
 }
 

@@ -110,6 +110,7 @@ pub struct ObjectiveAxis {
 ///     technique: Technique::Cross,
 ///     tau_c: None,
 ///     phi_c: None,
+///     coeff: None,
 ///     accuracy: acc,
 ///     area_mm2: area,
 ///     power_mw: power,
@@ -284,6 +285,7 @@ mod tests {
             technique: Technique::Cross,
             tau_c: None,
             phi_c: None,
+            coeff: None,
             accuracy: acc,
             area_mm2: area,
             power_mw: power,

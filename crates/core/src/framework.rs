@@ -343,6 +343,7 @@ impl Framework {
             technique,
             tau_c: None,
             phi_c: None,
+            coeff: None,
             accuracy: outcome.accuracy,
             area_mm2: area,
             power_mw: power.total_mw(),
@@ -471,15 +472,26 @@ impl Framework {
                 let prune_baseline_ms = t2.elapsed().as_millis();
 
                 // 4. Pruning exploration on the approximated circuit
-                //    (green dots) — the cross-layer designs.
+                //    (green dots) — the cross-layer designs. The gene
+                //    sets ladder index 1 on exactly the layers the
+                //    model has, matching what a joint coeff axis would
+                //    label the same base circuit — so the recorded
+                //    `DesignPoint::coeff` agrees across the two routes.
                 let t3 = Instant::now();
+                let layers = model
+                    .sum_shapes()
+                    .iter()
+                    .map(|&(layer, _, _)| layer + 1)
+                    .max()
+                    .unwrap_or(1)
+                    .min(crate::explore::MAX_COEFF_LAYERS);
                 let (cross, stats_b) = self.explore_series(
                     &approx_circuit,
                     &approx_tape,
                     &approx_model,
                     train,
                     test,
-                    CoeffGene::uniform(1),
+                    CoeffGene::per_layer(&vec![1; layers]),
                     search,
                 )?;
                 let prune_cross_ms = t3.elapsed().as_millis();
@@ -686,7 +698,13 @@ impl Framework {
         engine.set_journal_label(format!(
             "{}/{}",
             model.name,
-            if gene.is_exact() { "prune-baseline" } else { "prune-cross" }
+            if gene.is_exact() {
+                "prune-baseline".to_owned()
+            } else {
+                // Tag the series with the gene so journals from
+                // different graded levels stay distinguishable.
+                format!("prune-cross-{}", gene.tag())
+            }
         ));
         let mut strategy = search.build();
         let outcome = engine.run(strategy.as_mut())?;
@@ -940,6 +958,7 @@ mod tests {
                     technique: Technique::PruneOnly,
                     tau_c: Some(combo.tau_c),
                     phi_c: Some(combo.phi_c),
+                    coeff: None,
                     accuracy: e.accuracy,
                     area_mm2: e.area_mm2,
                     power_mw: e.power_mw,

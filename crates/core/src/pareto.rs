@@ -18,6 +18,7 @@ use crate::DesignPoint;
 ///     technique: Technique::Cross,
 ///     tau_c: None,
 ///     phi_c: None,
+///     coeff: None,
 ///     accuracy: acc,
 ///     area_mm2: area,
 ///     power_mw: 0.0,
@@ -70,6 +71,7 @@ pub fn pareto_front(points: &[DesignPoint]) -> Vec<usize> {
 ///     technique: Technique::Cross,
 ///     tau_c: None,
 ///     phi_c: None,
+///     coeff: None,
 ///     accuracy: acc,
 ///     area_mm2: area,
 ///     power_mw: power,
@@ -123,6 +125,7 @@ mod tests {
             technique: Technique::Cross,
             tau_c: None,
             phi_c: None,
+            coeff: None,
             accuracy: acc,
             area_mm2: area,
             power_mw: 0.0,

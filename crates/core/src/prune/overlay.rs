@@ -13,8 +13,13 @@
 //! * the **base tape** is compiled once and executed per candidate with
 //!   a [prune mask](pax_sim::CompiledNetlist::run_masked) — pruned
 //!   gates skip to their dominant constant via two reserved constant
-//!   slots, so downstream logic behaves exactly as if the netlist had
-//!   been rebuilt;
+//!   slots (or pure truth-table transforms where fusion collapsed the
+//!   gate into a LUT cone), so downstream logic behaves exactly as if
+//!   the netlist had been rebuilt. The functional run executes the
+//!   *fused* tape; switching activity comes from an incremental delta
+//!   over a recorded unfused [`BaseTrace`](pax_sim::BaseTrace) — only
+//!   instructions in the pruned set's transitive fanout re-execute,
+//!   and the result is bit-identical to a full tracked masked run;
 //! * the **test stimulus** is quantized and bit-packed once
 //!   ([`PackedStimulus`]);
 //! * the candidate's **surviving structure** comes from the symbolic
@@ -50,7 +55,7 @@ use pax_netlist::traverse::Fanout;
 use pax_netlist::{GateKind, NetId, Netlist};
 use pax_obs::Phases;
 use pax_sim::power::PowerReport;
-use pax_sim::{CompiledNetlist, PackedStimulus};
+use pax_sim::{BaseTrace, CompiledNetlist, PackedStimulus};
 use pax_sta::DelayTable;
 
 use super::{PruneAnalysis, PruneEval};
@@ -136,6 +141,11 @@ pub struct OverlayContext<'a> {
     tech: &'a TechParams,
     tape: CompiledNetlist,
     packed: PackedStimulus,
+    /// One recorded unfused run of the base tape on the packed test
+    /// set: per-word slot values plus base activity. Masked activity is
+    /// re-derived from it incrementally instead of re-executing the
+    /// whole tracked tape per candidate.
+    trace: BaseTrace,
     cells: CellTable,
     delays: DelayTable,
     /// Base-circuit arrival times (`pax_sta` on the unpruned netlist) —
@@ -198,6 +208,7 @@ impl<'a> OverlayContext<'a> {
         // would only oversubscribe the cores.
         let tape = CompiledNetlist::compile(&base).with_threads(1);
         let packed = tape.pack(&stimulus_for(&model, test))?;
+        let trace = tape.trace(&packed);
         let base_arrival = pax_sta::analyze(&base, lib, tech)?.arrival_ms;
         let fanout = Fanout::build(&base);
         Ok(Self {
@@ -207,6 +218,7 @@ impl<'a> OverlayContext<'a> {
             tech,
             tape,
             packed,
+            trace,
             cells: CellTable::new(lib),
             delays: DelayTable::new(lib),
             base_arrival,
@@ -254,22 +266,11 @@ impl<'a> OverlayContext<'a> {
         // `set` is sorted, so the (net, dominant) pairs are too.
         let mask: Vec<(NetId, bool)> = set.iter().map(|&g| (g, analysis.dominant(g))).collect();
 
-        // Masked execution of the shared tape: the pruned gates' slots
-        // stream their dominant constants, everything downstream reacts
-        // exactly as the rebuilt netlist would.
-        let sim = self.phases.time(phase::MASKED_SIM, || self.tape.run_masked(&self.packed, &mask));
-        let (accuracy, _) =
-            self.phases.time(phase::SCORE, || score_outputs(&self.model, self.test, sim.outputs()));
-
-        // The surviving structure — node-for-node what `apply_set`
-        // would rebuild.
-        let folded =
-            self.phases.time(phase::FOLD, || FoldedCircuit::apply_sorted(&self.base, &mask));
-
-        let retime_start = std::time::Instant::now();
         // Affected cone: the pruned set's transitive fanout in the base
-        // circuit. Gates outside it are isomorphic images of their base
-        // counterparts, so their base arrival times are reused verbatim.
+        // circuit. Gates outside it hold values word-for-word identical
+        // to the base run (the activity delta merges their counts) and
+        // are isomorphic images of their base counterparts (re-timing
+        // reuses their base arrival times verbatim).
         let mut affected = vec![false; self.base.len()];
         let mut stack: Vec<NetId> = set.to_vec();
         while let Some(n) = stack.pop() {
@@ -283,6 +284,25 @@ impl<'a> OverlayContext<'a> {
             }
         }
 
+        // Masked execution of the shared tape: the pruned gates' slots
+        // stream their dominant constants, everything downstream reacts
+        // exactly as the rebuilt netlist would. Functional outputs run
+        // the fused tape; exact switching activity is re-derived from
+        // the base trace by re-executing only the affected cone.
+        let (sim, activity) = self.phases.time(phase::MASKED_SIM, || {
+            let sim = self.tape.run_masked(&self.packed, &mask);
+            let activity = self.tape.masked_activity(&self.trace, &mask, &affected);
+            (sim, activity)
+        });
+        let (accuracy, _) =
+            self.phases.time(phase::SCORE, || score_outputs(&self.model, self.test, &sim));
+
+        // The surviving structure — node-for-node what `apply_set`
+        // would rebuild.
+        let folded =
+            self.phases.time(phase::FOLD, || FoldedCircuit::apply_sorted(&self.base, &mask));
+
+        let retime_start = std::time::Instant::now();
         // One walk over the survivors in construction order — the same
         // order (and therefore the same f64 summation sequence) as the
         // rebuild path's separate area/power/STA walks.
@@ -302,7 +322,7 @@ impl<'a> OverlayContext<'a> {
             let prov = folded.provenance(i).expect("non-constant folded nodes carry provenance");
             // Toggle counts survive inversion, so the masked base slot
             // stands in for the surviving gate's output exactly.
-            dynamic_uw += cell.sw_energy_nj * sim.activity.toggle_rate(prov.source) * f_hz * 1e-3;
+            dynamic_uw += cell.sw_energy_nj * activity.toggle_rate(prov.source) * f_hz * 1e-3;
             if !prov.inverted && !affected[prov.source.index()] {
                 arrival[i] = self.base_arrival[prov.source.index()];
             } else {

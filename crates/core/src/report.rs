@@ -9,22 +9,15 @@ use crate::{pareto, DesignPoint, Technique};
 
 /// CSV of every design of a study, normalized to the baseline area —
 /// one Fig. 3 subplot. Columns:
-/// `technique,tau_c,phi_c,accuracy,area_mm2,norm_area,power_mw`.
+/// `technique,tau_c,phi_c,coeff,accuracy,area_mm2,norm_area,power_mw`
+/// (`coeff` is the winning coefficient gene, empty for exact-base
+/// points).
 pub fn fig3_csv(study: &CircuitStudy) -> String {
     let base = study.baseline.area_mm2;
-    let mut out = String::from("technique,tau_c,phi_c,accuracy,area_mm2,norm_area,power_mw\n");
+    let mut out =
+        String::from("technique,tau_c,phi_c,coeff,accuracy,area_mm2,norm_area,power_mw\n");
     for p in study.all_points() {
-        let _ = writeln!(
-            out,
-            "{},{},{},{:.6},{:.3},{:.4},{:.3}",
-            p.technique.label(),
-            p.tau_c.map_or(String::new(), |t| format!("{t:.2}")),
-            p.phi_c.map_or(String::new(), |f| f.to_string()),
-            p.accuracy,
-            p.area_mm2,
-            p.norm_area(base),
-            p.power_mw,
-        );
+        let _ = writeln!(out, "{}", point_csv_row(p, base));
     }
     out
 }
@@ -32,21 +25,27 @@ pub fn fig3_csv(study: &CircuitStudy) -> String {
 /// CSV of the Pareto front of a study (same columns as [`fig3_csv`]).
 pub fn pareto_csv(study: &CircuitStudy) -> String {
     let base = study.baseline.area_mm2;
-    let mut out = String::from("technique,tau_c,phi_c,accuracy,area_mm2,norm_area,power_mw\n");
+    let mut out =
+        String::from("technique,tau_c,phi_c,coeff,accuracy,area_mm2,norm_area,power_mw\n");
     for p in study.pareto_front() {
-        let _ = writeln!(
-            out,
-            "{},{},{},{:.6},{:.3},{:.4},{:.3}",
-            p.technique.label(),
-            p.tau_c.map_or(String::new(), |t| format!("{t:.2}")),
-            p.phi_c.map_or(String::new(), |f| f.to_string()),
-            p.accuracy,
-            p.area_mm2,
-            p.norm_area(base),
-            p.power_mw,
-        );
+        let _ = writeln!(out, "{}", point_csv_row(&p, base));
     }
     out
+}
+
+/// One data row of the Fig. 3 CSVs (no trailing newline).
+fn point_csv_row(p: &DesignPoint, base: f64) -> String {
+    format!(
+        "{},{},{},{},{:.6},{:.3},{:.4},{:.3}",
+        p.technique.label(),
+        p.tau_c.map_or(String::new(), |t| format!("{t:.2}")),
+        p.phi_c.map_or(String::new(), |f| f.to_string()),
+        p.coeff.map_or(String::new(), |g| g.to_string()),
+        p.accuracy,
+        p.area_mm2,
+        p.norm_area(base),
+        p.power_mw,
+    )
 }
 
 /// One Table II row: per technique the <`max_loss` area optimum with
@@ -297,6 +296,7 @@ mod tests {
             technique: t,
             tau_c: if t == Technique::Cross { Some(0.9) } else { None },
             phi_c: if t == Technique::Cross { Some(3) } else { None },
+            coeff: None,
             accuracy: acc,
             area_mm2: area,
             power_mw: power,
@@ -326,7 +326,7 @@ mod tests {
         let s = fake_study();
         let csv = fig3_csv(&s);
         assert_eq!(csv.lines().count(), 1 + 5);
-        assert!(csv.contains("exact,,,0.900000,1000.000,1.0000,40.000"));
+        assert!(csv.contains("exact,,,,0.900000,1000.000,1.0000,40.000"));
         assert!(csv.contains("cross-layer,0.90,3"));
         assert!(csv.contains(",0.5000,")); // 500/1000 normalized
     }

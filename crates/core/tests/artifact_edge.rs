@@ -24,6 +24,7 @@ fn empty_point(gate_count: usize) -> DesignPoint {
         technique: Technique::Exact,
         tau_c: None,
         phi_c: None,
+        coeff: None,
         accuracy: 0.0,
         area_mm2: 0.0,
         power_mw: 0.0,
@@ -121,6 +122,34 @@ fn empty_metrics_and_max_width_compose() {
     let err = Artifact::load(&path).expect_err("corrupted artifact must be rejected");
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn coeff_gene_token_round_trips_and_old_lines_still_parse() {
+    let model = tiny_model("gene");
+    let netlist = pax_bespoke::BespokeCircuit::generate(&model).netlist;
+    let mut point = empty_point(netlist.gate_count());
+    point.technique = Technique::Cross;
+    point.coeff = Some(pax_core::explore::CoeffGene::per_layer(&[2, 1]));
+    let art = Artifact { point, model, netlist };
+
+    let text = art.to_text();
+    let point_line = text.lines().nth(1).expect("point line");
+    assert!(point_line.ends_with(" 2/1"), "got `{point_line}`");
+    let back = Artifact::from_text(&text).expect("gene token must round-trip");
+    assert_eq!(back.point, art.point);
+
+    // Pre-gene artifacts carry 9-token point lines: still accepted,
+    // loading with no recorded gene.
+    let old = text.replacen(" 2/1", "", 1);
+    let back = Artifact::from_text(&old).expect("9-token point lines stay valid");
+    assert_eq!(back.point.coeff, None);
+
+    // A bare dash also means "no gene"; garbage is rejected.
+    let dashed = text.replacen(" 2/1", " -", 1);
+    assert_eq!(Artifact::from_text(&dashed).expect("dash token").point.coeff, None);
+    let bad = text.replacen(" 2/1", " 2/x", 1);
+    assert!(Artifact::from_text(&bad).is_err(), "malformed gene token must be rejected");
 }
 
 #[test]

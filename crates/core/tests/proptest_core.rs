@@ -62,6 +62,7 @@ proptest! {
                 technique: Technique::Cross,
                 tau_c: None,
                 phi_c: None,
+                coeff: None,
                 accuracy: acc,
                 area_mm2: area,
                 power_mw: 0.0,

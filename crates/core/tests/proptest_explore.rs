@@ -25,6 +25,7 @@ fn point4((acc, area, power, delay): (f64, f64, f64, f64)) -> DesignPoint {
         technique: Technique::Cross,
         tau_c: None,
         phi_c: None,
+        coeff: None,
         accuracy: acc,
         area_mm2: area,
         power_mw: power,

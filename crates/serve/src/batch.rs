@@ -11,10 +11,11 @@ use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
-/// Lane width of the bit-parallel simulator word: one netlist pass
-/// answers up to this many requests at once, so the batcher never packs
-/// more than `LANES` requests into a batch.
-pub const LANES: usize = 64;
+/// Lane width of one bit-parallel simulator pass: the batcher never
+/// packs more than `LANES` requests into a batch. Matches the compiled
+/// tape's 256-lane wide word (`pax_sim::W256`) — a full batch executes
+/// as one wide word instead of four sequential 64-lane words.
+pub const LANES: usize = 256;
 
 /// Terminal state of one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

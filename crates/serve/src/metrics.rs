@@ -281,7 +281,7 @@ mod tests {
         assert_eq!(s.batches, 2);
         assert_eq!(s.queue_depth, 0);
         assert!((s.mean_batch - 5.0).abs() < 1e-12);
-        assert!((s.occupancy - 10.0 / 128.0).abs() < 1e-12);
+        assert!((s.occupancy - 10.0 / (2.0 * LANES as f64)).abs() < 1e-12);
         assert!((s.mean_latency_ms - 0.8).abs() < 1e-12);
         // Rank 5 and rank 10 of [0.5ms ×4, 1ms ×6] both land on 1ms;
         // the histogram answers within its ~3% bucket resolution.

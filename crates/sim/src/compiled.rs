@@ -15,19 +15,39 @@
 //!   [`GateKind`], so the kind dispatch is hoisted out of the inner
 //!   loop: one `match` per run, then a tight loop over dense operand
 //!   slots;
-//! * **optional activity accounting** — [`CompiledNetlist::run`] skips
-//!   the ones/toggle counters entirely (serving never reads them);
-//!   [`CompiledNetlist::run_with_activity`] produces an [`Activity`]
-//!   record bit-identical to the interpreter's;
-//! * **multi-threaded word execution** — 64-sample words are
-//!   independent, so large stimuli are chunked across threads; toggle
-//!   counting stays exact because each chunk re-derives the boundary
-//!   sample from the preceding word before it starts counting.
+//! * **LUT-cone fusion** — at compile time the tape is greedily covered
+//!   with k-input cones (k ≤ 6, single-fanout internals only; see the
+//!   invariants in the `fuse` module docs). Each profitable cone
+//!   becomes one table-lookup instruction, so a whole run of decoded
+//!   gates collapses into a handful of register-resident word ops. The
+//!   activity-off entry points ([`run`](CompiledNetlist::run),
+//!   [`run_packed`](CompiledNetlist::run_packed),
+//!   [`run_masked`](CompiledNetlist::run_masked)) execute the fused
+//!   tape;
+//! * **width-generic words** — the kernel is generic over
+//!   [`Word`](crate::Word): 64 lanes (`u64`) or 256 lanes
+//!   ([`W256`](crate::W256)). [`run`](CompiledNetlist::run) picks the
+//!   wide word automatically for large stimuli; outputs flatten back to
+//!   `u64` planes losslessly, so callers never see the width;
+//! * **optional activity accounting** — the activity-on entry points
+//!   ([`run_with_activity`](CompiledNetlist::run_with_activity),
+//!   [`run_packed_with_activity`](CompiledNetlist::run_packed_with_activity),
+//!   [`run_masked_with_activity`](CompiledNetlist::run_masked_with_activity))
+//!   produce an [`Activity`] record bit-identical to the interpreter's.
+//!   They execute the **unfused** tape at 64 lanes: exact per-net toggle
+//!   accounting must observe every internal net, and fused cones elide
+//!   theirs. The unfused tape doubles as the differential oracle the
+//!   fused tape is pinned against;
+//! * **multi-threaded word execution** — words are independent, so
+//!   large stimuli are chunked across threads; toggle counting stays
+//!   exact because each chunk re-derives the boundary sample from the
+//!   preceding word before it starts counting.
 //!
-//! Both entry points are pinned bit-for-bit (ports, ones, toggles) to
+//! All entry points are pinned bit-for-bit (ports, ones, toggles) to
 //! [`simulate`](crate::simulate) and to the scalar
 //! [`eval_ports`](pax_netlist::eval::eval_ports) reference by the
-//! differential property suite in `tests/proptest_engine.rs`.
+//! differential property suite in `tests/proptest_engine.rs` — fused ==
+//! unfused == interpreted, at both word widths.
 //!
 //! # Examples
 //!
@@ -55,44 +75,43 @@ use std::collections::BTreeMap;
 use pax_netlist::{GateKind, Netlist, Node, Port};
 
 use crate::engine::{pack_inputs, PackedInputs, SimOutputs, SimResult};
+use crate::fuse::{eval_lut, table_mask, FusedTape, Instr, LutInstr, Run, Step, MAX_K};
+use crate::word::{Word, W256};
 use crate::{Activity, SimError, Stimulus};
 
-/// One tape instruction: dense operand slots plus the destination slot.
-/// Unused operands point at slot 0 and are never read by the executing
-/// run (the run's kind fixes the arity).
-#[derive(Debug, Clone, Copy)]
-struct Instr {
-    a: u32,
-    b: u32,
-    c: u32,
-    dst: u32,
-}
+/// Stimuli longer than this execute over 256-lane words: four 64-bit
+/// limbs per instruction decode. Below it the wide word would waste
+/// lanes (a 256-lane word holds at least two full `u64` words of
+/// samples before it pays off).
+const WIDE_WORD_THRESHOLD: usize = 128;
 
-/// A maximal consecutive stretch of instructions sharing one gate kind.
-#[derive(Debug, Clone, Copy)]
-struct Run {
-    op: GateKind,
-    start: u32,
-    end: u32,
-}
-
-/// A netlist compiled to a flat, kind-grouped instruction tape. See the
-/// module docs in `compiled.rs` for the design and when to prefer this
-/// over [`simulate`](crate::simulate).
+/// A netlist compiled to a flat, kind-grouped instruction tape plus a
+/// LUT-fused execution plan. See the module docs in `compiled.rs` for
+/// the design and when to prefer this over
+/// [`simulate`](crate::simulate).
 #[derive(Debug, Clone)]
 pub struct CompiledNetlist {
     name: String,
     n_slots: usize,
+    /// The unfused tape: every gate, levelized and kind-grouped. This
+    /// is the activity oracle and the source cones are re-derived from.
     instrs: Vec<Instr>,
     runs: Vec<Run>,
+    /// Gate kind at each unfused tape position (run lookup, hoisted).
+    kinds: Vec<GateKind>,
+    /// Constant value of tie-cell slots (`None` for everything else) —
+    /// needed when re-deriving cone tables under masks.
+    const_of: Vec<Option<bool>>,
+    /// The fused execution plan the activity-off paths run.
+    fused: FusedTape,
     input_ports: Vec<Port>,
     output_ports: Vec<Port>,
     /// Value slot of every output-port bit, ports in declaration order,
     /// bits LSB-first — the flat order chunk output planes use.
     output_slots: Vec<u32>,
-    /// Tape position of the instruction writing each slot (`u32::MAX`
-    /// for input/non-gate slots) — the lookup masked execution rewrites
-    /// through.
+    /// Unfused tape position of the instruction writing each slot
+    /// (`u32::MAX` for input/non-gate slots) — the lookup masked
+    /// execution rewrites through.
     instr_of: Vec<u32>,
     threads: usize,
 }
@@ -104,20 +123,55 @@ pub struct CompiledNetlist {
 /// [`CompiledNetlist::run`] does per call — so sharing one
 /// `PackedStimulus` removes that per-evaluation cost when thousands of
 /// pruning candidates are scored on the same test set.
+///
+/// Generic over the executing [`Word`]: [`CompiledNetlist::pack`]
+/// produces 64-lane words, [`CompiledNetlist::pack_wide`] 256-lane
+/// words. Execution results are bit-identical either way.
 #[derive(Debug)]
-pub struct PackedStimulus {
-    inner: PackedInputs,
+pub struct PackedStimulus<W: Word = u64> {
+    inner: PackedInputs<W>,
 }
 
-impl PackedStimulus {
+impl<W: Word> PackedStimulus<W> {
     /// Number of packed samples.
     pub fn n_samples(&self) -> usize {
         self.inner.n_samples
     }
 }
 
+/// One full recording of an unfused, unmasked run: per-word values of
+/// every slot plus the base activity counts. [`CompiledNetlist::trace`]
+/// produces it once per (tape, stimulus) pair;
+/// [`CompiledNetlist::masked_activity`] then re-derives the activity of
+/// any masked variant by re-executing only the instructions downstream
+/// of the mask — every other slot's values (and therefore counts) are
+/// word-for-word identical to the base run, so they are merged from the
+/// trace instead of recomputed.
+#[derive(Debug, Clone)]
+pub struct BaseTrace {
+    n_samples: usize,
+    n_words: usize,
+    /// `rows[w][slot]`: the value word of `slot` at word `w`.
+    rows: Vec<Vec<u64>>,
+    ones: Vec<u64>,
+    toggles: Vec<u64>,
+}
+
+impl BaseTrace {
+    /// Number of traced samples.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// The base (unmasked) activity this trace recorded.
+    pub fn base_activity(&self) -> Activity {
+        Activity::new(self.n_samples, self.ones.clone(), self.toggles.clone())
+    }
+}
+
 impl CompiledNetlist {
-    /// Compiles `nl` into an instruction tape.
+    /// Compiles `nl` into an instruction tape and covers it with fused
+    /// LUT cones.
     ///
     /// Gates are stable-sorted by logic level (so the tape stays a valid
     /// topological order) and, within a level, by kind — maximizing the
@@ -140,20 +194,28 @@ impl CompiledNetlist {
         });
 
         let mut instrs = Vec::with_capacity(gates.len());
+        let mut kinds = Vec::with_capacity(gates.len());
         let mut runs: Vec<Run> = Vec::new();
+        let mut const_of: Vec<Option<bool>> = vec![None; nl.len()];
         for &i in &gates {
             let Node::Gate(g) = nl.nodes()[i] else { unreachable!("filtered to gates") };
             let ins = g.inputs();
             let operand = |k: usize| ins.get(k).map_or(0, |n| n.index() as u32);
             let at = instrs.len() as u32;
             instrs.push(Instr { a: operand(0), b: operand(1), c: operand(2), dst: i as u32 });
+            kinds.push(g.kind);
+            match g.kind {
+                GateKind::Const0 => const_of[i] = Some(false),
+                GateKind::Const1 => const_of[i] = Some(true),
+                _ => {}
+            }
             match runs.last_mut() {
                 Some(run) if run.op == g.kind => run.end = at + 1,
                 _ => runs.push(Run { op: g.kind, start: at, end: at + 1 }),
             }
         }
 
-        let output_slots = nl
+        let output_slots: Vec<u32> = nl
             .output_ports()
             .iter()
             .flat_map(|p| p.bits.iter().map(|n| n.index() as u32))
@@ -164,11 +226,16 @@ impl CompiledNetlist {
             instr_of[i.dst as usize] = at as u32;
         }
 
+        let fused = FusedTape::build(&instrs, &kinds, nl.len(), &output_slots);
+
         Self {
             name: nl.name().to_owned(),
             n_slots: nl.len(),
             instrs,
             runs,
+            kinds,
+            const_of,
+            fused,
             input_ports: nl.input_ports().to_vec(),
             output_ports: nl.output_ports().to_vec(),
             output_slots,
@@ -197,33 +264,52 @@ impl CompiledNetlist {
         self.n_slots
     }
 
-    /// Number of tape instructions (gates, constants included).
+    /// Number of unfused tape instructions (gates, constants included).
     pub fn n_instructions(&self) -> usize {
         self.instrs.len()
     }
 
-    /// Number of single-kind runs the tape was grouped into — the number
-    /// of kind dispatches per evaluated word.
+    /// Number of single-kind runs the unfused tape was grouped into —
+    /// the number of kind dispatches per activity-tracked word.
     pub fn n_runs(&self) -> usize {
         self.runs.len()
     }
 
-    /// Executes the tape on `stim` — functional outputs only, no
+    /// Number of fused LUT cones in the activity-off execution plan.
+    pub fn n_luts(&self) -> usize {
+        self.fused.luts.len()
+    }
+
+    /// Instructions per word on the fused (activity-off) plan: residual
+    /// gates plus LUTs. The gap to [`n_instructions`](Self::n_instructions)
+    /// is what fusion removed.
+    pub fn n_fused_instructions(&self) -> usize {
+        self.fused.instrs.len() + self.fused.luts.len()
+    }
+
+    /// Executes the fused tape on `stim` — functional outputs only, no
     /// activity accounting. This is the serving path: it never pays for
-    /// toggle counters nobody reads.
+    /// toggle counters nobody reads. Stimuli above ~2 `u64` words of
+    /// samples execute over 256-lane words; results are bit-identical
+    /// across widths.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] for empty, incomplete, ragged or oversized
     /// stimuli.
     pub fn run(&self, stim: &Stimulus) -> Result<SimOutputs, SimError> {
-        let packed = self.pack(stim)?;
-        Ok(self.run_packed(&packed))
+        if stim.try_n_samples().unwrap_or(0) > WIDE_WORD_THRESHOLD {
+            let packed = self.pack_wide(stim)?;
+            Ok(self.run_packed(&packed))
+        } else {
+            let packed = self.pack(stim)?;
+            Ok(self.run_packed(&packed))
+        }
     }
 
     /// Packs `stim` against this tape's input ports for repeated
     /// execution via [`run_packed`](Self::run_packed) /
-    /// [`run_masked`](Self::run_masked).
+    /// [`run_masked`](Self::run_masked), at 64 lanes per word.
     ///
     /// # Errors
     ///
@@ -233,73 +319,260 @@ impl CompiledNetlist {
         Ok(PackedStimulus { inner: pack_inputs(&self.input_ports, stim)? })
     }
 
-    /// Executes the tape on an already-packed stimulus — functional
-    /// outputs only. Validation happened at [`pack`](Self::pack) time,
-    /// so this path is infallible.
-    pub fn run_packed(&self, packed: &PackedStimulus) -> SimOutputs {
-        let (outputs, _) = self.execute(&self.instrs, self.n_slots, &packed.inner, false);
-        outputs
+    /// Packs `stim` at 256 lanes per word — the width
+    /// [`run`](Self::run) picks automatically for large stimuli. Use
+    /// with [`run_packed`](Self::run_packed) /
+    /// [`run_masked`](Self::run_masked); the activity-tracking entry
+    /// points require 64-lane packing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for empty, incomplete, ragged or oversized
+    /// stimuli.
+    pub fn pack_wide(&self, stim: &Stimulus) -> Result<PackedStimulus<W256>, SimError> {
+        Ok(PackedStimulus { inner: pack_inputs(&self.input_ports, stim)? })
     }
 
-    /// Executes the tape on an already-packed stimulus with full
+    /// Executes the fused tape on an already-packed stimulus —
+    /// functional outputs only. Validation happened at
+    /// [`pack`](Self::pack) time, so this path is infallible.
+    pub fn run_packed<W: Word>(&self, packed: &PackedStimulus<W>) -> SimOutputs {
+        self.execute_fused(&self.fused.instrs, &self.fused.luts, self.n_slots, &packed.inner)
+    }
+
+    /// Executes the unfused tape on an already-packed stimulus with full
     /// activity accounting.
     pub fn run_packed_with_activity(&self, packed: &PackedStimulus) -> SimResult {
-        let (outputs, activity) = self.execute(&self.instrs, self.n_slots, &packed.inner, true);
-        SimResult::new(activity.expect("tracking requested"), outputs)
+        let (outputs, activity) = self.execute_tracked(&self.instrs, self.n_slots, &packed.inner);
+        SimResult::new(activity, outputs)
     }
 
-    /// Executes the tape with the `mask`ed gates pinned to constants:
-    /// each `(net, value)` pair rewrites that gate's operands onto two
-    /// reserved constant slots, so its output — and everything
-    /// downstream — behaves exactly as if the net had been substituted
-    /// with the constant and the netlist re-synthesized. Run structure,
-    /// kinds and instruction positions are untouched; per-call cost is
-    /// one instruction-vector clone.
+    /// Executes the fused tape with the `mask`ed gates pinned to
+    /// constants — functional outputs only (the overlay-evaluation and
+    /// serving hot path). Masks compose with fusion without recompiling:
     ///
-    /// This is the overlay-evaluation hot path: one shared base tape
-    /// plus a per-candidate mask replaces per-candidate re-synthesis and
-    /// recompilation. Functional outputs equal the rebuilt netlist's
-    /// bit for bit (folding is function-preserving); per-slot activity
-    /// is reported in *base-netlist* slot space — a fold provenance maps
-    /// surviving rebuilt gates back onto these slots.
+    /// * a masked net driven by a *residual* (unfused) gate rewrites
+    ///   that instruction's operands onto two reserved constant slots,
+    ///   exactly as on the unfused tape;
+    /// * a masked net that is a cone *output* splats the cone's truth
+    ///   table to the constant;
+    /// * a masked net *internal* to a cone re-derives that cone's truth
+    ///   table with the net tied to its constant — a pure table
+    ///   transform over the recorded cone members (no recompile).
     ///
-    /// Results are bit-identical across thread counts, like every other
-    /// execution path.
+    /// Output-splat rewrites are applied after internal re-derivations,
+    /// so masking a cone's output always wins over masks inside it.
+    /// Functional outputs equal the rebuilt netlist's bit for bit, and
+    /// equal [`run_masked_with_activity`](Self::run_masked_with_activity)'s
+    /// on every port; results are bit-identical across thread counts and
+    /// word widths.
     ///
     /// # Panics
     ///
     /// Panics if a masked net is not driven by a (non-constant) gate
     /// instruction of this tape — masking inputs or tie cells is a
     /// caller bug.
-    pub fn run_masked(
+    pub fn run_masked<W: Word>(
+        &self,
+        packed: &PackedStimulus<W>,
+        mask: &[(pax_netlist::NetId, bool)],
+    ) -> SimOutputs {
+        if mask.is_empty() {
+            return self.run_packed(packed);
+        }
+        let zero = self.n_slots as u32;
+        let one = zero + 1;
+        let mut instrs = self.fused.instrs.clone();
+        let mut luts = self.fused.luts.clone();
+        // Ties landing inside a cone are grouped per cone, so one
+        // re-derivation honors all of them at once.
+        let mut cone_ties: BTreeMap<u32, Vec<(u32, bool)>> = BTreeMap::new();
+        let mut out_splats: Vec<(u32, bool)> = Vec::new();
+        for &(net, value) in mask {
+            let slot = net.index();
+            let base_at = self.instr_of[slot];
+            assert!(base_at != u32::MAX, "masked net {net} is not a gate instruction");
+            let kind = self.kinds[base_at as usize];
+            assert!(!kind.is_free(), "masked net {net} is a constant tie");
+            if self.fused.lut_of[slot] != u32::MAX {
+                out_splats.push((self.fused.lut_of[slot], value));
+            } else if self.fused.cone_of[slot] != u32::MAX {
+                cone_ties.entry(self.fused.cone_of[slot]).or_default().push((slot as u32, value));
+            } else {
+                let at = self.fused.instr_of[slot];
+                debug_assert!(at != u32::MAX, "slot is neither fused nor residual");
+                let (a, b, c) = const_operands(kind, value, zero, one);
+                let i = &mut instrs[at as usize];
+                (i.a, i.b, i.c) = (a, b, c);
+            }
+        }
+        for (&cone, ties) in &cone_ties {
+            luts[cone as usize].table = self.fused.derive_table(
+                cone as usize,
+                &self.instrs,
+                &self.kinds,
+                &self.const_of,
+                ties,
+            );
+        }
+        for &(lut, value) in &out_splats {
+            let k = luts[lut as usize].k;
+            luts[lut as usize].table = if value { table_mask(k) } else { 0 };
+        }
+        self.execute_fused(&instrs, &luts, self.n_slots + 2, &packed.inner)
+    }
+
+    /// Executes the **unfused** tape with the `mask`ed gates pinned to
+    /// constants, with full per-net activity accounting: each
+    /// `(net, value)` pair rewrites that gate's operands onto two
+    /// reserved constant slots, so its output — and everything
+    /// downstream — behaves exactly as if the net had been substituted
+    /// with the constant and the netlist re-synthesized. Run structure,
+    /// kinds and instruction positions are untouched; per-call cost is
+    /// one instruction-vector clone.
+    ///
+    /// Exact toggle accounting must observe every internal net, so this
+    /// path never fuses; it is the differential oracle
+    /// [`run_masked`](Self::run_masked) is pinned against. Per-slot
+    /// activity is reported in *base-netlist* slot space — a fold
+    /// provenance maps surviving rebuilt gates back onto these slots.
+    /// Results are bit-identical across thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a masked net is not driven by a (non-constant) gate
+    /// instruction of this tape — masking inputs or tie cells is a
+    /// caller bug.
+    pub fn run_masked_with_activity(
         &self,
         packed: &PackedStimulus,
         mask: &[(pax_netlist::NetId, bool)],
     ) -> SimResult {
+        let instrs = self.masked_instrs(mask);
+        let (outputs, activity) = self.execute_tracked(&instrs, self.n_slots + 2, &packed.inner);
+        SimResult::new(activity, outputs)
+    }
+
+    /// The unfused tape with `mask` rewritten onto the reserved constant
+    /// slots (shared by both masked-activity paths).
+    fn masked_instrs(&self, mask: &[(pax_netlist::NetId, bool)]) -> Vec<Instr> {
         let mut instrs = self.instrs.clone();
         let zero = self.n_slots as u32;
         let one = zero + 1;
         for &(net, value) in mask {
             let at = self.instr_of[net.index()];
             assert!(at != u32::MAX, "masked net {net} is not a gate instruction");
-            let kind = self.kind_at(at);
+            let kind = self.kinds[at as usize];
             assert!(!kind.is_free(), "masked net {net} is a constant tie");
             let (a, b, c) = const_operands(kind, value, zero, one);
             let i = &mut instrs[at as usize];
             (i.a, i.b, i.c) = (a, b, c);
         }
-        let (outputs, activity) = self.execute(&instrs, self.n_slots + 2, &packed.inner, true);
-        SimResult::new(activity.expect("tracking requested"), outputs)
+        instrs
     }
 
-    /// The gate kind executing tape position `at` (via the run table).
-    fn kind_at(&self, at: u32) -> GateKind {
-        let run = self.runs.partition_point(|r| r.end <= at);
-        debug_assert!(self.runs[run].start <= at && at < self.runs[run].end);
-        self.runs[run].op
+    /// Records one unfused, unmasked run of `packed`: every slot's value
+    /// word per stimulus word, plus the base activity. The trace is the
+    /// fixed input to [`masked_activity`](Self::masked_activity), which
+    /// re-derives masked activity incrementally instead of re-executing
+    /// the whole tape.
+    pub fn trace(&self, packed: &PackedStimulus) -> BaseTrace {
+        let p = &packed.inner;
+        let mut vals = vec![0u64; self.n_slots];
+        let mut rows = Vec::with_capacity(p.n_words);
+        let mut ones = vec![0u64; self.n_slots];
+        let mut toggles = vec![0u64; self.n_slots];
+        let mut prev_msb = vec![0u64; self.n_slots];
+        for w in 0..p.n_words {
+            load_inputs(p, w, &mut vals);
+            exec_runs(&self.runs, &self.instrs, &mut vals);
+            let valid = (p.n_samples - w * 64).min(64);
+            let mask = if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
+            for (idx, &v) in vals.iter().enumerate() {
+                ones[idx] += (v & mask).count_ones() as u64;
+                let shifted = (v << 1) | prev_msb[idx];
+                let mut diff = (v ^ shifted) & mask;
+                if w == 0 {
+                    diff &= !1;
+                }
+                toggles[idx] += diff.count_ones() as u64;
+                prev_msb[idx] = v >> (valid - 1) & 1;
+            }
+            rows.push(vals.clone());
+        }
+        BaseTrace { n_samples: p.n_samples, n_words: p.n_words, rows, ones, toggles }
     }
 
-    /// Executes the tape on `stim` with full per-net activity
+    /// Activity of the `mask`ed tape, derived incrementally from a
+    /// [`trace`](Self::trace) of the same stimulus: only instructions
+    /// whose destination is in `affected` are re-executed (reading
+    /// unaffected operands straight from the trace rows), and only
+    /// affected slots are re-counted — everything else merges the base
+    /// counts unchanged.
+    ///
+    /// `affected[slot]` must be `true` for every masked net and every
+    /// net in the masked nets' transitive fanout (the caller already
+    /// walks that cone for timing). Slots outside that set hold values
+    /// word-for-word identical to the base run, which is what makes the
+    /// merge exact: the result is bit-identical to
+    /// [`run_masked_with_activity`](Self::run_masked_with_activity)'s
+    /// activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nets [`run_masked`](Self::run_masked) would reject.
+    pub fn masked_activity(
+        &self,
+        trace: &BaseTrace,
+        mask: &[(pax_netlist::NetId, bool)],
+        affected: &[bool],
+    ) -> Activity {
+        let instrs = self.masked_instrs(mask);
+        let zero = self.n_slots;
+        let one = zero + 1;
+        // Affected instructions, in tape (topological) order.
+        let sel: Vec<u32> = (0..instrs.len() as u32)
+            .filter(|&at| affected[instrs[at as usize].dst as usize])
+            .collect();
+        let aff_slots: Vec<usize> = (0..self.n_slots).filter(|&s| affected[s]).collect();
+
+        let mut ones = trace.ones.clone();
+        let mut toggles = trace.toggles.clone();
+        for &s in &aff_slots {
+            ones[s] = 0;
+            toggles[s] = 0;
+        }
+        let mut prev_msb = vec![0u64; self.n_slots];
+        let mut vals = vec![0u64; self.n_slots + 2];
+        for w in 0..trace.n_words {
+            vals[..self.n_slots].copy_from_slice(&trace.rows[w]);
+            vals[zero] = 0;
+            vals[one] = u64::MAX;
+            for &at in &sel {
+                let i = instrs[at as usize];
+                let a = vals[i.a as usize];
+                let b = vals[i.b as usize];
+                let c = vals[i.c as usize];
+                vals[i.dst as usize] = self.kinds[at as usize].eval_word(a, b, c);
+            }
+            let valid = (trace.n_samples - w * 64).min(64);
+            let m = if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
+            for &s in &aff_slots {
+                let v = vals[s];
+                ones[s] += (v & m).count_ones() as u64;
+                let shifted = (v << 1) | prev_msb[s];
+                let mut diff = (v ^ shifted) & m;
+                if w == 0 {
+                    diff &= !1;
+                }
+                toggles[s] += diff.count_ones() as u64;
+                prev_msb[s] = v >> (valid - 1) & 1;
+            }
+        }
+        Activity::new(trace.n_samples, ones, toggles)
+    }
+
+    /// Executes the unfused tape on `stim` with full per-net activity
     /// accounting, producing a [`SimResult`] bit-identical to
     /// [`simulate`](crate::simulate)'s.
     ///
@@ -312,28 +585,129 @@ impl CompiledNetlist {
         Ok(self.run_packed_with_activity(&packed))
     }
 
-    /// Runs a tape view (the base instruction vector, or a masked
-    /// rewrite of it over `n_vals` slots) over all words, in parallel
-    /// chunks when the stimulus is large enough, and stitches the
-    /// per-chunk results. Activity vectors are truncated to the
-    /// netlist's slot count, so reserved mask slots never leak out.
-    fn execute(
+    /// Runs the fused plan (base or masked views of its instruction and
+    /// LUT vectors) over all words, in parallel chunks when the stimulus
+    /// is large enough, and flattens the `W`-wide output planes back to
+    /// `u64` words.
+    fn execute_fused<W: Word>(
         &self,
         instrs: &[Instr],
+        luts: &[LutInstr],
         n_vals: usize,
-        packed: &PackedInputs,
-        track: bool,
-    ) -> (SimOutputs, Option<Activity>) {
+        packed: &PackedInputs<W>,
+    ) -> SimOutputs {
         let n_words = packed.n_words;
-        let chunks = self.plan_chunks(n_words);
-        let outs: Vec<ChunkOut> = if chunks.len() <= 1 {
-            vec![self.eval_chunk(instrs, n_vals, packed, 0, n_words, track)]
+        let ops_per_word = (instrs.len() + luts.len()).max(1) * W::LIMBS;
+        let chunks = self.plan_chunks(n_words, ops_per_word);
+        let outs: Vec<Vec<Vec<W>>> = if chunks.len() <= 1 {
+            vec![self.eval_chunk_fused(instrs, luts, n_vals, packed, 0, n_words)]
         } else {
             std::thread::scope(|s| {
                 let handles: Vec<_> = chunks
                     .iter()
                     .map(|&(w0, w1)| {
-                        s.spawn(move || self.eval_chunk(instrs, n_vals, packed, w0, w1, track))
+                        s.spawn(move || self.eval_chunk_fused(instrs, luts, n_vals, packed, w0, w1))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("chunk worker")).collect()
+            })
+        };
+
+        // Flatten W-wide planes to u64 words: lane l of wide word w is
+        // bit l % 64 of limb l / 64, so limbs are consecutive u64 words
+        // of the same plane. The tail word is masked to valid samples.
+        let n_samples = packed.n_samples;
+        let n_words64 = n_samples.div_ceil(64);
+        let mut flat: Vec<Vec<u64>> = vec![vec![0u64; n_words64]; self.output_slots.len()];
+        for (chunk, &(w0, _)) in outs.iter().zip(&chunks) {
+            for (full, part) in flat.iter_mut().zip(chunk) {
+                for (off, wv) in part.iter().enumerate() {
+                    let w = w0 + off;
+                    for l in 0..W::LIMBS {
+                        let g = w * W::LIMBS + l;
+                        if g >= n_words64 {
+                            break;
+                        }
+                        let valid = (n_samples - g * 64).min(64);
+                        let m = if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
+                        full[g] = wv.limb(l) & m;
+                    }
+                }
+            }
+        }
+        let mut port_words: BTreeMap<String, Vec<Vec<u64>>> = BTreeMap::new();
+        let mut cursor = flat.into_iter();
+        for p in &self.output_ports {
+            let planes: Vec<Vec<u64>> = cursor.by_ref().take(p.width()).collect();
+            port_words.insert(p.name.clone(), planes);
+        }
+        SimOutputs::new(n_samples, port_words)
+    }
+
+    /// Evaluates words `[w0, w1)` of the fused plan — functional planes
+    /// only, no activity.
+    fn eval_chunk_fused<W: Word>(
+        &self,
+        instrs: &[Instr],
+        luts: &[LutInstr],
+        n_vals: usize,
+        packed: &PackedInputs<W>,
+        w0: usize,
+        w1: usize,
+    ) -> Vec<Vec<W>> {
+        let mut vals = vec![W::zero(); n_vals];
+        if n_vals > self.n_slots {
+            vals[self.n_slots + 1] = W::ones(); // the reserved all-ones slot
+        }
+        let mut planes = vec![vec![W::zero(); w1 - w0]; self.output_slots.len()];
+        for w in w0..w1 {
+            load_inputs(packed, w, &mut vals);
+            for step in &self.fused.steps {
+                match *step {
+                    Step::Gates(r) => {
+                        let run = self.fused.runs[r as usize];
+                        exec_run(run.op, &instrs[run.start as usize..run.end as usize], &mut vals);
+                    }
+                    Step::Luts { start, end } => {
+                        for lut in &luts[start as usize..end as usize] {
+                            let mut xs = [W::zero(); MAX_K];
+                            for (x, &slot) in xs.iter_mut().zip(&lut.ins[..lut.k as usize]) {
+                                *x = vals[slot as usize];
+                            }
+                            vals[lut.dst as usize] = eval_lut(lut.table, lut.k, &xs);
+                        }
+                    }
+                }
+            }
+            for (plane, &slot) in planes.iter_mut().zip(&self.output_slots) {
+                plane[w - w0] = vals[slot as usize];
+            }
+        }
+        planes
+    }
+
+    /// Runs an unfused tape view (the base instruction vector, or a
+    /// masked rewrite of it over `n_vals` slots) over all words with
+    /// activity tracking, in parallel chunks when the stimulus is large
+    /// enough, and stitches the per-chunk results. Activity vectors are
+    /// truncated to the netlist's slot count, so reserved mask slots
+    /// never leak out.
+    fn execute_tracked(
+        &self,
+        instrs: &[Instr],
+        n_vals: usize,
+        packed: &PackedInputs,
+    ) -> (SimOutputs, Activity) {
+        let n_words = packed.n_words;
+        let chunks = self.plan_chunks(n_words, instrs.len().max(1));
+        let outs: Vec<ChunkOut> = if chunks.len() <= 1 {
+            vec![self.eval_chunk_tracked(instrs, n_vals, packed, 0, n_words)]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&(w0, w1)| {
+                        s.spawn(move || self.eval_chunk_tracked(instrs, n_vals, packed, w0, w1))
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("chunk worker")).collect()
@@ -354,35 +728,38 @@ impl CompiledNetlist {
             port_words.insert(p.name.clone(), planes);
         }
 
-        let activity = track.then(|| {
-            let mut ones = vec![0u64; self.n_slots];
-            let mut toggles = vec![0u64; self.n_slots];
-            for chunk in &outs {
-                // The chunk vectors may carry reserved mask slots past
-                // `n_slots`; zip stops at the netlist's own nets.
-                for (acc, v) in ones.iter_mut().zip(&chunk.ones) {
-                    *acc += v;
-                }
-                for (acc, v) in toggles.iter_mut().zip(&chunk.toggles) {
-                    *acc += v;
-                }
+        let mut ones = vec![0u64; self.n_slots];
+        let mut toggles = vec![0u64; self.n_slots];
+        for chunk in &outs {
+            // The chunk vectors may carry reserved mask slots past
+            // `n_slots`; zip stops at the netlist's own nets.
+            for (acc, v) in ones.iter_mut().zip(&chunk.ones) {
+                *acc += v;
             }
-            Activity::new(packed.n_samples, ones, toggles)
-        });
+            for (acc, v) in toggles.iter_mut().zip(&chunk.toggles) {
+                *acc += v;
+            }
+        }
+        let activity = Activity::new(packed.n_samples, ones, toggles);
         (SimOutputs::new(packed.n_samples, port_words), activity)
     }
 
     /// Splits `n_words` into per-thread word ranges. Sequential (one
     /// chunk) unless multiple threads are warranted: spawning a scoped
     /// thread costs tens of microseconds, so each chunk must carry
-    /// enough tape work (instructions × words) to amortize it.
-    fn plan_chunks(&self, n_words: usize) -> Vec<(usize, usize)> {
-        /// Minimum tape operations per chunk (≈0.1–0.2 ms of work).
-        const MIN_OPS_PER_CHUNK: usize = 1 << 17;
+    /// enough tape work (`ops_per_word` × words, normalized to 64-lane
+    /// units) to amortize it.
+    fn plan_chunks(&self, n_words: usize, ops_per_word: usize) -> Vec<(usize, usize)> {
+        /// Minimum tape operations per chunk. Study-sized tapes (a few
+        /// thousand instructions × tens of words) must stay sequential:
+        /// below this bar the spawn/stitch overhead reliably loses to a
+        /// single thread (`BENCH_compiled_eval.json`'s auto-vs-1-thread
+        /// rows), so the bar sits well above that workload.
+        const MIN_OPS_PER_CHUNK: usize = 1 << 20;
         let threads = if self.threads == 0 {
             let auto =
                 std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(8);
-            let by_work = (n_words * self.instrs.len().max(1)) / MIN_OPS_PER_CHUNK;
+            let by_work = (n_words * ops_per_word) / MIN_OPS_PER_CHUNK;
             auto.min(by_work)
         } else {
             self.threads // explicit pin: the caller decided
@@ -395,20 +772,30 @@ impl CompiledNetlist {
             .collect()
     }
 
-    /// Evaluates words `[w0, w1)` of a tape view. With tracking, a
-    /// chunk that does not start at word 0 first replays word `w0 - 1`
-    /// functionally to seed the previous-sample bit, so cross-chunk
-    /// toggle counts are exact. When `n_vals` exceeds the slot count,
-    /// the two extra slots are the masked-execution constants (all-zero
-    /// and all-one lanes).
-    fn eval_chunk(
+    /// Worker threads auto-threading would use for an unfused
+    /// activity-tracked run over `n_words` 64-lane words (`1` means
+    /// sequential). Exposed so benchmarks can assert the planning
+    /// policy — study-sized workloads must plan a single thread.
+    pub fn planned_threads(&self, n_words: usize) -> usize {
+        if self.threads != 0 {
+            return self.threads.min(n_words).max(1);
+        }
+        self.plan_chunks(n_words, self.instrs.len().max(1)).len()
+    }
+
+    /// Evaluates words `[w0, w1)` of an unfused tape view with activity
+    /// tracking. A chunk that does not start at word 0 first replays
+    /// word `w0 - 1` functionally to seed the previous-sample bit, so
+    /// cross-chunk toggle counts are exact. When `n_vals` exceeds the
+    /// slot count, the two extra slots are the masked-execution
+    /// constants (all-zero and all-one lanes).
+    fn eval_chunk_tracked(
         &self,
         instrs: &[Instr],
         n_vals: usize,
         packed: &PackedInputs,
         w0: usize,
         w1: usize,
-        track: bool,
     ) -> ChunkOut {
         let n_samples = packed.n_samples;
         let mut vals = vec![0u64; n_vals];
@@ -416,39 +803,35 @@ impl CompiledNetlist {
             vals[self.n_slots + 1] = u64::MAX; // the reserved all-ones slot
         }
         let mut planes = vec![vec![0u64; w1 - w0]; self.output_slots.len()];
-        let (mut ones, mut toggles, mut prev_msb) = if track {
-            (vec![0u64; n_vals], vec![0u64; n_vals], vec![0u64; n_vals])
-        } else {
-            (Vec::new(), Vec::new(), Vec::new())
-        };
+        let mut ones = vec![0u64; n_vals];
+        let mut toggles = vec![0u64; n_vals];
+        let mut prev_msb = vec![0u64; n_vals];
 
-        if track && w0 > 0 {
+        if w0 > 0 {
             // Replay the word before the chunk, counting nothing: only
             // its last sample (always lane 63 — every non-final word is
             // full) seeds the toggle boundary.
-            self.load_inputs(packed, w0 - 1, &mut vals);
-            self.exec_word(instrs, &mut vals);
+            load_inputs(packed, w0 - 1, &mut vals);
+            exec_runs(&self.runs, instrs, &mut vals);
             for (msb, &v) in prev_msb.iter_mut().zip(&vals) {
                 *msb = v >> 63 & 1;
             }
         }
 
         for w in w0..w1 {
-            self.load_inputs(packed, w, &mut vals);
-            self.exec_word(instrs, &mut vals);
+            load_inputs(packed, w, &mut vals);
+            exec_runs(&self.runs, instrs, &mut vals);
             let valid = (n_samples - w * 64).min(64);
             let mask = if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
-            if track {
-                for (idx, &v) in vals.iter().enumerate() {
-                    ones[idx] += (v & mask).count_ones() as u64;
-                    let shifted = (v << 1) | prev_msb[idx];
-                    let mut diff = (v ^ shifted) & mask;
-                    if w == 0 {
-                        diff &= !1; // the very first sample has no predecessor
-                    }
-                    toggles[idx] += diff.count_ones() as u64;
-                    prev_msb[idx] = v >> (valid - 1) & 1;
+            for (idx, &v) in vals.iter().enumerate() {
+                ones[idx] += (v & mask).count_ones() as u64;
+                let shifted = (v << 1) | prev_msb[idx];
+                let mut diff = (v ^ shifted) & mask;
+                if w == 0 {
+                    diff &= !1; // the very first sample has no predecessor
                 }
+                toggles[idx] += diff.count_ones() as u64;
+                prev_msb[idx] = v >> (valid - 1) & 1;
             }
             for (plane, &slot) in planes.iter_mut().zip(&self.output_slots) {
                 plane[w - w0] = vals[slot as usize] & mask;
@@ -456,81 +839,87 @@ impl CompiledNetlist {
         }
         ChunkOut { planes, ones, toggles }
     }
+}
 
-    #[inline]
-    fn load_inputs(&self, packed: &PackedInputs, w: usize, vals: &mut [u64]) {
-        for (plane, &node) in packed.planes.iter().zip(&packed.nodes) {
-            vals[node] = plane[w];
-        }
-    }
-
-    /// Evaluates every tape instruction on one word of lane values: one
-    /// kind dispatch per run, then a branch-free loop over the run.
-    /// `instrs` is the run-aligned instruction view (base or masked).
-    ///
-    /// The per-kind expressions mirror [`GateKind::eval_word`] — the
-    /// differential suite pins them against the scalar reference.
-    fn exec_word(&self, instrs: &[Instr], vals: &mut [u64]) {
-        macro_rules! unary {
-            ($instrs:expr, |$a:ident| $e:expr) => {
-                for i in $instrs {
-                    let $a = vals[i.a as usize];
-                    vals[i.dst as usize] = $e;
-                }
-            };
-        }
-        macro_rules! binary {
-            ($instrs:expr, |$a:ident, $b:ident| $e:expr) => {
-                for i in $instrs {
-                    let $a = vals[i.a as usize];
-                    let $b = vals[i.b as usize];
-                    vals[i.dst as usize] = $e;
-                }
-            };
-        }
-        macro_rules! ternary {
-            ($instrs:expr, |$a:ident, $b:ident, $c:ident| $e:expr) => {
-                for i in $instrs {
-                    let $a = vals[i.a as usize];
-                    let $b = vals[i.b as usize];
-                    let $c = vals[i.c as usize];
-                    vals[i.dst as usize] = $e;
-                }
-            };
-        }
-        for run in &self.runs {
-            let instrs = &instrs[run.start as usize..run.end as usize];
-            match run.op {
-                GateKind::Const0 => {
-                    for i in instrs {
-                        vals[i.dst as usize] = 0;
-                    }
-                }
-                GateKind::Const1 => {
-                    for i in instrs {
-                        vals[i.dst as usize] = u64::MAX;
-                    }
-                }
-                GateKind::Buf => unary!(instrs, |a| a),
-                GateKind::Not => unary!(instrs, |a| !a),
-                GateKind::And2 => binary!(instrs, |a, b| a & b),
-                GateKind::Nand2 => binary!(instrs, |a, b| !(a & b)),
-                GateKind::Or2 => binary!(instrs, |a, b| a | b),
-                GateKind::Nor2 => binary!(instrs, |a, b| !(a | b)),
-                GateKind::And3 => ternary!(instrs, |a, b, c| a & b & c),
-                GateKind::Or3 => ternary!(instrs, |a, b, c| a | b | c),
-                GateKind::Nand3 => ternary!(instrs, |a, b, c| !(a & b & c)),
-                GateKind::Nor3 => ternary!(instrs, |a, b, c| !(a | b | c)),
-                GateKind::Xor2 => binary!(instrs, |a, b| a ^ b),
-                GateKind::Xnor2 => binary!(instrs, |a, b| !(a ^ b)),
-                // ins = (sel, a, b): sel ? a : b
-                GateKind::Mux2 => ternary!(instrs, |a, b, c| (a & b) | (!a & c)),
-            }
-        }
+#[inline]
+fn load_inputs<W: Word>(packed: &PackedInputs<W>, w: usize, vals: &mut [W]) {
+    for (plane, &node) in packed.planes.iter().zip(&packed.nodes) {
+        vals[node] = plane[w];
     }
 }
 
-/// One chunk's worth of results, stitched together by `execute`.
+/// Evaluates every run of an unfused tape view on one word of lane
+/// values (the run table fixes each stretch's kind).
+#[inline]
+fn exec_runs<W: Word>(runs: &[Run], instrs: &[Instr], vals: &mut [W]) {
+    for run in runs {
+        exec_run(run.op, &instrs[run.start as usize..run.end as usize], vals);
+    }
+}
+
+/// Evaluates one single-kind instruction stretch on one word of lane
+/// values: one kind dispatch, then a branch-free loop.
+///
+/// The per-kind expressions mirror [`GateKind::eval_word`] — the
+/// differential suite pins them against the scalar reference, at both
+/// word widths.
+fn exec_run<W: Word>(op: GateKind, instrs: &[Instr], vals: &mut [W]) {
+    macro_rules! unary {
+        ($instrs:expr, |$a:ident| $e:expr) => {
+            for i in $instrs {
+                let $a = vals[i.a as usize];
+                vals[i.dst as usize] = $e;
+            }
+        };
+    }
+    macro_rules! binary {
+        ($instrs:expr, |$a:ident, $b:ident| $e:expr) => {
+            for i in $instrs {
+                let $a = vals[i.a as usize];
+                let $b = vals[i.b as usize];
+                vals[i.dst as usize] = $e;
+            }
+        };
+    }
+    macro_rules! ternary {
+        ($instrs:expr, |$a:ident, $b:ident, $c:ident| $e:expr) => {
+            for i in $instrs {
+                let $a = vals[i.a as usize];
+                let $b = vals[i.b as usize];
+                let $c = vals[i.c as usize];
+                vals[i.dst as usize] = $e;
+            }
+        };
+    }
+    match op {
+        GateKind::Const0 => {
+            for i in instrs {
+                vals[i.dst as usize] = W::zero();
+            }
+        }
+        GateKind::Const1 => {
+            for i in instrs {
+                vals[i.dst as usize] = W::ones();
+            }
+        }
+        GateKind::Buf => unary!(instrs, |a| a),
+        GateKind::Not => unary!(instrs, |a| !a),
+        GateKind::And2 => binary!(instrs, |a, b| a & b),
+        GateKind::Nand2 => binary!(instrs, |a, b| !(a & b)),
+        GateKind::Or2 => binary!(instrs, |a, b| a | b),
+        GateKind::Nor2 => binary!(instrs, |a, b| !(a | b)),
+        GateKind::And3 => ternary!(instrs, |a, b, c| a & b & c),
+        GateKind::Or3 => ternary!(instrs, |a, b, c| a | b | c),
+        GateKind::Nand3 => ternary!(instrs, |a, b, c| !(a & b & c)),
+        GateKind::Nor3 => ternary!(instrs, |a, b, c| !(a | b | c)),
+        GateKind::Xor2 => binary!(instrs, |a, b| a ^ b),
+        GateKind::Xnor2 => binary!(instrs, |a, b| !(a ^ b)),
+        // ins = (sel, a, b): sel ? a : b
+        GateKind::Mux2 => ternary!(instrs, |a, b, c| (a & b) | (!a & c)),
+    }
+}
+
+/// One chunk's worth of tracked results, stitched by `execute_tracked`.
 struct ChunkOut {
     planes: Vec<Vec<u64>>,
     ones: Vec<u64>,
@@ -564,7 +953,7 @@ fn const_operands(kind: GateKind, value: bool, zero: u32, one: u32) -> (u32, u32
 mod tests {
     use super::*;
     use crate::simulate;
-    use pax_netlist::NetlistBuilder;
+    use pax_netlist::{NetId, NetlistBuilder};
 
     /// A netlist exercising every gate kind on shared inputs.
     fn all_kinds_netlist() -> Netlist {
@@ -594,6 +983,21 @@ mod tests {
         b.finish()
     }
 
+    /// A netlist with a deep single-fanout cone — the fusion pass must
+    /// collapse it. Returns the netlist plus the internal cone nets (in
+    /// topological order) and the cone output.
+    fn cone_netlist() -> (Netlist, Vec<NetId>, NetId) {
+        let mut b = NetlistBuilder::new("cone");
+        let x = b.input_port("x", 6);
+        let t1 = b.and2(x[0], x[1]);
+        let t2 = b.and2(t1, x[2]);
+        let t3 = b.or2(t2, x[3]);
+        let t4 = b.and2(t3, x[4]);
+        let out = b.xor2(t4, x[5]);
+        b.output_port("y", vec![out].into());
+        (b.finish(), vec![t1, t2, t3, t4], out)
+    }
+
     fn exhaustive_stim(width: usize, repeats: usize) -> Stimulus {
         let n = 1usize << width;
         let samples: Vec<u64> = (0..n * repeats).map(|i| (i % n) as u64).collect();
@@ -612,7 +1016,7 @@ mod tests {
         let got = compiled.run_with_activity(&stim).unwrap();
         assert_eq!(got.port_values("y"), reference.port_values("y"));
         for i in 0..nl.len() {
-            let net = pax_netlist::NetId::from_index(i);
+            let net = NetId::from_index(i);
             assert_eq!(got.activity.ones(net), reference.activity.ones(net), "ones of net {i}");
             assert_eq!(
                 got.activity.toggles(net),
@@ -620,8 +1024,139 @@ mod tests {
                 "toggles of net {i}"
             );
         }
-        // The functional-only path agrees too.
+        // The functional-only (fused, wide-word) path agrees too.
         assert_eq!(compiled.run(&stim).unwrap().port_values("y"), reference.port_values("y"));
+    }
+
+    #[test]
+    fn fused_cone_matches_unfused_on_all_paths() {
+        let (nl, internals, out) = cone_netlist();
+        let compiled = CompiledNetlist::compile(&nl);
+        assert!(compiled.n_luts() >= 1, "the cone must fuse");
+        assert!(
+            compiled.n_fused_instructions() < compiled.n_instructions(),
+            "fusion must shorten the tape: {} vs {}",
+            compiled.n_fused_instructions(),
+            compiled.n_instructions()
+        );
+        // 5 repeats → 320 samples: exercises both word widths.
+        let stim = exhaustive_stim(6, 5);
+        let reference = simulate(&nl, &stim);
+        assert_eq!(compiled.run(&stim).unwrap().port_values("y"), reference.port_values("y"));
+        let packed = compiled.pack(&stim).unwrap();
+        assert_eq!(compiled.run_packed(&packed).port_values("y"), reference.port_values("y"));
+
+        // Masks internal to the cone re-derive its table; masks on the
+        // cone output splat it. Both must equal the unfused oracle.
+        let mut nets = internals.clone();
+        nets.push(out);
+        for &net in &nets {
+            for value in [false, true] {
+                let fused = compiled.run_masked(&packed, &[(net, value)]);
+                let oracle = compiled.run_masked_with_activity(&packed, &[(net, value)]);
+                assert_eq!(
+                    fused.port_values("y"),
+                    oracle.port_values("y"),
+                    "net {net} value {value}"
+                );
+            }
+        }
+        // Multiple ties inside one cone compose.
+        let pair = [(internals[0], true), (internals[2], false)];
+        let fused = compiled.run_masked(&packed, &pair);
+        let oracle = compiled.run_masked_with_activity(&packed, &pair);
+        assert_eq!(fused.port_values("y"), oracle.port_values("y"));
+        // An internal tie plus an output splat: the output mask wins.
+        let both = [(internals[1], true), (out, false)];
+        let fused = compiled.run_masked(&packed, &both);
+        let oracle = compiled.run_masked_with_activity(&packed, &both);
+        assert_eq!(fused.port_values("y"), oracle.port_values("y"));
+        assert_eq!(fused.port_values("y"), vec![0; fused.n_samples()]);
+    }
+
+    #[test]
+    fn wide_words_match_u64_exactly() {
+        let (nl, _, _) = cone_netlist();
+        let compiled = CompiledNetlist::compile(&nl);
+        for n in [1usize, 63, 64, 65, 127, 128, 129, 255, 256, 257, 320] {
+            let samples: Vec<u64> = (0..n).map(|i| (i % 64) as u64).collect();
+            let mut stim = Stimulus::new();
+            stim.port("x", samples);
+            let narrow = {
+                let packed = compiled.pack(&stim).unwrap();
+                compiled.run_packed(&packed)
+            };
+            let wide = {
+                let packed = compiled.pack_wide(&stim).unwrap();
+                compiled.run_packed(&packed)
+            };
+            assert_eq!(wide.port_values("y"), narrow.port_values("y"), "n={n}");
+            // `run` picks the width itself; it must agree with both.
+            assert_eq!(compiled.run(&stim).unwrap().port_values("y"), narrow.port_values("y"));
+            // Masked execution agrees across widths too.
+            let mask_net = nl
+                .iter()
+                .find_map(|(id, node)| match node {
+                    Node::Gate(g) if !g.kind.is_free() => Some(id),
+                    _ => None,
+                })
+                .expect("gate present");
+            let narrow_masked =
+                compiled.run_masked(&compiled.pack(&stim).unwrap(), &[(mask_net, true)]);
+            let wide_masked =
+                compiled.run_masked(&compiled.pack_wide(&stim).unwrap(), &[(mask_net, true)]);
+            assert_eq!(wide_masked.port_values("y"), narrow_masked.port_values("y"), "n={n}");
+        }
+    }
+
+    #[test]
+    fn masked_activity_is_bit_identical_to_full_masked_run() {
+        let (nl, internals, out) = cone_netlist();
+        let compiled = CompiledNetlist::compile(&nl);
+        let stim = exhaustive_stim(6, 3); // 192 samples, 3 words
+        let packed = compiled.pack(&stim).unwrap();
+        let trace = compiled.trace(&packed);
+        // Base activity from the trace matches a full tracked run.
+        let full = compiled.run_packed_with_activity(&packed);
+        let base = trace.base_activity();
+        for i in 0..nl.len() {
+            let net = NetId::from_index(i);
+            assert_eq!(base.ones(net), full.activity.ones(net), "base ones {i}");
+            assert_eq!(base.toggles(net), full.activity.toggles(net), "base toggles {i}");
+        }
+        // Delta recompute equals the full masked tracked run, for masks
+        // on internal cone nets and on the cone output alike.
+        let mut nets = internals.clone();
+        nets.push(out);
+        for &net in &nets {
+            for value in [false, true] {
+                // Affected = the masked net plus its transitive fanout.
+                let mut affected = vec![false; nl.len()];
+                affected[net.index()] = true;
+                for (id, node) in nl.iter() {
+                    if let Node::Gate(g) = node {
+                        if g.inputs().iter().any(|i| affected[i.index()]) {
+                            affected[id.index()] = true;
+                        }
+                    }
+                }
+                let delta = compiled.masked_activity(&trace, &[(net, value)], &affected);
+                let oracle = compiled.run_masked_with_activity(&packed, &[(net, value)]);
+                for i in 0..nl.len() {
+                    let n = NetId::from_index(i);
+                    assert_eq!(
+                        delta.ones(n),
+                        oracle.activity.ones(n),
+                        "ones net {i} mask {net}={value}"
+                    );
+                    assert_eq!(
+                        delta.toggles(n),
+                        oracle.activity.toggles(n),
+                        "toggles net {i} mask {net}={value}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -634,7 +1169,7 @@ mod tests {
             let got = compiled.run_with_activity(&stim).unwrap();
             assert_eq!(got.port_values("y"), reference.port_values("y"), "threads={threads}");
             for i in 0..nl.len() {
-                let net = pax_netlist::NetId::from_index(i);
+                let net = NetId::from_index(i);
                 assert_eq!(got.activity.ones(net), reference.activity.ones(net));
                 assert_eq!(
                     got.activity.toggles(net),
@@ -642,6 +1177,8 @@ mod tests {
                     "threads={threads} net={i}"
                 );
             }
+            // The fused functional path is thread-invariant too.
+            assert_eq!(compiled.run(&stim).unwrap().port_values("y"), reference.port_values("y"));
         }
     }
 
@@ -665,6 +1202,17 @@ mod tests {
         assert_eq!(compiled.n_runs(), 3);
         assert_eq!(compiled.n_slots(), nl.len());
         assert_eq!(compiled.name(), "grp");
+    }
+
+    #[test]
+    fn planned_threads_stay_sequential_on_small_workloads() {
+        let nl = all_kinds_netlist();
+        let compiled = CompiledNetlist::compile(&nl);
+        // A study-sized workload (tens of words × a small tape) must
+        // never be split: the spawn overhead loses to one thread.
+        assert_eq!(compiled.planned_threads(64), 1);
+        // Explicit pins are honored verbatim.
+        assert_eq!(compiled.clone().with_threads(3).planned_threads(64), 3);
     }
 
     #[test]
@@ -703,7 +1251,7 @@ mod tests {
         // Mask every non-free gate in turn, to both constants: the
         // masked slot must stream exactly that constant, and every
         // other gate must behave as if it read it.
-        let gates: Vec<pax_netlist::NetId> = nl
+        let gates: Vec<NetId> = nl
             .iter()
             .filter_map(|(id, n)| match n {
                 Node::Gate(g) if !g.kind.is_free() => Some(id),
@@ -712,10 +1260,13 @@ mod tests {
             .collect();
         for &g in &gates {
             for value in [false, true] {
-                let got = compiled.run_masked(&packed, &[(g, value)]);
+                let got = compiled.run_masked_with_activity(&packed, &[(g, value)]);
                 let n = got.n_samples as u64;
                 assert_eq!(got.activity.ones(g), if value { n } else { 0 }, "gate {g}");
                 assert_eq!(got.activity.toggles(g), 0, "gate {g}");
+                // The fused activity-off path returns the same ports.
+                let fused = compiled.run_masked(&packed, &[(g, value)]);
+                assert_eq!(fused.port_values("y"), got.port_values("y"), "fused gate {g}");
                 // Reference: rebuild the netlist with the gate's output
                 // bit replaced by a constant in the output port.
                 let y = nl.output_ports()[0].clone();
@@ -761,15 +1312,15 @@ mod tests {
         let reference = {
             let c = CompiledNetlist::compile(&nl).with_threads(1);
             let packed = c.pack(&stim).unwrap();
-            c.run_masked(&packed, &[(mask_net, true)])
+            c.run_masked_with_activity(&packed, &[(mask_net, true)])
         };
         for threads in [2, 3, 8] {
             let c = CompiledNetlist::compile(&nl).with_threads(threads);
             let packed = c.pack(&stim).unwrap();
-            let got = c.run_masked(&packed, &[(mask_net, true)]);
+            let got = c.run_masked_with_activity(&packed, &[(mask_net, true)]);
             assert_eq!(got.port_values("y"), reference.port_values("y"), "threads={threads}");
             for i in 0..nl.len() {
-                let net = pax_netlist::NetId::from_index(i);
+                let net = NetId::from_index(i);
                 assert_eq!(got.activity.ones(net), reference.activity.ones(net));
                 assert_eq!(
                     got.activity.toggles(net),
@@ -777,6 +1328,9 @@ mod tests {
                     "threads={threads} net={i}"
                 );
             }
+            // The fused masked path is thread-invariant too.
+            let fused = c.run_masked(&packed, &[(mask_net, true)]);
+            assert_eq!(fused.port_values("y"), reference.port_values("y"), "threads={threads}");
         }
         // The packed entry points agree with the stimulus-taking ones.
         let c = CompiledNetlist::compile(&nl);
@@ -789,9 +1343,10 @@ mod tests {
         // An empty mask degenerates to the unmasked run.
         let m = c.run_masked(&packed, &[]);
         assert_eq!(m.port_values("y"), b.port_values("y"));
+        let ma = c.run_masked_with_activity(&packed, &[]);
         for i in 0..nl.len() {
-            let net = pax_netlist::NetId::from_index(i);
-            assert_eq!(m.activity.toggles(net), b.activity.toggles(net));
+            let net = NetId::from_index(i);
+            assert_eq!(ma.activity.toggles(net), b.activity.toggles(net));
         }
     }
 
@@ -806,6 +1361,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "not a gate instruction")]
+    fn masking_an_input_panics_with_activity() {
+        let nl = all_kinds_netlist();
+        let compiled = CompiledNetlist::compile(&nl);
+        let packed = compiled.pack(&exhaustive_stim(3, 2)).unwrap();
+        let input_net = nl.input_ports()[0].bits[0];
+        let _ = compiled.run_masked_with_activity(&packed, &[(input_net, true)]);
+    }
+
+    #[test]
     fn single_sample_and_exact_word_boundaries() {
         let nl = all_kinds_netlist();
         let compiled = CompiledNetlist::compile(&nl);
@@ -817,9 +1382,11 @@ mod tests {
             let got = compiled.run_with_activity(&stim).unwrap();
             assert_eq!(got.port_values("y"), reference.port_values("y"), "n={n}");
             for i in 0..nl.len() {
-                let net = pax_netlist::NetId::from_index(i);
+                let net = NetId::from_index(i);
                 assert_eq!(got.activity.toggles(net), reference.activity.toggles(net), "n={n}");
             }
+            // The fused path (either width) agrees at every boundary.
+            assert_eq!(compiled.run(&stim).unwrap().port_values("y"), reference.port_values("y"));
         }
     }
 }

@@ -2,6 +2,7 @@ use std::collections::BTreeMap;
 
 use pax_netlist::{Netlist, Node};
 
+use crate::word::Word;
 use crate::{Activity, SimError, Stimulus};
 
 /// Functional outputs of a simulation run: per-port bit planes, 64
@@ -113,15 +114,18 @@ impl SimResult {
     }
 }
 
-/// Input planes packed for bit-parallel evaluation: one `Vec<u64>` plane
-/// per (input port, bit), in `input_ports()` declaration order.
+/// Input planes packed for bit-parallel evaluation: one `Vec<W>` plane
+/// per (input port, bit), in `input_ports()` declaration order. Generic
+/// over the lane width — the interpreter packs `u64`, the compiled tape
+/// packs whichever [`Word`] it executes.
 #[derive(Debug)]
-pub(crate) struct PackedInputs {
+pub(crate) struct PackedInputs<W: Word = u64> {
     pub n_samples: usize,
+    /// Number of `W`-sized words (`ceil(n_samples / W::LANES)`).
     pub n_words: usize,
     /// One plane per input-port bit, ports in declaration order, bits
     /// LSB-first within each port.
-    pub planes: Vec<Vec<u64>>,
+    pub planes: Vec<Vec<W>>,
     /// Node index of the input node each plane drives.
     pub nodes: Vec<usize>,
 }
@@ -129,16 +133,16 @@ pub(crate) struct PackedInputs {
 /// Packs the stimulus into per-bit sample planes, validating coverage,
 /// sample counts and port widths. `ports` are the input ports the
 /// stimulus must drive (both evaluation paths share this packer).
-pub(crate) fn pack_inputs(
+pub(crate) fn pack_inputs<W: Word>(
     ports: &[pax_netlist::Port],
     stim: &Stimulus,
-) -> Result<PackedInputs, SimError> {
+) -> Result<PackedInputs<W>, SimError> {
     let n_samples = stim.try_n_samples()?;
     if n_samples == 0 {
         return Err(SimError::EmptyStimulus);
     }
-    let n_words = n_samples.div_ceil(64);
-    let mut planes: Vec<Vec<u64>> = Vec::new();
+    let n_words = n_samples.div_ceil(W::LANES);
+    let mut planes: Vec<Vec<W>> = Vec::new();
     let mut nodes: Vec<usize> = Vec::new();
     for p in ports {
         let samples =
@@ -152,11 +156,21 @@ pub(crate) fn pack_inputs(
             });
         }
         for (bit, net) in p.bits.iter().enumerate() {
-            let mut plane = vec![0u64; n_words];
-            for (s, &v) in samples.iter().enumerate() {
-                if v >> bit & 1 == 1 {
-                    plane[s / 64] |= 1 << (s % 64);
+            // Branchless bit transpose, one 64-lane limb at a time:
+            // per-sample shift/or only, no per-sample division or
+            // conditional — packing sits on `run`'s per-call path.
+            let mut plane = vec![W::zero(); n_words];
+            let mut limbs = [0u64; 4];
+            debug_assert!(W::LIMBS <= limbs.len());
+            for (w, chunk) in samples.chunks(W::LANES).enumerate() {
+                for (l, sub) in chunk.chunks(64).enumerate() {
+                    let mut word = 0u64;
+                    for (s, &v) in sub.iter().enumerate() {
+                        word |= (v >> bit & 1) << s;
+                    }
+                    limbs[l] = word;
                 }
+                plane[w] = W::from_limbs(&limbs[..chunk.len().div_ceil(64)]);
             }
             nodes.push(net.index());
             planes.push(plane);
@@ -190,7 +204,7 @@ pub fn simulate(nl: &Netlist, stim: &Stimulus) -> SimResult {
 /// Returns [`SimError`] when the stimulus is empty, misses an input
 /// port, disagrees on sample counts or carries oversized samples.
 pub fn try_simulate(nl: &Netlist, stim: &Stimulus) -> Result<SimResult, SimError> {
-    let packed = pack_inputs(nl.input_ports(), stim)?;
+    let packed = pack_inputs::<u64>(nl.input_ports(), stim)?;
     let (n_samples, n_words) = (packed.n_samples, packed.n_words);
 
     // Plane index per input node.

@@ -18,8 +18,11 @@
 //!
 //! [`simulate`] interprets the netlist node list directly — zero setup
 //! cost, always collects activity. [`CompiledNetlist`] compiles the
-//! netlist once into a levelized, kind-grouped instruction tape and
-//! executes words in parallel, with activity accounting opt-in.
+//! netlist once into a levelized, kind-grouped instruction tape —
+//! fusing single-fanout gate cones into k-input table lookups — and
+//! executes words in parallel, with activity accounting opt-in. The
+//! kernel is generic over the lane width ([`Word`]): 64 lanes (`u64`)
+//! or 256 lanes ([`W256`]), picked automatically by stimulus size.
 //!
 //! * Evaluating a netlist **once** (debugging, a single measurement):
 //!   use [`simulate`].
@@ -65,13 +68,16 @@ pub mod compare;
 mod compiled;
 mod engine;
 mod error;
+mod fuse;
 pub mod power;
 pub mod saif;
 mod stimulus;
 pub mod vcd;
+mod word;
 
 pub use activity::Activity;
-pub use compiled::{CompiledNetlist, PackedStimulus};
+pub use compiled::{BaseTrace, CompiledNetlist, PackedStimulus};
 pub use engine::{simulate, try_simulate, SimOutputs, SimResult};
 pub use error::SimError;
 pub use stimulus::Stimulus;
+pub use word::{Word, W256};

@@ -1,0 +1,249 @@
+//! Simulation words: the lane-parallel data type the compiled tape
+//! executes over.
+//!
+//! The bit-parallel engine evaluates one *sample per bit lane*. The
+//! original kernel hard-coded `u64` (64 lanes); widening the word
+//! multiplies the lanes per instruction decoded, so the per-instruction
+//! overhead (operand index loads, bounds checks, loop control) is
+//! amortized over more samples. [`Word`] abstracts exactly the
+//! operations the kernel needs — bitwise logic, constant splats and
+//! per-lane population counts — so the same execution code runs at 64
+//! lanes ([`u64`]) or 256 lanes ([`W256`]).
+//!
+//! Lane numbering is LSB-first and *little-endian across limbs*: lane
+//! `l` of a [`W256`] lives in bit `l % 64` of limb `l / 64`. That makes
+//! a `W256` exactly four consecutive `u64` words of the same bit plane,
+//! which is how [`SimOutputs`](crate::SimOutputs) stays `u64`-based
+//! regardless of the executing width: wide planes flatten losslessly.
+//!
+//! Activity accounting (toggle counting) intentionally stays on the
+//! `u64` path — see the module docs in `compiled.rs`.
+
+use std::fmt::Debug;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A lane-parallel simulation word: `LANES` independent one-bit samples
+/// evaluated per operation.
+///
+/// Implementations must satisfy the obvious laws (each lane behaves as
+/// an independent boolean), which is what makes execution results
+/// bit-identical across widths: the differential property suite pins
+/// [`W256`] against [`u64`] lane-for-lane.
+pub trait Word:
+    Copy
+    + Clone
+    + Debug
+    + Eq
+    + Send
+    + Sync
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + BitXor<Output = Self>
+    + Not<Output = Self>
+    + 'static
+{
+    /// Number of one-bit lanes (samples) per word.
+    const LANES: usize;
+    /// Number of `u64` limbs (`LANES / 64`).
+    const LIMBS: usize;
+
+    /// The all-zero word (every lane `false`).
+    fn zero() -> Self;
+
+    /// The all-one word (every lane `true`).
+    fn ones() -> Self;
+
+    /// Broadcasts one boolean to every lane.
+    fn splat(bit: bool) -> Self {
+        if bit {
+            Self::ones()
+        } else {
+            Self::zero()
+        }
+    }
+
+    /// Sets lane `lane` to 1 (used by the input packer).
+    fn set_lane(&mut self, lane: usize);
+
+    /// The `u64` limb holding lanes `[64 * limb, 64 * limb + 64)`.
+    fn limb(&self, limb: usize) -> u64;
+
+    /// Builds a word from up to [`Self::LIMBS`] limbs; missing trailing
+    /// limbs are zero (the tail of a stimulus that does not fill the
+    /// word).
+    fn from_limbs(limbs: &[u64]) -> Self;
+
+    /// Total number of set lanes (per-lane popcount, summed).
+    fn count_ones(&self) -> u32;
+}
+
+impl Word for u64 {
+    const LANES: usize = 64;
+    const LIMBS: usize = 1;
+
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+
+    #[inline]
+    fn ones() -> Self {
+        u64::MAX
+    }
+
+    #[inline]
+    fn set_lane(&mut self, lane: usize) {
+        *self |= 1 << lane;
+    }
+
+    #[inline]
+    fn limb(&self, limb: usize) -> u64 {
+        debug_assert_eq!(limb, 0);
+        *self
+    }
+
+    #[inline]
+    fn from_limbs(limbs: &[u64]) -> Self {
+        limbs.first().copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn count_ones(&self) -> u32 {
+        u64::count_ones(*self)
+    }
+}
+
+/// A 256-lane simulation word: four `u64` limbs, operated on
+/// element-wise. The limb ops are independent, so the compiler
+/// auto-vectorizes the kernel loops where the target ISA allows; on a
+/// purely scalar target the win is amortization — one instruction
+/// decode drives four limbs of data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C, align(32))]
+pub struct W256(pub [u64; 4]);
+
+impl BitAnd for W256 {
+    type Output = Self;
+    #[inline]
+    fn bitand(self, rhs: Self) -> Self {
+        Self([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl BitOr for W256 {
+    type Output = Self;
+    #[inline]
+    fn bitor(self, rhs: Self) -> Self {
+        Self([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl BitXor for W256 {
+    type Output = Self;
+    #[inline]
+    fn bitxor(self, rhs: Self) -> Self {
+        Self([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
+    }
+}
+
+impl Not for W256 {
+    type Output = Self;
+    #[inline]
+    fn not(self) -> Self {
+        Self([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl Word for W256 {
+    const LANES: usize = 256;
+    const LIMBS: usize = 4;
+
+    #[inline]
+    fn zero() -> Self {
+        Self([0; 4])
+    }
+
+    #[inline]
+    fn ones() -> Self {
+        Self([u64::MAX; 4])
+    }
+
+    #[inline]
+    fn set_lane(&mut self, lane: usize) {
+        self.0[lane / 64] |= 1 << (lane % 64);
+    }
+
+    #[inline]
+    fn limb(&self, limb: usize) -> u64 {
+        self.0[limb]
+    }
+
+    #[inline]
+    fn from_limbs(limbs: &[u64]) -> Self {
+        let mut out = [0u64; 4];
+        out[..limbs.len().min(4)].copy_from_slice(&limbs[..limbs.len().min(4)]);
+        Self(out)
+    }
+
+    #[inline]
+    fn count_ones(&self) -> u32 {
+        self.0.iter().map(|l| l.count_ones()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_lane_layout() {
+        let mut w = u64::zero();
+        w.set_lane(0);
+        w.set_lane(63);
+        assert_eq!(w, 1 | 1 << 63);
+        assert_eq!(w.limb(0), w);
+        assert_eq!(Word::count_ones(&w), 2);
+        assert_eq!(u64::splat(true), u64::MAX);
+        assert_eq!(u64::from_limbs(&[7]), 7);
+        assert_eq!(u64::from_limbs(&[]), 0);
+    }
+
+    #[test]
+    fn w256_lane_layout_is_little_endian_limbs() {
+        let mut w = W256::zero();
+        w.set_lane(0);
+        w.set_lane(64);
+        w.set_lane(129);
+        w.set_lane(255);
+        assert_eq!(w.0, [1, 1, 2, 1 << 63]);
+        assert_eq!(w.limb(2), 2);
+        assert_eq!(Word::count_ones(&w), 4);
+        assert_eq!(W256::splat(true), W256::ones());
+        assert_eq!(W256::from_limbs(&[1, 2]), W256([1, 2, 0, 0]));
+    }
+
+    #[test]
+    fn w256_bitops_are_lanewise() {
+        let a = W256([0b1100, 0, u64::MAX, 5]);
+        let b = W256([0b1010, 1, 0, 4]);
+        assert_eq!((a & b).0, [0b1000, 0, 0, 4]);
+        assert_eq!((a | b).0, [0b1110, 1, u64::MAX, 5]);
+        assert_eq!((a ^ b).0, [0b0110, 1, u64::MAX, 1]);
+        assert_eq!((!W256::zero()), W256::ones());
+    }
+}

@@ -62,6 +62,7 @@ fn legacy_prune_series(
                 technique,
                 tau_c: Some(combo.tau_c),
                 phi_c: Some(combo.phi_c),
+                coeff: None,
                 accuracy: e.accuracy,
                 area_mm2: e.area_mm2,
                 power_mw: e.power_mw,

@@ -30,7 +30,7 @@ fn fig3_csv_is_well_formed() {
     let csv = report::fig3_csv(&study);
     let mut lines = csv.lines();
     let header = lines.next().unwrap();
-    assert_eq!(header, "technique,tau_c,phi_c,accuracy,area_mm2,norm_area,power_mw");
+    assert_eq!(header, "technique,tau_c,phi_c,coeff,accuracy,area_mm2,norm_area,power_mw");
     let n_fields = header.split(',').count();
     let mut rows = 0;
     for line in lines {

@@ -9,14 +9,16 @@
 
 use proc_macro::TokenStream;
 
-/// Accepts `#[derive(Serialize)]` and expands to nothing.
-#[proc_macro_derive(Serialize)]
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` field and
+/// container attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Accepts `#[derive(Deserialize)]` and expands to nothing.
-#[proc_macro_derive(Deserialize)]
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` field
+/// and container attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
