@@ -100,7 +100,7 @@ fn bench(c: &mut Criterion) {
         let nb_s = time_it(
             || {
                 for chunk in &chunks {
-                    black_box(nb.classify(chunk));
+                    black_box(nb.try_classify(chunk).unwrap());
                 }
             },
             reps,
@@ -108,7 +108,7 @@ fn bench(c: &mut Criterion) {
         let qb_s = time_it(
             || {
                 for chunk in &chunks {
-                    black_box(qb.classify(chunk));
+                    black_box(qb.try_classify(chunk).unwrap());
                 }
             },
             reps,
@@ -131,7 +131,7 @@ fn bench(c: &mut Criterion) {
     let full_batch_s = time_it(
         || {
             for chunk in rows.chunks(64) {
-                black_box(nb.classify(chunk));
+                black_box(nb.try_classify(chunk).unwrap());
             }
         },
         reps,
@@ -264,7 +264,7 @@ fn bench(c: &mut Criterion) {
         c.bench_function(&format!("serve/netlist/batch_{batch}"), move |b| {
             b.iter(|| {
                 for chunk in &chunks {
-                    black_box(nb.classify(chunk));
+                    black_box(nb.try_classify(chunk).unwrap());
                 }
             })
         });
@@ -273,7 +273,7 @@ fn bench(c: &mut Criterion) {
         c.bench_function(&format!("serve/quant/batch_{batch}"), move |b| {
             b.iter(|| {
                 for chunk in &chunks {
-                    black_box(qb.classify(chunk));
+                    black_box(qb.try_classify(chunk).unwrap());
                 }
             })
         });

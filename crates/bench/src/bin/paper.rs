@@ -11,6 +11,7 @@
 //! paper explore                # grid vs NSGA-II search (BENCH_explore.json)
 //! paper prune_eval             # rebuild vs overlay evaluation (BENCH_prune_eval.json)
 //! paper coeff_eval             # stacked coeff+prune overlay vs rebuild (BENCH_coeff_eval.json)
+//! paper fabric_eval            # in-process vs serve-fabric evaluation (BENCH_fabric_eval.json)
 //! paper obs                    # journalled NSGA-II study + journal verification
 //! paper all                    # everything
 //!
@@ -39,7 +40,7 @@ struct Options {
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: paper <table1|table2|table3|fig1|fig2|fig3|proxy|quant|explore|prune_eval|coeff_eval|obs|all> [--out DIR] [--quick] [--circuit STR]");
+        eprintln!("usage: paper <table1|table2|table3|fig1|fig2|fig3|proxy|quant|explore|prune_eval|coeff_eval|fabric_eval|obs|all> [--out DIR] [--quick] [--circuit STR]");
         std::process::exit(2);
     };
     let mut opts = Options { out: None, quick: false, circuit: None };
@@ -73,6 +74,7 @@ fn main() {
         "explore" => run_explore(&opts),
         "prune_eval" => run_prune_eval(&opts),
         "coeff_eval" => run_coeff_eval(&opts),
+        "fabric_eval" => run_fabric_eval(&opts),
         "obs" => run_obs(&opts),
         "all" => {
             run_fig1(&opts);
@@ -82,6 +84,7 @@ fn main() {
             run_explore(&opts);
             run_prune_eval(&opts);
             run_coeff_eval(&opts);
+            run_fabric_eval(&opts);
             run_table1(&opts);
             // table2/table3/fig3 share one set of studies.
             let runs = load_studies(&opts);
@@ -226,6 +229,16 @@ fn run_coeff_eval(opts: &Options) {
     println!("{}", pax_bench::coeff_eval::render(&rows));
     let json = pax_bench::coeff_eval::to_json(&rows, &cfg);
     write_artifact(opts, "coeff_eval.json", &json);
+}
+
+fn run_fabric_eval(opts: &Options) {
+    let cfg = synth_config(opts);
+    let seed = pax_core::explore::resolve_seed(0xFAB);
+    let rows = pax_bench::fabric_eval::run(&cfg, seed);
+    println!("# Candidate evaluation — in-process overlay vs the serve-engine fabric\n");
+    println!("{}", pax_bench::fabric_eval::render(&rows));
+    let json = pax_bench::fabric_eval::to_json(&rows, &cfg, seed);
+    write_artifact(opts, "fabric_eval.json", &json);
 }
 
 fn run_obs(opts: &Options) {

@@ -22,7 +22,10 @@
 //!   evaluation throughput (the `BENCH_prune_eval.json` study);
 //! * [`coeff_eval`] — stacked coefficient+pruning overlay versus the
 //!   rebuild oracle on the joint graded-gene grid (the
-//!   `BENCH_coeff_eval.json` study).
+//!   `BENCH_coeff_eval.json` study);
+//! * [`fabric_eval`] — in-process overlay versus evaluation routed
+//!   through a serve-engine tenant on the shared worker pool (the
+//!   `BENCH_fabric_eval.json` study).
 //!
 //! The `paper` binary exposes all of it:
 //!
@@ -37,6 +40,7 @@
 pub mod catalog;
 pub mod coeff_eval;
 pub mod explore;
+pub mod fabric_eval;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

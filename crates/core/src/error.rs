@@ -39,6 +39,11 @@ pub enum StudyError {
     /// — this variant replaces the old `expect("every set evaluated")`
     /// panic on the drain path.
     IncompleteGrid,
+    /// The evaluation fabric refused or dropped a shipped job: the pool
+    /// is shutting down, the study's tenant was unregistered mid-batch,
+    /// or its job budget is spent. See
+    /// [`FabricError`](crate::explore::FabricError).
+    Fabric(crate::explore::FabricError),
     /// The structured search journal could not be opened or written
     /// (the underlying I/O error, stringified — `StudyError` is
     /// `Clone + PartialEq`, `std::io::Error` is neither). A journal is
@@ -65,6 +70,7 @@ impl std::fmt::Display for StudyError {
             StudyError::IncompleteGrid => {
                 write!(f, "grid evaluation drained without a result for every pruned set")
             }
+            StudyError::Fabric(e) => write!(f, "evaluation fabric failed the batch: {e}"),
             StudyError::Journal(e) => write!(f, "search journal I/O failed: {e}"),
         }
     }
@@ -75,6 +81,7 @@ impl std::error::Error for StudyError {
         match self {
             StudyError::Library(e) => Some(e),
             StudyError::Sim(e) => Some(e),
+            StudyError::Fabric(e) => Some(e),
             StudyError::MissingContext { .. }
             | StudyError::IncompleteGrid
             | StudyError::Journal(_) => None,

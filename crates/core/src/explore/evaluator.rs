@@ -11,7 +11,7 @@
 //! no fresh synthesis or simulation.
 
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use egt_pdk::{Library, TechParams};
 use pax_ml::quant::QuantizedModel;
@@ -20,6 +20,7 @@ use pax_netlist::{NetId, Netlist};
 
 use pax_obs::{Phases, PhasesSnapshot};
 
+use super::fabric::{EvalFabric, FabricError};
 use super::{Candidate, CoeffGene, ContextSpace, SearchSpace, MAX_COEFF_LAYERS};
 use crate::coeff_approx::{approximate_model_layers, CoeffApproxConfig};
 use crate::error::StudyError;
@@ -37,6 +38,16 @@ use crate::{DesignPoint, Technique};
 /// two are bit-identical on every measured axis (the differential
 /// suite pins it); `Rebuild` exists as that suite's oracle and as the
 /// `pax-bench prune_eval` baseline.
+///
+/// [`EvalMode::Fabric`] is overlay evaluation *routed through an
+/// external worker pool* ([`EvalFabric`]) instead of the evaluator's
+/// private scoped threads: each fresh candidate ships as an owned batch
+/// job (an `Arc`'d owned overlay context + the gate set) to — in
+/// production — the `pax-serve` engine, which multiplexes it with live
+/// inference traffic under per-study queues and budgets. Fabric results
+/// are bit-identical to `Overlay` (same `OverlayContext::evaluate` code
+/// path over clones of the same inputs; the fabric differential suite
+/// pins it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EvalMode {
     /// Prune-as-mask on the shared compiled tape (fast path, default).
@@ -44,6 +55,8 @@ pub enum EvalMode {
     Overlay,
     /// Per-candidate re-synthesis + recompilation (legacy oracle).
     Rebuild,
+    /// Overlay evaluation shipped to an attached [`EvalFabric`].
+    Fabric,
 }
 
 /// One caller-provided base circuit a candidate can be pruned from —
@@ -124,6 +137,18 @@ impl ContextSlot<'_> {
 /// different strategies sharing one [`Engine`](super::Engine) — often
 /// select the same gates, which are synthesized and simulated once.
 /// Debug builds keep the full sets and assert on hash collisions.
+///
+/// Concurrency contract: the cache is only ever touched by the thread
+/// driving [`Evaluator::evaluate_batch`] (it is `&mut` there). Workers
+/// — the in-process pool and fabric jobs alike — never see it; they
+/// return evaluations over a channel and the driving thread inserts
+/// them. Hit/len accounting is therefore free of lost updates by
+/// construction: duplicate keys inside one batch are collapsed *before*
+/// any parallel work starts (`fresh` holds each key once), so two
+/// workers can never race an insert of the same content hash, and
+/// `hits`/`len` are deterministic for a deterministic candidate stream
+/// regardless of worker count or evaluation mode — the repeated-run
+/// equality suite asserts exactly that.
 #[derive(Debug, Default)]
 pub struct EvalCache {
     map: HashMap<u64, PruneEval>,
@@ -153,12 +178,12 @@ impl EvalCache {
         self.map.is_empty()
     }
 
-    fn get(&mut self, key: u64) -> Option<&PruneEval> {
-        let e = self.map.get(&key);
-        if e.is_some() {
-            self.hits += 1;
-        }
-        e
+    /// A plain lookup. Hit accounting happens in the dedup walk of
+    /// [`Evaluator::evaluate_batch`] — the one place that knows whether
+    /// a key was already paid for — not here, so that post-evaluation
+    /// result assembly cannot skew the counters.
+    fn get(&self, key: u64) -> Option<&PruneEval> {
+        self.map.get(&key)
     }
 
     #[cfg(debug_assertions)]
@@ -195,6 +220,15 @@ pub struct Evaluator<'a> {
     /// failures (library gaps, malformed stimuli) surface per
     /// evaluation, mirroring the rebuild path's timing.
     overlays: Vec<OnceLock<Result<OverlayContext<'a>, StudyError>>>,
+    /// The external pool candidate evaluation rides in
+    /// [`EvalMode::Fabric`]; `None` until [`Evaluator::with_fabric`].
+    fabric: Option<Arc<dyn EvalFabric>>,
+    /// One *owned* (`'static`) overlay per context for fabric jobs,
+    /// separate from `overlays`: jobs run on worker threads that
+    /// outlive `'a`, so they cannot borrow the study's inputs. Built
+    /// lazily on the first fabric-mode evaluation that touches the
+    /// context, then shared by every job through the `Arc`.
+    fabric_contexts: Vec<OnceLock<Result<Arc<FabricContext>, StudyError>>>,
     mode: EvalMode,
     threads: usize,
     /// Evaluator-side phase accounting (the `resolve` slot; the
@@ -221,6 +255,7 @@ impl<'a> Evaluator<'a> {
             );
         }
         let overlays = contexts.iter().map(|_| OnceLock::new()).collect();
+        let fabric_contexts = contexts.iter().map(|_| OnceLock::new()).collect();
         let threads = std::thread::available_parallelism().map_or(4, |t| t.get()).min(16);
         Self {
             lib,
@@ -229,6 +264,8 @@ impl<'a> Evaluator<'a> {
             contexts: contexts.into_iter().map(ContextSlot::Given).collect(),
             axis: None,
             overlays,
+            fabric: None,
+            fabric_contexts,
             mode: EvalMode::default(),
             threads,
             phases: Phases::new(EVAL_PHASES),
@@ -273,6 +310,7 @@ impl<'a> Evaluator<'a> {
             }
             self.contexts.push(ContextSlot::Lazy { gene, cell: OnceLock::new() });
             self.overlays.push(OnceLock::new());
+            self.fabric_contexts.push(OnceLock::new());
         }
         self.axis = Some(axis);
         self
@@ -290,6 +328,11 @@ impl<'a> Evaluator<'a> {
         for overlay in &self.overlays {
             if let Some(Ok(ctx)) = overlay.get() {
                 merged.merge(ctx.phases());
+            }
+        }
+        for fabric_ctx in &self.fabric_contexts {
+            if let Some(Ok(ctx)) = fabric_ctx.get() {
+                merged.merge(ctx.overlay.phases());
             }
         }
         merged.snapshot()
@@ -317,6 +360,30 @@ impl<'a> Evaluator<'a> {
                 )
             }
         })
+    }
+
+    /// The owned fabric overlay for context `ctx_idx`, built on first
+    /// use from clones of the same inputs [`Evaluator::overlay`] uses.
+    /// `OverlayContext` construction is deterministic (compile the
+    /// tape, pack the stimulus, analyze base timing — no ordering or
+    /// randomness), so evaluating a gate set here is bit-identical to
+    /// evaluating it on the borrowed overlay; the fabric differential
+    /// suite pins that.
+    fn fabric_context(&self, ctx_idx: usize) -> Result<&Arc<FabricContext>, StudyError> {
+        self.fabric_contexts[ctx_idx]
+            .get_or_init(|| {
+                let (netlist, model, analysis) = self.parts(ctx_idx);
+                OverlayContext::new_static(
+                    netlist.clone(),
+                    model.clone(),
+                    self.test.clone(),
+                    self.lib,
+                    self.tech.clone(),
+                )
+                .map(|overlay| Arc::new(FabricContext { overlay, analysis: analysis.clone() }))
+            })
+            .as_ref()
+            .map_err(Clone::clone)
     }
 
     /// `(netlist, model, analysis)` of context `ctx_idx`, materializing
@@ -356,6 +423,19 @@ impl<'a> Evaluator<'a> {
     #[must_use]
     pub fn with_mode(mut self, mode: EvalMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Attaches an external worker pool and switches to
+    /// [`EvalMode::Fabric`]: every fresh evaluation ships to `fabric`
+    /// as an owned job instead of running on the evaluator's private
+    /// scoped threads. In production the fabric is a `pax-serve` tenant
+    /// handle, which multiplexes study evaluations with live inference
+    /// traffic under that study's queue, budget and metrics.
+    #[must_use]
+    pub fn with_fabric(mut self, fabric: Arc<dyn EvalFabric>) -> Self {
+        self.fabric = Some(fabric);
+        self.mode = EvalMode::Fabric;
         self
     }
 
@@ -446,6 +526,9 @@ impl<'a> Evaluator<'a> {
             #[cfg(debug_assertions)]
             cache.check_collision(key, ctx, &set);
             if cache.map.contains_key(&key) || fresh_keys.contains_key(&key) {
+                // Already stored, or a duplicate of fresh work earlier
+                // in this batch — either way the evaluation is shared.
+                cache.hits += 1;
                 keys.push(key);
                 continue;
             }
@@ -468,9 +551,6 @@ impl<'a> Evaluator<'a> {
                 (*c, self.point_for(c, e))
             })
             .collect();
-        // `cache.get` counted every lookup as a hit; subtract the ones
-        // we just paid for.
-        cache.hits -= new_evals;
         Ok((results, new_evals))
     }
 
@@ -520,6 +600,9 @@ impl<'a> Evaluator<'a> {
         if fresh.is_empty() {
             return Ok(Vec::new());
         }
+        if self.mode == EvalMode::Fabric {
+            return self.run_fabric(fresh);
+        }
         let next = std::sync::atomic::AtomicUsize::new(0);
         // First error aborts the whole batch: without the shared flag,
         // the other workers would drain every remaining (expensive)
@@ -547,6 +630,7 @@ impl<'a> Evaluator<'a> {
                         EvalMode::Rebuild => crate::prune::try_evaluate_set_rebuild(
                             netlist, model, self.test, self.lib, self.tech, analysis, set,
                         ),
+                        EvalMode::Fabric => unreachable!("fabric batches run in run_fabric"),
                     };
                     let stop = r.is_err();
                     if stop {
@@ -563,6 +647,40 @@ impl<'a> Evaluator<'a> {
         })
     }
 
+    /// Ships the fresh evaluations to the attached [`EvalFabric`] as
+    /// owned jobs — one per distinct `(context, gate set)` — and
+    /// collects their results over a channel. A job dropped unrun (its
+    /// tenant unregistered, or the pool torn down mid-batch) never
+    /// sends, so the channel closes short and the batch fails with
+    /// [`FabricError::Cancelled`] instead of hanging.
+    fn run_fabric(
+        &self,
+        fresh: &[(u64, usize, Vec<NetId>)],
+    ) -> Result<Vec<(u64, PruneEval)>, StudyError> {
+        let fabric = self.fabric.as_ref().ok_or(StudyError::Fabric(FabricError::NotAttached))?;
+        let (tx, rx) = std::sync::mpsc::channel::<Result<(u64, PruneEval), StudyError>>();
+        for (key, ctx_idx, set) in fresh {
+            let shared = Arc::clone(self.fabric_context(*ctx_idx)?);
+            let (key, set, tx) = (*key, set.clone(), tx.clone());
+            let job = Box::new(move || {
+                let r = shared.overlay.evaluate(&shared.analysis, &set).map(|e| (key, e));
+                // The receiver is gone when the driving thread already
+                // bailed on an earlier error; nothing left to report.
+                let _ = tx.send(r);
+            });
+            fabric.submit(job).map_err(StudyError::Fabric)?;
+        }
+        drop(tx);
+        let mut out = Vec::with_capacity(fresh.len());
+        for r in rx {
+            out.push(r?);
+        }
+        if out.len() < fresh.len() {
+            return Err(StudyError::Fabric(FabricError::Cancelled));
+        }
+        Ok(out)
+    }
+
     fn point_for(&self, c: &Candidate, e: &PruneEval) -> DesignPoint {
         DesignPoint {
             technique: if c.coeff.is_exact() { Technique::PruneOnly } else { Technique::Cross },
@@ -576,6 +694,18 @@ impl<'a> Evaluator<'a> {
             critical_ms: e.critical_ms,
         }
     }
+}
+
+/// The owned evaluation state one context ships to fabric workers: a
+/// `'static` overlay (owned clones of the base netlist, model, test
+/// set and technology parameters) plus the pruning analysis the τ/φ
+/// mask resolution reads. Everything a job touches lives behind one
+/// `Arc`, so jobs are `'static` and the pool can run them on threads
+/// that outlive the study's stack frame.
+#[derive(Debug)]
+struct FabricContext {
+    overlay: OverlayContext<'static>,
+    analysis: PruneAnalysis,
 }
 
 /// One resolved genome: `(context index, sorted pruned-gate set)`.

@@ -18,6 +18,11 @@
 //! * [`EvalCache`] — content-hashed memoization, so duplicate
 //!   pruned-gate sets are measured once, within *and across*
 //!   strategies sharing one engine;
+//! * [`EvalFabric`] — the seam to an external worker pool: attach one
+//!   with [`Evaluator::with_fabric`] and fresh evaluations ship as
+//!   owned batch jobs to (e.g.) the `pax-serve` engine instead of the
+//!   evaluator's private thread pool, multiplexing design-space search
+//!   with live serving traffic;
 //! * [`ObjectiveSet`] — the configurable N-dimensional objective space
 //!   (any subset of accuracy ↑ / area ↓ / power ↓ / delay ↓, with
 //!   per-axis direction, weights and masking);
@@ -61,12 +66,14 @@
 
 mod archive;
 mod evaluator;
+mod fabric;
 mod grid;
 mod nsga2;
 mod objective;
 
 pub use archive::{HypervolumeError, ParetoArchive};
 pub use evaluator::{CoeffAxis, EvalCache, EvalContext, EvalMode, Evaluator};
+pub use fabric::{EvalFabric, FabricError, FabricJob};
 pub use grid::ExhaustiveGrid;
 pub use nsga2::{resolve_seed, Nsga2, Nsga2Config};
 pub use objective::{Objective, ObjectiveAxis, ObjectiveSet};

@@ -134,11 +134,12 @@ impl CellTable {
 pub struct OverlayContext<'a> {
     /// The base circuit — borrowed for caller-provided contexts
     /// ([`OverlayContext::new`]), owned for lazily materialized
-    /// coefficient-level contexts ([`OverlayContext::new_owned`]).
+    /// coefficient-level contexts ([`OverlayContext::new_owned`]) and
+    /// for fabric-shipped contexts ([`OverlayContext::new_static`]).
     base: Cow<'a, Netlist>,
     model: Cow<'a, QuantizedModel>,
-    test: &'a Dataset,
-    tech: &'a TechParams,
+    test: Cow<'a, Dataset>,
+    tech: Cow<'a, TechParams>,
     tape: CompiledNetlist,
     packed: PackedStimulus,
     /// One recorded unfused run of the base tape on the packed test
@@ -178,7 +179,13 @@ impl<'a> OverlayContext<'a> {
         lib: &'a Library,
         tech: &'a TechParams,
     ) -> Result<Self, StudyError> {
-        Self::from_parts(Cow::Borrowed(base), Cow::Borrowed(model), test, lib, tech)
+        Self::from_parts(
+            Cow::Borrowed(base),
+            Cow::Borrowed(model),
+            Cow::Borrowed(test),
+            lib,
+            Cow::Borrowed(tech),
+        )
     }
 
     /// [`OverlayContext::new`] over an owned base circuit and model —
@@ -193,23 +200,53 @@ impl<'a> OverlayContext<'a> {
         lib: &'a Library,
         tech: &'a TechParams,
     ) -> Result<Self, StudyError> {
-        Self::from_parts(Cow::Owned(base), Cow::Owned(model), test, lib, tech)
+        Self::from_parts(
+            Cow::Owned(base),
+            Cow::Owned(model),
+            Cow::Borrowed(test),
+            lib,
+            Cow::Borrowed(tech),
+        )
+    }
+
+    /// A fully-owned context that borrows nothing: the form evaluation
+    /// jobs ship to an external worker pool
+    /// ([`EvalFabric`](crate::explore::EvalFabric)), whose long-lived
+    /// threads cannot borrow from the submitting study's stack. The
+    /// library is consumed into the context's cell/delay tables (as in
+    /// every other constructor), so only the netlist, model, test set
+    /// and tech point need owning. Evaluation is bit-identical to the
+    /// borrowed forms — construction runs the very same code path.
+    pub fn new_static(
+        base: Netlist,
+        model: QuantizedModel,
+        test: Dataset,
+        lib: &Library,
+        tech: TechParams,
+    ) -> Result<OverlayContext<'static>, StudyError> {
+        OverlayContext::from_parts(
+            Cow::Owned(base),
+            Cow::Owned(model),
+            Cow::Owned(test),
+            lib,
+            Cow::Owned(tech),
+        )
     }
 
     fn from_parts(
         base: Cow<'a, Netlist>,
         model: Cow<'a, QuantizedModel>,
-        test: &'a Dataset,
-        lib: &'a Library,
-        tech: &'a TechParams,
+        test: Cow<'a, Dataset>,
+        lib: &Library,
+        tech: Cow<'a, TechParams>,
     ) -> Result<Self, StudyError> {
         // Single-threaded tape by default: evaluation runs inside an
         // already-saturated worker pool, so nested word-parallelism
         // would only oversubscribe the cores.
         let tape = CompiledNetlist::compile(&base).with_threads(1);
-        let packed = tape.pack(&stimulus_for(&model, test))?;
+        let packed = tape.pack(&stimulus_for(&model, &test))?;
         let trace = tape.trace(&packed);
-        let base_arrival = pax_sta::analyze(&base, lib, tech)?.arrival_ms;
+        let base_arrival = pax_sta::analyze(&base, lib, &tech)?.arrival_ms;
         let fanout = Fanout::build(&base);
         Ok(Self {
             base,
@@ -295,7 +332,7 @@ impl<'a> OverlayContext<'a> {
             (sim, activity)
         });
         let (accuracy, _) =
-            self.phases.time(phase::SCORE, || score_outputs(&self.model, self.test, &sim));
+            self.phases.time(phase::SCORE, || score_outputs(&self.model, &self.test, &sim));
 
         // The surviving structure — node-for-node what `apply_set`
         // would rebuild.

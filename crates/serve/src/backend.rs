@@ -43,17 +43,13 @@ pub trait Backend: Send + Sync {
     /// Returns [`ServeError::Arity`] / [`ServeError::OutOfRange`] for
     /// rows that do not fit the model, and [`ServeError::Sim`] if the
     /// simulator rejects the packed batch.
+    ///
+    /// This is the only classification entry point: there is
+    /// deliberately no panicking convenience wrapper, because every
+    /// production caller runs on a long-lived worker thread where a
+    /// panic either poisons the pool or (caught) silently cancels a
+    /// batch that a typed error would have diagnosed.
     fn try_classify(&self, rows: &[Vec<i64>]) -> Result<Vec<usize>, ServeError>;
-
-    /// Predicts one class per input row.
-    ///
-    /// # Panics
-    ///
-    /// Panics on malformed batches — use [`Backend::try_classify`] when
-    /// the rows come from an untrusted source.
-    fn classify(&self, rows: &[Vec<i64>]) -> Vec<usize> {
-        self.try_classify(rows).unwrap_or_else(|e| panic!("{e}"))
-    }
 }
 
 /// Validates every row's arity and value range against the model.
@@ -202,7 +198,7 @@ mod tests {
         let nb = NetlistBackend::new(circuit.netlist, model.clone());
         let qb = QuantBackend::new(model);
         let rows: Vec<Vec<i64>> = (0..16).flat_map(|a| (0..16).map(move |b| vec![a, b])).collect();
-        assert_eq!(nb.classify(&rows), qb.classify(&rows));
+        assert_eq!(nb.try_classify(&rows).unwrap(), qb.try_classify(&rows).unwrap());
     }
 
     #[test]
@@ -210,7 +206,7 @@ mod tests {
         let model = demo_model();
         let circuit = BespokeCircuit::generate(&model);
         let nb = NetlistBackend::new(circuit.netlist, model);
-        assert!(nb.classify(&[]).is_empty());
+        assert!(nb.try_classify(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -17,14 +17,33 @@ use parking_lot::{Condvar, Mutex};
 /// as one wide word instead of four sequential 64-lane words.
 pub const LANES: usize = 256;
 
+/// Why a request or job was cancelled instead of executed. Callers use
+/// this to pick between retrying elsewhere ([`CancelReason::Shutdown`])
+/// and giving up on the model ([`CancelReason::Unregistered`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// Its model (or tenant) was unregistered while it was queued.
+    Unregistered,
+    /// The engine shut down while it was queued.
+    Shutdown,
+    /// The executing backend rejected the whole batch (artifact/model
+    /// interface mismatch — a deploy-time bug, not load).
+    Failed,
+    /// The queue entry was dropped without ever being executed or
+    /// explicitly cancelled. This is the [`Drop`] safety net firing; a
+    /// healthy engine resolves every entry through one of the paths
+    /// above, so seeing this reason means a request-lifecycle bug was
+    /// just contained (the ticket resolved instead of hanging forever).
+    Dropped,
+}
+
 /// Terminal state of one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
     /// The predicted class index.
     Class(usize),
-    /// The request was dropped before execution — its model was
-    /// unregistered or the engine shut down.
-    Cancelled,
+    /// The request was dropped before execution (see [`CancelReason`]).
+    Cancelled(CancelReason),
 }
 
 impl Outcome {
@@ -32,7 +51,7 @@ impl Outcome {
     pub fn class(self) -> Option<usize> {
         match self {
             Outcome::Class(c) => Some(c),
-            Outcome::Cancelled => None,
+            Outcome::Cancelled(_) => None,
         }
     }
 }
@@ -98,6 +117,19 @@ impl Request {
     }
 }
 
+/// The strand-proofing safety net: a request that dies without a
+/// verdict resolves its ticket as cancelled instead of leaving
+/// [`Ticket::wait`] blocked forever. Every healthy path (answer, batch
+/// failure, cancel sweep) fills the slot first, making this a no-op —
+/// it only fires on lifecycle bugs, e.g. a backend returning fewer
+/// predictions than the batch carried, where the zip-truncated
+/// leftovers used to be silently dropped unfilled.
+impl Drop for Request {
+    fn drop(&mut self) {
+        self.slot.fill(Outcome::Cancelled(CancelReason::Dropped));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,9 +139,17 @@ mod tests {
         let (req, ticket) = Request::new(vec![1, 2]);
         assert_eq!(ticket.try_get(), None);
         req.slot.fill(Outcome::Class(2));
-        req.slot.fill(Outcome::Cancelled); // loses the race, ignored
+        // Loses the race, ignored.
+        req.slot.fill(Outcome::Cancelled(CancelReason::Shutdown));
         assert_eq!(ticket.try_get(), Some(Outcome::Class(2)));
         assert_eq!(ticket.wait(), Outcome::Class(2));
+    }
+
+    #[test]
+    fn dropped_request_resolves_instead_of_stranding() {
+        let (req, ticket) = Request::new(vec![1, 2]);
+        drop(req);
+        assert_eq!(ticket.wait(), Outcome::Cancelled(CancelReason::Dropped));
     }
 
     #[test]
@@ -125,6 +165,7 @@ mod tests {
     #[test]
     fn outcome_class_accessor() {
         assert_eq!(Outcome::Class(3).class(), Some(3));
-        assert_eq!(Outcome::Cancelled.class(), None);
+        assert_eq!(Outcome::Cancelled(CancelReason::Unregistered).class(), None);
+        assert_eq!(Outcome::Cancelled(CancelReason::Shutdown).class(), None);
     }
 }

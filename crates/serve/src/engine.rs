@@ -1,4 +1,5 @@
-//! The serving engine: worker pool, batching, backpressure, auditing.
+//! The serving engine: worker pool, batching, backpressure, auditing —
+//! and the evaluation fabric riding the same pool.
 //!
 //! [`ServeEngine`] owns a pool of worker threads over the sharded
 //! [`Registry`](crate::registry). Submitting a sample parks it in its
@@ -7,6 +8,14 @@
 //! with one backend pass, and cross-check a sampled fraction of batches
 //! against the *other* backend — so the measured accuracy cost of the
 //! deployed approximation is a live metric, not a one-off study number.
+//!
+//! The same workers execute tenant *jobs*: a design-space study
+//! registers as a tenant ([`ServeEngine::register_tenant`]), gets a
+//! [`TenantHandle`] implementing `pax_core::explore::EvalFabric`, and
+//! every candidate evaluation its evaluator ships lands in the tenant's
+//! bounded queue beside the model queues — one pool, two kinds of work,
+//! with classification requests taking scan priority (they are
+//! latency-bound; evaluations are throughput-bound).
 //!
 //! Each worker treats `worker_index % SHARDS` as its home shard and
 //! scans the remaining shards only when home is idle (work stealing),
@@ -19,11 +28,20 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use pax_core::artifact::Artifact;
+use pax_core::explore::{EvalFabric, FabricError, FabricJob};
 
 use crate::backend::{NetlistBackend, QuantBackend};
-use crate::batch::{Outcome, Request, Ticket};
+use crate::batch::{CancelReason, Outcome, Request, Ticket};
+use crate::job::{
+    EnqueueRefusal, JobTicket, QueuedJob, TenantEntry, TenantOptions, TenantSnapshot,
+};
 use crate::metrics::MetricsSnapshot;
-use crate::registry::{ModelEntry, Primary, Registry, SHARDS};
+use crate::registry::{ModelEntry, Primary, Registry, Work, SHARDS};
+
+/// Jobs a worker drains from one tenant per work-scan. Small enough
+/// that a study with a deep backlog cannot monopolize a worker between
+/// scans (each scan may instead find latency-sensitive model work).
+const JOB_CHUNK: usize = 8;
 
 /// Engine-wide defaults; per-model knobs live in [`ModelOptions`].
 #[derive(Debug, Clone)]
@@ -97,9 +115,13 @@ pub enum ServeError {
         /// The inclusive maximum (minimum is 0).
         max: i64,
     },
-    /// The request was cancelled (model unregistered or engine shut
-    /// down) before it executed.
+    /// The request was cancelled (model unregistered, batch failed)
+    /// before it executed.
     Cancelled,
+    /// The engine shut down while the request was queued. Distinct from
+    /// [`ServeError::Cancelled`] so callers holding handles to several
+    /// engines know this one is gone for good, not just this model.
+    Shutdown,
     /// The simulator rejected the packed batch (see
     /// [`pax_sim::SimError`]). Submission validates rows, so reaching
     /// this from the engine indicates an artifact/model mismatch.
@@ -120,6 +142,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "input {value} outside quantized range 0..={max}")
             }
             ServeError::Cancelled => write!(f, "request cancelled before execution"),
+            ServeError::Shutdown => write!(f, "engine shut down before the request executed"),
             ServeError::Sim(e) => write!(f, "simulation rejected batch: {e}"),
         }
     }
@@ -177,6 +200,12 @@ impl ServeEngine {
         Self::new(EngineConfig::default())
     }
 
+    /// Worker threads in the pool (after resolving a `workers: 0`
+    /// configuration to the core count).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
     /// Registers a servable artifact under its model name, with the
     /// engine's default options.
     ///
@@ -215,12 +244,14 @@ impl ServeEngine {
         }
     }
 
-    /// Unregisters a model, cancelling its queued requests. Returns
-    /// `false` if no such model exists.
+    /// Unregisters a model, cancelling its queued requests (their
+    /// tickets resolve as [`Outcome::Cancelled`] with
+    /// [`CancelReason::Unregistered`]). Returns `false` if no such
+    /// model exists.
     pub fn unregister(&self, name: &str) -> bool {
         match self.shared.registry.remove(name) {
             Some(entry) => {
-                entry.cancel_pending();
+                entry.cancel_pending(CancelReason::Unregistered);
                 true
             }
             None => false,
@@ -254,10 +285,15 @@ impl ServeEngine {
         // between the lookup and the enqueue, its cancel sweep may have
         // already run — nobody would drain this queue again. Re-check
         // and sweep here so the ticket always resolves.
-        let orphaned = self.shared.stop.load(Ordering::SeqCst)
+        let stopped = self.shared.stop.load(Ordering::SeqCst);
+        let orphaned = stopped
             || self.shared.registry.get(model).is_none_or(|current| !Arc::ptr_eq(&current, &entry));
         if orphaned {
-            entry.cancel_pending();
+            entry.cancel_pending(if stopped {
+                CancelReason::Shutdown
+            } else {
+                CancelReason::Unregistered
+            });
         }
         self.shared.signal.cond.notify_one();
         Ok(ticket)
@@ -267,12 +303,68 @@ impl ServeEngine {
     ///
     /// # Errors
     ///
-    /// Propagates the first submission error, or [`ServeError::Cancelled`]
-    /// if the engine tears down mid-flight.
+    /// Propagates the first submission error; a request cancelled in
+    /// flight surfaces as [`ServeError::Shutdown`] when the engine tore
+    /// down underneath it, [`ServeError::Cancelled`] otherwise.
     pub fn classify(&self, model: &str, rows: &[Vec<i64>]) -> Result<Vec<usize>, ServeError> {
         let tickets: Vec<Ticket> =
             rows.iter().map(|row| self.submit(model, row.clone())).collect::<Result<_, _>>()?;
-        tickets.into_iter().map(|t| t.wait().class().ok_or(ServeError::Cancelled)).collect()
+        tickets
+            .into_iter()
+            .map(|t| match t.wait() {
+                Outcome::Class(c) => Ok(c),
+                Outcome::Cancelled(CancelReason::Shutdown) => Err(ServeError::Shutdown),
+                Outcome::Cancelled(_) => Err(ServeError::Cancelled),
+            })
+            .collect()
+    }
+
+    /// Registers a tenant — a named consumer of the engine's job lane,
+    /// typically one design-space study — and returns the handle its
+    /// evaluator attaches as an
+    /// [`EvalFabric`](pax_core::explore::EvalFabric). The tenant gets
+    /// its own bounded queue, optional job budget and metrics; its jobs
+    /// share the worker pool with classification traffic.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a tenant with this name is already registered (the
+    /// tenant namespace is separate from the model namespace).
+    pub fn register_tenant(
+        &self,
+        name: &str,
+        opts: TenantOptions,
+    ) -> Result<TenantHandle, RegisterError> {
+        match self.shared.registry.insert_tenant(TenantEntry::new(name.to_owned(), opts)) {
+            Some(entry) => Ok(TenantHandle { entry, shared: Arc::clone(&self.shared) }),
+            None => Err(RegisterError::Duplicate(name.to_owned())),
+        }
+    }
+
+    /// Unregisters a tenant, cancelling its queued jobs (their tickets
+    /// resolve as cancelled, and any completion channels the job
+    /// closures captured close — which is how an attached evaluator
+    /// observes the teardown as a typed error instead of hanging). Jobs
+    /// already in flight on a worker run to completion. Returns `false`
+    /// if no such tenant exists.
+    pub fn unregister_tenant(&self, name: &str) -> bool {
+        match self.shared.registry.remove_tenant(name) {
+            Some(entry) => {
+                entry.cancel_pending(CancelReason::Unregistered);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Registered tenant names.
+    pub fn tenants(&self) -> Vec<String> {
+        self.shared.registry.tenant_names()
+    }
+
+    /// Point-in-time metrics for one tenant.
+    pub fn tenant_metrics(&self, name: &str) -> Option<TenantSnapshot> {
+        self.shared.registry.get_tenant(name).map(|e| e.snapshot())
     }
 
     /// Point-in-time metrics for one model.
@@ -291,7 +383,9 @@ impl ServeEngine {
     }
 
     /// Workspace telemetry snapshot: per-model counters, queue gauges
-    /// and latency histograms (labelled by model name) plus one derived
+    /// and latency histograms (subsystem `serve`, labelled by model
+    /// name), per-tenant job counters, budget spend and latency
+    /// (subsystem `fabric`, labelled by tenant name), plus one derived
     /// queue-depth gauge per registry shard (labelled `shard-NN`) — the
     /// load-balance view the work-stealing scan acts on. Render with
     /// [`pax_obs::Snapshot::to_table`] or
@@ -300,6 +394,11 @@ impl ServeEngine {
         let mut snap = pax_obs::Snapshot::default();
         for entry in self.shared.registry.entries() {
             for sample in entry.metrics.samples(&entry.name) {
+                snap.push(sample);
+            }
+        }
+        for tenant in self.shared.registry.tenant_entries() {
+            for sample in tenant.samples() {
                 snap.push(sample);
             }
         }
@@ -322,11 +421,18 @@ impl ServeEngine {
     fn teardown(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.signal.cond.notify_all();
+        // Workers drain every queue before exiting, so joined workers
+        // mean the sweeps below only catch entries that slipped in
+        // after the stop flag (the submit paths re-check and self-sweep
+        // for exactly that race).
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
         for entry in self.shared.registry.entries() {
-            entry.cancel_pending();
+            entry.cancel_pending(CancelReason::Shutdown);
+        }
+        for tenant in self.shared.registry.tenant_entries() {
+            tenant.cancel_pending(CancelReason::Shutdown);
         }
     }
 }
@@ -344,6 +450,109 @@ impl std::fmt::Debug for ServeEngine {
         f.debug_struct("ServeEngine")
             .field("workers", &self.workers.len())
             .field("models", &self.shared.registry.names())
+            .field("tenants", &self.shared.registry.tenant_names())
+            .finish()
+    }
+}
+
+/// One tenant's door into the engine's job lane. Cloneable, cheap, and
+/// an [`EvalFabric`] — hand `Arc::new(handle)` to
+/// `Evaluator::with_fabric` and the study's candidate evaluations run
+/// on the serve workers under this tenant's queue, budget and metrics.
+///
+/// The handle stays valid (but refuses submissions with typed errors)
+/// after its tenant is unregistered or the engine shuts down.
+#[derive(Clone)]
+pub struct TenantHandle {
+    entry: Arc<TenantEntry>,
+    shared: Arc<Shared>,
+}
+
+impl TenantHandle {
+    /// The tenant's registered name.
+    pub fn name(&self) -> &str {
+        &self.entry.name
+    }
+
+    /// Point-in-time metrics for this tenant.
+    pub fn snapshot(&self) -> TenantSnapshot {
+        self.entry.snapshot()
+    }
+
+    /// Submits one job, blocking on backpressure while the queue is
+    /// full, and returns a ticket that observes its lifecycle.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::Shutdown`] when the engine is tearing down,
+    /// [`FabricError::Cancelled`] when this tenant was unregistered,
+    /// [`FabricError::BudgetExhausted`] when the tenant's lifetime job
+    /// budget is spent.
+    pub fn submit_job(&self, job: crate::job::Job) -> Result<JobTicket, FabricError> {
+        let (mut queued, ticket) = QueuedJob::new(job);
+        loop {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                return Err(FabricError::Shutdown);
+            }
+            if self.unregistered() {
+                return Err(FabricError::Cancelled);
+            }
+            match self.entry.enqueue(queued) {
+                Ok(()) => break,
+                Err((job, EnqueueRefusal::Budget)) => {
+                    // Dropping the refused job resolves its ticket.
+                    drop(job);
+                    return Err(FabricError::BudgetExhausted {
+                        budget: self.entry.budget.unwrap_or(0),
+                    });
+                }
+                Err((job, EnqueueRefusal::Full)) => {
+                    // Backpressure: wait for the workers to drain a
+                    // slot, re-checking the stop flag each lap.
+                    queued = job;
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
+        // Same orphan re-check as request submission: if the tenant
+        // was unregistered (or the engine stopped) between the check
+        // and the enqueue, its cancel sweep may have already run —
+        // self-sweep so the job never sits in a queue nobody drains.
+        let stopped = self.shared.stop.load(Ordering::SeqCst);
+        if stopped || self.unregistered() {
+            self.entry.cancel_pending(if stopped {
+                CancelReason::Shutdown
+            } else {
+                CancelReason::Unregistered
+            });
+        }
+        self.shared.signal.cond.notify_one();
+        Ok(ticket)
+    }
+
+    /// Whether this handle's tenant is no longer the registered entry
+    /// under its name (unregistered, or replaced by a re-registration).
+    fn unregistered(&self) -> bool {
+        self.shared
+            .registry
+            .get_tenant(&self.entry.name)
+            .is_none_or(|current| !Arc::ptr_eq(&current, &self.entry))
+    }
+}
+
+impl EvalFabric for TenantHandle {
+    fn submit(&self, job: FabricJob) -> Result<(), FabricError> {
+        // Fire-and-forget for the evaluator: its jobs signal completion
+        // over their own channels, so the lifecycle ticket is dropped.
+        self.submit_job(job).map(|_ticket| ())
+    }
+}
+
+impl std::fmt::Debug for TenantHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantHandle")
+            .field("tenant", &self.entry.name)
+            .field("budget", &self.entry.budget)
             .finish()
     }
 }
@@ -374,12 +583,22 @@ fn validate_row(entry: &ModelEntry, row: &[i64]) -> Result<(), ServeError> {
 fn worker_loop(shared: &Shared, index: usize) {
     let home = index % SHARDS;
     loop {
-        if let Some(entry) = shared.registry.find_work(home) {
-            let batch = entry.take_batch();
-            if !batch.is_empty() {
-                execute(&entry, batch);
+        match shared.registry.find_work(home) {
+            Some(Work::Batch(entry)) => {
+                let batch = entry.take_batch();
+                if !batch.is_empty() {
+                    execute(&entry, batch);
+                }
+                continue;
             }
-            continue;
+            Some(Work::Jobs(tenant)) => {
+                let jobs = tenant.take_jobs(JOB_CHUNK);
+                if !jobs.is_empty() {
+                    tenant.run_jobs(jobs);
+                }
+                continue;
+            }
+            None => {}
         }
         if shared.stop.load(Ordering::SeqCst) {
             return;
@@ -410,12 +629,25 @@ fn execute(entry: &ModelEntry, batch: Vec<Request>) {
             // resolve every ticket.
             entry.metrics.on_batch_failed(batch.len(), &e.to_string());
             for request in &batch {
-                request.slot.fill(Outcome::Cancelled);
+                request.slot.fill(Outcome::Cancelled(CancelReason::Failed));
             }
             return;
         }
     };
-    debug_assert_eq!(predictions.len(), batch.len());
+    if predictions.len() != batch.len() {
+        // A backend answering the wrong number of predictions used to
+        // strand the zip-truncated tail of the batch: their slots were
+        // never filled and their tickets blocked forever. Treat it as a
+        // failed batch so every ticket resolves with a typed outcome.
+        debug_assert_eq!(predictions.len(), batch.len(), "backend must answer every request");
+        entry
+            .metrics
+            .on_batch_failed(batch.len(), "backend answered a different number of predictions");
+        for request in &batch {
+            request.slot.fill(Outcome::Cancelled(CancelReason::Failed));
+        }
+        return;
+    }
 
     let done = Instant::now();
     let latencies_ns: Vec<u64> = batch
@@ -605,6 +837,162 @@ mod tests {
         let expected: Vec<usize> = inputs.iter().map(|r| golden.model().predict_q(r)).collect();
         assert_eq!(got, expected);
         assert_eq!(engine.metrics("quant-primary").unwrap().divergence, 0.0);
+    }
+
+    #[test]
+    fn shutdown_with_queued_work_strands_no_ticket() {
+        // A submit storm racing shutdown: every ticket must resolve —
+        // answered, or cancelled with a typed reason — never hang.
+        let engine = ServeEngine::new(EngineConfig { workers: 2, ..Default::default() });
+        engine.register(demo_artifact("stormy")).unwrap();
+        let engine = Arc::new(engine);
+        let submitter = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut tickets = Vec::new();
+                loop {
+                    match engine.submit("stormy", vec![1, 2, 3]) {
+                        Ok(t) => tickets.push(t),
+                        Err(ServeError::QueueFull { .. }) => continue,
+                        Err(_) => break, // engine gone — stop submitting
+                    }
+                    if tickets.len() >= 2_000 {
+                        break;
+                    }
+                }
+                tickets
+            })
+        };
+        std::thread::sleep(Duration::from_millis(3));
+        Arc::try_unwrap(engine).map(ServeEngine::shutdown).ok();
+        let tickets = submitter.join().unwrap();
+        // Arc::try_unwrap fails while the submitter holds its clone; in
+        // that case the drop at the end of this scope tears down. Either
+        // way, every ticket must already resolve (or resolve below)
+        // without hanging the test.
+        for t in tickets {
+            match t.wait() {
+                Outcome::Class(_) | Outcome::Cancelled(CancelReason::Shutdown) => {}
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_jobs_run_on_the_shared_pool() {
+        use std::sync::atomic::AtomicUsize;
+
+        let engine = ServeEngine::new(EngineConfig { workers: 2, ..Default::default() });
+        let tenant = engine.register_tenant("study", crate::TenantOptions::default()).unwrap();
+        assert_eq!(engine.tenants(), vec!["study".to_owned()]);
+        assert!(
+            engine.register_tenant("study", crate::TenantOptions::default()).is_err(),
+            "duplicate tenant name rejected"
+        );
+
+        let ran = Arc::new(AtomicUsize::new(0));
+        let tickets: Vec<crate::JobTicket> = (0..64)
+            .map(|_| {
+                let ran = Arc::clone(&ran);
+                tenant
+                    .submit_job(Box::new(move || {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    }))
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            assert_eq!(t.wait(), crate::JobOutcome::Done);
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 64);
+        let snap = engine.tenant_metrics("study").unwrap();
+        assert_eq!(snap.completed, 64);
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.budget_spent, 64);
+    }
+
+    #[test]
+    fn tenant_budget_refuses_with_typed_error() {
+        use pax_core::explore::{EvalFabric, FabricError};
+
+        let engine = ServeEngine::new(EngineConfig { workers: 1, ..Default::default() });
+        let tenant = engine
+            .register_tenant(
+                "frugal",
+                crate::TenantOptions { budget: Some(3), ..Default::default() },
+            )
+            .unwrap();
+        for _ in 0..3 {
+            EvalFabric::submit(&tenant, Box::new(|| {})).unwrap();
+        }
+        assert_eq!(
+            EvalFabric::submit(&tenant, Box::new(|| {})),
+            Err(FabricError::BudgetExhausted { budget: 3 })
+        );
+        let snap = tenant.snapshot();
+        assert_eq!(snap.budget_spent, 3);
+        assert_eq!(snap.rejected, 1);
+    }
+
+    #[test]
+    fn unregister_while_inflight_cancels_queued_jobs_only() {
+        let engine = ServeEngine::new(EngineConfig { workers: 1, ..Default::default() });
+        let tenant = engine.register_tenant("doomed", crate::TenantOptions::default()).unwrap();
+        // Slow jobs so some are still queued at unregister time.
+        let tickets: Vec<crate::JobTicket> = (0..32)
+            .map(|_| {
+                tenant
+                    .submit_job(Box::new(|| std::thread::sleep(Duration::from_millis(2))))
+                    .unwrap()
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(engine.unregister_tenant("doomed"));
+        assert!(!engine.unregister_tenant("doomed"), "second unregister is a no-op");
+
+        let mut done = 0;
+        let mut cancelled = 0;
+        for t in tickets {
+            match t.wait() {
+                crate::JobOutcome::Done => done += 1,
+                crate::JobOutcome::Cancelled(CancelReason::Unregistered) => cancelled += 1,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(done + cancelled, 32, "every job resolves, none strand");
+        assert!(done >= 1, "in-flight work completes");
+        assert!(cancelled >= 1, "queued work cancels with the reason");
+
+        // The handle outlives the registration but refuses new work.
+        assert!(matches!(
+            tenant.submit_job(Box::new(|| {})),
+            Err(pax_core::explore::FabricError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn panicking_job_does_not_poison_the_pool() {
+        let engine = ServeEngine::new(EngineConfig { workers: 1, ..Default::default() });
+        engine.register(demo_artifact("resilient")).unwrap();
+        let tenant = engine.register_tenant("chaotic", crate::TenantOptions::default()).unwrap();
+        let bad = tenant.submit_job(Box::new(|| panic!("job bug"))).unwrap();
+        assert_eq!(bad.wait(), crate::JobOutcome::Panicked);
+        let good = tenant.submit_job(Box::new(|| {})).unwrap();
+        assert_eq!(good.wait(), crate::JobOutcome::Done);
+        // The same worker still answers classification traffic.
+        assert_eq!(engine.classify("resilient", &rows(8)).unwrap().len(), 8);
+        assert_eq!(engine.tenant_metrics("chaotic").unwrap().panicked, 1);
+    }
+
+    #[test]
+    fn shutdown_cancels_tenant_jobs_with_shutdown_reason() {
+        use pax_core::explore::{EvalFabric, FabricError};
+
+        let engine = ServeEngine::new(EngineConfig { workers: 1, ..Default::default() });
+        let tenant = engine.register_tenant("late", crate::TenantOptions::default()).unwrap();
+        engine.shutdown();
+        // Submitting into a stopped engine refuses, typed.
+        assert_eq!(EvalFabric::submit(&tenant, Box::new(|| {})), Err(FabricError::Shutdown));
     }
 
     #[test]

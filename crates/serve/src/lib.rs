@@ -30,6 +30,15 @@
 //!   divergence per model. [`ServeEngine::telemetry`] rolls everything
 //!   (plus per-shard queue-depth gauges) into a [`pax_obs::Snapshot`]
 //!   renderable as a table or Prometheus-style exposition.
+//! * **Evaluation fabric**: the same worker pool doubles as the
+//!   execution substrate for design-space search. A study registers as
+//!   a *tenant* ([`ServeEngine::register_tenant`]) with a bounded job
+//!   queue, optional job budget and its own metrics; the returned
+//!   [`TenantHandle`] implements `pax_core::explore::EvalFabric`, so a
+//!   `pax_core` evaluator in fabric mode ships candidate evaluations
+//!   ([`Job`]s) to the serve workers, where they share the pool with
+//!   live classification traffic — which keeps scan priority, since
+//!   requests are latency-bound and evaluations are throughput-bound.
 //!
 //! # Example
 //!
@@ -67,11 +76,15 @@
 mod backend;
 mod batch;
 mod engine;
+mod job;
 mod metrics;
 mod registry;
 
 pub use backend::{Backend, NetlistBackend, QuantBackend};
-pub use batch::{Outcome, Ticket, LANES};
-pub use engine::{EngineConfig, ModelOptions, RegisterError, ServeEngine, ServeError};
+pub use batch::{CancelReason, Outcome, Ticket, LANES};
+pub use engine::{
+    EngineConfig, ModelOptions, RegisterError, ServeEngine, ServeError, TenantHandle,
+};
+pub use job::{Job, JobOutcome, JobTicket, TenantOptions, TenantSnapshot};
 pub use metrics::{MetricsSnapshot, ModelMetrics};
 pub use registry::Primary;

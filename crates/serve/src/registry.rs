@@ -1,9 +1,12 @@
-//! Sharded model registry.
+//! Sharded model-and-tenant registry.
 //!
-//! Models are spread over a fixed set of shards by name hash, so
-//! registration, lookup and the workers' work-scans contend on a
-//! per-shard `RwLock` instead of one global table. Each registered
-//! model owns its bounded request queue, both backends and its metrics.
+//! Models and tenants are spread over a fixed set of shards by name
+//! hash, so registration, lookup and the workers' work-scans contend on
+//! a per-shard `RwLock` instead of one global table. Each registered
+//! model owns its bounded request queue, both backends and its metrics;
+//! each registered tenant (a design-space study riding the same worker
+//! pool) owns its bounded job queue, budget and metrics. The two live
+//! in separate namespaces — a model and a tenant may share a name.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
@@ -14,7 +17,8 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use crate::backend::{Backend, NetlistBackend, QuantBackend};
-use crate::batch::{Outcome, Request, LANES};
+use crate::batch::{CancelReason, Outcome, Request, LANES};
+use crate::job::TenantEntry;
 use crate::metrics::ModelMetrics;
 
 /// Number of registry shards. Workers use their index modulo this as a
@@ -134,9 +138,9 @@ impl ModelEntry {
         self.batch_seq.fetch_add(1, Ordering::Relaxed).is_multiple_of(self.audit_stride)
     }
 
-    /// Cancels every queued request (model unregistered / engine
-    /// shutting down).
-    pub(crate) fn cancel_pending(&self) {
+    /// Cancels every queued request with the given reason (model
+    /// unregistered / engine shutting down).
+    pub(crate) fn cancel_pending(&self, reason: CancelReason) {
         let drained: Vec<Request> = {
             let mut queue = self.queue.lock();
             queue.drain(..).collect()
@@ -146,23 +150,49 @@ impl ModelEntry {
         }
         self.metrics.on_cancel(drained.len());
         for req in drained {
-            req.slot.fill(Outcome::Cancelled);
+            req.slot.fill(Outcome::Cancelled(reason));
         }
     }
 }
 
-/// The sharded name → [`ModelEntry`] table.
+/// One unit of work a scan can hand a worker: a model with queued
+/// requests, or a tenant with queued jobs.
+pub(crate) enum Work {
+    /// Drain a request batch from this model.
+    Batch(Arc<ModelEntry>),
+    /// Drain a job chunk from this tenant.
+    Jobs(Arc<TenantEntry>),
+}
+
+impl std::fmt::Debug for Work {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Work::Batch(e) => write!(f, "Work::Batch({})", e.name),
+            Work::Jobs(t) => write!(f, "Work::Jobs({})", t.name),
+        }
+    }
+}
+
+/// One registry shard: the serving models and the evaluation tenants
+/// that hash here.
+#[derive(Default)]
+struct Shard {
+    models: HashMap<String, Arc<ModelEntry>>,
+    tenants: HashMap<String, Arc<TenantEntry>>,
+}
+
+/// The sharded name → entry table for models and tenants.
 pub(crate) struct Registry {
-    shards: Vec<RwLock<HashMap<String, Arc<ModelEntry>>>>,
+    shards: Vec<RwLock<Shard>>,
     /// Rotates the in-shard scan start of [`Registry::find_work`] so a
-    /// saturated model cannot starve its shard-mates.
+    /// saturated model (or tenant) cannot starve its shard-mates.
     scan_cursor: AtomicUsize,
 }
 
 impl Registry {
     pub(crate) fn new() -> Self {
         Self {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
             scan_cursor: AtomicUsize::new(0),
         }
     }
@@ -177,57 +207,126 @@ impl Registry {
     /// taken.
     pub(crate) fn insert(&self, entry: ModelEntry) -> bool {
         let mut shard = self.shards[Self::shard_of(&entry.name)].write();
-        if shard.contains_key(&entry.name) {
+        if shard.models.contains_key(&entry.name) {
             return false;
         }
-        shard.insert(entry.name.clone(), Arc::new(entry));
+        shard.models.insert(entry.name.clone(), Arc::new(entry));
         true
     }
 
     pub(crate) fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
-        self.shards[Self::shard_of(name)].read().get(name).cloned()
+        self.shards[Self::shard_of(name)].read().models.get(name).cloned()
     }
 
     pub(crate) fn remove(&self, name: &str) -> Option<Arc<ModelEntry>> {
-        self.shards[Self::shard_of(name)].write().remove(name)
+        self.shards[Self::shard_of(name)].write().models.remove(name)
     }
 
     /// Registered model names, in no particular order.
     pub(crate) fn names(&self) -> Vec<String> {
-        self.shards.iter().flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>()).collect()
-    }
-
-    /// Every registered entry (shutdown sweep).
-    pub(crate) fn entries(&self) -> Vec<Arc<ModelEntry>> {
-        self.shards.iter().flat_map(|s| s.read().values().cloned().collect::<Vec<_>>()).collect()
-    }
-
-    /// Queued-or-in-flight request totals per shard, indexed by shard —
-    /// the load-balance view the work-stealing scan acts on.
-    pub(crate) fn shard_queue_depths(&self) -> Vec<u64> {
         self.shards
             .iter()
-            .map(|s| s.read().values().map(|e| e.metrics.queue_depth()).sum())
+            .flat_map(|s| s.read().models.keys().cloned().collect::<Vec<_>>())
             .collect()
     }
 
-    /// Finds a model with queued work, scanning shards starting at the
-    /// caller's `home` shard — a worker drains its own shard's models
-    /// first and *steals* from the rest only when home is idle.
-    pub(crate) fn find_work(&self, home: usize) -> Option<Arc<ModelEntry>> {
+    /// Every registered model entry (shutdown sweep).
+    pub(crate) fn entries(&self) -> Vec<Arc<ModelEntry>> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.read().models.values().cloned().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Inserts a tenant, returning the shared entry — or `None`
+    /// (dropping it) if the name is taken.
+    pub(crate) fn insert_tenant(&self, entry: TenantEntry) -> Option<Arc<TenantEntry>> {
+        let mut shard = self.shards[Self::shard_of(&entry.name)].write();
+        if shard.tenants.contains_key(&entry.name) {
+            return None;
+        }
+        let entry = Arc::new(entry);
+        shard.tenants.insert(entry.name.clone(), Arc::clone(&entry));
+        Some(entry)
+    }
+
+    pub(crate) fn get_tenant(&self, name: &str) -> Option<Arc<TenantEntry>> {
+        self.shards[Self::shard_of(name)].read().tenants.get(name).cloned()
+    }
+
+    pub(crate) fn remove_tenant(&self, name: &str) -> Option<Arc<TenantEntry>> {
+        self.shards[Self::shard_of(name)].write().tenants.remove(name)
+    }
+
+    /// Registered tenant names, in no particular order.
+    pub(crate) fn tenant_names(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.read().tenants.keys().cloned().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Every registered tenant entry (telemetry / shutdown sweep).
+    pub(crate) fn tenant_entries(&self) -> Vec<Arc<TenantEntry>> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.read().tenants.values().cloned().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Queued-or-in-flight totals per shard (requests plus jobs),
+    /// indexed by shard — the load-balance view the work-stealing scan
+    /// acts on.
+    pub(crate) fn shard_queue_depths(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.read();
+                let models: u64 = shard.models.values().map(|e| e.metrics.queue_depth()).sum();
+                let tenants: u64 = shard.tenants.values().map(|e| e.metrics.queue_depth()).sum();
+                models + tenants
+            })
+            .collect()
+    }
+
+    /// Finds queued work, scanning shards starting at the caller's
+    /// `home` shard — a worker drains its own shard first and *steals*
+    /// from the rest only when home is idle.
+    ///
+    /// Models are scanned across *all* shards before any tenant is
+    /// considered: classification requests are latency-sensitive (a
+    /// caller blocks on each ticket) while evaluation jobs are
+    /// throughput work whose submitter waits on whole batches, so
+    /// inference traffic always preempts study backlog at the scan. A
+    /// busy fabric still makes progress whenever any worker finds the
+    /// model queues empty — and under pure study load all workers drain
+    /// tenants.
+    pub(crate) fn find_work(&self, home: usize) -> Option<Work> {
         let tick = self.scan_cursor.fetch_add(1, Ordering::Relaxed);
         for step in 0..SHARDS {
             let shard = self.shards[(home + step) % SHARDS].read();
-            let n = shard.len();
+            let n = shard.models.len();
             if n == 0 {
                 continue;
             }
             // Start each scan at a rotating offset: under sustained load
             // every model with work gets picked up, not just whichever
             // happens to iterate first.
-            for entry in shard.values().cycle().skip(tick % n).take(n) {
+            for entry in shard.models.values().cycle().skip(tick % n).take(n) {
                 if entry.has_work() {
-                    return Some(Arc::clone(entry));
+                    return Some(Work::Batch(Arc::clone(entry)));
+                }
+            }
+        }
+        for step in 0..SHARDS {
+            let shard = self.shards[(home + step) % SHARDS].read();
+            let n = shard.tenants.len();
+            if n == 0 {
+                continue;
+            }
+            for entry in shard.tenants.values().cycle().skip(tick % n).take(n) {
+                if entry.has_work() {
+                    return Some(Work::Jobs(Arc::clone(entry)));
                 }
             }
         }
@@ -287,8 +386,8 @@ mod tests {
         let e = entry("cancel", 8);
         let (req, ticket) = Request::new(vec![0, 0]);
         assert!(e.enqueue(req));
-        e.cancel_pending();
-        assert_eq!(ticket.wait(), Outcome::Cancelled);
+        e.cancel_pending(CancelReason::Unregistered);
+        assert_eq!(ticket.wait(), Outcome::Cancelled(CancelReason::Unregistered));
         assert_eq!(e.metrics.snapshot().queue_depth, 0);
     }
 
@@ -318,10 +417,50 @@ mod tests {
         assert!(target.enqueue(req));
         // Any home shard finds the one model with work — stealing.
         for home in 0..SHARDS {
-            assert_eq!(reg.find_work(home).unwrap().name, "m19");
+            match reg.find_work(home) {
+                Some(Work::Batch(e)) => assert_eq!(e.name, "m19"),
+                other => panic!("expected model work from home {home}, got {other:?}"),
+            }
         }
         assert!(reg.remove("m19").is_some());
         assert!(reg.get("m19").is_none());
+    }
+
+    #[test]
+    fn tenant_roundtrip_and_model_priority() {
+        use crate::job::{QueuedJob, TenantOptions};
+
+        let reg = Registry::new();
+        assert!(reg.insert_tenant(TenantEntry::new("study".into(), Default::default())).is_some());
+        assert!(
+            reg.insert_tenant(TenantEntry::new("study".into(), TenantOptions::default())).is_none(),
+            "duplicate tenant name rejected"
+        );
+        assert_eq!(reg.tenant_names(), vec!["study".to_owned()]);
+        assert!(reg.find_work(0).is_none(), "no queued work yet");
+
+        let tenant = reg.get_tenant("study").unwrap();
+        let (job, _ticket) = QueuedJob::new(Box::new(|| {}));
+        tenant.enqueue(job).unwrap();
+        assert!(
+            matches!(reg.find_work(0), Some(Work::Jobs(t)) if t.name == "study"),
+            "tenant work is found when no model has requests"
+        );
+
+        // A model with queued requests preempts the tenant backlog.
+        assert!(reg.insert(entry("live", 8)));
+        let model = reg.get("live").unwrap();
+        let (req, _t) = Request::new(vec![0, 0]);
+        assert!(model.enqueue(req));
+        for home in 0..SHARDS {
+            assert!(
+                matches!(reg.find_work(home), Some(Work::Batch(_))),
+                "model requests outrank tenant jobs at the scan (home {home})"
+            );
+        }
+
+        assert!(reg.remove_tenant("study").is_some());
+        assert!(reg.get_tenant("study").is_none());
     }
 
     #[test]

@@ -75,7 +75,7 @@ proptest! {
         let circuit = BespokeCircuit::generate(&model);
         let netlist = NetlistBackend::new(circuit.netlist, model.clone());
         let quant = QuantBackend::new(model);
-        prop_assert_eq!(netlist.classify(&rows), quant.classify(&rows));
+        prop_assert_eq!(netlist.try_classify(&rows).unwrap(), quant.try_classify(&rows).unwrap());
     }
 
     /// MLP classifiers (two hardwired layers + ReLU): same equivalence.
@@ -90,7 +90,7 @@ proptest! {
         let circuit = BespokeCircuit::generate(&model);
         let netlist = NetlistBackend::new(circuit.netlist, model.clone());
         let quant = QuantBackend::new(model);
-        prop_assert_eq!(netlist.classify(&rows), quant.classify(&rows));
+        prop_assert_eq!(netlist.try_classify(&rows).unwrap(), quant.try_classify(&rows).unwrap());
     }
 
     /// Equivalence survives the exact logic optimizer — the netlist that
@@ -107,6 +107,6 @@ proptest! {
         let optimized = opt::optimize(&circuit.netlist);
         let netlist = NetlistBackend::new(optimized, model.clone());
         let quant = QuantBackend::new(model);
-        prop_assert_eq!(netlist.classify(&rows), quant.classify(&rows));
+        prop_assert_eq!(netlist.try_classify(&rows).unwrap(), quant.try_classify(&rows).unwrap());
     }
 }

@@ -134,6 +134,21 @@ fn strategies_share_one_engines_cache() {
     assert!(evo_outcome.stats.cache_hits > 0, "shared engine must serve repeat designs from cache");
     assert!(engine.cache().len() >= before);
 
+    // The cache's own ledger reconciles exactly with the per-run search
+    // stats: every fresh evaluation is stored once, and every repeat —
+    // whether a duplicate within one batch or a revisit across runs —
+    // is counted as exactly one hit.
+    assert_eq!(
+        engine.cache().len(),
+        grid.stats.evaluated + evo_outcome.stats.evaluated,
+        "cache entries == total fresh evaluations"
+    );
+    assert_eq!(
+        engine.cache().hits(),
+        grid.stats.cache_hits + evo_outcome.stats.cache_hits,
+        "cache hit counter == summed per-run hits"
+    );
+
     // Both archives agree with the batch front over their own points.
     for outcome in [&grid, &evo_outcome] {
         let pts: Vec<DesignPoint> = outcome.points.iter().map(|(_, p)| p.clone()).collect();
@@ -163,6 +178,17 @@ fn evolutionary_studies_reproduce_for_a_fixed_seed() {
     assert_eq!(a.prune_only, b.prune_only);
     assert_eq!(a.cross, b.cross);
     assert_eq!(a.pareto_front(), b.pareto_front());
+    // Cache accounting is part of the reproducibility contract: the
+    // same seed must walk the same hit/miss sequence, not just land on
+    // the same front.
+    let ledger = |s: &pax_core::framework::CircuitStudy| -> Vec<(String, usize, usize, usize)> {
+        s.stats
+            .search
+            .iter()
+            .map(|st| (st.strategy.clone(), st.asked, st.evaluated, st.cache_hits))
+            .collect()
+    };
+    assert_eq!(ledger(&a), ledger(&b), "repeated runs must replay identical cache ledgers");
     // Different seeds explore different genome streams (they may still
     // converge to the same front, but the visited τc genes differ).
     // `PAX_SEARCH_SEED` overrides every configured seed, so the

@@ -1,0 +1,224 @@
+//! The unified evaluation fabric, end to end: one [`ServeEngine`]
+//! worker pool simultaneously answers live classification traffic and
+//! executes two concurrent journalled design-space studies, each
+//! registered as its own tenant.
+//!
+//! Asserted here:
+//!
+//! * both studies complete with non-empty Pareto fronts while classify
+//!   requests stream through the same pool;
+//! * per-tenant accounting reconciles exactly — `submitted` ==
+//!   `completed` == the study's fresh-evaluation count, and the
+//!   budgeted tenant's `budget_spent` matches what its study consumed;
+//! * each study's journal replays cleanly (every line parses, labels
+//!   match the tenant, generation counts match the search stats);
+//! * engine telemetry carries both `serve` (model) and `fabric`
+//!   (tenant) samples in one snapshot.
+
+use std::sync::Arc;
+
+use pax_bespoke::BespokeCircuit;
+use pax_core::artifact::Artifact;
+use pax_core::explore::{CoeffGene, Engine, EvalContext, Evaluator, Nsga2, Nsga2Config};
+use pax_core::framework::{Framework, FrameworkConfig};
+use pax_core::prune::{analyze, PruneAnalysis};
+use pax_core::{DesignPoint, Technique};
+use pax_ml::quant::{QuantSpec, QuantizedModel};
+use pax_ml::synth_data::blobs;
+use pax_ml::Dataset;
+use pax_obs::{JournalEvent, StudyJournal};
+use pax_serve::{EngineConfig, ServeEngine, TenantOptions, TenantSnapshot};
+
+struct Fixture {
+    circuit: BespokeCircuit,
+    analysis: PruneAnalysis,
+    test: Dataset,
+}
+
+fn fixture(name: &str, seed: u64) -> Fixture {
+    let data = blobs(name, 240, 3, 3, 0.09, seed);
+    let (train, test) = data.split(0.7, 1);
+    let (train, test) = pax_ml::normalize(&train, &test);
+    let m = pax_ml::train::svm::train_svm_classifier(
+        &train,
+        &pax_ml::train::svm::SvmParams { epochs: 50, ..Default::default() },
+        3,
+    );
+    let q = QuantizedModel::from_linear_classifier(name, &m, QuantSpec::default());
+    let c = BespokeCircuit::generate(&q);
+    let circuit = c.with_netlist(pax_synth::opt::optimize(&c.netlist));
+    let analysis = analyze(&circuit.netlist, &circuit.model, &train);
+    Fixture { circuit, analysis, test }
+}
+
+fn contexts(f: &Fixture) -> Vec<EvalContext<'_>> {
+    vec![EvalContext {
+        coeff: CoeffGene::exact(),
+        netlist: &f.circuit.netlist,
+        model: &f.circuit.model,
+        analysis: f.analysis.clone(),
+    }]
+}
+
+/// A servable exact artifact over the fixture's circuit — the live
+/// classification workload the studies share the pool with.
+fn exact_artifact(f: &Fixture) -> Artifact {
+    Artifact {
+        model: f.circuit.model.clone(),
+        netlist: f.circuit.netlist.clone(),
+        point: DesignPoint {
+            technique: Technique::Exact,
+            tau_c: None,
+            phi_c: None,
+            coeff: None,
+            accuracy: 0.0,
+            area_mm2: 0.0,
+            power_mw: 0.0,
+            gate_count: f.circuit.netlist.gate_count(),
+            critical_ms: 0.0,
+        },
+    }
+}
+
+/// `completed` ticks after a job's closure returns, which can trail the
+/// study observing its result — poll until the tenant's ledger settles.
+fn settled_tenant(engine: &ServeEngine, name: &str) -> TenantSnapshot {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let snap = engine.tenant_metrics(name).expect("tenant registered");
+        if snap.completed == snap.submitted || std::time::Instant::now() >= deadline {
+            return snap;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+/// Parses every journal line, asserting the label matches `study`.
+fn replay_journal(path: &std::path::Path, study: &str) -> Vec<JournalEvent> {
+    let text = std::fs::read_to_string(path).expect("journal file exists");
+    text.lines()
+        .map(|line| {
+            let event = JournalEvent::parse(line)
+                .unwrap_or_else(|e| panic!("{study}: malformed journal line {line:?}: {e}"));
+            assert_eq!(event.study, study, "journal lines must carry their study's label");
+            event
+        })
+        .collect()
+}
+
+#[test]
+fn two_journalled_studies_share_the_pool_with_live_traffic() {
+    let fa = fixture("fab-live", 21);
+    let fb = fixture("fab-study-b", 22);
+    let fw = Framework::new(FrameworkConfig::default());
+    let tech = fw.config().tech.clone();
+
+    // One engine: a registered model for live traffic plus two study
+    // tenants, the second under an evaluation budget.
+    let engine = ServeEngine::new(EngineConfig { workers: 4, ..Default::default() });
+    engine.register(exact_artifact(&fa)).unwrap();
+    let tenant_a = engine.register_tenant("study-a", TenantOptions::default()).unwrap();
+    let tenant_b = engine
+        .register_tenant("study-b", TenantOptions { budget: Some(64), ..Default::default() })
+        .unwrap();
+
+    let dir = std::env::temp_dir().join("pax-fabric-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path_a = dir.join("study-a.jsonl");
+    let path_b = dir.join("study-b.jsonl");
+    let journal_a = Arc::new(StudyJournal::create(&path_a).unwrap());
+    let journal_b = Arc::new(StudyJournal::create(&path_b).unwrap());
+
+    let eval_a = Evaluator::new(fw.library(), &tech, &fa.test, contexts(&fa))
+        .with_fabric(Arc::new(tenant_a));
+    let eval_b = Evaluator::new(fw.library(), &tech, &fb.test, contexts(&fb))
+        .with_fabric(Arc::new(tenant_b));
+
+    let rows: Vec<Vec<i64>> =
+        fa.test.features.iter().take(48).map(|x| fa.circuit.model.quantize_input(x)).collect();
+
+    let (outcome_a, outcome_b, live_answers) = std::thread::scope(|s| {
+        let handle_a = s.spawn(|| {
+            let mut search = Engine::new(&eval_a, &fw.config().prune);
+            search.set_journal(Arc::clone(&journal_a));
+            search.set_journal_label("study-a");
+            search.run(&mut Nsga2::new(Nsga2Config {
+                population: 8,
+                generations: 3,
+                max_evals: 24,
+                seed: 11,
+                ..Default::default()
+            }))
+        });
+        let handle_b = s.spawn(|| {
+            let mut search = Engine::new(&eval_b, &fw.config().prune);
+            search.set_journal(Arc::clone(&journal_b));
+            search.set_journal_label("study-b");
+            search.run(&mut Nsga2::new(Nsga2Config {
+                population: 8,
+                generations: 3,
+                max_evals: 24,
+                seed: 13,
+                ..Default::default()
+            }))
+        });
+        // Live classification traffic from this thread while both
+        // studies chew through the same worker pool.
+        let mut live_answers = 0u64;
+        for _ in 0..12 {
+            let predictions = engine.classify("fab-live", &rows).expect("live traffic serves");
+            assert_eq!(predictions.len(), rows.len());
+            live_answers += predictions.len() as u64;
+        }
+        (
+            handle_a.join().expect("study a thread").expect("study a runs"),
+            handle_b.join().expect("study b thread").expect("study b runs"),
+            live_answers,
+        )
+    });
+
+    // Both studies produced real fronts; the live workload was served.
+    assert!(!outcome_a.archive.is_empty(), "study a found a front");
+    assert!(!outcome_b.archive.is_empty(), "study b found a front");
+    assert_eq!(live_answers, 12 * rows.len() as u64);
+
+    // Tenant ledgers reconcile with the searches' own counters: every
+    // fresh evaluation was one fabric job, and nothing was lost,
+    // cancelled or double-charged.
+    let snap_a = settled_tenant(&engine, "study-a");
+    let snap_b = settled_tenant(&engine, "study-b");
+    assert_eq!(snap_a.submitted, outcome_a.stats.evaluated as u64, "study a jobs == fresh evals");
+    assert_eq!(snap_a.completed, snap_a.submitted, "study a completed everything");
+    assert_eq!(snap_a.cancelled, 0);
+    assert_eq!(snap_a.panicked, 0);
+    assert_eq!(snap_b.submitted, outcome_b.stats.evaluated as u64, "study b jobs == fresh evals");
+    assert_eq!(snap_b.completed, snap_b.submitted, "study b completed everything");
+    assert_eq!(snap_b.budget, Some(64));
+    assert_eq!(snap_b.budget_spent, snap_b.submitted, "budget charges once per accepted job");
+    assert!(snap_b.budget_spent <= 64);
+
+    // Both journals replay cleanly and agree with the search stats.
+    let events_a = replay_journal(&path_a, "study-a");
+    let events_b = replay_journal(&path_b, "study-b");
+    assert_eq!(events_a.len(), outcome_a.stats.generations, "one journal line per generation");
+    assert_eq!(events_b.len(), outcome_b.stats.generations, "one journal line per generation");
+    assert_eq!(events_a.iter().map(|e| e.fresh).sum::<u64>(), snap_a.submitted);
+    assert_eq!(events_b.iter().map(|e| e.fresh).sum::<u64>(), snap_b.submitted);
+
+    // One telemetry snapshot covers both halves of the unified pool.
+    let telemetry = engine.telemetry();
+    assert!(
+        telemetry.samples.iter().any(|s| s.subsystem == "serve" && s.label == "fab-live"),
+        "model metrics present"
+    );
+    for tenant in ["study-a", "study-b"] {
+        assert!(
+            telemetry.samples.iter().any(|s| s.subsystem == "fabric" && s.label == tenant),
+            "tenant metrics present for {tenant}"
+        );
+    }
+
+    engine.shutdown();
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+}

@@ -108,8 +108,8 @@ fn auditor_divergence_matches_offline_gap_on_pruned_design() {
         use pax_serve::{Backend, NetlistBackend, QuantBackend};
         let nb = NetlistBackend::new(art.netlist.clone(), art.model.clone());
         let qb = QuantBackend::new(art.model.clone());
-        let a = nb.classify(&rows);
-        let b = qb.classify(&rows);
+        let a = nb.try_classify(&rows).expect("exact batch must classify");
+        let b = qb.try_classify(&rows).expect("exact batch must classify");
         a.iter().zip(&b).filter(|(x, y)| x != y).count() as f64 / rows.len() as f64
     };
 
