@@ -10,6 +10,7 @@
 //! paper proxy                  # §III-B   (area-proxy correlation)
 //! paper explore                # grid vs NSGA-II search (BENCH_explore.json)
 //! paper prune_eval             # rebuild vs overlay evaluation (BENCH_prune_eval.json)
+//! paper delta_eval             # delta sessions vs fresh-fold overlay (BENCH_delta_eval.json)
 //! paper coeff_eval             # stacked coeff+prune overlay vs rebuild (BENCH_coeff_eval.json)
 //! paper fabric_eval            # in-process vs serve-fabric evaluation (BENCH_fabric_eval.json)
 //! paper obs                    # journalled NSGA-II study + journal verification
@@ -40,7 +41,7 @@ struct Options {
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: paper <table1|table2|table3|fig1|fig2|fig3|proxy|quant|explore|prune_eval|coeff_eval|fabric_eval|obs|all> [--out DIR] [--quick] [--circuit STR]");
+        eprintln!("usage: paper <table1|table2|table3|fig1|fig2|fig3|proxy|quant|explore|prune_eval|delta_eval|coeff_eval|fabric_eval|obs|all> [--out DIR] [--quick] [--circuit STR]");
         std::process::exit(2);
     };
     let mut opts = Options { out: None, quick: false, circuit: None };
@@ -73,6 +74,7 @@ fn main() {
         "quant" => run_quant(&opts),
         "explore" => run_explore(&opts),
         "prune_eval" => run_prune_eval(&opts),
+        "delta_eval" => run_delta_eval(&opts),
         "coeff_eval" => run_coeff_eval(&opts),
         "fabric_eval" => run_fabric_eval(&opts),
         "obs" => run_obs(&opts),
@@ -83,6 +85,7 @@ fn main() {
             run_quant(&opts);
             run_explore(&opts);
             run_prune_eval(&opts);
+            run_delta_eval(&opts);
             run_coeff_eval(&opts);
             run_fabric_eval(&opts);
             run_table1(&opts);
@@ -220,6 +223,15 @@ fn run_prune_eval(opts: &Options) {
     println!("{}", pax_bench::prune_eval::render(&rows));
     let json = pax_bench::prune_eval::to_json(&rows, &cfg, seed);
     write_artifact(opts, "prune_eval.json", &json);
+}
+
+fn run_delta_eval(opts: &Options) {
+    let cfg = synth_config(opts);
+    let rows = pax_bench::delta_eval::run(&cfg);
+    println!("# Candidate evaluation — delta sessions vs fresh-fold overlay at steady state\n");
+    println!("{}", pax_bench::delta_eval::render(&rows));
+    let json = pax_bench::delta_eval::to_json(&rows, &cfg);
+    write_artifact(opts, "delta_eval.json", &json);
 }
 
 fn run_coeff_eval(opts: &Options) {

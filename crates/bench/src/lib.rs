@@ -20,6 +20,9 @@
 //!   of the `pax_obs` search journal and evaluation-phase spans;
 //! * [`prune_eval`] — rebuild-pipeline versus overlay candidate
 //!   evaluation throughput (the `BENCH_prune_eval.json` study);
+//! * [`delta_eval`] — delta-overlay sessions versus the fresh-fold
+//!   overlay baseline at steady state (the `BENCH_delta_eval.json`
+//!   study);
 //! * [`coeff_eval`] — stacked coefficient+pruning overlay versus the
 //!   rebuild oracle on the joint graded-gene grid (the
 //!   `BENCH_coeff_eval.json` study);
@@ -39,6 +42,7 @@
 
 pub mod catalog;
 pub mod coeff_eval;
+pub mod delta_eval;
 pub mod explore;
 pub mod fabric_eval;
 pub mod fig1;

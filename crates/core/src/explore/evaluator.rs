@@ -25,7 +25,10 @@ use super::{Candidate, CoeffGene, ContextSpace, SearchSpace, MAX_COEFF_LAYERS};
 use crate::coeff_approx::{approximate_model_layers, CoeffApproxConfig};
 use crate::error::StudyError;
 use crate::mult_cache::MultCache;
-use crate::prune::{phase, OverlayContext, PruneAnalysis, PruneConfig, PruneEval, EVAL_PHASES};
+use crate::prune::{
+    phase, DeltaFoldStats, DeltaSession, OverlayContext, PruneAnalysis, PruneConfig, PruneEval,
+    EVAL_PHASES,
+};
 use crate::{DesignPoint, Technique};
 
 /// How the evaluator measures a candidate.
@@ -230,6 +233,10 @@ pub struct Evaluator<'a> {
     /// context, then shared by every job through the `Arc`.
     fabric_contexts: Vec<OnceLock<Result<Arc<FabricContext>, StudyError>>>,
     mode: EvalMode,
+    /// Whether overlay-mode workers evaluate through rolling
+    /// [`DeltaSession`]s over lattice-ordered work (the default) or
+    /// fold every candidate from scratch ([`Evaluator::with_delta`]).
+    delta: bool,
     threads: usize,
     /// Evaluator-side phase accounting (the `resolve` slot; the
     /// per-candidate measurement phases accumulate inside each
@@ -267,6 +274,7 @@ impl<'a> Evaluator<'a> {
             fabric: None,
             fabric_contexts,
             mode: EvalMode::default(),
+            delta: true,
             threads,
             phases: Phases::new(EVAL_PHASES),
         }
@@ -439,9 +447,52 @@ impl<'a> Evaluator<'a> {
         self
     }
 
+    /// Pins the worker-pool width (defaults to the machine's available
+    /// parallelism, capped at 16). Benchmarks pin this so delta and
+    /// baseline paths are compared at one thread count; zero is
+    /// clamped to one.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables delta evaluation in overlay mode (on by
+    /// default). With delta on, fresh work is sorted along the gate-set
+    /// lattice and each worker evaluates through a rolling
+    /// [`DeltaSession`], so consecutive candidates reuse the previous
+    /// fold and simulation instead of starting over. With delta off,
+    /// every candidate folds and simulates from scratch — the PR 9
+    /// baseline, kept as the benchmark reference and differential
+    /// oracle. Results are bit-identical either way.
+    #[must_use]
+    pub fn with_delta(mut self, delta: bool) -> Self {
+        self.delta = delta;
+        self
+    }
+
     /// The active evaluation mode.
     pub fn mode(&self) -> EvalMode {
         self.mode
+    }
+
+    /// Cumulative delta/full fold counters summed over every built
+    /// overlay (fabric contexts included). The split depends on how
+    /// workers chunked the batch, so it is telemetry — never part of
+    /// determinism comparisons.
+    pub fn delta_stats(&self) -> DeltaFoldStats {
+        let mut stats = DeltaFoldStats::default();
+        for overlay in &self.overlays {
+            if let Some(Ok(ctx)) = overlay.get() {
+                stats.merge(&ctx.delta_stats());
+            }
+        }
+        for fabric_ctx in &self.fabric_contexts {
+            if let Some(Ok(ctx)) = fabric_ctx.get() {
+                stats.merge(&ctx.overlay.delta_stats());
+            }
+        }
+        stats
     }
 
     /// The searchable space: τc bounds from the pruning configuration
@@ -592,7 +643,14 @@ impl<'a> Evaluator<'a> {
 
     /// Runs the fresh evaluations over a work-stealing worker pool
     /// (set sizes — and thus re-synthesis costs — vary wildly, so
-    /// static chunking would leave threads idle).
+    /// static chunking would leave threads idle). In overlay mode with
+    /// delta evaluation on, the work is first sorted along the gate-set
+    /// lattice — by context, then lexicographically by sorted gate set:
+    /// the order a DFS of the set prefix trie visits, so adjacent items
+    /// share long substitution prefixes — and stolen in small
+    /// contiguous chunks that each worker's rolling [`DeltaSession`]
+    /// evaluates in sequence. Results are keyed, so the reordering
+    /// cannot change the assembled batch.
     fn run_parallel(
         &self,
         fresh: &[(u64, usize, Vec<NetId>)],
@@ -603,42 +661,72 @@ impl<'a> Evaluator<'a> {
         if self.mode == EvalMode::Fabric {
             return self.run_fabric(fresh);
         }
+        let use_delta = self.delta && self.mode == EvalMode::Overlay;
+        let mut order: Vec<usize> = (0..fresh.len()).collect();
+        let chunk = if use_delta {
+            order.sort_unstable_by(|&x, &y| {
+                (fresh[x].1, &fresh[x].2).cmp(&(fresh[y].1, &fresh[y].2))
+            });
+            // Contiguous chunks big enough that a session amortizes
+            // across lattice neighbours, small enough that the pool
+            // stays balanced on modest batches.
+            (fresh.len() / (self.threads * 4)).clamp(1, 32)
+        } else {
+            1
+        };
+        let n_chunks = order.len().div_ceil(chunk);
         let next = std::sync::atomic::AtomicUsize::new(0);
         // First error aborts the whole batch: without the shared flag,
         // the other workers would drain every remaining (expensive)
         // evaluation before the error could propagate.
         let abort = std::sync::atomic::AtomicBool::new(false);
-        let threads = self.threads.min(fresh.len());
+        let threads = self.threads.min(n_chunks);
         let (tx, rx) = std::sync::mpsc::channel::<Result<(u64, PruneEval), StudyError>>();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 let next = &next;
                 let abort = &abort;
+                let order = &order;
                 let tx = tx.clone();
-                s.spawn(move || loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= fresh.len() || abort.load(std::sync::atomic::Ordering::Relaxed) {
-                        break;
-                    }
-                    let (key, ctx_idx, set) = &fresh[i];
-                    let (netlist, model, analysis) = self.parts(*ctx_idx);
-                    let r = match self.mode {
-                        EvalMode::Overlay => match self.overlay(*ctx_idx) {
-                            Ok(overlay) => overlay.evaluate(analysis, set),
-                            Err(e) => Err(e.clone()),
-                        },
-                        EvalMode::Rebuild => crate::prune::try_evaluate_set_rebuild(
-                            netlist, model, self.test, self.lib, self.tech, analysis, set,
-                        ),
-                        EvalMode::Fabric => unreachable!("fabric batches run in run_fabric"),
-                    };
-                    let stop = r.is_err();
-                    if stop {
-                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
-                    }
-                    tx.send(r.map(|e| (*key, e))).expect("receiver outlives workers");
-                    if stop {
-                        break;
+                s.spawn(move || {
+                    // context → rolling session, most recent first.
+                    let mut sessions: Vec<(usize, DeltaSession)> = Vec::new();
+                    'steal: loop {
+                        let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if c >= n_chunks || abort.load(std::sync::atomic::Ordering::Relaxed) {
+                            break;
+                        }
+                        for &i in &order[c * chunk..((c + 1) * chunk).min(order.len())] {
+                            if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                                break 'steal;
+                            }
+                            let (key, ctx_idx, set) = &fresh[i];
+                            let (netlist, model, analysis) = self.parts(*ctx_idx);
+                            let r = match self.mode {
+                                EvalMode::Overlay => match self.overlay(*ctx_idx) {
+                                    Ok(overlay) if use_delta => {
+                                        let session = session_for(&mut sessions, *ctx_idx, overlay);
+                                        overlay.evaluate_with_session(analysis, set, session)
+                                    }
+                                    Ok(overlay) => overlay.evaluate(analysis, set),
+                                    Err(e) => Err(e.clone()),
+                                },
+                                EvalMode::Rebuild => crate::prune::try_evaluate_set_rebuild(
+                                    netlist, model, self.test, self.lib, self.tech, analysis, set,
+                                ),
+                                EvalMode::Fabric => {
+                                    unreachable!("fabric batches run in run_fabric")
+                                }
+                            };
+                            let stop = r.is_err();
+                            if stop {
+                                abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            tx.send(r.map(|e| (*key, e))).expect("receiver outlives workers");
+                            if stop {
+                                break 'steal;
+                            }
+                        }
                     }
                 });
             }
@@ -710,6 +798,26 @@ struct FabricContext {
 
 /// One resolved genome: `(context index, sorted pruned-gate set)`.
 type ResolvedSet = (usize, Vec<NetId>);
+
+/// The worker's rolling session for `ctx_idx`, moved to the front of a
+/// two-slot LRU — created fresh from `overlay` on a miss, evicting the
+/// colder slot. Two slots suffice: the lattice sort keeps each chunk
+/// within one context, so a worker interleaves at most the chunk
+/// boundary's pair.
+fn session_for<'s>(
+    sessions: &'s mut Vec<(usize, DeltaSession)>,
+    ctx_idx: usize,
+    overlay: &OverlayContext<'_>,
+) -> &'s mut DeltaSession {
+    if let Some(p) = sessions.iter().position(|(c, _)| *c == ctx_idx) {
+        let hot = sessions.remove(p);
+        sessions.insert(0, hot);
+    } else {
+        sessions.insert(0, (ctx_idx, overlay.delta_session()));
+        sessions.truncate(2);
+    }
+    &mut sessions[0].1
+}
 
 /// Cache key: the gate-set content hash salted with the context index.
 fn context_set_hash(ctx: usize, set: &[NetId]) -> u64 {

@@ -84,7 +84,7 @@ use std::time::Instant;
 use pax_obs::{AxisExtreme, JournalEvent, PhasesSnapshot, StudyJournal};
 
 use crate::error::StudyError;
-use crate::prune::PruneConfig;
+use crate::prune::{DeltaFoldStats, PruneConfig};
 use crate::DesignPoint;
 
 /// Maximum number of weighted-sum layers the coefficient gene grades
@@ -388,6 +388,12 @@ pub struct SearchTelemetry {
     pub phases: PhasesSnapshot,
     /// Wall time of the whole ask→evaluate→tell loop, milliseconds.
     pub wall_ms: f64,
+    /// Delta-evaluation counters for this run (again a delta over the
+    /// evaluator's lifetime totals). Excluded from equality alongside
+    /// the nanosecond totals: the delta/full split depends on how the
+    /// worker pool chunked each batch, not on the candidate stream, so
+    /// it may legitimately vary between identical seeded runs.
+    pub delta: DeltaFoldStats,
 }
 
 impl PartialEq for SearchTelemetry {
@@ -508,6 +514,7 @@ impl<'a, 'b> Engine<'a, 'b> {
         };
         let run_start = Instant::now();
         let telemetry_start = self.evaluator.telemetry();
+        let delta_start = self.evaluator.delta_stats();
         let mut points = Vec::new();
         let mut archive = ParetoArchive::with_objectives(self.objectives.clone());
         let mut stats = SearchStats {
@@ -578,6 +585,7 @@ impl<'a, 'b> Engine<'a, 'b> {
         stats.telemetry = SearchTelemetry {
             phases: self.evaluator.telemetry().since(&telemetry_start),
             wall_ms: run_start.elapsed().as_secs_f64() * 1e3,
+            delta: self.evaluator.delta_stats().since(&delta_start),
         };
         Ok(SearchOutcome { points, archive, stats })
     }

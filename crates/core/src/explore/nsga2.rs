@@ -106,6 +106,9 @@ pub struct Nsga2 {
     /// aggressive pruning that keeps the context's best accuracy — the
     /// designs the paper's Table II selects.
     boundaries: Vec<Boundary>,
+    /// Warm-start genomes injected into generation 0
+    /// ([`Nsga2::with_seed_front`]); drained on the first `ask`.
+    seeds: Vec<Candidate>,
 }
 
 /// State of one accuracy-preserving τ-boundary binary search.
@@ -135,7 +138,32 @@ impl Nsga2 {
             emitted: std::collections::HashSet::new(),
             best_acc: Vec::new(),
             boundaries: Vec::new(),
+            seeds: Vec::new(),
         }
+    }
+
+    /// Warm-starts the search with a previously found front: every
+    /// design point that records its pruning genome (τc and φc; the
+    /// coefficient gene defaults to exact when untracked, matching how
+    /// exact-base points drop it) re-enters generation 0 ahead of the
+    /// cold-start sweep, repaired into the new search space — a seed
+    /// from another run's context set snaps to the nearest gene here.
+    /// Points without a genome (e.g. baseline measurements) are
+    /// skipped. Evaluation caching makes re-offering an already-known
+    /// design free, so seeding can only sharpen generation 0.
+    #[must_use]
+    pub fn with_seed_front(mut self, front: &[DesignPoint]) -> Self {
+        self.seeds = front
+            .iter()
+            .filter_map(|p| {
+                Some(Candidate {
+                    coeff: p.coeff.unwrap_or_else(CoeffGene::exact),
+                    tau_c: p.tau_c?,
+                    phi_c: p.phi_c?,
+                })
+            })
+            .collect();
+        self
     }
 
     fn context_knees(space: &SearchSpace, gene: CoeffGene) -> Vec<f64> {
@@ -275,6 +303,15 @@ impl Nsga2 {
     /// knee points the fixed grid steps straddle.
     fn initial_population(&mut self, space: &SearchSpace) -> Vec<Candidate> {
         let mut pop = Vec::with_capacity(self.cfg.population);
+        // Warm-start seeds lead generation 0, repaired into this
+        // space; the closing truncation drops sweep filler before it
+        // ever reaches them.
+        for seed in std::mem::take(&mut self.seeds) {
+            let c = Self::repair(seed, space);
+            if !pop.contains(&c) {
+                pop.push(c);
+            }
+        }
         let (lo, hi) = space.tau_bounds();
         // Most of the first generation goes to the sweep; one extreme
         // per context and a couple of random genomes fill the rest.

@@ -77,6 +77,10 @@ pub struct SearchConfig {
     /// exact base circuit plus every per-layer gene combination over
     /// these widths (see [`Evaluator::with_coeff_axis`]).
     pub coeff_levels: Vec<i64>,
+    /// Prior survivors injected into an evolutionary search's
+    /// generation 0 ([`SearchConfig::seed_front`]). Ignored by the
+    /// exhaustive grid, which enumerates everything regardless.
+    pub seed_front: Vec<DesignPoint>,
 }
 
 impl SearchConfig {
@@ -106,11 +110,25 @@ impl SearchConfig {
         self
     }
 
+    /// Warm-starts the search with a previously found front (builder
+    /// style): an evolutionary strategy injects these survivors into
+    /// its generation 0, so a follow-up study — a re-run under new
+    /// objectives, a finer coefficient axis, a bigger budget — resumes
+    /// from the prior front instead of rediscovering it. See
+    /// [`Nsga2::with_seed_front`] for the genome-reconstruction rules.
+    #[must_use]
+    pub fn seed_front(mut self, front: &[DesignPoint]) -> Self {
+        self.seed_front = front.to_vec();
+        self
+    }
+
     /// Instantiates a fresh strategy from the recipe.
     pub fn build(&self) -> Box<dyn SearchStrategy> {
         match &self.strategy {
             StrategyConfig::Exhaustive => Box::new(ExhaustiveGrid::new()),
-            StrategyConfig::Nsga2(cfg) => Box::new(Nsga2::new(cfg.clone())),
+            StrategyConfig::Nsga2(cfg) => {
+                Box::new(Nsga2::new(cfg.clone()).with_seed_front(&self.seed_front))
+            }
         }
     }
 }

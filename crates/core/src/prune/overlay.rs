@@ -45,17 +45,18 @@
 //! [`Provenance`]: pax_netlist::fold::Provenance
 
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use egt_pdk::{Library, PdkError, TechParams};
 use pax_bespoke::{score_outputs, stimulus_for};
 use pax_ml::quant::QuantizedModel;
 use pax_ml::Dataset;
-use pax_netlist::fold::FoldedCircuit;
+use pax_netlist::fold::{FoldedCircuit, Refolder};
 use pax_netlist::traverse::Fanout;
 use pax_netlist::{GateKind, NetId, Netlist};
 use pax_obs::Phases;
 use pax_sim::power::PowerReport;
-use pax_sim::{BaseTrace, CompiledNetlist, PackedStimulus};
+use pax_sim::{Activity, BaseTrace, CompiledNetlist, DeltaSim, PackedStimulus};
 use pax_sta::DelayTable;
 
 use super::{PruneAnalysis, PruneEval};
@@ -156,6 +157,76 @@ pub struct OverlayContext<'a> {
     /// Per-phase wall-time accounting across every `evaluate` call on
     /// this context (lock-free; workers record concurrently).
     phases: Phases,
+    /// Folds that resumed a cached parent replay
+    /// ([`evaluate_with_session`](Self::evaluate_with_session) hits).
+    delta_folds: AtomicU64,
+    /// Folds that ran from scratch (fresh sessions, profitability
+    /// fallbacks, and every plain [`evaluate`](Self::evaluate) call).
+    full_folds: AtomicU64,
+    /// Total substitution-delta nets across the delta folds (mean delta
+    /// size = `delta_nets / delta_folds`).
+    delta_nets: AtomicU64,
+}
+
+/// Cumulative delta-evaluation counters of one [`OverlayContext`],
+/// for telemetry reporting. Unlike phase call counts, the delta/full
+/// split depends on how candidates were chunked across workers, so
+/// these never participate in determinism comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaFoldStats {
+    /// Evaluations that reused a cached parent fold.
+    pub delta_folds: u64,
+    /// Evaluations folded from scratch.
+    pub full_folds: u64,
+    /// Total symmetric-difference nets across the delta evaluations.
+    pub delta_nets: u64,
+}
+
+impl DeltaFoldStats {
+    /// The counter growth since an earlier snapshot of the same
+    /// counters (saturating, so a stale snapshot cannot underflow).
+    #[must_use]
+    pub fn since(&self, start: &DeltaFoldStats) -> DeltaFoldStats {
+        DeltaFoldStats {
+            delta_folds: self.delta_folds.saturating_sub(start.delta_folds),
+            full_folds: self.full_folds.saturating_sub(start.full_folds),
+            delta_nets: self.delta_nets.saturating_sub(start.delta_nets),
+        }
+    }
+
+    /// Merges another context's counters into this one.
+    pub fn merge(&mut self, other: &DeltaFoldStats) {
+        self.delta_folds += other.delta_folds;
+        self.full_folds += other.full_folds;
+        self.delta_nets += other.delta_nets;
+    }
+
+    /// Delta folds as a share of all folds (`None` before any fold).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.delta_folds + self.full_folds;
+        (total > 0).then(|| self.delta_folds as f64 / total as f64)
+    }
+
+    /// Mean substitution-delta size across the delta folds.
+    pub fn mean_delta(&self) -> Option<f64> {
+        (self.delta_folds > 0).then(|| self.delta_nets as f64 / self.delta_folds as f64)
+    }
+}
+
+/// One worker's rolling delta-evaluation state against a single
+/// [`OverlayContext`]: a rewindable fold replay ([`Refolder`]) plus a
+/// rolling masked simulation ([`DeltaSim`]), both keyed to the last
+/// evaluated mask. Create via [`OverlayContext::delta_session`], feed
+/// to [`OverlayContext::evaluate_with_session`]; results are
+/// bit-identical to [`OverlayContext::evaluate`] regardless of the
+/// session's history.
+#[derive(Debug)]
+pub struct DeltaSession {
+    refolder: Refolder,
+    sim: DeltaSim,
+    /// The mask of the last evaluation (id-sorted), for sizing the
+    /// delta before committing to a rewind.
+    last_mask: Vec<(NetId, bool)>,
 }
 
 impl<'a> OverlayContext<'a> {
@@ -261,6 +332,9 @@ impl<'a> OverlayContext<'a> {
             base_arrival,
             fanout,
             phases: Phases::new(EVAL_PHASES),
+            delta_folds: AtomicU64::new(0),
+            full_folds: AtomicU64::new(0),
+            delta_nets: AtomicU64::new(0),
         })
     }
 
@@ -302,24 +376,7 @@ impl<'a> OverlayContext<'a> {
     ) -> Result<PruneEval, StudyError> {
         // `set` is sorted, so the (net, dominant) pairs are too.
         let mask: Vec<(NetId, bool)> = set.iter().map(|&g| (g, analysis.dominant(g))).collect();
-
-        // Affected cone: the pruned set's transitive fanout in the base
-        // circuit. Gates outside it hold values word-for-word identical
-        // to the base run (the activity delta merges their counts) and
-        // are isomorphic images of their base counterparts (re-timing
-        // reuses their base arrival times verbatim).
-        let mut affected = vec![false; self.base.len()];
-        let mut stack: Vec<NetId> = set.to_vec();
-        while let Some(n) = stack.pop() {
-            if std::mem::replace(&mut affected[n.index()], true) {
-                continue;
-            }
-            for &t in self.fanout.of(n) {
-                if !affected[t.index()] {
-                    stack.push(t);
-                }
-            }
-        }
+        let affected = self.affected_cone(set);
 
         // Masked execution of the shared tape: the pruned gates' slots
         // stream their dominant constants, everything downstream reacts
@@ -338,11 +395,117 @@ impl<'a> OverlayContext<'a> {
         // would rebuild.
         let folded =
             self.phases.time(phase::FOLD, || FoldedCircuit::apply_sorted(&self.base, &mask));
+        self.full_folds.fetch_add(1, Ordering::Relaxed);
 
+        self.survivor_walk(set.len(), &affected, accuracy, &activity, &folded)
+    }
+
+    /// [`evaluate`](Self::evaluate) through a rolling [`DeltaSession`]:
+    /// the fold resumes the session's cached replay from the first
+    /// divergent substitution and the masked simulation re-executes
+    /// only the slots downstream of the mask's symmetric difference.
+    /// Results are bit-identical to [`evaluate`](Self::evaluate) — and
+    /// therefore to the rebuild pipeline — on every [`PruneEval`]
+    /// field, regardless of what the session evaluated before (pinned
+    /// by the session-chain differential tests).
+    ///
+    /// When the symmetric difference exceeds `|set| + 2` a rewound
+    /// replay would re-do more work than a fresh fold, so the refolder
+    /// falls back to folding from scratch (the rolling simulation's
+    /// worst case already matches the full masked pass and keeps its
+    /// state either way).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError::Library`] when the library lacks a cell a
+    /// surviving gate needs — the same condition
+    /// [`evaluate`](Self::evaluate) reports.
+    pub fn evaluate_with_session(
+        &self,
+        analysis: &PruneAnalysis,
+        set: &[NetId],
+        session: &mut DeltaSession,
+    ) -> Result<PruneEval, StudyError> {
+        // `set` is sorted, so the (net, dominant) pairs are too.
+        let mask: Vec<(NetId, bool)> = set.iter().map(|&g| (g, analysis.dominant(g))).collect();
+        let symdiff = symdiff_len(&session.last_mask, &mask);
+        if symdiff > set.len() + 2 {
+            session.refolder.reset();
+        }
+        let affected = self.affected_cone(set);
+
+        let (sim, activity) =
+            self.phases.time(phase::MASKED_SIM, || session.sim.step(&self.tape, &mask));
+        let (accuracy, _) =
+            self.phases.time(phase::SCORE, || score_outputs(&self.model, &self.test, &sim));
+
+        let folded = self.phases.time(phase::FOLD, || session.refolder.refold(&self.base, &mask));
+        if session.refolder.last_resume().is_some() {
+            self.delta_folds.fetch_add(1, Ordering::Relaxed);
+            self.delta_nets.fetch_add(symdiff as u64, Ordering::Relaxed);
+        } else {
+            self.full_folds.fetch_add(1, Ordering::Relaxed);
+        }
+        session.last_mask = mask;
+
+        self.survivor_walk(set.len(), &affected, accuracy, &activity, &folded)
+    }
+
+    /// Snapshots the cumulative delta/full fold counters.
+    pub fn delta_stats(&self) -> DeltaFoldStats {
+        DeltaFoldStats {
+            delta_folds: self.delta_folds.load(Ordering::Relaxed),
+            full_folds: self.full_folds.load(Ordering::Relaxed),
+            delta_nets: self.delta_nets.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Creates a fresh rolling evaluation session against this context
+    /// (one per worker thread; sessions are not `Sync`).
+    pub fn delta_session(&self) -> DeltaSession {
+        DeltaSession {
+            refolder: Refolder::new(),
+            sim: DeltaSim::new(&self.tape, &self.trace),
+            last_mask: Vec::new(),
+        }
+    }
+
+    /// Affected cone: the pruned set's transitive fanout in the base
+    /// circuit. Gates outside it hold values word-for-word identical
+    /// to the base run (the activity delta merges their counts) and
+    /// are isomorphic images of their base counterparts (re-timing
+    /// reuses their base arrival times verbatim).
+    fn affected_cone(&self, set: &[NetId]) -> Vec<bool> {
+        let mut affected = vec![false; self.base.len()];
+        let mut stack: Vec<NetId> = set.to_vec();
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut affected[n.index()], true) {
+                continue;
+            }
+            for &t in self.fanout.of(n) {
+                if !affected[t.index()] {
+                    stack.push(t);
+                }
+            }
+        }
+        affected
+    }
+
+    /// One walk over the fold's survivors in construction order: area
+    /// and power sums plus incremental re-timing, assembled into the
+    /// final [`PruneEval`]. Shared verbatim between the fresh and the
+    /// session paths so both produce the same f64 summation sequence —
+    /// the same order as the rebuild path's separate area/power/STA
+    /// walks.
+    fn survivor_walk(
+        &self,
+        n_pruned: usize,
+        affected: &[bool],
+        accuracy: f64,
+        activity: &Activity,
+        folded: &FoldedCircuit,
+    ) -> Result<PruneEval, StudyError> {
         let retime_start = std::time::Instant::now();
-        // One walk over the survivors in construction order — the same
-        // order (and therefore the same f64 summation sequence) as the
-        // rebuild path's separate area/power/STA walks.
         let f_hz = self.tech.clock_hz();
         let mut area_mm2 = 0.0;
         let mut static_uw = 0.0;
@@ -397,9 +560,34 @@ impl<'a> OverlayContext<'a> {
             accuracy,
             gate_count: folded.gate_count(),
             critical_ms,
-            n_pruned: set.len(),
+            n_pruned,
         })
     }
+}
+
+/// The number of `(net, value)` substitutions present in exactly one
+/// of two id-sorted masks (a net re-valued on both sides counts once) —
+/// the same measure [`DeltaSim`] reports as its delta size.
+fn symdiff_len(old: &[(NetId, bool)], new: &[(NetId, bool)]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < old.len() && j < new.len() {
+        match old[i].0.cmp(&new[j].0) {
+            std::cmp::Ordering::Less => {
+                n += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                n += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                n += usize::from(old[i].1 != new[j].1);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n + (old.len() - i) + (new.len() - j)
 }
 
 #[cfg(test)]
@@ -452,6 +640,44 @@ mod tests {
             assert_eq!(overlay.n_pruned, rebuild.n_pruned);
         }
         assert!(!grid.sets.is_empty());
+    }
+
+    #[test]
+    fn session_chain_is_bit_identical_to_fresh_evaluate() {
+        let (c, train, test) = setup();
+        let lib = egt_pdk::egt_library();
+        let tech = egt_pdk::TechParams::egt();
+        let a = analyze(&c.netlist, &c.model, &train);
+        let grid = enumerate_grid(&a, &PruneConfig::default());
+        let ctx = OverlayContext::new(&c.netlist, &c.model, &test, &lib, &tech).unwrap();
+        let mut session = ctx.delta_session();
+        // Forward then reverse: the forward leg resumes neighbouring
+        // sets with small deltas, the reverse leg jumps between mostly
+        // disjoint sets and exercises the profitability fallback.
+        for set in grid.sets.iter().chain(grid.sets.iter().rev()) {
+            let fresh = ctx.evaluate(&a, set).unwrap();
+            let delta = ctx.evaluate_with_session(&a, set, &mut session).unwrap();
+            assert_eq!(
+                delta.accuracy.to_bits(),
+                fresh.accuracy.to_bits(),
+                "accuracy diverged on |set| = {}",
+                set.len()
+            );
+            assert_eq!(delta.area_mm2.to_bits(), fresh.area_mm2.to_bits(), "area");
+            assert_eq!(delta.power_mw.to_bits(), fresh.power_mw.to_bits(), "power");
+            assert_eq!(delta.critical_ms.to_bits(), fresh.critical_ms.to_bits(), "delay");
+            assert_eq!(delta.gate_count, fresh.gate_count, "gate count");
+            assert_eq!(delta.n_pruned, fresh.n_pruned);
+        }
+        let stats = ctx.delta_stats();
+        assert!(stats.delta_folds > 0, "the chain should resume at least one fold");
+        assert_eq!(
+            stats.delta_folds + stats.full_folds,
+            4 * grid.sets.len() as u64,
+            "every fold (fresh oracle + session) lands in exactly one counter"
+        );
+        assert!(stats.hit_rate().unwrap() > 0.0);
+        assert!(stats.mean_delta().unwrap() > 0.0);
     }
 
     #[test]

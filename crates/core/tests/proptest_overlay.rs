@@ -150,6 +150,31 @@ proptest! {
         let f = regressor_fixture(seed);
         check_fixture(&f, tau_c, phi_raw, 1);
     }
+
+    /// One `DeltaSession` reused across a random `(τc, φc)` chain —
+    /// neighbour steps and arbitrary jumps alike — must stay bit-equal
+    /// to a fresh `evaluate` at every link. This is the property the
+    /// evaluator's lattice-ordered worker sessions rely on.
+    #[test]
+    fn delta_session_chain_equals_fresh_evaluate(
+        seed in any::<u64>(),
+        chain in proptest::collection::vec((0.5f64..1.0, -1i64..12), 2..7),
+    ) {
+        let f = classifier_fixture(seed);
+        let lib = egt_pdk::egt_library();
+        let tech = TechParams::egt();
+        let ctx = OverlayContext::new(&f.circuit.netlist, &f.circuit.model, &f.test, &lib, &tech)
+            .expect("context over the EGT library");
+        let mut session = ctx.delta_session();
+        for (i, &(tau_c, phi_c)) in chain.iter().enumerate() {
+            let set = gate_set(&f.analysis, tau_c, phi_c);
+            let fresh = ctx.evaluate(&f.analysis, &set).expect("fresh evaluation");
+            let delta = ctx
+                .evaluate_with_session(&f.analysis, &set, &mut session)
+                .expect("session evaluation");
+            assert_bit_equal(&delta, &fresh, &format!("chain step {i} |set|={}", set.len()));
+        }
+    }
 }
 
 /// Every distinct set of the paper's grid, at several thread counts:

@@ -165,6 +165,35 @@ impl SigMap {
         self.len += 1;
     }
 
+    /// Deletes `key` (which must be present) by emptying its slot and
+    /// re-inserting the probe cluster behind it — the classic
+    /// linear-probing deletion, correct regardless of insertion order
+    /// or intervening growth. Rewinds delete a handful of young keys,
+    /// so the expected cluster walk is O(1) at our ≤¾ load factor.
+    fn remove(&mut self, key: u128) {
+        let mut i = sig_hash(key) as usize & self.mask;
+        loop {
+            debug_assert_ne!(self.vals[i], u32::MAX, "removing a key that was never inserted");
+            if self.keys[i] == key {
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        self.vals[i] = u32::MAX;
+        self.len -= 1;
+        let mut j = (i + 1) & self.mask;
+        while self.vals[j] != u32::MAX {
+            let (k, v) = (self.keys[j], self.vals[j]);
+            self.vals[j] = u32::MAX;
+            self.len -= 1;
+            match self.get_or_slot(k) {
+                Err(slot) => self.fill(slot, k, v),
+                Ok(_) => unreachable!("duplicate key during cluster re-insert"),
+            }
+            j = (j + 1) & self.mask;
+        }
+    }
+
     fn grow(&mut self) {
         let old_keys = std::mem::replace(&mut self.keys, vec![0; (self.mask + 1) * 2]);
         let old_vals = std::mem::replace(&mut self.vals, vec![u32::MAX; (self.mask + 1) * 2]);
@@ -187,6 +216,7 @@ impl SigMap {
 /// `proptest_fold` differential suite enforces the equivalence.
 ///
 /// [`NetlistBuilder`]: crate::NetlistBuilder
+#[derive(Debug)]
 struct FoldBuilder {
     nodes: Vec<FoldNode>,
     /// Per-node provenance in the *previous* pass's id space, packed as
@@ -194,6 +224,12 @@ struct FoldBuilder {
     /// stream).
     prov: Vec<u64>,
     dedup: SigMap,
+    /// Dedup insertions in creation order (`(signature, node id)`);
+    /// values are strictly increasing. [`rewind`](Self::rewind) pops
+    /// this to un-cons the young suffix. Grows and cluster re-inserts
+    /// move entries between slots but never create or destroy keys, so
+    /// the log stays exact across both.
+    log: Vec<(u128, u32)>,
     const0: Option<u32>,
     const1: Option<u32>,
     /// Sweep-pass mode: hash-cons only the AND/OR family. A sweep over
@@ -224,9 +260,35 @@ impl FoldBuilder {
             nodes: Vec::with_capacity(capacity + 8),
             prov: Vec::with_capacity(capacity + 8),
             dedup: SigMap::with_capacity(capacity + 8),
+            log: Vec::with_capacity(capacity + 8),
             const0: None,
             const1: None,
             sweep_consing: false,
+        }
+    }
+
+    /// Truncates the builder to its state just before node `target` was
+    /// created: young nodes (and their provenance, dedup entries and
+    /// constant memos) vanish; everything older is untouched. Sound
+    /// because provenance is write-once (every non-free node is claimed
+    /// by the end of the `emit` that created it, and claims never
+    /// overwrite), so later replay work leaves the prefix bit-identical
+    /// to a fresh fold stopped at the same point.
+    fn rewind(&mut self, target: usize) {
+        while let Some(&(key, val)) = self.log.last() {
+            if (val as usize) < target {
+                break;
+            }
+            self.dedup.remove(key);
+            self.log.pop();
+        }
+        self.nodes.truncate(target);
+        self.prov.truncate(target);
+        if self.const0.is_some_and(|id| id as usize >= target) {
+            self.const0 = None;
+        }
+        if self.const1.is_some_and(|id| id as usize >= target) {
+            self.const1 = None;
         }
     }
 
@@ -284,6 +346,7 @@ impl FoldBuilder {
                 self.nodes.push(FoldNode::Gate { kind, ins: arr });
                 self.prov.push(PROV_NONE);
                 self.dedup.fill(slot, key, id);
+                self.log.push((key, id));
                 id
             }
         }
@@ -626,6 +689,27 @@ struct Pass {
     outputs: Vec<u32>,
 }
 
+/// Replays one source node through the folding constructors — the
+/// shared inner step of [`replay_pass`] and [`Refolder`] resumes
+/// (sharing it is what keeps the two bit-identical). `forced` is the
+/// node's substituted constant, if any.
+#[inline]
+fn replay_node(b: &mut FoldBuilder, map: &mut [u32], id: NetId, node: &Node, forced: Option<bool>) {
+    if let Some(v) = forced {
+        map[id.index()] = b.constant(v);
+        return;
+    }
+    let Node::Gate(g) = node else { return };
+    let mut ins = [0u32; 3];
+    for (slot, i) in ins.iter_mut().zip(g.inputs()) {
+        *slot = map[i.index()];
+    }
+    let before = b.nodes.len();
+    let img = b.emit(g.kind, &ins[..g.inputs().len()]);
+    map[id.index()] = img;
+    b.claim(before, img, id.index() as u32);
+}
+
 /// Mirror of `opt::replay`: every source node replayed through the
 /// folding constructors, with `subst` nets (sorted by id) replaced by
 /// constants first. A cursor over the sorted substitution replaces the
@@ -641,22 +725,14 @@ fn replay_pass(nl: &Netlist, subst: &[(NetId, bool)]) -> Pass {
     }
     let mut cursor = subst.iter().peekable();
     for (id, node) in nl.iter() {
-        if let Some(&&(net, v)) = cursor.peek() {
-            if net == id {
+        let forced = match cursor.peek() {
+            Some(&&(net, v)) if net == id => {
                 cursor.next();
-                map[id.index()] = b.constant(v);
-                continue;
+                Some(v)
             }
-        }
-        let Node::Gate(g) = node else { continue };
-        let mut ins = [0u32; 3];
-        for (slot, i) in ins.iter_mut().zip(g.inputs()) {
-            *slot = map[i.index()];
-        }
-        let before = b.nodes.len();
-        let img = b.emit(g.kind, &ins[..g.inputs().len()]);
-        map[id.index()] = img;
-        b.claim(before, img, id.index() as u32);
+            _ => None,
+        };
+        replay_node(&mut b, &mut map, id, node, forced);
     }
     let outputs =
         nl.output_ports().iter().flat_map(|p| p.bits.iter().map(|n| map[n.index()])).collect();
@@ -665,15 +741,15 @@ fn replay_pass(nl: &Netlist, subst: &[(NetId, bool)]) -> Pass {
 
 /// Mirror of `opt::sweep` over a previous pass: re-emit the gates on a
 /// path to an output port, in order, through a fresh fold builder.
-fn sweep_pass(prev: &Pass) -> Pass {
+fn sweep_pass(prev_b: &FoldBuilder, prev_outputs: &[u32]) -> Pass {
     // Liveness: transitive fanin of the output bits (gates only).
-    let mut live = vec![false; prev.b.nodes.len()];
-    let mut stack: Vec<u32> = prev.outputs.clone();
+    let mut live = vec![false; prev_b.nodes.len()];
+    let mut stack: Vec<u32> = prev_outputs.to_vec();
     while let Some(n) = stack.pop() {
         if std::mem::replace(&mut live[n as usize], true) {
             continue;
         }
-        if let Some((_, ins)) = prev.b.nodes[n as usize].gate() {
+        if let Some((_, ins)) = prev_b.nodes[n as usize].gate() {
             for &i in ins {
                 if !live[i as usize] {
                     stack.push(i);
@@ -682,10 +758,10 @@ fn sweep_pass(prev: &Pass) -> Pass {
         }
     }
 
-    let mut b = FoldBuilder::with_capacity(prev.b.nodes.len());
+    let mut b = FoldBuilder::with_capacity(prev_b.nodes.len());
     b.sweep_consing = true;
-    let mut map: Vec<u32> = vec![u32::MAX; prev.b.nodes.len()];
-    for (id, node) in prev.b.nodes.iter().enumerate() {
+    let mut map: Vec<u32> = vec![u32::MAX; prev_b.nodes.len()];
+    for (id, node) in prev_b.nodes.iter().enumerate() {
         match *node {
             FoldNode::Input { port, bit } => {
                 // Inputs are always rebuilt; they lead the node list in
@@ -707,8 +783,31 @@ fn sweep_pass(prev: &Pass) -> Pass {
             }
         }
     }
-    let outputs = prev.outputs.iter().map(|&o| map[o as usize]).collect();
+    let outputs = prev_outputs.iter().map(|&o| map[o as usize]).collect();
     Pass { b, outputs }
+}
+
+/// Sweeps a finished replay and composes the two passes' provenance
+/// into a [`FoldedCircuit`] — the shared back half of
+/// [`FoldedCircuit::apply_sorted`] and [`Refolder::refold`].
+fn finish_fold(replay_b: &FoldBuilder, replay_outputs: &[u32]) -> FoldedCircuit {
+    let swept = sweep_pass(replay_b, replay_outputs);
+    // Compose the sweep's provenance (in replay ids) with the replay's
+    // (in source ids).
+    let prov = swept
+        .b
+        .prov
+        .iter()
+        .map(|&p| {
+            prov_unpack(p).and_then(|(replay_id, inv2)| {
+                prov_unpack(replay_b.prov[replay_id as usize]).map(|(source, inv1)| Provenance {
+                    source: NetId::from_index(source as usize),
+                    inverted: inv1 ^ inv2,
+                })
+            })
+        })
+        .collect();
+    FoldedCircuit { nodes: swept.b.nodes, prov, outputs: swept.outputs }
 }
 
 /// The folded-and-swept image of a netlist under a constant
@@ -738,25 +837,7 @@ impl FoldedCircuit {
     /// Debug builds assert the slice is strictly sorted by net id.
     pub fn apply_sorted(nl: &Netlist, subst: &[(NetId, bool)]) -> Self {
         let replayed = replay_pass(nl, subst);
-        let swept = sweep_pass(&replayed);
-        // Compose the sweep's provenance (in replay ids) with the
-        // replay's (in source ids).
-        let prov = swept
-            .b
-            .prov
-            .iter()
-            .map(|&p| {
-                prov_unpack(p).and_then(|(replay_id, inv2)| {
-                    prov_unpack(replayed.b.prov[replay_id as usize]).map(|(source, inv1)| {
-                        Provenance {
-                            source: NetId::from_index(source as usize),
-                            inverted: inv1 ^ inv2,
-                        }
-                    })
-                })
-            })
-            .collect();
-        Self { nodes: swept.b.nodes, prov, outputs: swept.outputs }
+        finish_fold(&replayed.b, &replayed.outputs)
     }
 
     /// Number of folded nodes (inputs + surviving gates).
@@ -828,6 +909,175 @@ impl FoldedCircuit {
             output_ports.push(Port { name: p.name.clone(), bits });
         }
         Netlist { name: source.name().to_owned(), nodes, input_ports, output_ports }
+    }
+}
+
+/// The replay state a [`Refolder`] carries between folds.
+#[derive(Debug)]
+struct RefoldState {
+    b: FoldBuilder,
+    /// Source id → replay node of the *last* fold.
+    map: Vec<u32>,
+    /// `ckpt[i]` = builder node count immediately before source id `i`
+    /// was replayed — the rewind target when the substitution first
+    /// diverges at `i`.
+    ckpt: Vec<u32>,
+    /// `(source index, replay node)` of every primary input, for
+    /// restoring `map` entries a diverged substitution had overwritten.
+    inputs: Vec<(u32, u32)>,
+    /// The substitution the cached replay was built with.
+    subst: Vec<(NetId, bool)>,
+    /// Source netlist size, as a cheap same-netlist sanity check.
+    n_nodes: usize,
+}
+
+/// Incremental [`FoldedCircuit::apply_sorted`]: caches the replay pass
+/// and, on the next substitution, rewinds it to the first source node
+/// whose forced constant changed and resumes from there instead of
+/// refolding the whole netlist. Neighbouring candidates in a grid or
+/// NSGA-II batch differ by a few gates, so most of the replay — the
+/// fold-rule evaluation, hash-consing and provenance claiming — is
+/// reused verbatim.
+///
+/// The rewind is exact, not approximate: builder provenance is
+/// write-once and the dedup log is popped back entry for entry, so the
+/// builder state at the divergence checkpoint is bit-identical to a
+/// fresh fold stopped at the same node. The sweep pass always re-runs
+/// in full (liveness is a global property), which bounds the saving at
+/// roughly half the fold cost; the differential suite in
+/// `crates/synth/tests/proptest_fold.rs` pins
+/// `Refolder::refold == FoldedCircuit::apply_sorted` node-for-node
+/// across random neighbour chains.
+#[derive(Debug, Default)]
+pub struct Refolder {
+    state: Option<RefoldState>,
+    resumed_from: Option<usize>,
+}
+
+impl Refolder {
+    /// An empty refolder; the first [`refold`](Self::refold) runs a
+    /// full fold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the cached replay: the next [`refold`](Self::refold) runs
+    /// from scratch. Callers reset when the delta grew past their
+    /// profitability threshold (a rewind near the netlist's head redoes
+    /// almost everything *plus* the rewind bookkeeping).
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+
+    /// The source id the last [`refold`](Self::refold) resumed from,
+    /// or `None` when it folded from scratch.
+    pub fn last_resume(&self) -> Option<usize> {
+        self.resumed_from
+    }
+
+    /// Folds `nl` under the id-sorted substitution `subst`, reusing the
+    /// cached replay prefix when one exists. The result is
+    /// node-for-node identical to
+    /// [`FoldedCircuit::apply_sorted`]`(nl, subst)`.
+    ///
+    /// Every call must pass the same netlist (sessions are pinned to
+    /// one base circuit); debug builds assert the sorted-substitution
+    /// contract.
+    pub fn refold(&mut self, nl: &Netlist, subst: &[(NetId, bool)]) -> FoldedCircuit {
+        debug_assert!(subst.windows(2).all(|w| w[0].0 < w[1].0), "substitution must be sorted");
+        match &mut self.state {
+            Some(st) if st.n_nodes == nl.len() => {
+                self.resumed_from = Some(Self::resume(st, nl, subst));
+            }
+            _ => {
+                self.state = Some(Self::fresh(nl, subst));
+                self.resumed_from = None;
+            }
+        }
+        let st = self.state.as_ref().expect("refold state just installed");
+        let outputs: Vec<u32> = nl
+            .output_ports()
+            .iter()
+            .flat_map(|p| p.bits.iter().map(|n| st.map[n.index()]))
+            .collect();
+        finish_fold(&st.b, &outputs)
+    }
+
+    /// Full replay with checkpoint recording.
+    fn fresh(nl: &Netlist, subst: &[(NetId, bool)]) -> RefoldState {
+        let mut b = FoldBuilder::with_capacity(nl.len());
+        let mut map: Vec<u32> = vec![u32::MAX; nl.len()];
+        let mut inputs = Vec::new();
+        for (pi, p) in nl.input_ports().iter().enumerate() {
+            for (bit, old) in p.bits.iter().enumerate() {
+                let n = b.input(pi as u16, bit as u16, old.index() as u32);
+                map[old.index()] = n;
+                inputs.push((old.index() as u32, n));
+            }
+        }
+        let mut st = RefoldState {
+            b,
+            map,
+            ckpt: vec![0; nl.len()],
+            inputs,
+            subst: subst.to_vec(),
+            n_nodes: nl.len(),
+        };
+        Self::replay_range(&mut st, nl, subst, 0);
+        st
+    }
+
+    /// Rewinds the cached replay to the first diverging source id and
+    /// replays the rest under the new substitution. Returns the resume
+    /// point (`nl.len()` when the substitutions are identical).
+    fn resume(st: &mut RefoldState, nl: &Netlist, subst: &[(NetId, bool)]) -> usize {
+        let mut i = 0;
+        let d = loop {
+            break match (st.subst.get(i), subst.get(i)) {
+                (Some(a), Some(b)) if a == b => {
+                    i += 1;
+                    continue;
+                }
+                (Some(a), Some(b)) => a.0.index().min(b.0.index()),
+                (Some(a), None) => a.0.index(),
+                (None, Some(b)) => b.0.index(),
+                (None, None) => nl.len(),
+            };
+        };
+        if d < nl.len() {
+            st.b.rewind(st.ckpt[d] as usize);
+            // The stale suffix of `map` is rewritten before any later
+            // node reads it (operands precede their gate) — except for
+            // primary inputs a previously-substituted entry shadowed,
+            // which the resume loop skips. Restore those explicitly.
+            for &(src, node) in &st.inputs {
+                if src as usize >= d {
+                    st.map[src as usize] = node;
+                }
+            }
+            Self::replay_range(st, nl, subst, d);
+            st.subst = subst.to_vec();
+        }
+        d
+    }
+
+    /// Replays source ids `from..` through the shared [`replay_node`]
+    /// step, recording a checkpoint per id.
+    fn replay_range(st: &mut RefoldState, nl: &Netlist, subst: &[(NetId, bool)], from: usize) {
+        let start = subst.partition_point(|&(n, _)| n.index() < from);
+        let mut cursor = subst[start..].iter().peekable();
+        for idx in from..nl.len() {
+            st.ckpt[idx] = st.b.nodes.len() as u32;
+            let id = NetId::from_index(idx);
+            let forced = match cursor.peek() {
+                Some(&&(net, v)) if net == id => {
+                    cursor.next();
+                    Some(v)
+                }
+                _ => None,
+            };
+            replay_node(&mut st.b, &mut st.map, id, nl.node(id), forced);
+        }
     }
 }
 
@@ -945,6 +1195,64 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Node-for-node equality of two [`FoldedCircuit`]s, provenance
+    /// included.
+    fn assert_folds_equal(a: &FoldedCircuit, b: &FoldedCircuit) {
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.output_bits(), b.output_bits());
+        for i in 0..a.len() {
+            assert_eq!(a.provenance(i), b.provenance(i), "provenance of node {i}");
+        }
+    }
+
+    #[test]
+    fn refold_chain_matches_fresh_folds() {
+        let (nl, nets) = sample();
+        // A neighbour chain walking the gate-set lattice: adds, removes
+        // and swaps of a few gates per step, including the empty set.
+        let chain: Vec<Vec<(NetId, bool)>> = vec![
+            vec![],
+            vec![(nets[0], true)],
+            vec![(nets[0], true), (nets[2], false)],
+            vec![(nets[2], false)],
+            vec![(nets[1], true), (nets[2], false)],
+            vec![(nets[0], false), (nets[1], true), (nets[3], true)],
+            vec![],
+            vec![(nets[4], false)],
+        ];
+        let mut refolder = Refolder::new();
+        for (step, subst) in chain.iter().enumerate() {
+            let mut sorted = subst.clone();
+            sorted.sort_unstable_by_key(|&(n, _)| n);
+            let delta = refolder.refold(&nl, &sorted);
+            let fresh = FoldedCircuit::apply_sorted(&nl, &sorted);
+            assert_folds_equal(&delta, &fresh);
+            assert_eq!(refolder.last_resume().is_none(), step == 0, "step {step}");
+        }
+    }
+
+    #[test]
+    fn refolder_reset_forces_full_fold() {
+        let (nl, nets) = sample();
+        let mut refolder = Refolder::new();
+        refolder.refold(&nl, &[(nets[0], true)]);
+        refolder.reset();
+        let delta = refolder.refold(&nl, &[(nets[1], false)]);
+        assert!(refolder.last_resume().is_none());
+        assert_folds_equal(&delta, &FoldedCircuit::apply_sorted(&nl, &[(nets[1], false)]));
+    }
+
+    #[test]
+    fn refold_identical_substitution_is_a_noop_resume() {
+        let (nl, nets) = sample();
+        let subst = [(nets[1], true)];
+        let mut refolder = Refolder::new();
+        let first = refolder.refold(&nl, &subst);
+        let second = refolder.refold(&nl, &subst);
+        assert_eq!(refolder.last_resume(), Some(nl.len()));
+        assert_folds_equal(&first, &second);
     }
 
     #[test]

@@ -92,27 +92,27 @@ const WIDE_WORD_THRESHOLD: usize = 128;
 #[derive(Debug, Clone)]
 pub struct CompiledNetlist {
     name: String,
-    n_slots: usize,
+    pub(crate) n_slots: usize,
     /// The unfused tape: every gate, levelized and kind-grouped. This
     /// is the activity oracle and the source cones are re-derived from.
-    instrs: Vec<Instr>,
+    pub(crate) instrs: Vec<Instr>,
     runs: Vec<Run>,
     /// Gate kind at each unfused tape position (run lookup, hoisted).
-    kinds: Vec<GateKind>,
+    pub(crate) kinds: Vec<GateKind>,
     /// Constant value of tie-cell slots (`None` for everything else) —
     /// needed when re-deriving cone tables under masks.
     const_of: Vec<Option<bool>>,
     /// The fused execution plan the activity-off paths run.
     fused: FusedTape,
     input_ports: Vec<Port>,
-    output_ports: Vec<Port>,
+    pub(crate) output_ports: Vec<Port>,
     /// Value slot of every output-port bit, ports in declaration order,
     /// bits LSB-first — the flat order chunk output planes use.
-    output_slots: Vec<u32>,
+    pub(crate) output_slots: Vec<u32>,
     /// Unfused tape position of the instruction writing each slot
     /// (`u32::MAX` for input/non-gate slots) — the lookup masked
     /// execution rewrites through.
-    instr_of: Vec<u32>,
+    pub(crate) instr_of: Vec<u32>,
     threads: usize,
 }
 
@@ -149,12 +149,12 @@ impl<W: Word> PackedStimulus<W> {
 /// trace instead of recomputed.
 #[derive(Debug, Clone)]
 pub struct BaseTrace {
-    n_samples: usize,
-    n_words: usize,
+    pub(crate) n_samples: usize,
+    pub(crate) n_words: usize,
     /// `rows[w][slot]`: the value word of `slot` at word `w`.
-    rows: Vec<Vec<u64>>,
-    ones: Vec<u64>,
-    toggles: Vec<u64>,
+    pub(crate) rows: Vec<Vec<u64>>,
+    pub(crate) ones: Vec<u64>,
+    pub(crate) toggles: Vec<u64>,
 }
 
 impl BaseTrace {
@@ -930,7 +930,7 @@ struct ChunkOut {
 /// given the reserved all-`zero` and all-`one` slots. Every non-free
 /// kind can produce both constants from those two streams, so masked
 /// execution never has to alter run grouping or instruction kinds.
-fn const_operands(kind: GateKind, value: bool, zero: u32, one: u32) -> (u32, u32, u32) {
+pub(crate) fn const_operands(kind: GateKind, value: bool, zero: u32, one: u32) -> (u32, u32, u32) {
     use GateKind::*;
     // `t`: fill that makes the gate output `value` for monotone kinds;
     // `f`: the inverted fill for the negated kinds.

@@ -66,6 +66,7 @@
 mod activity;
 pub mod compare;
 mod compiled;
+mod delta;
 mod engine;
 mod error;
 mod fuse;
@@ -77,6 +78,7 @@ mod word;
 
 pub use activity::Activity;
 pub use compiled::{BaseTrace, CompiledNetlist, PackedStimulus};
+pub use delta::DeltaSim;
 pub use engine::{simulate, try_simulate, SimOutputs, SimResult};
 pub use error::SimError;
 pub use stimulus::Stimulus;

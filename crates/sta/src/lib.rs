@@ -284,6 +284,54 @@ mod tests {
     }
 
     #[test]
+    fn seeded_cone_recomputation_matches_the_full_walk() {
+        // The incremental re-timing contract (see [`DelayTable`]): an
+        // engine holding a base report may recompute only the affected
+        // cone, seeding every other net from `arrival_ms`, and land on
+        // the full walk bit-for-bit. Pinned here on a diamond-shaped
+        // circuit with a mid-circuit "edit" whose cone covers some but
+        // not all outputs.
+        let l = lib();
+        let table = DelayTable::new(&l);
+        let mut b = NetlistBuilder::new("cone");
+        let x = b.input_port("x", 3);
+        let a = b.xor2(x[0], x[1]);
+        let c = b.nand2(x[1], x[2]);
+        let d = b.xnor2(a, c);
+        let e = b.or2(a, x[2]);
+        let f = b.and2(d, e);
+        let g = b.xor2(c, x[0]); // outside a's fanout cone
+        b.output_port("y", vec![f, g].into());
+        let nl = b.finish();
+        let base = analyze(&nl, &l, &egt_pdk::TechParams::egt()).unwrap();
+
+        // "Edit" net `a`: the affected cone is its transitive fanout.
+        let mut affected = vec![false; nl.len()];
+        affected[a.index()] = true;
+        for (id, node) in nl.iter() {
+            let Node::Gate(gate) = node else { continue };
+            if gate.inputs().iter().any(|i| affected[i.index()]) {
+                affected[id.index()] = true;
+            }
+        }
+        assert!(affected[f.index()] && !affected[g.index()], "cone shape as constructed");
+
+        // Re-time only the cone, seeding everything else from the base.
+        let mut arrival = base.arrival_ms.clone();
+        for (id, node) in nl.iter() {
+            let Node::Gate(gate) = node else { continue };
+            if !affected[id.index()] || gate.kind.is_free() {
+                continue;
+            }
+            let worst = gate.inputs().iter().map(|i| arrival[i.index()]).fold(0.0f64, f64::max);
+            arrival[id.index()] = worst + table.delay_ms(gate.kind).unwrap();
+        }
+        for (i, (seeded, full)) in arrival.iter().zip(&base.arrival_ms).enumerate() {
+            assert_eq!(seeded.to_bits(), full.to_bits(), "net {i} diverged from the full walk");
+        }
+    }
+
+    #[test]
     fn parallel_paths_pick_the_worst() {
         let l = lib();
         let mut b = NetlistBuilder::new("par");

@@ -14,7 +14,7 @@
 
 use std::collections::BTreeMap;
 
-use pax_netlist::fold::FoldedCircuit;
+use pax_netlist::fold::{FoldedCircuit, Refolder};
 use pax_netlist::{validate, NetId, Netlist, NetlistBuilder, Node};
 use pax_synth::opt;
 use proptest::prelude::*;
@@ -119,6 +119,17 @@ fn assert_fold_matches(nl: &Netlist, subst: &BTreeMap<NetId, bool>) {
     assert_eq!(folded.len(), rebuilt.len());
 }
 
+/// Node-for-node equality between two folds: same nodes in the same
+/// order, same output wiring, same provenance streams.
+fn assert_same_fold(delta: &FoldedCircuit, fresh: &FoldedCircuit) {
+    assert_eq!(delta.nodes(), fresh.nodes(), "folded node arrays diverged");
+    assert_eq!(delta.output_bits(), fresh.output_bits(), "output wiring diverged");
+    assert_eq!(delta.gate_count(), fresh.gate_count());
+    for i in 0..fresh.len() {
+        assert_eq!(delta.provenance(i), fresh.provenance(i), "provenance diverged at node {i}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -145,6 +156,68 @@ proptest! {
         let nl = random_netlist(seed, n_gates);
         let subst = random_subst(&nl, seed ^ 0x5EED, 1.0);
         assert_fold_matches(&nl, &subst);
+    }
+
+    /// Delta refolds along random neighbour chains: a [`Refolder`]
+    /// replaying from its checkpoints after small add/remove/flip
+    /// mutations (the shape adjacent grid / NSGA-II candidates
+    /// produce) must equal a from-scratch fold node-for-node at every
+    /// step, including the occasional large jump that forces the
+    /// full-fold fallback.
+    #[test]
+    fn delta_fold_matches_fresh_fold(seed in any::<u64>(), n_gates in 1usize..120) {
+        let nl = random_netlist(seed, n_gates);
+        let gates: Vec<NetId> = nl
+            .iter()
+            .filter_map(|(id, node)| match node {
+                Node::Gate(g) if !g.kind.is_free() => Some(id),
+                _ => None,
+            })
+            .collect();
+        if gates.is_empty() {
+            continue; // all-free netlist: nothing to prune, nothing to chain
+        }
+
+        let mut state = seed.wrapping_mul(0xA076_1D64_78BD_642F) | 1;
+        let mut subst = random_subst(&nl, seed ^ 0xDE17A, 0.3);
+        let mut refolder = Refolder::new();
+        let mut resumed = 0usize;
+        for step in 0..10 {
+            if step % 4 == 3 {
+                // Large jump: replace the whole set, exercising the
+                // earliest-divergence rewind / full-refold path.
+                subst = random_subst(&nl, next(&mut state), 0.5);
+            } else {
+                // Neighbour step: mutate a few gates in place.
+                for _ in 0..=(next(&mut state) % 3) {
+                    let g = gates[(next(&mut state) % gates.len() as u64) as usize];
+                    match subst.remove(&g) {
+                        Some(v) if next(&mut state).is_multiple_of(2) => {
+                            subst.insert(g, !v);
+                        }
+                        Some(_) => {}
+                        None => {
+                            subst.insert(g, next(&mut state).is_multiple_of(2));
+                        }
+                    }
+                }
+            }
+            let sorted: Vec<(NetId, bool)> = subst.iter().map(|(k, v)| (*k, *v)).collect();
+            let delta = refolder.refold(&nl, &sorted);
+            resumed += usize::from(refolder.last_resume().is_some());
+            let fresh = FoldedCircuit::apply(&nl, &subst);
+            assert_same_fold(&delta, &fresh);
+            prop_assert_eq!(
+                delta.materialize(&nl),
+                fresh.materialize(&nl),
+                "materialized netlists diverged at step {}",
+                step
+            );
+        }
+        // The first call is always a full fold; later steps may
+        // legitimately fall back, but a chain that never resumes means
+        // the checkpoints are dead weight.
+        prop_assert!(resumed >= 1, "refolder never took the delta path over a 10-step chain");
     }
 
     /// Provenance soundness on random circuits: every non-constant

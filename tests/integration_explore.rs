@@ -420,6 +420,62 @@ fn nd_objective_sets_drive_engine_and_evolutionary_search() {
 }
 
 #[test]
+fn warm_started_search_revisits_the_seeded_front() {
+    let (q, train, test) = model_and_data(61);
+    let fw = Framework::new(FrameworkConfig::default());
+    let circuit = {
+        let c = BespokeCircuit::generate(&q);
+        c.with_netlist(pax_synth::opt::optimize(&c.netlist))
+    };
+    let analysis = analyze(&circuit.netlist, &q, &train);
+    let evaluator = Evaluator::new(
+        fw.library(),
+        &fw.config().tech,
+        &test,
+        vec![EvalContext {
+            coeff: CoeffGene::exact(),
+            netlist: &circuit.netlist,
+            model: &q,
+            analysis,
+        }],
+    );
+
+    // A cold grid sweep supplies the front to warm-start from.
+    let mut engine = Engine::new(&evaluator, &fw.config().prune);
+    let grid = engine.run(&mut ExhaustiveGrid::new()).expect("grid runs");
+    let front = grid.archive.front();
+    assert!(!front.is_empty());
+    // Keep the seed set below the population so `initial_population`'s
+    // closing truncation can never drop one.
+    let cfg =
+        Nsga2Config { population: 8, generations: 2, max_evals: 0, seed: 7, ..Default::default() };
+    let seeds: Vec<DesignPoint> = front.iter().take(cfg.population / 2).cloned().collect();
+
+    // A fresh engine, so the warm start's evaluations are its own, not
+    // cache replays of the sweep above.
+    let mut warm_engine = Engine::new(&evaluator, &fw.config().prune);
+    let outcome =
+        warm_engine.run(&mut Nsga2::new(cfg.clone()).with_seed_front(&seeds)).expect("warm run");
+    for p in &seeds {
+        assert!(
+            outcome.points.iter().any(|(_, q)| q.tau_c == p.tau_c && q.phi_c == p.phi_c),
+            "seeded design (tau={:?}, phi={:?}) must be measured in generation 0",
+            p.tau_c,
+            p.phi_c
+        );
+    }
+
+    // Warm starting is part of the deterministic-study contract: the
+    // framework-level builder replays bit-for-bit.
+    let search = SearchConfig::nsga2(cfg).seed_front(&seeds);
+    let a = fw.run_study_with(&q, &train, &test, &search);
+    let b = fw.run_study_with(&q, &train, &test, &search);
+    assert_eq!(a.prune_only, b.prune_only);
+    assert_eq!(a.cross, b.cross);
+    assert_eq!(a.pareto_front(), b.pareto_front());
+}
+
+#[test]
 fn uncovered_library_surfaces_a_typed_error() {
     let (q, train, test) = model_and_data(43);
     // A library without the bespoke cells used to abort the whole study
